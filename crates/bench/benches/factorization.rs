@@ -1,0 +1,68 @@
+//! Benchmarks of the sparse layer: symbolic analysis, full factorization,
+//! incremental refactorization and the supernodal solves — the operations
+//! whose modeled cost drives every latency figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use supernova_linalg::Mat;
+use supernova_sparse::{BlockMat, BlockPattern, NumericFactor, SymbolicFactor};
+
+/// A banded block pattern with periodic long-range closures — the Sphere /
+/// M3500 elimination-tree shapes.
+fn pose_graph_pattern(n: usize, band: usize, lc_every: usize) -> (BlockPattern, BlockMat) {
+    let dims = vec![3usize; n];
+    let mut p = BlockPattern::new(dims.clone());
+    for i in 0..n - 1 {
+        p.add_block_edge(i, i + 1);
+    }
+    for i in (band..n).step_by(lc_every) {
+        p.add_block_edge(i - band, i);
+    }
+    let mut h = BlockMat::new(dims.clone());
+    for j in 0..n {
+        for &i in p.col(j) {
+            let m = Mat::from_fn(3, 3, |r, c| ((r * 5 + c * 3 + i + j) % 7) as f64 * 0.05);
+            h.add_to_block(i, j, &m);
+        }
+        h.add_to_block(j, j, &Mat::from_diag(&vec![8.0; 3]));
+    }
+    (p, h)
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbolic_analyze");
+    for n in [200usize, 800] {
+        let (p, _) = pose_graph_pattern(n, 40, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(SymbolicFactor::analyze(&p, 1).nodes().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_factorize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multifrontal");
+    group.sample_size(20);
+    for n in [200usize, 600] {
+        let (p, h) = pose_graph_pattern(n, 40, 7);
+        let sym = SymbolicFactor::analyze(&p, 1);
+        group.bench_with_input(BenchmarkId::new("factorize", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(NumericFactor::factorize(&sym, &h).expect("spd")))
+        });
+        // Incremental: dirty one mid-trajectory column.
+        let base = NumericFactor::factorize(&sym, &h).expect("spd");
+        group.bench_with_input(BenchmarkId::new("refactor_one_dirty", n), &n, |b, _| {
+            b.iter(|| {
+                let mut num = base.clone();
+                std::hint::black_box(num.refactor(&sym, &h, &[n / 2]).expect("spd").reused)
+            })
+        });
+        let mut x = vec![1.0; sym.total_dim()];
+        group.bench_with_input(BenchmarkId::new("solve", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(base.solve_in_place(&sym, &mut x).flops()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic, bench_factorize);
+criterion_main!(benches);

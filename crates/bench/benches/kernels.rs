@@ -1,0 +1,99 @@
+//! Microbenchmarks of the dense kernels the COMP accelerator model prices —
+//! the real-machine counterpart of the modeled op costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use supernova_linalg::{
+    cholesky_in_place, gemm, partial_cholesky_in_place, syrk_lower, trsm_right_lower_transpose,
+    Mat, Transpose,
+};
+
+fn spd(n: usize) -> Mat {
+    let g = Mat::from_fn(n, n, |r, c| ((r * 31 + c * 17) % 13) as f64 / 13.0 - 0.5);
+    let mut a = Mat::from_diag(&vec![n as f64 + 2.0; n]);
+    syrk_lower(1.0, &g, 1.0, &mut a);
+    Mat::from_fn(n, n, |r, c| if r >= c { a[(r, c)] } else { a[(c, r)] })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for n in [16usize, 48, 96] {
+        let a = Mat::from_fn(n, n, |r, q| (r + q) as f64 * 0.01);
+        let b = Mat::from_fn(n, n, |r, q| (r * q % 7) as f64 * 0.02);
+        let mut out = Mat::zeros(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut out);
+                std::hint::black_box(out.max_abs())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_syrk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("syrk");
+    for (n, k) in [(48usize, 24usize), (96, 48), (192, 48)] {
+        let a = Mat::from_fn(n, k, |r, q| ((r + 2 * q) % 9) as f64 * 0.03);
+        let mut out = Mat::zeros(n, n);
+        group.bench_with_input(BenchmarkId::new("n_k", format!("{n}x{k}")), &n, |bench, _| {
+            bench.iter(|| {
+                syrk_lower(-1.0, &a, 0.0, &mut out);
+                std::hint::black_box(out.max_abs())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trsm");
+    for n in [24usize, 72] {
+        let l = {
+            let mut l = spd(n);
+            cholesky_in_place(&mut l).expect("spd");
+            l
+        };
+        let b0 = Mat::from_fn(2 * n, n, |r, q| (r + q) as f64 * 0.01);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut b = b0.clone();
+                trsm_right_lower_transpose(&l, &mut b);
+                std::hint::black_box(b.max_abs())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    for n in [24usize, 96, 192] {
+        let a = spd(n);
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut l = a.clone();
+                cholesky_in_place(&mut l).expect("spd");
+                std::hint::black_box(l.max_abs())
+            })
+        });
+    }
+    // The supernode partial factorization (front with a remainder block).
+    for (m, n) in [(24usize, 72usize), (48, 144)] {
+        let a = spd(m + n);
+        group.bench_with_input(
+            BenchmarkId::new("partial", format!("{m}+{n}")),
+            &m,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut f = a.clone();
+                    partial_cholesky_in_place(&mut f, m).expect("spd");
+                    std::hint::black_box(f.max_abs())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_syrk, bench_trsm, bench_cholesky);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! End-to-end benchmarks of one online SLAM backend step: ISAM2 vs
+//! RA-ISAM2 on ordinary and loop-closure steps, plus the runtime's
+//! scheduling overhead itself.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use supernova_core::{run_online, ExperimentConfig};
+use supernova_datasets::Dataset;
+use supernova_hw::Platform;
+use supernova_runtime::{simulate_step, CostModel, SchedulerConfig};
+use supernova_solvers::{Isam2, Isam2Config, OnlineSolver, RaIsam2, RaIsam2Config};
+
+fn bench_online_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_run");
+    group.sample_size(10);
+    let ds = Dataset::m3500_scaled(0.03);
+    group.bench_function("isam2_m3500_tiny", |b| {
+        b.iter(|| {
+            let mut solver = Isam2::new(Isam2Config::default());
+            let cfg = ExperimentConfig { pricings: vec![], eval_stride: 0 };
+            std::hint::black_box(run_online(&ds, &mut solver, &cfg, None).latencies.len())
+        })
+    });
+    group.bench_function("ra_isam2_m3500_tiny", |b| {
+        b.iter(|| {
+            let cost = Arc::new(CostModel::new(Platform::supernova(2)));
+            let mut solver = RaIsam2::new(RaIsam2Config::default(), cost);
+            let cfg = ExperimentConfig { pricings: vec![], eval_stride: 0 };
+            std::hint::black_box(run_online(&ds, &mut solver, &cfg, None).latencies.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    // Pre-capture one heavy loop-closure step trace and time only the
+    // runtime's virtual-time scheduler on it.
+    let ds = Dataset::cab2_scaled(0.03);
+    let mut solver = Isam2::new(Isam2Config::default());
+    let mut heaviest = None;
+    let mut heaviest_flops = 0u64;
+    for (i, step) in ds.online_steps().iter().enumerate() {
+        let init = step.truth.clone();
+        let _ = i;
+        let trace = solver.step(init, step.factors.clone());
+        let f = trace.numeric_flops();
+        if f > heaviest_flops {
+            heaviest_flops = f;
+            heaviest = Some(trace);
+        }
+    }
+    let trace = heaviest.expect("nonempty dataset");
+
+    let mut group = c.benchmark_group("virtual_time_scheduler");
+    for sets in [1usize, 2, 4] {
+        let platform = Platform::supernova(sets);
+        group.bench_with_input(BenchmarkId::new("sets", sets), &sets, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    simulate_step(&platform, &trace, &SchedulerConfig::default()).total(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_run, bench_scheduler);
+criterion_main!(benches);

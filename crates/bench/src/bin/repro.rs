@@ -1,0 +1,79 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment|all> [--scale F] [--full] [--out DIR] [--stride N] [--list]
+//! ```
+//!
+//! Experiments: fig2 fig3 fig7 fig8 fig9 fig10 fig11 fig12 table2 table3
+//! table4 table5 power. By default datasets run at a reduced scale so the
+//! whole suite finishes in minutes; `--full` uses the paper sizes.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use supernova_bench::{run_experiment, Suite, SuiteConfig, EXPERIMENTS};
+
+fn usage() {
+    eprintln!("usage: repro <experiment|all> [--scale F] [--full] [--out DIR] [--stride N]");
+    eprintln!("experiments:");
+    for (id, desc) in EXPERIMENTS {
+        eprintln!("  {id:8} {desc}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment: Option<String> = None;
+    let mut cfg = SuiteConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" | "-l" | "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            "--full" => cfg.scale = Some(1.0),
+            "--scale" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 && v <= 1.0 => cfg.scale = Some(v),
+                _ => {
+                    eprintln!("--scale expects a fraction in (0, 1]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => cfg.out_dir = PathBuf::from(v),
+                None => {
+                    eprintln!("--out expects a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--stride" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v > 0 => cfg.eval_stride = v,
+                _ => {
+                    eprintln!("--stride expects a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if experiment.is_none() && !other.starts_with('-') => {
+                experiment = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(experiment) = experiment else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let mut suite = Suite::new(cfg);
+    match run_experiment(&mut suite, &experiment) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! `snv` — command-line front end for the SuperNoVA stack.
+//!
+//! ```text
+//! snv gen <sphere|m3500|cab1|cab2> [--scale F] [--out FILE.g2o]
+//! snv info <FILE.g2o>
+//! snv solve <FILE.g2o | builtin:NAME[@SCALE]> [--solver ra|isam2|local|localglobal]
+//!           [--sets N] [--target MS] [--traj FILE.csv]
+//! ```
+//!
+//! `gen` writes a synthetic workload as g2o; `solve` replays any pose graph
+//! online through a chosen backend, prices it on the SuperNoVA SoC, and
+//! reports latency statistics (plus the estimated trajectory as CSV).
+
+use std::process::ExitCode;
+
+use supernova_core::report::{ms, pct, Table};
+use supernova_core::{run_online, ExperimentConfig, PricingTarget, SolverKind};
+use supernova_datasets::Dataset;
+use supernova_metrics::{miss_rate, BoxStats};
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!("  snv gen <sphere|m3500|cab1|cab2> [--scale F] [--out FILE.g2o]");
+    eprintln!("  snv info <FILE.g2o>");
+    eprintln!("  snv solve <FILE.g2o | builtin:NAME[@SCALE]> [--solver ra|isam2|local|localglobal]");
+    eprintln!("            [--sets N] [--target MS] [--traj FILE.csv]");
+    ExitCode::FAILURE
+}
+
+fn builtin(name: &str, scale: f64) -> Option<Dataset> {
+    Some(match name {
+        "sphere" => Dataset::sphere_scaled(scale),
+        "m3500" => Dataset::m3500_scaled(scale),
+        "cab1" => Dataset::cab1_scaled(scale),
+        "cab2" => Dataset::cab2_scaled(scale),
+        _ => return None,
+    })
+}
+
+fn load(spec: &str) -> Result<Dataset, String> {
+    if let Some(rest) = spec.strip_prefix("builtin:") {
+        let (name, scale) = match rest.split_once('@') {
+            Some((n, s)) => (n, s.parse::<f64>().map_err(|e| e.to_string())?),
+            None => (rest, 1.0),
+        };
+        return builtin(name, scale).ok_or_else(|| format!("unknown builtin dataset `{name}`"));
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| format!("reading {spec}: {e}"))?;
+    Dataset::from_g2o(spec, &text).map_err(|e| e.to_string())
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let scale = flag(&args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(1.0);
+            let Some(ds) = builtin(name, scale) else {
+                eprintln!("unknown dataset `{name}`");
+                return usage();
+            };
+            let out = flag(&args, "--out").unwrap_or_else(|| format!("{name}.g2o"));
+            if let Err(e) = std::fs::write(&out, ds.to_g2o()) {
+                eprintln!("writing {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "{}: {} poses, {} edges ({} loop closures) -> {out}",
+                ds.name(),
+                ds.num_steps(),
+                ds.num_edges(),
+                ds.num_loop_closures()
+            );
+            ExitCode::SUCCESS
+        }
+        Some("info") => {
+            let Some(path) = args.get(1) else { return usage() };
+            match load(path) {
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+                Ok(ds) => {
+                    println!("name:          {}", ds.name());
+                    println!("poses:         {}", ds.num_steps());
+                    println!("edges:         {}", ds.num_edges());
+                    println!("loop closures: {}", ds.num_loop_closures());
+                    println!("kind:          {:?}", ds.kind());
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+        Some("solve") => {
+            let Some(spec) = args.get(1) else { return usage() };
+            let ds = match load(spec) {
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(ds) => ds,
+            };
+            let sets: usize = flag(&args, "--sets").and_then(|s| s.parse().ok()).unwrap_or(2);
+            let target = flag(&args, "--target")
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(|msv| msv / 1e3)
+                .unwrap_or(1.0 / 30.0);
+            let kind = match flag(&args, "--solver").as_deref().unwrap_or("ra") {
+                "ra" => SolverKind::ResourceAware { sets },
+                "isam2" | "incremental" => SolverKind::Incremental,
+                "local" => SolverKind::Local,
+                "localglobal" => SolverKind::LocalGlobal,
+                other => {
+                    eprintln!("unknown solver `{other}`");
+                    return usage();
+                }
+            };
+            let mut solver = kind.build(target, 0.02);
+            let platform = kind.platform();
+            let cfg = ExperimentConfig {
+                pricings: vec![PricingTarget::new(platform.name().to_string(), platform)],
+                eval_stride: 0,
+            };
+            let rec = run_online(&ds, solver.as_mut(), &cfg, None);
+            let totals = rec.totals(0);
+            let s = BoxStats::from_samples(&totals);
+            println!("{} on {} ({} steps):", rec.solver, ds.name(), ds.num_steps());
+            println!("  median {} ms | q3 {} ms | max {} ms", ms(s.median), ms(s.q3), ms(s.max));
+            println!("  target {} ms, miss rate {}", ms(target), pct(miss_rate(&totals, target)));
+            if let Some(path) = flag(&args, "--traj") {
+                let mut csv = Table::new(&["index", "x", "y", "z"]);
+                for (k, v) in solver.estimate().iter() {
+                    let (x, y, z) = match v {
+                        supernova_factors::Variable::Se2(p) => (p.x(), p.y(), 0.0),
+                        supernova_factors::Variable::Se3(p) => {
+                            let t = p.translation();
+                            (t[0], t[1], t[2])
+                        }
+                        supernova_factors::Variable::Vector(_) => continue,
+                    };
+                    csv.row(&[
+                        k.0.to_string(),
+                        format!("{x:.4}"),
+                        format!("{y:.4}"),
+                        format!("{z:.4}"),
+                    ]);
+                }
+                if let Err(e) = csv.write_csv(&path) {
+                    eprintln!("writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("  trajectory -> {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,256 @@
+//! Shared experiment state: datasets, references, and cached solver runs.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use supernova_core::{run_online, ExperimentConfig, PricingTarget, Reference, RunRecord, SolverKind};
+use supernova_datasets::Dataset;
+use supernova_hw::Platform;
+use supernova_runtime::SchedulerConfig;
+
+/// The four evaluation workloads (§5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DatasetId {
+    /// Dense 3-D sphere.
+    Sphere,
+    /// Sparse 2-D Manhattan world.
+    M3500,
+    /// Single AR session.
+    Cab1,
+    /// Concatenated AR sessions.
+    Cab2,
+}
+
+impl DatasetId {
+    /// All datasets in the paper's presentation order.
+    pub const ALL: [DatasetId; 4] = [DatasetId::Sphere, DatasetId::M3500, DatasetId::Cab1, DatasetId::Cab2];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetId::Sphere => "Sphere",
+            DatasetId::M3500 => "M3500",
+            DatasetId::Cab1 => "CAB1",
+            DatasetId::Cab2 => "CAB2",
+        }
+    }
+
+    /// Loads the dataset at `scale` (1.0 = paper size).
+    pub fn load(&self, scale: f64) -> Dataset {
+        match self {
+            DatasetId::Sphere => Dataset::sphere_scaled(scale),
+            DatasetId::M3500 => Dataset::m3500_scaled(scale),
+            DatasetId::Cab1 => Dataset::cab1_scaled(scale),
+            DatasetId::Cab2 => Dataset::cab2_scaled(scale),
+        }
+    }
+
+    /// Default fraction of paper size for a laptop-speed suite run. CAB1 is
+    /// the densest graph per step, so it gets the smallest default.
+    pub fn default_scale(&self) -> f64 {
+        match self {
+            DatasetId::Sphere => 0.25,
+            DatasetId::M3500 => 0.20,
+            DatasetId::Cab1 => 0.60,
+            DatasetId::Cab2 => 0.20,
+        }
+    }
+}
+
+/// Suite options (from the `repro` command line).
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// Scale multiplier applied on top of each dataset's default scale;
+    /// `--full` sets the absolute scale to 1.0.
+    pub scale: Option<f64>,
+    /// Output directory for CSVs.
+    pub out_dir: PathBuf,
+    /// Accuracy evaluation stride in steps.
+    pub eval_stride: usize,
+    /// Per-step deadline (33.3 ms in the paper).
+    pub target_seconds: f64,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            scale: None,
+            out_dir: PathBuf::from("results"),
+            eval_stride: 20,
+            target_seconds: 1.0 / 30.0,
+        }
+    }
+}
+
+/// The canonical pricing set for an Incremental run: every §5.4 hardware
+/// baseline plus the three SuperNoVA SoC configurations, so one execution
+/// serves Figures 8, 9, 10 and 11.
+pub fn incremental_pricings() -> Vec<PricingTarget> {
+    vec![
+        PricingTarget::new("BOOM", Platform::boom()),
+        PricingTarget::new("Mobile CPU", Platform::mobile_cpu()),
+        PricingTarget::new("Mobile DSP", Platform::mobile_dsp()),
+        PricingTarget::new("Server CPU", Platform::server_cpu()),
+        PricingTarget::new("Embedded GPU", Platform::embedded_gpu()),
+        PricingTarget::new("Spatula", Platform::spatula(2)),
+        PricingTarget::new("SuperNoVA-1S", Platform::supernova(1)),
+        PricingTarget::new("SuperNoVA-2S", Platform::supernova(2)),
+        PricingTarget::new("SuperNoVA-4S", Platform::supernova(4)),
+        // Figure 9 ablation points (2 sets).
+        PricingTarget {
+            label: "SN2-serial".into(),
+            platform: Platform::supernova(2),
+            sched: SchedulerConfig::serial(),
+        },
+        PricingTarget {
+            label: "SN2-hetero".into(),
+            platform: Platform::supernova(2),
+            sched: SchedulerConfig { hetero_overlap: true, inter_node: false, intra_node: false },
+        },
+        PricingTarget {
+            label: "SN2-inter".into(),
+            platform: Platform::supernova(2),
+            sched: SchedulerConfig { hetero_overlap: true, inter_node: true, intra_node: false },
+        },
+    ]
+}
+
+/// Pricing for a resource-aware run on its own platform.
+fn ra_pricing(kind: SolverKind) -> Vec<PricingTarget> {
+    vec![PricingTarget::new(kind.label(), kind.platform())]
+}
+
+/// Lazily computed, cached experiment state shared by all `repro`
+/// subcommands in one invocation.
+pub struct Suite {
+    cfg: SuiteConfig,
+    datasets: HashMap<DatasetId, Dataset>,
+    references: HashMap<DatasetId, Reference>,
+    runs: HashMap<(DatasetId, String), RunRecord>,
+}
+
+impl Suite {
+    /// Creates an empty suite.
+    pub fn new(cfg: SuiteConfig) -> Self {
+        Suite { cfg, datasets: HashMap::new(), references: HashMap::new(), runs: HashMap::new() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SuiteConfig {
+        &self.cfg
+    }
+
+    /// Effective scale for a dataset.
+    pub fn scale_of(&self, id: DatasetId) -> f64 {
+        self.cfg.scale.unwrap_or_else(|| id.default_scale()).clamp(1e-3, 1.0)
+    }
+
+    /// The (cached) dataset.
+    pub fn dataset(&mut self, id: DatasetId) -> Dataset {
+        let scale = self.scale_of(id);
+        self.datasets
+            .entry(id)
+            .or_insert_with(|| {
+                let ds = id.load(scale);
+                eprintln!(
+                    "[suite] {} @ scale {:.2}: {} steps, {} edges ({} loop closures)",
+                    id.name(),
+                    scale,
+                    ds.num_steps(),
+                    ds.num_edges(),
+                    ds.num_loop_closures()
+                );
+                ds
+            })
+            .clone()
+    }
+
+    /// The (cached) reference trajectory set.
+    pub fn reference(&mut self, id: DatasetId) -> Reference {
+        if !self.references.contains_key(&id) {
+            let ds = self.dataset(id);
+            let t0 = Instant::now();
+            let r = Reference::compute(&ds, self.cfg.eval_stride);
+            eprintln!(
+                "[suite] reference for {}: {} eval points in {:.1}s",
+                id.name(),
+                r.eval_steps().len(),
+                t0.elapsed().as_secs_f64()
+            );
+            self.references.insert(id, r);
+        }
+        self.references[&id].clone()
+    }
+
+    /// Runs (or returns the cached run of) `kind` on `id`, priced on that
+    /// solver's canonical targets, with accuracy evaluation.
+    pub fn run(&mut self, id: DatasetId, kind: SolverKind) -> RunRecord {
+        let key = (id, kind.label());
+        if let Some(r) = self.runs.get(&key) {
+            return r.clone();
+        }
+        let ds = self.dataset(id);
+        let reference = self.reference(id);
+        let pricings = match kind {
+            SolverKind::Incremental => incremental_pricings(),
+            SolverKind::Local | SolverKind::LocalGlobal => Vec::new(),
+            _ => ra_pricing(kind),
+        };
+        let cfg = ExperimentConfig { pricings, eval_stride: self.cfg.eval_stride };
+        let mut solver = kind.build(self.cfg.target_seconds, 0.02);
+        let t0 = Instant::now();
+        let rec = run_online(&ds, solver.as_mut(), &cfg, Some(&reference));
+        eprintln!(
+            "[suite] {} × {}: {} steps in {:.1}s wall",
+            id.name(),
+            kind.label(),
+            ds.num_steps(),
+            t0.elapsed().as_secs_f64()
+        );
+        self.runs.insert(key.clone(), rec);
+        self.runs[&key].clone()
+    }
+
+    /// Path for an output CSV.
+    pub fn out_path(&self, file: &str) -> PathBuf {
+        self.cfg.out_dir.join(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_load_at_tiny_scale() {
+        let mut suite =
+            Suite::new(SuiteConfig { scale: Some(0.02), ..SuiteConfig::default() });
+        for id in DatasetId::ALL {
+            let ds = suite.dataset(id);
+            assert!(ds.num_steps() > 0, "{} empty", id.name());
+        }
+    }
+
+    #[test]
+    fn runs_are_cached() {
+        let mut suite = Suite::new(SuiteConfig {
+            scale: Some(0.02),
+            eval_stride: 50,
+            ..SuiteConfig::default()
+        });
+        let a = suite.run(DatasetId::M3500, SolverKind::Incremental);
+        let b = suite.run(DatasetId::M3500, SolverKind::Incremental);
+        assert_eq!(a.latencies[0].len(), b.latencies[0].len());
+        assert_eq!(suite.runs.len(), 1);
+    }
+
+    #[test]
+    fn incremental_pricing_covers_all_baselines() {
+        let p = incremental_pricings();
+        let labels: Vec<&str> = p.iter().map(|t| t.label.as_str()).collect();
+        for want in ["BOOM", "Mobile CPU", "Mobile DSP", "Server CPU", "Embedded GPU", "Spatula", "SuperNoVA-2S"] {
+            assert!(labels.contains(&want), "missing {want}");
+        }
+    }
+}

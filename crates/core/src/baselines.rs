@@ -1,0 +1,107 @@
+//! The §5.5 algorithm baseline matrix.
+
+use std::sync::Arc;
+
+use supernova_hw::Platform;
+use supernova_runtime::CostModel;
+use supernova_solvers::{
+    FixedLagConfig, FixedLagSmoother, Isam2, Isam2Config, LocalGlobal, LocalGlobalConfig,
+    OnlineSolver, RaIsam2, RaIsam2Config,
+};
+
+/// Which SLAM backend algorithm to run (§5.5), including the hardware
+/// configuration the resource-aware variants budget against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverKind {
+    /// VIO-style fixed-lag smoother, window 20 (baseline 1).
+    Local,
+    /// Local smoother plus a delayed background loop-closure solver
+    /// (baseline 2).
+    LocalGlobal,
+    /// ISAM2 with a fixed relinearization threshold (baseline 3).
+    Incremental,
+    /// RA-ISAM2 budgeting for `sets` SuperNoVA accelerator sets
+    /// (RA1S/RA2S/RA4S).
+    ResourceAware {
+        /// SuperNoVA accelerator sets available.
+        sets: usize,
+    },
+    /// RA-ISAM2 budgeting for a server CPU (the RACPU ablation).
+    ResourceAwareCpu,
+}
+
+impl SolverKind {
+    /// Label matching the paper's tables.
+    pub fn label(&self) -> String {
+        match self {
+            SolverKind::Local => "Local".into(),
+            SolverKind::LocalGlobal => "Local+Global".into(),
+            SolverKind::Incremental => "In".into(),
+            SolverKind::ResourceAware { sets } => format!("RA{sets}S"),
+            SolverKind::ResourceAwareCpu => "RACPU".into(),
+        }
+    }
+
+    /// The hardware platform this solver's latency is naturally priced on.
+    pub fn platform(&self) -> Platform {
+        match self {
+            SolverKind::ResourceAware { sets } => Platform::supernova(*sets),
+            SolverKind::ResourceAwareCpu => Platform::server_cpu(),
+            _ => Platform::supernova(2),
+        }
+    }
+
+    /// Builds the solver. `target_seconds` bounds the resource-aware
+    /// variants (33.3 ms in the paper); `beta` is the relinearization
+    /// threshold shared by the incremental variants.
+    pub fn build(&self, target_seconds: f64, beta: f64) -> Box<dyn OnlineSolver> {
+        match self {
+            SolverKind::Local => Box::new(FixedLagSmoother::new(FixedLagConfig::default())),
+            SolverKind::LocalGlobal => Box::new(LocalGlobal::new(LocalGlobalConfig::default())),
+            SolverKind::Incremental => {
+                Box::new(Isam2::new(Isam2Config { beta, ..Isam2Config::default() }))
+            }
+            SolverKind::ResourceAware { .. } | SolverKind::ResourceAwareCpu => {
+                let cost = Arc::new(CostModel::new(self.platform()));
+                Box::new(RaIsam2::new(
+                    RaIsam2Config { beta, target_seconds, ..RaIsam2Config::default() },
+                    cost,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_table4_columns() {
+        assert_eq!(SolverKind::Local.label(), "Local");
+        assert_eq!(SolverKind::LocalGlobal.label(), "Local+Global");
+        assert_eq!(SolverKind::Incremental.label(), "In");
+        assert_eq!(SolverKind::ResourceAware { sets: 4 }.label(), "RA4S");
+        assert_eq!(SolverKind::ResourceAwareCpu.label(), "RACPU");
+    }
+
+    #[test]
+    fn builds_every_kind() {
+        for kind in [
+            SolverKind::Local,
+            SolverKind::LocalGlobal,
+            SolverKind::Incremental,
+            SolverKind::ResourceAware { sets: 2 },
+            SolverKind::ResourceAwareCpu,
+        ] {
+            let s = kind.build(1.0 / 30.0, 0.05);
+            assert_eq!(s.num_poses(), 0);
+        }
+    }
+
+    #[test]
+    fn ra_platforms_differ() {
+        assert!(SolverKind::ResourceAware { sets: 2 }.platform().is_accelerated());
+        assert!(!SolverKind::ResourceAwareCpu.platform().is_accelerated());
+    }
+}

@@ -1,0 +1,38 @@
+//! The wired-together SuperNoVA system and the experiment machinery that
+//! regenerates the paper's evaluation.
+//!
+//! - [`SuperNova`] — the headline artifact: RA-ISAM2 over the runtime's
+//!   cost model, priced on the SuperNoVA SoC (Figure 1's full stack);
+//! - [`SolverKind`] — the §5.5 algorithm matrix (Local, Local+Global,
+//!   Incremental, RA × hardware);
+//! - [`Reference`] — optimized-to-convergence reference trajectories
+//!   (§5.3);
+//! - [`run_online`] — the online replay loop: one pose per step, per-step
+//!   latency priced on any number of platforms at once, per-step accuracy
+//!   against the reference;
+//! - [`report`] — plain-text table / CSV helpers used by the `repro`
+//!   binary.
+//!
+//! # Example
+//!
+//! ```
+//! use supernova_core::{SuperNova, SuperNovaConfig};
+//! use supernova_datasets::Dataset;
+//!
+//! let dataset = Dataset::cab1_scaled(0.05);
+//! let mut system = SuperNova::new(SuperNovaConfig::default());
+//! let outcome = system.run_online(&dataset);
+//! assert_eq!(outcome.steps(), dataset.num_steps());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+mod experiment;
+pub mod report;
+mod system;
+
+pub use baselines::SolverKind;
+pub use experiment::{run_online, ErrorSample, ExperimentConfig, PricingTarget, Reference, RunRecord};
+pub use system::{RunOutcome, SuperNova, SuperNovaConfig};

@@ -1,0 +1,178 @@
+//! Plain-text tables and CSV emission for the `repro` harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use supernova_core::report::Table;
+///
+/// let mut t = Table::new(&["dataset", "latency"]);
+/// t.row(&["CAB1", "1.2 ms"]);
+/// let s = t.render();
+/// assert!(s.contains("CAB1"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|s| s.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}", cell, w = widths[c] + 2);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().min(120)));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        let _ = out.pop(); // trailing newline handled by caller
+        out.push('\n');
+        out
+    }
+
+    /// Serializes as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out += &row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",");
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV form to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats seconds as milliseconds with three significant decimals.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.3}", seconds * 1e3)
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats an error in meters with adaptive precision (Table 4 style).
+pub fn err_m(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["x", "1"]).row(&["yyyyy", "2"]);
+        let s = t.render();
+        assert!(s.contains("long-header"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["x,y"]);
+        assert!(t.to_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new(&["a", "b"]).row(&["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(0.001), "1.000");
+        assert_eq!(pct(0.25), "25.0%");
+        assert_eq!(err_m(0.0), "0");
+        assert_eq!(err_m(1.234567), "1.235");
+        assert!(err_m(0.0001).contains('e'));
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("supernova-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new(&["a"]);
+        t.row(&["1"]);
+        let path = dir.join("deep/file.csv");
+        t.write_csv(&path).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

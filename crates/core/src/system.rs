@@ -1,0 +1,171 @@
+//! The assembled SuperNoVA system (Figure 1).
+
+use supernova_datasets::Dataset;
+use supernova_hw::Platform;
+use supernova_metrics::{miss_rate, BoxStats};
+use supernova_runtime::{SchedulerConfig, StepLatency};
+
+use crate::{run_online, ExperimentConfig, PricingTarget, Reference, RunRecord, SolverKind};
+
+/// Configuration of a SuperNoVA deployment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SuperNovaConfig {
+    /// Accelerator sets on the SoC (1/2/4 in the evaluation).
+    pub accel_sets: usize,
+    /// Per-step deadline in seconds (33.3 ms for 30 FPS).
+    pub target_seconds: f64,
+    /// Relinearization relevance threshold β.
+    pub beta: f64,
+    /// Runtime parallelism configuration.
+    pub sched: SchedulerConfig,
+    /// Accuracy evaluation stride (steps).
+    pub eval_stride: usize,
+}
+
+impl Default for SuperNovaConfig {
+    fn default() -> Self {
+        SuperNovaConfig {
+            accel_sets: 2,
+            target_seconds: 1.0 / 30.0,
+            beta: 0.02,
+            sched: SchedulerConfig::default(),
+            eval_stride: 25,
+        }
+    }
+}
+
+/// Summary of one SuperNoVA online run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    record: RunRecord,
+    target: f64,
+}
+
+impl RunOutcome {
+    /// Steps processed.
+    pub fn steps(&self) -> usize {
+        self.record.latencies[0].len()
+    }
+
+    /// Per-step latency breakdowns on the SuperNoVA SoC.
+    pub fn latencies(&self) -> &[StepLatency] {
+        &self.record.latencies[0]
+    }
+
+    /// Fraction of steps that missed the deadline.
+    pub fn miss_rate(&self) -> f64 {
+        miss_rate(&self.record.totals(0), self.target)
+    }
+
+    /// Latency box statistics (the Figure 10 summary).
+    pub fn latency_stats(&self) -> BoxStats {
+        BoxStats::from_samples(&self.record.totals(0))
+    }
+
+    /// Worst per-step maximum translation error (empty-reference runs
+    /// report 0).
+    pub fn max_error(&self) -> f64 {
+        self.record.max_error
+    }
+
+    /// Incremental RMSE (empty-reference runs report 0).
+    pub fn irmse(&self) -> f64 {
+        self.record.irmse
+    }
+
+    /// The full run record.
+    pub fn record(&self) -> &RunRecord {
+        &self.record
+    }
+}
+
+/// The full-stack SuperNoVA system: the RA-ISAM2 algorithm budgeting
+/// against the runtime cost model of a SuperNoVA SoC, with every step
+/// priced on that SoC's scheduler.
+///
+/// # Example
+///
+/// ```
+/// use supernova_core::{SuperNova, SuperNovaConfig};
+/// use supernova_datasets::Dataset;
+///
+/// let mut system = SuperNova::new(SuperNovaConfig { accel_sets: 2, ..Default::default() });
+/// let outcome = system.run_online(&Dataset::cab1_scaled(0.05));
+/// assert!(outcome.miss_rate() <= 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SuperNova {
+    config: SuperNovaConfig,
+    platform: Platform,
+}
+
+impl SuperNova {
+    /// Builds the system for the configured SoC.
+    pub fn new(config: SuperNovaConfig) -> Self {
+        SuperNova { platform: Platform::supernova(config.accel_sets), config }
+    }
+
+    /// The modeled SoC platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SuperNovaConfig {
+        &self.config
+    }
+
+    /// Runs the dataset online without accuracy evaluation.
+    pub fn run_online(&mut self, dataset: &Dataset) -> RunOutcome {
+        self.run(dataset, None)
+    }
+
+    /// Runs the dataset online, evaluating accuracy against `reference`.
+    pub fn run_online_with_reference(
+        &mut self,
+        dataset: &Dataset,
+        reference: &Reference,
+    ) -> RunOutcome {
+        self.run(dataset, Some(reference))
+    }
+
+    fn run(&mut self, dataset: &Dataset, reference: Option<&Reference>) -> RunOutcome {
+        let kind = SolverKind::ResourceAware { sets: self.config.accel_sets };
+        let mut solver = kind.build(self.config.target_seconds, self.config.beta);
+        let cfg = ExperimentConfig {
+            pricings: vec![PricingTarget {
+                label: format!("SuperNoVA-{}S", self.config.accel_sets),
+                platform: self.platform.clone(),
+                sched: self.config.sched,
+            }],
+            eval_stride: self.config.eval_stride,
+        };
+        let record = run_online(dataset, solver.as_mut(), &cfg, reference);
+        RunOutcome { record, target: self.config.target_seconds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meets_deadline_on_small_cab() {
+        let mut sys = SuperNova::new(SuperNovaConfig::default());
+        let ds = Dataset::cab1_scaled(0.15);
+        let out = sys.run_online(&ds);
+        assert_eq!(out.steps(), ds.num_steps());
+        assert_eq!(out.miss_rate(), 0.0, "RA-ISAM2 missed the deadline");
+        assert!(out.latency_stats().max <= 1.0 / 30.0 + 1e-9);
+    }
+
+    #[test]
+    fn accuracy_reported_with_reference() {
+        let ds = Dataset::m3500_scaled(0.02);
+        let r = Reference::compute(&ds, 20);
+        let mut sys = SuperNova::new(SuperNovaConfig { eval_stride: 20, ..Default::default() });
+        let out = sys.run_online_with_reference(&ds, &r);
+        assert!(out.irmse() >= 0.0);
+        assert!(!out.record().errors.is_empty());
+    }
+}

@@ -1,0 +1,273 @@
+//! CAB-style AR-session generator — the LaMAR substitution (DESIGN.md §1).
+//!
+//! LaMAR's CAB scenes are AR headset captures in a multi-floor building;
+//! factors between poses are created by covisibility of common landmarks.
+//! The backend only observes the resulting pose-graph structure, so this
+//! generator reproduces that structure: corridor-loop patrol trajectories
+//! (multiple sessions for CAB2), with covisibility factors between poses
+//! that observe the same space, matched to the published step/edge counts
+//! (CAB1: 464 steps / 2287 edges; CAB2: 3000 steps / 15144 edges).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use supernova_factors::{Rot3, Se3, Variable};
+
+use crate::manhattan::normal;
+use crate::{Dataset, Edge, PoseKind};
+
+const TRANS_SIGMA: f64 = 0.03;
+const ROT_SIGMA: f64 = 0.02;
+const COVIS_TRANS_SIGMA: f64 = 0.06;
+const COVIS_ROT_SIGMA: f64 = 0.03;
+/// Poses within this distance observe common landmarks.
+const SENSE_RADIUS: f64 = 2.5;
+/// Minimum index separation before covisibility counts as a closure.
+const MIN_GAP: usize = 25;
+/// Covisibility factors added per step, at most.
+const MAX_COVIS_PER_STEP: usize = 5;
+/// Probability a covisible pair actually yields a factor.
+const COVIS_PROB: f64 = 0.8;
+
+/// Parameters of one generated CAB scene.
+struct CabParams {
+    steps: usize,
+    sessions: usize,
+    /// Corridor rectangle (width, height) in meters.
+    floor: (f64, f64),
+    seed: u64,
+    name: &'static str,
+}
+
+/// Ground-truth position walking the corridor loop (rectangle perimeter) at
+/// ~1 m/step, with session-specific offset and direction.
+fn patrol_position(step_in_session: usize, session: usize, floor: (f64, f64)) -> (f64, f64, f64) {
+    let (w, h) = floor;
+    let perim = 2.0 * (w + h);
+    let dir = if session % 2 == 0 { 1.0 } else { -1.0 };
+    let offset = perim * (session as f64 * 0.37).fract();
+    let s = (offset + dir * step_in_session as f64).rem_euclid(perim);
+    let (x, y, yaw) = if s < w {
+        (s, 0.0, 0.0)
+    } else if s < w + h {
+        (w, s - w, std::f64::consts::FRAC_PI_2)
+    } else if s < 2.0 * w + h {
+        (2.0 * w + h - s, h, std::f64::consts::PI)
+    } else {
+        (0.0, perim - s, -std::f64::consts::FRAC_PI_2)
+    };
+    (x, y, if dir > 0.0 { yaw } else { yaw + std::f64::consts::PI })
+}
+
+fn noisy_rel(rng: &mut StdRng, a: &Se3, b: &Se3, ts: f64, rs: f64) -> Variable {
+    let rel = a.inverse().compose(b);
+    let xi = [
+        normal(rng) * ts,
+        normal(rng) * ts,
+        normal(rng) * ts * 0.3, // AR rigs drift least vertically
+        normal(rng) * rs,
+        normal(rng) * rs,
+        normal(rng) * rs,
+    ];
+    Variable::Se3(rel.compose(&Se3::exp(&xi)))
+}
+
+fn generate(p: CabParams) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let per_session = p.steps.div_ceil(p.sessions);
+    let mut truth: Vec<Se3> = Vec::with_capacity(p.steps);
+    for i in 0..p.steps {
+        let session = i / per_session;
+        let (x, y, yaw) = patrol_position(i % per_session, session, p.floor);
+        // Small smooth lateral wander and head motion.
+        let wob = (i as f64 * 0.7).sin() * 0.3;
+        let pitch = (i as f64 * 0.31).sin() * 0.1;
+        let rot = Rot3::exp(&[0.0, pitch, yaw]);
+        truth.push(Se3::from_parts([x + wob, y, 1.5 + 0.05 * (i as f64 * 0.13).sin()], rot));
+    }
+
+    let sig = vec![
+        TRANS_SIGMA,
+        TRANS_SIGMA,
+        TRANS_SIGMA,
+        ROT_SIGMA,
+        ROT_SIGMA,
+        ROT_SIGMA,
+    ];
+    let covis_sig = vec![
+        COVIS_TRANS_SIGMA,
+        COVIS_TRANS_SIGMA,
+        COVIS_TRANS_SIGMA,
+        COVIS_ROT_SIGMA,
+        COVIS_ROT_SIGMA,
+        COVIS_ROT_SIGMA,
+    ];
+    let mut edges: Vec<Edge> = Vec::new();
+    // Spatial hash of earlier poses for covisibility lookup.
+    let cell = SENSE_RADIUS;
+    let keyof = |t: &[f64; 3]| ((t[0] / cell).floor() as i64, (t[1] / cell).floor() as i64);
+    let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    buckets.entry(keyof(&truth[0].translation())).or_default().push(0);
+
+    for i in 1..p.steps {
+        edges.push(Edge {
+            from: i - 1,
+            to: i,
+            measurement: noisy_rel(&mut rng, &truth[i - 1], &truth[i], TRANS_SIGMA, ROT_SIGMA),
+            sigmas: sig.clone(),
+        });
+        // Covisibility factors to earlier poses observing the same space.
+        let t = truth[i].translation();
+        let (cx, cy) = keyof(&t);
+        let mut candidates: Vec<usize> = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(v) = buckets.get(&(cx + dx, cy + dy)) {
+                    candidates.extend(v.iter().copied());
+                }
+            }
+        }
+        candidates.retain(|&old| {
+            i - old >= MIN_GAP && truth[old].translation_distance(&truth[i]) <= SENSE_RADIUS
+        });
+        candidates.sort_unstable_by(|&a, &b| b.cmp(&a)); // most recent first
+        let mut added = 0usize;
+        for &old in &candidates {
+            if added >= MAX_COVIS_PER_STEP {
+                break;
+            }
+            if !rng.gen_bool(COVIS_PROB) {
+                continue;
+            }
+            edges.push(Edge {
+                from: old,
+                to: i,
+                measurement: noisy_rel(
+                    &mut rng,
+                    &truth[old],
+                    &truth[i],
+                    COVIS_TRANS_SIGMA,
+                    COVIS_ROT_SIGMA,
+                ),
+                sigmas: covis_sig.clone(),
+            });
+            added += 1;
+        }
+        buckets.entry((cx, cy)).or_default().push(i);
+    }
+    let truth_vars = truth.into_iter().map(Variable::Se3).collect();
+    Dataset::from_parts(p.name, PoseKind::Spatial, truth_vars, edges, 0.01)
+}
+
+impl Dataset {
+    /// CAB1: one AR session patrolling an ~1800 m² floor (paper statistic:
+    /// 464 steps, 2287 edges).
+    pub fn cab1() -> Dataset {
+        generate(CabParams {
+            steps: 464,
+            sessions: 3,
+            floor: (48.0, 22.0),
+            seed: 0xcab1,
+            name: "CAB1",
+        })
+    }
+
+    /// CAB1 scaled to `fraction` of its steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn cab1_scaled(fraction: f64) -> Dataset {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        generate(CabParams {
+            steps: ((464.0 * fraction) as usize).max(4),
+            sessions: 3,
+            floor: (48.0, 22.0),
+            seed: 0xcab1,
+            name: "CAB1",
+        })
+    }
+
+    /// CAB2: concatenated AR sessions over an ~6000 m² range forming an
+    /// extremely long trajectory with dense cross-session covisibility
+    /// (paper statistic: 3000 steps, 15144 edges).
+    pub fn cab2() -> Dataset {
+        generate(CabParams {
+            steps: 3000,
+            sessions: 10,
+            floor: (80.0, 45.0),
+            seed: 0xcab2,
+            name: "CAB2",
+        })
+    }
+
+    /// CAB2 scaled to `fraction` of its steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn cab2_scaled(fraction: f64) -> Dataset {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        generate(CabParams {
+            steps: ((3000.0 * fraction) as usize).max(4),
+            sessions: 10,
+            floor: (80.0, 45.0),
+            seed: 0xcab2,
+            name: "CAB2",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cab1_statistics_match_paper_band() {
+        let ds = Dataset::cab1();
+        assert_eq!(ds.num_steps(), 464);
+        let e = ds.num_edges();
+        // Paper: 2287. Accept ±35 %.
+        assert!((1400..=3200).contains(&e), "CAB1 edges {e} out of band");
+    }
+
+    #[test]
+    fn cab2_statistics_match_paper_band() {
+        let ds = Dataset::cab2();
+        assert_eq!(ds.num_steps(), 3000);
+        let e = ds.num_edges();
+        // Paper: 15144. Accept ±35 %.
+        assert!((9800..=20500).contains(&e), "CAB2 edges {e} out of band");
+    }
+
+    #[test]
+    fn covisibility_requires_proximity() {
+        let ds = Dataset::cab1();
+        for e in ds.edges().iter().filter(|e| e.is_loop_closure()).take(200) {
+            let a = ds.ground_truth()[e.from].as_se3().unwrap();
+            let b = ds.ground_truth()[e.to].as_se3().unwrap();
+            assert!(a.translation_distance(b) <= SENSE_RADIUS + 1e-9);
+            assert!(e.to - e.from >= MIN_GAP);
+        }
+    }
+
+    #[test]
+    fn cab2_has_cross_session_closures() {
+        let ds = Dataset::cab2_scaled(0.4);
+        let per_session = 3000usize.div_ceil(10);
+        let cross = ds
+            .edges()
+            .iter()
+            .filter(|e| e.is_loop_closure() && e.from / per_session != e.to / per_session)
+            .count();
+        assert!(cross > 0, "expected cross-session covisibility factors");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Dataset::cab1_scaled(0.2);
+        let b = Dataset::cab1_scaled(0.2);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

@@ -1,0 +1,330 @@
+//! g2o pose-graph file IO (`VERTEX_SE2`/`EDGE_SE2` and
+//! `VERTEX_SE3:QUAT`/`EDGE_SE3:QUAT`), so the real M3500/Sphere/LaMAR files
+//! can be dropped in place of the synthetic generators.
+
+use std::error::Error;
+use std::fmt;
+
+use supernova_factors::{Rot3, Se2, Se3, Variable};
+use supernova_linalg::Mat;
+
+use crate::{Dataset, Edge, PoseKind};
+
+/// A g2o file could not be parsed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct G2oParseError {
+    line: usize,
+    message: String,
+}
+
+impl G2oParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        G2oParseError { line, message: message.into() }
+    }
+
+    /// 1-based line number of the offending record.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for G2oParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g2o parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for G2oParseError {}
+
+/// Unit quaternion (x, y, z, w) of a rotation matrix (Shepperd's method).
+fn rot3_to_quat(r: &Rot3) -> [f64; 4] {
+    let m = r.matrix();
+    let trace = m[(0, 0)] + m[(1, 1)] + m[(2, 2)];
+    if trace > 0.0 {
+        let s = (trace + 1.0).sqrt() * 2.0;
+        [
+            (m[(2, 1)] - m[(1, 2)]) / s,
+            (m[(0, 2)] - m[(2, 0)]) / s,
+            (m[(1, 0)] - m[(0, 1)]) / s,
+            0.25 * s,
+        ]
+    } else if m[(0, 0)] > m[(1, 1)] && m[(0, 0)] > m[(2, 2)] {
+        let s = (1.0 + m[(0, 0)] - m[(1, 1)] - m[(2, 2)]).sqrt() * 2.0;
+        [
+            0.25 * s,
+            (m[(0, 1)] + m[(1, 0)]) / s,
+            (m[(0, 2)] + m[(2, 0)]) / s,
+            (m[(2, 1)] - m[(1, 2)]) / s,
+        ]
+    } else if m[(1, 1)] > m[(2, 2)] {
+        let s = (1.0 + m[(1, 1)] - m[(0, 0)] - m[(2, 2)]).sqrt() * 2.0;
+        [
+            (m[(0, 1)] + m[(1, 0)]) / s,
+            0.25 * s,
+            (m[(1, 2)] + m[(2, 1)]) / s,
+            (m[(0, 2)] - m[(2, 0)]) / s,
+        ]
+    } else {
+        let s = (1.0 + m[(2, 2)] - m[(0, 0)] - m[(1, 1)]).sqrt() * 2.0;
+        [
+            (m[(0, 2)] + m[(2, 0)]) / s,
+            (m[(1, 2)] + m[(2, 1)]) / s,
+            0.25 * s,
+            (m[(1, 0)] - m[(0, 1)]) / s,
+        ]
+    }
+}
+
+/// Rotation matrix of a unit quaternion (x, y, z, w).
+fn quat_to_rot3(q: [f64; 4]) -> Rot3 {
+    let [x, y, z, w] = q;
+    let n = (x * x + y * y + z * z + w * w).sqrt();
+    let (x, y, z, w) = (x / n, y / n, z / n, w / n);
+    let mut m = Mat::zeros(3, 3);
+    m[(0, 0)] = 1.0 - 2.0 * (y * y + z * z);
+    m[(0, 1)] = 2.0 * (x * y - z * w);
+    m[(0, 2)] = 2.0 * (x * z + y * w);
+    m[(1, 0)] = 2.0 * (x * y + z * w);
+    m[(1, 1)] = 1.0 - 2.0 * (x * x + z * z);
+    m[(1, 2)] = 2.0 * (y * z - x * w);
+    m[(2, 0)] = 2.0 * (x * z - y * w);
+    m[(2, 1)] = 2.0 * (y * z + x * w);
+    m[(2, 2)] = 1.0 - 2.0 * (x * x + y * y);
+    Rot3::from_matrix(m)
+}
+
+/// Inverts a pose variable.
+fn invert(v: &Variable) -> Variable {
+    match v {
+        Variable::Se2(p) => Variable::Se2(p.inverse()),
+        Variable::Se3(p) => Variable::Se3(p.inverse()),
+        Variable::Vector(x) => Variable::Vector(x.iter().map(|a| -a).collect()),
+    }
+}
+
+impl Dataset {
+    /// Serializes the dataset in g2o format.
+    pub fn to_g2o(&self) -> String {
+        let mut out = String::new();
+        for (i, v) in self.ground_truth().iter().enumerate() {
+            match v {
+                Variable::Se2(p) => {
+                    out += &format!("VERTEX_SE2 {i} {} {} {}\n", p.x(), p.y(), p.theta());
+                }
+                Variable::Se3(p) => {
+                    let t = p.translation();
+                    let q = rot3_to_quat(p.rotation());
+                    out += &format!(
+                        "VERTEX_SE3:QUAT {i} {} {} {} {} {} {} {}\n",
+                        t[0], t[1], t[2], q[0], q[1], q[2], q[3]
+                    );
+                }
+                Variable::Vector(_) => {}
+            }
+        }
+        for e in self.edges() {
+            match &e.measurement {
+                Variable::Se2(p) => {
+                    let info: Vec<f64> = e.sigmas.iter().map(|s| 1.0 / (s * s)).collect();
+                    out += &format!(
+                        "EDGE_SE2 {} {} {} {} {} {} 0 0 {} 0 {}\n",
+                        e.from,
+                        e.to,
+                        p.x(),
+                        p.y(),
+                        p.theta(),
+                        info[0],
+                        info[1],
+                        info[2],
+                    );
+                }
+                Variable::Se3(p) => {
+                    let t = p.translation();
+                    let q = rot3_to_quat(p.rotation());
+                    let info: Vec<f64> = e.sigmas.iter().map(|s| 1.0 / (s * s)).collect();
+                    // Upper-triangular 6×6 information matrix, diagonal only.
+                    let mut tri = String::new();
+                    for r in 0..6 {
+                        for c in r..6 {
+                            tri += if r == c { &" " } else { &" " };
+                            tri += &if r == c { info[r].to_string() } else { "0".to_string() };
+                        }
+                    }
+                    out += &format!(
+                        "EDGE_SE3:QUAT {} {} {} {} {} {} {} {} {}{}\n",
+                        e.from, e.to, t[0], t[1], t[2], q[0], q[1], q[2], q[3], tri
+                    );
+                }
+                Variable::Vector(_) => {}
+            }
+        }
+        out
+    }
+
+    /// Parses a dataset from g2o text. The vertex values become the
+    /// ground-truth trajectory (as the paper does, the *reference* for
+    /// evaluation is re-optimized anyway).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`G2oParseError`] on malformed records.
+    pub fn from_g2o(name: impl Into<String>, text: &str) -> Result<Dataset, G2oParseError> {
+        let mut vertices: Vec<(usize, Variable)> = Vec::new();
+        let mut raw_edges: Vec<(usize, usize, Variable, Vec<f64>)> = Vec::new();
+        let mut kind = None;
+        for (ln, line) in text.lines().enumerate() {
+            let ln1 = ln + 1;
+            let mut it = line.split_whitespace();
+            let tag = match it.next() {
+                None => continue,
+                Some(t) => t,
+            };
+            let nums: Result<Vec<f64>, _> = it
+                .clone()
+                .skip(match tag {
+                    "VERTEX_SE2" | "VERTEX_SE3:QUAT" => 1,
+                    "EDGE_SE2" | "EDGE_SE3:QUAT" => 2,
+                    _ => 0,
+                })
+                .map(str::parse::<f64>)
+                .collect();
+            let ids: Vec<usize> = it
+                .take(2)
+                .map(|s| s.parse::<usize>().unwrap_or(usize::MAX))
+                .collect();
+            match tag {
+                "VERTEX_SE2" => {
+                    kind = Some(PoseKind::Planar);
+                    let v = nums.map_err(|e| G2oParseError::new(ln1, e.to_string()))?;
+                    if v.len() < 3 || ids.is_empty() || ids[0] == usize::MAX {
+                        return Err(G2oParseError::new(ln1, "malformed VERTEX_SE2"));
+                    }
+                    vertices.push((ids[0], Variable::Se2(Se2::new(v[0], v[1], v[2]))));
+                }
+                "VERTEX_SE3:QUAT" => {
+                    kind = Some(PoseKind::Spatial);
+                    let v = nums.map_err(|e| G2oParseError::new(ln1, e.to_string()))?;
+                    if v.len() < 7 || ids.is_empty() || ids[0] == usize::MAX {
+                        return Err(G2oParseError::new(ln1, "malformed VERTEX_SE3:QUAT"));
+                    }
+                    let rot = quat_to_rot3([v[3], v[4], v[5], v[6]]);
+                    vertices.push((ids[0], Variable::Se3(Se3::from_parts([v[0], v[1], v[2]], rot))));
+                }
+                "EDGE_SE2" => {
+                    let v = nums.map_err(|e| G2oParseError::new(ln1, e.to_string()))?;
+                    if v.len() < 9 || ids.len() < 2 || ids.contains(&usize::MAX) {
+                        return Err(G2oParseError::new(ln1, "malformed EDGE_SE2"));
+                    }
+                    let meas = Variable::Se2(Se2::new(v[0], v[1], v[2]));
+                    // Info upper triangle (3×3): diag at offsets 3, 6, 8.
+                    let sig = [v[3], v[6], v[8]]
+                        .iter()
+                        .map(|&i| if i > 0.0 { 1.0 / i.sqrt() } else { 1.0 })
+                        .collect();
+                    raw_edges.push((ids[0], ids[1], meas, sig));
+                }
+                "EDGE_SE3:QUAT" => {
+                    let v = nums.map_err(|e| G2oParseError::new(ln1, e.to_string()))?;
+                    if v.len() < 28 || ids.len() < 2 || ids.contains(&usize::MAX) {
+                        return Err(G2oParseError::new(ln1, "malformed EDGE_SE3:QUAT"));
+                    }
+                    let rot = quat_to_rot3([v[3], v[4], v[5], v[6]]);
+                    let meas = Variable::Se3(Se3::from_parts([v[0], v[1], v[2]], rot));
+                    // Info upper triangle (6×6): diag at 7+0, 7+6, 7+11, 7+15, 7+18, 7+20.
+                    let sig = [v[7], v[13], v[18], v[22], v[25], v[27]]
+                        .iter()
+                        .map(|&i| if i > 0.0 { 1.0 / i.sqrt() } else { 1.0 })
+                        .collect();
+                    raw_edges.push((ids[0], ids[1], meas, sig));
+                }
+                _ => {} // skip unknown records (FIX, etc.)
+            }
+        }
+        vertices.sort_by_key(|&(id, _)| id);
+        for (expect, &(id, _)) in vertices.iter().enumerate() {
+            if id != expect {
+                return Err(G2oParseError::new(0, format!("vertex ids not dense at {id}")));
+            }
+        }
+        let truth: Vec<Variable> = vertices.into_iter().map(|(_, v)| v).collect();
+        let edges = raw_edges
+            .into_iter()
+            .map(|(a, b, meas, sigmas)| {
+                if a < b {
+                    Edge { from: a, to: b, measurement: meas, sigmas }
+                } else {
+                    Edge { from: b, to: a, measurement: invert(&meas), sigmas }
+                }
+            })
+            .collect();
+        Ok(Dataset::from_parts(
+            name,
+            kind.unwrap_or(PoseKind::Planar),
+            truth,
+            edges,
+            0.01,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quat_roundtrip() {
+        for w in [[0.1, 0.2, 0.3], [2.0, -1.0, 0.5], [0.0, 0.0, 0.0], [3.0, 0.0, 0.0]] {
+            let r = Rot3::exp(&w);
+            let q = rot3_to_quat(&r);
+            let r2 = quat_to_rot3(q);
+            let d = r.inverse().compose(&r2).log();
+            assert!(d.iter().all(|x| x.abs() < 1e-9), "{w:?} -> {d:?}");
+        }
+    }
+
+    #[test]
+    fn se2_g2o_roundtrip() {
+        let ds = Dataset::m3500_scaled(0.02);
+        let text = ds.to_g2o();
+        let back = Dataset::from_g2o("back", &text).unwrap();
+        assert_eq!(back.num_steps(), ds.num_steps());
+        assert_eq!(back.num_edges(), ds.num_edges());
+        let a = ds.ground_truth()[10].as_se2().copied().unwrap();
+        let b = back.ground_truth()[10].as_se2().copied().unwrap();
+        assert!(a.translation_distance(&b) < 1e-9);
+    }
+
+    #[test]
+    fn se3_g2o_roundtrip() {
+        let ds = Dataset::sphere_scaled(0.02);
+        let text = ds.to_g2o();
+        let back = Dataset::from_g2o("back", &text).unwrap();
+        assert_eq!(back.num_steps(), ds.num_steps());
+        assert_eq!(back.num_edges(), ds.num_edges());
+        let a = ds.ground_truth()[5].as_se3().unwrap().clone();
+        let b = back.ground_truth()[5].as_se3().unwrap().clone();
+        assert!(a.translation_distance(&b) < 1e-9);
+        // Edge measurements survive too.
+        let ea = ds.edges()[3].measurement.as_se3().unwrap().clone();
+        let eb = back.edges()[3].measurement.as_se3().unwrap().clone();
+        assert!(ea.translation_distance(&eb) < 1e-9);
+    }
+
+    #[test]
+    fn reversed_edges_are_normalized() {
+        let text = "VERTEX_SE2 0 0 0 0\nVERTEX_SE2 1 1 0 0\nEDGE_SE2 1 0 -1 0 0 100 0 0 100 0 100\n";
+        let ds = Dataset::from_g2o("rev", text).unwrap();
+        assert_eq!(ds.edges()[0].from, 0);
+        assert_eq!(ds.edges()[0].to, 1);
+        let m = ds.edges()[0].measurement.as_se2().copied().unwrap();
+        assert!((m.x() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "VERTEX_SE2 0 0 0\n";
+        let err = Dataset::from_g2o("bad", text).unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Pose-graph dataset generators and g2o IO for the SuperNoVA evaluation.
+//!
+//! The paper evaluates on four large-scale pose-graph workloads (§5.2):
+//!
+//! | Dataset | Steps | Edges | Character |
+//! |---|---|---|---|
+//! | [`Dataset::m3500`] | 3500 | ~5453 | sparse 2-D Manhattan world, many small supernodes |
+//! | [`Dataset::sphere`] | 2500 | ~4949 | dense 3-D sphere, high rotational noise, large supernodes |
+//! | [`Dataset::cab1`] | 464 | ~2287 | one AR session, 1800 m² indoor range |
+//! | [`Dataset::cab2`] | 3000 | ~15144 | concatenated AR sessions, covisibility factors |
+//!
+//! M3500 and Sphere are synthetic in the paper too; the CAB datasets
+//! substitute the LaMAR capture with a statistics-matched synthetic
+//! multi-session AR trajectory generator (see DESIGN.md §1 — the backend
+//! only observes the pose-graph structure, which is matched). All
+//! generators are seeded and deterministic. Real g2o files can be loaded
+//! with [`Dataset::from_g2o`].
+//!
+//! To simulate online SLAM, a new pose is added at each step along with all
+//! its associated factors ([`Dataset::online_steps`]).
+//!
+//! # Example
+//!
+//! ```
+//! use supernova_datasets::Dataset;
+//!
+//! let ds = Dataset::m3500_scaled(0.02); // 70-step miniature
+//! assert_eq!(ds.num_steps(), 70);
+//! let steps = ds.online_steps();
+//! assert!(steps[1].factors.len() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cab;
+mod g2o;
+mod manhattan;
+mod sphere;
+mod types;
+
+pub use g2o::G2oParseError;
+pub use types::{Dataset, Edge, OnlineStep, PoseKind};

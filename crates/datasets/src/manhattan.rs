@@ -1,0 +1,184 @@
+//! M3500-style Manhattan-world generator: a sparse 2-D grid random walk
+//! with proximity loop closures — many small supernodes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use supernova_factors::{Se2, Variable};
+
+use crate::{Dataset, Edge, PoseKind};
+
+/// Samples a standard normal via Box–Muller (rand 0.8 core has no normal
+/// distribution and the dependency policy excludes rand_distr).
+pub(crate) fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+const TRANS_SIGMA: f64 = 0.10;
+const ROT_SIGMA: f64 = 0.10;
+const LC_TRANS_SIGMA: f64 = 0.12;
+const LC_ROT_SIGMA: f64 = 0.07;
+/// Minimum time separation before a revisit counts as a loop closure.
+const MIN_GAP: usize = 40;
+/// Probability of emitting a loop closure on a revisit.
+const LC_PROB: f64 = 0.75;
+/// Maximum loop closures per step.
+const MAX_LC_PER_STEP: usize = 2;
+
+fn noisy_se2(rng: &mut StdRng, truth: Se2, ts: f64, rs: f64) -> Variable {
+    let xi = [normal(rng) * ts, normal(rng) * ts, normal(rng) * rs];
+    Variable::Se2(truth.compose(Se2::exp(&xi)))
+}
+
+/// Generates a Manhattan-world dataset with `steps` poses.
+pub(crate) fn generate(steps: usize, seed: u64) -> Dataset {
+    assert!(steps >= 2, "need at least two poses");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Grid side scaled so the walk revisits cells at roughly the M3500 rate.
+    let side = ((steps as f64).sqrt() * 0.8).ceil().max(4.0) as i64;
+
+    let mut truth: Vec<Se2> = Vec::with_capacity(steps);
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut cell_history: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+
+    let (mut x, mut y) = (side / 2, side / 2);
+    let mut heading = 0usize; // 0:+x 1:+y 2:−x 3:−y
+    let dirs = [(1i64, 0i64), (0, 1), (-1, 0), (0, -1)];
+    for i in 0..steps {
+        truth.push(Se2::new(x as f64, y as f64, heading as f64 * std::f64::consts::FRAC_PI_2));
+        cell_history.entry((x, y)).or_default().push(i);
+        if i + 1 == steps {
+            break;
+        }
+        // Random 90° turns; forced turn at the walls.
+        if rng.gen_bool(0.3) {
+            heading = (heading + if rng.gen_bool(0.5) { 1 } else { 3 }) % 4;
+        }
+        for _ in 0..4 {
+            let (dx, dy) = dirs[heading];
+            let (nx, ny) = (x + dx, y + dy);
+            if nx >= 0 && ny >= 0 && nx < side && ny < side {
+                x = nx;
+                y = ny;
+                break;
+            }
+            heading = (heading + 1) % 4;
+        }
+        // Odometry edge i → i+1.
+        let rel = truth[i].inverse().compose(Se2::new(
+            x as f64,
+            y as f64,
+            heading as f64 * std::f64::consts::FRAC_PI_2,
+        ));
+        edges.push(Edge {
+            from: i,
+            to: i + 1,
+            measurement: noisy_se2(&mut rng, rel, TRANS_SIGMA, ROT_SIGMA),
+            sigmas: vec![TRANS_SIGMA, TRANS_SIGMA, ROT_SIGMA],
+        });
+        // Loop closures against earlier visits of the arrival cell.
+        let arrived = i + 1;
+        let mut added = 0usize;
+        if let Some(hist) = cell_history.get(&(x, y)) {
+            for &old in hist.iter().rev() {
+                if added >= MAX_LC_PER_STEP {
+                    break;
+                }
+                if arrived - old < MIN_GAP {
+                    continue;
+                }
+                if !rng.gen_bool(LC_PROB) {
+                    continue;
+                }
+                let rel = truth[old].inverse().compose(Se2::new(
+                    x as f64,
+                    y as f64,
+                    heading as f64 * std::f64::consts::FRAC_PI_2,
+                ));
+                edges.push(Edge {
+                    from: old,
+                    to: arrived,
+                    measurement: noisy_se2(&mut rng, rel, LC_TRANS_SIGMA, LC_ROT_SIGMA),
+                    sigmas: vec![LC_TRANS_SIGMA, LC_TRANS_SIGMA, LC_ROT_SIGMA],
+                });
+                added += 1;
+            }
+        }
+    }
+    let truth_vars = truth.into_iter().map(Variable::Se2).collect();
+    Dataset::from_parts(format!("M{steps}"), PoseKind::Planar, truth_vars, edges, 0.01)
+}
+
+impl Dataset {
+    /// The M3500-class workload: 3500 steps of a 2-D Manhattan-world walk
+    /// with proximity loop closures (paper statistic: 5453 edges).
+    pub fn m3500() -> Dataset {
+        generate(3500, 0x4d3500)
+    }
+
+    /// M3500 scaled to `fraction` of its steps (for quick runs and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn m3500_scaled(fraction: f64) -> Dataset {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        generate(((3500.0 * fraction) as usize).max(2), 0x4d3500)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_statistics_match_paper() {
+        let ds = Dataset::m3500();
+        assert_eq!(ds.num_steps(), 3500);
+        let edges = ds.num_edges();
+        // Paper: 5453 edges. Accept the generator within ±25 %.
+        assert!((4000..=7000).contains(&edges), "edge count {edges} out of band");
+        assert!(ds.num_loop_closures() > 500, "too few loop closures");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate(200, 7);
+        let b = generate(200, 7);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let pa = a.ground_truth()[150].as_se2().copied().unwrap();
+        let pb = b.ground_truth()[150].as_se2().copied().unwrap();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(300, 1);
+        let b = generate(300, 2);
+        let pa = a.ground_truth()[299].as_se2().copied().unwrap();
+        let pb = b.ground_truth()[299].as_se2().copied().unwrap();
+        assert!(pa != pb || a.num_edges() != b.num_edges());
+    }
+
+    #[test]
+    fn odometry_edges_connect_consecutive_poses() {
+        let ds = generate(100, 3);
+        let odo = ds.edges().iter().filter(|e| !e.is_loop_closure()).count();
+        assert_eq!(odo, 99);
+    }
+
+    #[test]
+    fn measurements_are_near_truth_relatives() {
+        let ds = generate(150, 5);
+        for e in ds.edges().iter().take(50) {
+            let a = ds.ground_truth()[e.from].as_se2().copied().unwrap();
+            let b = ds.ground_truth()[e.to].as_se2().copied().unwrap();
+            let rel = a.inverse().compose(b);
+            let meas = e.measurement.as_se2().copied().unwrap();
+            assert!(rel.translation_distance(&meas) < 0.5, "noise too large");
+        }
+    }
+}

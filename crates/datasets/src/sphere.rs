@@ -1,0 +1,171 @@
+//! Sphere generator: a dense 3-D pose graph winding around a sphere in
+//! rings, with a loop closure to the previous ring at every step — high
+//! rotational noise and large supernodes (the banded structure keeps whole
+//! rings in each front).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use supernova_factors::{Rot3, Se3, Variable};
+use supernova_linalg::Mat;
+
+use crate::manhattan::normal;
+use crate::{Dataset, Edge, PoseKind};
+
+const RADIUS: f64 = 10.0;
+const TRANS_SIGMA: f64 = 0.05;
+/// "High rotational noise" (§5.2).
+const ROT_SIGMA: f64 = 0.18;
+
+/// Ground-truth pose `i` on a sphere of `rings` rings of `ring_len` poses.
+fn pose_on_sphere(i: usize, ring_len: usize, rings: usize) -> Se3 {
+    let ring = i / ring_len;
+    let along = i % ring_len;
+    let phi = std::f64::consts::PI * (ring as f64 + 1.0) / (rings as f64 + 1.0);
+    let theta = 2.0 * std::f64::consts::PI * along as f64 / ring_len as f64;
+    let p = [
+        RADIUS * phi.sin() * theta.cos(),
+        RADIUS * phi.sin() * theta.sin(),
+        RADIUS * phi.cos(),
+    ];
+    // Forward along the ring, up radially outward.
+    let fwd = [-theta.sin(), theta.cos(), 0.0];
+    let up = [p[0] / RADIUS, p[1] / RADIUS, p[2] / RADIUS];
+    // left = up × fwd
+    let left = [
+        up[1] * fwd[2] - up[2] * fwd[1],
+        up[2] * fwd[0] - up[0] * fwd[2],
+        up[0] * fwd[1] - up[1] * fwd[0],
+    ];
+    let mut m = Mat::zeros(3, 3);
+    for r in 0..3 {
+        m[(r, 0)] = fwd[r];
+        m[(r, 1)] = left[r];
+        m[(r, 2)] = up[r];
+    }
+    Se3::from_parts(p, Rot3::from_matrix(m).normalized())
+}
+
+fn noisy_rel(rng: &mut StdRng, a: &Se3, b: &Se3, ts: f64, rs: f64) -> Variable {
+    let rel = a.inverse().compose(b);
+    let xi = [
+        normal(rng) * ts,
+        normal(rng) * ts,
+        normal(rng) * ts,
+        normal(rng) * rs,
+        normal(rng) * rs,
+        normal(rng) * rs,
+    ];
+    Variable::Se3(rel.compose(&Se3::exp(&xi)))
+}
+
+/// Generates a sphere dataset with roughly `steps` poses.
+pub(crate) fn generate(steps: usize, seed: u64) -> Dataset {
+    assert!(steps >= 4, "need at least four poses");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // ring_len ≈ √steps keeps the paper's every-step vertical loop closure
+    // count: edges = (n−1) odometry + (n−ring_len) closures.
+    let ring_len = ((steps as f64).sqrt().round() as usize).max(2);
+    let rings = steps.div_ceil(ring_len);
+    let n = rings * ring_len;
+
+    let truth: Vec<Se3> = (0..n).map(|i| pose_on_sphere(i, ring_len, rings)).collect();
+    let mut edges = Vec::with_capacity(2 * n);
+    let sig = vec![
+        TRANS_SIGMA,
+        TRANS_SIGMA,
+        TRANS_SIGMA,
+        ROT_SIGMA,
+        ROT_SIGMA,
+        ROT_SIGMA,
+    ];
+    for i in 1..n {
+        edges.push(Edge {
+            from: i - 1,
+            to: i,
+            measurement: noisy_rel(&mut rng, &truth[i - 1], &truth[i], TRANS_SIGMA, ROT_SIGMA),
+            sigmas: sig.clone(),
+        });
+        if i >= ring_len {
+            edges.push(Edge {
+                from: i - ring_len,
+                to: i,
+                measurement: noisy_rel(
+                    &mut rng,
+                    &truth[i - ring_len],
+                    &truth[i],
+                    TRANS_SIGMA,
+                    ROT_SIGMA,
+                ),
+                sigmas: sig.clone(),
+            });
+        }
+    }
+    let truth_vars = truth.into_iter().map(Variable::Se3).collect();
+    Dataset::from_parts(format!("Sphere{n}"), PoseKind::Spatial, truth_vars, edges, 0.01)
+}
+
+impl Dataset {
+    /// The Sphere workload: 2500 poses in 50 rings with a vertical loop
+    /// closure at every step (paper statistic: 2.5K steps, 4949 edges).
+    pub fn sphere() -> Dataset {
+        generate(2500, 0x59e8e5)
+    }
+
+    /// Sphere scaled to `fraction` of its steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn sphere_scaled(fraction: f64) -> Dataset {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        generate(((2500.0 * fraction) as usize).max(4), 0x59e8e5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_statistics() {
+        let ds = Dataset::sphere();
+        assert_eq!(ds.num_steps(), 2500);
+        // (n−1) + (n−ring_len) with ring_len = 50: 2499 + 2450 = 4949,
+        // exactly the paper's edge count.
+        assert_eq!(ds.num_edges(), 4949);
+        assert_eq!(ds.num_loop_closures(), 2450);
+    }
+
+    #[test]
+    fn poses_lie_on_the_sphere() {
+        let ds = generate(100, 1);
+        for v in ds.ground_truth() {
+            let t = v.as_se3().unwrap().translation();
+            let r = (t[0] * t[0] + t[1] * t[1] + t[2] * t[2]).sqrt();
+            assert!((r - RADIUS).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn orientations_are_orthonormal() {
+        let ds = generate(64, 2);
+        for v in ds.ground_truth().iter().step_by(7) {
+            let r = v.as_se3().unwrap().rotation();
+            let i = r.compose(&r.inverse());
+            for a in 0..3 {
+                assert!((i.matrix()[(a, a)] - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn every_late_step_has_a_loop_closure() {
+        let ds = generate(100, 3);
+        let ring_len = 10;
+        let steps = ds.online_steps();
+        for (i, s) in steps.iter().enumerate().skip(ring_len) {
+            assert!(s.factors.len() >= 2, "step {i} lacks its ring closure");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Variable keys.
+
+use std::fmt;
+
+/// Identifies one variable (pose or landmark) in a [`Values`] container and
+/// a [`FactorGraph`].
+///
+/// Keys are dense indices assigned in insertion order, which for online SLAM
+/// coincides with time order — the natural elimination ordering the
+/// incremental solvers use.
+///
+/// [`Values`]: crate::Values
+/// [`FactorGraph`]: crate::FactorGraph
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Key(pub usize);
+
+impl Key {
+    /// The dense index of this key.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for Key {
+    fn from(i: usize) -> Self {
+        Key(i)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip_and_display() {
+        let k = Key::from(7);
+        assert_eq!(k.index(), 7);
+        assert_eq!(k.to_string(), "x7");
+        assert!(Key(1) < Key(2));
+    }
+}

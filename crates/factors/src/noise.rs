@@ -1,0 +1,170 @@
+//! Gaussian noise models.
+
+use supernova_linalg::Mat;
+
+/// A Gaussian measurement noise model, stored as the square-root information
+/// (whitening) diagonal.
+///
+/// Whitening maps a raw residual `r` and Jacobian `J` to `Σ^{-1/2} r` and
+/// `Σ^{-1/2} J`, so the whitened least-squares problem carries unit
+/// covariance — the form Equation (2) of the paper assumes.
+///
+/// # Example
+///
+/// ```
+/// use supernova_factors::NoiseModel;
+///
+/// let n = NoiseModel::from_sigmas(&[0.1, 0.2]);
+/// let w = n.whiten(&[0.1, 0.2]);
+/// assert!((w[0] - 1.0).abs() < 1e-12);
+/// assert!((w[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct NoiseModel {
+    sqrt_info: Vec<f64>,
+    huber_k: Option<f64>,
+}
+
+impl NoiseModel {
+    /// Isotropic noise: `dim` dimensions with standard deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0`.
+    pub fn isotropic(dim: usize, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        NoiseModel { sqrt_info: vec![1.0 / sigma; dim], huber_k: None }
+    }
+
+    /// Diagonal noise from per-dimension standard deviations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sigma is not positive.
+    pub fn from_sigmas(sigmas: &[f64]) -> Self {
+        assert!(sigmas.iter().all(|&s| s > 0.0), "sigmas must be positive");
+        NoiseModel { sqrt_info: sigmas.iter().map(|s| 1.0 / s).collect(), huber_k: None }
+    }
+
+    /// Diagonal noise from per-dimension precisions (`1/σ²`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any precision is not positive.
+    pub fn from_precisions(precisions: &[f64]) -> Self {
+        assert!(precisions.iter().all(|&p| p > 0.0), "precisions must be positive");
+        NoiseModel { sqrt_info: precisions.iter().map(|p| p.sqrt()).collect(), huber_k: None }
+    }
+
+    /// Wraps the model in a Huber robust kernel with threshold `k` (in
+    /// whitened units): residuals beyond `k` are down-weighted, which keeps
+    /// spurious loop closures from dragging the whole map (IRLS weighting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k <= 0`.
+    pub fn with_huber(mut self, k: f64) -> Self {
+        assert!(k > 0.0, "huber threshold must be positive");
+        self.huber_k = Some(k);
+        self
+    }
+
+    /// The IRLS weight for a whitened residual under the robust kernel
+    /// (1 without a kernel, or within the Huber threshold). Residuals and
+    /// Jacobians are scaled by the square root of this weight.
+    pub fn robust_weight(&self, whitened: &[f64]) -> f64 {
+        match self.huber_k {
+            None => 1.0,
+            Some(k) => {
+                let n = whitened.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if n <= k {
+                    1.0
+                } else {
+                    k / n
+                }
+            }
+        }
+    }
+
+    /// Residual dimension.
+    pub fn dim(&self) -> usize {
+        self.sqrt_info.len()
+    }
+
+    /// Whitens a residual: `Σ^{-1/2} r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r.len() != self.dim()`.
+    pub fn whiten(&self, r: &[f64]) -> Vec<f64> {
+        assert_eq!(r.len(), self.dim(), "residual dimension mismatch");
+        r.iter().zip(&self.sqrt_info).map(|(x, w)| x * w).collect()
+    }
+
+    /// Whitens a Jacobian block in place: each row `i` is scaled by
+    /// `sqrt_info[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j.rows() != self.dim()`.
+    pub fn whiten_jacobian(&self, j: &mut Mat) {
+        assert_eq!(j.rows(), self.dim(), "jacobian row dimension mismatch");
+        for c in 0..j.cols() {
+            let col = j.col_mut(c);
+            for (x, w) in col.iter_mut().zip(&self.sqrt_info) {
+                *x *= w;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isotropic_whiten() {
+        let n = NoiseModel::isotropic(3, 0.5);
+        assert_eq!(n.dim(), 3);
+        assert_eq!(n.whiten(&[1.0, 2.0, 0.0]), vec![2.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn precisions_equal_sigmas() {
+        let a = NoiseModel::from_sigmas(&[0.1, 0.2]);
+        let b = NoiseModel::from_precisions(&[100.0, 25.0]);
+        assert_eq!(a.whiten(&[1.0, 1.0]), b.whiten(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn whiten_jacobian_scales_rows() {
+        let n = NoiseModel::from_sigmas(&[0.5, 1.0]);
+        let mut j = Mat::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        n.whiten_jacobian(&mut j);
+        assert_eq!(j[(0, 0)], 2.0);
+        assert_eq!(j[(0, 1)], 4.0);
+        assert_eq!(j[(1, 0)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn zero_sigma_rejected() {
+        let _ = NoiseModel::isotropic(1, 0.0);
+    }
+
+    #[test]
+    fn huber_downweights_large_residuals() {
+        let n = NoiseModel::isotropic(2, 1.0).with_huber(1.0);
+        assert_eq!(n.robust_weight(&[0.3, 0.4]), 1.0); // |r| = 0.5 <= k
+        let w = n.robust_weight(&[3.0, 4.0]); // |r| = 5
+        assert!((w - 0.2).abs() < 1e-12);
+        // Without a kernel the weight is always 1.
+        assert_eq!(NoiseModel::isotropic(2, 1.0).robust_weight(&[100.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "huber threshold must be positive")]
+    fn huber_rejects_nonpositive_threshold() {
+        let _ = NoiseModel::isotropic(1, 1.0).with_huber(0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The planar rigid transforms SO(2) and SE(2).
+
+use std::fmt;
+
+/// A planar rotation (an element of SO(2)), stored as `(cos θ, sin θ)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rot2 {
+    c: f64,
+    s: f64,
+}
+
+impl Rot2 {
+    /// Rotation by `theta` radians.
+    pub fn from_angle(theta: f64) -> Self {
+        Rot2 { c: theta.cos(), s: theta.sin() }
+    }
+
+    /// The identity rotation.
+    pub fn identity() -> Self {
+        Rot2 { c: 1.0, s: 0.0 }
+    }
+
+    /// The rotation angle in `(-π, π]`.
+    pub fn angle(self) -> f64 {
+        self.s.atan2(self.c)
+    }
+
+    /// Composition `self · other`.
+    pub fn compose(self, other: Rot2) -> Rot2 {
+        Rot2 { c: self.c * other.c - self.s * other.s, s: self.s * other.c + self.c * other.s }
+    }
+
+    /// The inverse rotation.
+    pub fn inverse(self) -> Rot2 {
+        Rot2 { c: self.c, s: -self.s }
+    }
+
+    /// Rotates a 2-vector.
+    pub fn rotate(self, v: [f64; 2]) -> [f64; 2] {
+        [self.c * v[0] - self.s * v[1], self.s * v[0] + self.c * v[1]]
+    }
+
+    /// Renormalizes `(c, s)` onto the unit circle (drift control after long
+    /// composition chains).
+    pub fn normalized(self) -> Rot2 {
+        let n = (self.c * self.c + self.s * self.s).sqrt();
+        Rot2 { c: self.c / n, s: self.s / n }
+    }
+}
+
+impl Default for Rot2 {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+/// A planar rigid transform (an element of SE(2)): rotation plus
+/// translation.
+///
+/// The tangent convention is `[vx, vy, ω]` with the retraction
+/// `X ⊕ δ = X · Exp(δ)` (right perturbation), matching the `⊕` of
+/// Equation (2) in the paper.
+///
+/// # Example
+///
+/// ```
+/// use supernova_factors::Se2;
+///
+/// let a = Se2::new(1.0, 0.0, std::f64::consts::FRAC_PI_2);
+/// let b = a.compose(Se2::new(1.0, 0.0, 0.0));
+/// assert!((b.y() - 1.0).abs() < 1e-12);
+/// let delta = a.local(b);
+/// assert!((a.retract(&delta).x() - b.x()).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Se2 {
+    rot: Rot2,
+    t: [f64; 2],
+}
+
+impl Se2 {
+    /// Tangent-space dimension.
+    pub const DIM: usize = 3;
+
+    /// Creates a pose from translation `(x, y)` and heading `theta`.
+    pub fn new(x: f64, y: f64, theta: f64) -> Self {
+        Se2 { rot: Rot2::from_angle(theta), t: [x, y] }
+    }
+
+    /// The identity pose.
+    pub fn identity() -> Self {
+        Se2::default()
+    }
+
+    /// X translation.
+    pub fn x(&self) -> f64 {
+        self.t[0]
+    }
+
+    /// Y translation.
+    pub fn y(&self) -> f64 {
+        self.t[1]
+    }
+
+    /// Heading in `(-π, π]`.
+    pub fn theta(&self) -> f64 {
+        self.rot.angle()
+    }
+
+    /// The rotation part.
+    pub fn rotation(&self) -> Rot2 {
+        self.rot
+    }
+
+    /// The translation part.
+    pub fn translation(&self) -> [f64; 2] {
+        self.t
+    }
+
+    /// Group composition `self · other`.
+    pub fn compose(&self, other: Se2) -> Se2 {
+        let rt = self.rot.rotate(other.t);
+        Se2 {
+            rot: self.rot.compose(other.rot).normalized(),
+            t: [self.t[0] + rt[0], self.t[1] + rt[1]],
+        }
+    }
+
+    /// Group inverse.
+    pub fn inverse(&self) -> Se2 {
+        let rinv = self.rot.inverse();
+        let ti = rinv.rotate([-self.t[0], -self.t[1]]);
+        Se2 { rot: rinv, t: ti }
+    }
+
+    /// Exponential map from the tangent `[vx, vy, ω]`.
+    pub fn exp(xi: &[f64]) -> Se2 {
+        let (vx, vy, w) = (xi[0], xi[1], xi[2]);
+        let (a, b) = if w.abs() < 1e-9 {
+            // sin(w)/w ≈ 1 − w²/6, (1−cos w)/w ≈ w/2.
+            (1.0 - w * w / 6.0, w / 2.0)
+        } else {
+            (w.sin() / w, (1.0 - w.cos()) / w)
+        };
+        Se2 { rot: Rot2::from_angle(w), t: [a * vx - b * vy, b * vx + a * vy] }
+    }
+
+    /// Logarithm map to the tangent `[vx, vy, ω]`.
+    pub fn log(&self) -> [f64; 3] {
+        let w = self.rot.angle();
+        let (a, b) = if w.abs() < 1e-9 {
+            (1.0 - w * w / 6.0, w / 2.0)
+        } else {
+            (w.sin() / w, (1.0 - w.cos()) / w)
+        };
+        let det = a * a + b * b;
+        let (x, y) = (self.t[0], self.t[1]);
+        [(a * x + b * y) / det, (-b * x + a * y) / det, w]
+    }
+
+    /// Right retraction `self · Exp(delta)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.len() != 3`.
+    pub fn retract(&self, delta: &[f64]) -> Se2 {
+        assert_eq!(delta.len(), Self::DIM, "Se2 tangent must have length 3");
+        self.compose(Se2::exp(delta))
+    }
+
+    /// Local coordinates of `other` around `self`: `Log(self⁻¹ · other)`.
+    pub fn local(&self, other: Se2) -> [f64; 3] {
+        self.inverse().compose(other).log()
+    }
+
+    /// Euclidean distance between the translation parts.
+    pub fn translation_distance(&self, other: &Se2) -> f64 {
+        let dx = self.t[0] - other.t[0];
+        let dy = self.t[1] - other.t[1];
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl fmt::Display for Se2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}; {:.3} rad)", self.t[0], self.t[1], self.theta())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn rot2_compose_inverse() {
+        let r = Rot2::from_angle(0.7);
+        let i = r.compose(r.inverse());
+        assert!((i.angle()).abs() < 1e-12);
+        let v = r.rotate([1.0, 0.0]);
+        assert!((v[0] - 0.7f64.cos()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_inverse_is_identity() {
+        let p = Se2::new(1.5, -2.0, 0.8);
+        let e = p.compose(p.inverse());
+        assert!(e.x().abs() < 1e-12 && e.y().abs() < 1e-12 && e.theta().abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for xi in [[0.3, -0.2, 0.9], [1.0, 2.0, 0.0], [0.0, 0.0, -2.5], [1e-12, 0.0, 1e-12]] {
+            let p = Se2::exp(&xi);
+            let back = p.log();
+            for k in 0..3 {
+                assert!((back[k] - xi[k]).abs() < 1e-9, "{xi:?} -> {back:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn retract_local_roundtrip() {
+        let a = Se2::new(0.4, 0.2, -1.2);
+        let b = Se2::new(-0.3, 1.1, 2.0);
+        let d = a.local(b);
+        let b2 = a.retract(&d);
+        assert!(a.local(b2).iter().zip(&d).all(|(x, y)| (x - y).abs() < 1e-9));
+        assert!((b2.x() - b.x()).abs() < 1e-9);
+        assert!((b2.theta() - b.theta()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quarter_turn_translation() {
+        let a = Se2::new(0.0, 0.0, FRAC_PI_2);
+        let b = a.compose(Se2::new(1.0, 0.0, 0.0));
+        assert!(b.x().abs() < 1e-12);
+        assert!((b.y() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_wraps_to_principal_range() {
+        let p = Se2::new(0.0, 0.0, PI + 0.5);
+        assert!(p.theta() <= PI && p.theta() >= -PI);
+    }
+
+    #[test]
+    fn translation_distance() {
+        let a = Se2::new(0.0, 0.0, 1.0);
+        let b = Se2::new(3.0, 4.0, -1.0);
+        assert!((a.translation_distance(&b) - 5.0).abs() < 1e-12);
+    }
+}

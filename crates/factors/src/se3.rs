@@ -1,0 +1,414 @@
+//! The 3-D rigid transforms SO(3) and SE(3).
+
+use std::fmt;
+
+use supernova_linalg::Mat;
+
+/// A 3-D rotation (an element of SO(3)), stored as a 3×3 rotation matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rot3 {
+    m: Mat,
+}
+
+impl Rot3 {
+    /// The identity rotation.
+    pub fn identity() -> Self {
+        Rot3 { m: Mat::identity(3) }
+    }
+
+    /// Builds a rotation from a matrix.
+    ///
+    /// The matrix is trusted to be orthonormal; use
+    /// [`normalized`](Self::normalized) after long composition chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not 3×3.
+    pub fn from_matrix(m: Mat) -> Self {
+        assert!(m.rows() == 3 && m.cols() == 3, "rotation matrix must be 3x3");
+        Rot3 { m }
+    }
+
+    /// Exponential map (Rodrigues) from an axis-angle vector.
+    pub fn exp(w: &[f64]) -> Self {
+        let theta2 = w[0] * w[0] + w[1] * w[1] + w[2] * w[2];
+        let theta = theta2.sqrt();
+        let (a, b) = if theta < 1e-9 {
+            (1.0 - theta2 / 6.0, 0.5 - theta2 / 24.0)
+        } else {
+            (theta.sin() / theta, (1.0 - theta.cos()) / theta2)
+        };
+        let wx = hat(w);
+        let mut wx2 = Mat::zeros(3, 3);
+        supernova_linalg::gemm(
+            1.0,
+            &wx,
+            supernova_linalg::Transpose::No,
+            &wx,
+            supernova_linalg::Transpose::No,
+            0.0,
+            &mut wx2,
+        );
+        let mut m = Mat::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                m[(i, j)] += a * wx[(i, j)] + b * wx2[(i, j)];
+            }
+        }
+        Rot3 { m }
+    }
+
+    /// Logarithm map to an axis-angle vector, robust near 0 and π.
+    pub fn log(&self) -> [f64; 3] {
+        let m = &self.m;
+        let trace = m[(0, 0)] + m[(1, 1)] + m[(2, 2)];
+        let cos_theta = ((trace - 1.0) * 0.5).clamp(-1.0, 1.0);
+        let theta = cos_theta.acos();
+        if theta < 1e-9 {
+            // R ≈ I + [w]×: read off the skew part.
+            return [
+                0.5 * (m[(2, 1)] - m[(1, 2)]),
+                0.5 * (m[(0, 2)] - m[(2, 0)]),
+                0.5 * (m[(1, 0)] - m[(0, 1)]),
+            ];
+        }
+        if (std::f64::consts::PI - theta) < 1e-6 {
+            // Near π the skew part vanishes; recover the axis from the
+            // largest diagonal of R + I.
+            let mut axis = [0.0; 3];
+            let diag = [m[(0, 0)], m[(1, 1)], m[(2, 2)]];
+            let k = if diag[0] >= diag[1] && diag[0] >= diag[2] {
+                0
+            } else if diag[1] >= diag[2] {
+                1
+            } else {
+                2
+            };
+            let denom = (2.0 * (1.0 + diag[k])).sqrt();
+            for i in 0..3 {
+                axis[i] = (m[(i, k)] + if i == k { 1.0 } else { 0.0 }) / denom;
+            }
+            // Fix the sign using the (small but informative) skew part.
+            let skew = [
+                m[(2, 1)] - m[(1, 2)],
+                m[(0, 2)] - m[(2, 0)],
+                m[(1, 0)] - m[(0, 1)],
+            ];
+            let dotp = axis[0] * skew[0] + axis[1] * skew[1] + axis[2] * skew[2];
+            let sign = if dotp < 0.0 { -1.0 } else { 1.0 };
+            return [sign * theta * axis[0], sign * theta * axis[1], sign * theta * axis[2]];
+        }
+        let k = theta / (2.0 * theta.sin());
+        [
+            k * (m[(2, 1)] - m[(1, 2)]),
+            k * (m[(0, 2)] - m[(2, 0)]),
+            k * (m[(1, 0)] - m[(0, 1)]),
+        ]
+    }
+
+    /// Composition `self · other`.
+    pub fn compose(&self, other: &Rot3) -> Rot3 {
+        let mut m = Mat::zeros(3, 3);
+        supernova_linalg::gemm(
+            1.0,
+            &self.m,
+            supernova_linalg::Transpose::No,
+            &other.m,
+            supernova_linalg::Transpose::No,
+            0.0,
+            &mut m,
+        );
+        Rot3 { m }
+    }
+
+    /// The inverse (= transpose) rotation.
+    pub fn inverse(&self) -> Rot3 {
+        Rot3 { m: self.m.transposed() }
+    }
+
+    /// Rotates a 3-vector.
+    pub fn rotate(&self, v: [f64; 3]) -> [f64; 3] {
+        let r = self.m.matvec(&v);
+        [r[0], r[1], r[2]]
+    }
+
+    /// The underlying 3×3 matrix.
+    pub fn matrix(&self) -> &Mat {
+        &self.m
+    }
+
+    /// Re-orthonormalizes via one Gram–Schmidt pass (drift control).
+    pub fn normalized(&self) -> Rot3 {
+        let mut c0 = [self.m[(0, 0)], self.m[(1, 0)], self.m[(2, 0)]];
+        let n0 = (c0[0] * c0[0] + c0[1] * c0[1] + c0[2] * c0[2]).sqrt();
+        c0 = [c0[0] / n0, c0[1] / n0, c0[2] / n0];
+        let mut c1 = [self.m[(0, 1)], self.m[(1, 1)], self.m[(2, 1)]];
+        let d = c0[0] * c1[0] + c0[1] * c1[1] + c0[2] * c1[2];
+        c1 = [c1[0] - d * c0[0], c1[1] - d * c0[1], c1[2] - d * c0[2]];
+        let n1 = (c1[0] * c1[0] + c1[1] * c1[1] + c1[2] * c1[2]).sqrt();
+        c1 = [c1[0] / n1, c1[1] / n1, c1[2] / n1];
+        let c2 = [
+            c0[1] * c1[2] - c0[2] * c1[1],
+            c0[2] * c1[0] - c0[0] * c1[2],
+            c0[0] * c1[1] - c0[1] * c1[0],
+        ];
+        let mut m = Mat::zeros(3, 3);
+        for i in 0..3 {
+            m[(i, 0)] = c0[i];
+            m[(i, 1)] = c1[i];
+            m[(i, 2)] = c2[i];
+        }
+        Rot3 { m }
+    }
+}
+
+impl Default for Rot3 {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+/// The skew-symmetric (hat) matrix of a 3-vector.
+fn hat(w: &[f64]) -> Mat {
+    let mut m = Mat::zeros(3, 3);
+    m[(0, 1)] = -w[2];
+    m[(0, 2)] = w[1];
+    m[(1, 0)] = w[2];
+    m[(1, 2)] = -w[0];
+    m[(2, 0)] = -w[1];
+    m[(2, 1)] = w[0];
+    m
+}
+
+/// A 3-D rigid transform (an element of SE(3)): rotation plus translation.
+///
+/// The tangent convention is `[v, ω]` (translation first) with the right
+/// retraction `X ⊕ δ = X · Exp(δ)`.
+///
+/// # Example
+///
+/// ```
+/// use supernova_factors::Se3;
+///
+/// let a = Se3::from_parts([1.0, 2.0, 3.0], supernova_factors::Rot3::exp(&[0.1, 0.0, 0.3]));
+/// let b = a.retract(&[0.1, 0.0, 0.0, 0.0, 0.05, 0.0]);
+/// let d = a.local(&b);
+/// assert!((d[0] - 0.1).abs() < 1e-9);
+/// assert!((d[4] - 0.05).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Se3 {
+    rot: Rot3,
+    t: [f64; 3],
+}
+
+impl Se3 {
+    /// Tangent-space dimension.
+    pub const DIM: usize = 6;
+
+    /// The identity pose.
+    pub fn identity() -> Self {
+        Se3::default()
+    }
+
+    /// Creates a pose from translation and rotation.
+    pub fn from_parts(t: [f64; 3], rot: Rot3) -> Self {
+        Se3 { rot, t }
+    }
+
+    /// The translation part.
+    pub fn translation(&self) -> [f64; 3] {
+        self.t
+    }
+
+    /// The rotation part.
+    pub fn rotation(&self) -> &Rot3 {
+        &self.rot
+    }
+
+    /// Group composition `self · other`.
+    pub fn compose(&self, other: &Se3) -> Se3 {
+        let rt = self.rot.rotate(other.t);
+        Se3 {
+            rot: self.rot.compose(&other.rot).normalized(),
+            t: [self.t[0] + rt[0], self.t[1] + rt[1], self.t[2] + rt[2]],
+        }
+    }
+
+    /// Group inverse.
+    pub fn inverse(&self) -> Se3 {
+        let rinv = self.rot.inverse();
+        let ti = rinv.rotate([-self.t[0], -self.t[1], -self.t[2]]);
+        Se3 { rot: rinv, t: ti }
+    }
+
+    /// Exponential map from the tangent `[vx, vy, vz, ωx, ωy, ωz]`.
+    pub fn exp(xi: &[f64]) -> Se3 {
+        let v = [xi[0], xi[1], xi[2]];
+        let w = [xi[3], xi[4], xi[5]];
+        let rot = Rot3::exp(&w);
+        let theta2 = w[0] * w[0] + w[1] * w[1] + w[2] * w[2];
+        let theta = theta2.sqrt();
+        // V = I + b·[w]× + c·[w]×², b = (1−cosθ)/θ², c = (θ−sinθ)/θ³.
+        let (b, c) = if theta < 1e-9 {
+            (0.5 - theta2 / 24.0, 1.0 / 6.0 - theta2 / 120.0)
+        } else {
+            ((1.0 - theta.cos()) / theta2, (theta - theta.sin()) / (theta2 * theta))
+        };
+        let t = apply_v(&w, b, c, v);
+        Se3 { rot, t }
+    }
+
+    /// Logarithm map to the tangent `[vx, vy, vz, ωx, ωy, ωz]`.
+    pub fn log(&self) -> [f64; 6] {
+        let w = self.rot.log();
+        let theta2 = w[0] * w[0] + w[1] * w[1] + w[2] * w[2];
+        let theta = theta2.sqrt();
+        // V⁻¹ = I − ½[w]× + d·[w]×², d = (1 − θ·cot(θ/2)/2)/θ².
+        let d = if theta < 1e-9 {
+            1.0 / 12.0 + theta2 / 720.0
+        } else {
+            let half = theta / 2.0;
+            (1.0 - half * half.cos() / half.sin()) / theta2
+        };
+        let v = apply_v(&w, -0.5, d, self.t);
+        [v[0], v[1], v[2], w[0], w[1], w[2]]
+    }
+
+    /// Right retraction `self · Exp(delta)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.len() != 6`.
+    pub fn retract(&self, delta: &[f64]) -> Se3 {
+        assert_eq!(delta.len(), Self::DIM, "Se3 tangent must have length 6");
+        self.compose(&Se3::exp(delta))
+    }
+
+    /// Local coordinates of `other` around `self`: `Log(self⁻¹ · other)`.
+    pub fn local(&self, other: &Se3) -> [f64; 6] {
+        self.inverse().compose(other).log()
+    }
+
+    /// Euclidean distance between the translation parts.
+    pub fn translation_distance(&self, other: &Se3) -> f64 {
+        let dx = self.t[0] - other.t[0];
+        let dy = self.t[1] - other.t[1];
+        let dz = self.t[2] - other.t[2];
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+/// Applies `(I + b·[w]× + c·[w]×²) v`.
+fn apply_v(w: &[f64; 3], b: f64, c: f64, v: [f64; 3]) -> [f64; 3] {
+    let wxv = [
+        w[1] * v[2] - w[2] * v[1],
+        w[2] * v[0] - w[0] * v[2],
+        w[0] * v[1] - w[1] * v[0],
+    ];
+    let wxwxv = [
+        w[1] * wxv[2] - w[2] * wxv[1],
+        w[2] * wxv[0] - w[0] * wxv[2],
+        w[0] * wxv[1] - w[1] * wxv[0],
+    ];
+    [
+        v[0] + b * wxv[0] + c * wxwxv[0],
+        v[1] + b * wxv[1] + c * wxwxv[1],
+        v[2] + b * wxv[2] + c * wxwxv[2],
+    ]
+}
+
+impl fmt::Display for Se3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.t[0], self.t[1], self.t[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rot3_exp_log_roundtrip() {
+        for w in [
+            [0.1, -0.2, 0.3],
+            [0.0, 0.0, 0.0],
+            [1.0, 1.0, -1.0],
+            [3.0, 0.5, 0.1],
+            [1e-12, 0.0, 0.0],
+        ] {
+            let r = Rot3::exp(&w);
+            let back = r.log();
+            for k in 0..3 {
+                assert!((back[k] - w[k]).abs() < 1e-7, "{w:?} -> {back:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rot3_log_near_pi() {
+        let w = [std::f64::consts::PI - 1e-8, 0.0, 0.0];
+        let r = Rot3::exp(&w);
+        let back = r.log();
+        let norm = (back[0] * back[0] + back[1] * back[1] + back[2] * back[2]).sqrt();
+        assert!((norm - w[0]).abs() < 1e-5, "norm {norm} vs {}", w[0]);
+    }
+
+    #[test]
+    fn rot3_orthonormal_after_exp() {
+        let r = Rot3::exp(&[0.4, -0.9, 1.3]);
+        let i = r.compose(&r.inverse());
+        for a in 0..3 {
+            for b in 0..3 {
+                let want = if a == b { 1.0 } else { 0.0 };
+                assert!((i.matrix()[(a, b)] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn se3_exp_log_roundtrip() {
+        for xi in [
+            [0.1, 0.2, 0.3, 0.4, -0.5, 0.6],
+            [1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 0.0, 2.0],
+            [0.5, -0.5, 0.5, 1e-11, 0.0, 0.0],
+        ] {
+            let p = Se3::exp(&xi);
+            let back = p.log();
+            for k in 0..6 {
+                assert!((back[k] - xi[k]).abs() < 1e-8, "{xi:?} -> {back:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn se3_retract_local_roundtrip() {
+        let a = Se3::from_parts([1.0, -2.0, 0.5], Rot3::exp(&[0.3, 0.2, -0.7]));
+        let b = Se3::from_parts([0.1, 0.4, -1.0], Rot3::exp(&[-0.2, 0.9, 0.1]));
+        let d = a.local(&b);
+        let b2 = a.retract(&d);
+        assert!(b2.translation_distance(&b) < 1e-9);
+        let dd = b.local(&b2);
+        assert!(dd.iter().all(|x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn compose_inverse_is_identity() {
+        let p = Se3::from_parts([3.0, 1.0, -2.0], Rot3::exp(&[0.1, 0.5, 0.2]));
+        let e = p.compose(&p.inverse());
+        assert!(e.translation_distance(&Se3::identity()) < 1e-12);
+        assert!(e.rotation().log().iter().all(|x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn normalization_restores_orthonormality() {
+        let mut m = Rot3::exp(&[0.2, 0.3, 0.4]).matrix().clone();
+        m[(0, 0)] += 1e-4; // inject drift
+        let r = Rot3::from_matrix(m).normalized();
+        let i = r.compose(&r.inverse());
+        for a in 0..3 {
+            assert!((i.matrix()[(a, a)] - 1.0).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests: manifold axioms and Jacobian first-order accuracy.
+
+use proptest::prelude::*;
+use supernova_factors::{
+    BetweenFactor, Factor, NoiseModel, PriorFactor, Rot3, Se2, Se3, Values, Variable,
+};
+
+fn se2() -> impl Strategy<Value = Se2> {
+    (-5.0f64..5.0, -5.0f64..5.0, -3.0f64..3.0).prop_map(|(x, y, t)| Se2::new(x, y, t))
+}
+
+fn se3() -> impl Strategy<Value = Se3> {
+    (
+        proptest::array::uniform3(-5.0f64..5.0),
+        proptest::array::uniform3(-1.5f64..1.5),
+    )
+        .prop_map(|(t, w)| Se3::from_parts(t, Rot3::exp(&w)))
+}
+
+fn tangent3() -> impl Strategy<Value = [f64; 3]> {
+    proptest::array::uniform3(-2.0f64..2.0)
+}
+
+fn tangent6() -> impl Strategy<Value = [f64; 6]> {
+    proptest::array::uniform6(-1.0f64..1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn se2_retract_local_inverse(a in se2(), b in se2()) {
+        let d = a.local(b);
+        let b2 = a.retract(&d);
+        prop_assert!(b2.translation_distance(&b) < 1e-9);
+        prop_assert!((b2.theta() - b.theta()).abs() < 1e-9
+            || (b2.theta() - b.theta()).abs() > 2.0 * std::f64::consts::PI - 1e-9);
+    }
+
+    #[test]
+    fn se2_exp_log_roundtrip(xi in tangent3()) {
+        // log returns the principal angle; restrict to |ω| < π.
+        prop_assume!(xi[2].abs() < std::f64::consts::PI - 1e-3);
+        let p = Se2::exp(&xi);
+        let back = p.log();
+        for k in 0..3 {
+            prop_assert!((back[k] - xi[k]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn se2_compose_associative(a in se2(), b in se2(), c in se2()) {
+        let left = a.compose(b).compose(c);
+        let right = a.compose(b.compose(c));
+        prop_assert!(left.translation_distance(&right) < 1e-9);
+    }
+
+    #[test]
+    fn se3_retract_local_inverse(a in se3(), b in se3()) {
+        let d = a.local(&b);
+        let b2 = a.retract(&d);
+        prop_assert!(b2.translation_distance(&b) < 1e-8);
+        let dd = b.local(&b2);
+        prop_assert!(dd.iter().all(|x| x.abs() < 1e-7));
+    }
+
+    #[test]
+    fn se3_exp_log_roundtrip(xi in tangent6()) {
+        let wnorm = (xi[3] * xi[3] + xi[4] * xi[4] + xi[5] * xi[5]).sqrt();
+        prop_assume!(wnorm < std::f64::consts::PI - 1e-3);
+        let p = Se3::exp(&xi);
+        let back = p.log();
+        for k in 0..6 {
+            prop_assert!((back[k] - xi[k]).abs() < 1e-7, "{:?} vs {:?}", xi, back);
+        }
+    }
+
+    #[test]
+    fn se3_inverse_composes_to_identity(a in se3()) {
+        let e = a.compose(&a.inverse());
+        prop_assert!(e.translation_distance(&Se3::identity()) < 1e-9);
+        prop_assert!(e.rotation().log().iter().all(|x| x.abs() < 1e-7));
+    }
+
+    #[test]
+    fn between_se2_jacobian_first_order(a in se2(), b in se2(), z in se2(),
+                                        delta in proptest::array::uniform3(-1e-4f64..1e-4)) {
+        let mut vals = Values::new();
+        let ka = vals.insert_se2(a);
+        let kb = vals.insert_se2(b);
+        let f = BetweenFactor::se2(ka, kb, z, NoiseModel::isotropic(3, 1.0));
+        let lin = f.linearize(&vals);
+
+        // Perturb b and compare against the linear prediction.
+        let mut v2 = vals.clone();
+        v2.retract_at(kb, &delta);
+        let vars: Vec<&Variable> = f.keys().iter().map(|&k| v2.get(k)).collect();
+        let actual = f.noise().whiten(&f.error(&vars));
+        let jd = lin.jacobians[1].matvec(&delta);
+        for k in 0..3 {
+            let predicted = lin.residual[k] + jd[k];
+            prop_assert!((actual[k] - predicted).abs() < 1e-6,
+                "component {}: {} vs {}", k, actual[k], predicted);
+        }
+    }
+
+    #[test]
+    fn between_se3_jacobian_first_order(a in se3(), b in se3(),
+                                        delta in proptest::array::uniform6(-1e-4f64..1e-4)) {
+        let mut vals = Values::new();
+        let ka = vals.insert_se3(a.clone());
+        let kb = vals.insert_se3(b.clone());
+        let z = a.inverse().compose(&b); // zero-residual measurement
+        let f = BetweenFactor::se3(ka, kb, z, NoiseModel::isotropic(6, 1.0));
+        let lin = f.linearize(&vals);
+
+        let mut v2 = vals.clone();
+        v2.retract_at(ka, &delta);
+        let vars: Vec<&Variable> = f.keys().iter().map(|&k| v2.get(k)).collect();
+        let actual = f.noise().whiten(&f.error(&vars));
+        let jd = lin.jacobians[0].matvec(&delta);
+        for k in 0..6 {
+            let predicted = lin.residual[k] + jd[k];
+            prop_assert!((actual[k] - predicted).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn prior_jacobian_first_order(a in se3(), delta in proptest::array::uniform6(-1e-4f64..1e-4)) {
+        let mut vals = Values::new();
+        let k = vals.insert_se3(a.clone());
+        let f = PriorFactor::se3(k, a, NoiseModel::isotropic(6, 0.5));
+        let lin = f.linearize(&vals);
+        let mut v2 = vals.clone();
+        v2.retract_at(k, &delta);
+        let vars: Vec<&Variable> = f.keys().iter().map(|&kk| v2.get(kk)).collect();
+        let actual = f.noise().whiten(&f.error(&vars));
+        let jd = lin.jacobians[0].matvec(&delta);
+        for c in 0..6 {
+            prop_assert!((actual[c] - (lin.residual[c] + jd[c])).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Area and power models (Table 5 and §6.5 of the paper).
+//!
+//! Physical-design numbers are static design-time properties; the paper
+//! obtained them with Cadence Genus/Joules on a commercial 16 nm process.
+//! This module reproduces the published component breakdown so the area
+//! table and the power comparison can be regenerated (and scaled to other
+//! configurations) without EDA tools.
+
+/// One row of the area table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaRow {
+    /// Component name.
+    pub component: &'static str,
+    /// Nesting depth for display (0 = tile, 1 = sub-block).
+    pub depth: usize,
+    /// Area in µm² on the 16 nm process.
+    pub area_um2: f64,
+    /// Percentage of the enclosing tile's area.
+    pub pct_of_tile: f64,
+}
+
+/// Area of one Rocket CPU tile in µm² (Table 5).
+pub const ROCKET_TILE_UM2: f64 = 151e3;
+/// Area of one COMP tile in µm² (Table 5).
+pub const COMP_TILE_UM2: f64 = 301e3;
+/// Area of one MEM tile in µm² (Table 5).
+pub const MEM_TILE_UM2: f64 = 51e3;
+/// Area of the BOOM baseline core in µm² (Table 5).
+pub const BOOM_UM2: f64 = 1262e3;
+
+/// The Table 5 component breakdown.
+pub fn table5() -> Vec<AreaRow> {
+    vec![
+        AreaRow { component: "Rocket CPU tile", depth: 0, area_um2: ROCKET_TILE_UM2, pct_of_tile: 100.0 },
+        AreaRow { component: "COMP tile", depth: 0, area_um2: COMP_TILE_UM2, pct_of_tile: 100.0 },
+        AreaRow { component: "ReRoCC Manager", depth: 1, area_um2: 20e3, pct_of_tile: 6.6 },
+        AreaRow { component: "Accelerator", depth: 1, area_um2: 281e3, pct_of_tile: 93.4 },
+        AreaRow { component: "Mesh", depth: 2, area_um2: 92e3, pct_of_tile: 30.6 },
+        AreaRow { component: "Scratchpad+Accumulator", depth: 2, area_um2: 86e3, pct_of_tile: 28.6 },
+        AreaRow { component: "Sparse Index Unit", depth: 2, area_um2: 9e3, pct_of_tile: 3.1 },
+        AreaRow { component: "MEM tile", depth: 0, area_um2: MEM_TILE_UM2, pct_of_tile: 100.0 },
+        AreaRow { component: "ReRoCC Manager", depth: 1, area_um2: 20e3, pct_of_tile: 39.2 },
+        AreaRow { component: "Accelerator", depth: 1, area_um2: 31e3, pct_of_tile: 60.8 },
+    ]
+}
+
+/// Total area of `cpu_tiles` Rocket tiles plus `sets` accelerator sets
+/// (COMP + MEM each), in µm².
+pub fn config_area_um2(cpu_tiles: usize, sets: usize) -> f64 {
+    cpu_tiles as f64 * ROCKET_TILE_UM2 + sets as f64 * (COMP_TILE_UM2 + MEM_TILE_UM2)
+}
+
+/// Area of a configuration relative to one BOOM core.
+///
+/// The paper's §5.4 area-matching argument: one CPU tile + one accelerator
+/// set is 40 % of BOOM, so two sets with two CPUs are ~80 % of one BOOM.
+pub fn area_vs_boom(cpu_tiles: usize, sets: usize) -> f64 {
+    config_area_um2(cpu_tiles, sets) / BOOM_UM2
+}
+
+/// Power envelopes for the power comparison of §6.5, in watts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerEnvelope {
+    /// Platform label.
+    pub platform: &'static str,
+    /// Lower bound in watts.
+    pub min_w: f64,
+    /// Upper bound in watts.
+    pub max_w: f64,
+}
+
+/// SuperNoVA power during its most intensive operation (symmetric rank-k
+/// update) at 1 GHz / 0.8 V on the Intel16 process, in watts.
+pub const SUPERNOVA_SYRK_W: f64 = 0.114;
+
+/// The §6.5 comparison rows.
+pub fn power_comparison() -> Vec<PowerEnvelope> {
+    vec![
+        PowerEnvelope { platform: "SuperNoVA (SYRK, peak)", min_w: SUPERNOVA_SYRK_W, max_w: SUPERNOVA_SYRK_W },
+        PowerEnvelope { platform: "Embedded GPU", min_w: 5.0, max_w: 10.0 },
+        PowerEnvelope { platform: "FPGA accelerators", min_w: 2.5, max_w: 5.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_set_is_40_percent_of_boom() {
+        // Table 5's bottom line: CPU tile + COMP + MEM = 504K µm² = 40 % of BOOM.
+        let total = config_area_um2(1, 1);
+        assert!((total - 503e3).abs() < 1.5e3, "total {total}");
+        let ratio = area_vs_boom(1, 1);
+        assert!((ratio - 0.40).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn two_sets_fit_in_80_percent_of_boom() {
+        let ratio = area_vs_boom(2, 2);
+        assert!(ratio < 0.82, "two sets must stay under one BOOM ({ratio})");
+    }
+
+    #[test]
+    fn table5_subcomponents_sum_to_tiles() {
+        let rows = table5();
+        let comp_children: f64 = rows
+            .iter()
+            .filter(|r| r.depth == 1)
+            .take(2)
+            .map(|r| r.area_um2)
+            .sum();
+        assert!((comp_children - COMP_TILE_UM2).abs() < 1e3);
+    }
+
+    #[test]
+    fn supernova_power_far_below_gpu() {
+        let rows = power_comparison();
+        let sn = rows[0].max_w;
+        let gpu = rows[1].min_w;
+        assert!(gpu / sn > 40.0);
+    }
+}

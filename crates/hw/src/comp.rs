@@ -1,0 +1,151 @@
+//! The COMP compute-accelerator tile model (§4.2.1).
+
+use supernova_linalg::ops::Op;
+
+/// Analytic timing model of one COMP tile: a weight-stationary FP32 systolic
+/// array with double-buffered scratchpad, operand transposer, programmable
+/// scalers and the Sparse Index Unroller (SIU) for packed block scatter.
+///
+/// The model prices compute operations in seconds assuming loads are double-
+/// buffered behind compute (the op time is the max of the compute pipeline
+/// and the memory stream) plus a small ReRoCC invocation overhead.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompModel {
+    /// Systolic array dimension (`d` ⇒ `d × d` MAC grid).
+    pub systolic_dim: usize,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Per-invocation overhead in cycles (ReRoCC call + configuration).
+    pub invoke_cycles: f64,
+    /// Bytes per cycle streamed from the LLC.
+    pub llc_bytes_per_cycle: f64,
+    /// Bytes per cycle streamed from DRAM (when the front misses LLC).
+    pub dram_bytes_per_cycle: f64,
+    /// Whether the Sparse Index Unroller is present (absent in the Spatula
+    /// baseline, which pays CPU per-block overheads instead).
+    pub has_siu: bool,
+    /// Blocks packed into a single SIU instruction.
+    pub siu_pack: usize,
+}
+
+impl CompModel {
+    /// The Table 3 COMP tile at 1 GHz with a 4×4 array and SIU.
+    pub fn paper() -> Self {
+        CompModel {
+            systolic_dim: 4,
+            freq_hz: 1e9,
+            invoke_cycles: 30.0,
+            llc_bytes_per_cycle: 128.0,
+            dram_bytes_per_cycle: 64.0,
+            has_siu: true,
+            siu_pack: 8,
+        }
+    }
+
+    /// The Spatula-style tile: same GEMM array, no SIU.
+    pub fn spatula() -> Self {
+        CompModel { has_siu: false, ..Self::paper() }
+    }
+
+    /// Pipeline cycles for the compute portion of `op`; `None` when the op
+    /// is not a COMP operation (memory ops go to MEM, and scatter goes to
+    /// the CPU when the SIU is absent).
+    pub fn compute_cycles(&self, op: &Op) -> Option<f64> {
+        let d = self.systolic_dim as f64;
+        let fill = 2.0 * d; // array fill/drain
+        let tiles = |x: usize| (x as f64 / d).ceil();
+        match *op {
+            Op::Gemm { m, n, k } => Some(tiles(m) * tiles(n) * (k as f64 + fill)),
+            Op::Syrk { n, k } => {
+                let t = tiles(n);
+                Some(t * (t + 1.0) / 2.0 * (k as f64 + fill))
+            }
+            Op::Trsm { m, n } => {
+                // The m right-hand-side rows are independent; the column
+                // dependency costs ~30 % of array throughput.
+                let work = m as f64 * (n * n) as f64 / 2.0;
+                Some(work / (d * d * 0.7) + n as f64 * d)
+            }
+            Op::Chol { n } => {
+                // Blocked right-looking panel factorization: the trailing
+                // updates are GEMM-shaped, the panel itself is serial.
+                let work = (n * n * n) as f64 / 6.0;
+                Some(work / (d * d * 0.5) + n as f64 * 20.0)
+            }
+            Op::Gemv { m, n } => Some(tiles(m) * (n as f64 + fill)),
+            Op::ScatterAdd { blocks, elems } if self.has_siu => {
+                // Packed SIU instructions: address generation is hidden; the
+                // accumulator adds `d` lanes per cycle.
+                let instrs = (blocks as f64 / self.siu_pack as f64).ceil();
+                Some(instrs * 4.0 + elems as f64 / d)
+            }
+            _ => None,
+        }
+    }
+
+    /// Wall-clock seconds for `op` on this tile; `None` when the op does not
+    /// map onto COMP. `fits_llc` selects the LLC or DRAM streaming rate.
+    pub fn op_time(&self, op: &Op, fits_llc: bool) -> Option<f64> {
+        let compute = self.compute_cycles(op)?;
+        let bw = if fits_llc { self.llc_bytes_per_cycle } else { self.dram_bytes_per_cycle };
+        let mem = op.bytes() as f64 / bw;
+        Some((compute.max(mem) + self.invoke_cycles) / self.freq_hz)
+    }
+}
+
+impl Default for CompModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_scales_with_work() {
+        let c = CompModel::paper();
+        let small = c.op_time(&Op::Gemm { m: 8, n: 8, k: 8 }, true).unwrap();
+        let big = c.op_time(&Op::Gemm { m: 64, n: 64, k: 64 }, true).unwrap();
+        assert!(big > 10.0 * small);
+    }
+
+    #[test]
+    fn syrk_cheaper_than_square_gemm() {
+        let c = CompModel::paper();
+        let syrk = c.op_time(&Op::Syrk { n: 64, k: 32 }, true).unwrap();
+        let gemm = c.op_time(&Op::Gemm { m: 64, n: 64, k: 32 }, true).unwrap();
+        assert!(syrk < gemm);
+    }
+
+    #[test]
+    fn dram_miss_is_slower_for_streaming_ops() {
+        let c = CompModel::paper();
+        let op = Op::Gemm { m: 4, n: 4, k: 512 };
+        // Memory-bound shape: long skinny GEMM.
+        assert!(c.op_time(&op, false).unwrap() >= c.op_time(&op, true).unwrap());
+    }
+
+    #[test]
+    fn siu_handles_scatter_only_when_present() {
+        let op = Op::ScatterAdd { blocks: 10, elems: 360 };
+        assert!(CompModel::paper().op_time(&op, true).is_some());
+        assert!(CompModel::spatula().op_time(&op, true).is_none());
+    }
+
+    #[test]
+    fn memory_ops_do_not_map_to_comp() {
+        let c = CompModel::paper();
+        assert!(c.op_time(&Op::Memcpy { bytes: 100 }, true).is_none());
+        assert!(c.op_time(&Op::Memset { bytes: 100 }, true).is_none());
+    }
+
+    #[test]
+    fn small_op_dominated_by_invoke_overhead() {
+        let c = CompModel::paper();
+        let t = c.op_time(&Op::Gemm { m: 2, n: 2, k: 2 }, true).unwrap();
+        // 30-cycle overhead at 1 GHz = 30 ns; tiny GEMM adds ~10 cycles.
+        assert!(t < 60e-9 && t > 30e-9);
+    }
+}

@@ -1,0 +1,138 @@
+//! SoC configuration (Table 3 of the paper).
+
+/// Design-time configuration of the SuperNoVA SoC.
+///
+/// Defaults reproduce Table 3; the number of accelerator sets (COMP + MEM
+/// pairs) and CPU tiles is swept 1/2/4 in the evaluation.
+///
+/// # Example
+///
+/// ```
+/// use supernova_hw::SocConfig;
+///
+/// let soc = SocConfig::with_accel_sets(2);
+/// assert_eq!(soc.comp_tiles, 2);
+/// assert_eq!(soc.mem_tiles, 2);
+/// assert_eq!(soc.llc_bytes, 4 << 20);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SocConfig {
+    /// Number of COMP (compute accelerator) tiles.
+    pub comp_tiles: usize,
+    /// Systolic array dimension per COMP tile (4 ⇒ 4×4 FP32 PEs).
+    pub systolic_dim: usize,
+    /// Scratchpad size per COMP tile in bytes.
+    pub scratchpad_bytes: usize,
+    /// Accumulator size per COMP tile in bytes.
+    pub accumulator_bytes: usize,
+    /// Number of MEM (memory accelerator) tiles.
+    pub mem_tiles: usize,
+    /// DMA virtual channels per MEM tile.
+    pub virtual_channels: usize,
+    /// In-flight burst transactions each MEM tile can track.
+    pub inflight_bursts: usize,
+    /// Number of controller CPU tiles (Rocket class).
+    pub cpu_tiles: usize,
+    /// ReRoCC L2 TLB entries (accelerator-side translation).
+    pub rerocc_tlb_entries: usize,
+    /// ReRoCC page-table-walker cache bytes.
+    pub rerocc_ptw_cache_bytes: usize,
+    /// Shared last-level cache size in bytes.
+    pub llc_bytes: usize,
+    /// LLC bank count.
+    pub llc_banks: usize,
+    /// DRAM bandwidth in bytes per second.
+    pub dram_bytes_per_sec: f64,
+    /// SoC clock frequency in Hz.
+    pub freq_hz: f64,
+}
+
+impl SocConfig {
+    /// The Table 3 configuration with `sets` accelerator sets (COMP + MEM
+    /// pairs) and the same number of CPU tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets == 0`.
+    pub fn with_accel_sets(sets: usize) -> Self {
+        assert!(sets > 0, "at least one accelerator set is required");
+        SocConfig { comp_tiles: sets, mem_tiles: sets, cpu_tiles: sets, ..Self::paper() }
+    }
+
+    /// The exact Table 3 parameter values (2 accelerator sets, the
+    /// area-matched configuration of §5.4).
+    pub fn paper() -> Self {
+        SocConfig {
+            comp_tiles: 2,
+            systolic_dim: 4,
+            scratchpad_bytes: 32 << 10,
+            accumulator_bytes: 16 << 10,
+            mem_tiles: 2,
+            virtual_channels: 4,
+            inflight_bursts: 8,
+            cpu_tiles: 2,
+            rerocc_tlb_entries: 256,
+            rerocc_ptw_cache_bytes: 2 << 10,
+            llc_bytes: 4 << 20,
+            llc_banks: 8,
+            dram_bytes_per_sec: 64e9,
+            freq_hz: 1e9,
+        }
+    }
+
+    /// Number of accelerator sets (min of COMP and MEM tiles).
+    pub fn accel_sets(&self) -> usize {
+        self.comp_tiles.min(self.mem_tiles)
+    }
+
+    /// Seconds per SoC clock cycle.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.freq_hz
+    }
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_table3() {
+        let c = SocConfig::paper();
+        assert_eq!(c.systolic_dim, 4);
+        assert_eq!(c.scratchpad_bytes, 32 * 1024);
+        assert_eq!(c.accumulator_bytes, 16 * 1024);
+        assert_eq!(c.virtual_channels, 4);
+        assert_eq!(c.rerocc_tlb_entries, 256);
+        assert_eq!(c.llc_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.llc_banks, 8);
+        assert_eq!(c.dram_bytes_per_sec, 64e9);
+        assert_eq!(c.freq_hz, 1e9);
+        assert_eq!(c.accel_sets(), 2);
+    }
+
+    #[test]
+    fn accel_set_sweep() {
+        for sets in [1, 2, 4] {
+            let c = SocConfig::with_accel_sets(sets);
+            assert_eq!(c.accel_sets(), sets);
+            assert_eq!(c.cpu_tiles, sets);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_sets_rejected() {
+        let _ = SocConfig::with_accel_sets(0);
+    }
+
+    #[test]
+    fn cycle_time_is_1ns_at_1ghz() {
+        assert!((SocConfig::paper().cycle_time() - 1e-9).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,201 @@
+//! CPU (and SIMD-DSP) timing models for the baseline platforms of §5.4.
+
+use supernova_linalg::ops::Op;
+
+/// Analytic timing model of a CPU core executing the SLAM backend.
+///
+/// Numeric ops are priced by a roofline: `max(flops / effective FLOP rate,
+/// bytes / memory rate)` plus a fixed per-call overhead. Non-numeric work
+/// (relinearization, symbolic analysis) is priced per element, which is
+/// where in-order cores (Rocket) fall far behind OoO server cores — the
+/// effect behind the paper's M3500 relinearization observations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpuModel {
+    /// Short name for reports.
+    pub name: &'static str,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Effective FP64/FP32 flops per cycle on BLAS-3-like loops.
+    pub flops_per_cycle: f64,
+    /// Effective bytes per cycle from the cache hierarchy.
+    pub mem_bytes_per_cycle: f64,
+    /// Streaming bytes per cycle when the working set misses cache.
+    pub dram_bytes_per_cycle: f64,
+    /// Fixed per-operation overhead in cycles (loop setup, calls).
+    pub op_overhead_cycles: f64,
+    /// Extra per-block cycles for block-sparse scatter (address generation
+    /// that the SIU eliminates on SuperNoVA).
+    pub scatter_cycles_per_block: f64,
+    /// Cycles per Jacobian element for relinearization (trig-heavy, branchy
+    /// manifold code).
+    pub relin_cycles_per_elem: f64,
+    /// Fixed cycles per relinearized factor (error evaluation, retraction,
+    /// allocation and dispatch — the dominant term on in-order cores).
+    pub relin_cycles_per_factor: f64,
+    /// Cycles per pattern element for symbolic analysis (pointer chasing).
+    pub symbolic_cycles_per_elem: f64,
+}
+
+impl CpuModel {
+    /// Rocket-class in-order RISC-V controller core (the SuperNoVA CPU tile).
+    pub fn rocket() -> Self {
+        CpuModel {
+            name: "rocket",
+            freq_hz: 1e9,
+            flops_per_cycle: 0.5,
+            mem_bytes_per_cycle: 8.0,
+            dram_bytes_per_cycle: 8.0,
+            op_overhead_cycles: 20.0,
+            scatter_cycles_per_block: 14.0,
+            relin_cycles_per_elem: 110.0,
+            relin_cycles_per_factor: 15_000.0,
+            symbolic_cycles_per_elem: 30.0,
+        }
+    }
+
+    /// BOOM: an out-of-order superscalar RISC-V core comparable to an ARM
+    /// Cortex-A72 (baseline 1 of §5.4), in the SuperNoVA memory system.
+    pub fn boom() -> Self {
+        CpuModel {
+            name: "boom",
+            freq_hz: 1e9,
+            flops_per_cycle: 1.3,
+            mem_bytes_per_cycle: 16.0,
+            dram_bytes_per_cycle: 12.0,
+            op_overhead_cycles: 12.0,
+            scatter_cycles_per_block: 7.0,
+            relin_cycles_per_elem: 40.0,
+            relin_cycles_per_factor: 6_000.0,
+            symbolic_cycles_per_elem: 12.0,
+        }
+    }
+
+    /// ARM Cortex-A72 at 1.5 GHz on a Raspberry Pi 4 (baseline 2).
+    pub fn cortex_a72() -> Self {
+        CpuModel {
+            name: "mobile-cpu",
+            freq_hz: 1.5e9,
+            flops_per_cycle: 1.1,
+            mem_bytes_per_cycle: 8.0,
+            dram_bytes_per_cycle: 5.0,
+            op_overhead_cycles: 12.0,
+            scatter_cycles_per_block: 7.0,
+            relin_cycles_per_elem: 40.0,
+            relin_cycles_per_factor: 6_000.0,
+            symbolic_cycles_per_elem: 12.0,
+        }
+    }
+
+    /// Cortex-A72 with the NEON SIMD unit engaged for numeric kernels
+    /// (baseline 3). Non-numeric parameters match the scalar core.
+    pub fn neon_dsp() -> Self {
+        CpuModel {
+            name: "mobile-dsp",
+            flops_per_cycle: 3.5,
+            op_overhead_cycles: 18.0,
+            mem_bytes_per_cycle: 16.0,
+            ..Self::cortex_a72()
+        }
+    }
+
+    /// Server-class Intel Xeon E5-2643 at 3.5 GHz (baseline 4).
+    pub fn xeon() -> Self {
+        CpuModel {
+            name: "server-cpu",
+            freq_hz: 3.5e9,
+            flops_per_cycle: 3.0,
+            mem_bytes_per_cycle: 48.0,
+            dram_bytes_per_cycle: 24.0,
+            op_overhead_cycles: 8.0,
+            scatter_cycles_per_block: 3.0,
+            relin_cycles_per_elem: 9.0,
+            relin_cycles_per_factor: 1_500.0,
+            symbolic_cycles_per_elem: 4.0,
+        }
+    }
+
+    /// Seconds to execute one numeric/scatter op on this core.
+    pub fn op_time(&self, op: &Op, fits_cache: bool) -> f64 {
+        let bw = if fits_cache { self.mem_bytes_per_cycle } else { self.dram_bytes_per_cycle };
+        let mem = op.bytes() as f64 / bw;
+        let mut cycles = (op.flops() as f64 / self.flops_per_cycle).max(mem);
+        if let Op::ScatterAdd { blocks, .. } = *op {
+            cycles += blocks as f64 * self.scatter_cycles_per_block;
+        }
+        (cycles + self.op_overhead_cycles) / self.freq_hz
+    }
+
+    /// Seconds to relinearize `factors` factors totalling `jacobian_elems`
+    /// Jacobian elements (trivially parallel across `threads` cores, §3.3).
+    pub fn relin_time(&self, jacobian_elems: usize, factors: usize, threads: usize) -> f64 {
+        let threads = threads.max(1) as f64;
+        (jacobian_elems as f64 * self.relin_cycles_per_elem
+            + factors as f64 * self.relin_cycles_per_factor)
+            / self.freq_hz
+            / threads
+    }
+
+    /// Seconds of symbolic analysis over `pattern_elems` pattern entries
+    /// (serial pointer-chasing).
+    pub fn symbolic_time(&self, pattern_elems: usize) -> f64 {
+        pattern_elems as f64 * self.symbolic_cycles_per_elem / self.freq_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_beats_embedded_on_numeric() {
+        let op = Op::Syrk { n: 60, k: 30 };
+        assert!(CpuModel::xeon().op_time(&op, true) < CpuModel::boom().op_time(&op, true));
+        assert!(CpuModel::boom().op_time(&op, true) <= CpuModel::rocket().op_time(&op, true));
+    }
+
+    #[test]
+    fn dsp_beats_scalar_mobile_on_large_gemm() {
+        let op = Op::Gemm { m: 48, n: 48, k: 48 };
+        assert!(
+            CpuModel::neon_dsp().op_time(&op, true) < CpuModel::cortex_a72().op_time(&op, true)
+        );
+    }
+
+    #[test]
+    fn in_order_core_pays_most_for_relinearization() {
+        let r = CpuModel::rocket().relin_time(10_000, 500, 1);
+        let x = CpuModel::xeon().relin_time(10_000, 500, 1);
+        assert!(r > 10.0 * x);
+    }
+
+    #[test]
+    fn relin_parallelizes_across_threads() {
+        let one = CpuModel::rocket().relin_time(10_000, 500, 1);
+        let four = CpuModel::rocket().relin_time(10_000, 500, 4);
+        assert!((one / four - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_factor_overhead_dominates_small_factors() {
+        let c = CpuModel::rocket();
+        // 100 small factors cost far more than one factor of the same volume.
+        let many = c.relin_time(1800, 100, 1);
+        let one = c.relin_time(1800, 1, 1);
+        assert!(many > 5.0 * one, "many {many} vs one {one}");
+    }
+
+    #[test]
+    fn cache_miss_slows_streaming() {
+        let op = Op::Memcpy { bytes: 1 << 20 };
+        let c = CpuModel::cortex_a72();
+        assert!(c.op_time(&op, false) > c.op_time(&op, true));
+    }
+
+    #[test]
+    fn scatter_pays_per_block_overhead() {
+        let c = CpuModel::rocket();
+        let few_big = c.op_time(&Op::ScatterAdd { blocks: 1, elems: 360 }, true);
+        let many_small = c.op_time(&Op::ScatterAdd { blocks: 40, elems: 360 }, true);
+        assert!(many_small > few_big);
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-operation-class time accounting (Figure 3 of the paper).
+
+use std::fmt;
+
+use supernova_linalg::ops::Op;
+
+/// Coarse operation classes used for latency breakdowns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// General matrix multiplies (Hessian construction, merges).
+    Gemm,
+    /// Symmetric rank-k updates.
+    Syrk,
+    /// Triangular solves on blocks.
+    Trsm,
+    /// Dense Cholesky of pivot blocks.
+    Chol,
+    /// Matrix–vector products (back-substitution).
+    Gemv,
+    /// Block-sparse scatter-adds.
+    Scatter,
+    /// Bulk memory operations (memcpy/memset).
+    Memory,
+}
+
+impl OpClass {
+    /// All classes in display order.
+    pub const ALL: [OpClass; 7] = [
+        OpClass::Gemm,
+        OpClass::Syrk,
+        OpClass::Trsm,
+        OpClass::Chol,
+        OpClass::Gemv,
+        OpClass::Scatter,
+        OpClass::Memory,
+    ];
+
+    /// The class of an [`Op`].
+    pub fn of(op: &Op) -> OpClass {
+        match op {
+            Op::Gemm { .. } => OpClass::Gemm,
+            Op::Syrk { .. } => OpClass::Syrk,
+            Op::Trsm { .. } => OpClass::Trsm,
+            Op::Chol { .. } => OpClass::Chol,
+            Op::Gemv { .. } => OpClass::Gemv,
+            Op::ScatterAdd { .. } => OpClass::Scatter,
+            Op::Memcpy { .. } | Op::Memset { .. } => OpClass::Memory,
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::Gemm => "GEMM",
+            OpClass::Syrk => "SYRK",
+            OpClass::Trsm => "TRSM",
+            OpClass::Chol => "CHOL",
+            OpClass::Gemv => "GEMV",
+            OpClass::Scatter => "SCATTER",
+            OpClass::Memory => "MEMORY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulates time per [`OpClass`].
+///
+/// # Example
+///
+/// ```
+/// use supernova_hw::{Ledger, OpClass};
+/// use supernova_linalg::ops::Op;
+///
+/// let mut ledger = Ledger::new();
+/// ledger.add(&Op::Syrk { n: 4, k: 2 }, 1e-6);
+/// assert!(ledger.time_of(OpClass::Syrk) > 0.0);
+/// assert_eq!(ledger.total(), 1e-6);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Ledger {
+    seconds: [f64; 7],
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `seconds` against the class of `op`.
+    pub fn add(&mut self, op: &Op, seconds: f64) {
+        let idx = OpClass::ALL.iter().position(|&c| c == OpClass::of(op)).expect("class exists");
+        self.seconds[idx] += seconds;
+    }
+
+    /// Accumulated time for `class`.
+    pub fn time_of(&self, class: OpClass) -> f64 {
+        let idx = OpClass::ALL.iter().position(|&c| c == class).expect("class exists");
+        self.seconds[idx]
+    }
+
+    /// Sum over all classes.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// `(class, seconds)` rows in display order.
+    pub fn rows(&self) -> Vec<(OpClass, f64)> {
+        OpClass::ALL.iter().map(|&c| (c, self.time_of(c))).collect()
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &Ledger) {
+        for (a, b) in self.seconds.iter_mut().zip(&other.seconds) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_all_ops() {
+        assert_eq!(OpClass::of(&Op::Gemm { m: 1, n: 1, k: 1 }), OpClass::Gemm);
+        assert_eq!(OpClass::of(&Op::Memset { bytes: 1 }), OpClass::Memory);
+        assert_eq!(OpClass::of(&Op::Memcpy { bytes: 1 }), OpClass::Memory);
+        assert_eq!(OpClass::of(&Op::ScatterAdd { blocks: 1, elems: 1 }), OpClass::Scatter);
+    }
+
+    #[test]
+    fn ledger_accumulates_and_merges() {
+        let mut a = Ledger::new();
+        a.add(&Op::Chol { n: 4 }, 2.0);
+        a.add(&Op::Chol { n: 4 }, 3.0);
+        let mut b = Ledger::new();
+        b.add(&Op::Memcpy { bytes: 8 }, 1.0);
+        a.merge(&b);
+        assert_eq!(a.time_of(OpClass::Chol), 5.0);
+        assert_eq!(a.time_of(OpClass::Memory), 1.0);
+        assert_eq!(a.total(), 6.0);
+        assert_eq!(a.rows().len(), 7);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for c in OpClass::ALL {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

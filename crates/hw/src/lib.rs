@@ -1,0 +1,50 @@
+//! Cycle-level analytic model of the SuperNoVA SoC and its baselines.
+//!
+//! The paper evaluates SuperNoVA in RTL on FireSim (§5.1). This crate is the
+//! substitution documented in DESIGN.md: a deterministic analytic timing
+//! model of every component in Table 3 — the COMP systolic-array compute
+//! accelerator with its Sparse Index Unroller, the MEM DMA accelerator with
+//! virtual channels, the Rocket/BOOM CPU tiles, the shared LLC and DRAM —
+//! plus the six baseline platforms of §5.4 (BOOM, mobile CPU, mobile DSP,
+//! server CPU, embedded GPU, Spatula).
+//!
+//! Every model prices [`Op`](supernova_linalg::ops::Op) records in seconds
+//! via the [`Engine`] trait; the runtime crate schedules those prices over
+//! the elimination tree. Absolute numbers are first-order estimates; the
+//! evaluation reproduces the paper's *relative* behaviour (who wins, where,
+//! and why), which is what the models are calibrated for.
+//!
+//! # Example
+//!
+//! ```
+//! use supernova_hw::{Engine, Platform};
+//! use supernova_linalg::ops::Op;
+//!
+//! let server = Platform::server_cpu();
+//! let boom = Platform::boom();
+//! let op = Op::Syrk { n: 96, k: 48 };
+//! // A server-class OoO CPU is faster per numeric op than an embedded core.
+//! assert!(server.numeric_engine().op_time(&op) < boom.numeric_engine().op_time(&op));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area_power;
+mod comp;
+mod energy;
+mod config;
+mod cpu;
+mod gpu;
+mod ledger;
+mod mem;
+mod platform;
+
+pub use comp::CompModel;
+pub use config::SocConfig;
+pub use cpu::CpuModel;
+pub use energy::EnergyModel;
+pub use gpu::GpuModel;
+pub use ledger::{Ledger, OpClass};
+pub use mem::MemModel;
+pub use platform::{Engine, Platform, PlatformKind};

@@ -1,0 +1,116 @@
+//! The MEM memory-accelerator tile model (§4.2.2).
+
+use supernova_linalg::ops::Op;
+
+/// Analytic timing model of one MEM tile: a DMA engine with multiple virtual
+/// channels (VCs), strided access support, and tracking of in-flight burst
+/// transactions.
+///
+/// MEM executes the workspace-management operations of the multifrontal
+/// algorithm — `memset` of frontal workspaces and `memcpy` of factors and
+/// supernode columns — which on CPU-only systems show up as serial overhead
+/// (the effect the Spatula comparison isolates in §6.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemModel {
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Per-request setup cycles (instruction decode + VC configuration).
+    pub setup_cycles: f64,
+    /// DMA streaming bandwidth in bytes per cycle (LLC side).
+    pub llc_bytes_per_cycle: f64,
+    /// Streaming bandwidth when the transfer misses LLC.
+    pub dram_bytes_per_cycle: f64,
+    /// Number of virtual channels (independent request streams whose setup
+    /// latencies overlap).
+    pub virtual_channels: usize,
+}
+
+impl MemModel {
+    /// The Table 3 MEM tile: 4 VCs at 1 GHz.
+    pub fn paper() -> Self {
+        MemModel {
+            freq_hz: 1e9,
+            setup_cycles: 25.0,
+            llc_bytes_per_cycle: 64.0,
+            dram_bytes_per_cycle: 64.0,
+            virtual_channels: 4,
+        }
+    }
+
+    /// Seconds to execute a single memory `op`; `None` for compute ops.
+    pub fn op_time(&self, op: &Op, fits_llc: bool) -> Option<f64> {
+        let bytes = match *op {
+            Op::Memcpy { bytes } => 2 * bytes, // read + write
+            Op::Memset { bytes } => bytes,
+            _ => return None,
+        };
+        let bw = if fits_llc { self.llc_bytes_per_cycle } else { self.dram_bytes_per_cycle };
+        Some((self.setup_cycles + bytes as f64 / bw) / self.freq_hz)
+    }
+
+    /// Seconds to execute a batch of memory ops, with setup latencies
+    /// overlapped across the VCs (the decoder keeps `virtual_channels`
+    /// requests in flight).
+    pub fn batch_time(&self, ops: &[Op], fits_llc: bool) -> f64 {
+        let mut total_bytes = 0usize;
+        let mut count = 0usize;
+        for op in ops {
+            match *op {
+                Op::Memcpy { bytes } => {
+                    total_bytes += 2 * bytes;
+                    count += 1;
+                }
+                Op::Memset { bytes } => {
+                    total_bytes += bytes;
+                    count += 1;
+                }
+                _ => {}
+            }
+        }
+        if count == 0 {
+            return 0.0;
+        }
+        let bw = if fits_llc { self.llc_bytes_per_cycle } else { self.dram_bytes_per_cycle };
+        let setups = (count as f64 / self.virtual_channels as f64).ceil() * self.setup_cycles;
+        (setups + total_bytes as f64 / bw) / self.freq_hz
+    }
+}
+
+impl Default for MemModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memcpy_counts_read_and_write() {
+        let m = MemModel::paper();
+        let cp = m.op_time(&Op::Memcpy { bytes: 6400 }, true).unwrap();
+        let st = m.op_time(&Op::Memset { bytes: 6400 }, true).unwrap();
+        assert!(cp > st);
+    }
+
+    #[test]
+    fn compute_ops_rejected() {
+        let m = MemModel::paper();
+        assert!(m.op_time(&Op::Gemm { m: 1, n: 1, k: 1 }, true).is_none());
+    }
+
+    #[test]
+    fn vc_overlap_beats_serial_setups() {
+        let m = MemModel::paper();
+        let ops = vec![Op::Memcpy { bytes: 64 }; 8];
+        let serial: f64 = ops.iter().map(|o| m.op_time(o, true).unwrap()).sum();
+        assert!(m.batch_time(&ops, true) < serial);
+    }
+
+    #[test]
+    fn batch_of_nothing_is_free() {
+        let m = MemModel::paper();
+        assert_eq!(m.batch_time(&[Op::Chol { n: 8 }], true), 0.0);
+    }
+}

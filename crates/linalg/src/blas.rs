@@ -1,0 +1,338 @@
+//! BLAS-style kernels over [`Mat`] and slices.
+//!
+//! These are the exact operation classes the paper's COMP accelerator
+//! executes (Figure 3 / §4.2.1): GEMM with optional operand transposition
+//! (the hardware transposer), symmetric rank-k updates (the dominant cost in
+//! Cholesky), and the triangular solve used on supernode subdiagonal blocks.
+
+use crate::Mat;
+
+/// Whether a GEMM operand is used as-is or transposed.
+///
+/// Mirrors the COMP tile's transposer, which lets either operand of a matrix
+/// product be transposed on load (§4.2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    #[default]
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+impl Transpose {
+    fn dims(self, m: &Mat) -> (usize, usize) {
+        match self {
+            Transpose::No => (m.rows(), m.cols()),
+            Transpose::Yes => (m.cols(), m.rows()),
+        }
+    }
+
+    #[inline]
+    fn at(self, m: &Mat, r: usize, c: usize) -> f64 {
+        match self {
+            Transpose::No => m[(r, c)],
+            Transpose::Yes => m[(c, r)],
+        }
+    }
+}
+
+/// General matrix–matrix multiply: `c = alpha * op_a(a) * op_b(b) + beta * c`.
+///
+/// # Panics
+///
+/// Panics if the operand shapes are incompatible with `c`.
+///
+/// # Example
+///
+/// ```
+/// use supernova_linalg::{gemm, Mat, Transpose};
+///
+/// let a = Mat::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+/// let b = Mat::identity(2);
+/// let mut c = Mat::zeros(2, 2);
+/// gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+/// assert_eq!(c, a);
+/// ```
+pub fn gemm(
+    alpha: f64,
+    a: &Mat,
+    op_a: Transpose,
+    b: &Mat,
+    op_b: Transpose,
+    beta: f64,
+    c: &mut Mat,
+) {
+    let (m, k) = op_a.dims(a);
+    let (kb, n) = op_b.dims(b);
+    assert_eq!(k, kb, "gemm inner dimension mismatch: {k} vs {kb}");
+    assert_eq!(c.rows(), m, "gemm output row mismatch");
+    assert_eq!(c.cols(), n, "gemm output column mismatch");
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill_zero();
+        } else {
+            c.scale(beta);
+        }
+    }
+    // Fast path: untransposed column-major a allows contiguous column AXPYs.
+    if op_a == Transpose::No {
+        for j in 0..n {
+            for p in 0..k {
+                let bpj = alpha * op_b.at(b, p, j);
+                if bpj == 0.0 {
+                    continue;
+                }
+                let acol = a.col(p);
+                let ccol = c.col_mut(j);
+                for i in 0..m {
+                    ccol[i] += acol[i] * bpj;
+                }
+            }
+        }
+    } else {
+        for j in 0..n {
+            for i in 0..m {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += op_a.at(a, i, p) * op_b.at(b, p, j);
+                }
+                c[(i, j)] += alpha * acc;
+            }
+        }
+    }
+}
+
+/// Symmetric rank-k update on the lower triangle:
+/// `c_lower = beta * c_lower - a * aᵀ` scaled by `alpha` on the update term,
+/// i.e. `c = beta * c + alpha * a * aᵀ`, touching only `i >= j`.
+///
+/// This is the third step of the supernode partial factorization,
+/// `L_C = C − L_B L_Bᵀ` (§3.2), and the paper's most power-intensive
+/// operation (§6.5).
+///
+/// # Panics
+///
+/// Panics if `c` is not square with `c.rows() == a.rows()`.
+pub fn syrk_lower(alpha: f64, a: &Mat, beta: f64, c: &mut Mat) {
+    assert_eq!(c.rows(), c.cols(), "syrk output must be square");
+    assert_eq!(c.rows(), a.rows(), "syrk dimension mismatch");
+    let n = c.rows();
+    let k = a.cols();
+    for j in 0..n {
+        if beta != 1.0 {
+            let ccol = c.col_mut(j);
+            for i in j..n {
+                ccol[i] *= beta;
+            }
+        }
+        for p in 0..k {
+            let ajp = alpha * a[(j, p)];
+            if ajp == 0.0 {
+                continue;
+            }
+            let acol = a.col(p);
+            let ccol = c.col_mut(j);
+            for i in j..n {
+                ccol[i] += acol[i] * ajp;
+            }
+        }
+    }
+}
+
+/// Triangular solve `x * opᵀ(l) = b` for `x`, overwriting `b`:
+/// computes `b := b * l⁻ᵀ` where `l` is lower triangular.
+///
+/// This is the supernode subdiagonal step `L_B L_Aᵀ = B` solved for `L_B`
+/// (§3.2, step 2).
+///
+/// # Panics
+///
+/// Panics if `l` is not square or `b.cols() != l.rows()`.
+pub fn trsm_right_lower_transpose(l: &Mat, b: &mut Mat) {
+    assert_eq!(l.rows(), l.cols(), "trsm triangle must be square");
+    assert_eq!(b.cols(), l.rows(), "trsm dimension mismatch");
+    let n = l.rows();
+    let m = b.rows();
+    // Solve column by column: X[:,j] = (B[:,j] - Σ_{p<j} X[:,p] L[j,p]) / L[j,j].
+    for j in 0..n {
+        for p in 0..j {
+            let ljp = l[(j, p)];
+            if ljp == 0.0 {
+                continue;
+            }
+            let (done, cur) = split_two_cols(b, p, j);
+            for i in 0..m {
+                cur[i] -= done[i] * ljp;
+            }
+        }
+        let d = l[(j, j)];
+        let col = b.col_mut(j);
+        for i in 0..m {
+            col[i] /= d;
+        }
+    }
+}
+
+/// Borrows two distinct columns of `m`, the first immutably conceptually
+/// (returned as `&mut` halves for simplicity; callers only read the first).
+fn split_two_cols(m: &mut Mat, first: usize, second: usize) -> (&[f64], &mut [f64]) {
+    debug_assert!(first < second);
+    let rows = m.rows();
+    let (lo, hi) = m.as_mut_slice().split_at_mut(second * rows);
+    (&lo[first * rows..first * rows + rows], &mut hi[..rows])
+}
+
+/// General matrix–vector multiply `y = alpha * op(a) * x + beta * y`.
+///
+/// # Panics
+///
+/// Panics if the shapes are incompatible.
+pub fn gemv(alpha: f64, a: &Mat, op: Transpose, x: &[f64], beta: f64, y: &mut [f64]) {
+    let (m, n) = op.dims(a);
+    assert_eq!(x.len(), n, "gemv input length mismatch");
+    assert_eq!(y.len(), m, "gemv output length mismatch");
+    let prod = match op {
+        Transpose::No => a.matvec(x),
+        Transpose::Yes => a.matvec_transpose(x),
+    };
+    for i in 0..m {
+        y[i] = alpha * prod[i] + beta * y[i];
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y += alpha * x` elementwise.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm of a slice.
+pub fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Infinity norm (maximum absolute entry) of a slice; zero when empty.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_mul(a: &Mat, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                for p in 0..a.cols() {
+                    c[(i, j)] += a[(i, p)] * b[(p, j)];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let a = Mat::from_fn(3, 4, |r, c| (r + 2 * c) as f64 - 1.5);
+        let b = Mat::from_fn(4, 2, |r, c| (2 * r + c) as f64 * 0.5);
+        let mut c = Mat::zeros(3, 2);
+        gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+        let want = naive_mul(&a, &b);
+        assert!((0..3).all(|i| (0..2).all(|j| (c[(i, j)] - want[(i, j)]).abs() < 1e-12)));
+    }
+
+    #[test]
+    fn gemm_transposed_operands() {
+        let a = Mat::from_fn(4, 3, |r, c| (r * 3 + c) as f64);
+        let b = Mat::from_fn(2, 4, |r, c| (r + c) as f64);
+        let mut c = Mat::zeros(3, 2);
+        gemm(1.0, &a, Transpose::Yes, &b, Transpose::Yes, 0.0, &mut c);
+        let want = naive_mul(&a.transposed(), &b.transposed());
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((c[(i, j)] - want[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = Mat::identity(2);
+        let b = Mat::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let mut c = Mat::from_rows(2, 2, &[10.0, 0.0, 0.0, 10.0]);
+        gemm(2.0, &a, Transpose::No, &b, Transpose::No, 0.5, &mut c);
+        assert_eq!(c[(0, 0)], 2.0 + 5.0);
+        assert_eq!(c[(0, 1)], 4.0);
+        assert_eq!(c[(1, 1)], 8.0 + 5.0);
+    }
+
+    #[test]
+    fn syrk_matches_gemm() {
+        let a = Mat::from_fn(4, 3, |r, c| ((r + 1) * (c + 2)) as f64 * 0.25 - 1.0);
+        let mut c = Mat::zeros(4, 4);
+        syrk_lower(1.0, &a, 0.0, &mut c);
+        let full = naive_mul(&a, &a.transposed());
+        for j in 0..4 {
+            for i in j..4 {
+                assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-12);
+            }
+        }
+        // Upper strict triangle untouched (remains zero).
+        assert_eq!(c[(0, 3)], 0.0);
+    }
+
+    #[test]
+    fn trsm_inverts_multiplication() {
+        let l = Mat::from_rows(3, 3, &[2.0, 0.0, 0.0, 1.0, 3.0, 0.0, -1.0, 0.5, 1.5]);
+        let x_true = Mat::from_fn(2, 3, |r, c| (r * 3 + c) as f64 + 1.0);
+        // b = x_true * lᵀ
+        let mut b = Mat::zeros(2, 3);
+        gemm(1.0, &x_true, Transpose::No, &l, Transpose::Yes, 0.0, &mut b);
+        trsm_right_lower_transpose(&l, &mut b);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert!((b[(i, j)] - x_true[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_both_ops() {
+        let a = Mat::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut y = vec![1.0, 1.0];
+        gemv(1.0, &a, Transpose::No, &[1.0, 0.0, 1.0], 1.0, &mut y);
+        assert_eq!(y, vec![5.0, 11.0]);
+        let mut z = vec![0.0; 3];
+        gemv(2.0, &a, Transpose::Yes, &[1.0, 1.0], 0.0, &mut z);
+        assert_eq!(z, vec![10.0, 14.0, 18.0]);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Dense and partial (frontal) Cholesky factorization.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{syrk_lower, trsm_right_lower_transpose, Mat};
+
+/// The matrix handed to a Cholesky factorization was not (numerically)
+/// symmetric positive definite.
+///
+/// Carries the column at which a non-positive pivot was encountered, which in
+/// the SLAM backend identifies the offending variable block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotPositiveDefiniteError {
+    col: usize,
+}
+
+impl NotPositiveDefiniteError {
+    /// Column index of the failing pivot.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+}
+
+impl fmt::Display for NotPositiveDefiniteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is not positive definite at column {}", self.col)
+    }
+}
+
+impl Error for NotPositiveDefiniteError {}
+
+/// Factors a symmetric positive-definite matrix in place: on success the
+/// lower triangle of `a` holds `L` with `a = L Lᵀ`.
+///
+/// Only the lower triangle of the input is read; the strict upper triangle is
+/// zeroed on success so the result can be used directly as `L`.
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefiniteError`] when a pivot is not strictly
+/// positive; the matrix is left partially factored in that case.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Example
+///
+/// ```
+/// use supernova_linalg::{cholesky_in_place, Mat};
+///
+/// let mut a = Mat::from_rows(2, 2, &[4.0, 2.0, 2.0, 5.0]);
+/// cholesky_in_place(&mut a)?;
+/// assert_eq!(a[(0, 0)], 2.0);
+/// # Ok::<(), supernova_linalg::NotPositiveDefiniteError>(())
+/// ```
+pub fn cholesky_in_place(a: &mut Mat) -> Result<(), NotPositiveDefiniteError> {
+    assert_eq!(a.rows(), a.cols(), "cholesky requires a square matrix");
+    let n = a.rows();
+    // Blocked right-looking factorization above this size: panels stay in
+    // cache and the trailing updates run through the BLAS-3 kernels.
+    const NB: usize = 48;
+    if n <= NB {
+        return cholesky_unblocked(a, 0);
+    }
+    let mut k = 0usize;
+    while k < n {
+        let b = NB.min(n - k);
+        let mut akk = a.block(k, k, b, b);
+        cholesky_unblocked(&mut akk, k)?;
+        a.set_block(k, k, &akk);
+        let rest = n - k - b;
+        if rest > 0 {
+            let mut asub = a.block(k + b, k, rest, b);
+            trsm_right_lower_transpose(&akk, &mut asub);
+            a.set_block(k + b, k, &asub);
+            let mut trail = a.block(k + b, k + b, rest, rest);
+            syrk_lower(-1.0, &asub, 1.0, &mut trail);
+            a.set_block(k + b, k + b, &trail);
+        }
+        k += b;
+    }
+    // Zero the strict upper triangle so the result is usable as L directly.
+    for j in 1..n {
+        for i in 0..j {
+            a[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Unblocked left-looking Cholesky of `a`; pivot-failure columns are
+/// reported offset by `col_base` (the caller's panel origin).
+fn cholesky_unblocked(a: &mut Mat, col_base: usize) -> Result<(), NotPositiveDefiniteError> {
+    let n = a.rows();
+    for j in 0..n {
+        // d = a[j,j] - Σ_{p<j} L[j,p]²
+        let mut d = a[(j, j)];
+        for p in 0..j {
+            let ljp = a[(j, p)];
+            d -= ljp * ljp;
+        }
+        if !(d > 0.0) || !d.is_finite() {
+            return Err(NotPositiveDefiniteError { col: col_base + j });
+        }
+        let djj = d.sqrt();
+        a[(j, j)] = djj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for p in 0..j {
+                s -= a[(i, p)] * a[(j, p)];
+            }
+            a[(i, j)] = s / djj;
+        }
+        for i in 0..j {
+            a[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Partial factorization of a frontal matrix (§3.2 of the paper).
+///
+/// `front` is the `(m + n) × (m + n)` symmetric frontal matrix
+/// `[[A, ·], [B, C]]` with only the lower triangle stored; `m = pivots` is
+/// the number of columns that belong to the supernode. On success:
+///
+/// 1. `A = L_A L_Aᵀ` — the leading `m × m` block holds `L_A`;
+/// 2. `L_B L_Aᵀ = B` — the `n × m` subdiagonal block holds `L_B`;
+/// 3. `L_C = C − L_B L_Bᵀ` — the trailing `n × n` lower triangle holds the
+///    update matrix that is scatter-added into the parent (the *merge* step).
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefiniteError`] (with a column index relative to the
+/// front) if the pivot block is not positive definite.
+///
+/// # Panics
+///
+/// Panics if `front` is not square or `pivots > front.rows()`.
+pub fn partial_cholesky_in_place(
+    front: &mut Mat,
+    pivots: usize,
+) -> Result<(), NotPositiveDefiniteError> {
+    assert_eq!(front.rows(), front.cols(), "frontal matrix must be square");
+    let total = front.rows();
+    assert!(pivots <= total, "pivot count exceeds front size");
+    let n = total - pivots;
+
+    // Step 1: dense Cholesky of the pivot block A.
+    let mut la = front.block(0, 0, pivots, pivots);
+    cholesky_in_place(&mut la)?;
+    front.set_block(0, 0, &la);
+
+    if n == 0 {
+        return Ok(());
+    }
+
+    // Step 2: triangular solve L_B L_Aᵀ = B.
+    let mut lb = front.block(pivots, 0, n, pivots);
+    trsm_right_lower_transpose(&la, &mut lb);
+    front.set_block(pivots, 0, &lb);
+
+    // Step 3: symmetric rank-k update L_C = C − L_B L_Bᵀ (lower triangle).
+    let mut lc = front.block(pivots, pivots, n, n);
+    syrk_lower(-1.0, &lb, 1.0, &mut lc);
+    front.set_block(pivots, pivots, &lc);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gemm, Transpose};
+
+    fn spd(n: usize, seed: u64) -> Mat {
+        // Deterministic pseudo-random well-conditioned SPD matrix.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        let g = Mat::from_fn(n, n, |_, _| next());
+        let mut a = Mat::from_diag(&vec![n as f64; n]);
+        syrk_lower(1.0, &g, 1.0, &mut a);
+        // Mirror lower to upper for reconstruction checks.
+        Mat::from_fn(n, n, |r, c| if r >= c { a[(r, c)] } else { a[(c, r)] })
+    }
+
+    fn reconstruct(l: &Mat) -> Mat {
+        let mut out = Mat::zeros(l.rows(), l.rows());
+        gemm(1.0, l, Transpose::No, l, Transpose::Yes, 0.0, &mut out);
+        out
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        for n in [1, 2, 5, 12, 47, 48, 49, 100, 150] {
+            let a = spd(n, n as u64);
+            let mut l = a.clone();
+            cholesky_in_place(&mut l).unwrap();
+            let r = reconstruct(&l);
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        (r[(i, j)] - a[(i, j)]).abs() < 1e-8 * (n as f64),
+                        "mismatch at ({i},{j}) for n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = Mat::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]);
+        let err = cholesky_in_place(&mut a).unwrap_err();
+        assert_eq!(err.col(), 1);
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn blocked_path_reports_global_pivot_column() {
+        // SPD except one late diagonal entry poisoned: the failure column
+        // must be reported in global coordinates even on the blocked path.
+        let n = 96;
+        let mut a = spd(n, 5);
+        a[(70, 70)] = -1e6;
+        let err = cholesky_in_place(&mut a).unwrap_err();
+        assert_eq!(err.col(), 70);
+    }
+
+    #[test]
+    fn cholesky_rejects_nan() {
+        let mut a = Mat::from_rows(1, 1, &[f64::NAN]);
+        assert!(cholesky_in_place(&mut a).is_err());
+    }
+
+    #[test]
+    fn partial_factorization_matches_full() {
+        // Factor the full SPD matrix, then verify the partial factorization
+        // of the front reproduces the leading columns and the Schur
+        // complement C − L_B L_Bᵀ.
+        let n_total = 7;
+        let pivots = 3;
+        let a = spd(n_total, 42);
+        let mut full = a.clone();
+        cholesky_in_place(&mut full).unwrap();
+
+        let mut front = a.clone();
+        partial_cholesky_in_place(&mut front, pivots).unwrap();
+
+        // Leading `pivots` columns of L agree.
+        for j in 0..pivots {
+            for i in j..n_total {
+                assert!(
+                    (front[(i, j)] - full[(i, j)]).abs() < 1e-9,
+                    "column {j} row {i} differs"
+                );
+            }
+        }
+        // Trailing block equals the Schur complement, i.e. what full
+        // factorization would factor next: L_C = L_22 L_22ᵀ of the remainder.
+        let rest = n_total - pivots;
+        let l22 = full.block(pivots, pivots, rest, rest);
+        let mut schur = Mat::zeros(rest, rest);
+        gemm(1.0, &l22, Transpose::No, &l22, Transpose::Yes, 0.0, &mut schur);
+        for j in 0..rest {
+            for i in j..rest {
+                assert!(
+                    (front[(pivots + i, pivots + j)] - schur[(i, j)]).abs() < 1e-8,
+                    "schur ({i},{j}) differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_with_zero_remainder_is_plain_cholesky() {
+        let a = spd(4, 7);
+        let mut f = a.clone();
+        partial_cholesky_in_place(&mut f, 4).unwrap();
+        let mut l = a.clone();
+        cholesky_in_place(&mut l).unwrap();
+        for j in 0..4 {
+            for i in j..4 {
+                assert!((f[(i, j)] - l[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Dense triangular solves with a lower-triangular factor.
+
+use crate::Mat;
+
+/// Solves `L y = b` in place for lower-triangular `L`, overwriting `b` with
+/// `y` (forward substitution).
+///
+/// Only the lower triangle of `l` is read.
+///
+/// # Panics
+///
+/// Panics if `l` is not square or `b.len() != l.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use supernova_linalg::{solve_lower, Mat};
+///
+/// let l = Mat::from_rows(2, 2, &[2.0, 0.0, 1.0, 3.0]);
+/// let mut b = vec![4.0, 8.0];
+/// solve_lower(&l, &mut b);
+/// assert_eq!(b, vec![2.0, 2.0]);
+/// ```
+pub fn solve_lower(l: &Mat, b: &mut [f64]) {
+    assert_eq!(l.rows(), l.cols(), "triangle must be square");
+    assert_eq!(b.len(), l.rows(), "rhs length mismatch");
+    let n = l.rows();
+    for j in 0..n {
+        let yj = b[j] / l[(j, j)];
+        b[j] = yj;
+        if yj != 0.0 {
+            let col = l.col(j);
+            for i in (j + 1)..n {
+                b[i] -= col[i] * yj;
+            }
+        }
+    }
+}
+
+/// Solves `Lᵀ x = b` in place for lower-triangular `L`, overwriting `b` with
+/// `x` (backward substitution).
+///
+/// Only the lower triangle of `l` is read.
+///
+/// # Panics
+///
+/// Panics if `l` is not square or `b.len() != l.rows()`.
+pub fn solve_lower_transpose(l: &Mat, b: &mut [f64]) {
+    assert_eq!(l.rows(), l.cols(), "triangle must be square");
+    assert_eq!(b.len(), l.rows(), "rhs length mismatch");
+    let n = l.rows();
+    for j in (0..n).rev() {
+        let col = l.col(j);
+        let mut s = b[j];
+        for i in (j + 1)..n {
+            s -= col[i] * b[i];
+        }
+        b[j] = s / col[j];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky_in_place;
+
+    #[test]
+    fn forward_backward_solve_spd_system() {
+        let a = Mat::from_rows(
+            3,
+            3,
+            &[10.0, 2.0, 1.0, 2.0, 8.0, 0.5, 1.0, 0.5, 6.0],
+        );
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let mut l = a.clone();
+        cholesky_in_place(&mut l).unwrap();
+        let mut x = b;
+        solve_lower(&l, &mut x);
+        solve_lower_transpose(&l, &mut x);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_identity_is_noop() {
+        let l = Mat::identity(4);
+        let mut b = vec![1.0, 2.0, 3.0, 4.0];
+        solve_lower(&l, &mut b);
+        assert_eq!(b, vec![1.0, 2.0, 3.0, 4.0]);
+        solve_lower_transpose(&l, &mut b);
+        assert_eq!(b, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_ignores_upper_triangle_garbage() {
+        let mut l = Mat::from_rows(2, 2, &[2.0, 99.0, 1.0, 3.0]);
+        l[(0, 1)] = 99.0;
+        let mut b = vec![4.0, 8.0];
+        solve_lower(&l, &mut b);
+        assert_eq!(b, vec![2.0, 2.0]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the dense kernels.
+
+use proptest::prelude::*;
+use supernova_linalg::{
+    cholesky_in_place, gemm, partial_cholesky_in_place, solve_lower, solve_lower_transpose,
+    syrk_lower, Mat, Transpose,
+};
+
+/// Strategy producing a random well-conditioned SPD matrix of size 1..=8.
+fn spd_matrix() -> impl Strategy<Value = Mat> {
+    (1usize..=8).prop_flat_map(|n| {
+        proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |v| {
+            let g = Mat::from_cols(n, n, v);
+            let mut a = Mat::from_diag(&vec![n as f64 + 1.0; n]);
+            syrk_lower(1.0, &g, 1.0, &mut a);
+            Mat::from_fn(n, n, |r, c| if r >= c { a[(r, c)] } else { a[(c, r)] })
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn cholesky_reconstructs_input(a in spd_matrix()) {
+        let n = a.rows();
+        let mut l = a.clone();
+        cholesky_in_place(&mut l).unwrap();
+        let mut r = Mat::zeros(n, n);
+        gemm(1.0, &l, Transpose::No, &l, Transpose::Yes, 0.0, &mut r);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-7 * (n as f64 + 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_inverts_spd_system(a in spd_matrix(), seed in 0u64..1000) {
+        let n = a.rows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 7) as f64 - 3.0).collect();
+        let b = a.matvec(&x_true);
+        let mut l = a.clone();
+        cholesky_in_place(&mut l).unwrap();
+        let mut x = b;
+        solve_lower(&l, &mut x);
+        solve_lower_transpose(&l, &mut x);
+        for i in 0..n {
+            prop_assert!((x[i] - x_true[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn partial_factorization_prefix_of_full(a in spd_matrix(), split in 0usize..=8) {
+        let n = a.rows();
+        let pivots = split.min(n);
+        let mut full = a.clone();
+        cholesky_in_place(&mut full).unwrap();
+        let mut front = a.clone();
+        partial_cholesky_in_place(&mut front, pivots).unwrap();
+        for j in 0..pivots {
+            for i in j..n {
+                prop_assert!((front[(i, j)] - full[(i, j)]).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_is_linear_in_alpha(
+        va in proptest::collection::vec(-2.0f64..2.0, 9),
+        vb in proptest::collection::vec(-2.0f64..2.0, 9),
+        alpha in -3.0f64..3.0,
+    ) {
+        let a = Mat::from_cols(3, 3, va);
+        let b = Mat::from_cols(3, 3, vb);
+        let mut c1 = Mat::zeros(3, 3);
+        gemm(alpha, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c1);
+        let mut c2 = Mat::zeros(3, 3);
+        gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c2);
+        c2.scale(alpha);
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_product_identity(
+        va in proptest::collection::vec(-2.0f64..2.0, 12),
+    ) {
+        // (Aᵀ A) must be symmetric.
+        let a = Mat::from_cols(4, 3, va);
+        let mut c = Mat::zeros(3, 3);
+        gemm(1.0, &a, Transpose::Yes, &a, Transpose::No, 0.0, &mut c);
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((c[(i, j)] - c[(j, i)]).abs() < 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Absolute pose error and incremental RMSE (§5.3).
+
+use supernova_factors::Values;
+
+/// Absolute-pose-error summary over one trajectory comparison.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ApeStats {
+    /// Maximum translation error across compared poses (the paper's MAX).
+    pub max: f64,
+    /// Root-mean-square translation error.
+    pub rmse: f64,
+    /// Number of poses compared.
+    pub count: usize,
+}
+
+/// Computes the absolute pose error (translation part) of `estimate`
+/// against `reference` over their common prefix.
+///
+/// No alignment step is needed: both trajectories share the gauge fixed by
+/// the dataset's prior factor (the paper's reference trajectories are
+/// optimized in the same frame).
+pub fn ape(estimate: &Values, reference: &Values) -> ApeStats {
+    let n = estimate.len().min(reference.len());
+    let mut max = 0.0f64;
+    let mut sum2 = 0.0f64;
+    for i in 0..n {
+        let d = estimate.get(i.into()).translation_distance(reference.get(i.into()));
+        max = max.max(d);
+        sum2 += d * d;
+    }
+    ApeStats { max, rmse: if n > 0 { (sum2 / n as f64).sqrt() } else { 0.0 }, count: n }
+}
+
+/// Accumulates per-step APE into the incremental metrics of Equation (3):
+/// `iRMSE = (1/K) Σ_k RMSE(X⁽ᵏ⁾, X_ref⁽ᵏ⁾)`, plus the worst per-step MAX.
+///
+/// In online SLAM the error must be measured at *each* timestep, not just
+/// over the final trajectory — a late loop-closure fix cannot repair frames
+/// that were already rendered.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IrmseAccumulator {
+    rmse_sum: f64,
+    steps: usize,
+    max: f64,
+}
+
+impl IrmseAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one evaluated step.
+    pub fn push(&mut self, step_stats: ApeStats) {
+        self.rmse_sum += step_stats.rmse;
+        self.max = self.max.max(step_stats.max);
+        self.steps += 1;
+    }
+
+    /// The incremental RMSE over the recorded steps.
+    pub fn irmse(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.rmse_sum / self.steps as f64
+        }
+    }
+
+    /// The worst per-step maximum translation error (the paper's MAX rows
+    /// in Table 4).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Steps recorded.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supernova_factors::{Se2, Values};
+
+    fn traj(offsets: &[f64]) -> Values {
+        let mut v = Values::new();
+        for (i, o) in offsets.iter().enumerate() {
+            v.insert_se2(Se2::new(i as f64 + o, 0.0, 0.0));
+        }
+        v
+    }
+
+    #[test]
+    fn ape_of_identical_trajectories_is_zero() {
+        let a = traj(&[0.0, 0.0, 0.0]);
+        let s = ape(&a, &a);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.rmse, 0.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn ape_max_and_rmse() {
+        let est = traj(&[0.0, 0.3, 0.4]);
+        let reference = traj(&[0.0, 0.0, 0.0]);
+        let s = ape(&est, &reference);
+        assert!((s.max - 0.4).abs() < 1e-12);
+        let expect = ((0.0 + 0.09 + 0.16) / 3.0f64).sqrt();
+        assert!((s.rmse - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ape_uses_common_prefix() {
+        let est = traj(&[0.1, 0.1]);
+        let reference = traj(&[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(ape(&est, &reference).count, 2);
+    }
+
+    #[test]
+    fn irmse_averages_and_tracks_worst() {
+        let mut acc = IrmseAccumulator::new();
+        acc.push(ApeStats { max: 0.5, rmse: 0.2, count: 10 });
+        acc.push(ApeStats { max: 1.5, rmse: 0.4, count: 11 });
+        assert!((acc.irmse() - 0.3).abs() < 1e-12);
+        assert_eq!(acc.max(), 1.5);
+        assert_eq!(acc.steps(), 2);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let acc = IrmseAccumulator::new();
+        assert_eq!(acc.irmse(), 0.0);
+        assert_eq!(acc.max(), 0.0);
+    }
+}

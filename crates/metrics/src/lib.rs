@@ -1,0 +1,28 @@
+//! Trajectory-accuracy and latency metrics for the SuperNoVA evaluation
+//! (§5.3 of the paper).
+//!
+//! - [`ape`] — absolute pose error of an estimate against a reference
+//!   trajectory: the maximum translation error (MAX) and the RMSE;
+//! - [`IrmseAccumulator`] — the incremental RMSE of Equation (3): the
+//!   per-step RMSE averaged over steps (and the incremental MAX);
+//! - [`BoxStats`] / [`miss_rate`] — the Figure 10 statistics: latency
+//!   quartiles and target-miss rates.
+//!
+//! # Example
+//!
+//! ```
+//! use supernova_metrics::{miss_rate, BoxStats};
+//!
+//! let latencies = [0.010, 0.020, 0.031, 0.050];
+//! assert_eq!(miss_rate(&latencies, 1.0 / 30.0), 0.25);
+//! assert!(BoxStats::from_samples(&latencies).median > 0.02);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accuracy;
+mod stats;
+
+pub use accuracy::{ape, ApeStats, IrmseAccumulator};
+pub use stats::{miss_rate, BoxStats};

@@ -1,0 +1,96 @@
+//! Latency statistics for the Figure 10 box plots.
+
+/// Five-number summary (plus mean) of a latency sample set.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BoxStats {
+    /// Smallest sample.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest sample (outliers included, as in Figure 10).
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl BoxStats {
+    /// Computes the summary. Returns the default (all zeros) for an empty
+    /// input.
+    pub fn from_samples(samples: &[f64]) -> BoxStats {
+        if samples.is_empty() {
+            return BoxStats::default();
+        }
+        let mut s = samples.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let q = |p: f64| -> f64 {
+            let idx = p * (s.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let w = idx - lo as f64;
+            s[lo] * (1.0 - w) + s[hi] * w
+        };
+        BoxStats {
+            min: s[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *s.last().expect("nonempty"),
+            mean: s.iter().sum::<f64>() / s.len() as f64,
+            count: s.len(),
+        }
+    }
+}
+
+/// Fraction of samples strictly exceeding `target` — the "target miss rate"
+/// annotated above each box in Figure 10.
+pub fn miss_rate(samples: &[f64], target: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|&&s| s > target).count() as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_of_known_set() {
+        let s = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.count, 5);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = BoxStats::from_samples(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn empty_input_is_zeroed() {
+        assert_eq!(BoxStats::from_samples(&[]), BoxStats::default());
+        assert_eq!(miss_rate(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_is_strict() {
+        let samples = [1.0, 2.0, 3.0];
+        assert_eq!(miss_rate(&samples, 2.0), 1.0 / 3.0);
+        assert_eq!(miss_rate(&samples, 3.0), 0.0);
+        assert_eq!(miss_rate(&samples, 0.5), 1.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! The node cost model exposed to the algorithm layer (§4.3.3).
+
+use supernova_hw::Platform;
+use supernova_linalg::ops::{Op, OpTrace};
+
+use crate::SchedulerConfig;
+
+/// Cost estimates the RA-ISAM2 selection algorithm queries while deciding
+/// which variables to relinearize (Algorithm 1's `ComputeNodeCost`).
+///
+/// The trait abstracts the hardware layer from the algorithm, exactly as the
+/// paper's runtime does: the solver crate depends only on this interface.
+pub trait RelinCostModel {
+    /// Predicted seconds to recompute a supernode with the given scalar
+    /// front dimensions and staged factor bytes, on this platform with its
+    /// current accelerator resources.
+    fn predict_node_seconds(&self, pivot_dim: usize, rem_dim: usize, factor_bytes: usize) -> f64;
+
+    /// Predicted seconds to relinearize `factors` factors totalling
+    /// `jacobian_elems` Jacobian elements.
+    fn relin_seconds(&self, jacobian_elems: usize, factors: usize) -> f64;
+
+    /// Predicted seconds of symbolic re-analysis over `pattern_elems`
+    /// entries.
+    fn symbolic_seconds(&self, pattern_elems: usize) -> f64;
+
+    /// Predicted seconds of triangular solves over a factor with
+    /// `l_nnz_scalars` stored nonzeros.
+    fn solve_seconds(&self, l_nnz_scalars: usize) -> f64;
+}
+
+/// The concrete cost model over a [`Platform`](supernova_hw::Platform),
+/// consistent with the
+/// [`simulate_step`](crate::simulate_step) scheduler: the same op-level
+/// prices, discounted by the expected multi-set speedup.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    platform: Platform,
+    cfg: SchedulerConfig,
+}
+
+impl CostModel {
+    /// Builds a cost model for `platform` with the default scheduler
+    /// configuration.
+    pub fn new(platform: Platform) -> Self {
+        Self::with_config(platform, SchedulerConfig::default())
+    }
+
+    /// Builds a cost model with an explicit scheduler configuration.
+    pub fn with_config(platform: Platform, cfg: SchedulerConfig) -> Self {
+        CostModel { platform, cfg }
+    }
+
+    /// The modeled platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Effective parallel speedup the selection algorithm assumes across the
+    /// platform's accelerator sets (conservative Amdahl-style discount; the
+    /// scheduler realizes roughly this much on branchy trees).
+    fn effective_sets(&self) -> f64 {
+        let sets = self.platform.accel_sets();
+        if sets <= 1 || !self.cfg.inter_node {
+            1.0
+        } else {
+            1.0 + 0.7 * (sets as f64 - 1.0)
+        }
+    }
+
+    /// Serial time of `ops` on one accelerator set (or the host CPU for
+    /// non-accelerated platforms).
+    fn serial_ops_time(&self, ops: &OpTrace, fits: bool) -> f64 {
+        let mut comp_t = 0.0;
+        let mut mem_ops = Vec::new();
+        if self.platform.is_accelerated() {
+            let comp = self.platform.comp().expect("accelerated");
+            for op in ops.ops() {
+                if op.is_memory() && self.platform.has_mem_accel() {
+                    mem_ops.push(*op);
+                } else if let Some(t) = comp.op_time(op, fits) {
+                    comp_t += t;
+                } else {
+                    comp_t += self.platform.host().op_time(op, fits);
+                }
+            }
+            let mem_t =
+                self.platform.mem().map(|m| m.batch_time(&mem_ops, fits)).unwrap_or(0.0);
+            if self.cfg.hetero_overlap && self.platform.has_mem_accel() {
+                comp_t.max(mem_t) + 0.07 * comp_t.min(mem_t)
+            } else {
+                comp_t + mem_t
+            }
+        } else {
+            ops.ops().iter().map(|op| self.platform.numeric_engine().op_time_ctx(op, fits)).sum()
+        }
+    }
+}
+
+impl RelinCostModel for CostModel {
+    fn predict_node_seconds(&self, pivot_dim: usize, rem_dim: usize, factor_bytes: usize) -> f64 {
+        let ops = node_ops_profile(pivot_dim, rem_dim, factor_bytes);
+        let fits = (pivot_dim + rem_dim).pow(2) * 4 <= self.platform.cache_bytes();
+        self.serial_ops_time(&ops, fits) / self.effective_sets()
+    }
+
+    fn relin_seconds(&self, jacobian_elems: usize, factors: usize) -> f64 {
+        self.platform.relin_time(jacobian_elems, factors)
+    }
+
+    fn symbolic_seconds(&self, pattern_elems: usize) -> f64 {
+        self.platform.symbolic_time(pattern_elems)
+    }
+
+    fn solve_seconds(&self, l_nnz_scalars: usize) -> f64 {
+        // Two triangular sweeps over the stored factor; sequential chain.
+        let op = Op::Gemv { m: 1, n: 2 * l_nnz_scalars };
+        self.serial_ops_time(&[op].into_iter().collect(), true)
+    }
+}
+
+/// The synthetic op profile of recomputing one supernode — the model the
+/// runtime exposes for cost prediction before the node is actually executed
+/// (front reset, factor staging and scatter, the three factorization steps,
+/// and the column store).
+pub(crate) fn node_ops_profile(pivot_dim: usize, rem_dim: usize, factor_bytes: usize) -> OpTrace {
+    let m = pivot_dim;
+    let n = rem_dim;
+    let t = m + n;
+    let mut ops = OpTrace::new();
+    ops.push(Op::Memset { bytes: t * t * 4 });
+    if factor_bytes > 0 {
+        let elems = factor_bytes / 4;
+        ops.push(Op::Memcpy { bytes: factor_bytes });
+        ops.push(Op::ScatterAdd { blocks: (elems / 36).max(1), elems });
+    }
+    if n > 0 {
+        // Children extend-add is roughly one full update-matrix scatter.
+        let elems = n * (n + 1) / 2;
+        ops.push(Op::Memcpy { bytes: elems * 4 });
+        ops.push(Op::ScatterAdd { blocks: (elems / 36).max(1), elems });
+    }
+    ops.push(Op::Chol { n: m });
+    if n > 0 {
+        ops.push(Op::Trsm { m: n, n: m });
+        ops.push(Op::Syrk { n, k: m });
+    }
+    ops.push(Op::Memcpy { bytes: t * m * 4 });
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_scales_with_node_size() {
+        let cm = CostModel::new(Platform::supernova(2));
+        let small = cm.predict_node_seconds(12, 12, 500);
+        let large = cm.predict_node_seconds(96, 96, 5000);
+        assert!(large > 10.0 * small);
+    }
+
+    #[test]
+    fn more_sets_predict_cheaper_nodes() {
+        let one = CostModel::new(Platform::supernova(1)).predict_node_seconds(48, 48, 2000);
+        let four = CostModel::new(Platform::supernova(4)).predict_node_seconds(48, 48, 2000);
+        assert!(four < one);
+    }
+
+    #[test]
+    fn cpu_cost_model_prices_higher_than_accelerated() {
+        let cpu = CostModel::new(Platform::server_cpu());
+        let sn = CostModel::new(Platform::supernova(2));
+        // Large dense node: the accelerator should win.
+        assert!(sn.predict_node_seconds(96, 96, 4000) < cpu.predict_node_seconds(96, 96, 4000));
+    }
+
+    #[test]
+    fn nonnumeric_estimates_positive() {
+        let cm = CostModel::new(Platform::supernova(2));
+        assert!(cm.relin_seconds(100, 5) > 0.0);
+        assert!(cm.symbolic_seconds(100) > 0.0);
+        assert!(cm.solve_seconds(1000) > 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Per-step energy accounting — the §7 energy-aware extension.
+
+use supernova_hw::{EnergyModel, Platform};
+
+use crate::{StepLatency, StepTrace};
+
+/// Energy of one backend step on `platform`, in joules: the dynamic energy
+/// of every recorded operation plus the platform's static draw over the
+/// step's (priced) busy time.
+///
+/// This is the quantity an energy-aware RA-ISAM2 would budget instead of —
+/// or alongside — wall-clock time; see `repro energy` for the resulting
+/// platform comparison.
+///
+/// # Example
+///
+/// ```
+/// use supernova_hw::Platform;
+/// use supernova_runtime::{simulate_step, step_energy, SchedulerConfig, StepTrace};
+///
+/// let trace = StepTrace::default();
+/// let lat = simulate_step(&Platform::supernova(2), &trace, &SchedulerConfig::default());
+/// assert_eq!(step_energy(&Platform::supernova(2), &trace, &lat), 0.0);
+/// ```
+pub fn step_energy(platform: &Platform, trace: &StepTrace, latency: &StepLatency) -> f64 {
+    if trace.is_numeric_empty() && latency.total() == 0.0 {
+        return 0.0;
+    }
+    let model = EnergyModel::of(platform);
+    let mut dynamic = 0.0;
+    for op in trace.hessian_ops.ops() {
+        dynamic += model.op_joules(op);
+    }
+    for node in &trace.nodes {
+        for op in node.ops.ops() {
+            dynamic += model.op_joules(op);
+        }
+    }
+    for op in trace.solve_ops.ops() {
+        dynamic += model.op_joules(op);
+    }
+    model.total_joules(dynamic, latency.total())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate_step, NodeWork, SchedulerConfig};
+    use supernova_linalg::ops::Op;
+
+    fn trace() -> StepTrace {
+        let mut w = NodeWork { node: 0, pivot_dim: 48, rem_dim: 48, ..NodeWork::default() };
+        w.ops.push(Op::Chol { n: 48 });
+        w.ops.push(Op::Syrk { n: 48, k: 48 });
+        w.ops.push(Op::Memset { bytes: 96 * 96 * 4 });
+        StepTrace { nodes: vec![w], ..StepTrace::default() }
+    }
+
+    #[test]
+    fn accelerator_uses_less_energy_than_server_cpu() {
+        let t = trace();
+        let cfg = SchedulerConfig::default();
+        let sn = Platform::supernova(2);
+        let server = Platform::server_cpu();
+        let e_sn = step_energy(&sn, &t, &simulate_step(&sn, &t, &cfg));
+        let e_srv = step_energy(&server, &t, &simulate_step(&server, &t, &cfg));
+        assert!(e_sn < e_srv, "supernova {e_sn} J !< server {e_srv} J");
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let cfg = SchedulerConfig::default();
+        let sn = Platform::supernova(2);
+        let small = trace();
+        let mut big = trace();
+        for i in 1..=10 {
+            let mut w = big.nodes[0].clone();
+            w.node = i;
+            big.nodes.push(w);
+        }
+        let e_small = step_energy(&sn, &small, &simulate_step(&sn, &small, &cfg));
+        let e_big = step_energy(&sn, &big, &simulate_step(&sn, &big, &cfg));
+        assert!(e_big > e_small);
+    }
+}

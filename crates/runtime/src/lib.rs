@@ -1,0 +1,49 @@
+//! The SuperNoVA runtime: virtual-time scheduling of supernodes over
+//! virtualized accelerators (§4.3 of the paper).
+//!
+//! The runtime sits between the algorithm layer (`supernova-solvers`) and
+//! the hardware model (`supernova-hw`):
+//!
+//! - the solvers emit a [`StepTrace`] per SLAM step — the recomputed
+//!   supernodes with their op traces and tree dependencies, plus the
+//!   non-numeric work volumes;
+//! - [`simulate_step`] prices that trace on a [`Platform`](supernova_hw::Platform), reproducing
+//!   Algorithm 2's accelerator acquisition with LLC-fit admission
+//!   ([`calc_space`]), inter-node parallelism across elimination-tree
+//!   branches, intra-node parallelism by partitioning a large node across
+//!   several accelerator sets, and heterogeneous COMP‖MEM overlap;
+//! - [`CostModel`] exposes the same per-node cost estimates to the
+//!   RA-ISAM2 selection algorithm (§4.3.3), abstracting the hardware from
+//!   the algorithm.
+//!
+//! The scheduler is a deterministic discrete-event simulation in virtual
+//! time — no OS threads — so target-miss statistics are exactly
+//! reproducible (DESIGN.md decision 3).
+//!
+//! # Example
+//!
+//! ```
+//! use supernova_hw::Platform;
+//! use supernova_runtime::{simulate_step, SchedulerConfig, StepTrace};
+//!
+//! let trace = StepTrace::default();
+//! let lat = simulate_step(&Platform::supernova(2), &trace, &SchedulerConfig::default());
+//! assert_eq!(lat.numeric, 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod energy;
+mod queue;
+mod sched;
+mod space;
+mod trace;
+
+pub use cost::{CostModel, RelinCostModel};
+pub use energy::step_energy;
+pub use queue::NodeQueue;
+pub use sched::{simulate_step, SchedulerConfig, StepLatency};
+pub use space::calc_space;
+pub use trace::{NodeWork, StepTrace};

@@ -1,0 +1,167 @@
+//! The supernode ready queue (§4.3.1).
+
+/// Dependency-tracking ready queue over this step's recomputed supernodes.
+///
+/// A node becomes *ready* once all of its recomputed children have been
+/// merged in (Algorithm 2's `ChildrenDone`). The queue exposes ready nodes
+/// in ascending id order, which for the solvers' postorder labeling means
+/// leaves first — the order that maximizes inter-node parallelism.
+///
+/// # Example
+///
+/// ```
+/// use supernova_runtime::NodeQueue;
+///
+/// // Two leaves (0, 1) feeding a root (2).
+/// let mut q = NodeQueue::new(&[(0, Some(2)), (1, Some(2)), (2, None)]);
+/// assert_eq!(q.ready(), &[0, 1]);
+/// q.take(0);
+/// q.complete(0);
+/// assert_eq!(q.ready(), &[1]);
+/// q.take(1);
+/// q.complete(1);
+/// assert_eq!(q.ready(), &[2]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NodeQueue {
+    /// Remaining unfinished children per slot (indexed by position).
+    pending_children: Vec<usize>,
+    parent_slot: Vec<Option<usize>>,
+    ids: Vec<usize>,
+    slot_of_id: std::collections::HashMap<usize, usize>,
+    ready: Vec<usize>,
+    taken: Vec<bool>,
+    done: Vec<bool>,
+}
+
+impl NodeQueue {
+    /// Builds the queue from `(node_id, parent_id)` pairs; `parent_id` must
+    /// reference another listed node or be `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parent id is not in the list.
+    pub fn new(nodes: &[(usize, Option<usize>)]) -> Self {
+        let ids: Vec<usize> = nodes.iter().map(|&(id, _)| id).collect();
+        let slot_of_id: std::collections::HashMap<usize, usize> =
+            ids.iter().enumerate().map(|(s, &id)| (id, s)).collect();
+        let parent_slot: Vec<Option<usize>> = nodes
+            .iter()
+            .map(|&(_, p)| p.map(|pid| *slot_of_id.get(&pid).expect("parent listed")))
+            .collect();
+        let mut pending_children = vec![0usize; nodes.len()];
+        for p in parent_slot.iter().flatten() {
+            pending_children[*p] += 1;
+        }
+        let mut ready: Vec<usize> = (0..nodes.len())
+            .filter(|&s| pending_children[s] == 0)
+            .map(|s| ids[s])
+            .collect();
+        ready.sort_unstable();
+        NodeQueue {
+            pending_children,
+            parent_slot,
+            taken: vec![false; nodes.len()],
+            done: vec![false; nodes.len()],
+            ids,
+            slot_of_id,
+            ready,
+        }
+    }
+
+    /// Node ids currently ready (ascending), excluding taken ones.
+    pub fn ready(&self) -> &[usize] {
+        &self.ready
+    }
+
+    /// Marks a ready node as claimed by a worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not currently ready.
+    pub fn take(&mut self, id: usize) {
+        let pos = self.ready.iter().position(|&r| r == id).expect("node must be ready");
+        self.ready.remove(pos);
+        self.taken[self.slot_of_id[&id]] = true;
+    }
+
+    /// Marks a taken node complete, possibly making its parent ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not taken or is already complete.
+    pub fn complete(&mut self, id: usize) {
+        let slot = self.slot_of_id[&id];
+        assert!(self.taken[slot] && !self.done[slot], "complete() on node not in flight");
+        self.done[slot] = true;
+        if let Some(p) = self.parent_slot[slot] {
+            self.pending_children[p] -= 1;
+            if self.pending_children[p] == 0 {
+                let pid = self.ids[p];
+                let pos = self.ready.binary_search(&pid).unwrap_err();
+                self.ready.insert(pos, pid);
+            }
+        }
+    }
+
+    /// `true` when every node has completed.
+    pub fn all_done(&self) -> bool {
+        self.done.iter().all(|&d| d)
+    }
+
+    /// Number of nodes not yet completed.
+    pub fn remaining(&self) -> usize {
+        self.done.iter().filter(|&&d| !d).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_dependencies_resolve_in_order() {
+        // 0,1 -> 2 ; 3 -> 4 ; 2,4 -> 5
+        let q0 = [
+            (0, Some(2)),
+            (1, Some(2)),
+            (2, Some(5)),
+            (3, Some(4)),
+            (4, Some(5)),
+            (5, None),
+        ];
+        let mut q = NodeQueue::new(&q0);
+        assert_eq!(q.ready(), &[0, 1, 3]);
+        for id in [0, 1, 3] {
+            q.take(id);
+            q.complete(id);
+        }
+        assert_eq!(q.ready(), &[2, 4]);
+        q.take(2);
+        q.take(4);
+        assert!(q.ready().is_empty());
+        q.complete(2);
+        q.complete(4);
+        assert_eq!(q.ready(), &[5]);
+        q.take(5);
+        q.complete(5);
+        assert!(q.all_done());
+        assert_eq!(q.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ready")]
+    fn taking_blocked_node_panics() {
+        let mut q = NodeQueue::new(&[(0, Some(1)), (1, None)]);
+        q.take(1);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut q = NodeQueue::new(&[(7, None)]);
+        assert_eq!(q.ready(), &[7]);
+        q.take(7);
+        q.complete(7);
+        assert!(q.all_done());
+    }
+}

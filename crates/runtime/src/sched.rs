@@ -1,0 +1,404 @@
+//! The virtual-time step scheduler (Algorithm 2 and §4.3.1–4.3.2).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use supernova_hw::Platform;
+use supernova_linalg::ops::Op;
+
+use crate::{calc_space, NodeQueue, NodeWork, StepTrace};
+
+/// Which runtime parallelism optimizations are enabled (the Figure 9
+/// ablation axes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Overlap MEM (DMA) operations with independent COMP operations of the
+    /// same node (§4.3.2 heterogeneous orchestration).
+    pub hetero_overlap: bool,
+    /// Process independent elimination-tree branches on different
+    /// accelerator sets (§4.3.1 inter-node parallelism).
+    pub inter_node: bool,
+    /// Partition one large node's operations across multiple idle sets
+    /// (§4.3.1 intra-node parallelism, used near the root).
+    pub intra_node: bool,
+}
+
+impl SchedulerConfig {
+    /// Everything disabled: single thread, single set, serial COMP+MEM.
+    pub fn serial() -> Self {
+        SchedulerConfig { hetero_overlap: false, inter_node: false, intra_node: false }
+    }
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig { hetero_overlap: true, inter_node: true, intra_node: true }
+    }
+}
+
+/// Per-step latency, broken down the way Figure 11 reports it.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepLatency {
+    /// Relinearization (host CPU Jacobian recomputation).
+    pub relin: f64,
+    /// Symbolic re-analysis of the affected subtree (host CPU).
+    pub symbolic: f64,
+    /// Numeric work: Hessian construction, factorization, solves.
+    pub numeric: f64,
+    /// RA-ISAM2 selection-algorithm overhead (zero for baselines).
+    pub overhead: f64,
+}
+
+impl StepLatency {
+    /// End-to-end backend latency for the step.
+    pub fn total(&self) -> f64 {
+        self.relin + self.symbolic + self.numeric + self.overhead
+    }
+}
+
+/// Seconds the RA selection algorithm spends per visited tree node on the
+/// host CPU (two pointer-chasing visits per node, Algorithm 1).
+const SELECTION_CYCLES_PER_NODE: f64 = 55.0;
+
+/// Serial residue of a node when COMP and MEM overlap: the fraction of the
+/// shorter stream that cannot be hidden (dependent prefix/suffix).
+const OVERLAP_RESIDUE: f64 = 0.07;
+
+/// Parallel efficiency when fanning independent work across sets.
+const FAN_OUT_EFFICIENCY: f64 = 0.85;
+
+/// Prices a full backend step on `platform`.
+///
+/// Accelerated platforms (SuperNoVA, Spatula) run the virtual-time
+/// Algorithm 2 scheduler; serial platforms price the trace in order; the
+/// GPU adds its per-step transfer overhead.
+pub fn simulate_step(platform: &Platform, trace: &StepTrace, cfg: &SchedulerConfig) -> StepLatency {
+    let relin = platform.relin_time(trace.relin_jacobian_elems, trace.relin_factors);
+    let symbolic = platform.symbolic_time(trace.symbolic_pattern_elems);
+    let overhead = trace.selection_nodes_visited as f64 * SELECTION_CYCLES_PER_NODE
+        / platform.host().freq_hz;
+    let numeric = if platform.is_accelerated() {
+        accelerated_numeric(platform, trace, cfg)
+    } else {
+        serial_numeric(platform, trace)
+    };
+    StepLatency { relin, symbolic, numeric, overhead }
+}
+
+/// Serial pricing for CPU/DSP/GPU platforms.
+fn serial_numeric(platform: &Platform, trace: &StepTrace) -> f64 {
+    let engine = platform.numeric_engine();
+    let mut t = if trace.is_numeric_empty() { 0.0 } else { platform.step_overhead() };
+    for op in trace.hessian_ops.ops() {
+        t += engine.op_time(op);
+    }
+    for work in &trace.nodes {
+        let fits = work.front_bytes() <= platform.cache_bytes();
+        for op in work.ops.ops() {
+            t += engine.op_time_ctx(op, fits);
+        }
+    }
+    for op in trace.solve_ops.ops() {
+        t += engine.op_time(op);
+    }
+    t
+}
+
+/// Duration of one node on `k` accelerator sets of `platform`.
+///
+/// Returns the node's wall time. COMP-mappable ops parallelize across sets
+/// with per-class parallel fractions (Amdahl); MEM ops run on the sets' MEM
+/// tiles and overlap with COMP when heterogeneous orchestration is on.
+/// Platforms without MEM/SIU (Spatula) execute those portions on the
+/// controller CPU, serially with the accelerator.
+fn node_duration(platform: &Platform, work: &NodeWork, k: usize, fits: bool, cfg: &SchedulerConfig) -> f64 {
+    let comp = platform.comp().expect("accelerated platform");
+    let kf = k.max(1) as f64;
+    let mut comp_t = 0.0;
+    let mut cpu_t = 0.0;
+    let mut mem_ops: Vec<Op> = Vec::new();
+    for op in work.ops.ops() {
+        if op.is_memory() {
+            if platform.has_mem_accel() {
+                mem_ops.push(*op);
+            } else {
+                cpu_t += platform.host().op_time(op, fits);
+            }
+            continue;
+        }
+        match comp.op_time(op, fits) {
+            Some(t1) => {
+                // Per-class parallel fraction for intra-node partitioning.
+                let f = match op {
+                    Op::Gemm { .. } | Op::Syrk { .. } => 0.95,
+                    Op::ScatterAdd { .. } => 0.80,
+                    Op::Trsm { .. } => 0.60,
+                    Op::Gemv { .. } => 0.50,
+                    Op::Chol { .. } => 0.25,
+                    _ => 0.0,
+                };
+                comp_t += t1 * (f / kf + (1.0 - f));
+            }
+            None => cpu_t += platform.host().op_time(op, fits), // no SIU
+        }
+    }
+    let mem_t = platform
+        .mem()
+        .map(|m| m.batch_time(&mem_ops, fits) / kf)
+        .unwrap_or(0.0);
+    if cfg.hetero_overlap && platform.has_mem_accel() {
+        comp_t.max(mem_t) + OVERLAP_RESIDUE * comp_t.min(mem_t) + cpu_t
+    } else {
+        comp_t + mem_t + cpu_t
+    }
+}
+
+/// The Algorithm 2 discrete-event scheduler over the step's node forest.
+fn accelerated_numeric(platform: &Platform, trace: &StepTrace, cfg: &SchedulerConfig) -> f64 {
+    let soc = platform.soc();
+    let sets = platform.accel_sets().max(1);
+    let threads = if cfg.inter_node { soc.cpu_tiles.max(1) } else { 1 };
+    let llc = soc.llc_bytes;
+
+    // --- Hessian construction preamble: independent small ops.
+    let mut hess_comp = 0.0;
+    let mut hess_cpu = 0.0;
+    let mut hess_mem: Vec<Op> = Vec::new();
+    if let Some(comp) = platform.comp() {
+        for op in trace.hessian_ops.ops() {
+            if op.is_memory() {
+                if platform.has_mem_accel() {
+                    hess_mem.push(*op);
+                } else {
+                    hess_cpu += platform.host().op_time(op, true);
+                }
+            } else if let Some(t) = comp.op_time(op, true) {
+                hess_comp += t;
+            } else {
+                hess_cpu += platform.host().op_time(op, true);
+            }
+        }
+    }
+    let fan = if cfg.inter_node { 1.0 + FAN_OUT_EFFICIENCY * (sets as f64 - 1.0) } else { 1.0 };
+    let hess_mem_t = platform.mem().map(|m| m.batch_time(&hess_mem, true) / fan).unwrap_or(0.0);
+    let hess_comp_t = hess_comp / fan;
+    let hessian_time = if cfg.hetero_overlap && platform.has_mem_accel() {
+        hess_comp_t.max(hess_mem_t) + OVERLAP_RESIDUE * hess_comp_t.min(hess_mem_t) + hess_cpu
+    } else {
+        hess_comp_t + hess_mem_t + hess_cpu
+    };
+
+    // --- Elimination-tree factorization via the event loop.
+    let tree_time = if trace.nodes.is_empty() {
+        0.0
+    } else {
+        let works: std::collections::HashMap<usize, &NodeWork> =
+            trace.nodes.iter().map(|w| (w.node, w)).collect();
+        let parent_front: std::collections::HashMap<usize, usize> =
+            trace.nodes.iter().map(|w| (w.node, w.front_dim())).collect();
+        let mut queue =
+            NodeQueue::new(&trace.nodes.iter().map(|w| (w.node, w.parent)).collect::<Vec<_>>());
+
+        // (finish_time, node, sets_used, space) ordered by finish time.
+        let mut in_flight: BinaryHeap<Reverse<(u64, usize, usize, usize)>> = BinaryHeap::new();
+        let to_fixed = |t: f64| (t * 1e15) as u64; // femtosecond grid keeps ordering exact
+        let mut now = 0.0f64;
+        let mut idle_threads = threads;
+        let mut idle_sets = sets;
+        let mut llc_free = llc;
+
+        loop {
+            // Admit ready nodes while a thread and a set are available.
+            loop {
+                if idle_threads == 0 || idle_sets == 0 {
+                    break;
+                }
+                let ready = queue.ready().to_vec();
+                if ready.is_empty() {
+                    break;
+                }
+                // First ready node whose workspace fits the remaining LLC
+                // (Algorithm 2 lines 12–17); if nothing is running and even
+                // the first ready node does not fit, run it anyway with
+                // DRAM-rate pricing.
+                let mut pick = None;
+                let mut fits = true;
+                for &id in &ready {
+                    let w = works[&id];
+                    let space =
+                        calc_space(w, w.parent.and_then(|p| parent_front.get(&p).copied()));
+                    if space <= llc_free {
+                        pick = Some((id, space));
+                        break;
+                    }
+                }
+                if pick.is_none() {
+                    if in_flight.is_empty() {
+                        let id = ready[0];
+                        pick = Some((id, 0));
+                        fits = false;
+                    } else {
+                        break; // wait for LLC space (thread de-schedules)
+                    }
+                }
+                let (id, space) = pick.expect("picked");
+                // Intra-node: grab a fair share of the idle sets.
+                let k = if cfg.intra_node {
+                    (idle_sets / ready.len().max(idle_threads.min(ready.len())).max(1)).max(1)
+                } else {
+                    1
+                };
+                let k = k.min(idle_sets);
+                queue.take(id);
+                let dur = node_duration(platform, works[&id], k, fits, cfg);
+                in_flight.push(Reverse((to_fixed(now + dur), id, k, space)));
+                idle_threads -= 1;
+                idle_sets -= k;
+                llc_free -= space.min(llc_free);
+            }
+            match in_flight.pop() {
+                None => break,
+                Some(Reverse((fin, id, k, space))) => {
+                    now = fin as f64 / 1e15;
+                    idle_threads += 1;
+                    idle_sets += k;
+                    llc_free = (llc_free + space).min(llc);
+                    queue.complete(id);
+                }
+            }
+        }
+        debug_assert!(queue.all_done());
+        now
+    };
+
+    // --- Solves: a sequential dependency chain over the tree.
+    let mut solve_time = 0.0;
+    if let Some(comp) = platform.comp() {
+        for op in trace.solve_ops.ops() {
+            solve_time += comp
+                .op_time(op, true)
+                .unwrap_or_else(|| platform.host().op_time(op, true));
+        }
+    }
+
+    hessian_time + tree_time + solve_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supernova_linalg::ops::OpTrace;
+
+    fn node(id: usize, parent: Option<usize>, m: usize, n: usize) -> NodeWork {
+        let mut ops = OpTrace::new();
+        let t = m + n;
+        ops.push(Op::Memset { bytes: t * t * 4 });
+        ops.push(Op::Memcpy { bytes: m * t * 4 });
+        ops.push(Op::ScatterAdd { blocks: 4, elems: m * m });
+        ops.push(Op::Chol { n: m });
+        if n > 0 {
+            ops.push(Op::Trsm { m: n, n: m });
+            ops.push(Op::Syrk { n, k: m });
+        }
+        NodeWork { node: id, parent, ops, pivot_dim: m, rem_dim: n, factor_bytes: m * m * 4 }
+    }
+
+    fn wide_trace() -> StepTrace {
+        // 8 leaves feeding 4 mid nodes feeding a root: plenty of branch
+        // parallelism.
+        let mut nodes = Vec::new();
+        for i in 0..8 {
+            nodes.push(node(i, Some(8 + i / 2), 24, 24));
+        }
+        for i in 0..4 {
+            nodes.push(node(8 + i, Some(12), 24, 24));
+        }
+        nodes.push(node(12, None, 48, 0));
+        StepTrace { nodes, ..StepTrace::default() }
+    }
+
+    #[test]
+    fn empty_trace_costs_nothing_numeric() {
+        let lat = simulate_step(&Platform::supernova(2), &StepTrace::default(), &SchedulerConfig::default());
+        assert_eq!(lat.numeric, 0.0);
+        assert_eq!(lat.total(), 0.0);
+    }
+
+    #[test]
+    fn more_sets_reduce_numeric_latency() {
+        let trace = wide_trace();
+        let cfg = SchedulerConfig::default();
+        let one = simulate_step(&Platform::supernova(1), &trace, &cfg).numeric;
+        let two = simulate_step(&Platform::supernova(2), &trace, &cfg).numeric;
+        let four = simulate_step(&Platform::supernova(4), &trace, &cfg).numeric;
+        assert!(two < one, "2 sets {two} !< 1 set {one}");
+        assert!(four < two, "4 sets {four} !< 2 sets {two}");
+    }
+
+    #[test]
+    fn each_parallelism_level_helps() {
+        let trace = wide_trace();
+        let p = Platform::supernova(2);
+        let serial = simulate_step(&p, &trace, &SchedulerConfig::serial()).numeric;
+        let hetero = simulate_step(
+            &p,
+            &trace,
+            &SchedulerConfig { hetero_overlap: true, inter_node: false, intra_node: false },
+        )
+        .numeric;
+        let inter = simulate_step(
+            &p,
+            &trace,
+            &SchedulerConfig { hetero_overlap: true, inter_node: true, intra_node: false },
+        )
+        .numeric;
+        let intra = simulate_step(&p, &trace, &SchedulerConfig::default()).numeric;
+        assert!(hetero < serial, "hetero {hetero} !< serial {serial}");
+        assert!(inter < hetero, "inter {inter} !< hetero {hetero}");
+        assert!(intra <= inter, "intra {intra} !> inter {inter}");
+    }
+
+    #[test]
+    fn supernova_beats_spatula_on_memory_heavy_tree() {
+        let trace = wide_trace();
+        let cfg = SchedulerConfig::default();
+        let sn = simulate_step(&Platform::supernova(2), &trace, &cfg).numeric;
+        let sp = simulate_step(&Platform::spatula(2), &trace, &cfg).numeric;
+        assert!(sn < sp, "supernova {sn} !< spatula {sp}");
+    }
+
+    #[test]
+    fn serial_platforms_price_serially() {
+        let trace = wide_trace();
+        let cfg = SchedulerConfig::default();
+        let boom = simulate_step(&Platform::boom(), &trace, &cfg).numeric;
+        let server = simulate_step(&Platform::server_cpu(), &trace, &cfg).numeric;
+        assert!(server < boom);
+        let sn = simulate_step(&Platform::supernova(2), &trace, &cfg).numeric;
+        assert!(sn < boom);
+    }
+
+    #[test]
+    fn gpu_pays_step_overhead_once() {
+        let mut trace = StepTrace::default();
+        trace.nodes.push(node(0, None, 8, 0));
+        let lat = simulate_step(&Platform::embedded_gpu(), &trace, &SchedulerConfig::default());
+        assert!(lat.numeric > Platform::embedded_gpu().step_overhead());
+    }
+
+    #[test]
+    fn selection_overhead_counted() {
+        let trace = StepTrace { selection_nodes_visited: 1000, ..StepTrace::default() };
+        let lat = simulate_step(&Platform::supernova(2), &trace, &SchedulerConfig::default());
+        assert!(lat.overhead > 0.0);
+        assert_eq!(lat.numeric, 0.0);
+    }
+
+    #[test]
+    fn oversized_node_still_completes() {
+        // A node whose front exceeds the whole LLC must still be scheduled.
+        let trace = StepTrace { nodes: vec![node(0, None, 1200, 0)], ..StepTrace::default() };
+        let lat = simulate_step(&Platform::supernova(1), &trace, &SchedulerConfig::default());
+        assert!(lat.numeric > 0.0 && lat.numeric.is_finite());
+    }
+}

@@ -1,0 +1,54 @@
+//! Workspace accounting (Algorithm 2, `calc_space`).
+
+use crate::NodeWork;
+
+/// Cap on the Hessian-staging workspace per node, in bytes (the
+/// `H_workspace_size` bound of Algorithm 2, line 6).
+pub const H_WORKSPACE_CAP_BYTES: usize = 64 << 10;
+
+/// Workspace bytes a node occupies while being processed: the staged factor
+/// data (capped), its own frontal workspace, and the parent front it merges
+/// into (Algorithm 2, lines 5–9).
+///
+/// The runtime admits concurrent nodes only while the sum of their
+/// `calc_space` fits the shared LLC — the cache-thrashing guard of §4.3.1.
+///
+/// # Example
+///
+/// ```
+/// use supernova_runtime::{calc_space, NodeWork};
+///
+/// let w = NodeWork { pivot_dim: 8, rem_dim: 8, factor_bytes: 256, ..NodeWork::default() };
+/// assert!(calc_space(&w, Some(24)) > w.front_bytes());
+/// ```
+pub fn calc_space(work: &NodeWork, parent_front_dim: Option<usize>) -> usize {
+    let h = work.factor_bytes.min(H_WORKSPACE_CAP_BYTES);
+    let f = work.front_bytes();
+    let next_f = parent_front_dim.map(|d| d * d * 4).unwrap_or(0);
+    h + f + next_f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_includes_all_three_terms() {
+        let w = NodeWork { pivot_dim: 4, rem_dim: 4, factor_bytes: 100, ..NodeWork::default() };
+        let s = calc_space(&w, Some(10));
+        assert_eq!(s, 100 + 8 * 8 * 4 + 10 * 10 * 4);
+    }
+
+    #[test]
+    fn factor_staging_is_capped() {
+        let w = NodeWork { pivot_dim: 4, rem_dim: 0, factor_bytes: usize::MAX / 2, ..NodeWork::default() };
+        let s = calc_space(&w, None);
+        assert_eq!(s, H_WORKSPACE_CAP_BYTES + 4 * 4 * 4);
+    }
+
+    #[test]
+    fn root_has_no_parent_term() {
+        let w = NodeWork { pivot_dim: 4, rem_dim: 4, factor_bytes: 0, ..NodeWork::default() };
+        assert!(calc_space(&w, None) < calc_space(&w, Some(12)));
+    }
+}

@@ -1,0 +1,107 @@
+//! The solver → runtime interchange format.
+
+use supernova_linalg::ops::OpTrace;
+
+/// The work to recompute one supernode in a step.
+#[derive(Clone, Debug, Default)]
+pub struct NodeWork {
+    /// Supernode id (stable within the step).
+    pub node: usize,
+    /// Parent supernode, when the parent is also recomputed this step.
+    /// (The ancestor closure guarantees the parent of any recomputed node is
+    /// recomputed, so `None` marks the roots of this step's forest.)
+    pub parent: Option<usize>,
+    /// Primitive operations, in execution order.
+    pub ops: OpTrace,
+    /// Scalar pivot dimension `m` of the front.
+    pub pivot_dim: usize,
+    /// Scalar remainder dimension `n` of the front.
+    pub rem_dim: usize,
+    /// Bytes of factor data assembled into this node (the `H` term of
+    /// Algorithm 2's `calc_space`).
+    pub factor_bytes: usize,
+}
+
+impl NodeWork {
+    /// Scalar dimension of the square frontal workspace.
+    pub fn front_dim(&self) -> usize {
+        self.pivot_dim + self.rem_dim
+    }
+
+    /// Bytes of the frontal workspace (FP32 datapath).
+    pub fn front_bytes(&self) -> usize {
+        self.front_dim() * self.front_dim() * 4
+    }
+}
+
+/// Everything one SLAM backend step did, for pricing on a platform model.
+///
+/// Produced by the incremental solvers; consumed by
+/// [`simulate_step`](crate::simulate_step). `nodes` is ordered children
+/// before parents (the solver's postorder).
+#[derive(Clone, Debug, Default)]
+pub struct StepTrace {
+    /// Recomputed supernodes, children before parents.
+    pub nodes: Vec<NodeWork>,
+    /// Eager Hessian-construction operations (small `JᵀJ` GEMMs and their
+    /// scatter-adds); independent of each other, scheduled before the tree.
+    pub hessian_ops: OpTrace,
+    /// Forward/backward supernodal solve operations (a sequential dependency
+    /// chain over the whole tree).
+    pub solve_ops: OpTrace,
+    /// Jacobian elements recomputed by relinearization (host CPU work).
+    pub relin_jacobian_elems: usize,
+    /// Number of factors relinearized.
+    pub relin_factors: usize,
+    /// Pattern entries re-analyzed by symbolic factorization (host CPU
+    /// work, proportional to the affected subtree).
+    pub symbolic_pattern_elems: usize,
+    /// Elimination-tree nodes visited by the RA-ISAM2 selection algorithm
+    /// (Algorithm 1); zero for non-resource-aware solvers.
+    pub selection_nodes_visited: usize,
+}
+
+impl StepTrace {
+    /// Total flops across all numeric operations in the step.
+    pub fn numeric_flops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.ops.flops()).sum::<u64>()
+            + self.hessian_ops.flops()
+            + self.solve_ops.flops()
+    }
+
+    /// `true` when the step did no numeric work.
+    pub fn is_numeric_empty(&self) -> bool {
+        self.nodes.is_empty() && self.hessian_ops.is_empty() && self.solve_ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supernova_linalg::ops::Op;
+
+    #[test]
+    fn front_bytes_fp32() {
+        let w = NodeWork { pivot_dim: 6, rem_dim: 10, ..NodeWork::default() };
+        assert_eq!(w.front_dim(), 16);
+        assert_eq!(w.front_bytes(), 16 * 16 * 4);
+    }
+
+    #[test]
+    fn flops_aggregate() {
+        let mut t = StepTrace::default();
+        assert!(t.is_numeric_empty());
+        t.hessian_ops.push(Op::Gemm { m: 2, n: 2, k: 2 });
+        t.solve_ops.push(Op::Gemv { m: 2, n: 2 });
+        let mut w = NodeWork::default();
+        w.ops.push(Op::Chol { n: 4 });
+        t.nodes.push(w);
+        assert!(!t.is_numeric_empty());
+        assert_eq!(
+            t.numeric_flops(),
+            Op::Gemm { m: 2, n: 2, k: 2 }.flops()
+                + Op::Gemv { m: 2, n: 2 }.flops()
+                + Op::Chol { n: 4 }.flops()
+        );
+    }
+}

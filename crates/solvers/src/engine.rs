@@ -1,0 +1,653 @@
+//! Shared machinery of the incremental solvers (ISAM2 and RA-ISAM2).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use supernova_factors::{linearize, Factor, FactorGraph, Key, LinearizedFactor, Values, Variable};
+use supernova_linalg::ops::{Op, OpTrace};
+use supernova_linalg::{gemm, norm_inf, Mat, Transpose};
+use supernova_runtime::{NodeWork, StepTrace};
+use supernova_sparse::{ordering, BlockMat, BlockPattern, NumericFactor, SymbolicFactor};
+
+/// A prepared fill-reducing reordering (see
+/// [`IncrementalCore::reorder_candidate`]): the new elimination order and
+/// its symbolic analysis, so the caller can decide whether the one-time
+/// re-factorization fits its budget before committing.
+#[derive(Debug)]
+pub struct ReorderPlan {
+    /// New elimination position per key.
+    order_of_key: Vec<usize>,
+    /// Pattern in the new order.
+    pattern: BlockPattern,
+    /// Symbolic analysis of the new order.
+    sym: SymbolicFactor,
+}
+
+impl ReorderPlan {
+    /// The symbolic factorization the system would have after applying the
+    /// plan (for cost prediction).
+    pub fn symbolic(&self) -> &SymbolicFactor {
+        &self.sym
+    }
+}
+
+/// The incremental smoothing engine: linearization-point management, eager
+/// block-Hessian maintenance, incremental symbolic analysis, the cached
+/// multifrontal re-factorization, and periodic fill-reducing reordering
+/// (the iSAM-style batch-reorder step that keeps incremental fill bounded).
+///
+/// Both [`Isam2`](crate::Isam2) and [`RaIsam2`](crate::RaIsam2) drive this
+/// core; they differ only in *which variables they choose to relinearize*
+/// each step (§4.1 of the paper) and in when they allow a reordering.
+///
+/// All sparse-layer state (pattern, Hessian, Δ, offsets) lives in the
+/// *elimination order* space; `order_of_key` maps application keys to it.
+/// Fresh variables append at the root side of the order — the natural
+/// incremental ordering between reorders.
+#[derive(Debug, Default)]
+pub struct IncrementalCore {
+    graph: FactorGraph,
+    /// Linearization points Θ (fluid relinearization, §3.4).
+    theta: Values,
+    /// Cached linearization per factor, evaluated at each factor's LP.
+    lin: Vec<LinearizedFactor>,
+    /// Elimination position per key.
+    order_of_key: Vec<usize>,
+    /// Key at each elimination position.
+    key_of_order: Vec<usize>,
+    pattern: BlockPattern,
+    h: BlockMat,
+    sym: Option<SymbolicFactor>,
+    num: Option<NumericFactor>,
+    /// Current solution of the linearized system (order space).
+    delta: Vec<f64>,
+    /// Scalar offsets per elimination position.
+    offsets: Vec<usize>,
+    relax: usize,
+    // Per-step accumulators, drained by `factorize_and_solve`.
+    dirty: BTreeSet<usize>,
+    pending_hessian_ops: OpTrace,
+    pending_relin_elems: usize,
+    pending_relin_factors: usize,
+    pending_symbolic_extra: usize,
+    /// Diagonal damping events (non-PD recoveries), for diagnostics.
+    damping_events: usize,
+    reorders: usize,
+}
+
+impl IncrementalCore {
+    /// Creates an empty core with the given supernode amalgamation slack.
+    pub fn new(relax: usize) -> Self {
+        IncrementalCore { relax, ..Self::default() }
+    }
+
+    /// The factor graph accumulated so far.
+    pub fn graph(&self) -> &FactorGraph {
+        &self.graph
+    }
+
+    /// The linearization points Θ.
+    pub fn theta(&self) -> &Values {
+        &self.theta
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// The current symbolic factorization (after the first `analyze`).
+    pub fn symbolic(&self) -> Option<&SymbolicFactor> {
+        self.sym.as_ref()
+    }
+
+    /// Elimination position of a key's block.
+    pub fn block_of_key(&self, key: Key) -> usize {
+        self.order_of_key[key.0]
+    }
+
+    /// How many non-positive-definite recoveries occurred (each adds
+    /// diagonal damping and retries).
+    pub fn damping_events(&self) -> usize {
+        self.damping_events
+    }
+
+    /// How many fill-reducing reorders have been applied.
+    pub fn reorders(&self) -> usize {
+        self.reorders
+    }
+
+    /// `false` right after a reorder (or before the first solve): the next
+    /// `factorize_and_solve` performs a full factorization rather than an
+    /// incremental one.
+    pub fn has_numeric_cache(&self) -> bool {
+        self.num.is_some()
+    }
+
+    /// The update step Δ for `key` from the latest solve.
+    pub fn delta_of(&self, key: Key) -> &[f64] {
+        let off = self.offsets[self.order_of_key[key.0]];
+        let dim = self.theta.get(key).dim();
+        &self.delta[off..off + dim]
+    }
+
+    /// Relevance score of a variable: `‖Δ_j‖∞`, the distance of the optimal
+    /// update from its linearization point (§4.1).
+    pub fn relevance(&self, key: Key) -> f64 {
+        norm_inf(self.delta_of(key))
+    }
+
+    /// Current estimate of one variable: `Θ_j ⊕ Δ_j`.
+    pub fn pose_estimate(&self, key: Key) -> Variable {
+        self.theta.get(key).retract(self.delta_of(key))
+    }
+
+    /// Current full estimate `X = Θ ⊕ Δ`.
+    pub fn estimate(&self) -> Values {
+        let mut out = self.theta.clone();
+        for (key, _) in self.theta.iter() {
+            out.retract_at(key, self.delta_of(key));
+        }
+        out
+    }
+
+    /// Adds a new variable with its initial guess, growing the Hessian
+    /// structure at the root side of the elimination order. Returns the key
+    /// (sequential time order).
+    pub fn add_variable(&mut self, initial: Variable) -> Key {
+        let dim = initial.dim();
+        let key = self.theta.insert(initial);
+        let pos = self.pattern.push_block(dim);
+        self.order_of_key.push(pos);
+        self.key_of_order.push(key.0);
+        debug_assert_eq!(self.order_of_key.len(), pos + 1);
+        self.h.push_block(dim);
+        self.offsets.push(self.delta.len());
+        self.delta.extend(std::iter::repeat(0.0).take(dim));
+        key
+    }
+
+    /// Adds a factor: linearizes it at Θ, merges its `JᵀJ` contribution into
+    /// the block Hessian, and extends the sparsity pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor references an unknown variable.
+    pub fn add_factor(&mut self, factor: Arc<dyn Factor>) {
+        for k in factor.keys() {
+            assert!(k.0 < self.num_vars(), "factor references unknown variable {k}");
+        }
+        let blocks: Vec<usize> = factor.keys().iter().map(|k| self.order_of_key[k.0]).collect();
+        self.pattern.add_clique(&blocks);
+        let lf = linearize(factor.as_ref(), &self.theta);
+        self.pending_relin_elems += lf.jacobian_elems();
+        self.pending_relin_factors += 1;
+        self.dirty.extend(blocks.iter().copied());
+        apply_contribution(
+            &mut self.h,
+            &lf,
+            &self.order_of_key,
+            1.0,
+            Some(&mut self.pending_hessian_ops),
+        );
+        let idx = self.graph.add_arc(factor);
+        debug_assert_eq!(idx, self.lin.len());
+        self.lin.push(lf);
+    }
+
+    /// Relinearizes the given variables: advances their LPs by the current
+    /// Δ and recomputes every factor that touches them (§3.4). Returns the
+    /// number of factors relinearized.
+    pub fn relinearize_vars(&mut self, vars: &[Key]) -> usize {
+        if vars.is_empty() {
+            return 0;
+        }
+        let mut factor_set = BTreeSet::new();
+        for &v in vars {
+            let step: Vec<f64> = self.delta_of(v).to_vec();
+            self.theta.retract_at(v, &step);
+            let off = self.offsets[self.order_of_key[v.0]];
+            for d in &mut self.delta[off..off + step.len()] {
+                *d = 0.0;
+            }
+            factor_set.extend(self.graph.factors_of(v).iter().copied());
+        }
+        for &fi in &factor_set {
+            // Remove the stale contribution, relinearize, and re-apply.
+            apply_contribution(&mut self.h, &self.lin[fi], &self.order_of_key, -1.0, None);
+            let lf = linearize(self.graph.factor(fi), &self.theta);
+            self.pending_relin_elems += lf.jacobian_elems();
+            self.pending_relin_factors += 1;
+            self.dirty.extend(lf.keys.iter().map(|k| self.order_of_key[k.0]));
+            apply_contribution(
+                &mut self.h,
+                &lf,
+                &self.order_of_key,
+                1.0,
+                Some(&mut self.pending_hessian_ops),
+            );
+            self.lin[fi] = lf;
+        }
+        factor_set.len()
+    }
+
+    /// Re-analyzes the symbolic structure for the current pattern. Cheap for
+    /// unchanged structure; must be called after `add_factor` and before
+    /// cost estimation or factorization.
+    pub fn analyze(&mut self) -> &SymbolicFactor {
+        self.sym = Some(SymbolicFactor::analyze(&self.pattern, self.relax));
+        self.sym.as_ref().expect("just set")
+    }
+
+    /// Ratio of factor (with fill) block entries to Hessian block entries —
+    /// the trigger for periodic fill-reducing reordering. Meaningful after
+    /// [`analyze`](Self::analyze).
+    pub fn fill_ratio(&self) -> f64 {
+        match &self.sym {
+            None => 1.0,
+            Some(sym) => {
+                let l: usize = (0..sym.num_blocks()).map(|j| sym.col_pattern(j).len()).sum();
+                l as f64 / self.pattern.nnz_blocks().max(1) as f64
+            }
+        }
+    }
+
+    /// Prepares a fill-reducing (minimum-degree) reordering without applying
+    /// it, so the caller can price the resulting full re-factorization
+    /// first. Returns `None` when the problem is empty.
+    pub fn reorder_candidate(&self) -> Option<ReorderPlan> {
+        if self.num_vars() == 0 {
+            return None;
+        }
+        // Pattern in key space, then the new elimination order on it.
+        let inv = ordering::Permutation::from_new_of_old(self.key_of_order.clone());
+        let key_pattern = self.pattern.permuted(&inv);
+        let perm = ordering::min_degree(&key_pattern);
+        let pattern = key_pattern.permuted(&perm);
+        let sym = SymbolicFactor::analyze(&pattern, self.relax);
+        let order_of_key = (0..self.num_vars()).map(|k| perm.new_of_old(k)).collect();
+        Some(ReorderPlan { order_of_key, pattern, sym })
+    }
+
+    /// Applies a prepared reordering: remaps Δ, rebuilds the block Hessian
+    /// from the cached factor linearizations, and drops the numeric cache
+    /// (the next solve performs one full — but low-fill — factorization).
+    /// The analysis cost is metered as symbolic work.
+    pub fn apply_reorder(&mut self, plan: ReorderPlan) {
+        let old_delta: Vec<Vec<f64>> =
+            (0..self.num_vars()).map(|k| self.delta_of(Key(k)).to_vec()).collect();
+        self.order_of_key = plan.order_of_key;
+        self.key_of_order = {
+            let mut v = vec![0usize; self.num_vars()];
+            for (k, &o) in self.order_of_key.iter().enumerate() {
+                v[o] = k;
+            }
+            v
+        };
+        self.pattern = plan.pattern;
+        // Scalar offsets in the new order.
+        self.offsets = vec![0; self.num_vars()];
+        let mut acc = 0usize;
+        for o in 0..self.num_vars() {
+            self.offsets[o] = acc;
+            acc += self.pattern.block_dims()[o];
+        }
+        let mut delta = vec![0.0; acc];
+        for (k, d) in old_delta.iter().enumerate() {
+            let off = self.offsets[self.order_of_key[k]];
+            delta[off..off + d.len()].copy_from_slice(d);
+        }
+        self.delta = delta;
+        // Rebuild H from the cached linearizations.
+        self.h = BlockMat::new(self.pattern.block_dims().to_vec());
+        for lf in &self.lin {
+            apply_contribution(&mut self.h, lf, &self.order_of_key, 1.0, None);
+        }
+        // Meter: one min-degree pass plus a fresh symbolic analysis.
+        self.pending_symbolic_extra +=
+            4 * self.pattern.nnz_blocks() + 2 * plan.sym.pattern_size_of_nodes(&(0..plan.sym.nodes().len()).collect::<Vec<_>>());
+        self.sym = Some(plan.sym);
+        self.num = None;
+        self.dirty.clear();
+        self.reorders += 1;
+    }
+
+    /// Bytes of assembled Hessian data feeding each supernode (the `H` term
+    /// of Algorithm 2's workspace accounting), per node.
+    pub(crate) fn node_factor_bytes(&self, sym: &SymbolicFactor) -> Vec<usize> {
+        let mut out = vec![0usize; sym.nodes().len()];
+        for (s, info) in sym.nodes().iter().enumerate() {
+            let mut elems = 0usize;
+            for j in info.cols() {
+                for (i, blk) in self.h.col_blocks(j) {
+                    debug_assert!(i >= j);
+                    elems += blk.rows() * blk.cols();
+                }
+            }
+            out[s] = elems * 4;
+        }
+        out
+    }
+
+    /// Block columns (elimination positions) whose Hessian contributions
+    /// changed since the last solve.
+    pub fn dirty_blocks(&self) -> Vec<usize> {
+        self.dirty.iter().copied().collect()
+    }
+
+    /// Jacobian elements of the cached linearization of factor `idx` (the
+    /// relinearization cost unit for that factor).
+    pub fn factor_jacobian_elems(&self, idx: usize) -> usize {
+        self.lin[idx].jacobian_elems()
+    }
+
+    /// Relinearization work already incurred this step (new/changed
+    /// factors): `(jacobian_elems, factors)`. RA-ISAM2 charges this against
+    /// its budget before selecting more.
+    pub fn pending_relin(&self) -> (usize, usize) {
+        (self.pending_relin_elems, self.pending_relin_factors)
+    }
+
+    /// Factorizes the dirty part of the system, solves for Δ, and returns
+    /// the step's work trace. Call [`analyze`](Self::analyze) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `analyze` has not been called for the current structure.
+    pub fn factorize_and_solve(&mut self) -> StepTrace {
+        let sym = self.sym.as_ref().expect("analyze() before factorize_and_solve()");
+        let dirty: Vec<usize> = self.dirty.iter().copied().collect();
+
+        // Incremental refactorization with non-PD damping recovery.
+        let mut attempts = 0usize;
+        let stats = loop {
+            let result = match self.num.as_mut() {
+                Some(num) => num.refactor(sym, &self.h, &dirty),
+                None => NumericFactor::factorize_traced(sym, &self.h).map(|(num, stats)| {
+                    self.num = Some(num);
+                    stats
+                }),
+            };
+            match result {
+                Ok(stats) => break stats,
+                Err(err) => {
+                    attempts += 1;
+                    self.damping_events += 1;
+                    assert!(attempts <= 8, "factorization kept failing after damping: {err}");
+                    // Dampen every diagonal block and retry from scratch.
+                    let lambda = 1e-6 * 10f64.powi(attempts as i32);
+                    for b in 0..self.pattern.num_blocks() {
+                        let dim = self.pattern.block_dims()[b];
+                        let mut eye = Mat::identity(dim);
+                        eye.scale(lambda);
+                        self.h.add_to_block(b, b, &eye);
+                    }
+                    self.num = None;
+                }
+            }
+        };
+
+        // Gradient g = −Σ Jᵀ r at the current LPs, then solve H Δ = g.
+        let mut g = vec![0.0; self.delta.len()];
+        for lf in &self.lin {
+            for (k, j) in lf.keys.iter().zip(&lf.jacobians) {
+                let contrib = j.matvec_transpose(&lf.residual);
+                let off = self.offsets[self.order_of_key[k.0]];
+                for (gi, ci) in g[off..].iter_mut().zip(&contrib) {
+                    *gi -= ci;
+                }
+            }
+        }
+        let num = self.num.as_ref().expect("factorized");
+        let solve_ops = num.solve_in_place(sym, &mut g);
+        self.delta = g;
+
+        // Assemble the runtime trace.
+        let recomputed: BTreeSet<usize> = stats.recomputed_nodes().into_iter().collect();
+        let factor_bytes = self.node_factor_bytes(sym);
+        let nodes: Vec<NodeWork> = stats
+            .recomputed
+            .iter()
+            .map(|nt| {
+                let info = &sym.nodes()[nt.node];
+                NodeWork {
+                    node: nt.node,
+                    parent: info.parent.filter(|p| recomputed.contains(p)),
+                    ops: nt.ops.clone(),
+                    pivot_dim: info.pivot_dim,
+                    rem_dim: info.rem_dim,
+                    factor_bytes: factor_bytes[nt.node],
+                }
+            })
+            .collect();
+        let recomputed_list: Vec<usize> = recomputed.iter().copied().collect();
+        let symbolic_pattern_elems = sym.pattern_size_of_nodes(&recomputed_list)
+            + std::mem::take(&mut self.pending_symbolic_extra);
+
+        self.dirty.clear();
+        StepTrace {
+            nodes,
+            hessian_ops: std::mem::take(&mut self.pending_hessian_ops),
+            solve_ops,
+            relin_jacobian_elems: std::mem::take(&mut self.pending_relin_elems),
+            relin_factors: std::mem::take(&mut self.pending_relin_factors),
+            symbolic_pattern_elems,
+            selection_nodes_visited: 0,
+        }
+    }
+
+    /// Total weighted squared error of the graph at the current estimate.
+    pub fn current_error2(&self) -> f64 {
+        self.graph.total_error2(&self.estimate())
+    }
+}
+
+/// Adds `sign · J_aᵀ J_b` contributions of one linearized factor into the
+/// block Hessian (blocks addressed through the elimination order),
+/// optionally metering the Hessian-construction ops (one GEMM + scatter per
+/// block pair plus the factor prefetch, as in Figure 5 top).
+fn apply_contribution(
+    h: &mut BlockMat,
+    lf: &LinearizedFactor,
+    order_of_key: &[usize],
+    sign: f64,
+    mut ops: Option<&mut OpTrace>,
+) {
+    if let Some(ops) = ops.as_deref_mut() {
+        ops.push(Op::Memcpy { bytes: lf.jacobian_elems() * 4 });
+    }
+    let fdim = lf.dim();
+    for (ai, (ka, ja)) in lf.keys.iter().zip(&lf.jacobians).enumerate() {
+        for (kb, jb) in lf.keys.iter().zip(&lf.jacobians).take(ai + 1) {
+            let (oa, ob) = (order_of_key[ka.0], order_of_key[kb.0]);
+            // Store at (row = later position, col = earlier position).
+            let (brow, bcol, jrow, jcol) =
+                if oa >= ob { (oa, ob, ja, jb) } else { (ob, oa, jb, ja) };
+            let mut blk = Mat::zeros(jrow.cols(), jcol.cols());
+            gemm(sign, jrow, Transpose::Yes, jcol, Transpose::No, 0.0, &mut blk);
+            h.add_to_block(brow, bcol, &blk);
+            if let Some(ops) = ops.as_deref_mut() {
+                ops.push(Op::Gemm { m: jrow.cols(), n: jcol.cols(), k: fdim });
+                ops.push(Op::ScatterAdd { blocks: 1, elems: jrow.cols() * jcol.cols() });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supernova_factors::{BetweenFactor, NoiseModel, PriorFactor, Se2};
+
+    fn prior(k: usize, pose: Se2) -> Arc<dyn Factor> {
+        Arc::new(PriorFactor::se2(Key(k), pose, NoiseModel::isotropic(3, 0.1)))
+    }
+
+    fn between(a: usize, b: usize, z: Se2) -> Arc<dyn Factor> {
+        Arc::new(BetweenFactor::se2(Key(a), Key(b), z, NoiseModel::isotropic(3, 0.05)))
+    }
+
+    /// Builds a 4-pose chain with slightly wrong initial guesses.
+    fn chain_core() -> IncrementalCore {
+        let mut core = IncrementalCore::new(0);
+        core.add_variable(Variable::Se2(Se2::identity()));
+        core.add_factor(prior(0, Se2::identity()));
+        for i in 1..4 {
+            core.add_variable(Variable::Se2(Se2::new(i as f64 + 0.1, 0.05, 0.01)));
+            core.add_factor(between(i - 1, i, Se2::new(1.0, 0.0, 0.0)));
+        }
+        core
+    }
+
+    #[test]
+    fn solve_pulls_estimate_to_measurements() {
+        let mut core = chain_core();
+        core.analyze();
+        let trace = core.factorize_and_solve();
+        assert!(!trace.nodes.is_empty());
+        assert!(trace.relin_factors == 4);
+        let est = core.estimate();
+        for i in 0..4 {
+            let p = est.get(Key(i)).as_se2().copied().unwrap();
+            assert!((p.x() - i as f64).abs() < 2e-2, "pose {i} at {}", p.x());
+            assert!(p.y().abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn second_step_reuses_unaffected_nodes() {
+        let mut core = chain_core();
+        core.analyze();
+        let t1 = core.factorize_and_solve();
+        // Add one more pose at the end — only root-side nodes recompute.
+        core.add_variable(Variable::Se2(Se2::new(4.2, 0.0, 0.0)));
+        core.add_factor(between(3, 4, Se2::new(1.0, 0.0, 0.0)));
+        core.analyze();
+        let t2 = core.factorize_and_solve();
+        assert!(
+            t2.nodes.len() <= t1.nodes.len(),
+            "incremental step touched {} nodes vs {} initially",
+            t2.nodes.len(),
+            t1.nodes.len()
+        );
+    }
+
+    #[test]
+    fn relinearization_moves_lp_and_zeroes_delta() {
+        let mut core = chain_core();
+        core.analyze();
+        core.factorize_and_solve();
+        let k = Key(3);
+        let before = core.relevance(k);
+        if before > 0.0 {
+            core.relinearize_vars(&[k]);
+            assert_eq!(norm_inf(core.delta_of(k)), 0.0);
+            // After re-solving, the step for k should be (near) zero.
+            core.analyze();
+            core.factorize_and_solve();
+            assert!(core.relevance(k) < before + 1e-12);
+        }
+    }
+
+    #[test]
+    fn estimate_matches_batch_on_linear_problem() {
+        // With exact initial guesses the solution stays put.
+        let mut core = IncrementalCore::new(0);
+        core.add_variable(Variable::Se2(Se2::identity()));
+        core.add_factor(prior(0, Se2::identity()));
+        core.add_variable(Variable::Se2(Se2::new(1.0, 0.0, 0.0)));
+        core.add_factor(between(0, 1, Se2::new(1.0, 0.0, 0.0)));
+        core.analyze();
+        core.factorize_and_solve();
+        assert!(core.current_error2() < 1e-16);
+        assert!(core.relevance(Key(1)) < 1e-12);
+    }
+
+    #[test]
+    fn loop_closure_dirties_path_to_root() {
+        let mut core = IncrementalCore::new(0);
+        core.add_variable(Variable::Se2(Se2::identity()));
+        core.add_factor(prior(0, Se2::identity()));
+        for i in 1..10 {
+            core.add_variable(Variable::Se2(Se2::new(i as f64, 0.0, 0.0)));
+            core.add_factor(between(i - 1, i, Se2::new(1.0, 0.0, 0.0)));
+            core.analyze();
+            core.factorize_and_solve();
+        }
+        // A loop closure from 1 to 9 must recompute a long path.
+        core.add_factor(between(1, 9, Se2::new(8.0, 0.0, 0.0)));
+        core.analyze();
+        let t = core.factorize_and_solve();
+        assert!(
+            t.nodes.len() >= 4,
+            "loop closure should touch many nodes, got {}",
+            t.nodes.len()
+        );
+    }
+
+    #[test]
+    fn trace_reports_hessian_and_solve_ops() {
+        let mut core = chain_core();
+        core.analyze();
+        let t = core.factorize_and_solve();
+        assert!(!t.hessian_ops.is_empty());
+        assert!(!t.solve_ops.is_empty());
+        assert!(t.relin_jacobian_elems > 0);
+        assert!(t.symbolic_pattern_elems > 0);
+    }
+
+    /// A loopy problem producing real fill under the natural order.
+    fn loopy_core(n: usize) -> IncrementalCore {
+        let mut core = IncrementalCore::new(0);
+        core.add_variable(Variable::Se2(Se2::identity()));
+        core.add_factor(prior(0, Se2::identity()));
+        for i in 1..n {
+            core.add_variable(Variable::Se2(Se2::new(i as f64 + 0.05, 0.02, 0.0)));
+            core.add_factor(between(i - 1, i, Se2::new(1.0, 0.0, 0.0)));
+            if i >= 6 && i % 2 == 0 {
+                core.add_factor(between(i - 6, i, Se2::new(6.0, 0.0, 0.0)));
+            }
+            core.analyze();
+            core.factorize_and_solve();
+        }
+        core
+    }
+
+    #[test]
+    fn reorder_preserves_solution_and_reduces_fill() {
+        let mut core = loopy_core(24);
+        let est_before = core.estimate();
+        let fill_before = core.fill_ratio();
+        let plan = core.reorder_candidate().expect("nonempty");
+        core.apply_reorder(plan);
+        core.analyze();
+        let fill_after = core.fill_ratio();
+        assert!(fill_after <= fill_before + 1e-9, "{fill_after} > {fill_before}");
+        assert_eq!(core.reorders(), 1);
+
+        // Solving in the new order gives the same estimates.
+        core.factorize_and_solve();
+        let est_after = core.estimate();
+        for (k, v) in est_before.iter() {
+            let d = v.translation_distance(est_after.get(k));
+            assert!(d < 1e-8, "estimate moved at {k}: {d}");
+        }
+    }
+
+    #[test]
+    fn incremental_updates_keep_working_after_reorder() {
+        let mut core = loopy_core(20);
+        let plan = core.reorder_candidate().expect("nonempty");
+        core.apply_reorder(plan);
+        core.analyze();
+        core.factorize_and_solve();
+        // Grow the problem further and check consistency with its own graph.
+        for i in 20..26 {
+            core.add_variable(Variable::Se2(Se2::new(i as f64, 0.0, 0.0)));
+            core.add_factor(between(i - 1, i, Se2::new(1.0, 0.0, 0.0)));
+            core.analyze();
+            core.factorize_and_solve();
+        }
+        assert!(core.current_error2() < 1.0, "error {}", core.current_error2());
+    }
+}

@@ -1,0 +1,153 @@
+//! Solver-level property tests on random pose graphs: the incremental
+//! solvers must land on (nearly) the batch optimum, and the resource-aware
+//! solver with an unconstrained budget must behave like ISAM2.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use supernova_factors::{BetweenFactor, Factor, Key, NoiseModel, PriorFactor, Se2, Variable};
+use supernova_hw::Platform;
+use supernova_runtime::CostModel;
+use supernova_solvers::{
+    BatchSolver, Isam2, Isam2Config, OnlineSolver, RaIsam2, RaIsam2Config,
+};
+
+/// A random planar trajectory: headings and step lengths, plus loop-closure
+/// offsets, all seeded by proptest.
+#[derive(Clone, Debug)]
+struct Scenario {
+    truth: Vec<Se2>,
+    /// (from, to) loop closures.
+    closures: Vec<(usize, usize)>,
+    noise_seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (6usize..=18)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(-0.6f64..0.6, n),
+                proptest::collection::vec((0usize..100, 3usize..100), 0..3),
+                any::<u64>(),
+            )
+                .prop_map(move |(turns, raw_lc, noise_seed)| {
+                    let mut truth = vec![Se2::identity()];
+                    for t in turns.iter().take(n - 1) {
+                        let prev = *truth.last().expect("nonempty");
+                        truth.push(prev.compose(Se2::new(1.0, 0.0, *t)));
+                    }
+                    let closures = raw_lc
+                        .into_iter()
+                        .filter_map(|(a, gap)| {
+                            let to = n - 1;
+                            let from = a % n;
+                            let _ = gap;
+                            (to > from + 2).then_some((from, to))
+                        })
+                        .collect();
+                    Scenario { truth, closures, noise_seed }
+                })
+        })
+}
+
+fn drive(solver: &mut dyn OnlineSolver, sc: &Scenario) {
+    let mut state = sc.noise_seed | 1;
+    let mut noise = move |s: f64| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state as f64 / u64::MAX as f64) - 0.5) * 2.0 * s
+    };
+    let n = sc.truth.len();
+    for i in 0..n {
+        let mut factors: Vec<Arc<dyn Factor>> = Vec::new();
+        if i == 0 {
+            factors.push(Arc::new(PriorFactor::se2(
+                Key(0),
+                sc.truth[0],
+                NoiseModel::isotropic(3, 0.01),
+            )));
+        } else {
+            let z = sc.truth[i - 1].inverse().compose(sc.truth[i]);
+            factors.push(Arc::new(BetweenFactor::se2(
+                Key(i - 1),
+                Key(i),
+                z,
+                NoiseModel::isotropic(3, 0.05),
+            )));
+        }
+        for &(from, to) in &sc.closures {
+            if to == i {
+                let z = sc.truth[from].inverse().compose(sc.truth[to]);
+                factors.push(Arc::new(BetweenFactor::se2(
+                    Key(from),
+                    Key(to),
+                    z,
+                    NoiseModel::isotropic(3, 0.05),
+                )));
+            }
+        }
+        let init = if i == 0 {
+            sc.truth[0]
+        } else {
+            let prev = solver.pose_estimate(Key(i - 1)).as_se2().copied().expect("se2");
+            let odom = sc.truth[i - 1].inverse().compose(sc.truth[i]);
+            prev.compose(odom).compose(Se2::new(noise(0.05), noise(0.05), noise(0.02)))
+        };
+        solver.step(Variable::Se2(init), factors);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn isam2_lands_near_the_batch_optimum(sc in scenario()) {
+        let mut solver = Isam2::new(Isam2Config::default());
+        drive(&mut solver, &sc);
+        let incremental = solver.estimate();
+        let (batch, stats) = BatchSolver::default().solve(solver.core().graph(), &incremental);
+        prop_assert!(stats.converged);
+        for (k, v) in incremental.iter() {
+            let d = v.translation_distance(batch.get(k));
+            prop_assert!(d < 0.05, "pose {} deviates {} from batch", k, d);
+        }
+    }
+
+    #[test]
+    fn unconstrained_ra_matches_isam2(sc in scenario()) {
+        let mut inc = Isam2::new(Isam2Config::default());
+        drive(&mut inc, &sc);
+        let cost = Arc::new(CostModel::new(Platform::supernova(2)));
+        let mut ra = RaIsam2::new(
+            RaIsam2Config { target_seconds: 100.0, ..RaIsam2Config::default() },
+            cost,
+        );
+        drive(&mut ra, &sc);
+        prop_assert_eq!(ra.last_deferred(), 0);
+        let a = inc.estimate();
+        let b = ra.estimate();
+        for (k, v) in a.iter() {
+            let d = v.translation_distance(b.get(k));
+            prop_assert!(d < 1e-6, "pose {} differs by {}", k, d);
+        }
+    }
+
+    #[test]
+    fn isam2_error_is_near_optimal(sc in scenario()) {
+        // The incremental solution's weighted graph error must be close to
+        // the batch optimum's (single-GN-step-per-frame cannot do better
+        // than the optimum, and should not be far worse).
+        let mut solver = Isam2::new(Isam2Config::default());
+        drive(&mut solver, &sc);
+        let inc_err = solver.core().current_error2();
+        let (batch, _) = BatchSolver::default().solve(solver.core().graph(), &solver.estimate());
+        let batch_err = solver.core().graph().total_error2(&batch);
+        prop_assert!(
+            inc_err <= batch_err * 1.5 + 1e-3,
+            "incremental error {} far above optimum {}",
+            inc_err,
+            batch_err
+        );
+    }
+}

@@ -1,0 +1,637 @@
+//! Numeric multifrontal factorization with incremental re-factorization.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use supernova_linalg::ops::{Op, OpTrace};
+use supernova_linalg::{
+    gemv, partial_cholesky_in_place, solve_lower, solve_lower_transpose, Mat, Transpose,
+};
+
+use crate::{BlockMat, SymbolicFactor};
+
+/// A supernode's Cholesky pivot was not positive definite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FactorizeError {
+    node: usize,
+    front_col: usize,
+}
+
+impl FactorizeError {
+    /// Index of the failing supernode.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Scalar column within the node's front at which the pivot failed.
+    pub fn front_col(&self) -> usize {
+        self.front_col
+    }
+}
+
+impl fmt::Display for FactorizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "front of supernode {} is not positive definite at column {}",
+            self.node, self.front_col
+        )
+    }
+}
+
+impl Error for FactorizeError {}
+
+/// The operations performed to (re)compute one supernode.
+#[derive(Clone, Debug, Default)]
+pub struct NodeTrace {
+    /// Supernode index (into [`SymbolicFactor::nodes`]).
+    pub node: usize,
+    /// Primitive operations in execution order.
+    pub ops: OpTrace,
+}
+
+/// Outcome of an incremental re-factorization.
+#[derive(Clone, Debug, Default)]
+pub struct RefactorStats {
+    /// Supernodes that were recomputed this pass, with their op traces,
+    /// in children-before-parents execution order.
+    pub recomputed: Vec<NodeTrace>,
+    /// Number of supernodes reused from the previous factorization.
+    pub reused: usize,
+}
+
+impl RefactorStats {
+    /// Indices of the recomputed supernodes.
+    pub fn recomputed_nodes(&self) -> Vec<usize> {
+        self.recomputed.iter().map(|t| t.node).collect()
+    }
+
+    /// Total flops across recomputed nodes.
+    pub fn flops(&self) -> u64 {
+        self.recomputed.iter().map(|t| t.ops.flops()).sum()
+    }
+}
+
+/// The numeric factor of one supernode: the stored columns `[L_A; L_B]` and
+/// the cached update matrix `L_C` used by the parent's extend-add.
+///
+/// The paper discards `L_C` after the merge (Figure 4); the incremental
+/// engine instead *caches* it so that re-factorizing an affected node needs
+/// only its children's cached updates, never a revisit of the whole subtree
+/// (DESIGN.md decision 2).
+#[derive(Clone, Debug)]
+struct NodeFactor {
+    /// `(m + n) × m` — `L_A` stacked over `L_B`.
+    l: Mat,
+    /// `n × n` lower triangle — the update matrix `L_C`.
+    update: Mat,
+    /// Structural signature for cache matching across re-analyses.
+    sig: (usize, usize, u64),
+}
+
+/// A supernodal multifrontal Cholesky factorization `H = L Lᵀ`.
+///
+/// Produced by [`factorize`](Self::factorize) and updated in place by
+/// [`refactor`](Self::refactor); solves run via
+/// [`solve_in_place`](Self::solve_in_place).
+#[derive(Clone, Debug)]
+pub struct NumericFactor {
+    nodes: Vec<Option<NodeFactor>>,
+}
+
+impl NumericFactor {
+    /// Factorizes `h` (structure given by `sym`) from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorizeError`] if a pivot block is not positive definite.
+    pub fn factorize(sym: &SymbolicFactor, h: &BlockMat) -> Result<Self, FactorizeError> {
+        Self::factorize_traced(sym, h).map(|(f, _)| f)
+    }
+
+    /// Factorizes from scratch, also returning per-node op traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorizeError`] if a pivot block is not positive definite.
+    pub fn factorize_traced(
+        sym: &SymbolicFactor,
+        h: &BlockMat,
+    ) -> Result<(Self, RefactorStats), FactorizeError> {
+        let mut factor = NumericFactor { nodes: vec![None; sym.nodes().len()] };
+        let all: Vec<usize> = (0..sym.num_blocks()).collect();
+        let stats = factor.refactor(sym, h, &all)?;
+        Ok((factor, stats))
+    }
+
+    /// Incrementally re-factorizes after the Hessian columns of
+    /// `dirty_blocks` changed (and/or after `sym` was re-analyzed).
+    ///
+    /// Nodes whose structure is unchanged, whose Hessian contributions are
+    /// clean and whose descendants are all reused keep their stored columns
+    /// and cached update matrices; everything else — the dirty nodes, the
+    /// structurally changed nodes and the ancestor closure of both — is
+    /// recomputed, which is exactly the affected-path cost structure that
+    /// ISAM2 exhibits and RA-ISAM2's Algorithm 1 predicts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorizeError`] if a pivot block is not positive definite.
+    pub fn refactor(
+        &mut self,
+        sym: &SymbolicFactor,
+        h: &BlockMat,
+        dirty_blocks: &[usize],
+    ) -> Result<RefactorStats, FactorizeError> {
+        let num_nodes = sym.nodes().len();
+        // Index the previous factorization by first pivot column.
+        let mut old: HashMap<usize, NodeFactor> = HashMap::new();
+        for nf in std::mem::take(&mut self.nodes).into_iter().flatten() {
+            old.insert(nf.sig.0, nf);
+        }
+
+        // Seed the recompute set with dirty nodes and structural mismatches.
+        let mut seeds: Vec<usize> = Vec::new();
+        for s in 0..num_nodes {
+            let sig = sym.nodes()[s].signature();
+            match old.get(&sig.0) {
+                Some(nf) if nf.sig == sig => {}
+                _ => seeds.push(s),
+            }
+        }
+        for &b in dirty_blocks {
+            seeds.push(sym.node_of_block(b));
+        }
+        let recompute = sym.ancestor_closure(seeds);
+        let mut is_recompute = vec![false; num_nodes];
+        for &s in &recompute {
+            is_recompute[s] = true;
+        }
+
+        let mut nodes: Vec<Option<NodeFactor>> = vec![None; num_nodes];
+        let mut stats = RefactorStats::default();
+        for &s in sym.postorder() {
+            if !is_recompute[s] {
+                let sig = sym.nodes()[s].signature();
+                let nf = old.remove(&sig.0).expect("reused node missing from cache");
+                debug_assert_eq!(nf.sig, sig);
+                nodes[s] = Some(nf);
+                stats.reused += 1;
+                continue;
+            }
+            let (nf, trace) = compute_node(sym, h, s, &nodes)?;
+            nodes[s] = Some(nf);
+            stats.recomputed.push(NodeTrace { node: s, ops: trace });
+        }
+        self.nodes = nodes;
+        Ok(stats)
+    }
+
+    /// Solves `H x = b` in place (`x` enters as `b`), using the supernodal
+    /// forward and backward triangular solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != sym.total_dim()` or if the factor and `sym`
+    /// disagree (e.g. `refactor` was never run for this structure).
+    pub fn solve_in_place(&self, sym: &SymbolicFactor, x: &mut [f64]) -> OpTrace {
+        assert_eq!(x.len(), sym.total_dim(), "solve rhs length mismatch");
+        let mut trace = OpTrace::new();
+        // Forward: L y = b, children before parents.
+        for &s in sym.postorder() {
+            let info = &sym.nodes()[s];
+            let nf = self.nodes[s].as_ref().expect("missing node factor");
+            let m = info.pivot_dim;
+            let n = info.rem_dim;
+            let pivot_off = sym.block_offset(info.first_col);
+            let la = nf.l.block(0, 0, m, m);
+            let mut y = x[pivot_off..pivot_off + m].to_vec();
+            solve_lower(&la, &mut y);
+            trace.push(Op::Trsm { m: 1, n: m });
+            if n > 0 {
+                let lb = nf.l.block(m, 0, n, m);
+                let upd = lb.matvec(&y);
+                trace.push(Op::Gemv { m: n, n: m });
+                scatter_sub(sym, info.remainder_rows(), &upd, x);
+            }
+            x[pivot_off..pivot_off + m].copy_from_slice(&y);
+        }
+        // Backward: Lᵀ x = y, parents before children.
+        for &s in sym.postorder().iter().rev() {
+            let info = &sym.nodes()[s];
+            let nf = self.nodes[s].as_ref().expect("missing node factor");
+            let m = info.pivot_dim;
+            let n = info.rem_dim;
+            let pivot_off = sym.block_offset(info.first_col);
+            let la = nf.l.block(0, 0, m, m);
+            let mut rhs = x[pivot_off..pivot_off + m].to_vec();
+            if n > 0 {
+                let lb = nf.l.block(m, 0, n, m);
+                let xr = gather(sym, info.remainder_rows(), x);
+                let mut corr = vec![0.0; m];
+                gemv(1.0, &lb, Transpose::Yes, &xr, 0.0, &mut corr);
+                trace.push(Op::Gemv { m: n, n: m });
+                for (r, c) in rhs.iter_mut().zip(&corr) {
+                    *r -= c;
+                }
+            }
+            solve_lower_transpose(&la, &mut rhs);
+            trace.push(Op::Trsm { m: 1, n: m });
+            x[pivot_off..pivot_off + m].copy_from_slice(&rhs);
+        }
+        trace
+    }
+
+    /// The stored factor columns `[L_A; L_B]` of supernode `s` (rows are the
+    /// node's block rows, in `rows` order).
+    pub fn node_columns(&self, s: usize) -> &Mat {
+        &self.nodes[s].as_ref().expect("missing node factor").l
+    }
+
+    /// The marginal covariance of one variable block: the `(b, b)` diagonal
+    /// block of `H⁻¹`, recovered by back-substituting unit vectors through
+    /// the factor (the standard SLAM covariance-recovery query).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range or the factor does not match `sym`.
+    pub fn marginal_covariance(&self, sym: &SymbolicFactor, b: usize) -> Mat {
+        let dim = sym.block_dims()[b];
+        let off = sym.block_offset(b);
+        let n = sym.total_dim();
+        let mut cov = Mat::zeros(dim, dim);
+        for c in 0..dim {
+            let mut rhs = vec![0.0; n];
+            rhs[off + c] = 1.0;
+            self.solve_in_place(sym, &mut rhs);
+            for r in 0..dim {
+                cov[(r, c)] = rhs[off + r];
+            }
+        }
+        cov
+    }
+
+    /// Densifies `L` into a full lower-triangular matrix (test helper).
+    pub fn to_dense_l(&self, sym: &SymbolicFactor) -> Mat {
+        let n = sym.total_dim();
+        let mut l = Mat::zeros(n, n);
+        for (s, info) in sym.nodes().iter().enumerate() {
+            let nf = self.nodes[s].as_ref().expect("missing node factor");
+            let pivot_off = sym.block_offset(info.first_col);
+            // Scalar row offsets of the front rows.
+            let mut row_offs = Vec::new();
+            for &br in &info.rows {
+                let off = sym.block_offset(br);
+                for k in 0..sym.block_dims()[br] {
+                    row_offs.push(off + k);
+                }
+            }
+            for c in 0..info.pivot_dim {
+                for (r_local, &r_global) in row_offs.iter().enumerate() {
+                    if r_global >= pivot_off + c {
+                        l[(r_global, pivot_off + c)] = nf.l[(r_local, c)];
+                    }
+                }
+            }
+        }
+        l
+    }
+}
+
+/// Computes one supernode: workspace reset, assembly, extend-add of the
+/// children's cached updates, then the three-step partial factorization.
+fn compute_node(
+    sym: &SymbolicFactor,
+    h: &BlockMat,
+    s: usize,
+    nodes: &[Option<NodeFactor>],
+) -> Result<(NodeFactor, OpTrace), FactorizeError> {
+    let info = &sym.nodes()[s];
+    let m = info.pivot_dim;
+    let n = info.rem_dim;
+    let t = m + n;
+    let mut trace = OpTrace::new();
+    let mut front = Mat::zeros(t, t);
+    trace.push(Op::Memset { bytes: t * t * 4 });
+
+    // Local scalar offset of each front block row.
+    let mut local = HashMap::with_capacity(info.rows.len());
+    {
+        let mut off = 0usize;
+        for &br in &info.rows {
+            local.insert(br, off);
+            off += sym.block_dims()[br];
+        }
+    }
+
+    // Assemble the original Hessian columns owned by this node.
+    let mut asm_blocks = 0usize;
+    let mut asm_elems = 0usize;
+    for j in info.cols() {
+        let cj = local[&j];
+        for (i, blk) in h.col_blocks(j) {
+            let ri = *local
+                .get(&i)
+                .unwrap_or_else(|| panic!("H block ({i},{j}) outside front of node {s}"));
+            front.add_block(ri, cj, blk);
+            asm_blocks += 1;
+            asm_elems += blk.rows() * blk.cols();
+        }
+    }
+    if asm_blocks > 0 {
+        trace.push(Op::Memcpy { bytes: asm_elems * 4 });
+        trace.push(Op::ScatterAdd { blocks: asm_blocks, elems: asm_elems });
+    }
+
+    // Extend-add each child's cached update matrix (the merge step).
+    for &c in &info.children {
+        let child_info = &sym.nodes()[c];
+        let child = nodes[c].as_ref().expect("child factored after parent");
+        let rem = child_info.remainder_rows();
+        // Child-local scalar offsets of its remainder rows.
+        let mut coff = Vec::with_capacity(rem.len());
+        {
+            let mut off = 0usize;
+            for &br in rem {
+                coff.push(off);
+                off += sym.block_dims()[br];
+            }
+        }
+        let mut blocks = 0usize;
+        let mut elems = 0usize;
+        for (bj, &rj) in rem.iter().enumerate() {
+            let wj = sym.block_dims()[rj];
+            for (bi, &ri) in rem.iter().enumerate().skip(bj) {
+                let hi = sym.block_dims()[ri];
+                let blk = child.update.block(coff[bi], coff[bj], hi, wj);
+                front.add_block(local[&ri], local[&rj], &blk);
+                blocks += 1;
+                elems += hi * wj;
+            }
+        }
+        if blocks > 0 {
+            trace.push(Op::Memcpy { bytes: elems * 4 });
+            trace.push(Op::ScatterAdd { blocks, elems });
+        }
+    }
+
+    // Three-step partial factorization (Figure 5, bottom).
+    partial_cholesky_in_place(&mut front, m)
+        .map_err(|e| FactorizeError { node: s, front_col: e.col() })?;
+    trace.push(Op::Chol { n: m });
+    if n > 0 {
+        trace.push(Op::Trsm { m: n, n: m });
+        trace.push(Op::Syrk { n, k: m });
+    }
+
+    // Copy the supernode columns out of the frontal workspace.
+    let l = front.block(0, 0, t, m);
+    let update = if n > 0 { front.block(m, m, n, n) } else { Mat::zeros(0, 0) };
+    trace.push(Op::Memcpy { bytes: t * m * 4 });
+    Ok((NodeFactor { l, update, sig: info.signature() }, trace))
+}
+
+/// `x[rows] -= v`, scattering block-contiguous `v` into the global vector.
+fn scatter_sub(sym: &SymbolicFactor, rows: &[usize], v: &[f64], x: &mut [f64]) {
+    let mut k = 0usize;
+    for &br in rows {
+        let off = sym.block_offset(br);
+        let d = sym.block_dims()[br];
+        for i in 0..d {
+            x[off + i] -= v[k + i];
+        }
+        k += d;
+    }
+}
+
+/// Gathers `x[rows]` into a contiguous vector.
+fn gather(sym: &SymbolicFactor, rows: &[usize], x: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for &br in rows {
+        let off = sym.block_offset(br);
+        out.extend_from_slice(&x[off..off + sym.block_dims()[br]]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockPattern;
+    use supernova_linalg::cholesky_in_place;
+
+    /// Builds a block SPD system from a pattern with deterministic values.
+    fn build_h(pattern: &BlockPattern, seed: u64) -> BlockMat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let dims = pattern.block_dims().to_vec();
+        let mut h = BlockMat::new(dims.clone());
+        for j in 0..pattern.num_blocks() {
+            for &i in pattern.col(j) {
+                let m = Mat::from_fn(dims[i], dims[j], |_, _| next() * 0.3);
+                h.add_to_block(i, j, &m);
+            }
+            // Strong diagonal for positive definiteness.
+            let d = dims[j];
+            let row_degree = pattern.col(j).len() as f64;
+            h.add_to_block(j, j, &Mat::from_diag(&vec![4.0 + 2.0 * row_degree; d]));
+        }
+        h
+    }
+
+    fn assert_matches_dense(pattern: &BlockPattern, h: &BlockMat, num: &NumericFactor, sym: &SymbolicFactor) {
+        let dense = h.to_dense();
+        let mut l_ref = dense.clone();
+        cholesky_in_place(&mut l_ref).unwrap();
+        let l = num.to_dense_l(sym);
+        let n = sym.total_dim();
+        for i in 0..n {
+            for j in 0..=i {
+                assert!(
+                    (l[(i, j)] - l_ref[(i, j)]).abs() < 1e-8,
+                    "L({i},{j}) = {} vs dense {} (pattern nnz {})",
+                    l[(i, j)],
+                    l_ref[(i, j)],
+                    pattern.nnz_blocks(),
+                );
+            }
+        }
+    }
+
+    fn loopy_pattern() -> BlockPattern {
+        let mut p = BlockPattern::new(vec![2, 3, 1, 2, 2, 3, 1, 2]);
+        for i in 0..7 {
+            p.add_block_edge(i, i + 1);
+        }
+        p.add_block_edge(0, 5);
+        p.add_block_edge(2, 7);
+        p.add_block_edge(3, 6);
+        p
+    }
+
+    #[test]
+    fn factorize_matches_dense_cholesky() {
+        let p = loopy_pattern();
+        let sym = SymbolicFactor::analyze(&p, 0);
+        let h = build_h(&p, 3);
+        let num = NumericFactor::factorize(&sym, &h).unwrap();
+        assert_matches_dense(&p, &h, &num, &sym);
+    }
+
+    #[test]
+    fn factorize_with_relaxed_supernodes_matches_dense() {
+        let p = loopy_pattern();
+        let sym = SymbolicFactor::analyze(&p, 2);
+        let h = build_h(&p, 3);
+        let num = NumericFactor::factorize(&sym, &h).unwrap();
+        assert_matches_dense(&p, &h, &num, &sym);
+    }
+
+    #[test]
+    fn solve_inverts_system() {
+        let p = loopy_pattern();
+        let sym = SymbolicFactor::analyze(&p, 0);
+        let h = build_h(&p, 9);
+        let num = NumericFactor::factorize(&sym, &h).unwrap();
+        let dense = h.to_dense();
+        let x_true: Vec<f64> = (0..sym.total_dim()).map(|i| (i % 5) as f64 - 2.0).collect();
+        let mut x = dense.matvec(&x_true);
+        let trace = num.solve_in_place(&sym, &mut x);
+        assert!(!trace.is_empty());
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn refactor_after_value_change_matches_fresh() {
+        let p = loopy_pattern();
+        let sym = SymbolicFactor::analyze(&p, 0);
+        let h0 = build_h(&p, 1);
+        let (mut num, full) = NumericFactor::factorize_traced(&sym, &h0).unwrap();
+        assert_eq!(full.reused, 0);
+
+        // Change the values in block column 2 (and its row partners).
+        let mut h1 = h0.clone();
+        h1.add_to_block(2, 2, &Mat::from_diag(&vec![1.5; p.block_dims()[2]]));
+        let stats = num.refactor(&sym, &h1, &[2]).unwrap();
+        assert!(stats.reused > 0, "expected some reuse on a local change");
+
+        let fresh = NumericFactor::factorize(&sym, &h1).unwrap();
+        let a = num.to_dense_l(&sym);
+        let b = fresh.to_dense_l(&sym);
+        for i in 0..sym.total_dim() {
+            for j in 0..=i {
+                assert!((a[(i, j)] - b[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_after_structure_change_matches_fresh() {
+        // Start with a chain, then add a loop-closure edge.
+        let mut p = BlockPattern::new(vec![2; 6]);
+        for i in 0..5 {
+            p.add_block_edge(i, i + 1);
+        }
+        let sym0 = SymbolicFactor::analyze(&p, 0);
+        let h0 = build_h(&p, 5);
+        let mut num = NumericFactor::factorize(&sym0, &h0).unwrap();
+
+        p.add_block_edge(1, 4);
+        let sym1 = SymbolicFactor::analyze(&p, 0);
+        // Values consistent with h0 plus the new loop-closure block.
+        let h1 = {
+            let mut h = h0.clone();
+            h.add_to_block(4, 1, &Mat::from_fn(2, 2, |r, c| 0.1 * (r + c) as f64));
+            h
+        };
+        let stats = num.refactor(&sym1, &h1, &[1, 4]).unwrap();
+        assert!(!stats.recomputed.is_empty());
+        let fresh = NumericFactor::factorize(&sym1, &h1).unwrap();
+        let a = num.to_dense_l(&sym1);
+        let b = fresh.to_dense_l(&sym1);
+        for i in 0..sym1.total_dim() {
+            for j in 0..=i {
+                assert!((a[(i, j)] - b[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_with_no_dirt_reuses_everything() {
+        let p = loopy_pattern();
+        let sym = SymbolicFactor::analyze(&p, 0);
+        let h = build_h(&p, 8);
+        let mut num = NumericFactor::factorize(&sym, &h).unwrap();
+        let stats = num.refactor(&sym, &h, &[]).unwrap();
+        assert_eq!(stats.recomputed.len(), 0);
+        assert_eq!(stats.reused, sym.nodes().len());
+    }
+
+    #[test]
+    fn traces_cover_recomputed_nodes_in_postorder() {
+        let p = loopy_pattern();
+        let sym = SymbolicFactor::analyze(&p, 0);
+        let h = build_h(&p, 2);
+        let (_, stats) = NumericFactor::factorize_traced(&sym, &h).unwrap();
+        let got: Vec<usize> = stats.recomputed_nodes();
+        assert_eq!(got, sym.postorder().to_vec());
+        assert!(stats.flops() > 0);
+        for t in &stats.recomputed {
+            assert!(t.ops.ops().iter().any(|o| matches!(o, Op::Chol { .. })));
+        }
+    }
+
+    #[test]
+    fn marginal_covariance_matches_dense_inverse() {
+        let p = loopy_pattern();
+        let sym = SymbolicFactor::analyze(&p, 1);
+        let h = build_h(&p, 11);
+        let num = NumericFactor::factorize(&sym, &h).unwrap();
+        // Dense inverse via solves against the identity.
+        let dense = h.to_dense();
+        let mut l = dense.clone();
+        cholesky_in_place(&mut l).unwrap();
+        for b in [0usize, 3, 7] {
+            let cov = num.marginal_covariance(&sym, b);
+            let dim = sym.block_dims()[b];
+            let off = sym.block_offset(b);
+            for c in 0..dim {
+                let mut e = vec![0.0; sym.total_dim()];
+                e[off + c] = 1.0;
+                supernova_linalg::solve_lower(&l, &mut e);
+                supernova_linalg::solve_lower_transpose(&l, &mut e);
+                for r in 0..dim {
+                    assert!(
+                        (cov[(r, c)] - e[off + r]).abs() < 1e-9,
+                        "cov({r},{c}) of block {b} differs"
+                    );
+                }
+            }
+            // A covariance diagonal must be positive.
+            for d in 0..dim {
+                assert!(cov[(d, d)] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_reports_node() {
+        let mut p = BlockPattern::new(vec![1, 1]);
+        p.add_block_edge(0, 1);
+        let sym = SymbolicFactor::analyze(&p, 0);
+        let mut h = BlockMat::new(vec![1, 1]);
+        h.add_to_block(0, 0, &Mat::from_rows(1, 1, &[1.0]));
+        h.add_to_block(1, 0, &Mat::from_rows(1, 1, &[2.0]));
+        h.add_to_block(1, 1, &Mat::from_rows(1, 1, &[1.0]));
+        let err = NumericFactor::factorize(&sym, &h).unwrap_err();
+        assert!(!format!("{err}").is_empty());
+    }
+}

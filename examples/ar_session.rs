@@ -1,0 +1,47 @@
+//! AR-session scenario: why the incremental baseline (ISAM2) breaks the
+//! frame deadline on loop closures and how RA-ISAM2 amortizes the cost.
+//!
+//! Replays a CAB2-style multi-session AR trace through both solvers on the
+//! same 2-set SuperNoVA SoC and compares their per-step latency tails.
+//!
+//! ```sh
+//! cargo run --release --example ar_session
+//! ```
+
+use supernova::core::{run_online, ExperimentConfig, PricingTarget, SolverKind};
+use supernova::datasets::Dataset;
+use supernova::hw::Platform;
+use supernova::metrics::{miss_rate, BoxStats};
+
+const TARGET: f64 = 1.0 / 30.0;
+
+fn main() {
+    let dataset = Dataset::cab2_scaled(0.08);
+    println!(
+        "AR trace: {} steps, {} covisibility factors",
+        dataset.num_steps(),
+        dataset.num_loop_closures()
+    );
+    let cfg = ExperimentConfig {
+        pricings: vec![PricingTarget::new("SuperNoVA-2S", Platform::supernova(2))],
+        eval_stride: 0,
+    };
+
+    for kind in [SolverKind::Incremental, SolverKind::ResourceAware { sets: 2 }] {
+        let mut solver = kind.build(TARGET, 0.05);
+        let rec = run_online(&dataset, solver.as_mut(), &cfg, None);
+        let totals = rec.totals(0);
+        let s = BoxStats::from_samples(&totals);
+        println!("\n{}:", rec.solver);
+        println!("  median {:.2} ms | q3 {:.2} ms | worst {:.2} ms", s.median * 1e3, s.q3 * 1e3, s.max * 1e3);
+        println!("  deadline misses: {:.1} %", miss_rate(&totals, TARGET) * 100.0);
+        // Show the worst five steps — for ISAM2 these are the loop closures.
+        let mut worst: Vec<(usize, f64)> = totals.iter().copied().enumerate().collect();
+        worst.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let tail: Vec<String> =
+            worst.iter().take(5).map(|(i, t)| format!("step {i}: {:.1} ms", t * 1e3)).collect();
+        println!("  worst steps: {}", tail.join(", "));
+    }
+    println!("\nexpected: ISAM2's worst steps blow through 33.3 ms on loop closures;");
+    println!("RA-ISAM2 spreads the same work over subsequent steps and never misses.");
+}

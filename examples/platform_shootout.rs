@@ -1,0 +1,54 @@
+//! Platform shootout: price the same backend execution on every §5.4
+//! hardware baseline — the Figure 8 experiment as a library call.
+//!
+//! One ISAM2 execution produces one trace; each platform model prices the
+//! identical trace, so differences are purely architectural.
+//!
+//! ```sh
+//! cargo run --release --example platform_shootout
+//! ```
+
+use supernova::core::report::Table;
+use supernova::core::{run_online, ExperimentConfig, PricingTarget, SolverKind};
+use supernova::datasets::Dataset;
+use supernova::hw::Platform;
+
+fn main() {
+    let dataset = Dataset::sphere_scaled(0.12);
+    println!(
+        "workload: {} ({} steps, {} edges)\n",
+        dataset.name(),
+        dataset.num_steps(),
+        dataset.num_edges()
+    );
+
+    let cfg = ExperimentConfig {
+        pricings: vec![
+            PricingTarget::new("BOOM (OoO CPU)", Platform::boom()),
+            PricingTarget::new("Mobile CPU", Platform::mobile_cpu()),
+            PricingTarget::new("Mobile DSP", Platform::mobile_dsp()),
+            PricingTarget::new("Server CPU", Platform::server_cpu()),
+            PricingTarget::new("Embedded GPU", Platform::embedded_gpu()),
+            PricingTarget::new("Spatula", Platform::spatula(2)),
+            PricingTarget::new("SuperNoVA 2 sets", Platform::supernova(2)),
+        ],
+        eval_stride: 0,
+    };
+    let mut solver = SolverKind::Incremental.build(1.0 / 30.0, 0.05);
+    let rec = run_online(&dataset, solver.as_mut(), &cfg, None);
+
+    let boom_total: f64 = rec.totals(0).iter().sum();
+    let mut table = Table::new(&["platform", "total (s)", "numeric (s)", "reduction vs BOOM"]);
+    for (p, label) in rec.pricing_labels.iter().enumerate() {
+        let total: f64 = rec.totals(p).iter().sum();
+        let numeric: f64 = rec.numerics(p).iter().sum();
+        table.row(&[
+            label.clone(),
+            format!("{total:.4}"),
+            format!("{numeric:.4}"),
+            format!("{:.1}%", (1.0 - total / boom_total) * 100.0),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nsee `cargo run --release -p supernova-bench --bin repro -- fig8` for all datasets.");
+}

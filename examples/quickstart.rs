@@ -1,0 +1,43 @@
+//! Quickstart: build a small pose graph by hand, run the full SuperNoVA
+//! system on it, and inspect latency and accuracy.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use supernova::core::{Reference, SuperNova, SuperNovaConfig};
+use supernova::datasets::Dataset;
+
+fn main() {
+    // A miniature CAB-style AR session (see `supernova::datasets` for the
+    // full-scale workloads used in the paper's evaluation).
+    let dataset = Dataset::cab1_scaled(0.25);
+    println!(
+        "dataset: {} — {} steps, {} edges ({} loop closures)",
+        dataset.name(),
+        dataset.num_steps(),
+        dataset.num_edges(),
+        dataset.num_loop_closures()
+    );
+
+    // Reference trajectories: the graph optimized to convergence at a
+    // stride of steps (the accuracy yardstick of §5.3).
+    let reference = Reference::compute(&dataset, 10);
+
+    // The full stack: RA-ISAM2 + runtime + the 2-accelerator-set SoC model.
+    let mut system = SuperNova::new(SuperNovaConfig { accel_sets: 2, ..Default::default() });
+    let outcome = system.run_online_with_reference(&dataset, &reference);
+
+    let stats = outcome.latency_stats();
+    println!("\nper-step backend latency on {}:", system.platform().name());
+    println!("  median : {:.3} ms", stats.median * 1e3);
+    println!("  q3     : {:.3} ms", stats.q3 * 1e3);
+    println!("  max    : {:.3} ms  (target 33.333 ms)", stats.max * 1e3);
+    println!("  misses : {:.1} %", outcome.miss_rate() * 100.0);
+    println!("\naccuracy vs optimized reference:");
+    println!("  MAX    : {:.4} m", outcome.max_error());
+    println!("  iRMSE  : {:.4} m", outcome.irmse());
+
+    assert!(outcome.miss_rate() == 0.0, "RA-ISAM2 should always meet the deadline");
+    println!("\nevery step met the 30 FPS deadline — resource-aware selection at work.");
+}

@@ -1,0 +1,49 @@
+//! Resource sweep: how RA-ISAM2's accuracy scales with the accelerator
+//! budget while the deadline is always met (the Table 4 RA1S/RA2S/RA4S
+//! columns).
+//!
+//! The same dataset runs with 1, 2 and 4 accelerator sets: more hardware →
+//! the cost model admits more relinearization per step → lower error, at
+//! an unchanged 33.3 ms guarantee.
+//!
+//! ```sh
+//! cargo run --release --example resource_sweep
+//! ```
+
+use supernova::core::report::Table;
+use supernova::core::{Reference, SuperNova, SuperNovaConfig};
+use supernova::datasets::Dataset;
+
+fn main() {
+    let dataset = Dataset::sphere_scaled(0.10);
+    println!(
+        "workload: {} ({} steps, {} loop closures)",
+        dataset.name(),
+        dataset.num_steps(),
+        dataset.num_loop_closures()
+    );
+    let reference = Reference::compute(&dataset, 15);
+
+    let mut table =
+        Table::new(&["accelerator sets", "median (ms)", "max (ms)", "miss rate", "MAX (m)", "iRMSE (m)"]);
+    for sets in [1usize, 2, 4] {
+        let mut system = SuperNova::new(SuperNovaConfig {
+            accel_sets: sets,
+            eval_stride: 15,
+            ..Default::default()
+        });
+        let out = system.run_online_with_reference(&dataset, &reference);
+        let s = out.latency_stats();
+        table.row(&[
+            sets.to_string(),
+            format!("{:.3}", s.median * 1e3),
+            format!("{:.3}", s.max * 1e3),
+            format!("{:.1}%", out.miss_rate() * 100.0),
+            format!("{:.4}", out.max_error()),
+            format!("{:.4}", out.irmse()),
+        ]);
+    }
+    print!("\n{}", table.render());
+    println!("\nexpected: max latency stays under 33.333 ms for every row, while");
+    println!("MAX and iRMSE shrink as sets increase — accuracy scales with resources.");
+}

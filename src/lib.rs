@@ -1,0 +1,38 @@
+//! SuperNoVA — full-stack reproduction of *SuperNoVA: Algorithm-Hardware
+//! Co-Design for Resource-Aware SLAM* (ASPLOS 2025) in Rust.
+//!
+//! This meta-crate re-exports every layer of the stack:
+//!
+//! - [`linalg`] — dense kernels (GEMM, SYRK, TRSM, Cholesky)
+//! - [`sparse`] — supernodal multifrontal sparse Cholesky
+//! - [`factors`] — Lie-group manifolds and factor graphs
+//! - [`solvers`] — batch GN, ISAM2 and the resource-aware RA-ISAM2
+//! - [`hw`] — cycle-level SoC and baseline-platform models
+//! - [`runtime`] — accelerator-virtualizing supernode scheduler
+//! - [`datasets`] — M3500 / Sphere / CAB pose-graph generators and g2o IO
+//! - [`metrics`] — APE / iRMSE / latency statistics
+//! - [`core`] — the wired-together SuperNoVA system and experiment runner
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`, or:
+//!
+//! ```
+//! use supernova::core::{SuperNova, SuperNovaConfig};
+//! use supernova::datasets::Dataset;
+//!
+//! let dataset = Dataset::cab1_scaled(0.05);
+//! let mut system = SuperNova::new(SuperNovaConfig::default());
+//! let outcome = system.run_online(&dataset);
+//! assert!(outcome.steps() > 0);
+//! ```
+
+pub use supernova_core as core;
+pub use supernova_datasets as datasets;
+pub use supernova_factors as factors;
+pub use supernova_hw as hw;
+pub use supernova_linalg as linalg;
+pub use supernova_metrics as metrics;
+pub use supernova_runtime as runtime;
+pub use supernova_solvers as solvers;
+pub use supernova_sparse as sparse;

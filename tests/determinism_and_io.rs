@@ -1,0 +1,63 @@
+//! Integration tests: determinism of the whole pipeline and the g2o
+//! round-trip path into the solvers.
+
+use supernova::core::{run_online, ExperimentConfig, PricingTarget, SolverKind};
+use supernova::datasets::Dataset;
+use supernova::hw::Platform;
+
+#[test]
+fn identical_runs_produce_identical_latencies_and_errors() {
+    let ds = Dataset::cab2_scaled(0.03);
+    let make = || {
+        let mut solver = SolverKind::ResourceAware { sets: 2 }.build(1.0 / 30.0, 0.05);
+        let cfg = ExperimentConfig {
+            pricings: vec![PricingTarget::new("sn2", Platform::supernova(2))],
+            eval_stride: 0,
+        };
+        run_online(&ds, solver.as_mut(), &cfg, None)
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a.totals(0), b.totals(0), "virtual-time scheduler must be deterministic");
+}
+
+#[test]
+fn dataset_generators_are_reproducible() {
+    let a = Dataset::sphere_scaled(0.05);
+    let b = Dataset::sphere_scaled(0.05);
+    assert_eq!(a.num_edges(), b.num_edges());
+    for (ea, eb) in a.edges().iter().zip(b.edges()) {
+        assert_eq!(ea.from, eb.from);
+        assert_eq!(ea.to, eb.to);
+    }
+}
+
+#[test]
+fn g2o_roundtrip_preserves_solver_behaviour() {
+    let original = Dataset::m3500_scaled(0.03);
+    let text = original.to_g2o();
+    let parsed = Dataset::from_g2o("roundtrip", &text).expect("parse back");
+
+    let run = |ds: &Dataset| {
+        let mut solver = SolverKind::Incremental.build(1.0 / 30.0, 0.05);
+        let cfg = ExperimentConfig { pricings: vec![], eval_stride: 0 };
+        run_online(ds, solver.as_mut(), &cfg, None);
+        solver.estimate()
+    };
+    let est_a = run(&original);
+    let est_b = run(&parsed);
+    assert_eq!(est_a.len(), est_b.len());
+    for (k, va) in est_a.iter() {
+        let d = va.translation_distance(est_b.get(k));
+        assert!(d < 1e-6, "estimates diverged at {k}: {d}");
+    }
+}
+
+#[test]
+fn full_stack_smoke_via_meta_crate() {
+    use supernova::core::{SuperNova, SuperNovaConfig};
+    let mut system = SuperNova::new(SuperNovaConfig::default());
+    let outcome = system.run_online(&Dataset::cab1_scaled(0.1));
+    assert!(outcome.steps() > 0);
+    assert!(outcome.latency_stats().max.is_finite());
+}

@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: the paper's headline behaviours on
+//! miniature versions of the evaluation workloads.
+
+use supernova::core::{run_online, ExperimentConfig, PricingTarget, Reference, SolverKind};
+use supernova::datasets::Dataset;
+use supernova::hw::Platform;
+use supernova::metrics::miss_rate;
+
+const TARGET: f64 = 1.0 / 30.0;
+
+fn run(
+    ds: &Dataset,
+    kind: SolverKind,
+    pricings: Vec<PricingTarget>,
+    reference: Option<&Reference>,
+) -> supernova::core::RunRecord {
+    let mut solver = kind.build(TARGET, 0.05);
+    let cfg = ExperimentConfig { pricings, eval_stride: 15 };
+    run_online(ds, solver.as_mut(), &cfg, reference)
+}
+
+#[test]
+fn ra_isam2_never_misses_the_deadline_on_any_dataset() {
+    for ds in [
+        Dataset::sphere_scaled(0.06),
+        Dataset::m3500_scaled(0.05),
+        Dataset::cab1_scaled(0.25),
+        Dataset::cab2_scaled(0.04),
+    ] {
+        let kind = SolverKind::ResourceAware { sets: 2 };
+        let rec = run(&ds, kind, vec![PricingTarget::new("sn2", kind.platform())], None);
+        let rate = miss_rate(&rec.totals(0), TARGET);
+        assert_eq!(rate, 0.0, "RA-ISAM2 missed the deadline on {}", ds.name());
+    }
+}
+
+#[test]
+fn resource_aware_caps_the_tail_that_isam2_does_not() {
+    // On a loop-closure-dense workload, RA-ISAM2's worst step must stay
+    // under the deadline; ISAM2 carries no such guarantee (and when the
+    // workload is light, RA legitimately spends *more* than ISAM2 — extra
+    // relinearization bought with the spare budget, as on the paper's CAB1).
+    let ds = Dataset::cab2_scaled(0.06);
+    let inc = run(
+        &ds,
+        SolverKind::Incremental,
+        vec![PricingTarget::new("sn2", Platform::supernova(2))],
+        None,
+    );
+    let ra_kind = SolverKind::ResourceAware { sets: 2 };
+    let ra = run(&ds, ra_kind, vec![PricingTarget::new("sn2", ra_kind.platform())], None);
+    let worst = |v: &[f64]| v.iter().fold(0.0f64, |m, &x| m.max(x));
+    assert!(worst(&ra.totals(0)) <= TARGET, "RA worst step {} over target", worst(&ra.totals(0)));
+    // If ISAM2 blew the deadline, RA must have been the cheaper worst case.
+    if worst(&inc.totals(0)) > TARGET {
+        assert!(worst(&inc.totals(0)) >= worst(&ra.totals(0)));
+    }
+}
+
+#[test]
+fn accuracy_ordering_matches_table4() {
+    // Local (drifting) must be worse than the incremental family; generous
+    // budgets must not be worse than starved ones by a large factor.
+    let ds = Dataset::m3500_scaled(0.06);
+    let reference = Reference::compute(&ds, 15);
+    let local = run(&ds, SolverKind::Local, vec![], Some(&reference));
+    let inc = run(&ds, SolverKind::Incremental, vec![], Some(&reference));
+    let ra4 = {
+        let kind = SolverKind::ResourceAware { sets: 4 };
+        run(&ds, kind, vec![], Some(&reference))
+    };
+    assert!(
+        local.irmse >= inc.irmse,
+        "Local iRMSE {} should exceed In {}",
+        local.irmse,
+        inc.irmse
+    );
+    assert!(
+        ra4.irmse <= local.irmse,
+        "RA4S iRMSE {} should beat Local {}",
+        ra4.irmse,
+        local.irmse
+    );
+}
+
+#[test]
+fn supernova_hardware_beats_embedded_baselines_on_dense_graphs() {
+    let ds = Dataset::sphere_scaled(0.06);
+    let rec = run(
+        &ds,
+        SolverKind::Incremental,
+        vec![
+            PricingTarget::new("boom", Platform::boom()),
+            PricingTarget::new("dsp", Platform::mobile_dsp()),
+            PricingTarget::new("spatula", Platform::spatula(2)),
+            PricingTarget::new("sn2", Platform::supernova(2)),
+        ],
+        None,
+    );
+    let total = |p: usize| rec.totals(p).iter().sum::<f64>();
+    let numeric = |p: usize| rec.numerics(p).iter().sum::<f64>();
+    assert!(total(3) < total(0), "SuperNoVA total must beat BOOM");
+    assert!(numeric(3) < numeric(1), "SuperNoVA numeric must beat the DSP");
+    assert!(numeric(3) < numeric(2), "SuperNoVA numeric must beat Spatula (MEM+SIU co-design)");
+}
+
+#[test]
+fn more_accelerator_sets_reduce_incremental_latency() {
+    let ds = Dataset::cab2_scaled(0.04);
+    let rec = run(
+        &ds,
+        SolverKind::Incremental,
+        vec![
+            PricingTarget::new("sn1", Platform::supernova(1)),
+            PricingTarget::new("sn2", Platform::supernova(2)),
+            PricingTarget::new("sn4", Platform::supernova(4)),
+        ],
+        None,
+    );
+    let sums: Vec<f64> = (0..3).map(|p| rec.totals(p).iter().sum()).collect();
+    assert!(sums[1] < sums[0], "2 sets {} !< 1 set {}", sums[1], sums[0]);
+    assert!(sums[2] < sums[1], "4 sets {} !< 2 sets {}", sums[2], sums[1]);
+}
+
+#[test]
+fn incremental_tracks_reference_closely() {
+    let ds = Dataset::cab1_scaled(0.3);
+    let reference = Reference::compute(&ds, 20);
+    let rec = run(&ds, SolverKind::Incremental, vec![], Some(&reference));
+    assert!(rec.irmse < 0.2, "ISAM2 should track the reference, iRMSE {}", rec.irmse);
+}

@@ -1,0 +1,46 @@
+//! Robust-kernel integration test: spurious loop closures wreck the plain
+//! solver but are shrugged off when the dataset's loop-closure factors
+//! carry a Huber kernel.
+
+use supernova::core::{run_online, ExperimentConfig, Reference, SolverKind};
+use supernova::datasets::Dataset;
+
+fn irmse_of(ds: &Dataset, reference: &Reference) -> f64 {
+    let mut solver = SolverKind::Incremental.build(1.0 / 30.0, 0.02);
+    let cfg = ExperimentConfig { pricings: vec![], eval_stride: 20 };
+    run_online(ds, solver.as_mut(), &cfg, Some(reference)).irmse
+}
+
+#[test]
+fn huber_kernel_contains_outlier_loop_closures() {
+    let clean = Dataset::m3500_scaled(0.04);
+    let reference = Reference::compute(&clean, 20);
+
+    let baseline = irmse_of(&clean, &reference);
+    // Corrupt 30 % of loop closures with gross outliers.
+    let corrupted = clean.with_outliers(0.3, 99);
+    assert!(corrupted.name().contains("outliers"));
+    let broken = irmse_of(&corrupted, &reference);
+    let robust = irmse_of(&corrupted.robustified(1.0), &reference);
+
+    assert!(
+        broken > 2.0 * baseline,
+        "outliers should visibly damage the estimate: {broken} vs clean {baseline}"
+    );
+    assert!(
+        robust < broken,
+        "the Huber kernel must reduce the outlier damage: {robust} vs {broken}"
+    );
+}
+
+#[test]
+fn outlier_injection_is_deterministic_and_bounded() {
+    let ds = Dataset::m3500_scaled(0.05);
+    let a = ds.with_outliers(0.5, 7);
+    let b = ds.with_outliers(0.5, 7);
+    assert_eq!(a.name(), b.name());
+    assert_eq!(a.num_edges(), ds.num_edges());
+    // Zero fraction changes nothing.
+    let none = ds.with_outliers(0.0, 7);
+    assert!(none.name().contains("+0outliers"));
+}
