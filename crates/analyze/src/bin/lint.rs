@@ -1,0 +1,108 @@
+//! Workspace lint driver: `cargo run -p supernova-analyze --bin lint`.
+//!
+//! Runs the source lint pass over every crate's `src/` tree, then a
+//! schedule/ledger invariant sweep of the virtual-time scheduler across
+//! every ablation configuration on a synthetic elimination forest. Exits
+//! nonzero if anything is flagged, so `scripts/ci.sh` can gate on it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use supernova_analyze::{lint_workspace, validate_step};
+use supernova_hw::Platform;
+use supernova_linalg::ops::Op;
+use supernova_runtime::{NodeWork, SchedulerConfig, StepTrace};
+
+/// The workspace root: this file lives at `crates/analyze/src/bin/lint.rs`.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+/// A synthetic step: a binary elimination tree of 15 supernodes with
+/// realistic op mixes, plus hessian and solve streams.
+fn synthetic_trace() -> StepTrace {
+    let mut nodes = Vec::new();
+    for i in 0..15usize {
+        let parent = if i < 14 { Some(8 + i / 2) } else { None };
+        let (m, n) = if i < 8 { (16, 16) } else if i < 14 { (24, 12) } else { (48, 0) };
+        let t = m + n;
+        let mut w = NodeWork { node: i, parent, pivot_dim: m, rem_dim: n, ..NodeWork::default() };
+        w.factor_bytes = m * m * 4;
+        w.ops.push(Op::Memset { bytes: t * t * 4 });
+        w.ops.push(Op::Memcpy { bytes: m * t * 4 });
+        w.ops.push(Op::ScatterAdd { blocks: 4, elems: m * m });
+        w.ops.push(Op::Chol { n: m });
+        if n > 0 {
+            w.ops.push(Op::Trsm { m: n, n: m });
+            w.ops.push(Op::Syrk { n, k: m });
+        }
+        nodes.push(w);
+    }
+    let mut trace = StepTrace { nodes, ..StepTrace::default() };
+    trace.hessian_ops.push(Op::Gemm { m: 12, n: 12, k: 12 });
+    trace.hessian_ops.push(Op::Memcpy { bytes: 8192 });
+    trace.solve_ops.push(Op::Gemv { m: 48, n: 48 });
+    trace
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let mut failed = false;
+
+    println!("lint: scanning {}", root.display());
+    match lint_workspace(&root) {
+        Ok(violations) => {
+            for v in &violations {
+                println!("  {v}");
+            }
+            if violations.is_empty() {
+                println!("lint: clean");
+            } else {
+                println!("lint: {} violation(s)", violations.len());
+                failed = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("lint: cannot read workspace: {e}");
+            failed = true;
+        }
+    }
+
+    println!("invariants: checking scheduler ablations");
+    let trace = synthetic_trace();
+    let platforms = [
+        Platform::supernova(1),
+        Platform::supernova(2),
+        Platform::supernova(4),
+        Platform::spatula(2),
+        Platform::boom(),
+        Platform::server_cpu(),
+        Platform::embedded_gpu(),
+    ];
+    let mut checked = 0usize;
+    for platform in &platforms {
+        for cfg in SchedulerConfig::ablations() {
+            checked += 1;
+            if let Err(violations) = validate_step(platform, &trace, &cfg) {
+                failed = true;
+                for v in violations {
+                    println!("  {} {cfg:?}: {v}", platform.name());
+                }
+            }
+        }
+    }
+    if !failed {
+        println!("invariants: {checked} schedule(s) clean");
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,32 @@
+//! Static analysis and dynamic invariant checking for the SuperNoVA
+//! workspace.
+//!
+//! Two halves, one goal — keeping the reproduction *deterministic and
+//! auditable*:
+//!
+//! - [`lint`]: a dependency-free source lint pass over every crate's
+//!   `src/` tree. It enforces the workspace's determinism and robustness
+//!   conventions (no hash-container iteration in order-sensitive paths, no
+//!   `unwrap`/`expect` in library code, no float `==` in kernels, strict
+//!   crate attributes), with a `// lint: allow(<rule>)` escape hatch that
+//!   doubles as documentation of every deliberate exception. Run it with
+//!   `cargo run -p supernova-analyze --bin lint`.
+//! - [`validate`]: a schedule and ledger invariant checker over the
+//!   runtime's executed-schedule traces
+//!   ([`ExecTrace`](supernova_runtime::ExecTrace)): happens-before
+//!   legality over the elimination tree, per-unit exclusivity, LLC
+//!   capacity replay, busy-time bounds and energy-ledger conservation.
+//!
+//! See DESIGN.md ("Analysis & invariants") for the rule and invariant
+//! inventory and the reasoning behind each.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lint;
+pub mod validate;
+
+pub use lint::{lint_file, lint_workspace, Rule, Violation};
+pub use validate::{
+    validate_energy, validate_exec, validate_step, Invariant, ScheduleViolation,
+};

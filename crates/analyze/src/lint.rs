@@ -1,0 +1,543 @@
+//! The workspace source lint pass.
+//!
+//! A small line-lexer — no syn, no rustc — that strips comments and string
+//! literals, tracks `#[cfg(test)]` module extents by brace depth, and then
+//! applies four rules chosen for this codebase's failure modes:
+//!
+//! - **hash-iteration**: no `HashMap`/`HashSet` in order-sensitive paths
+//!   (the scheduler, the numeric factorization, the solvers, the hardware
+//!   model). Hash iteration order is randomized per process *and per
+//!   container*, so any float accumulation over it silently destroys the
+//!   determinism the virtual-time design guarantees.
+//! - **unwrap**: no `.unwrap()` / `.expect(...)` in library code outside
+//!   tests; panics must be documented contracts, marked with an allow.
+//! - **float-eq**: no `==`/`!=` against float literals in kernel code;
+//!   exact structural-zero skips must be marked deliberate.
+//! - **crate-attrs**: every crate root carries `#![forbid(unsafe_code)]`
+//!   and `#![deny(missing_docs)]`.
+//!
+//! Any line can opt out with `// lint: allow(<rule>)` on the same line or
+//! the line directly above — the escape hatch is the documentation.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lint rules, identified by the ids used in `lint: allow(...)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Hash containers in order-sensitive paths.
+    HashIteration,
+    /// `.unwrap()` / `.expect(...)` in library code outside tests.
+    Unwrap,
+    /// Float `==` / `!=` comparisons in kernel code.
+    FloatEq,
+    /// Missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]`.
+    CrateAttrs,
+}
+
+impl Rule {
+    /// The id accepted by `// lint: allow(<id>)`.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::HashIteration => "hash-iteration",
+            Rule::Unwrap => "unwrap",
+            Rule::FloatEq => "float-eq",
+            Rule::CrateAttrs => "crate-attrs",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: PathBuf,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable description with the offending snippet.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// Paths (workspace-relative, `/`-separated prefixes) where hash-container
+/// use is forbidden: everything the deterministic replay depends on.
+const HASH_SCOPES: [&str; 4] =
+    ["crates/runtime/src", "crates/sparse/src", "crates/solvers/src", "crates/hw/src"];
+
+/// Paths where float equality comparisons are checked (the numeric
+/// kernels).
+const FLOAT_EQ_SCOPES: [&str; 2] = ["crates/linalg/src", "crates/sparse/src"];
+
+fn in_scope(rel: &str, scopes: &[&str]) -> bool {
+    scopes.iter().any(|s| rel.starts_with(s))
+}
+
+/// Whether `rel` is a crate root (`src/lib.rs` of the root package or of a
+/// workspace member).
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs"
+        || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs") && rel.matches('/').count() == 3)
+}
+
+/// Whether the unwrap rule applies to `rel`: library sources only — not
+/// binaries, not integration tests, not benches.
+fn unwrap_scope(rel: &str) -> bool {
+    let lib = rel.starts_with("crates/")
+        && rel.contains("/src/")
+        && !rel.contains("/src/bin/");
+    lib || rel.starts_with("src/")
+}
+
+/// Strips line comments, block comments, string and char literals from one
+/// line, maintaining the cross-line block-comment/raw-string state. The
+/// returned text preserves column positions where possible (stripped spans
+/// become spaces) so brace counting stays meaningful.
+struct Lexer {
+    in_block_comment: usize,
+    in_raw_string: Option<usize>,
+}
+
+impl Lexer {
+    fn new() -> Self {
+        Lexer { in_block_comment: 0, in_raw_string: None }
+    }
+
+    fn strip(&mut self, line: &str) -> String {
+        let b: Vec<char> = line.chars().collect();
+        let mut out = String::with_capacity(b.len());
+        let mut i = 0usize;
+        while i < b.len() {
+            if self.in_block_comment > 0 {
+                if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    self.in_block_comment -= 1;
+                    i += 2;
+                } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    self.in_block_comment += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                out.push(' ');
+                continue;
+            }
+            if let Some(hashes) = self.in_raw_string {
+                // Look for `"` followed by `hashes` `#`s.
+                if b[i] == '"' && b[i + 1..].iter().take_while(|&&c| c == '#').count() >= hashes {
+                    i += 1 + hashes;
+                    self.in_raw_string = None;
+                } else {
+                    i += 1;
+                }
+                out.push(' ');
+                continue;
+            }
+            match b[i] {
+                '/' if i + 1 < b.len() && b[i + 1] == '/' => break, // line comment
+                '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                    self.in_block_comment += 1;
+                    out.push(' ');
+                    i += 2;
+                }
+                'r' if i + 1 < b.len()
+                    && (b[i + 1] == '"' || b[i + 1] == '#')
+                    && !prev_is_ident(&b, i) =>
+                {
+                    // Raw string start: r"..." or r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0usize;
+                    while j < b.len() && b[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == '"' {
+                        self.in_raw_string = Some(hashes);
+                        out.push(' ');
+                        i = j + 1;
+                    } else {
+                        out.push(b[i]);
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    // Ordinary string literal; handle escapes within a line.
+                    out.push(' ');
+                    i += 1;
+                    while i < b.len() {
+                        if b[i] == '\\' {
+                            i += 2;
+                        } else if b[i] == '"' {
+                            i += 1;
+                            break;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                '\'' => {
+                    // Char literal or lifetime. A char literal closes with a
+                    // quote within a few chars; a lifetime has none.
+                    let close = b[i + 1..]
+                        .iter()
+                        .take(5)
+                        .position(|&c| c == '\'')
+                        .map(|p| i + 1 + p);
+                    match close {
+                        Some(c) if c > i + 1 || (c == i + 1) => {
+                            // `''` can't happen in valid Rust; treat any
+                            // close as a char literal end.
+                            for _ in i..=c {
+                                out.push(' ');
+                            }
+                            i = c + 1;
+                        }
+                        _ => {
+                            out.push(b[i]);
+                            i += 1;
+                        }
+                    }
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// Whether `raw` (the unstripped line) or the previous raw line carries a
+/// `lint: allow(<rule>)` escape for `rule`.
+fn allowed(raw: &str, prev_raw: Option<&str>, rule: Rule) -> bool {
+    let needle = format!("lint: allow({})", rule.id());
+    let here = raw.contains("//") && raw[raw.find("//").unwrap_or(0)..].contains(&needle);
+    let above = prev_raw
+        .map(|p| {
+            let t = p.trim_start();
+            t.starts_with("//") && t.contains(&needle)
+        })
+        .unwrap_or(false);
+    here || above
+}
+
+/// Float-literal-adjacent equality: flags `==`/`!=` where either operand
+/// side contains a float literal (digits with a decimal point) close to the
+/// operator.
+fn has_float_eq(stripped: &str) -> bool {
+    let bytes = stripped.as_bytes();
+    let mut found = false;
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &stripped[i..i + 2];
+        if (two == "==" || two == "!=")
+            && (i == 0 || !matches!(bytes[i - 1], b'=' | b'!' | b'<' | b'>'))
+            && bytes.get(i + 2) != Some(&b'=')
+        {
+            let left = &stripped[..i];
+            let right = &stripped[i + 2..];
+            if side_has_float(left, true) || side_has_float(right, false) {
+                found = true;
+            }
+        }
+        i += 1;
+    }
+    found
+}
+
+/// Whether the operand text adjacent to the operator looks like a float
+/// literal (`1.0`, `0.`, `1e-9`, `f64::EPSILON`).
+fn side_has_float(side: &str, left: bool) -> bool {
+    let tok: String = if left {
+        side.chars()
+            .rev()
+            .take_while(|c| !matches!(c, '(' | ',' | ';' | '{' | '&' | '|'))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect()
+    } else {
+        side.chars().take_while(|c| !matches!(c, ')' | ',' | ';' | '{' | '&' | '|')).collect()
+    };
+    let t = tok.trim();
+    if t.contains("f64::EPSILON") || t.contains("f32::EPSILON") {
+        return true;
+    }
+    // digits '.' digits — a float literal.
+    let chars: Vec<char> = t.chars().collect();
+    for w in chars.windows(3) {
+        if w[0].is_ascii_digit() && w[1] == '.' && w[2].is_ascii_digit() {
+            return true;
+        }
+    }
+    // trailing `0.` form
+    for w in chars.windows(2) {
+        if w[0].is_ascii_digit() && w[1] == '.' {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lints one file's source text. `rel` is the workspace-relative path with
+/// `/` separators; it selects which rules apply.
+pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let path = PathBuf::from(rel);
+    let check_hash = in_scope(rel, &HASH_SCOPES);
+    let check_float = in_scope(rel, &FLOAT_EQ_SCOPES);
+    let check_unwrap = unwrap_scope(rel);
+    let crate_root = is_crate_root(rel);
+
+    let mut lexer = Lexer::new();
+    let mut depth: i64 = 0;
+    // Brace depth *above* which we are inside a #[cfg(test)] mod.
+    let mut test_mod_exit: Option<i64> = None;
+    let mut pending_cfg_test = false;
+    let mut prev_raw: Option<&str> = None;
+
+    let mut has_forbid_unsafe = false;
+    let mut has_deny_docs = false;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let stripped = lexer.strip(raw);
+        let trimmed = stripped.trim();
+
+        if crate_root {
+            if trimmed.starts_with("#![forbid(unsafe_code)]") {
+                has_forbid_unsafe = true;
+            }
+            if trimmed.starts_with("#![deny(missing_docs)]") {
+                has_deny_docs = true;
+            }
+        }
+
+        // Track #[cfg(test)] mod extents.
+        let in_test_mod = test_mod_exit.is_some();
+        if !in_test_mod {
+            if trimmed.contains("#[cfg(test)]") {
+                pending_cfg_test = true;
+            } else if pending_cfg_test && trimmed.starts_with("mod ") {
+                // The mod opens at the current depth; we are inside until
+                // depth returns to it.
+                test_mod_exit = Some(depth);
+                pending_cfg_test = false;
+            } else if pending_cfg_test && !trimmed.is_empty() && !trimmed.starts_with("#[") {
+                // #[cfg(test)] on a fn/use/impl — only that item is
+                // test-only; the line-lexer treats a following block the
+                // same way via the mod tracking only for mods. Clear.
+                pending_cfg_test = false;
+            }
+        }
+
+        let opens = stripped.matches('{').count() as i64;
+        let closes = stripped.matches('}').count() as i64;
+        depth += opens - closes;
+        if let Some(exit) = test_mod_exit {
+            if depth <= exit {
+                test_mod_exit = None;
+            }
+            prev_raw = Some(raw);
+            continue; // inside #[cfg(test)] mod: no rules apply
+        }
+
+        if check_hash
+            && (stripped.contains("HashMap") || stripped.contains("HashSet"))
+            && !allowed(raw, prev_raw, Rule::HashIteration)
+        {
+            out.push(Violation {
+                file: path.clone(),
+                line: lineno,
+                rule: Rule::HashIteration,
+                message: format!(
+                    "hash container in order-sensitive path (iteration order is \
+                     nondeterministic; use BTreeMap/BTreeSet or a sorted drain): `{}`",
+                    raw.trim()
+                ),
+            });
+        }
+
+        if check_unwrap
+            && (stripped.contains(".unwrap()") || stripped.contains(".expect("))
+            && !allowed(raw, prev_raw, Rule::Unwrap)
+        {
+            out.push(Violation {
+                file: path.clone(),
+                line: lineno,
+                rule: Rule::Unwrap,
+                message: format!(
+                    "unwrap/expect in library code (return an error or document the \
+                     panic and allow it): `{}`",
+                    raw.trim()
+                ),
+            });
+        }
+
+        if check_float && has_float_eq(&stripped) && !allowed(raw, prev_raw, Rule::FloatEq) {
+            out.push(Violation {
+                file: path.clone(),
+                line: lineno,
+                rule: Rule::FloatEq,
+                message: format!(
+                    "float equality comparison in kernel code (use a tolerance, or mark \
+                     a structural-zero test deliberate): `{}`",
+                    raw.trim()
+                ),
+            });
+        }
+
+        prev_raw = Some(raw);
+    }
+
+    if crate_root {
+        if !has_forbid_unsafe {
+            out.push(Violation {
+                file: path.clone(),
+                line: 0,
+                rule: Rule::CrateAttrs,
+                message: "crate root is missing #![forbid(unsafe_code)]".into(),
+            });
+        }
+        if !has_deny_docs {
+            out.push(Violation {
+                file: path,
+                line: 0,
+                rule: Rule::CrateAttrs,
+                message: "crate root is missing #![deny(missing_docs)]".into(),
+            });
+        }
+    }
+
+    out
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            rs_files(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every crate's `src/` tree under the workspace `root` (members in
+/// `crates/` plus the root package's `src/`).
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] if the workspace layout cannot be read.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> =
+            fs::read_dir(&crates_dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                rs_files(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        rs_files(&root_src, &mut files)?;
+    }
+
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let source = fs::read_to_string(&file)?;
+        out.extend(lint_file(&rel, &source));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_strips_comments_and_strings() {
+        let mut lx = Lexer::new();
+        assert_eq!(lx.strip("let x = 1; // HashMap here"), "let x = 1; ");
+        assert!(!lx.strip("let s = \"HashMap\";").contains("HashMap"));
+        let a = lx.strip("let c = /* HashMap");
+        assert!(!a.contains("HashMap"));
+        let b = lx.strip("still HashMap */ let d = 2;");
+        assert!(!b.contains("HashMap"));
+        assert!(b.contains("let d = 2;"));
+    }
+
+    #[test]
+    fn hash_rule_fires_in_scope_only() {
+        let bad = "use std::collections::HashMap;\n";
+        assert_eq!(lint_file("crates/runtime/src/sched.rs", bad).len(), 1);
+        assert!(lint_file("crates/datasets/src/manhattan.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn allow_escape_hatch_works_same_line_and_above() {
+        let same = "let m: HashMap<u32, u32> = HashMap::new(); // lint: allow(hash-iteration)\n";
+        assert!(lint_file("crates/runtime/src/x.rs", same).is_empty());
+        let above =
+            "// lint: allow(hash-iteration) — display only\nlet m: HashMap<u32, u32> = x;\n";
+        assert!(lint_file("crates/runtime/src/x.rs", above).is_empty());
+    }
+
+    #[test]
+    fn unwrap_rule_skips_test_modules() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\n";
+        let v = lint_file("crates/linalg/src/a.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn float_eq_detected_with_literals_only() {
+        let v = lint_file("crates/linalg/src/k.rs", "if x == 0.0 { }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(lint_file("crates/linalg/src/k.rs", "if i == j { }\n").is_empty());
+        assert!(lint_file("crates/linalg/src/k.rs", "if n == 0 { }\n").is_empty());
+    }
+
+    #[test]
+    fn crate_attrs_required_on_roots() {
+        let v = lint_file("crates/linalg/src/lib.rs", "pub mod x;\n");
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::CrateAttrs).count(), 2);
+        let ok = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub mod x;\n";
+        assert!(lint_file("crates/linalg/src/lib.rs", ok).is_empty());
+        // Non-root files don't need the attributes.
+        assert!(lint_file("crates/linalg/src/blas.rs", "pub fn f() {}\n").is_empty());
+    }
+}

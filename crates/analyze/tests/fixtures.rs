@@ -1,0 +1,122 @@
+//! Seeded-violation fixtures: every lint rule and schedule invariant must
+//! flag a synthetic offender, and the default scheduler must be
+//! byte-for-byte deterministic. These are the analyzer's own regression
+//! net — if a rule silently stops firing, these tests fail before the
+//! workspace quietly regresses.
+
+use supernova_analyze::{lint_file, validate_exec, validate_step, Invariant, Rule};
+use supernova_hw::Platform;
+use supernova_linalg::ops::Op;
+use supernova_runtime::{simulate_step_traced, NodeWork, SchedulerConfig, StepTrace};
+
+/// A small elimination forest with hessian and solve streams, mirroring
+/// the shape the solver engine emits.
+fn forest() -> StepTrace {
+    let mut nodes = Vec::new();
+    for i in 0..7usize {
+        let parent = if i < 6 { Some(4 + i / 2) } else { None };
+        let (m, n) = if i < 4 { (12, 12) } else if i < 6 { (18, 9) } else { (30, 0) };
+        let mut w = NodeWork { node: i, parent, pivot_dim: m, rem_dim: n, ..NodeWork::default() };
+        w.factor_bytes = m * m * 4;
+        w.ops.push(Op::ScatterAdd { blocks: 3, elems: m * m });
+        w.ops.push(Op::Chol { n: m });
+        if n > 0 {
+            w.ops.push(Op::Trsm { m: n, n: m });
+            w.ops.push(Op::Syrk { n, k: m });
+        }
+        nodes.push(w);
+    }
+    let mut trace = StepTrace { nodes, ..StepTrace::default() };
+    trace.hessian_ops.push(Op::Gemm { m: 8, n: 8, k: 8 });
+    trace.solve_ops.push(Op::Gemv { m: 30, n: 30 });
+    trace
+}
+
+#[test]
+fn lint_flags_hash_container_in_scheduler_path() {
+    let src = "//! doc\nuse std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+    let v = lint_file("crates/runtime/src/sched.rs", src);
+    assert!(
+        v.iter().any(|v| v.rule == Rule::HashIteration),
+        "HashMap in a scheduler path must be flagged, got {v:?}"
+    );
+}
+
+#[test]
+fn lint_flags_unwrap_in_library_code() {
+    let src = "//! doc\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let v = lint_file("crates/sparse/src/numeric.rs", src);
+    assert!(v.iter().any(|v| v.rule == Rule::Unwrap), "bare unwrap must be flagged, got {v:?}");
+}
+
+#[test]
+fn lint_flags_float_equality_in_kernel() {
+    let src = "//! doc\nfn f(x: f64) -> bool { x == 0.5 }\n";
+    let v = lint_file("crates/linalg/src/blas.rs", src);
+    assert!(v.iter().any(|v| v.rule == Rule::FloatEq), "float == must be flagged, got {v:?}");
+}
+
+#[test]
+fn lint_allow_comment_silences_a_rule() {
+    let src = "//! doc\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n\
+               // lint: allow(unwrap) — fixture\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let v = lint_file("crates/sparse/src/lib.rs", src);
+    assert!(v.is_empty(), "allow comment must silence the rule, got {v:?}");
+}
+
+#[test]
+fn validator_rejects_overlapping_ops_on_one_unit() {
+    let trace = forest();
+    let platform = Platform::supernova(2);
+    let (_, mut exec) = simulate_step_traced(&platform, &trace, &SchedulerConfig::default());
+    assert!(validate_exec(&trace, &exec).is_empty(), "baseline trace must be clean");
+
+    // Shift one node's first op to start at t=0 on its unit — guaranteed to
+    // collide with whatever ran there during the hessian phase.
+    let victim = exec
+        .ops
+        .iter()
+        .position(|o| o.start > 0.0)
+        .expect("some op starts after t=0");
+    let dur = exec.ops[victim].end - exec.ops[victim].start;
+    exec.ops[victim].start = 0.0;
+    exec.ops[victim].end = dur;
+    let violations = validate_exec(&trace, &exec);
+    assert!(
+        violations.iter().any(|v| matches!(
+            v.invariant,
+            Invariant::UnitExclusive | Invariant::HappensBefore
+        )),
+        "corrupted trace must be rejected, got {violations:?}"
+    );
+}
+
+#[test]
+fn validator_accepts_every_ablation_on_every_platform() {
+    let trace = forest();
+    for platform in
+        [Platform::supernova(1), Platform::supernova(4), Platform::spatula(2), Platform::boom()]
+    {
+        for cfg in SchedulerConfig::ablations() {
+            assert!(
+                validate_step(&platform, &trace, &cfg).is_ok(),
+                "schedule invalid on {} with {cfg:?}",
+                platform.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn default_scheduler_is_byte_for_byte_deterministic() {
+    let trace = forest();
+    let platform = Platform::supernova(2);
+    let cfg = SchedulerConfig::default();
+    let (lat_a, exec_a) = simulate_step_traced(&platform, &trace, &cfg);
+    let (lat_b, exec_b) = simulate_step_traced(&platform, &trace, &cfg);
+    assert_eq!(
+        format!("{lat_a:?}|{exec_a:?}"),
+        format!("{lat_b:?}|{exec_b:?}"),
+        "two runs of the default scheduler must produce byte-identical traces"
+    );
+}

@@ -2,7 +2,8 @@
 //! incremental refactorization and the supernodal solves — the operations
 //! whose modeled cost drives every latency figure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use supernova_bench::harness::{BenchmarkId, Criterion};
+use supernova_bench::{criterion_group, criterion_main};
 use supernova_linalg::Mat;
 use supernova_sparse::{BlockMat, BlockPattern, NumericFactor, SymbolicFactor};
 

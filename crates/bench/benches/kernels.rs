@@ -1,7 +1,8 @@
 //! Microbenchmarks of the dense kernels the COMP accelerator model prices —
 //! the real-machine counterpart of the modeled op costs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use supernova_bench::harness::{BenchmarkId, Criterion};
+use supernova_bench::{criterion_group, criterion_main};
 use supernova_linalg::{
     cholesky_in_place, gemm, partial_cholesky_in_place, syrk_lower, trsm_right_lower_transpose,
     Mat, Transpose,

@@ -4,7 +4,8 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use supernova_bench::harness::{BenchmarkId, Criterion};
+use supernova_bench::{criterion_group, criterion_main};
 use supernova_core::{run_online, ExperimentConfig};
 use supernova_datasets::Dataset;
 use supernova_hw::Platform;

@@ -89,6 +89,7 @@ const FRONTEND_SECONDS: f64 = 4.0e-3;
 fn fig2(suite: &mut Suite) -> Result<(), String> {
     banner("fig2");
     let rec = suite.run(DatasetId::Sphere, SolverKind::Incremental);
+    // lint: allow(unwrap) — priced by the record() call above
     let p = rec.pricing("Server CPU").expect("server pricing");
     let backend = rec.totals(p);
     let mut csv = Table::new(&["step", "frontend_ms", "backend_ms"]);
@@ -162,10 +163,12 @@ fn replay(
         } else {
             match &step.odometry {
                 Some(Variable::Se2(o)) => {
+                    // lint: allow(unwrap) — odometry chain guarantees an SE(2) estimate
                     let p = solver.pose_estimate(Key(i - 1)).as_se2().copied().expect("se2");
                     Variable::Se2(p.compose(*o))
                 }
                 Some(Variable::Se3(o)) => {
+                    // lint: allow(unwrap) — odometry chain guarantees an SE(3) estimate
                     let p = solver.pose_estimate(Key(i - 1)).as_se3().cloned().expect("se3");
                     Variable::Se3(p.compose(o))
                 }
@@ -226,10 +229,12 @@ fn fig8(suite: &mut Suite) -> Result<(), String> {
     let mut t = Table::new(&["dataset", "platform", "total (s)", "numeric (s)", "total/BOOM", "numeric/BOOM"]);
     for id in DatasetId::ALL {
         let rec = suite.run(id, SolverKind::Incremental);
+        // lint: allow(unwrap) — priced by the record() call above
         let boom = rec.pricing("BOOM").expect("boom priced");
         let boom_total: f64 = rec.totals(boom).iter().sum();
         let boom_numeric: f64 = rec.numerics(boom).iter().sum();
         for label in FIG8_PLATFORMS {
+            // lint: allow(unwrap) — priced by the record() call above
             let p = rec.pricing(label).expect("platform priced");
             let total: f64 = rec.totals(p).iter().sum();
             let numeric: f64 = rec.numerics(p).iter().sum();
@@ -265,6 +270,7 @@ fn fig9(suite: &mut Suite) -> Result<(), String> {
         ];
         let mut prev: Option<f64> = None;
         for (name, label) in levels {
+            // lint: allow(unwrap) — priced by the record() call above
             let p = rec.pricing(label).expect("ablation priced");
             let numeric: f64 = rec.numerics(p).iter().sum();
             let delta = prev.map(|pv| format!("-{}", pct((pv - numeric) / pv))).unwrap_or_else(|| "-".into());
@@ -289,6 +295,7 @@ fn fig10(suite: &mut Suite) -> Result<(), String> {
     for id in DatasetId::ALL {
         let inc = suite.run(id, SolverKind::Incremental);
         for sets in [1usize, 2, 4] {
+            // lint: allow(unwrap) — priced by the record() call above
             let p = inc.pricing(&format!("SuperNoVA-{sets}S")).expect("sets priced");
             let totals = inc.totals(p);
             let s = BoxStats::from_samples(&totals);
@@ -336,6 +343,7 @@ fn fig11(suite: &mut Suite) -> Result<(), String> {
         let inc = suite.run(id, SolverKind::Incremental);
         let mut rows: Vec<(String, Vec<supernova_runtime::StepLatency>)> = Vec::new();
         for sets in [2usize, 4] {
+            // lint: allow(unwrap) — priced by the record() call above
             let p = inc.pricing(&format!("SuperNoVA-{sets}S")).expect("priced");
             rows.push((format!("In-{sets}Sets"), inc.latencies[p].clone()));
         }
@@ -457,6 +465,7 @@ fn table2(suite: &mut Suite) -> Result<(), String> {
     let inc = suite.run(id, SolverKind::Incremental);
     let ra = suite.run(id, SolverKind::ResourceAware { sets: 2 });
     let local = suite.run(id, SolverKind::Local);
+    // lint: allow(unwrap) — priced by the record() call above
     let p = inc.pricing("SuperNoVA-2S").expect("priced");
     println!(
         "measured on {}: In miss rate {} | RA miss rate {} | Local final MAX {} m vs RA {} m",
@@ -665,7 +674,9 @@ fn ablate_siu(suite: &mut Suite) -> Result<(), String> {
     replay(&ds, &mut solver, |trace| {
         no_siu_numeric += simulate_step(&no_siu, trace, &SchedulerConfig::default()).numeric;
     });
+    // lint: allow(unwrap) — priced by the record() call above
     let sn: f64 = rec.numerics(rec.pricing("SuperNoVA-2S").expect("priced")).iter().sum();
+    // lint: allow(unwrap) — priced by the record() call above
     let spatula: f64 = rec.numerics(rec.pricing("Spatula").expect("priced")).iter().sum();
     let mut t = Table::new(&["configuration", "numeric (s)", "vs full SuperNoVA"]);
     t.row(&["SuperNoVA-2S (SIU + MEM)".to_string(), format!("{sn:.4}"), "1.00x".to_string()]);

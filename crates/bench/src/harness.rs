@@ -1,0 +1,234 @@
+//! A minimal, registry-free micro-benchmark harness with a criterion-shaped
+//! API surface.
+//!
+//! The workspace resolves fully offline, so the benches under `benches/`
+//! cannot depend on the `criterion` crate. This module provides the small
+//! subset of criterion's API the benches actually use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a plain
+//! wall-clock sampler. It is a measurement tool, not a statistics engine:
+//! each benchmark is calibrated to a target sample duration, run for a
+//! fixed number of samples, and summarized by min / median / mean
+//! nanoseconds per iteration on stdout.
+//!
+//! Gated behind the `bench-harness` feature together with the benches
+//! themselves: `cargo bench -p supernova-bench --features bench-harness`.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one timed sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLES: usize = 30;
+/// Ceiling on iterations per sample, so cheap kernels cannot spin forever.
+const MAX_ITERS: u64 = 1 << 20;
+
+/// Top-level harness handle; hands out [`BenchmarkGroup`]s.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A compound id: `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample budget.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples taken per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(2);
+        self
+    }
+
+    /// Run a benchmark identified by a plain string.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Run a benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group. Purely cosmetic here; results print as they run.
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            per_iter_ns: Vec::with_capacity(self.samples),
+        };
+        f(&mut bencher);
+        let mut ns = bencher.per_iter_ns;
+        if ns.is_empty() {
+            println!("  {}/{id}: no samples (closure never called iter)", self.name);
+            return;
+        }
+        ns.sort_by(f64::total_cmp);
+        let min = ns[0];
+        let median = ns[ns.len() / 2];
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        println!(
+            "  {}/{id}: min {} | median {} | mean {}  ({} samples)",
+            self.name,
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            ns.len()
+        );
+    }
+}
+
+/// Times a closure over a calibrated number of iterations per sample.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmark `f`, retaining its output via a black box so the work is
+    /// not optimized away.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibrate: grow the iteration count until one batch reaches the
+        // target sample duration (or the hard cap).
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= MAX_ITERS {
+                break;
+            }
+            // Aim past the target so the loop terminates quickly.
+            iters = (iters * 2).min(MAX_ITERS);
+        }
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.per_iter_ns
+                .push(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group registered with [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut g = Criterion::default().benchmark_group("t");
+        g.sample_size(3);
+        let mut calls = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("n_k", "48x24").to_string(), "n_k/48x24");
+        assert_eq!(BenchmarkId::from_parameter(96).to_string(), "96");
+    }
+}

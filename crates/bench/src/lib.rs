@@ -8,9 +8,11 @@
 //! (EXPERIMENTS.md records which scale produced the committed numbers).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod experiments;
+#[cfg(feature = "bench-harness")]
+pub mod harness;
 mod suite;
 
 pub use experiments::{run_experiment, EXPERIMENTS};

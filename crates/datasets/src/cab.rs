@@ -8,13 +8,11 @@
 //! that observe the same space, matched to the published step/edge counts
 //! (CAB1: 464 steps / 2287 edges; CAB2: 3000 steps / 15144 edges).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 use supernova_factors::{Rot3, Se3, Variable};
+use supernova_linalg::rng::XorShift64;
 
-use crate::manhattan::normal;
 use crate::{Dataset, Edge, PoseKind};
 
 const TRANS_SIGMA: f64 = 0.03;
@@ -60,21 +58,21 @@ fn patrol_position(step_in_session: usize, session: usize, floor: (f64, f64)) ->
     (x, y, if dir > 0.0 { yaw } else { yaw + std::f64::consts::PI })
 }
 
-fn noisy_rel(rng: &mut StdRng, a: &Se3, b: &Se3, ts: f64, rs: f64) -> Variable {
+fn noisy_rel(rng: &mut XorShift64, a: &Se3, b: &Se3, ts: f64, rs: f64) -> Variable {
     let rel = a.inverse().compose(b);
     let xi = [
-        normal(rng) * ts,
-        normal(rng) * ts,
-        normal(rng) * ts * 0.3, // AR rigs drift least vertically
-        normal(rng) * rs,
-        normal(rng) * rs,
-        normal(rng) * rs,
+        rng.normal() * ts,
+        rng.normal() * ts,
+        rng.normal() * ts * 0.3, // AR rigs drift least vertically
+        rng.normal() * rs,
+        rng.normal() * rs,
+        rng.normal() * rs,
     ];
     Variable::Se3(rel.compose(&Se3::exp(&xi)))
 }
 
 fn generate(p: CabParams) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = XorShift64::seed_from_u64(p.seed);
     let per_session = p.steps.div_ceil(p.sessions);
     let mut truth: Vec<Se3> = Vec::with_capacity(p.steps);
     for i in 0..p.steps {

@@ -1,21 +1,14 @@
 //! M3500-style Manhattan-world generator: a sparse 2-D grid random walk
 //! with proximity loop closures — many small supernodes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+use supernova_linalg::rng::XorShift64;
 
 use supernova_factors::{Se2, Variable};
 
 use crate::{Dataset, Edge, PoseKind};
 
-/// Samples a standard normal via Box–Muller (rand 0.8 core has no normal
-/// distribution and the dependency policy excludes rand_distr).
-pub(crate) fn normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
 
 const TRANS_SIGMA: f64 = 0.10;
 const ROT_SIGMA: f64 = 0.10;
@@ -28,15 +21,15 @@ const LC_PROB: f64 = 0.75;
 /// Maximum loop closures per step.
 const MAX_LC_PER_STEP: usize = 2;
 
-fn noisy_se2(rng: &mut StdRng, truth: Se2, ts: f64, rs: f64) -> Variable {
-    let xi = [normal(rng) * ts, normal(rng) * ts, normal(rng) * rs];
+fn noisy_se2(rng: &mut XorShift64, truth: Se2, ts: f64, rs: f64) -> Variable {
+    let xi = [rng.normal() * ts, rng.normal() * ts, rng.normal() * rs];
     Variable::Se2(truth.compose(Se2::exp(&xi)))
 }
 
 /// Generates a Manhattan-world dataset with `steps` poses.
 pub(crate) fn generate(steps: usize, seed: u64) -> Dataset {
     assert!(steps >= 2, "need at least two poses");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::seed_from_u64(seed);
     // Grid side scaled so the walk revisits cells at roughly the M3500 rate.
     let side = ((steps as f64).sqrt() * 0.8).ceil().max(4.0) as i64;
 

@@ -3,13 +3,10 @@
 //! rotational noise and large supernodes (the banded structure keeps whole
 //! rings in each front).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use supernova_factors::{Rot3, Se3, Variable};
+use supernova_linalg::rng::XorShift64;
 use supernova_linalg::Mat;
 
-use crate::manhattan::normal;
 use crate::{Dataset, Edge, PoseKind};
 
 const RADIUS: f64 = 10.0;
@@ -46,15 +43,15 @@ fn pose_on_sphere(i: usize, ring_len: usize, rings: usize) -> Se3 {
     Se3::from_parts(p, Rot3::from_matrix(m).normalized())
 }
 
-fn noisy_rel(rng: &mut StdRng, a: &Se3, b: &Se3, ts: f64, rs: f64) -> Variable {
+fn noisy_rel(rng: &mut XorShift64, a: &Se3, b: &Se3, ts: f64, rs: f64) -> Variable {
     let rel = a.inverse().compose(b);
     let xi = [
-        normal(rng) * ts,
-        normal(rng) * ts,
-        normal(rng) * ts,
-        normal(rng) * rs,
-        normal(rng) * rs,
-        normal(rng) * rs,
+        rng.normal() * ts,
+        rng.normal() * ts,
+        rng.normal() * ts,
+        rng.normal() * rs,
+        rng.normal() * rs,
+        rng.normal() * rs,
     ];
     Variable::Se3(rel.compose(&Se3::exp(&xi)))
 }
@@ -62,7 +59,7 @@ fn noisy_rel(rng: &mut StdRng, a: &Se3, b: &Se3, ts: f64, rs: f64) -> Variable {
 /// Generates a sphere dataset with roughly `steps` poses.
 pub(crate) fn generate(steps: usize, seed: u64) -> Dataset {
     assert!(steps >= 4, "need at least four poses");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::seed_from_u64(seed);
     // ring_len ≈ √steps keeps the paper's every-step vertical loop closure
     // count: edges = (n−1) odometry + (n−ring_len) closures.
     let ring_len = ((steps as f64).sqrt().round() as usize).max(2);

@@ -90,12 +90,14 @@ impl Ledger {
 
     /// Records `seconds` against the class of `op`.
     pub fn add(&mut self, op: &Op, seconds: f64) {
+        // lint: allow(unwrap) — OpClass::ALL covers every class
         let idx = OpClass::ALL.iter().position(|&c| c == OpClass::of(op)).expect("class exists");
         self.seconds[idx] += seconds;
     }
 
     /// Accumulated time for `class`.
     pub fn time_of(&self, class: OpClass) -> f64 {
+        // lint: allow(unwrap) — OpClass::ALL covers every class
         let idx = OpClass::ALL.iter().position(|&c| c == class).expect("class exists");
         self.seconds[idx]
     }
@@ -115,6 +117,77 @@ impl Ledger {
         for (a, b) in self.seconds.iter_mut().zip(&other.seconds) {
             *a += b;
         }
+    }
+}
+
+/// Accumulates dynamic energy per [`OpClass`], alongside the number of
+/// operations charged — the per-step energy breakdown the §7 energy-aware
+/// extension budgets against.
+///
+/// Conservation invariant (checked by `supernova-analyze`): the ledger's
+/// [`total`](EnergyLedger::total) must equal the sum of the per-op joules
+/// it was built from — energy is only ever moved between classes, never
+/// created or dropped by the accounting.
+///
+/// # Example
+///
+/// ```
+/// use supernova_hw::{EnergyLedger, OpClass};
+/// use supernova_linalg::ops::Op;
+///
+/// let mut ledger = EnergyLedger::new();
+/// ledger.add(&Op::Chol { n: 8 }, 2.5e-9);
+/// assert_eq!(ledger.joules_of(OpClass::Chol), 2.5e-9);
+/// assert_eq!(ledger.num_ops(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EnergyLedger {
+    joules: [f64; 7],
+    ops: usize,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `joules` of dynamic energy against the class of `op`.
+    pub fn add(&mut self, op: &Op, joules: f64) {
+        // lint: allow(unwrap) — OpClass::ALL covers every class
+        let idx = OpClass::ALL.iter().position(|&c| c == OpClass::of(op)).expect("class exists");
+        self.joules[idx] += joules;
+        self.ops += 1;
+    }
+
+    /// Accumulated dynamic energy for `class`, in joules.
+    pub fn joules_of(&self, class: OpClass) -> f64 {
+        // lint: allow(unwrap) — OpClass::ALL covers every class
+        let idx = OpClass::ALL.iter().position(|&c| c == class).expect("class exists");
+        self.joules[idx]
+    }
+
+    /// Total dynamic energy over all classes, in joules.
+    pub fn total(&self) -> f64 {
+        self.joules.iter().sum()
+    }
+
+    /// Number of operations charged into the ledger.
+    pub fn num_ops(&self) -> usize {
+        self.ops
+    }
+
+    /// `(class, joules)` rows in display order.
+    pub fn rows(&self) -> Vec<(OpClass, f64)> {
+        OpClass::ALL.iter().map(|&c| (c, self.joules_of(c))).collect()
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (a, b) in self.joules.iter_mut().zip(&other.joules) {
+            *a += b;
+        }
+        self.ops += other.ops;
     }
 }
 
@@ -142,6 +215,28 @@ mod tests {
         assert_eq!(a.time_of(OpClass::Memory), 1.0);
         assert_eq!(a.total(), 6.0);
         assert_eq!(a.rows().len(), 7);
+    }
+
+    #[test]
+    fn energy_ledger_conserves_total() {
+        let mut l = EnergyLedger::new();
+        let charges = [
+            (Op::Chol { n: 4 }, 1.5e-9),
+            (Op::Gemm { m: 2, n: 2, k: 2 }, 2.5e-9),
+            (Op::Memcpy { bytes: 64 }, 0.5e-9),
+        ];
+        let mut sum = 0.0;
+        for (op, j) in &charges {
+            l.add(op, *j);
+            sum += j;
+        }
+        assert!((l.total() - sum).abs() < 1e-18);
+        assert_eq!(l.num_ops(), 3);
+        let mut m = EnergyLedger::new();
+        m.add(&Op::Chol { n: 4 }, 1.0e-9);
+        l.merge(&m);
+        assert_eq!(l.num_ops(), 4);
+        assert!((l.joules_of(OpClass::Chol) - 2.5e-9).abs() < 1e-18);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod area_power;
 mod comp;
@@ -45,6 +45,6 @@ pub use config::SocConfig;
 pub use cpu::CpuModel;
 pub use energy::EnergyModel;
 pub use gpu::GpuModel;
-pub use ledger::{Ledger, OpClass};
+pub use ledger::{EnergyLedger, Ledger, OpClass};
 pub use mem::MemModel;
 pub use platform::{Engine, Platform, PlatformKind};

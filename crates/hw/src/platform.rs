@@ -285,6 +285,7 @@ impl Engine for Platform {
             | PlatformKind::MobileCpu
             | PlatformKind::MobileDsp
             | PlatformKind::ServerCpu => self.host.op_time(op, fits_llc),
+            // lint: allow(unwrap) — EmbeddedGpu is constructed with a gpu model
             PlatformKind::EmbeddedGpu => self.gpu.as_ref().expect("gpu model").op_time(op),
             PlatformKind::Spatula | PlatformKind::SuperNova => {
                 if let Some(t) = self.comp.as_ref().and_then(|c| c.op_time(op, fits_llc)) {

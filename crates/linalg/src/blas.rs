@@ -68,7 +68,9 @@ pub fn gemm(
     assert_eq!(k, kb, "gemm inner dimension mismatch: {k} vs {kb}");
     assert_eq!(c.rows(), m, "gemm output row mismatch");
     assert_eq!(c.cols(), n, "gemm output column mismatch");
+    // lint: allow(float-eq) — exact beta-scaling fast path, matches BLAS semantics
     if beta != 1.0 {
+        // lint: allow(float-eq) — exact beta-scaling fast path, matches BLAS semantics
         if beta == 0.0 {
             c.fill_zero();
         } else {
@@ -80,6 +82,7 @@ pub fn gemm(
         for j in 0..n {
             for p in 0..k {
                 let bpj = alpha * op_b.at(b, p, j);
+                // lint: allow(float-eq) — structural-zero skip: exact zeros from sparsity
                 if bpj == 0.0 {
                     continue;
                 }
@@ -120,6 +123,7 @@ pub fn syrk_lower(alpha: f64, a: &Mat, beta: f64, c: &mut Mat) {
     let n = c.rows();
     let k = a.cols();
     for j in 0..n {
+        // lint: allow(float-eq) — exact beta-scaling fast path, matches BLAS semantics
         if beta != 1.0 {
             let ccol = c.col_mut(j);
             for i in j..n {
@@ -128,6 +132,7 @@ pub fn syrk_lower(alpha: f64, a: &Mat, beta: f64, c: &mut Mat) {
         }
         for p in 0..k {
             let ajp = alpha * a[(j, p)];
+            // lint: allow(float-eq) — structural-zero skip: exact zeros from sparsity
             if ajp == 0.0 {
                 continue;
             }
@@ -158,6 +163,7 @@ pub fn trsm_right_lower_transpose(l: &Mat, b: &mut Mat) {
     for j in 0..n {
         for p in 0..j {
             let ljp = l[(j, p)];
+            // lint: allow(float-eq) — structural-zero skip: exact zeros from sparsity
             if ljp == 0.0 {
                 continue;
             }

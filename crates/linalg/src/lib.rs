@@ -27,12 +27,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod blas;
 mod cholesky;
 mod matrix;
 pub mod ops;
+pub mod rng;
 mod triangular;
 
 pub use blas::{

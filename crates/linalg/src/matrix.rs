@@ -185,6 +185,7 @@ impl Mat {
         let mut y = vec![0.0; self.rows];
         for c in 0..self.cols {
             let xc = x[c];
+            // lint: allow(float-eq) — structural-zero skip: exact zeros from sparsity
             if xc == 0.0 {
                 continue;
             }

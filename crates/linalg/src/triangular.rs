@@ -28,6 +28,7 @@ pub fn solve_lower(l: &Mat, b: &mut [f64]) {
     for j in 0..n {
         let yj = b[j] / l[(j, j)];
         b[j] = yj;
+        // lint: allow(float-eq) — structural-zero skip: exact zeros from sparsity
         if yj != 0.0 {
             let col = l.col(j);
             for i in (j + 1)..n {

@@ -1,26 +1,28 @@
-//! Property-based tests for the dense kernels.
+//! Randomized tests for the dense kernels, driven by the in-tree seeded
+//! PRNG so every case is reproducible offline.
 
-use proptest::prelude::*;
+use supernova_linalg::rng::XorShift64;
 use supernova_linalg::{
     cholesky_in_place, gemm, partial_cholesky_in_place, solve_lower, solve_lower_transpose,
     syrk_lower, Mat, Transpose,
 };
 
-/// Strategy producing a random well-conditioned SPD matrix of size 1..=8.
-fn spd_matrix() -> impl Strategy<Value = Mat> {
-    (1usize..=8).prop_flat_map(|n| {
-        proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |v| {
-            let g = Mat::from_cols(n, n, v);
-            let mut a = Mat::from_diag(&vec![n as f64 + 1.0; n]);
-            syrk_lower(1.0, &g, 1.0, &mut a);
-            Mat::from_fn(n, n, |r, c| if r >= c { a[(r, c)] } else { a[(c, r)] })
-        })
-    })
+const CASES: u64 = 128;
+
+/// A random well-conditioned SPD matrix of size 1..=8.
+fn spd_matrix(rng: &mut XorShift64) -> Mat {
+    let n = 1 + rng.gen_index(8);
+    let g = Mat::from_fn(n, n, |_, _| rng.gen_range(-1.0, 1.0));
+    let mut a = Mat::from_diag(&vec![n as f64 + 1.0; n]);
+    syrk_lower(1.0, &g, 1.0, &mut a);
+    Mat::from_fn(n, n, |r, c| if r >= c { a[(r, c)] } else { a[(c, r)] })
 }
 
-proptest! {
-    #[test]
-    fn cholesky_reconstructs_input(a in spd_matrix()) {
+#[test]
+fn cholesky_reconstructs_input() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x11a0_0000 + case);
+        let a = spd_matrix(&mut rng);
         let n = a.rows();
         let mut l = a.clone();
         cholesky_in_place(&mut l).unwrap();
@@ -28,14 +30,22 @@ proptest! {
         gemm(1.0, &l, Transpose::No, &l, Transpose::Yes, 0.0, &mut r);
         for i in 0..n {
             for j in 0..n {
-                prop_assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-7 * (n as f64 + 1.0));
+                assert!(
+                    (r[(i, j)] - a[(i, j)]).abs() < 1e-7 * (n as f64 + 1.0),
+                    "case {case} at ({i},{j})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn solve_inverts_spd_system(a in spd_matrix(), seed in 0u64..1000) {
+#[test]
+fn solve_inverts_spd_system() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x11a1_0000 + case);
+        let a = spd_matrix(&mut rng);
         let n = a.rows();
+        let seed = rng.gen_index(1000) as u64;
         let x_true: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 7) as f64 - 3.0).collect();
         let b = a.matvec(&x_true);
         let mut l = a.clone();
@@ -44,33 +54,40 @@ proptest! {
         solve_lower(&l, &mut x);
         solve_lower_transpose(&l, &mut x);
         for i in 0..n {
-            prop_assert!((x[i] - x_true[i]).abs() < 1e-6);
+            assert!((x[i] - x_true[i]).abs() < 1e-6, "case {case} component {i}");
         }
     }
+}
 
-    #[test]
-    fn partial_factorization_prefix_of_full(a in spd_matrix(), split in 0usize..=8) {
+#[test]
+fn partial_factorization_prefix_of_full() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x11a2_0000 + case);
+        let a = spd_matrix(&mut rng);
         let n = a.rows();
-        let pivots = split.min(n);
+        let pivots = rng.gen_index(9).min(n);
         let mut full = a.clone();
         cholesky_in_place(&mut full).unwrap();
         let mut front = a.clone();
         partial_cholesky_in_place(&mut front, pivots).unwrap();
         for j in 0..pivots {
             for i in j..n {
-                prop_assert!((front[(i, j)] - full[(i, j)]).abs() < 1e-7);
+                assert!(
+                    (front[(i, j)] - full[(i, j)]).abs() < 1e-7,
+                    "case {case} at ({i},{j})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn gemm_is_linear_in_alpha(
-        va in proptest::collection::vec(-2.0f64..2.0, 9),
-        vb in proptest::collection::vec(-2.0f64..2.0, 9),
-        alpha in -3.0f64..3.0,
-    ) {
-        let a = Mat::from_cols(3, 3, va);
-        let b = Mat::from_cols(3, 3, vb);
+#[test]
+fn gemm_is_linear_in_alpha() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x11a3_0000 + case);
+        let a = Mat::from_fn(3, 3, |_, _| rng.gen_range(-2.0, 2.0));
+        let b = Mat::from_fn(3, 3, |_, _| rng.gen_range(-2.0, 2.0));
+        let alpha = rng.gen_range(-3.0, 3.0);
         let mut c1 = Mat::zeros(3, 3);
         gemm(alpha, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c1);
         let mut c2 = Mat::zeros(3, 3);
@@ -78,22 +95,23 @@ proptest! {
         c2.scale(alpha);
         for i in 0..3 {
             for j in 0..3 {
-                prop_assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-10);
+                assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-10, "case {case} at ({i},{j})");
             }
         }
     }
+}
 
-    #[test]
-    fn transpose_product_identity(
-        va in proptest::collection::vec(-2.0f64..2.0, 12),
-    ) {
+#[test]
+fn transpose_product_identity() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x11a4_0000 + case);
         // (Aᵀ A) must be symmetric.
-        let a = Mat::from_cols(4, 3, va);
+        let a = Mat::from_fn(4, 3, |_, _| rng.gen_range(-2.0, 2.0));
         let mut c = Mat::zeros(3, 3);
         gemm(1.0, &a, Transpose::Yes, &a, Transpose::No, 0.0, &mut c);
         for i in 0..3 {
             for j in 0..3 {
-                prop_assert!((c[(i, j)] - c[(j, i)]).abs() < 1e-10);
+                assert!((c[(i, j)] - c[(j, i)]).abs() < 1e-10, "case {case} at ({i},{j})");
             }
         }
     }

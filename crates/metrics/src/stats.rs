@@ -27,6 +27,7 @@ impl BoxStats {
             return BoxStats::default();
         }
         let mut s = samples.to_vec();
+        // lint: allow(unwrap) — latencies come from the simulator and are finite
         s.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
         let q = |p: f64| -> f64 {
             let idx = p * (s.len() - 1) as f64;
@@ -40,6 +41,7 @@ impl BoxStats {
             q1: q(0.25),
             median: q(0.5),
             q3: q(0.75),
+            // lint: allow(unwrap) — guarded by the is_empty() early return above
             max: *s.last().expect("nonempty"),
             mean: s.iter().sum::<f64>() / s.len() as f64,
             count: s.len(),

@@ -74,6 +74,7 @@ impl CostModel {
         let mut comp_t = 0.0;
         let mut mem_ops = Vec::new();
         if self.platform.is_accelerated() {
+            // lint: allow(unwrap) — cost model is only built for accelerated platforms
             let comp = self.platform.comp().expect("accelerated");
             for op in ops.ops() {
                 if op.is_memory() && self.platform.has_mem_accel() {

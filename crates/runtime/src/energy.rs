@@ -1,8 +1,32 @@
 //! Per-step energy accounting — the §7 energy-aware extension.
 
-use supernova_hw::{EnergyModel, Platform};
+use supernova_hw::{EnergyLedger, EnergyModel, Platform};
 
 use crate::{StepLatency, StepTrace};
+
+/// Itemized per-step energy: the dynamic joules of every op charged into a
+/// per-class [`EnergyLedger`], plus the platform's static draw over the
+/// step.
+///
+/// The ledger is the auditable form of [`step_energy`]: its
+/// [`total`](EnergyLedger::total) must equal the sum of per-op joules (the
+/// conservation invariant `supernova-analyze` checks), and
+/// `ledger.total() + static_joules` equals the scalar `step_energy`
+/// returns.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepEnergy {
+    /// Dynamic energy itemized per operation class.
+    pub ledger: EnergyLedger,
+    /// Static/leakage energy over the step's wall time, in joules.
+    pub static_joules: f64,
+}
+
+impl StepEnergy {
+    /// Total step energy in joules (dynamic + static).
+    pub fn total(&self) -> f64 {
+        self.ledger.total() + self.static_joules
+    }
+}
 
 /// Energy of one backend step on `platform`, in joules: the dynamic energy
 /// of every recorded operation plus the platform's static draw over the
@@ -23,23 +47,33 @@ use crate::{StepLatency, StepTrace};
 /// assert_eq!(step_energy(&Platform::supernova(2), &trace, &lat), 0.0);
 /// ```
 pub fn step_energy(platform: &Platform, trace: &StepTrace, latency: &StepLatency) -> f64 {
+    step_energy_ledger(platform, trace, latency).total()
+}
+
+/// Like [`step_energy`], but returns the itemized [`StepEnergy`] instead of
+/// the collapsed scalar: per-class dynamic joules plus the static draw.
+pub fn step_energy_ledger(
+    platform: &Platform,
+    trace: &StepTrace,
+    latency: &StepLatency,
+) -> StepEnergy {
     if trace.is_numeric_empty() && latency.total() == 0.0 {
-        return 0.0;
+        return StepEnergy::default();
     }
     let model = EnergyModel::of(platform);
-    let mut dynamic = 0.0;
+    let mut ledger = EnergyLedger::new();
     for op in trace.hessian_ops.ops() {
-        dynamic += model.op_joules(op);
+        ledger.add(op, model.op_joules(op));
     }
     for node in &trace.nodes {
         for op in node.ops.ops() {
-            dynamic += model.op_joules(op);
+            ledger.add(op, model.op_joules(op));
         }
     }
     for op in trace.solve_ops.ops() {
-        dynamic += model.op_joules(op);
+        ledger.add(op, model.op_joules(op));
     }
-    model.total_joules(dynamic, latency.total())
+    StepEnergy { ledger, static_joules: model.static_watts * latency.total() }
 }
 
 #[cfg(test)]
@@ -81,5 +115,24 @@ mod tests {
         let e_small = step_energy(&sn, &small, &simulate_step(&sn, &small, &cfg));
         let e_big = step_energy(&sn, &big, &simulate_step(&sn, &big, &cfg));
         assert!(e_big > e_small);
+    }
+
+    #[test]
+    fn ledger_totals_match_scalar_energy() {
+        let t = trace();
+        let cfg = SchedulerConfig::default();
+        for p in [Platform::supernova(2), Platform::boom(), Platform::embedded_gpu()] {
+            let lat = simulate_step(&p, &t, &cfg);
+            let itemized = step_energy_ledger(&p, &t, &lat);
+            let scalar = step_energy(&p, &t, &lat);
+            assert!(
+                (itemized.total() - scalar).abs() <= 1e-12 * scalar.max(1.0),
+                "{}: {} != {}",
+                p.name(),
+                itemized.total(),
+                scalar
+            );
+            assert_eq!(itemized.ledger.num_ops(), 3, "{}", p.name());
+        }
     }
 }

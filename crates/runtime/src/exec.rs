@@ -1,0 +1,200 @@
+//! The executed schedule of one step — unit assignments and per-op
+//! start/end timestamps.
+//!
+//! [`simulate_step`](crate::simulate_step) returns only the priced
+//! [`StepLatency`](crate::StepLatency);
+//! [`simulate_step_traced`](crate::simulate_step_traced) additionally
+//! returns an [`ExecTrace`]: which COMP/MEM/CPU unit every operation ran
+//! on and when. The trace exists so the schedule can be *checked* — the
+//! `supernova-analyze` crate validates happens-before legality, per-unit
+//! exclusivity, LLC capacity and ledger conservation against it — rather
+//! than trusting the scheduler.
+
+use supernova_linalg::ops::Op;
+
+/// A hardware unit of the modeled SoC, identified by tile index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Unit {
+    /// COMP accelerator tile of accelerator set `0`-based index.
+    Comp(usize),
+    /// MEM DMA tile of accelerator set `0`-based index.
+    Mem(usize),
+    /// Controller CPU tile (also the serial engine of non-accelerated
+    /// platforms, always tile 0 there).
+    Cpu(usize),
+}
+
+impl std::fmt::Display for Unit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unit::Comp(i) => write!(f, "COMP{i}"),
+            Unit::Mem(i) => write!(f, "MEM{i}"),
+            Unit::Cpu(i) => write!(f, "CPU{i}"),
+        }
+    }
+}
+
+/// Which part of the step an executed op belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Eager Hessian construction (independent small ops before the tree).
+    Hessian,
+    /// Elimination-tree factorization (the Algorithm 2 event loop).
+    Tree,
+    /// Forward/backward supernodal solves (sequential chain).
+    Solve,
+}
+
+/// One operation's executed interval on one unit.
+///
+/// An op partitioned across `k` accelerator sets (intra-node parallelism)
+/// is recorded once per occupied unit with the same interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpExec {
+    /// The supernode this op belongs to; `None` for Hessian/solve ops.
+    pub node: Option<usize>,
+    /// Step phase.
+    pub phase: Phase,
+    /// The priced operation.
+    pub op: Op,
+    /// The unit the op (or this op's share) ran on.
+    pub unit: Unit,
+    /// Virtual-time start, seconds from the start of the numeric phase.
+    pub start: f64,
+    /// Virtual-time end, seconds.
+    pub end: f64,
+}
+
+/// One supernode's executed interval and resource grant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeExec {
+    /// Supernode id (matches `NodeWork::node`).
+    pub node: usize,
+    /// Accelerator-set ids granted to this node (empty on serial
+    /// platforms).
+    pub sets: Vec<usize>,
+    /// Controller CPU tile driving the node.
+    pub cpu_tile: usize,
+    /// Virtual-time start, seconds.
+    pub start: f64,
+    /// Virtual-time end, seconds.
+    pub end: f64,
+    /// LLC bytes reserved for the node (its `calc_space`); zero when the
+    /// node was admitted oversized at DRAM-rate pricing.
+    pub space: usize,
+    /// Whether the working set was priced as LLC-resident.
+    pub fits: bool,
+}
+
+/// The full executed schedule of one step's numeric phase.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecTrace {
+    /// Per-op unit assignments and intervals.
+    pub ops: Vec<OpExec>,
+    /// Per-node intervals and resource grants.
+    pub nodes: Vec<NodeExec>,
+    /// End-to-end numeric makespan in seconds (equals
+    /// `StepLatency::numeric`).
+    pub makespan: f64,
+    /// Accelerator sets on the priced platform (0 for serial platforms).
+    pub sets: usize,
+    /// Scheduler worker threads (CPU tiles) available to the event loop.
+    pub cpu_tiles: usize,
+    /// Capacity of the shared LLC the admission check guards, in bytes.
+    pub llc_bytes: usize,
+}
+
+impl ExecTrace {
+    /// Busy seconds accumulated on `unit` across all recorded ops.
+    pub fn busy_seconds(&self, unit: Unit) -> f64 {
+        self.ops.iter().filter(|o| o.unit == unit).map(|o| o.end - o.start).sum()
+    }
+
+    /// All units that appear in the trace, sorted and deduplicated.
+    pub fn units(&self) -> Vec<Unit> {
+        let mut u: Vec<Unit> = self.ops.iter().map(|o| o.unit).collect();
+        u.sort_unstable();
+        u.dedup();
+        u
+    }
+}
+
+/// Sink for schedule events. The scheduler is generic over this so the
+/// untraced path ([`simulate_step`](crate::simulate_step)) pays no
+/// recording cost — `NoRecord` compiles to nothing.
+pub(crate) trait Recorder {
+    /// Whether op-level recording is live (lets callers skip layout work).
+    fn enabled(&self) -> bool;
+    /// Records one op interval.
+    fn op(&mut self, rec: OpExec);
+    /// Records one node interval.
+    fn node(&mut self, rec: NodeExec);
+}
+
+/// The zero-cost recorder used by the untraced scheduling path.
+pub(crate) struct NoRecord;
+
+impl Recorder for NoRecord {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn op(&mut self, _: OpExec) {}
+    fn node(&mut self, _: NodeExec) {}
+}
+
+impl Recorder for ExecTrace {
+    fn enabled(&self) -> bool {
+        true
+    }
+    fn op(&mut self, rec: OpExec) {
+        self.ops.push(rec);
+    }
+    fn node(&mut self, rec: NodeExec) {
+        self.nodes.push(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_seconds_sums_per_unit() {
+        let mut t = ExecTrace::default();
+        let op = Op::Chol { n: 4 };
+        t.ops.push(OpExec {
+            node: Some(0),
+            phase: Phase::Tree,
+            op,
+            unit: Unit::Comp(0),
+            start: 0.0,
+            end: 2.0,
+        });
+        t.ops.push(OpExec {
+            node: Some(1),
+            phase: Phase::Tree,
+            op,
+            unit: Unit::Comp(0),
+            start: 3.0,
+            end: 4.0,
+        });
+        t.ops.push(OpExec {
+            node: Some(1),
+            phase: Phase::Tree,
+            op,
+            unit: Unit::Mem(1),
+            start: 0.0,
+            end: 1.0,
+        });
+        assert_eq!(t.busy_seconds(Unit::Comp(0)), 3.0);
+        assert_eq!(t.busy_seconds(Unit::Mem(1)), 1.0);
+        assert_eq!(t.units(), vec![Unit::Comp(0), Unit::Mem(1)]);
+    }
+
+    #[test]
+    fn unit_display_names() {
+        assert_eq!(Unit::Comp(0).to_string(), "COMP0");
+        assert_eq!(Unit::Mem(2).to_string(), "MEM2");
+        assert_eq!(Unit::Cpu(1).to_string(), "CPU1");
+    }
+}

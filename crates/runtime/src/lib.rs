@@ -32,18 +32,20 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cost;
 mod energy;
+pub mod exec;
 mod queue;
 mod sched;
 mod space;
 mod trace;
 
 pub use cost::{CostModel, RelinCostModel};
-pub use energy::step_energy;
+pub use energy::{step_energy, step_energy_ledger, StepEnergy};
+pub use exec::{ExecTrace, NodeExec, OpExec, Phase, Unit};
 pub use queue::NodeQueue;
-pub use sched::{simulate_step, SchedulerConfig, StepLatency};
+pub use sched::{simulate_step, simulate_step_traced, SchedulerConfig, StepLatency};
 pub use space::calc_space;
 pub use trace::{NodeWork, StepTrace};

@@ -28,7 +28,7 @@ pub struct NodeQueue {
     pending_children: Vec<usize>,
     parent_slot: Vec<Option<usize>>,
     ids: Vec<usize>,
-    slot_of_id: std::collections::HashMap<usize, usize>,
+    slot_of_id: std::collections::BTreeMap<usize, usize>,
     ready: Vec<usize>,
     taken: Vec<bool>,
     done: Vec<bool>,
@@ -43,11 +43,11 @@ impl NodeQueue {
     /// Panics if a parent id is not in the list.
     pub fn new(nodes: &[(usize, Option<usize>)]) -> Self {
         let ids: Vec<usize> = nodes.iter().map(|&(id, _)| id).collect();
-        let slot_of_id: std::collections::HashMap<usize, usize> =
+        let slot_of_id: std::collections::BTreeMap<usize, usize> =
             ids.iter().enumerate().map(|(s, &id)| (id, s)).collect();
         let parent_slot: Vec<Option<usize>> = nodes
             .iter()
-            .map(|&(_, p)| p.map(|pid| *slot_of_id.get(&pid).expect("parent listed")))
+            .map(|&(_, p)| p.map(|pid| *slot_of_id.get(&pid).expect("parent listed"))) // lint: allow(unwrap)
             .collect();
         let mut pending_children = vec![0usize; nodes.len()];
         for p in parent_slot.iter().flatten() {
@@ -80,6 +80,7 @@ impl NodeQueue {
     ///
     /// Panics if the node is not currently ready.
     pub fn take(&mut self, id: usize) {
+        // lint: allow(unwrap) — panic documented in the method contract
         let pos = self.ready.iter().position(|&r| r == id).expect("node must be ready");
         self.ready.remove(pos);
         self.taken[self.slot_of_id[&id]] = true;

@@ -1,11 +1,12 @@
 //! The virtual-time step scheduler (Algorithm 2 and §4.3.1–4.3.2).
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use supernova_hw::Platform;
 use supernova_linalg::ops::Op;
 
+use crate::exec::{ExecTrace, NoRecord, NodeExec, OpExec, Phase, Recorder, Unit};
 use crate::{calc_space, NodeQueue, NodeWork, StepTrace};
 
 /// Which runtime parallelism optimizations are enabled (the Figure 9
@@ -27,6 +28,17 @@ impl SchedulerConfig {
     /// Everything disabled: single thread, single set, serial COMP+MEM.
     pub fn serial() -> Self {
         SchedulerConfig { hetero_overlap: false, inter_node: false, intra_node: false }
+    }
+
+    /// The Figure 9 ablation ladder: serial, each optimization added in
+    /// order, up to the full default configuration.
+    pub fn ablations() -> [SchedulerConfig; 4] {
+        [
+            SchedulerConfig::serial(),
+            SchedulerConfig { hetero_overlap: true, inter_node: false, intra_node: false },
+            SchedulerConfig { hetero_overlap: true, inter_node: true, intra_node: false },
+            SchedulerConfig::default(),
+        ]
     }
 }
 
@@ -73,35 +85,123 @@ const FAN_OUT_EFFICIENCY: f64 = 0.85;
 /// Algorithm 2 scheduler; serial platforms price the trace in order; the
 /// GPU adds its per-step transfer overhead.
 pub fn simulate_step(platform: &Platform, trace: &StepTrace, cfg: &SchedulerConfig) -> StepLatency {
+    simulate_step_rec(platform, trace, cfg, &mut NoRecord)
+}
+
+/// Prices a step like [`simulate_step`] and additionally returns the
+/// executed schedule: per-op unit assignments with start/end timestamps,
+/// per-node intervals with their accelerator-set grants and LLC
+/// reservations. The latency returned is bit-identical to
+/// [`simulate_step`]'s — recording observes the schedule, it never
+/// perturbs it.
+pub fn simulate_step_traced(
+    platform: &Platform,
+    trace: &StepTrace,
+    cfg: &SchedulerConfig,
+) -> (StepLatency, ExecTrace) {
+    let mut exec = ExecTrace::default();
+    if platform.is_accelerated() {
+        let soc = platform.soc();
+        exec.sets = platform.accel_sets().max(1);
+        exec.cpu_tiles = if cfg.inter_node { soc.cpu_tiles.max(1) } else { 1 };
+        exec.llc_bytes = soc.llc_bytes;
+    } else {
+        exec.sets = 0;
+        exec.cpu_tiles = 1;
+        exec.llc_bytes = platform.cache_bytes();
+    }
+    let lat = simulate_step_rec(platform, trace, cfg, &mut exec);
+    exec.makespan = lat.numeric;
+    (lat, exec)
+}
+
+/// Shared implementation behind the traced and untraced entry points.
+fn simulate_step_rec<R: Recorder>(
+    platform: &Platform,
+    trace: &StepTrace,
+    cfg: &SchedulerConfig,
+    rec: &mut R,
+) -> StepLatency {
     let relin = platform.relin_time(trace.relin_jacobian_elems, trace.relin_factors);
     let symbolic = platform.symbolic_time(trace.symbolic_pattern_elems);
     let overhead = trace.selection_nodes_visited as f64 * SELECTION_CYCLES_PER_NODE
         / platform.host().freq_hz;
     let numeric = if platform.is_accelerated() {
-        accelerated_numeric(platform, trace, cfg)
+        accelerated_numeric(platform, trace, cfg, rec)
     } else {
-        serial_numeric(platform, trace)
+        serial_numeric(platform, trace, rec)
     };
     StepLatency { relin, symbolic, numeric, overhead }
 }
 
-/// Serial pricing for CPU/DSP/GPU platforms.
-fn serial_numeric(platform: &Platform, trace: &StepTrace) -> f64 {
+/// Serial pricing for CPU/DSP/GPU platforms. Every op runs on the single
+/// engine, recorded as `CPU0`.
+fn serial_numeric<R: Recorder>(platform: &Platform, trace: &StepTrace, rec: &mut R) -> f64 {
     let engine = platform.numeric_engine();
     let mut t = if trace.is_numeric_empty() { 0.0 } else { platform.step_overhead() };
     for op in trace.hessian_ops.ops() {
-        t += engine.op_time(op);
+        let dt = engine.op_time(op);
+        rec.op(OpExec {
+            node: None,
+            phase: Phase::Hessian,
+            op: *op,
+            unit: Unit::Cpu(0),
+            start: t,
+            end: t + dt,
+        });
+        t += dt;
     }
     for work in &trace.nodes {
         let fits = work.front_bytes() <= platform.cache_bytes();
+        let start = t;
         for op in work.ops.ops() {
-            t += engine.op_time_ctx(op, fits);
+            let dt = engine.op_time_ctx(op, fits);
+            rec.op(OpExec {
+                node: Some(work.node),
+                phase: Phase::Tree,
+                op: *op,
+                unit: Unit::Cpu(0),
+                start: t,
+                end: t + dt,
+            });
+            t += dt;
         }
+        rec.node(NodeExec {
+            node: work.node,
+            sets: Vec::new(),
+            cpu_tile: 0,
+            start,
+            end: t,
+            space: 0,
+            fits,
+        });
     }
     for op in trace.solve_ops.ops() {
-        t += engine.op_time(op);
+        let dt = engine.op_time(op);
+        rec.op(OpExec {
+            node: None,
+            phase: Phase::Solve,
+            op: *op,
+            unit: Unit::Cpu(0),
+            start: t,
+            end: t + dt,
+        });
+        t += dt;
     }
     t
+}
+
+/// The concrete placement of one scheduled node, threaded through
+/// [`node_duration`] so op intervals can be recorded on real unit ids.
+struct NodeSlot<'a> {
+    /// Supernode id.
+    node: usize,
+    /// Virtual-time start of the node.
+    start: f64,
+    /// Accelerator-set ids granted to the node.
+    sets: &'a [usize],
+    /// Controller CPU tile driving the node.
+    cpu_tile: usize,
 }
 
 /// Duration of one node on `k` accelerator sets of `platform`.
@@ -111,18 +211,37 @@ fn serial_numeric(platform: &Platform, trace: &StepTrace) -> f64 {
 /// tiles and overlap with COMP when heterogeneous orchestration is on.
 /// Platforms without MEM/SIU (Spatula) execute those portions on the
 /// controller CPU, serially with the accelerator.
-fn node_duration(platform: &Platform, work: &NodeWork, k: usize, fits: bool, cfg: &SchedulerConfig) -> f64 {
-    let comp = platform.comp().expect("accelerated platform");
+///
+/// When `rec` is live and `slot` is given, every op's interval is recorded
+/// on its concrete units; the recorded intervals tile exactly the COMP,
+/// MEM and CPU streams the duration is computed from.
+fn node_duration<R: Recorder>(
+    platform: &Platform,
+    work: &NodeWork,
+    k: usize,
+    fits: bool,
+    cfg: &SchedulerConfig,
+    slot: Option<&NodeSlot<'_>>,
+    rec: &mut R,
+) -> f64 {
+    let comp = platform.comp().expect("accelerated platform"); // lint: allow(unwrap)
     let kf = k.max(1) as f64;
+    let slot = if rec.enabled() { slot } else { None };
     let mut comp_t = 0.0;
     let mut cpu_t = 0.0;
     let mut mem_ops: Vec<Op> = Vec::new();
+    let mut comp_items: Vec<(Op, f64)> = Vec::new();
+    let mut cpu_items: Vec<(Op, f64)> = Vec::new();
     for op in work.ops.ops() {
         if op.is_memory() {
             if platform.has_mem_accel() {
                 mem_ops.push(*op);
             } else {
-                cpu_t += platform.host().op_time(op, fits);
+                let t = platform.host().op_time(op, fits);
+                cpu_t += t;
+                if slot.is_some() {
+                    cpu_items.push((*op, t));
+                }
             }
             continue;
         }
@@ -137,24 +256,104 @@ fn node_duration(platform: &Platform, work: &NodeWork, k: usize, fits: bool, cfg
                     Op::Chol { .. } => 0.25,
                     _ => 0.0,
                 };
-                comp_t += t1 * (f / kf + (1.0 - f));
+                let t = t1 * (f / kf + (1.0 - f));
+                comp_t += t;
+                if slot.is_some() {
+                    comp_items.push((*op, t));
+                }
             }
-            None => cpu_t += platform.host().op_time(op, fits), // no SIU
+            None => {
+                // No SIU: the host CPU performs the scatter.
+                let t = platform.host().op_time(op, fits);
+                cpu_t += t;
+                if slot.is_some() {
+                    cpu_items.push((*op, t));
+                }
+            }
         }
     }
     let mem_t = platform
         .mem()
         .map(|m| m.batch_time(&mem_ops, fits) / kf)
         .unwrap_or(0.0);
-    if cfg.hetero_overlap && platform.has_mem_accel() {
+    let overlap = cfg.hetero_overlap && platform.has_mem_accel();
+    let dur = if overlap {
         comp_t.max(mem_t) + OVERLAP_RESIDUE * comp_t.min(mem_t) + cpu_t
     } else {
         comp_t + mem_t + cpu_t
+    };
+
+    if let Some(slot) = slot {
+        // Stream placement: under overlap the COMP and MEM streams both
+        // start at the node start and the CPU tail follows the overlap
+        // residue; serially the streams run COMP → MEM → CPU.
+        let (comp_start, mem_start, cpu_start) = if overlap {
+            let joined = comp_t.max(mem_t) + OVERLAP_RESIDUE * comp_t.min(mem_t);
+            (slot.start, slot.start, slot.start + joined)
+        } else {
+            (slot.start, slot.start + comp_t, slot.start + comp_t + mem_t)
+        };
+        let mut cur = comp_start;
+        for (op, dt) in &comp_items {
+            for &s in slot.sets {
+                rec.op(OpExec {
+                    node: Some(slot.node),
+                    phase: Phase::Tree,
+                    op: *op,
+                    unit: Unit::Comp(s),
+                    start: cur,
+                    end: cur + dt,
+                });
+            }
+            cur += dt;
+        }
+        if mem_t > 0.0 {
+            if let Some(m) = platform.mem() {
+                // The batch is priced as a whole (VC-overlapped setups), so
+                // apportion the batch time across ops by their solo times.
+                let weights: Vec<f64> =
+                    mem_ops.iter().map(|op| m.batch_time(std::slice::from_ref(op), fits)).collect();
+                let wsum: f64 = weights.iter().sum();
+                let mut cur = mem_start;
+                for (op, w) in mem_ops.iter().zip(&weights) {
+                    let dt = if wsum > 0.0 { mem_t * w / wsum } else { mem_t / mem_ops.len() as f64 };
+                    for &s in slot.sets {
+                        rec.op(OpExec {
+                            node: Some(slot.node),
+                            phase: Phase::Tree,
+                            op: *op,
+                            unit: Unit::Mem(s),
+                            start: cur,
+                            end: cur + dt,
+                        });
+                    }
+                    cur += dt;
+                }
+            }
+        }
+        let mut cur = cpu_start;
+        for (op, dt) in &cpu_items {
+            rec.op(OpExec {
+                node: Some(slot.node),
+                phase: Phase::Tree,
+                op: *op,
+                unit: Unit::Cpu(slot.cpu_tile),
+                start: cur,
+                end: cur + dt,
+            });
+            cur += dt;
+        }
     }
+    dur
 }
 
 /// The Algorithm 2 discrete-event scheduler over the step's node forest.
-fn accelerated_numeric(platform: &Platform, trace: &StepTrace, cfg: &SchedulerConfig) -> f64 {
+fn accelerated_numeric<R: Recorder>(
+    platform: &Platform,
+    trace: &StepTrace,
+    cfg: &SchedulerConfig,
+    rec: &mut R,
+) -> f64 {
     let soc = platform.soc();
     let sets = platform.accel_sets().max(1);
     let threads = if cfg.inter_node { soc.cpu_tiles.max(1) } else { 1 };
@@ -164,53 +363,135 @@ fn accelerated_numeric(platform: &Platform, trace: &StepTrace, cfg: &SchedulerCo
     let mut hess_comp = 0.0;
     let mut hess_cpu = 0.0;
     let mut hess_mem: Vec<Op> = Vec::new();
+    let mut hess_comp_items: Vec<(Op, f64)> = Vec::new();
+    let mut hess_cpu_items: Vec<(Op, f64)> = Vec::new();
     if let Some(comp) = platform.comp() {
         for op in trace.hessian_ops.ops() {
             if op.is_memory() {
                 if platform.has_mem_accel() {
                     hess_mem.push(*op);
                 } else {
-                    hess_cpu += platform.host().op_time(op, true);
+                    let t = platform.host().op_time(op, true);
+                    hess_cpu += t;
+                    if rec.enabled() {
+                        hess_cpu_items.push((*op, t));
+                    }
                 }
             } else if let Some(t) = comp.op_time(op, true) {
                 hess_comp += t;
+                if rec.enabled() {
+                    hess_comp_items.push((*op, t));
+                }
             } else {
-                hess_cpu += platform.host().op_time(op, true);
+                let t = platform.host().op_time(op, true);
+                hess_cpu += t;
+                if rec.enabled() {
+                    hess_cpu_items.push((*op, t));
+                }
             }
         }
     }
     let fan = if cfg.inter_node { 1.0 + FAN_OUT_EFFICIENCY * (sets as f64 - 1.0) } else { 1.0 };
     let hess_mem_t = platform.mem().map(|m| m.batch_time(&hess_mem, true) / fan).unwrap_or(0.0);
     let hess_comp_t = hess_comp / fan;
-    let hessian_time = if cfg.hetero_overlap && platform.has_mem_accel() {
+    let hess_overlap = cfg.hetero_overlap && platform.has_mem_accel();
+    let hessian_time = if hess_overlap {
         hess_comp_t.max(hess_mem_t) + OVERLAP_RESIDUE * hess_comp_t.min(hess_mem_t) + hess_cpu
     } else {
         hess_comp_t + hess_mem_t + hess_cpu
     };
+    if rec.enabled() {
+        // The fanned-out streams occupy every set's units; independent
+        // small ops have no inter-op dependencies, so tile them in order.
+        let active_sets = if cfg.inter_node { sets } else { 1 };
+        let mut cur = 0.0;
+        for (op, t) in &hess_comp_items {
+            let dt = t / fan;
+            for s in 0..active_sets {
+                rec.op(OpExec {
+                    node: None,
+                    phase: Phase::Hessian,
+                    op: *op,
+                    unit: Unit::Comp(s),
+                    start: cur,
+                    end: cur + dt,
+                });
+            }
+            cur += dt;
+        }
+        if hess_mem_t > 0.0 {
+            if let Some(m) = platform.mem() {
+                let weights: Vec<f64> =
+                    hess_mem.iter().map(|op| m.batch_time(std::slice::from_ref(op), true)).collect();
+                let wsum: f64 = weights.iter().sum();
+                let mut cur = 0.0;
+                for (op, w) in hess_mem.iter().zip(&weights) {
+                    let dt = if wsum > 0.0 {
+                        hess_mem_t * w / wsum
+                    } else {
+                        hess_mem_t / hess_mem.len() as f64
+                    };
+                    for s in 0..active_sets {
+                        rec.op(OpExec {
+                            node: None,
+                            phase: Phase::Hessian,
+                            op: *op,
+                            unit: Unit::Mem(s),
+                            start: cur,
+                            end: cur + dt,
+                        });
+                    }
+                    cur += dt;
+                }
+            }
+        }
+        let mut cur = if hess_overlap {
+            hess_comp_t.max(hess_mem_t) + OVERLAP_RESIDUE * hess_comp_t.min(hess_mem_t)
+        } else {
+            hess_comp_t + hess_mem_t
+        };
+        for (op, t) in &hess_cpu_items {
+            rec.op(OpExec {
+                node: None,
+                phase: Phase::Hessian,
+                op: *op,
+                unit: Unit::Cpu(0),
+                start: cur,
+                end: cur + *t,
+            });
+            cur += t;
+        }
+    }
 
-    // --- Elimination-tree factorization via the event loop.
+    // --- Elimination-tree factorization via the event loop. Recorded
+    // timestamps are absolute (offset by the hessian preamble).
+    let t0 = hessian_time;
     let tree_time = if trace.nodes.is_empty() {
         0.0
     } else {
-        let works: std::collections::HashMap<usize, &NodeWork> =
+        let works: BTreeMap<usize, &NodeWork> =
             trace.nodes.iter().map(|w| (w.node, w)).collect();
-        let parent_front: std::collections::HashMap<usize, usize> =
+        let parent_front: BTreeMap<usize, usize> =
             trace.nodes.iter().map(|w| (w.node, w.front_dim())).collect();
         let mut queue =
             NodeQueue::new(&trace.nodes.iter().map(|w| (w.node, w.parent)).collect::<Vec<_>>());
 
-        // (finish_time, node, sets_used, space) ordered by finish time.
-        let mut in_flight: BinaryHeap<Reverse<(u64, usize, usize, usize)>> = BinaryHeap::new();
+        // (finish_time, node, cpu_tile, granted_sets, space) ordered by
+        // finish time, ties broken by node id — deterministic.
+        let mut in_flight: BinaryHeap<Reverse<(u64, usize, usize, Vec<usize>, usize)>> =
+            BinaryHeap::new();
         let to_fixed = |t: f64| (t * 1e15) as u64; // femtosecond grid keeps ordering exact
         let mut now = 0.0f64;
-        let mut idle_threads = threads;
-        let mut idle_sets = sets;
+        // Free lists of concrete unit ids, kept sorted so grants always
+        // take the lowest ids first (deterministic placement).
+        let mut idle_threads: Vec<usize> = (0..threads).collect();
+        let mut idle_sets: Vec<usize> = (0..sets).collect();
         let mut llc_free = llc;
 
         loop {
             // Admit ready nodes while a thread and a set are available.
             loop {
-                if idle_threads == 0 || idle_sets == 0 {
+                if idle_threads.is_empty() || idle_sets.is_empty() {
                     break;
                 }
                 let ready = queue.ready().to_vec();
@@ -241,27 +522,44 @@ fn accelerated_numeric(platform: &Platform, trace: &StepTrace, cfg: &SchedulerCo
                         break; // wait for LLC space (thread de-schedules)
                     }
                 }
-                let (id, space) = pick.expect("picked");
+                let (id, space) = match pick {
+                    Some(p) => p,
+                    None => break,
+                };
                 // Intra-node: grab a fair share of the idle sets.
                 let k = if cfg.intra_node {
-                    (idle_sets / ready.len().max(idle_threads.min(ready.len())).max(1)).max(1)
+                    (idle_sets.len()
+                        / ready.len().max(idle_threads.len().min(ready.len())).max(1))
+                    .max(1)
                 } else {
                     1
                 };
-                let k = k.min(idle_sets);
+                let k = k.min(idle_sets.len());
                 queue.take(id);
-                let dur = node_duration(platform, works[&id], k, fits, cfg);
-                in_flight.push(Reverse((to_fixed(now + dur), id, k, space)));
-                idle_threads -= 1;
-                idle_sets -= k;
+                let grant: Vec<usize> = idle_sets.drain(..k).collect();
+                let tid = idle_threads.remove(0);
+                let slot = NodeSlot { node: id, start: t0 + now, sets: &grant, cpu_tile: tid };
+                let dur = node_duration(platform, works[&id], k, fits, cfg, Some(&slot), rec);
+                rec.node(NodeExec {
+                    node: id,
+                    sets: grant.clone(),
+                    cpu_tile: tid,
+                    start: t0 + now,
+                    end: t0 + now + dur,
+                    space,
+                    fits,
+                });
+                in_flight.push(Reverse((to_fixed(now + dur), id, tid, grant, space)));
                 llc_free -= space.min(llc_free);
             }
             match in_flight.pop() {
                 None => break,
-                Some(Reverse((fin, id, k, space))) => {
+                Some(Reverse((fin, id, tid, grant, space))) => {
                     now = fin as f64 / 1e15;
-                    idle_threads += 1;
-                    idle_sets += k;
+                    idle_threads.push(tid);
+                    idle_threads.sort_unstable();
+                    idle_sets.extend(grant);
+                    idle_sets.sort_unstable();
                     llc_free = (llc_free + space).min(llc);
                     queue.complete(id);
                 }
@@ -274,10 +572,22 @@ fn accelerated_numeric(platform: &Platform, trace: &StepTrace, cfg: &SchedulerCo
     // --- Solves: a sequential dependency chain over the tree.
     let mut solve_time = 0.0;
     if let Some(comp) = platform.comp() {
+        let mut cur = hessian_time + tree_time;
         for op in trace.solve_ops.ops() {
-            solve_time += comp
-                .op_time(op, true)
-                .unwrap_or_else(|| platform.host().op_time(op, true));
+            let (dt, unit) = match comp.op_time(op, true) {
+                Some(t) => (t, Unit::Comp(0)),
+                None => (platform.host().op_time(op, true), Unit::Cpu(0)),
+            };
+            rec.op(OpExec {
+                node: None,
+                phase: Phase::Solve,
+                op: *op,
+                unit,
+                start: cur,
+                end: cur + dt,
+            });
+            solve_time += dt;
+            cur += dt;
         }
     }
 
@@ -400,5 +710,55 @@ mod tests {
         let trace = StepTrace { nodes: vec![node(0, None, 1200, 0)], ..StepTrace::default() };
         let lat = simulate_step(&Platform::supernova(1), &trace, &SchedulerConfig::default());
         assert!(lat.numeric > 0.0 && lat.numeric.is_finite());
+    }
+
+    #[test]
+    fn traced_latency_matches_untraced() {
+        let trace = wide_trace();
+        for p in [Platform::supernova(2), Platform::spatula(2), Platform::boom()] {
+            for cfg in SchedulerConfig::ablations() {
+                let plain = simulate_step(&p, &trace, &cfg);
+                let (traced, exec) = simulate_step_traced(&p, &trace, &cfg);
+                assert_eq!(plain, traced, "{} {cfg:?}", p.name());
+                assert_eq!(exec.makespan, plain.numeric);
+                assert_eq!(exec.nodes.len(), trace.nodes.len());
+                assert!(!exec.ops.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn trace_assigns_distinct_sets_to_concurrent_nodes() {
+        let trace = wide_trace();
+        let (_, exec) = simulate_step_traced(
+            &Platform::supernova(4),
+            &trace,
+            &SchedulerConfig { hetero_overlap: true, inter_node: true, intra_node: false },
+        );
+        // Any two nodes whose intervals overlap must hold disjoint sets
+        // (allowing the event heap's femtosecond quantization slack).
+        let eps = 1e-12;
+        for a in &exec.nodes {
+            for b in &exec.nodes {
+                if a.node < b.node && a.start < b.end - eps && b.start < a.end - eps {
+                    for s in &a.sets {
+                        assert!(!b.sets.contains(s), "set {s} double-granted: {a:?} {b:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_trace_is_sequential_on_cpu0() {
+        let trace = wide_trace();
+        let (lat, exec) = simulate_step_traced(&Platform::boom(), &trace, &SchedulerConfig::serial());
+        assert_eq!(exec.units(), vec![Unit::Cpu(0)]);
+        let mut prev_end = 0.0;
+        for op in &exec.ops {
+            assert!(op.start >= prev_end - 1e-12);
+            prev_end = op.end;
+        }
+        assert!((prev_end - lat.numeric).abs() < 1e-12 * lat.numeric.max(1.0));
     }
 }

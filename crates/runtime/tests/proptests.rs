@@ -1,106 +1,108 @@
-//! Property tests for the virtual-time scheduler: determinism, resource
+//! Randomized tests for the virtual-time scheduler: determinism, resource
 //! monotonicity and dependency correctness on random elimination forests.
+//!
+//! Formerly proptest-based; now a seeded loop over the in-tree
+//! [`XorShift64`] so the suite resolves and runs fully offline with
+//! reproducible cases.
 
-use proptest::prelude::*;
 use supernova_hw::Platform;
 use supernova_linalg::ops::Op;
+use supernova_linalg::rng::XorShift64;
 use supernova_runtime::{simulate_step, NodeQueue, NodeWork, SchedulerConfig, StepTrace};
+
+const CASES: u64 = 64;
 
 /// A random forest of node works: each node's parent is a later-indexed
 /// node (children-before-parents order holds by construction).
-fn forest() -> impl Strategy<Value = Vec<NodeWork>> {
-    (2usize..24).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(0usize..1000, n),
-            proptest::collection::vec(4usize..48, n),
-            proptest::collection::vec(0usize..48, n),
-        )
-            .prop_map(move |(parents, ms, ns)| {
-                (0..n)
-                    .map(|i| {
-                        let parent = if i + 1 < n {
-                            let p = i + 1 + parents[i] % (n - i - 1).max(1);
-                            if p < n {
-                                Some(p)
-                            } else {
-                                None
-                            }
-                        } else {
-                            None
-                        };
-                        let (m, nn) = (ms[i], ns[i]);
-                        let mut ops: Vec<Op> = vec![
-                            Op::Memset { bytes: (m + nn) * (m + nn) * 4 },
-                            Op::Chol { n: m },
-                        ];
-                        if nn > 0 {
-                            ops.push(Op::Trsm { m: nn, n: m });
-                            ops.push(Op::Syrk { n: nn, k: m });
-                        }
-                        NodeWork {
-                            node: i,
-                            parent,
-                            ops: ops.into_iter().collect(),
-                            pivot_dim: m,
-                            rem_dim: nn,
-                            factor_bytes: m * m,
-                        }
-                    })
-                    .collect()
-            })
-    })
+fn forest(rng: &mut XorShift64) -> Vec<NodeWork> {
+    let n = 2 + rng.gen_index(22);
+    (0..n)
+        .map(|i| {
+            let parent = if i + 1 < n {
+                let p = i + 1 + rng.gen_index(1000) % (n - i - 1).max(1);
+                (p < n).then_some(p)
+            } else {
+                None
+            };
+            let m = 4 + rng.gen_index(44);
+            let nn = rng.gen_index(48);
+            let mut ops: Vec<Op> =
+                vec![Op::Memset { bytes: (m + nn) * (m + nn) * 4 }, Op::Chol { n: m }];
+            if nn > 0 {
+                ops.push(Op::Trsm { m: nn, n: m });
+                ops.push(Op::Syrk { n: nn, k: m });
+            }
+            NodeWork {
+                node: i,
+                parent,
+                ops: ops.into_iter().collect(),
+                pivot_dim: m,
+                rem_dim: nn,
+                factor_bytes: m * m,
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn scheduler_is_deterministic(nodes in forest()) {
-        let trace = StepTrace { nodes, ..StepTrace::default() };
+#[test]
+fn scheduler_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x5e11_0000 + case);
+        let trace = StepTrace { nodes: forest(&mut rng), ..StepTrace::default() };
         let p = Platform::supernova(2);
         let cfg = SchedulerConfig::default();
         let a = simulate_step(&p, &trace, &cfg);
         let b = simulate_step(&p, &trace, &cfg);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn more_sets_never_hurt(nodes in forest()) {
-        let trace = StepTrace { nodes, ..StepTrace::default() };
+#[test]
+fn more_sets_never_hurt() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x5e22_0000 + case);
+        let trace = StepTrace { nodes: forest(&mut rng), ..StepTrace::default() };
         let cfg = SchedulerConfig::default();
         let one = simulate_step(&Platform::supernova(1), &trace, &cfg).numeric;
         let four = simulate_step(&Platform::supernova(4), &trace, &cfg).numeric;
-        prop_assert!(four <= one * 1.0001, "4 sets {} > 1 set {}", four, one);
+        assert!(four <= one * 1.0001, "case {case}: 4 sets {four} > 1 set {one}");
     }
+}
 
-    #[test]
-    fn parallel_never_beats_critical_path_bound(nodes in forest()) {
+#[test]
+fn parallel_never_beats_critical_path_bound() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x5e33_0000 + case);
         // The scheduled time can never be shorter than the single most
         // expensive node at maximal parallelism — a basic sanity bound.
-        let trace = StepTrace { nodes: nodes.clone(), ..StepTrace::default() };
+        let trace = StepTrace { nodes: forest(&mut rng), ..StepTrace::default() };
         let p = Platform::supernova(4);
         let t = simulate_step(&p, &trace, &SchedulerConfig::default()).numeric;
-        prop_assert!(t > 0.0 && t.is_finite());
+        assert!(t > 0.0 && t.is_finite(), "case {case}");
         // And serial time is an upper bound.
-        let serial = simulate_step(&Platform::supernova(1), &trace, &SchedulerConfig::serial()).numeric;
-        prop_assert!(t <= serial * 1.0001, "parallel {} > serial {}", t, serial);
+        let serial =
+            simulate_step(&Platform::supernova(1), &trace, &SchedulerConfig::serial()).numeric;
+        assert!(t <= serial * 1.0001, "case {case}: parallel {t} > serial {serial}");
     }
+}
 
-    #[test]
-    fn node_queue_completes_every_node_once(nodes in forest()) {
-        let mut q = NodeQueue::new(
-            &nodes.iter().map(|w| (w.node, w.parent)).collect::<Vec<_>>(),
-        );
+#[test]
+fn node_queue_completes_every_node_once() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x5e44_0000 + case);
+        let nodes = forest(&mut rng);
+        let mut q =
+            NodeQueue::new(&nodes.iter().map(|w| (w.node, w.parent)).collect::<Vec<_>>());
         let mut completed = 0usize;
         while !q.all_done() {
             let ready = q.ready().to_vec();
-            prop_assert!(!ready.is_empty(), "deadlock with {} remaining", q.remaining());
+            assert!(!ready.is_empty(), "case {case}: deadlock with {} remaining", q.remaining());
             for id in ready {
                 q.take(id);
                 q.complete(id);
                 completed += 1;
             }
         }
-        prop_assert_eq!(completed, nodes.len());
+        assert_eq!(completed, nodes.len(), "case {case}");
     }
 }

@@ -236,6 +236,7 @@ impl IncrementalCore {
     /// cost estimation or factorization.
     pub fn analyze(&mut self) -> &SymbolicFactor {
         self.sym = Some(SymbolicFactor::analyze(&self.pattern, self.relax));
+        // lint: allow(unwrap) — sym assigned on the line above
         self.sym.as_ref().expect("just set")
     }
 
@@ -355,6 +356,7 @@ impl IncrementalCore {
     ///
     /// Panics if `analyze` has not been called for the current structure.
     pub fn factorize_and_solve(&mut self) -> StepTrace {
+        // lint: allow(unwrap) — documented panic: analyze() must precede this call
         let sym = self.sym.as_ref().expect("analyze() before factorize_and_solve()");
         let dirty: Vec<usize> = self.dirty.iter().copied().collect();
 
@@ -398,6 +400,7 @@ impl IncrementalCore {
                 }
             }
         }
+        // lint: allow(unwrap) — documented panic: factorize before solve
         let num = self.num.as_ref().expect("factorized");
         let solve_ops = num.solve_in_place(sym, &mut g);
         self.delta = g;

@@ -1,7 +1,7 @@
 //! Resource-Aware Incremental Smoothing and Mapping (RA-ISAM2, §4.1) — the
 //! paper's core algorithmic contribution.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use supernova_factors::{Factor, Key, Values, Variable};
@@ -119,6 +119,7 @@ impl OnlineSolver for RaIsam2 {
         // Relinearization does not change the sparsity structure, so one
         // symbolic analysis serves both cost estimation and factorization.
         self.core.analyze();
+        // lint: allow(unwrap) — core.analyze() ran earlier in this update
         let sym = self.core.symbolic().expect("analyzed").clone();
         let node_bytes = self.core.node_factor_bytes(&sym);
         let node_cost = |s: usize| {
@@ -133,7 +134,7 @@ impl OnlineSolver for RaIsam2 {
         } else {
             (0..sym.nodes().len()).collect()
         };
-        let mut visited: HashSet<usize> = sym.ancestor_closure(mandatory).into_iter().collect();
+        let mut visited: BTreeSet<usize> = sym.ancestor_closure(mandatory).into_iter().collect();
         let mandatory_list: Vec<usize> = visited.iter().copied().collect();
         let (pending_elems, pending_factors) = self.core.pending_relin();
         let mut spent = mandatory_list.iter().map(|&s| node_cost(s)).sum::<f64>()
@@ -148,10 +149,11 @@ impl OnlineSolver for RaIsam2 {
             .map(|k| (k, self.core.relevance(k)))
             .filter(|&(_, s)| s > self.config.beta)
             .collect();
+        // lint: allow(unwrap) — scores are sums of finite residuals
         candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
 
         let mut selected: Vec<Key> = Vec::new();
-        let mut selected_factors: HashSet<usize> = HashSet::new();
+        let mut selected_factors: BTreeSet<usize> = BTreeSet::new();
         let mut deferred = 0usize;
         for (ci, &(cand, _)) in candidates.iter().enumerate() {
             if spent >= budget {
@@ -164,7 +166,7 @@ impl OnlineSolver for RaIsam2 {
             let mut affected = self.core.graph().neighbors(cand);
             affected.push(cand);
             let mut marginal_nodes: Vec<usize> = Vec::new();
-            let mut probe: HashSet<usize> = HashSet::new();
+            let mut probe: BTreeSet<usize> = BTreeSet::new();
             for u in &affected {
                 let mut cur = Some(sym.node_of_block(self.core.block_of_key(*u)));
                 while let Some(s) = cur {

@@ -1,19 +1,20 @@
-//! Solver-level property tests on random pose graphs: the incremental
+//! Solver-level randomized tests on random pose graphs: the incremental
 //! solvers must land on (nearly) the batch optimum, and the resource-aware
-//! solver with an unconstrained budget must behave like ISAM2.
+//! solver with an unconstrained budget must behave like ISAM2. Seeded
+//! loops over the in-tree PRNG keep every case reproducible offline.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
 use supernova_factors::{BetweenFactor, Factor, Key, NoiseModel, PriorFactor, Se2, Variable};
 use supernova_hw::Platform;
+use supernova_linalg::rng::XorShift64;
 use supernova_runtime::CostModel;
-use supernova_solvers::{
-    BatchSolver, Isam2, Isam2Config, OnlineSolver, RaIsam2, RaIsam2Config,
-};
+use supernova_solvers::{BatchSolver, Isam2, Isam2Config, OnlineSolver, RaIsam2, RaIsam2Config};
+
+const CASES: u64 = 32;
 
 /// A random planar trajectory: headings and step lengths, plus loop-closure
-/// offsets, all seeded by proptest.
+/// offsets.
 #[derive(Clone, Debug)]
 struct Scenario {
     truth: Vec<Se2>,
@@ -22,42 +23,27 @@ struct Scenario {
     noise_seed: u64,
 }
 
-fn scenario() -> impl Strategy<Value = Scenario> {
-    (6usize..=18)
-        .prop_flat_map(|n| {
-            (
-                proptest::collection::vec(-0.6f64..0.6, n),
-                proptest::collection::vec((0usize..100, 3usize..100), 0..3),
-                any::<u64>(),
-            )
-                .prop_map(move |(turns, raw_lc, noise_seed)| {
-                    let mut truth = vec![Se2::identity()];
-                    for t in turns.iter().take(n - 1) {
-                        let prev = *truth.last().expect("nonempty");
-                        truth.push(prev.compose(Se2::new(1.0, 0.0, *t)));
-                    }
-                    let closures = raw_lc
-                        .into_iter()
-                        .filter_map(|(a, gap)| {
-                            let to = n - 1;
-                            let from = a % n;
-                            let _ = gap;
-                            (to > from + 2).then_some((from, to))
-                        })
-                        .collect();
-                    Scenario { truth, closures, noise_seed }
-                })
-        })
+fn scenario(rng: &mut XorShift64) -> Scenario {
+    let n = 6 + rng.gen_index(13);
+    let mut truth = vec![Se2::identity()];
+    for _ in 0..n - 1 {
+        let prev = *truth.last().expect("nonempty");
+        truth.push(prev.compose(Se2::new(1.0, 0.0, rng.gen_range(-0.6, 0.6))));
+    }
+    let mut closures = Vec::new();
+    for _ in 0..rng.gen_index(3) {
+        let to = n - 1;
+        let from = rng.gen_index(n);
+        if to > from + 2 {
+            closures.push((from, to));
+        }
+    }
+    Scenario { truth, closures, noise_seed: rng.next_u64() }
 }
 
 fn drive(solver: &mut dyn OnlineSolver, sc: &Scenario) {
-    let mut state = sc.noise_seed | 1;
-    let mut noise = move |s: f64| {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        ((state as f64 / u64::MAX as f64) - 0.5) * 2.0 * s
-    };
+    let mut noise_rng = XorShift64::seed_from_u64(sc.noise_seed);
+    let mut noise = move |s: f64| noise_rng.gen_range(-s, s);
     let n = sc.truth.len();
     for i in 0..n {
         let mut factors: Vec<Arc<dyn Factor>> = Vec::new();
@@ -98,24 +84,28 @@ fn drive(solver: &mut dyn OnlineSolver, sc: &Scenario) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn isam2_lands_near_the_batch_optimum(sc in scenario()) {
+#[test]
+fn isam2_lands_near_the_batch_optimum() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x501e_0000 + case);
+        let sc = scenario(&mut rng);
         let mut solver = Isam2::new(Isam2Config::default());
         drive(&mut solver, &sc);
         let incremental = solver.estimate();
         let (batch, stats) = BatchSolver::default().solve(solver.core().graph(), &incremental);
-        prop_assert!(stats.converged);
+        assert!(stats.converged, "case {case}");
         for (k, v) in incremental.iter() {
             let d = v.translation_distance(batch.get(k));
-            prop_assert!(d < 0.05, "pose {} deviates {} from batch", k, d);
+            assert!(d < 0.05, "case {case}: pose {k} deviates {d} from batch");
         }
     }
+}
 
-    #[test]
-    fn unconstrained_ra_matches_isam2(sc in scenario()) {
+#[test]
+fn unconstrained_ra_matches_isam2() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x501f_0000 + case);
+        let sc = scenario(&mut rng);
         let mut inc = Isam2::new(Isam2Config::default());
         drive(&mut inc, &sc);
         let cost = Arc::new(CostModel::new(Platform::supernova(2)));
@@ -124,17 +114,21 @@ proptest! {
             cost,
         );
         drive(&mut ra, &sc);
-        prop_assert_eq!(ra.last_deferred(), 0);
+        assert_eq!(ra.last_deferred(), 0, "case {case}");
         let a = inc.estimate();
         let b = ra.estimate();
         for (k, v) in a.iter() {
             let d = v.translation_distance(b.get(k));
-            prop_assert!(d < 1e-6, "pose {} differs by {}", k, d);
+            assert!(d < 1e-6, "case {case}: pose {k} differs by {d}");
         }
     }
+}
 
-    #[test]
-    fn isam2_error_is_near_optimal(sc in scenario()) {
+#[test]
+fn isam2_error_is_near_optimal() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x5020_0000 + case);
+        let sc = scenario(&mut rng);
         // The incremental solution's weighted graph error must be close to
         // the batch optimum's (single-GN-step-per-frame cannot do better
         // than the optimum, and should not be far worse).
@@ -143,11 +137,9 @@ proptest! {
         let inc_err = solver.core().current_error2();
         let (batch, _) = BatchSolver::default().solve(solver.core().graph(), &solver.estimate());
         let batch_err = solver.core().graph().total_error2(&batch);
-        prop_assert!(
+        assert!(
             inc_err <= batch_err * 1.5 + 1e-3,
-            "incremental error {} far above optimum {}",
-            inc_err,
-            batch_err
+            "case {case}: incremental error {inc_err} far above optimum {batch_err}"
         );
     }
 }

@@ -1,6 +1,6 @@
 //! Numeric multifrontal factorization with incremental re-factorization.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -146,7 +146,7 @@ impl NumericFactor {
     ) -> Result<RefactorStats, FactorizeError> {
         let num_nodes = sym.nodes().len();
         // Index the previous factorization by first pivot column.
-        let mut old: HashMap<usize, NodeFactor> = HashMap::new();
+        let mut old: BTreeMap<usize, NodeFactor> = BTreeMap::new();
         for nf in std::mem::take(&mut self.nodes).into_iter().flatten() {
             old.insert(nf.sig.0, nf);
         }
@@ -174,6 +174,7 @@ impl NumericFactor {
         for &s in sym.postorder() {
             if !is_recompute[s] {
                 let sig = sym.nodes()[s].signature();
+                // lint: allow(unwrap) — signature match proved the node is cached
                 let nf = old.remove(&sig.0).expect("reused node missing from cache");
                 debug_assert_eq!(nf.sig, sig);
                 nodes[s] = Some(nf);
@@ -201,6 +202,7 @@ impl NumericFactor {
         // Forward: L y = b, children before parents.
         for &s in sym.postorder() {
             let info = &sym.nodes()[s];
+            // lint: allow(unwrap) — postorder guarantees children factored first
             let nf = self.nodes[s].as_ref().expect("missing node factor");
             let m = info.pivot_dim;
             let n = info.rem_dim;
@@ -220,6 +222,7 @@ impl NumericFactor {
         // Backward: Lᵀ x = y, parents before children.
         for &s in sym.postorder().iter().rev() {
             let info = &sym.nodes()[s];
+            // lint: allow(unwrap) — postorder guarantees children factored first
             let nf = self.nodes[s].as_ref().expect("missing node factor");
             let m = info.pivot_dim;
             let n = info.rem_dim;
@@ -246,6 +249,7 @@ impl NumericFactor {
     /// The stored factor columns `[L_A; L_B]` of supernode `s` (rows are the
     /// node's block rows, in `rows` order).
     pub fn node_columns(&self, s: usize) -> &Mat {
+        // lint: allow(unwrap) — node factored before its L block is read
         &self.nodes[s].as_ref().expect("missing node factor").l
     }
 
@@ -277,6 +281,7 @@ impl NumericFactor {
         let n = sym.total_dim();
         let mut l = Mat::zeros(n, n);
         for (s, info) in sym.nodes().iter().enumerate() {
+            // lint: allow(unwrap) — postorder guarantees children factored first
             let nf = self.nodes[s].as_ref().expect("missing node factor");
             let pivot_off = sym.block_offset(info.first_col);
             // Scalar row offsets of the front rows.
@@ -316,7 +321,7 @@ fn compute_node(
     trace.push(Op::Memset { bytes: t * t * 4 });
 
     // Local scalar offset of each front block row.
-    let mut local = HashMap::with_capacity(info.rows.len());
+    let mut local = BTreeMap::new();
     {
         let mut off = 0usize;
         for &br in &info.rows {
@@ -347,6 +352,7 @@ fn compute_node(
     // Extend-add each child's cached update matrix (the merge step).
     for &c in &info.children {
         let child_info = &sym.nodes()[c];
+        // lint: allow(unwrap) — children factored before parent in postorder
         let child = nodes[c].as_ref().expect("child factored after parent");
         let rem = child_info.remainder_rows();
         // Child-local scalar offsets of its remainder rows.

@@ -1,10 +1,13 @@
-//! Property-based tests: random pose-graph-like patterns must factorize to
+//! Randomized tests: random pose-graph-like patterns must factorize to
 //! the same `L` as dense Cholesky, and the incremental path must agree with
-//! from-scratch factorization for any dirty set.
+//! from-scratch factorization for any dirty set. Seeded loops over the
+//! in-tree PRNG keep every case reproducible offline.
 
-use proptest::prelude::*;
+use supernova_linalg::rng::XorShift64;
 use supernova_linalg::{cholesky_in_place, Mat};
 use supernova_sparse::{BlockMat, BlockPattern, NumericFactor, SymbolicFactor};
+
+const CASES: u64 = 64;
 
 #[derive(Clone, Debug)]
 struct Problem {
@@ -14,43 +17,30 @@ struct Problem {
 
 /// A random chain of 3..=10 blocks (dims 1..=3) plus random extra edges —
 /// the shape of an online SLAM Hessian.
-fn problem() -> impl Strategy<Value = Problem> {
-    (3usize..=10)
-        .prop_flat_map(|n| {
-            (
-                proptest::collection::vec(1usize..=3, n),
-                proptest::collection::vec((0usize..n, 0usize..n), 0..=6),
-                any::<u64>(),
-            )
-        })
-        .prop_map(|(dims, extra, seed)| {
-            let n = dims.len();
-            let mut pattern = BlockPattern::new(dims.clone());
-            for i in 0..n - 1 {
-                pattern.add_block_edge(i, i + 1);
-            }
-            for (a, b) in extra {
-                if a != b {
-                    pattern.add_block_edge(a, b);
-                }
-            }
-            let mut state = seed | 1;
-            let mut next = move || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state as f64 / u64::MAX as f64) - 0.5
-            };
-            let mut h = BlockMat::new(dims.clone());
-            for j in 0..n {
-                for &i in pattern.col(j) {
-                    h.add_to_block(i, j, &Mat::from_fn(dims[i], dims[j], |_, _| next() * 0.4));
-                }
-                let deg = pattern.col(j).len() as f64;
-                h.add_to_block(j, j, &Mat::from_diag(&vec![5.0 + 3.0 * deg; dims[j]]));
-            }
-            Problem { pattern, h }
-        })
+fn problem(rng: &mut XorShift64) -> Problem {
+    let n = 3 + rng.gen_index(8);
+    let dims: Vec<usize> = (0..n).map(|_| 1 + rng.gen_index(3)).collect();
+    let mut pattern = BlockPattern::new(dims.clone());
+    for i in 0..n - 1 {
+        pattern.add_block_edge(i, i + 1);
+    }
+    let extra = rng.gen_index(7);
+    for _ in 0..extra {
+        let a = rng.gen_index(n);
+        let b = rng.gen_index(n);
+        if a != b {
+            pattern.add_block_edge(a, b);
+        }
+    }
+    let mut h = BlockMat::new(dims.clone());
+    for j in 0..n {
+        for &i in pattern.col(j) {
+            h.add_to_block(i, j, &Mat::from_fn(dims[i], dims[j], |_, _| rng.gen_range(-0.2, 0.2)));
+        }
+        let deg = pattern.col(j).len() as f64;
+        h.add_to_block(j, j, &Mat::from_diag(&vec![5.0 + 3.0 * deg; dims[j]]));
+    }
+    Problem { pattern, h }
 }
 
 fn dense_l(h: &BlockMat) -> Mat {
@@ -59,11 +49,12 @@ fn dense_l(h: &BlockMat) -> Mat {
     l
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn multifrontal_matches_dense(p in problem(), relax in 0usize..3) {
+#[test]
+fn multifrontal_matches_dense() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x5a10_0000 + case);
+        let p = problem(&mut rng);
+        let relax = rng.gen_index(3);
         let sym = SymbolicFactor::analyze(&p.pattern, relax);
         let num = NumericFactor::factorize(&sym, &p.h).unwrap();
         let got = num.to_dense_l(&sym);
@@ -71,14 +62,22 @@ proptest! {
         let n = sym.total_dim();
         for i in 0..n {
             for j in 0..=i {
-                prop_assert!((got[(i, j)] - want[(i, j)]).abs() < 1e-7,
-                    "L({},{}) {} vs {}", i, j, got[(i, j)], want[(i, j)]);
+                assert!(
+                    (got[(i, j)] - want[(i, j)]).abs() < 1e-7,
+                    "case {case}: L({i},{j}) {} vs {}",
+                    got[(i, j)],
+                    want[(i, j)]
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn solve_matches_dense_solution(p in problem()) {
+#[test]
+fn solve_matches_dense_solution() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x5a20_0000 + case);
+        let p = problem(&mut rng);
         let sym = SymbolicFactor::analyze(&p.pattern, 1);
         let num = NumericFactor::factorize(&sym, &p.h).unwrap();
         let n = sym.total_dim();
@@ -86,19 +85,23 @@ proptest! {
         let mut x = p.h.to_dense().matvec(&x_true);
         num.solve_in_place(&sym, &mut x);
         for i in 0..n {
-            prop_assert!((x[i] - x_true[i]).abs() < 1e-6);
+            assert!((x[i] - x_true[i]).abs() < 1e-6, "case {case} component {i}");
         }
     }
+}
 
-    #[test]
-    fn incremental_refactor_equals_fresh(p in problem(), dirty in proptest::collection::vec(0usize..10, 1..4)) {
+#[test]
+fn incremental_refactor_equals_fresh() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x5a30_0000 + case);
+        let p = problem(&mut rng);
         let sym = SymbolicFactor::analyze(&p.pattern, 0);
         let mut num = NumericFactor::factorize(&sym, &p.h).unwrap();
 
         // Perturb the diagonal of each dirty block and refactor.
         let mut h2 = p.h.clone();
         let nb = p.pattern.num_blocks();
-        let dirty: Vec<usize> = dirty.into_iter().map(|d| d % nb).collect();
+        let dirty: Vec<usize> = (0..1 + rng.gen_index(3)).map(|_| rng.gen_index(nb)).collect();
         for &d in &dirty {
             let dim = p.pattern.block_dims()[d];
             h2.add_to_block(d, d, &Mat::from_diag(&vec![1.0; dim]));
@@ -110,13 +113,18 @@ proptest! {
         let b = fresh.to_dense_l(&sym);
         for i in 0..sym.total_dim() {
             for j in 0..=i {
-                prop_assert!((a[(i, j)] - b[(i, j)]).abs() < 1e-8);
+                assert!((a[(i, j)] - b[(i, j)]).abs() < 1e-8, "case {case} at ({i},{j})");
             }
         }
     }
+}
 
-    #[test]
-    fn refactor_after_growth_equals_fresh(p in problem(), new_dim in 1usize..=3) {
+#[test]
+fn refactor_after_growth_equals_fresh() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::seed_from_u64(0x5a40_0000 + case);
+        let p = problem(&mut rng);
+        let new_dim = 1 + rng.gen_index(3);
         // Grow the problem by one block attached to the last block — the
         // online SLAM step — and check incremental equals fresh.
         let sym0 = SymbolicFactor::analyze(&p.pattern, 0);
@@ -129,7 +137,11 @@ proptest! {
         let mut h = p.h.clone();
         h.push_block(new_dim);
         h.add_to_block(new, new, &Mat::from_diag(&vec![8.0; new_dim]));
-        h.add_to_block(new, last, &Mat::from_fn(new_dim, p.pattern.block_dims()[last], |r, c| 0.1 * (r + c) as f64));
+        h.add_to_block(
+            new,
+            last,
+            &Mat::from_fn(new_dim, p.pattern.block_dims()[last], |r, c| 0.1 * (r + c) as f64),
+        );
 
         let sym1 = SymbolicFactor::analyze(&pattern, 0);
         num.refactor(&sym1, &h, &[last, new]).unwrap();
@@ -138,7 +150,7 @@ proptest! {
         let b = fresh.to_dense_l(&sym1);
         for i in 0..sym1.total_dim() {
             for j in 0..=i {
-                prop_assert!((a[(i, j)] - b[(i, j)]).abs() < 1e-8);
+                assert!((a[(i, j)] - b[(i, j)]).abs() < 1e-8, "case {case} at ({i},{j})");
             }
         }
     }

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Offline CI gate: build, test, then lint + schedule-invariant sweep.
+# No network access required — the workspace has no external dependencies
+# and the lint/invariant pass is the in-tree supernova-analyze binary.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> lint + invariants"
+cargo run -q -p supernova-analyze --bin lint
+
+echo "ci: all gates passed"

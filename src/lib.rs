@@ -27,6 +27,9 @@
 //! assert!(outcome.steps() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use supernova_core as core;
 pub use supernova_datasets as datasets;
 pub use supernova_factors as factors;

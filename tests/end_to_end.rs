@@ -129,3 +129,53 @@ fn incremental_tracks_reference_closely() {
     let rec = run(&ds, SolverKind::Incremental, vec![], Some(&reference));
     assert!(rec.irmse < 0.2, "ISAM2 should track the reference, iRMSE {}", rec.irmse);
 }
+
+/// Drive a solver over the first steps of a dataset and return every
+/// per-step work trace it emits.
+fn collect_traces(ds: &Dataset, kind: SolverKind, steps: usize) -> Vec<supernova::runtime::StepTrace> {
+    use supernova::solvers::OnlineSolver;
+    let mut solver = kind.build(TARGET, 0.05);
+    ds.online_steps()
+        .iter()
+        .take(steps)
+        .map(|step| solver.step(step.truth.clone(), step.factors.clone()))
+        .collect()
+}
+
+#[test]
+fn executed_schedules_satisfy_invariants_on_real_traces() {
+    use supernova::runtime::SchedulerConfig;
+    use supernova_analyze::validate_step;
+
+    let ds = Dataset::m3500_scaled(0.03);
+    let traces = collect_traces(&ds, SolverKind::ResourceAware { sets: 2 }, 30);
+    assert!(!traces.is_empty());
+    for platform in [Platform::supernova(2), Platform::boom()] {
+        for cfg in SchedulerConfig::ablations() {
+            for (i, trace) in traces.iter().enumerate() {
+                if let Err(violations) = validate_step(&platform, trace, &cfg) {
+                    panic!(
+                        "step {i} on {} with {cfg:?} violated invariants: {violations:?}",
+                        platform.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn solver_step_traces_are_reproducible() {
+    let ds = Dataset::cab1_scaled(0.2);
+    let kind = SolverKind::ResourceAware { sets: 2 };
+    let a = collect_traces(&ds, kind, 25);
+    let b = collect_traces(&ds, kind, 25);
+    assert_eq!(a.len(), b.len());
+    for (i, (ta, tb)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(
+            format!("{ta:?}"),
+            format!("{tb:?}"),
+            "step {i}: two identical solver runs must emit byte-identical traces"
+        );
+    }
+}
