@@ -8,10 +8,14 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use supernova_analyze::{lint_workspace, validate_step};
+use supernova_analyze::{lint_workspace, validate_host_schedule, validate_step};
 use supernova_hw::Platform;
 use supernova_linalg::ops::Op;
+use supernova_linalg::Mat;
 use supernova_runtime::{NodeWork, SchedulerConfig, StepTrace};
+use supernova_sparse::{
+    BlockMat, BlockPattern, ExecutionPlan, NumericFactor, ParallelExecutor, SymbolicFactor,
+};
 
 /// The workspace root: this file lives at `crates/analyze/src/bin/lint.rs`.
 fn workspace_root() -> PathBuf {
@@ -48,6 +52,55 @@ fn synthetic_trace() -> StepTrace {
     trace.hessian_ops.push(Op::Memcpy { bytes: 8192 });
     trace.solve_ops.push(Op::Gemv { m: 48, n: 48 });
     trace
+}
+
+/// Factorize a banded-plus-loop SPD system on the real plan executor at
+/// several thread counts (full refactor and an incremental dirty subset)
+/// and validate every resulting [`supernova_sparse::HostSchedule`] for
+/// coverage, happens-before, and per-worker exclusivity.
+fn check_host_schedules() -> Result<usize, String> {
+    let blocks = 24usize;
+    let mut pattern = BlockPattern::new((0..blocks).map(|i| 2 + i % 3).collect());
+    for i in 0..blocks - 1 {
+        pattern.add_block_edge(i, i + 1);
+    }
+    pattern.add_block_edge(0, 9);
+    pattern.add_block_edge(5, 17);
+    pattern.add_block_edge(11, blocks - 1);
+
+    let dims = pattern.block_dims().to_vec();
+    let mut h = BlockMat::new(dims.clone());
+    for j in 0..blocks {
+        for &i in pattern.col(j) {
+            let m = Mat::from_fn(dims[i], dims[j], |r, c| 0.03 * ((r + 3 * c + i + j) as f64));
+            h.add_to_block(i, j, &m);
+        }
+        h.add_to_block(j, j, &Mat::from_diag(&vec![8.0; dims[j]]));
+    }
+
+    let sym = SymbolicFactor::analyze(&pattern, 8);
+    let plan = ExecutionPlan::from_symbolic(&sym);
+    let all: Vec<usize> = (0..blocks).collect();
+    let dirty = vec![3usize, 15];
+
+    let mut checked = 0usize;
+    for threads in [1usize, 2, 4, 8] {
+        let exec = ParallelExecutor::new(threads);
+        let mut num = NumericFactor::empty(&plan);
+        for (label, seeds) in [("full", &all), ("incremental", &dirty)] {
+            let (stats, sched) = num
+                .execute_plan(&plan, &h, seeds, &exec)
+                .map_err(|e| format!("{threads} threads ({label}): factorization failed: {e}"))?;
+            let violations = validate_host_schedule(&plan, &sched, &stats.recomputed_nodes());
+            if !violations.is_empty() {
+                let msgs: Vec<String> =
+                    violations.iter().map(|v| format!("{threads} threads ({label}): {v}")).collect();
+                return Err(msgs.join("\n  "));
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
 }
 
 fn main() -> ExitCode {
@@ -98,6 +151,15 @@ fn main() -> ExitCode {
     }
     if !failed {
         println!("invariants: {checked} schedule(s) clean");
+    }
+
+    println!("host-exec: checking plan-executor schedules");
+    match check_host_schedules() {
+        Ok(n) => println!("host-exec: {n} schedule(s) clean"),
+        Err(msg) => {
+            println!("  {msg}");
+            failed = true;
+        }
     }
 
     if failed {

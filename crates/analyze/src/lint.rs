@@ -15,6 +15,10 @@
 //!   exact structural-zero skips must be marked deliberate.
 //! - **crate-attrs**: every crate root carries `#![forbid(unsafe_code)]`
 //!   and `#![deny(missing_docs)]`.
+//! - **thread-spawn**: no direct `thread::spawn`/`thread::scope` outside
+//!   `sparse`'s executor module — all host parallelism goes through the
+//!   `ParallelExecutor` worker pool so the bit-identical-results argument
+//!   holds everywhere.
 //!
 //! Any line can opt out with `// lint: allow(<rule>)` on the same line or
 //! the line directly above — the escape hatch is the documentation.
@@ -35,6 +39,8 @@ pub enum Rule {
     FloatEq,
     /// Missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]`.
     CrateAttrs,
+    /// `thread::spawn` / `thread::scope` outside the executor module.
+    ThreadSpawn,
 }
 
 impl Rule {
@@ -45,6 +51,7 @@ impl Rule {
             Rule::Unwrap => "unwrap",
             Rule::FloatEq => "float-eq",
             Rule::CrateAttrs => "crate-attrs",
+            Rule::ThreadSpawn => "thread-spawn",
         }
     }
 }
@@ -82,6 +89,10 @@ const HASH_SCOPES: [&str; 4] =
 /// Paths where float equality comparisons are checked (the numeric
 /// kernels).
 const FLOAT_EQ_SCOPES: [&str; 2] = ["crates/linalg/src", "crates/sparse/src"];
+
+/// The one module allowed to spawn OS threads: the plan executor's worker
+/// pool. Everywhere else, host parallelism must go through it.
+const THREAD_SPAWN_EXEMPT: &str = "crates/sparse/src/executor.rs";
 
 fn in_scope(rel: &str, scopes: &[&str]) -> bool {
     scopes.iter().any(|s| rel.starts_with(s))
@@ -305,6 +316,7 @@ pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
     let check_hash = in_scope(rel, &HASH_SCOPES);
     let check_float = in_scope(rel, &FLOAT_EQ_SCOPES);
     let check_unwrap = unwrap_scope(rel);
+    let check_thread_spawn = rel != THREAD_SPAWN_EXEMPT;
     let crate_root = is_crate_root(rel);
 
     let mut lexer = Lexer::new();
@@ -387,6 +399,23 @@ pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
                 message: format!(
                     "unwrap/expect in library code (return an error or document the \
                      panic and allow it): `{}`",
+                    raw.trim()
+                ),
+            });
+        }
+
+        if check_thread_spawn
+            && (stripped.contains("thread::spawn") || stripped.contains("thread::scope"))
+            && !allowed(raw, prev_raw, Rule::ThreadSpawn)
+        {
+            out.push(Violation {
+                file: path.clone(),
+                line: lineno,
+                rule: Rule::ThreadSpawn,
+                message: format!(
+                    "direct thread spawn outside the executor module (route host \
+                     parallelism through sparse::ParallelExecutor so results stay \
+                     bit-identical): `{}`",
                     raw.trim()
                 ),
             });
@@ -529,6 +558,25 @@ mod tests {
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(lint_file("crates/linalg/src/k.rs", "if i == j { }\n").is_empty());
         assert!(lint_file("crates/linalg/src/k.rs", "if n == 0 { }\n").is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_flagged_outside_executor_module() {
+        let spawn = "let h = std::thread::spawn(move || work());\n";
+        let scope = "std::thread::scope(|s| { s.spawn(|| work()); });\n";
+        for src in [spawn, scope] {
+            let v = lint_file("crates/runtime/src/sched.rs", src);
+            assert_eq!(v.iter().filter(|v| v.rule == Rule::ThreadSpawn).count(), 1, "{src}");
+            assert!(lint_file("crates/sparse/src/executor.rs", src)
+                .iter()
+                .all(|v| v.rule != Rule::ThreadSpawn));
+        }
+        // The escape hatch still works.
+        let allowed = "std::thread::spawn(f); // lint: allow(thread-spawn)\n";
+        assert!(lint_file("crates/bench/src/harness.rs", allowed).is_empty());
+        // Test modules are exempt like every other rule.
+        let test_mod = "#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(f); }\n}\n";
+        assert!(lint_file("crates/runtime/src/sched.rs", test_mod).is_empty());
     }
 
     #[test]

@@ -22,6 +22,7 @@ use supernova_runtime::{
     calc_space, simulate_step_traced, step_energy_ledger, ExecTrace, SchedulerConfig, StepEnergy,
     StepLatency, StepTrace, Unit,
 };
+use supernova_sparse::{ExecutionPlan, HostSchedule};
 
 /// The invariant classes the checker enforces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -264,6 +265,103 @@ pub fn validate_exec(trace: &StepTrace, exec: &ExecTrace) -> Vec<ScheduleViolati
     out
 }
 
+/// Checks a **host** execution record against its plan: the same
+/// happens-before, exclusivity and coverage invariants the simulator's
+/// schedules are held to, applied to wall-clock spans actually executed by
+/// the `ParallelExecutor` worker pool.
+///
+/// `recomputed` is the step's recomputed task set (e.g.
+/// `RefactorStats::recomputed_nodes()`); the schedule must cover it
+/// exactly, every parent span must start after each recomputed child's
+/// span ends, and no worker may run two spans at once.
+pub fn validate_host_schedule(
+    plan: &ExecutionPlan,
+    sched: &HostSchedule,
+    recomputed: &[usize],
+) -> Vec<ScheduleViolation> {
+    let mut out = Vec::new();
+    let tol = time_tol(sched.makespan());
+
+    // --- Coverage: exactly the recomputed tasks, each exactly once.
+    let mut want: Vec<usize> = recomputed.to_vec();
+    let mut got: Vec<usize> = sched.spans.iter().map(|s| s.node).collect();
+    want.sort_unstable();
+    got.sort_unstable();
+    if want != got {
+        out.push(ScheduleViolation {
+            invariant: Invariant::Coverage,
+            detail: format!("host schedule ran nodes {got:?} but the step recomputed {want:?}"),
+        });
+        return out; // downstream checks assume coverage
+    }
+
+    let span_of = |id: usize| sched.spans.iter().find(|s| s.node == id);
+
+    // --- Sane spans on valid workers.
+    for s in &sched.spans {
+        if s.end < s.start - tol {
+            out.push(ScheduleViolation {
+                invariant: Invariant::HappensBefore,
+                detail: format!("node {} span ends at {:.3e}s before its start {:.3e}s", s.node, s.end, s.start),
+            });
+        }
+        if s.worker >= sched.workers {
+            out.push(ScheduleViolation {
+                invariant: Invariant::UnitExclusive,
+                detail: format!(
+                    "node {} ran on worker {} of a {}-worker pool",
+                    s.node, s.worker, sched.workers
+                ),
+            });
+        }
+    }
+
+    // --- Happens-before over the plan's elimination forest: a parent span
+    // may not start before any recomputed child's span ends.
+    for s in &sched.spans {
+        for mg in &plan.tasks()[s.node].merges {
+            let Some(child) = span_of(mg.child) else {
+                continue; // reused child: its cached update predates the step
+            };
+            if s.start < child.end - tol {
+                out.push(ScheduleViolation {
+                    invariant: Invariant::HappensBefore,
+                    detail: format!(
+                        "node {} starts at {:.3e}s before child {} ends at {:.3e}s",
+                        s.node, s.start, mg.child, child.end
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- Per-worker exclusivity.
+    for worker in 0..sched.workers {
+        let mut intervals: Vec<(f64, f64, usize)> = sched
+            .spans
+            .iter()
+            .filter(|s| s.worker == worker)
+            .map(|s| (s.start, s.end, s.node))
+            .collect();
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        for w in intervals.windows(2) {
+            let (_, e0, n0) = w[0];
+            let (s1, _, n1) = w[1];
+            if s1 < e0 - tol {
+                out.push(ScheduleViolation {
+                    invariant: Invariant::UnitExclusive,
+                    detail: format!(
+                        "worker {worker} runs node {n0} until {e0:.3e}s but node {n1} \
+                         starts at {s1:.3e}s"
+                    ),
+                });
+            }
+        }
+    }
+
+    out
+}
+
 /// Checks an energy ledger for conservation against a per-op recomputation
 /// under `platform`'s energy model: the ledger's total must equal the sum
 /// of per-op joules, and its op count must match the trace.
@@ -479,6 +577,104 @@ mod tests {
             v.iter().any(|v| v.invariant == Invariant::EnergyConservation),
             "expected energy-conservation violation, got {v:?}"
         );
+    }
+
+    mod host {
+        use super::super::*;
+        use supernova_linalg::Mat;
+        use supernova_sparse::{
+            BlockMat, BlockPattern, NumericFactor, ParallelExecutor, SymbolicFactor,
+        };
+
+        /// A loopy SPD system plus its plan, factor inputs and executor run.
+        fn run(threads: usize) -> (ExecutionPlan, HostSchedule, Vec<usize>) {
+            let mut p = BlockPattern::new(vec![2, 3, 1, 2, 2, 3, 1, 2]);
+            for i in 0..7 {
+                p.add_block_edge(i, i + 1);
+            }
+            p.add_block_edge(0, 5);
+            p.add_block_edge(2, 7);
+            let sym = SymbolicFactor::analyze(&p, 0);
+            let plan = ExecutionPlan::from_symbolic(&sym);
+            let dims = p.block_dims().to_vec();
+            let mut h = BlockMat::new(dims.clone());
+            for j in 0..p.num_blocks() {
+                for &i in p.col(j) {
+                    let m = Mat::from_fn(dims[i], dims[j], |r, c| 0.05 * ((r + 2 * c) as f64));
+                    h.add_to_block(i, j, &m);
+                }
+                h.add_to_block(j, j, &Mat::from_diag(&vec![6.0; dims[j]]));
+            }
+            let all: Vec<usize> = (0..p.num_blocks()).collect();
+            let mut num = NumericFactor::empty(&plan);
+            let (stats, sched) = num
+                .execute_plan(&plan, &h, &all, &ParallelExecutor::new(threads))
+                .expect("SPD fixture");
+            (plan, sched, stats.recomputed_nodes())
+        }
+
+        #[test]
+        fn host_schedules_validate_at_every_thread_count() {
+            for threads in [1usize, 2, 4] {
+                let (plan, sched, recomputed) = run(threads);
+                let v = validate_host_schedule(&plan, &sched, &recomputed);
+                assert!(v.is_empty(), "{threads} threads: {v:?}");
+            }
+        }
+
+        #[test]
+        fn parent_starting_early_is_rejected() {
+            let (plan, mut sched, recomputed) = run(2);
+            // Corrupt: drag the last-started span (a root-side parent whose
+            // children all ran) back to before time zero.
+            let last = sched
+                .spans
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.start.total_cmp(&b.start))
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            let w = sched.spans[last].end - sched.spans[last].start;
+            sched.spans[last].start = -1.0;
+            sched.spans[last].end = -1.0 + w;
+            let v = validate_host_schedule(&plan, &sched, &recomputed);
+            assert!(
+                v.iter().any(|v| v.invariant == Invariant::HappensBefore),
+                "expected happens-before violation, got {v:?}"
+            );
+        }
+
+        #[test]
+        fn worker_overlap_is_rejected() {
+            let (plan, mut sched, recomputed) = run(1);
+            // Corrupt: put every span on worker 0 at the same interval.
+            for s in &mut sched.spans {
+                s.start = 0.0;
+                s.end = 1.0;
+            }
+            let v = validate_host_schedule(&plan, &sched, &recomputed);
+            assert!(
+                v.iter().any(|v| v.invariant == Invariant::UnitExclusive)
+                    || v.iter().any(|v| v.invariant == Invariant::HappensBefore),
+                "expected a violation, got {v:?}"
+            );
+        }
+
+        #[test]
+        fn missing_or_foreign_span_is_rejected() {
+            let (plan, mut sched, recomputed) = run(2);
+            sched.spans.pop();
+            let v = validate_host_schedule(&plan, &sched, &recomputed);
+            assert!(v.iter().any(|v| v.invariant == Invariant::Coverage), "got {v:?}");
+        }
+
+        #[test]
+        fn out_of_pool_worker_is_rejected() {
+            let (plan, mut sched, recomputed) = run(2);
+            sched.spans[0].worker = sched.workers + 3;
+            let v = validate_host_schedule(&plan, &sched, &recomputed);
+            assert!(v.iter().any(|v| v.invariant == Invariant::UnitExclusive), "got {v:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! `determinism` — the CI gate proving parallel host factorization is
+//! bit-identical to serial execution.
+//!
+//! ```text
+//! cargo run --release -p supernova-bench --bin determinism
+//! ```
+//!
+//! Replays three datasets online through iSAM2 once per executor thread
+//! count (1, 2, 4). After every step the cached `NumericFactor` is
+//! serialized to canonical bytes and hashed; at the end of the replay the
+//! full byte strings and the estimated trajectories are kept. A parallel
+//! run passes only if
+//!
+//! - every per-step hash matches the serial run (the factor never diverges,
+//!   even transiently),
+//! - the final serialized factor is byte-for-byte identical, and
+//! - the final trajectory estimate is bit-identical (`f64::to_bits`).
+//!
+//! Exits nonzero on the first mismatch, printing the dataset, thread count
+//! and step. See DESIGN.md "Plan/exec split & host parallelism" for why
+//! equality is exact rather than within-tolerance.
+
+use std::process::ExitCode;
+
+use supernova_datasets::Dataset;
+use supernova_factors::{Key, Variable};
+use supernova_solvers::{Isam2, Isam2Config, OnlineSolver};
+use supernova_sparse::ParallelExecutor;
+
+/// FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One replay: per-step factor hashes, final factor bytes, final estimate.
+/// `Variable` derives `PartialEq` over exact `f64` values, so comparing
+/// estimates across runs is an exact-equality check, not a tolerance.
+struct Replay {
+    step_hashes: Vec<u64>,
+    final_bytes: Vec<u8>,
+    estimate: Vec<Variable>,
+}
+
+fn replay(dataset: &Dataset, threads: usize) -> Replay {
+    let mut solver = Isam2::new(Isam2Config::default());
+    solver.core_mut().set_executor(ParallelExecutor::new(threads));
+    let mut step_hashes = Vec::new();
+    for step in &dataset.online_steps() {
+        solver.step(step.truth.clone(), step.factors.clone());
+        let bytes = solver.core().numeric_bytes().unwrap_or_default();
+        step_hashes.push(fnv1a(&bytes));
+    }
+    let final_bytes = solver.core().numeric_bytes().unwrap_or_default();
+    let estimate =
+        (0..solver.core().num_vars()).map(|i| solver.core().pose_estimate(Key(i))).collect();
+    Replay { step_hashes, final_bytes, estimate }
+}
+
+fn check(dataset: &Dataset) -> Result<(), String> {
+    let name = dataset.name();
+    eprintln!("{name}: {} steps", dataset.num_steps());
+    let serial = replay(dataset, 1);
+    for threads in [2usize, 4] {
+        let run = replay(dataset, threads);
+        for (step, (a, b)) in serial.step_hashes.iter().zip(&run.step_hashes).enumerate() {
+            if a != b {
+                return Err(format!(
+                    "{name}: {threads}-thread factor diverges from serial at step {step}"
+                ));
+            }
+        }
+        if run.final_bytes != serial.final_bytes {
+            return Err(format!(
+                "{name}: {threads}-thread final factor differs from serial \
+                 ({} vs {} bytes)",
+                run.final_bytes.len(),
+                serial.final_bytes.len()
+            ));
+        }
+        if run.estimate != serial.estimate {
+            return Err(format!(
+                "{name}: {threads}-thread trajectory estimate is not bit-identical to serial"
+            ));
+        }
+        eprintln!(
+            "  {threads} threads: {} steps, {} factor bytes, {} poses — identical",
+            run.step_hashes.len(),
+            run.final_bytes.len(),
+            run.estimate.len()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let datasets = [
+        Dataset::m3500_scaled(0.06),
+        Dataset::sphere_scaled(0.12),
+        Dataset::cab1_scaled(0.2),
+    ];
+    for dataset in &datasets {
+        if let Err(msg) = check(dataset) {
+            eprintln!("determinism: FAIL: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("determinism: all factors and estimates bit-identical across 1/2/4 threads");
+    ExitCode::SUCCESS
+}

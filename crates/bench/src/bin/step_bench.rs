@@ -1,0 +1,161 @@
+//! `step_bench` — host wall-time of the plan-driven numeric pipeline,
+//! serial vs. parallel, plus the virtual-time cost of the same traces on
+//! the SuperNoVA SoC.
+//!
+//! Gated behind the `bench-harness` feature:
+//!
+//! ```text
+//! cargo run --release -p supernova-bench --features bench-harness --bin step_bench
+//! ```
+//!
+//! Replays each dataset online through iSAM2 with the host executor pinned
+//! to 1, 2 and 4 threads, and writes `results/BENCH_step_latency.json`
+//! with, per dataset and thread count:
+//!
+//! - measured host wall-time of the replay (whole backend, dominated by
+//!   plan execution) and of the final full refactor alone;
+//! - the simulated SuperNoVA-2S numeric latency and SoC cycles (identical
+//!   across thread counts — the numeric results are bit-identical, so the
+//!   priced trace is too);
+//! - the plan's modeled subtree-parallel speedup
+//!   (`total_cost / critical_path_cost`), which is what the measured
+//!   speedup converges to given enough host cores.
+//!
+//! `host_cpus` is recorded so a reader can tell whether the measured
+//! speedup was core-limited (e.g. a 1-CPU CI container cannot show any
+//! wall-time win regardless of the plan's parallelism).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use supernova_datasets::Dataset;
+use supernova_factors::Key;
+use supernova_hw::Platform;
+use supernova_runtime::{simulate_step, SchedulerConfig};
+use supernova_solvers::{Isam2, Isam2Config, OnlineSolver};
+use supernova_sparse::ParallelExecutor;
+
+/// One measured replay.
+struct Run {
+    threads: usize,
+    /// Wall seconds for the full online replay.
+    wall_s: f64,
+    /// Wall seconds for one full (all-nodes-dirty) refactor at the end.
+    refactor_wall_s: f64,
+    /// Simulated SuperNoVA-2S numeric seconds summed over steps.
+    sim_numeric_s: f64,
+    /// The same, in SoC cycles.
+    sim_cycles: f64,
+    /// Plan-modeled subtree parallelism of the final tree.
+    modeled_speedup: f64,
+}
+
+fn replay(dataset: &Dataset, threads: usize) -> Run {
+    let platform = Platform::supernova(2);
+    let sched = SchedulerConfig::default();
+    let mut solver = Isam2::new(Isam2Config::default());
+    solver.core_mut().set_executor(ParallelExecutor::new(threads));
+
+    let steps = dataset.online_steps();
+    let mut sim_numeric_s = 0.0;
+    let t0 = Instant::now();
+    for step in &steps {
+        let trace = solver.step(step.truth.clone(), step.factors.clone());
+        sim_numeric_s += simulate_step(&platform, &trace, &sched).numeric;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // One all-variables-dirty step on the final system: the heaviest
+    // single plan execution the replay can produce.
+    let keys: Vec<Key> = (0..solver.core().num_vars()).map(Key).collect();
+    solver.core_mut().relinearize_vars(&keys);
+    let t1 = Instant::now();
+    let _ = solver.core_mut().factorize_and_solve();
+    let refactor_wall_s = t1.elapsed().as_secs_f64();
+
+    let modeled_speedup = solver
+        .core()
+        .plan()
+        .map(|p| p.total_cost() as f64 / p.critical_path_cost().max(1) as f64)
+        .unwrap_or(1.0);
+    Run {
+        threads,
+        wall_s,
+        refactor_wall_s,
+        sim_numeric_s,
+        sim_cycles: sim_numeric_s * platform.soc().freq_hz,
+        modeled_speedup,
+    }
+}
+
+fn main() {
+    let datasets = [
+        Dataset::m3500_scaled(0.12),
+        Dataset::sphere_scaled(0.2),
+        Dataset::cab1_scaled(0.3),
+    ];
+    let thread_counts = [1usize, 2, 4];
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"step_latency\",");
+    let _ = writeln!(out, "  \"sim_platform\": \"supernova-2s\",");
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
+    out.push_str("  \"datasets\": [\n");
+
+    for (d, dataset) in datasets.iter().enumerate() {
+        eprintln!("{}: {} steps", dataset.name(), dataset.num_steps());
+        let runs: Vec<Run> = thread_counts.iter().map(|&t| replay(dataset, t)).collect();
+        let serial = runs[0].wall_s;
+        let serial_refactor = runs[0].refactor_wall_s;
+
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", dataset.name());
+        let _ = writeln!(out, "      \"steps\": {},", dataset.num_steps());
+        let _ = writeln!(
+            out,
+            "      \"modeled_critical_path_speedup\": {:.4},",
+            runs.last().map(|r| r.modeled_speedup).unwrap_or(1.0)
+        );
+        out.push_str("      \"runs\": [\n");
+        for (i, r) in runs.iter().enumerate() {
+            let _ = writeln!(out, "        {{");
+            let _ = writeln!(out, "          \"threads\": {},", r.threads);
+            let _ = writeln!(out, "          \"host_wall_s\": {:.6},", r.wall_s);
+            let _ = writeln!(out, "          \"host_refactor_wall_s\": {:.6},", r.refactor_wall_s);
+            let _ = writeln!(out, "          \"speedup_vs_serial\": {:.4},", serial / r.wall_s);
+            let _ = writeln!(
+                out,
+                "          \"refactor_speedup_vs_serial\": {:.4},",
+                serial_refactor / r.refactor_wall_s
+            );
+            let _ = writeln!(out, "          \"sim_numeric_s\": {:.9},", r.sim_numeric_s);
+            let _ = writeln!(out, "          \"sim_cycles\": {:.0}", r.sim_cycles);
+            let comma = if i + 1 < runs.len() { "," } else { "" };
+            let _ = writeln!(out, "        }}{comma}");
+        }
+        out.push_str("      ]\n");
+        let comma = if d + 1 < datasets.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+
+        for r in &runs {
+            eprintln!(
+                "  {} threads: wall {:.3}s (refactor {:.4}s, {:.2}x), sim numeric {:.4}s, \
+                 modeled {:.2}x",
+                r.threads,
+                r.wall_s,
+                r.refactor_wall_s,
+                serial_refactor / r.refactor_wall_s,
+                r.sim_numeric_s,
+                r.modeled_speedup
+            );
+        }
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_step_latency.json", &out)
+        .expect("write results/BENCH_step_latency.json");
+    eprintln!("wrote results/BENCH_step_latency.json");
+}

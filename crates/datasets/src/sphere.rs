@@ -103,20 +103,36 @@ pub(crate) fn generate(steps: usize, seed: u64) -> Dataset {
 }
 
 impl Dataset {
+    /// The xorshift seed behind [`Dataset::sphere`] and
+    /// [`Dataset::sphere_scaled`]. Every Sphere variant is a pure function
+    /// of `(steps, seed)`, so bench results on these workloads are
+    /// reproducible by construction.
+    pub const SPHERE_SEED: u64 = 0x59e8e5;
+
     /// The Sphere workload: 2500 poses in 50 rings with a vertical loop
     /// closure at every step (paper statistic: 2.5K steps, 4949 edges).
+    /// Deterministic: `sphere_seeded(2500, Dataset::SPHERE_SEED)`.
     pub fn sphere() -> Dataset {
-        generate(2500, 0x59e8e5)
+        Self::sphere_seeded(2500, Self::SPHERE_SEED)
     }
 
-    /// Sphere scaled to `fraction` of its steps.
+    /// Sphere scaled to `fraction` of its steps. Uses the same
+    /// [`Dataset::SPHERE_SEED`] stream.
     ///
     /// # Panics
     ///
     /// Panics unless `0 < fraction <= 1`.
     pub fn sphere_scaled(fraction: f64) -> Dataset {
         assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
-        generate(((2500.0 * fraction) as usize).max(4), 0x59e8e5)
+        Self::sphere_seeded(((2500.0 * fraction) as usize).max(4), Self::SPHERE_SEED)
+    }
+
+    /// A Sphere workload of `steps` poses driven by the given `XorShift64`
+    /// seed. Equal `(steps, seed)` pairs generate identical datasets, down
+    /// to the noise draws; distinct seeds generate distinct worlds with the
+    /// same ring geometry.
+    pub fn sphere_seeded(steps: usize, seed: u64) -> Dataset {
+        generate(steps, seed)
     }
 }
 
@@ -132,6 +148,22 @@ mod tests {
         // exactly the paper's edge count.
         assert_eq!(ds.num_edges(), 4949);
         assert_eq!(ds.num_loop_closures(), 2450);
+    }
+
+    #[test]
+    fn seeded_constructor_reproduces_across_seeds() {
+        for seed in [Dataset::SPHERE_SEED, 3, 0xfeed_f00d] {
+            let a = Dataset::sphere_seeded(72, seed);
+            let b = Dataset::sphere_seeded(72, seed);
+            assert_eq!(a.to_g2o(), b.to_g2o(), "seed {seed:#x} not reproducible");
+            assert_eq!(a.num_steps(), 72);
+            assert!(a.num_edges() >= 71, "seed {seed:#x}: missing odometry edges");
+        }
+        let a = Dataset::sphere_seeded(72, 3);
+        let b = Dataset::sphere_seeded(72, 4);
+        assert_ne!(a.to_g2o(), b.to_g2o(), "distinct seeds must differ");
+        assert_eq!(Dataset::sphere_scaled(72.0 / 2500.0).to_g2o(),
+            Dataset::sphere_seeded(72, Dataset::SPHERE_SEED).to_g2o());
     }
 
     #[test]

@@ -131,6 +131,16 @@ impl Mat {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
 
+    /// Reshapes to `rows × cols` with every entry zeroed, reusing the
+    /// existing allocation when capacity allows — the workspace primitive
+    /// of the plan executor's per-worker frontal buffers.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Returns a newly allocated transpose.
     pub fn transposed(&self) -> Mat {
         Mat::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
@@ -172,6 +182,49 @@ impl Mat {
             for r in 0..src.rows {
                 self[(row + r, col + c)] += src[(r, c)];
             }
+        }
+    }
+
+    /// Adds the `rows × cols` sub-block of `src` at `(src_row, src_col)`
+    /// into this matrix at `(dst_row, dst_col)`, without materializing the
+    /// sub-block — the allocation-free extend-add kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either block extends past its matrix bounds.
+    pub fn add_block_from(
+        &mut self,
+        dst_row: usize,
+        dst_col: usize,
+        src: &Mat,
+        src_row: usize,
+        src_col: usize,
+        rows: usize,
+        cols: usize,
+    ) {
+        assert!(dst_row + rows <= self.rows && dst_col + cols <= self.cols);
+        assert!(src_row + rows <= src.rows && src_col + cols <= src.cols);
+        for c in 0..cols {
+            let sc = src.col(src_col + c);
+            let dc = self.col_mut(dst_col + c);
+            for r in 0..rows {
+                dc[dst_row + r] += sc[src_row + r];
+            }
+        }
+    }
+
+    /// Copies the `rows × cols` sub-block at `(row, col)` into `out`,
+    /// resizing `out` as needed but reusing its allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block extends past the matrix bounds.
+    pub fn block_into(&self, row: usize, col: usize, rows: usize, cols: usize, out: &mut Mat) {
+        assert!(row + rows <= self.rows && col + cols <= self.cols);
+        out.reset(rows, cols);
+        for c in 0..cols {
+            let sc = self.col(col + c);
+            out.col_mut(c).copy_from_slice(&sc[row..row + rows]);
         }
     }
 
@@ -316,6 +369,35 @@ mod tests {
         m.add_block(1, 2, &b);
         assert_eq!(m[(2, 3)], 8.0);
         assert_eq!(m.block(1, 2, 2, 2)[(0, 1)], 4.0);
+    }
+
+    #[test]
+    fn reset_reuses_allocation_and_zeroes() {
+        let mut m = Mat::from_rows(3, 3, &[1.0; 9]);
+        let ptr = m.as_slice().as_ptr();
+        m.reset(2, 4);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 4);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(m.as_slice().as_ptr(), ptr, "reset within capacity must not reallocate");
+    }
+
+    #[test]
+    fn add_block_from_matches_block_then_add() {
+        let src = Mat::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        let mut a = Mat::zeros(5, 5);
+        let mut b = Mat::zeros(5, 5);
+        a.add_block(1, 2, &src.block(1, 0, 2, 3));
+        b.add_block_from(1, 2, &src, 1, 0, 2, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn block_into_matches_block() {
+        let src = Mat::from_fn(4, 3, |r, c| (10 * r + c) as f64);
+        let mut out = Mat::zeros(1, 1);
+        src.block_into(1, 1, 3, 2, &mut out);
+        assert_eq!(out, src.block(1, 1, 3, 2));
     }
 
     #[test]

@@ -48,4 +48,4 @@ pub use exec::{ExecTrace, NodeExec, OpExec, Phase, Unit};
 pub use queue::NodeQueue;
 pub use sched::{simulate_step, simulate_step_traced, SchedulerConfig, StepLatency};
 pub use space::calc_space;
-pub use trace::{NodeWork, StepTrace};
+pub use trace::{node_work_from_plan, NodeWork, StepTrace};

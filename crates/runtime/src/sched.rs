@@ -1,7 +1,7 @@
 //! The virtual-time step scheduler (Algorithm 2 and §4.3.1–4.3.2).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use supernova_hw::Platform;
 use supernova_linalg::ops::Op;
@@ -482,10 +482,11 @@ fn accelerated_numeric<R: Recorder>(
             BinaryHeap::new();
         let to_fixed = |t: f64| (t * 1e15) as u64; // femtosecond grid keeps ordering exact
         let mut now = 0.0f64;
-        // Free lists of concrete unit ids, kept sorted so grants always
-        // take the lowest ids first (deterministic placement).
-        let mut idle_threads: Vec<usize> = (0..threads).collect();
-        let mut idle_sets: Vec<usize> = (0..sets).collect();
+        // Free sets of concrete unit ids; ordered sets make "grant the
+        // lowest ids first" an O(log n) pop instead of the old
+        // remove(0)-then-re-sort, which was O(n²) across a step's events.
+        let mut idle_threads: BTreeSet<usize> = (0..threads).collect();
+        let mut idle_sets: BTreeSet<usize> = (0..sets).collect();
         let mut llc_free = llc;
 
         loop {
@@ -536,8 +537,9 @@ fn accelerated_numeric<R: Recorder>(
                 };
                 let k = k.min(idle_sets.len());
                 queue.take(id);
-                let grant: Vec<usize> = idle_sets.drain(..k).collect();
-                let tid = idle_threads.remove(0);
+                let grant: Vec<usize> = (0..k).filter_map(|_| idle_sets.pop_first()).collect();
+                // lint: allow(unwrap) — loop guard proved the set non-empty
+                let tid = idle_threads.pop_first().expect("idle thread available");
                 let slot = NodeSlot { node: id, start: t0 + now, sets: &grant, cpu_tile: tid };
                 let dur = node_duration(platform, works[&id], k, fits, cfg, Some(&slot), rec);
                 rec.node(NodeExec {
@@ -556,10 +558,8 @@ fn accelerated_numeric<R: Recorder>(
                 None => break,
                 Some(Reverse((fin, id, tid, grant, space))) => {
                     now = fin as f64 / 1e15;
-                    idle_threads.push(tid);
-                    idle_threads.sort_unstable();
+                    idle_threads.insert(tid);
                     idle_sets.extend(grant);
-                    idle_sets.sort_unstable();
                     llc_free = (llc_free + space).min(llc);
                     queue.complete(id);
                 }
@@ -625,6 +625,32 @@ mod tests {
         }
         nodes.push(node(12, None, 48, 0));
         StepTrace { nodes, ..StepTrace::default() }
+    }
+
+    /// Latencies captured from the pre-`BTreeSet` admission code (sorted
+    /// `Vec` free lists with `remove(0)` + re-sort). The free-list refactor
+    /// must not move a single timestamp: grants still take the lowest unit
+    /// ids first.
+    #[test]
+    fn idle_list_refactor_keeps_latencies_unchanged() {
+        let golden = [
+            (1usize, [3.7170714284e-5, 3.3252624283e-5, 3.3252624283e-5, 3.3252624283e-5]),
+            (2, [3.7170714284e-5, 3.3252624283e-5, 1.8594307142e-5, 1.7922562142e-5]),
+            (4, [3.7170714284e-5, 3.3252624283e-5, 1.1265148571e-5, 1.0257531071e-5]),
+        ];
+        let trace = wide_trace();
+        for (sets, expected) in golden {
+            for (cfg, want) in SchedulerConfig::ablations().iter().zip(expected) {
+                let got = simulate_step(&Platform::supernova(sets), &trace, cfg).numeric;
+                assert!(
+                    (got - want).abs() <= want * 1e-12,
+                    "supernova({sets}) {cfg:?}: {got} != golden {want}"
+                );
+            }
+        }
+        let got = simulate_step(&Platform::spatula(2), &trace, &SchedulerConfig::default()).numeric;
+        let want = 4.5953107142e-5;
+        assert!((got - want).abs() <= want * 1e-12, "spatula(2): {got} != golden {want}");
     }
 
     #[test]

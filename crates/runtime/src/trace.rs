@@ -1,6 +1,7 @@
 //! The solver → runtime interchange format.
 
 use supernova_linalg::ops::OpTrace;
+use supernova_sparse::{ExecutionPlan, RefactorStats};
 
 /// The work to recompute one supernode in a step.
 #[derive(Clone, Debug, Default)]
@@ -32,6 +33,38 @@ impl NodeWork {
     pub fn front_bytes(&self) -> usize {
         self.front_dim() * self.front_dim() * 4
     }
+}
+
+/// Builds a step's recomputed-node work list from the execution plan that
+/// produced it — the plan is the single source of truth shared by the host
+/// executor and this simulator, so dimensions, parents and op traces cannot
+/// drift apart. `factor_bytes[node]` is the assembled-Hessian byte count
+/// per supernode (Algorithm 2's `H` term); stats traces arrive in
+/// children-before-parents plan postorder and that order is preserved.
+pub fn node_work_from_plan(
+    plan: &ExecutionPlan,
+    stats: &RefactorStats,
+    factor_bytes: &[usize],
+) -> Vec<NodeWork> {
+    let mut recomputed = vec![false; plan.num_tasks()];
+    for nt in &stats.recomputed {
+        recomputed[nt.node] = true;
+    }
+    stats
+        .recomputed
+        .iter()
+        .map(|nt| {
+            let task = &plan.tasks()[nt.node];
+            NodeWork {
+                node: nt.node,
+                parent: task.parent.filter(|&p| recomputed[p]),
+                ops: nt.ops.clone(),
+                pivot_dim: task.pivot_dim,
+                rem_dim: task.rem_dim,
+                factor_bytes: factor_bytes[nt.node],
+            }
+        })
+        .collect()
 }
 
 /// Everything one SLAM backend step did, for pricing on a platform model.

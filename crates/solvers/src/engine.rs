@@ -6,8 +6,11 @@ use std::sync::Arc;
 use supernova_factors::{linearize, Factor, FactorGraph, Key, LinearizedFactor, Values, Variable};
 use supernova_linalg::ops::{Op, OpTrace};
 use supernova_linalg::{gemm, norm_inf, Mat, Transpose};
-use supernova_runtime::{NodeWork, StepTrace};
-use supernova_sparse::{ordering, BlockMat, BlockPattern, NumericFactor, SymbolicFactor};
+use supernova_runtime::{node_work_from_plan, StepTrace};
+use supernova_sparse::{
+    ordering, BlockMat, BlockPattern, ExecutionPlan, HostSchedule, NumericFactor,
+    ParallelExecutor, SymbolicFactor,
+};
 
 /// A prepared fill-reducing reordering (see
 /// [`IncrementalCore::reorder_candidate`]): the new elimination order and
@@ -58,6 +61,21 @@ pub struct IncrementalCore {
     pattern: BlockPattern,
     h: BlockMat,
     sym: Option<SymbolicFactor>,
+    /// Execution plan derived from `sym`, cached across steps and rebuilt
+    /// only when the pattern's structure (or the elimination order)
+    /// actually changes — see [`analyze`](Self::analyze).
+    plan: Option<ExecutionPlan>,
+    /// `(num_blocks, nnz_blocks)` of the pattern the cached plan was built
+    /// for. The pattern only ever grows, so an unchanged pair proves the
+    /// structure is unchanged.
+    plan_structure: Option<(usize, usize)>,
+    /// Bumped every time the plan cache is rebuilt (testability hook for
+    /// the invalidation rules).
+    plan_generation: usize,
+    /// Host executor the numeric plans run on (`SUPERNOVA_THREADS`).
+    executor: ParallelExecutor,
+    /// Wall-clock schedule of the latest numeric plan execution.
+    last_host_schedule: Option<HostSchedule>,
     num: Option<NumericFactor>,
     /// Current solution of the linearized system (order space).
     delta: Vec<f64>,
@@ -77,8 +95,33 @@ pub struct IncrementalCore {
 
 impl IncrementalCore {
     /// Creates an empty core with the given supernode amalgamation slack.
+    /// The host executor is configured from `SUPERNOVA_THREADS` (default:
+    /// the machine's available parallelism); results are bit-identical at
+    /// every thread count.
     pub fn new(relax: usize) -> Self {
-        IncrementalCore { relax, ..Self::default() }
+        IncrementalCore { relax, executor: ParallelExecutor::from_env(), ..Self::default() }
+    }
+
+    /// Overrides the host executor the numeric plans run on.
+    pub fn set_executor(&mut self, exec: ParallelExecutor) {
+        self.executor = exec;
+    }
+
+    /// The cached execution plan (after the first [`analyze`](Self::analyze)).
+    pub fn plan(&self) -> Option<&ExecutionPlan> {
+        self.plan.as_ref()
+    }
+
+    /// How many times the plan cache has been (re)built. Stays flat across
+    /// steps that only change values; bumps exactly when the structure
+    /// grows or a reorder is applied.
+    pub fn plan_generation(&self) -> usize {
+        self.plan_generation
+    }
+
+    /// Wall-clock host schedule of the latest numeric plan execution.
+    pub fn last_host_schedule(&self) -> Option<&HostSchedule> {
+        self.last_host_schedule.as_ref()
     }
 
     /// The factor graph accumulated so far.
@@ -122,6 +165,13 @@ impl IncrementalCore {
     /// incremental one.
     pub fn has_numeric_cache(&self) -> bool {
         self.num.is_some()
+    }
+
+    /// Canonical byte serialization of the cached numeric factor, for
+    /// bit-exactness comparisons across executor thread counts (the
+    /// determinism gate in `scripts/ci.sh`). `None` before the first solve.
+    pub fn numeric_bytes(&self) -> Option<Vec<u8>> {
+        self.num.as_ref().map(NumericFactor::serialize_bytes)
     }
 
     /// The update step Δ for `key` from the latest solve.
@@ -234,9 +284,22 @@ impl IncrementalCore {
     /// Re-analyzes the symbolic structure for the current pattern. Cheap for
     /// unchanged structure; must be called after `add_factor` and before
     /// cost estimation or factorization.
+    ///
+    /// The execution plan is cached across calls: it is rebuilt only when
+    /// the pattern's structure actually changed (the pattern only grows, so
+    /// an unchanged `(num_blocks, nnz_blocks)` pair proves equality), and on
+    /// [`apply_reorder`](Self::apply_reorder), which permutes the structure
+    /// without changing either count.
     pub fn analyze(&mut self) -> &SymbolicFactor {
-        self.sym = Some(SymbolicFactor::analyze(&self.pattern, self.relax));
-        // lint: allow(unwrap) — sym assigned on the line above
+        let structure = (self.pattern.num_blocks(), self.pattern.nnz_blocks());
+        if self.plan.is_none() || self.plan_structure != Some(structure) {
+            let sym = SymbolicFactor::analyze(&self.pattern, self.relax);
+            self.plan = Some(ExecutionPlan::from_symbolic(&sym));
+            self.plan_structure = Some(structure);
+            self.plan_generation += 1;
+            self.sym = Some(sym);
+        }
+        // lint: allow(unwrap) — assigned above or on a previous call
         self.sym.as_ref().expect("just set")
     }
 
@@ -307,6 +370,11 @@ impl IncrementalCore {
         // Meter: one min-degree pass plus a fresh symbolic analysis.
         self.pending_symbolic_extra +=
             4 * self.pattern.nnz_blocks() + 2 * plan.sym.pattern_size_of_nodes(&(0..plan.sym.nodes().len()).collect::<Vec<_>>());
+        // A reorder permutes the structure without changing the block or
+        // nnz counts, so the plan cache must be invalidated explicitly.
+        self.plan = Some(ExecutionPlan::from_symbolic(&plan.sym));
+        self.plan_structure = Some((self.pattern.num_blocks(), self.pattern.nnz_blocks()));
+        self.plan_generation += 1;
         self.sym = Some(plan.sym);
         self.num = None;
         self.dirty.clear();
@@ -358,20 +426,29 @@ impl IncrementalCore {
     pub fn factorize_and_solve(&mut self) -> StepTrace {
         // lint: allow(unwrap) — documented panic: analyze() must precede this call
         let sym = self.sym.as_ref().expect("analyze() before factorize_and_solve()");
+        // lint: allow(unwrap) — analyze() populates the plan alongside sym
+        let plan = self.plan.as_ref().expect("analyze() before factorize_and_solve()");
         let dirty: Vec<usize> = self.dirty.iter().copied().collect();
 
-        // Incremental refactorization with non-PD damping recovery.
+        // Incremental plan execution with non-PD damping recovery.
         let mut attempts = 0usize;
         let stats = loop {
             let result = match self.num.as_mut() {
-                Some(num) => num.refactor(sym, &self.h, &dirty),
-                None => NumericFactor::factorize_traced(sym, &self.h).map(|(num, stats)| {
-                    self.num = Some(num);
-                    stats
-                }),
+                Some(num) => num.execute_plan(plan, &self.h, &dirty, &self.executor),
+                None => {
+                    let all: Vec<usize> = (0..plan.num_blocks()).collect();
+                    let mut num = NumericFactor::empty(plan);
+                    num.execute_plan(plan, &self.h, &all, &self.executor).map(|out| {
+                        self.num = Some(num);
+                        out
+                    })
+                }
             };
             match result {
-                Ok(stats) => break stats,
+                Ok((stats, sched)) => {
+                    self.last_host_schedule = Some(sched);
+                    break stats;
+                }
                 Err(err) => {
                     attempts += 1;
                     self.damping_events += 1;
@@ -405,25 +482,12 @@ impl IncrementalCore {
         let solve_ops = num.solve_in_place(sym, &mut g);
         self.delta = g;
 
-        // Assemble the runtime trace.
-        let recomputed: BTreeSet<usize> = stats.recomputed_nodes().into_iter().collect();
+        // Assemble the runtime trace from the plan — one source of truth
+        // for the host executor and the simulator.
         let factor_bytes = self.node_factor_bytes(sym);
-        let nodes: Vec<NodeWork> = stats
-            .recomputed
-            .iter()
-            .map(|nt| {
-                let info = &sym.nodes()[nt.node];
-                NodeWork {
-                    node: nt.node,
-                    parent: info.parent.filter(|p| recomputed.contains(p)),
-                    ops: nt.ops.clone(),
-                    pivot_dim: info.pivot_dim,
-                    rem_dim: info.rem_dim,
-                    factor_bytes: factor_bytes[nt.node],
-                }
-            })
-            .collect();
-        let recomputed_list: Vec<usize> = recomputed.iter().copied().collect();
+        let nodes = node_work_from_plan(plan, &stats, &factor_bytes);
+        let mut recomputed_list: Vec<usize> = stats.recomputed_nodes();
+        recomputed_list.sort_unstable();
         let symbolic_pattern_elems = sym.pattern_size_of_nodes(&recomputed_list)
             + std::mem::take(&mut self.pending_symbolic_extra);
 
@@ -634,6 +698,90 @@ mod tests {
         for (k, v) in est_before.iter() {
             let d = v.translation_distance(est_after.get(k));
             assert!(d < 1e-8, "estimate moved at {k}: {d}");
+        }
+    }
+
+    #[test]
+    fn plan_cache_invalidated_exactly_on_structure_change() {
+        let mut core = chain_core();
+        core.analyze();
+        let gen = core.plan_generation();
+        assert_eq!(gen, 1, "first analyze builds the plan");
+        core.factorize_and_solve();
+        assert!(core.last_host_schedule().is_some());
+
+        // Value-only work (relinearization) leaves the plan cache alone.
+        core.relinearize_vars(&[Key(2)]);
+        core.analyze();
+        assert_eq!(core.plan_generation(), gen);
+        core.factorize_and_solve();
+        assert_eq!(core.plan_generation(), gen);
+
+        // Structural growth rebuilds it exactly once.
+        core.add_variable(Variable::Se2(Se2::new(4.1, 0.0, 0.0)));
+        core.add_factor(between(3, 4, Se2::new(1.0, 0.0, 0.0)));
+        core.analyze();
+        assert_eq!(core.plan_generation(), gen + 1);
+        // Repeated analyze over unchanged structure: still cached.
+        core.analyze();
+        assert_eq!(core.plan_generation(), gen + 1);
+        let plan = core.plan().expect("plan cached");
+        assert_eq!(plan.num_tasks(), core.symbolic().expect("sym").nodes().len());
+    }
+
+    #[test]
+    fn rejected_reorder_candidate_changes_nothing() {
+        let mut core = loopy_core(20);
+        let gen = core.plan_generation();
+        let est_before = core.estimate();
+        // Price a reorder, then reject it by dropping the plan.
+        let candidate = core.reorder_candidate().expect("nonempty");
+        assert!(candidate.symbolic().nodes().len() > 0);
+        drop(candidate);
+        assert_eq!(core.plan_generation(), gen, "rejecting must not touch the cache");
+        assert_eq!(core.reorders(), 0);
+        assert!(core.has_numeric_cache(), "rejecting must keep the numeric cache");
+        core.analyze();
+        core.factorize_and_solve();
+        let est_after = core.estimate();
+        for (k, v) in est_before.iter() {
+            let d = v.translation_distance(est_after.get(k));
+            assert!(d < 1e-9, "estimate moved at {k} after rejected reorder: {d}");
+        }
+    }
+
+    #[test]
+    fn applied_reorder_invalidates_plan_and_matches_never_reorder_baseline() {
+        let mut baseline = loopy_core(22);
+        let mut reordered = loopy_core(22);
+
+        let gen = reordered.plan_generation();
+        let plan = reordered.reorder_candidate().expect("nonempty");
+        reordered.apply_reorder(plan);
+        assert_eq!(reordered.plan_generation(), gen + 1, "apply must rebuild the plan");
+        assert!(!reordered.has_numeric_cache(), "apply must drop the numeric cache");
+        reordered.analyze();
+        assert_eq!(
+            reordered.plan_generation(),
+            gen + 1,
+            "analyze after apply must reuse the rebuilt plan"
+        );
+        reordered.factorize_and_solve();
+
+        // Keep growing both cores identically; solutions must agree.
+        for core in [&mut baseline, &mut reordered] {
+            for i in 22..27 {
+                core.add_variable(Variable::Se2(Se2::new(i as f64 + 0.05, 0.02, 0.0)));
+                core.add_factor(between(i - 1, i, Se2::new(1.0, 0.0, 0.0)));
+                core.analyze();
+                core.factorize_and_solve();
+            }
+        }
+        let est_a = baseline.estimate();
+        let est_b = reordered.estimate();
+        for (k, v) in est_a.iter() {
+            let d = v.translation_distance(est_b.get(k));
+            assert!(d < 1e-6, "reordered solution diverged at {k}: {d}");
         }
     }
 

@@ -56,6 +56,12 @@ impl Isam2 {
     pub fn core(&self) -> &IncrementalCore {
         &self.core
     }
+
+    /// Mutable access to the engine, e.g. to install a host executor with
+    /// [`IncrementalCore::set_executor`] before replaying a dataset.
+    pub fn core_mut(&mut self) -> &mut IncrementalCore {
+        &mut self.core
+    }
 }
 
 impl OnlineSolver for Isam2 {

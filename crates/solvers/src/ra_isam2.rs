@@ -76,6 +76,12 @@ impl RaIsam2 {
         &self.core
     }
 
+    /// Mutable access to the engine, e.g. to install a host executor with
+    /// [`IncrementalCore::set_executor`] before replaying a dataset.
+    pub fn core_mut(&mut self) -> &mut IncrementalCore {
+        &mut self.core
+    }
+
     /// Variables selected for relinearization in the last step.
     pub fn last_selected(&self) -> usize {
         self.last_selected

@@ -1,0 +1,458 @@
+//! The execute half of the plan/exec split: reusable per-worker
+//! workspaces, a scoped-thread worker pool, and the host schedule record.
+//!
+//! This module is the **only** place in the workspace allowed to spawn OS
+//! threads (`supernova-analyze`'s `thread-spawn` lint enforces this). The
+//! pool runs an [`ExecutionPlan`](crate::ExecutionPlan)'s recomputed tasks
+//! as soon as their recomputed children finish; because every task is a
+//! pure function of the Hessian and its children's cached update matrices
+//! — merged in the plan's fixed child order — results are bit-identical to
+//! serial execution at any thread count.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use supernova_linalg::Mat;
+
+use crate::ExecutionPlan;
+
+/// A worker's preallocated scratch buffers, reused across every task the
+/// worker executes (no per-node allocation on the hot path).
+#[derive(Debug)]
+pub struct Workspace {
+    front: Mat,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Workspace { front: Mat::zeros(0, 0) }
+    }
+
+    /// A workspace whose frontal buffer is pre-grown to hold `elems`
+    /// scalars (use [`ExecutionPlan::max_workspace_elems`]).
+    pub fn with_capacity(elems: usize) -> Self {
+        let mut ws = Workspace::new();
+        ws.front.reset(elems, 1);
+        ws
+    }
+
+    /// The frontal matrix buffer; callers `reset` it to the task's front
+    /// dimensions before assembly.
+    pub fn front_mut(&mut self) -> &mut Mat {
+        &mut self.front
+    }
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace::new()
+    }
+}
+
+/// One executed task span in a host schedule: which worker ran which
+/// supernode over which wall-clock interval.
+#[derive(Clone, Debug)]
+pub struct TaskSpan {
+    /// Supernode / task id.
+    pub node: usize,
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Start time in seconds since the execution began.
+    pub start: f64,
+    /// End time in seconds since the execution began.
+    pub end: f64,
+}
+
+/// The wall-clock record of one plan execution on the host pool.
+///
+/// Spans are totally ordered by a single monotonic clock shared by every
+/// worker: a parent's `start` is sampled only after each child's `end` has
+/// been sampled, so the record itself witnesses the plan's happens-before
+/// relation (checked by `supernova-analyze`'s host-schedule invariant).
+#[derive(Clone, Debug, Default)]
+pub struct HostSchedule {
+    /// Executed spans, sorted by start time.
+    pub spans: Vec<TaskSpan>,
+    /// Number of workers the pool ran with.
+    pub workers: usize,
+}
+
+impl HostSchedule {
+    /// Wall-clock duration from first start to last end, in seconds.
+    pub fn makespan(&self) -> f64 {
+        let end = self.spans.iter().map(|s| s.end).fold(0.0, f64::max);
+        let start = self.spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+        if self.spans.is_empty() {
+            0.0
+        } else {
+            end - start
+        }
+    }
+
+    /// Sum of span durations across all workers, in seconds.
+    pub fn busy_time(&self) -> f64 {
+        self.spans.iter().map(|s| s.end - s.start).sum()
+    }
+}
+
+/// Host-side executor configuration: how many workers to run plans on.
+///
+/// `threads == 1` executes inline on the calling thread (no pool, no
+/// locking); `threads > 1` spins up a scoped `std::thread` pool per
+/// execution. Results are bit-identical either way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// An executor with exactly `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelExecutor { threads: threads.max(1) }
+    }
+
+    /// A single-threaded (inline) executor.
+    pub fn serial() -> Self {
+        ParallelExecutor::new(1)
+    }
+
+    /// Reads the worker count from the `SUPERNOVA_THREADS` environment
+    /// variable, falling back to the host's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("SUPERNOVA_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+        ParallelExecutor::new(threads)
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for ParallelExecutor {
+    /// Serial execution — the conservative default.
+    fn default() -> Self {
+        ParallelExecutor::serial()
+    }
+}
+
+impl ParallelExecutor {
+
+    /// Runs the plan's tasks flagged in `recompute`, calling `task_fn`
+    /// exactly once per flagged task after all its flagged children have
+    /// completed. `task_fn` publishes each task's result itself (the
+    /// numeric layer uses a `OnceLock` slot per node), so the executor
+    /// only sequences work and records the [`HostSchedule`].
+    ///
+    /// On error, in-flight tasks finish, no new tasks start, and the
+    /// error from the lowest-numbered failing task is returned.
+    pub fn run<E, F>(
+        &self,
+        plan: &ExecutionPlan,
+        recompute: &[bool],
+        task_fn: F,
+    ) -> (Result<(), E>, HostSchedule)
+    where
+        E: Send,
+        F: Fn(usize, &mut Workspace) -> Result<(), E> + Sync,
+    {
+        assert_eq!(recompute.len(), plan.num_tasks());
+        let total: usize = recompute.iter().filter(|&&r| r).count();
+        if self.threads <= 1 || total <= 1 {
+            return run_serial(plan, recompute, &task_fn);
+        }
+        run_pool(plan, recompute, &task_fn, self.threads)
+    }
+}
+
+/// Inline execution on the calling thread, in plan postorder.
+fn run_serial<E, F>(
+    plan: &ExecutionPlan,
+    recompute: &[bool],
+    task_fn: &F,
+) -> (Result<(), E>, HostSchedule)
+where
+    F: Fn(usize, &mut Workspace) -> Result<(), E>,
+{
+    let origin = Instant::now();
+    let mut ws = Workspace::with_capacity(plan.max_workspace_elems());
+    let mut spans = Vec::new();
+    for &s in plan.postorder() {
+        if !recompute[s] {
+            continue;
+        }
+        let start = origin.elapsed().as_secs_f64();
+        let res = task_fn(s, &mut ws);
+        let end = origin.elapsed().as_secs_f64();
+        spans.push(TaskSpan { node: s, worker: 0, start, end });
+        if let Err(e) = res {
+            return (Err(e), HostSchedule { spans, workers: 1 });
+        }
+    }
+    (Ok(()), HostSchedule { spans, workers: 1 })
+}
+
+/// Shared pool state: the ready queue plus progress/abort flags.
+struct PoolState {
+    ready: Mutex<Vec<usize>>,
+    cv: Condvar,
+    remaining: AtomicUsize,
+    abort: AtomicBool,
+}
+
+/// Scoped worker-pool execution.
+fn run_pool<E, F>(
+    plan: &ExecutionPlan,
+    recompute: &[bool],
+    task_fn: &F,
+    threads: usize,
+) -> (Result<(), E>, HostSchedule)
+where
+    E: Send,
+    F: Fn(usize, &mut Workspace) -> Result<(), E> + Sync,
+{
+    let tasks = plan.tasks();
+    // Dependency counters over *recomputed* children only: reused children
+    // already have their cached results published.
+    let pending: Vec<AtomicUsize> = tasks
+        .iter()
+        .map(|t| {
+            let n = t
+                .merges
+                .iter()
+                .filter(|m| recompute[m.child])
+                .count();
+            AtomicUsize::new(n)
+        })
+        .collect();
+    let initial: Vec<usize> = (0..tasks.len())
+        .filter(|&s| recompute[s] && pending[s].load(Ordering::Relaxed) == 0)
+        .collect();
+    let total: usize = recompute.iter().filter(|&&r| r).count();
+    let state = PoolState {
+        ready: Mutex::new(initial),
+        cv: Condvar::new(),
+        remaining: AtomicUsize::new(total),
+        abort: AtomicBool::new(false),
+    };
+    let errors: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
+    let origin = Instant::now();
+    let nworkers = threads.min(total.max(1));
+
+    let mut all_spans: Vec<TaskSpan> = Vec::with_capacity(total);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nworkers);
+        for worker in 0..nworkers {
+            let state = &state;
+            let errors = &errors;
+            let pending = &pending;
+            handles.push(scope.spawn(move || {
+                let mut ws = Workspace::with_capacity(plan.max_workspace_elems());
+                let mut spans: Vec<TaskSpan> = Vec::new();
+                loop {
+                    let task = {
+                        // Poisoning requires a worker panic, which
+                        // aborts the whole scope anyway.
+                        let mut q = state.ready.lock().unwrap(); // lint: allow(unwrap)
+                        loop {
+                            if state.abort.load(Ordering::Acquire)
+                                || state.remaining.load(Ordering::Acquire) == 0
+                            {
+                                return spans;
+                            }
+                            if let Some(pos) =
+                                q.iter().enumerate().min_by_key(|&(_, &t)| t).map(|(i, _)| i)
+                            {
+                                break q.swap_remove(pos);
+                            }
+                            // lint: allow(unwrap) — same poisoning argument
+                            q = state.cv.wait(q).unwrap();
+                        }
+                    };
+                    let start = origin.elapsed().as_secs_f64();
+                    let res = task_fn(task, &mut ws);
+                    let end = origin.elapsed().as_secs_f64();
+                    spans.push(TaskSpan { node: task, worker, start, end });
+                    match res {
+                        Ok(()) => {
+                            if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                state.cv.notify_all();
+                                return spans;
+                            }
+                            let parent = plan.tasks()[task].parent;
+                            if let Some(p) = parent.filter(|&p| recompute[p]) {
+                                if pending[p].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    // lint: allow(unwrap) — poisoning as above
+                                    state.ready.lock().unwrap().push(p);
+                                    state.cv.notify_one();
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            // lint: allow(unwrap) — poisoning as above
+                            errors.lock().unwrap().push((task, e));
+                            state.abort.store(true, Ordering::Release);
+                            state.cv.notify_all();
+                            return spans;
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            if let Ok(spans) = h.join() {
+                all_spans.extend(spans);
+            }
+        }
+    });
+
+    all_spans.sort_by(|a, b| {
+        a.start
+            .partial_cmp(&b.start)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
+    });
+    let sched = HostSchedule { spans: all_spans, workers: nworkers };
+    let mut errs = errors.into_inner().unwrap_or_default();
+    if errs.is_empty() {
+        (Ok(()), sched)
+    } else {
+        errs.sort_by_key(|&(t, _)| t);
+        let (_, e) = errs.swap_remove(0);
+        (Err(e), sched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockPattern, SymbolicFactor};
+    use std::sync::atomic::AtomicU64;
+
+    fn plan_of(n: usize) -> ExecutionPlan {
+        let mut p = BlockPattern::new(vec![2; n]);
+        for i in 0..n - 1 {
+            p.add_block_edge(i, i + 1);
+        }
+        ExecutionPlan::from_symbolic(&SymbolicFactor::analyze(&p, 0))
+    }
+
+    #[test]
+    fn serial_and_pool_run_every_task_once() {
+        let plan = plan_of(24);
+        let recompute = vec![true; plan.num_tasks()];
+        for threads in [1usize, 2, 4] {
+            let counts: Vec<AtomicUsize> =
+                (0..plan.num_tasks()).map(|_| AtomicUsize::new(0)).collect();
+            let (res, sched) = ParallelExecutor::new(threads).run::<(), _>(
+                &plan,
+                &recompute,
+                |s, _ws| {
+                    counts[s].fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                },
+            );
+            assert!(res.is_ok());
+            assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+            assert_eq!(sched.spans.len(), plan.num_tasks());
+            assert!(sched.workers >= 1 && sched.workers <= threads);
+        }
+    }
+
+    #[test]
+    fn children_complete_before_parents_start() {
+        let plan = plan_of(16);
+        let recompute = vec![true; plan.num_tasks()];
+        // A shared logical clock: each task records (start_tick, end_tick).
+        let clock = AtomicU64::new(0);
+        let marks: Vec<(AtomicU64, AtomicU64)> = (0..plan.num_tasks())
+            .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+            .collect();
+        let (res, _) =
+            ParallelExecutor::new(3).run::<(), _>(&plan, &recompute, |s, _ws| {
+                marks[s].0.store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+                marks[s].1.store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+                Ok(())
+            });
+        assert!(res.is_ok());
+        for task in plan.tasks() {
+            for mg in &task.merges {
+                let child_end = marks[mg.child].1.load(Ordering::SeqCst);
+                let parent_start = marks[task.node].0.load(Ordering::SeqCst);
+                assert!(
+                    child_end < parent_start,
+                    "child {} overlapped parent {}",
+                    mg.child,
+                    task.node
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skips_non_recomputed_tasks() {
+        let plan = plan_of(8);
+        let mut recompute = vec![false; plan.num_tasks()];
+        // Only the root subtree tail.
+        let tail = *plan.postorder().last().expect("nonempty"); // lint: allow(unwrap)
+        recompute[tail] = true;
+        let ran = AtomicUsize::new(0);
+        let (res, sched) =
+            ParallelExecutor::new(4).run::<(), _>(&plan, &recompute, |_s, _ws| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            });
+        assert!(res.is_ok());
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(sched.spans.len(), 1);
+    }
+
+    #[test]
+    fn error_reported_from_lowest_failing_task() {
+        let plan = plan_of(12);
+        let recompute = vec![true; plan.num_tasks()];
+        for threads in [1usize, 4] {
+            let (res, _) = ParallelExecutor::new(threads).run::<usize, _>(
+                &plan,
+                &recompute,
+                |s, _ws| if s == 0 { Err(s) } else { Ok(()) },
+            );
+            assert_eq!(res, Err(0));
+        }
+    }
+
+    #[test]
+    fn env_override_parses() {
+        assert_eq!(ParallelExecutor::new(0).threads(), 1);
+        assert!(ParallelExecutor::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn makespan_and_busy_time_are_consistent() {
+        let plan = plan_of(10);
+        let recompute = vec![true; plan.num_tasks()];
+        let (res, sched) = ParallelExecutor::new(2).run::<(), _>(
+            &plan,
+            &recompute,
+            |_s, ws| {
+                // Touch the workspace so the buffer path is exercised.
+                ws.front_mut().reset(4, 4);
+                Ok(())
+            },
+        );
+        assert!(res.is_ok());
+        assert!(sched.makespan() >= 0.0);
+        assert!(sched.busy_time() >= 0.0);
+        for w in sched.spans.windows(2) {
+            assert!(w[0].start <= w[1].start, "spans sorted by start");
+        }
+    }
+}

@@ -14,7 +14,11 @@
 //!   incremental re-factorization, and per-node
 //!   [`OpTrace`](supernova_linalg::ops::OpTrace)s for the hardware model;
 //! - supernodal forward/backward solves ([`NumericFactor::solve_in_place`]);
-//! - fill-reducing [`ordering`]s.
+//! - fill-reducing [`ordering`]s;
+//! - the plan/exec split: [`ExecutionPlan`] (topologically-leveled task IR
+//!   with precomputed scatter targets, derived once per symbolic structure)
+//!   executed serially or on the [`ParallelExecutor`] worker pool with
+//!   bit-identical results, recorded as a [`HostSchedule`].
 //!
 //! # Example
 //!
@@ -45,13 +49,17 @@
 #![deny(missing_docs)]
 
 mod blockmat;
+mod executor;
 mod numeric;
 pub mod ordering;
 mod pattern;
+mod plan;
 mod symbolic;
 
 pub use blockmat::BlockMat;
+pub use executor::{HostSchedule, ParallelExecutor, TaskSpan, Workspace};
 pub use numeric::{FactorizeError, NodeTrace, NumericFactor, RefactorStats};
 pub use ordering::Permutation;
 pub use pattern::BlockPattern;
+pub use plan::{ChildMerge, ExecutionPlan, PlanTask, ScatterBlock};
 pub use symbolic::{SupernodeInfo, SymbolicFactor};

@@ -1,15 +1,25 @@
 //! Numeric multifrontal factorization with incremental re-factorization.
+//!
+//! Since the plan/exec split, every (re)factorization is the execution of
+//! an [`ExecutionPlan`] against reusable per-worker [`Workspace`] buffers:
+//! the sym-based [`NumericFactor::factorize`]/[`NumericFactor::refactor`]
+//! entry points derive a throwaway plan and run it serially, while the
+//! incremental engine caches one plan per symbolic structure and drives
+//! [`NumericFactor::execute_plan`] directly (optionally on the
+//! [`ParallelExecutor`] worker pool — results are bit-identical).
 
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::OnceLock;
 
 use supernova_linalg::ops::{Op, OpTrace};
 use supernova_linalg::{
     gemv, partial_cholesky_in_place, solve_lower, solve_lower_transpose, Mat, Transpose,
 };
 
-use crate::{BlockMat, SymbolicFactor};
+use crate::executor::{HostSchedule, ParallelExecutor, Workspace};
+use crate::{BlockMat, ExecutionPlan, SymbolicFactor};
 
 /// A supernode's Cholesky pivot was not positive definite.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -144,7 +154,45 @@ impl NumericFactor {
         h: &BlockMat,
         dirty_blocks: &[usize],
     ) -> Result<RefactorStats, FactorizeError> {
-        let num_nodes = sym.nodes().len();
+        let plan = ExecutionPlan::from_symbolic(sym);
+        self.execute_plan(&plan, h, dirty_blocks, &ParallelExecutor::serial())
+            .map(|(stats, _)| stats)
+    }
+
+    /// An empty factor sized for `plan` — the starting point for a from-
+    /// scratch [`execute_plan`](Self::execute_plan) (every node is seeded).
+    pub fn empty(plan: &ExecutionPlan) -> Self {
+        NumericFactor { nodes: vec![None; plan.num_tasks()] }
+    }
+
+    /// Incrementally (re)factorizes by executing `plan` on `exec`.
+    ///
+    /// This is the primitive behind [`refactor`](Self::refactor): the
+    /// recompute set is the ancestor closure of the dirty nodes plus every
+    /// node whose structural signature no longer matches the cached factor,
+    /// and each recomputed task runs against a preallocated per-worker
+    /// workspace. Running on the worker pool is **bit-identical** to serial
+    /// execution: every task merges its children's cached update matrices
+    /// in the plan's fixed child order, so f64 sums never depend on
+    /// completion order.
+    ///
+    /// Returns the refactor stats (traces in children-before-parents plan
+    /// postorder, exactly as the serial path reports them) and the wall-
+    /// clock [`HostSchedule`] of the execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorizeError`] if a pivot block is not positive
+    /// definite; the factor's numeric cache is invalid afterwards (callers
+    /// re-seed via [`empty`](Self::empty) or damping, as the engine does).
+    pub fn execute_plan(
+        &mut self,
+        plan: &ExecutionPlan,
+        h: &BlockMat,
+        dirty_blocks: &[usize],
+        exec: &ParallelExecutor,
+    ) -> Result<(RefactorStats, HostSchedule), FactorizeError> {
+        let num_nodes = plan.num_tasks();
         // Index the previous factorization by first pivot column.
         let mut old: BTreeMap<usize, NodeFactor> = BTreeMap::new();
         for nf in std::mem::take(&mut self.nodes).into_iter().flatten() {
@@ -153,40 +201,94 @@ impl NumericFactor {
 
         // Seed the recompute set with dirty nodes and structural mismatches.
         let mut seeds: Vec<usize> = Vec::new();
-        for s in 0..num_nodes {
-            let sig = sym.nodes()[s].signature();
-            match old.get(&sig.0) {
-                Some(nf) if nf.sig == sig => {}
+        for (s, task) in plan.tasks().iter().enumerate() {
+            match old.get(&task.sig.0) {
+                Some(nf) if nf.sig == task.sig => {}
                 _ => seeds.push(s),
             }
         }
         for &b in dirty_blocks {
-            seeds.push(sym.node_of_block(b));
+            seeds.push(plan.node_of_block(b));
         }
-        let recompute = sym.ancestor_closure(seeds);
+        let recompute = plan.ancestor_closure(seeds);
         let mut is_recompute = vec![false; num_nodes];
         for &s in &recompute {
             is_recompute[s] = true;
         }
 
-        let mut nodes: Vec<Option<NodeFactor>> = vec![None; num_nodes];
-        let mut stats = RefactorStats::default();
-        for &s in sym.postorder() {
+        // One write-once slot per node: reused factors are published up
+        // front, recomputed ones by whichever worker runs the task.
+        let slots: Vec<OnceLock<(NodeFactor, OpTrace)>> =
+            (0..num_nodes).map(|_| OnceLock::new()).collect();
+        let mut reused = 0usize;
+        for (s, task) in plan.tasks().iter().enumerate() {
             if !is_recompute[s] {
-                let sig = sym.nodes()[s].signature();
                 // lint: allow(unwrap) — signature match proved the node is cached
-                let nf = old.remove(&sig.0).expect("reused node missing from cache");
-                debug_assert_eq!(nf.sig, sig);
-                nodes[s] = Some(nf);
-                stats.reused += 1;
-                continue;
+                let nf = old.remove(&task.sig.0).expect("reused node missing from cache");
+                debug_assert_eq!(nf.sig, task.sig);
+                let _ = slots[s].set((nf, OpTrace::new()));
+                reused += 1;
             }
-            let (nf, trace) = compute_node(sym, h, s, &nodes)?;
-            nodes[s] = Some(nf);
-            stats.recomputed.push(NodeTrace { node: s, ops: trace });
+        }
+
+        let (res, sched) = exec.run(plan, &is_recompute, |s, ws| {
+            let out = compute_task(plan, h, s, &slots, ws)?;
+            let published = slots[s].set(out).is_ok();
+            debug_assert!(published, "task {s} executed twice");
+            Ok(())
+        });
+        res?;
+
+        let mut nodes: Vec<Option<NodeFactor>> = Vec::with_capacity(num_nodes);
+        let mut traces: Vec<Option<OpTrace>> = vec![None; num_nodes];
+        for (s, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner() {
+                Some((nf, trace)) => {
+                    if is_recompute[s] {
+                        traces[s] = Some(trace);
+                    }
+                    nodes.push(Some(nf));
+                }
+                None => nodes.push(None),
+            }
         }
         self.nodes = nodes;
-        Ok(stats)
+
+        // Report traces in plan postorder so stats are executor-independent.
+        let mut stats = RefactorStats { recomputed: Vec::new(), reused };
+        for &s in plan.postorder() {
+            if let Some(ops) = traces[s].take() {
+                stats.recomputed.push(NodeTrace { node: s, ops });
+            }
+        }
+        Ok((stats, sched))
+    }
+
+    /// Serializes the factor into a canonical little-endian byte string
+    /// (per-node signature, dimensions, and f64 payloads). The CI
+    /// determinism gate diffs these bytes across thread counts.
+    pub fn serialize_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for nf in &self.nodes {
+            let Some(nf) = nf else {
+                out.push(0u8);
+                continue;
+            };
+            out.push(1u8);
+            out.extend_from_slice(&(nf.sig.0 as u64).to_le_bytes());
+            out.extend_from_slice(&(nf.sig.1 as u64).to_le_bytes());
+            out.extend_from_slice(&nf.sig.2.to_le_bytes());
+            for m in [&nf.l, &nf.update] {
+                out.extend_from_slice(&(m.rows() as u64).to_le_bytes());
+                out.extend_from_slice(&(m.cols() as u64).to_le_bytes());
+                for c in 0..m.cols() {
+                    for v in m.col(c) {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Solves `H x = b` in place (`x` enters as `b`), using the supernodal
@@ -304,40 +406,34 @@ impl NumericFactor {
     }
 }
 
-/// Computes one supernode: workspace reset, assembly, extend-add of the
-/// children's cached updates, then the three-step partial factorization.
-fn compute_node(
-    sym: &SymbolicFactor,
+/// Executes one plan task: workspace reset, Hessian assembly via the
+/// precomputed scatter offsets, extend-add of the children's cached
+/// updates via the precomputed scatter blocks, then the three-step
+/// partial factorization. Allocation-free apart from the result copies.
+fn compute_task(
+    plan: &ExecutionPlan,
     h: &BlockMat,
     s: usize,
-    nodes: &[Option<NodeFactor>],
+    slots: &[OnceLock<(NodeFactor, OpTrace)>],
+    ws: &mut Workspace,
 ) -> Result<(NodeFactor, OpTrace), FactorizeError> {
-    let info = &sym.nodes()[s];
-    let m = info.pivot_dim;
-    let n = info.rem_dim;
+    let task = &plan.tasks()[s];
+    let m = task.pivot_dim;
+    let n = task.rem_dim;
     let t = m + n;
     let mut trace = OpTrace::new();
-    let mut front = Mat::zeros(t, t);
+    let front = ws.front_mut();
+    front.reset(t, t);
     trace.push(Op::Memset { bytes: t * t * 4 });
-
-    // Local scalar offset of each front block row.
-    let mut local = BTreeMap::new();
-    {
-        let mut off = 0usize;
-        for &br in &info.rows {
-            local.insert(br, off);
-            off += sym.block_dims()[br];
-        }
-    }
 
     // Assemble the original Hessian columns owned by this node.
     let mut asm_blocks = 0usize;
     let mut asm_elems = 0usize;
-    for j in info.cols() {
-        let cj = local[&j];
+    for (jj, j) in task.cols().enumerate() {
+        let cj = task.col_offsets[jj];
         for (i, blk) in h.col_blocks(j) {
-            let ri = *local
-                .get(&i)
+            let ri = task
+                .local_offset(i)
                 .unwrap_or_else(|| panic!("H block ({i},{j}) outside front of node {s}"));
             front.add_block(ri, cj, blk);
             asm_blocks += 1;
@@ -349,41 +445,25 @@ fn compute_node(
         trace.push(Op::ScatterAdd { blocks: asm_blocks, elems: asm_elems });
     }
 
-    // Extend-add each child's cached update matrix (the merge step).
-    for &c in &info.children {
-        let child_info = &sym.nodes()[c];
-        // lint: allow(unwrap) — children factored before parent in postorder
-        let child = nodes[c].as_ref().expect("child factored after parent");
-        let rem = child_info.remainder_rows();
-        // Child-local scalar offsets of its remainder rows.
-        let mut coff = Vec::with_capacity(rem.len());
-        {
-            let mut off = 0usize;
-            for &br in rem {
-                coff.push(off);
-                off += sym.block_dims()[br];
-            }
+    // Extend-add each child's cached update matrix (the merge step), in
+    // the plan's fixed child order — the determinism anchor that makes
+    // parallel execution bit-identical to serial.
+    for mg in &task.merges {
+        // lint: allow(unwrap) — the executor completes children before parents
+        let (child, _) = slots[mg.child].get().expect("child factored after parent");
+        for b in &mg.blocks {
+            front.add_block_from(
+                b.dst_row, b.dst_col, &child.update, b.src_row, b.src_col, b.rows, b.cols,
+            );
         }
-        let mut blocks = 0usize;
-        let mut elems = 0usize;
-        for (bj, &rj) in rem.iter().enumerate() {
-            let wj = sym.block_dims()[rj];
-            for (bi, &ri) in rem.iter().enumerate().skip(bj) {
-                let hi = sym.block_dims()[ri];
-                let blk = child.update.block(coff[bi], coff[bj], hi, wj);
-                front.add_block(local[&ri], local[&rj], &blk);
-                blocks += 1;
-                elems += hi * wj;
-            }
-        }
-        if blocks > 0 {
-            trace.push(Op::Memcpy { bytes: elems * 4 });
-            trace.push(Op::ScatterAdd { blocks, elems });
+        if !mg.blocks.is_empty() {
+            trace.push(Op::Memcpy { bytes: mg.elems * 4 });
+            trace.push(Op::ScatterAdd { blocks: mg.blocks.len(), elems: mg.elems });
         }
     }
 
     // Three-step partial factorization (Figure 5, bottom).
-    partial_cholesky_in_place(&mut front, m)
+    partial_cholesky_in_place(front, m)
         .map_err(|e| FactorizeError { node: s, front_col: e.col() })?;
     trace.push(Op::Chol { n: m });
     if n > 0 {
@@ -395,7 +475,7 @@ fn compute_node(
     let l = front.block(0, 0, t, m);
     let update = if n > 0 { front.block(m, m, n, n) } else { Mat::zeros(0, 0) };
     trace.push(Op::Memcpy { bytes: t * m * 4 });
-    Ok((NodeFactor { l, update, sig: info.signature() }, trace))
+    Ok((NodeFactor { l, update, sig: task.sig }, trace))
 }
 
 /// `x[rows] -= v`, scattering block-contiguous `v` into the global vector.
@@ -639,5 +719,94 @@ mod tests {
         h.add_to_block(1, 1, &Mat::from_rows(1, 1, &[1.0]));
         let err = NumericFactor::factorize(&sym, &h).unwrap_err();
         assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_serial() {
+        let p = loopy_pattern();
+        let sym = SymbolicFactor::analyze(&p, 0);
+        let plan = ExecutionPlan::from_symbolic(&sym);
+        let h = build_h(&p, 17);
+        let all: Vec<usize> = (0..p.num_blocks()).collect();
+
+        let mut serial = NumericFactor::empty(&plan);
+        let (stats_s, sched_s) = serial
+            .execute_plan(&plan, &h, &all, &ParallelExecutor::serial())
+            .unwrap();
+        let bytes_s = serial.serialize_bytes();
+        assert_eq!(sched_s.workers, 1);
+
+        for threads in [2usize, 4, 8] {
+            let mut par = NumericFactor::empty(&plan);
+            let (stats_p, sched_p) = par
+                .execute_plan(&plan, &h, &all, &ParallelExecutor::new(threads))
+                .unwrap();
+            assert_eq!(bytes_s, par.serialize_bytes(), "{threads} threads diverged");
+            assert_eq!(stats_s.recomputed_nodes(), stats_p.recomputed_nodes());
+            assert_eq!(stats_s.flops(), stats_p.flops());
+            assert_eq!(sched_p.spans.len(), plan.num_tasks());
+        }
+    }
+
+    #[test]
+    fn execute_plan_reuses_like_refactor() {
+        let p = loopy_pattern();
+        let sym = SymbolicFactor::analyze(&p, 0);
+        let plan = ExecutionPlan::from_symbolic(&sym);
+        let h0 = build_h(&p, 1);
+        let all: Vec<usize> = (0..p.num_blocks()).collect();
+
+        let mut via_plan = NumericFactor::empty(&plan);
+        via_plan
+            .execute_plan(&plan, &h0, &all, &ParallelExecutor::new(4))
+            .unwrap();
+
+        let mut h1 = h0.clone();
+        h1.add_to_block(2, 2, &Mat::from_diag(&vec![1.5; p.block_dims()[2]]));
+        let (stats, _) = via_plan
+            .execute_plan(&plan, &h1, &[2], &ParallelExecutor::new(4))
+            .unwrap();
+
+        // Mirror the serial refactor path on a fresh factor.
+        let mut via_refactor = NumericFactor::factorize(&sym, &h0).unwrap();
+        let ref_stats = via_refactor.refactor(&sym, &h1, &[2]).unwrap();
+
+        assert_eq!(stats.reused, ref_stats.reused);
+        assert_eq!(stats.recomputed_nodes(), ref_stats.recomputed_nodes());
+        assert_eq!(via_plan.serialize_bytes(), via_refactor.serialize_bytes());
+    }
+
+    #[test]
+    fn serialize_bytes_distinguishes_values() {
+        let p = loopy_pattern();
+        let sym = SymbolicFactor::analyze(&p, 0);
+        let h0 = build_h(&p, 1);
+        let num0 = NumericFactor::factorize(&sym, &h0).unwrap();
+        let mut h1 = h0.clone();
+        h1.add_to_block(0, 0, &Mat::from_diag(&vec![0.25; p.block_dims()[0]]));
+        let num1 = NumericFactor::factorize(&sym, &h1).unwrap();
+        assert_ne!(num0.serialize_bytes(), num1.serialize_bytes());
+        assert_eq!(num0.serialize_bytes(), num0.serialize_bytes());
+    }
+
+    #[test]
+    fn factorize_error_leaves_factor_reseedable() {
+        let mut p = BlockPattern::new(vec![1, 1]);
+        p.add_block_edge(0, 1);
+        let sym = SymbolicFactor::analyze(&p, 0);
+        let plan = ExecutionPlan::from_symbolic(&sym);
+        let mut bad = BlockMat::new(vec![1, 1]);
+        bad.add_to_block(0, 0, &Mat::from_rows(1, 1, &[1.0]));
+        bad.add_to_block(1, 0, &Mat::from_rows(1, 1, &[2.0]));
+        bad.add_to_block(1, 1, &Mat::from_rows(1, 1, &[1.0]));
+        let all = [0usize, 1];
+        let mut num = NumericFactor::empty(&plan);
+        assert!(num.execute_plan(&plan, &bad, &all, &ParallelExecutor::new(2)).is_err());
+        // A good system factorizes fine afterwards.
+        let good = build_h(&p, 3);
+        let (stats, _) = num
+            .execute_plan(&plan, &good, &all, &ParallelExecutor::serial())
+            .unwrap();
+        assert_eq!(stats.recomputed.len(), plan.num_tasks());
     }
 }

@@ -15,4 +15,7 @@ cargo test -q --workspace
 echo "==> lint + invariants"
 cargo run -q -p supernova-analyze --bin lint
 
+echo "==> host-executor determinism (serial vs 2/4-thread factorization)"
+cargo run --release -q -p supernova-bench --bin determinism
+
 echo "ci: all gates passed"
