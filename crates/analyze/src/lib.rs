@@ -28,6 +28,6 @@ pub mod validate;
 
 pub use lint::{lint_file, lint_workspace, Rule, Violation};
 pub use validate::{
-    validate_energy, validate_exec, validate_host_schedule, validate_step, Invariant,
-    ScheduleViolation,
+    validate_dispatch, validate_energy, validate_exec, validate_host_schedule, validate_step,
+    DispatchRecord, Invariant, ScheduleViolation,
 };

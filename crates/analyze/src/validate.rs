@@ -362,6 +362,120 @@ pub fn validate_host_schedule(
     out
 }
 
+/// One dispatched serving-layer step, as the serve crate's dispatcher
+/// records it: which worker applied which session's `seq`-th update over
+/// which wall-clock interval. A plain mirror of `supernova-serve`'s
+/// `DispatchSpan` (this crate sits below serve in the dependency order, so
+/// serve converts and calls [`validate_dispatch`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DispatchRecord {
+    /// The worker that applied the update.
+    pub worker: usize,
+    /// The session the update belonged to.
+    pub session: u64,
+    /// The update's per-session sequence number (submission order).
+    pub seq: u64,
+    /// Wall-clock start (seconds since server start).
+    pub start: f64,
+    /// Wall-clock end (seconds since server start).
+    pub end: f64,
+}
+
+/// Checks a serving-layer dispatch record against the dispatcher's
+/// contract, using the same invariant vocabulary as the schedule checkers:
+///
+/// - **unit exclusivity** — no worker runs two steps at once, and no span
+///   names a worker outside the `workers`-wide pool;
+/// - **happens-before** — within a session, the `seq`-order is the time
+///   order: update `k + 1` starts only after update `k` ends (per-session
+///   serial execution, the property bit-identical serving rests on);
+/// - **coverage** — each session's recorded sequence numbers are distinct
+///   and contiguous from 0 (the record is a faithful prefix, not a
+///   sample).
+///
+/// Returns every violation found (empty = legal dispatch).
+pub fn validate_dispatch(workers: usize, spans: &[DispatchRecord]) -> Vec<ScheduleViolation> {
+    let mut out = Vec::new();
+    let makespan = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
+    let tol = time_tol(makespan);
+
+    // --- Sane spans on valid workers.
+    for s in spans {
+        if s.end < s.start - tol {
+            out.push(ScheduleViolation {
+                invariant: Invariant::HappensBefore,
+                detail: format!(
+                    "session {} seq {} ends at {:.3e}s before its start {:.3e}s",
+                    s.session, s.seq, s.end, s.start
+                ),
+            });
+        }
+        if s.worker >= workers {
+            out.push(ScheduleViolation {
+                invariant: Invariant::UnitExclusive,
+                detail: format!(
+                    "session {} seq {} ran on worker {} of a {}-worker pool",
+                    s.session, s.seq, s.worker, workers
+                ),
+            });
+        }
+    }
+
+    // --- Per-worker exclusivity.
+    for worker in 0..workers {
+        let mut intervals: Vec<&DispatchRecord> =
+            spans.iter().filter(|s| s.worker == worker).collect();
+        intervals.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.end.total_cmp(&b.end)));
+        for w in intervals.windows(2) {
+            if w[1].start < w[0].end - tol {
+                out.push(ScheduleViolation {
+                    invariant: Invariant::UnitExclusive,
+                    detail: format!(
+                        "worker {worker} runs session {} seq {} until {:.3e}s but session {} \
+                         seq {} starts at {:.3e}s",
+                        w[0].session, w[0].seq, w[0].end, w[1].session, w[1].seq, w[1].start
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- Per-session ordering and coverage.
+    let mut sessions: Vec<u64> = spans.iter().map(|s| s.session).collect();
+    sessions.sort_unstable();
+    sessions.dedup();
+    for sid in sessions {
+        let mut own: Vec<&DispatchRecord> = spans.iter().filter(|s| s.session == sid).collect();
+        own.sort_by_key(|s| s.seq);
+        for (i, s) in own.iter().enumerate() {
+            if s.seq != i as u64 {
+                out.push(ScheduleViolation {
+                    invariant: Invariant::Coverage,
+                    detail: format!(
+                        "session {sid} records seq {} where {} was expected (missing or \
+                         duplicated update)",
+                        s.seq, i
+                    ),
+                });
+                break; // one gap cascades; report it once
+            }
+        }
+        for w in own.windows(2) {
+            if w[1].start < w[0].end - tol {
+                out.push(ScheduleViolation {
+                    invariant: Invariant::HappensBefore,
+                    detail: format!(
+                        "session {sid} seq {} starts at {:.3e}s before seq {} ends at {:.3e}s",
+                        w[1].seq, w[1].start, w[0].seq, w[0].end
+                    ),
+                });
+            }
+        }
+    }
+
+    out
+}
+
 /// Checks an energy ledger for conservation against a per-op recomputation
 /// under `platform`'s energy model: the ledger's total must equal the sum
 /// of per-op joules, and its op count must match the trace.
@@ -673,6 +787,64 @@ mod tests {
             let (plan, mut sched, recomputed) = run(2);
             sched.spans[0].worker = sched.workers + 3;
             let v = validate_host_schedule(&plan, &sched, &recomputed);
+            assert!(v.iter().any(|v| v.invariant == Invariant::UnitExclusive), "got {v:?}");
+        }
+    }
+
+    mod dispatch {
+        use super::super::*;
+
+        fn span(worker: usize, session: u64, seq: u64, start: f64, end: f64) -> DispatchRecord {
+            DispatchRecord { worker, session, seq, start, end }
+        }
+
+        /// Two sessions interleaving legally across two workers.
+        fn legal() -> Vec<DispatchRecord> {
+            vec![
+                span(0, 0, 0, 0.0, 1.0),
+                span(1, 1, 0, 0.0, 0.6),
+                span(1, 1, 1, 0.7, 1.4),
+                span(0, 0, 1, 1.1, 1.9),
+                span(1, 0, 2, 2.0, 2.5),
+                span(0, 1, 2, 1.9, 2.2),
+            ]
+        }
+
+        #[test]
+        fn legal_dispatch_validates() {
+            let v = validate_dispatch(2, &legal());
+            assert!(v.is_empty(), "{v:?}");
+        }
+
+        #[test]
+        fn worker_overlap_is_rejected() {
+            let mut spans = legal();
+            spans[3].start = 0.5; // worker 0 still running seq 0 of session 0
+            let v = validate_dispatch(2, &spans);
+            assert!(v.iter().any(|v| v.invariant == Invariant::UnitExclusive), "got {v:?}");
+        }
+
+        #[test]
+        fn session_reordering_is_rejected() {
+            let mut spans = legal();
+            // Session 1's seq 1 now starts before its seq 0 ends.
+            spans[2].start = 0.3;
+            spans[2].worker = 0; // keep worker 1's own timeline legal
+            spans[2].end = 0.9;
+            spans[3].start = 1.1; // worker 0's next span stays after it
+            let v = validate_dispatch(2, &spans);
+            assert!(v.iter().any(|v| v.invariant == Invariant::HappensBefore), "got {v:?}");
+        }
+
+        #[test]
+        fn sequence_gaps_and_foreign_workers_are_rejected() {
+            let mut spans = legal();
+            spans[4].seq = 7; // session 0 loses its seq 2
+            let v = validate_dispatch(2, &spans);
+            assert!(v.iter().any(|v| v.invariant == Invariant::Coverage), "got {v:?}");
+
+            let spans = vec![span(5, 0, 0, 0.0, 1.0)];
+            let v = validate_dispatch(2, &spans);
             assert!(v.iter().any(|v| v.invariant == Invariant::UnitExclusive), "got {v:?}");
         }
     }

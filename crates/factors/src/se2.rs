@@ -20,6 +20,19 @@ impl Rot2 {
         Rot2 { c: 1.0, s: 0.0 }
     }
 
+    /// Reconstructs a rotation from stored `(cos θ, sin θ)` components —
+    /// the bit-exact inverse of [`cos_sin`](Self::cos_sin). No
+    /// renormalization is applied, so a serialize/deserialize round trip
+    /// preserves the exact bits.
+    pub fn from_cos_sin(c: f64, s: f64) -> Self {
+        Rot2 { c, s }
+    }
+
+    /// The stored `(cos θ, sin θ)` components.
+    pub fn cos_sin(self) -> (f64, f64) {
+        (self.c, self.s)
+    }
+
     /// The rotation angle in `(-π, π]`.
     pub fn angle(self) -> f64 {
         self.s.atan2(self.c)
@@ -90,6 +103,13 @@ impl Se2 {
     /// The identity pose.
     pub fn identity() -> Self {
         Se2::default()
+    }
+
+    /// Creates a pose from translation and rotation, exactly as given (no
+    /// renormalization — the bit-exact counterpart of
+    /// [`translation`](Self::translation) / [`rotation`](Self::rotation)).
+    pub fn from_parts(t: [f64; 2], rot: Rot2) -> Self {
+        Se2 { rot, t }
     }
 
     /// X translation.

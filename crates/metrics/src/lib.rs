@@ -6,7 +6,10 @@
 //! - [`IrmseAccumulator`] — the incremental RMSE of Equation (3): the
 //!   per-step RMSE averaged over steps (and the incremental MAX);
 //! - [`BoxStats`] / [`miss_rate`] — the Figure 10 statistics: latency
-//!   quartiles and target-miss rates.
+//!   quartiles and target-miss rates;
+//! - [`Histogram`] — a fixed-bucket, merge-able latency histogram for
+//!   long-running collection (the serving layer's per-session p50/p95/p99
+//!   come from it).
 //!
 //! # Example
 //!
@@ -25,4 +28,4 @@ mod accuracy;
 mod stats;
 
 pub use accuracy::{ape, ApeStats, IrmseAccumulator};
-pub use stats::{miss_rate, BoxStats};
+pub use stats::{miss_rate, BoxStats, Histogram};

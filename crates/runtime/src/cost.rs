@@ -10,7 +10,9 @@ use crate::SchedulerConfig;
 ///
 /// The trait abstracts the hardware layer from the algorithm, exactly as the
 /// paper's runtime does: the solver crate depends only on this interface.
-pub trait RelinCostModel {
+/// Implementations must be thread-safe: the serving layer moves engines
+/// (which hold an `Arc<dyn RelinCostModel>`) across its worker pool.
+pub trait RelinCostModel: Send + Sync {
     /// Predicted seconds to recompute a supernode with the given scalar
     /// front dimensions and staged factor bytes, on this platform with its
     /// current accelerator resources.

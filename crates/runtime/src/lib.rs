@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod budget;
 mod cost;
 mod energy;
 pub mod exec;
@@ -42,6 +43,7 @@ mod sched;
 mod space;
 mod trace;
 
+pub use budget::StepBudget;
 pub use cost::{CostModel, RelinCostModel};
 pub use energy::{step_energy, step_energy_ledger, StepEnergy};
 pub use exec::{ExecTrace, NodeExec, OpExec, Phase, Unit};

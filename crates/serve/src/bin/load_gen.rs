@@ -1,0 +1,248 @@
+//! `load_gen` — replays seeded datasets as N concurrent serving sessions
+//! and records throughput, latency percentiles and degradation behaviour.
+//!
+//! ```text
+//! cargo run --release -p supernova-serve --bin load_gen [sessions] [workers]
+//! ```
+//!
+//! Defaults: 8 sessions, 2 workers. Sessions alternate between
+//! `manhattan_seeded` and `sphere_seeded` trajectories (distinct seeds),
+//! submitted round-robin with a global logical deadline tick — the
+//! adversarial interleaving for the EDF dispatcher. Two scenarios run:
+//!
+//! - **nominal**: queues sized so nothing sheds and degradation stays
+//!   off; every session's drained estimate is checked bit-for-bit against
+//!   a solo replay of the same seed (the serving layer must be invisible
+//!   to the numbers).
+//! - **overload**: capacity-8 queues and an aggressive degradation knee;
+//!   the generator bursts everything at once and records shed counts, the
+//!   degradation histogram and the bounded queue high-water mark.
+//!
+//! Results land in `results/BENCH_serve_throughput.json`. Exits nonzero
+//! if the nominal scenario's bit-identity check or either scenario's
+//! dispatch-span invariants fail.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use supernova_analyze::validate_dispatch;
+use supernova_datasets::Dataset;
+use supernova_factors::Values;
+use supernova_hw::Platform;
+use supernova_runtime::CostModel;
+use supernova_serve::{AdmissionError, ServeConfig, Server, ServerStats, UpdateRequest};
+use supernova_solvers::{RaIsam2Config, SolverEngine};
+use supernova_sparse::ParallelExecutor;
+
+/// The i-th session's dataset (alternating families, distinct seeds).
+fn session_dataset(i: usize) -> Dataset {
+    if i % 2 == 0 {
+        Dataset::manhattan_seeded(40, 101 + i as u64)
+    } else {
+        Dataset::sphere_seeded(30, 201 + i as u64)
+    }
+}
+
+fn solo_estimate(ds: &Dataset) -> Values {
+    let cost = Arc::new(CostModel::new(Platform::supernova(2)));
+    let mut e = SolverEngine::new(RaIsam2Config::default(), cost);
+    e.set_executor(ParallelExecutor::new(1));
+    for step in &ds.online_steps() {
+        e.step(step.truth.clone(), step.factors.clone());
+    }
+    e.estimate()
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    sessions: usize,
+    workers: usize,
+    queue_capacity: usize,
+    submitted: u64,
+    shed_at_submit: u64,
+    wall_s: f64,
+    stats: ServerStats,
+    max_depth: usize,
+    bit_identical: Option<bool>,
+    span_violations: usize,
+}
+
+fn run_scenario(
+    name: &'static str,
+    cfg: ServeConfig,
+    sessions: usize,
+    check_identity: bool,
+) -> ScenarioResult {
+    let workers = cfg.workers;
+    let queue_capacity = cfg.queue_capacity;
+    let server = Server::start(cfg);
+    let ids: Vec<_> = (0..sessions)
+        .map(|_| server.create_session().expect("pool sized to the session count"))
+        .collect();
+    let datasets: Vec<Dataset> = (0..sessions).map(session_dataset).collect();
+    let step_lists: Vec<_> = datasets.iter().map(Dataset::online_steps).collect();
+
+    let t0 = Instant::now();
+    let mut cursors = vec![0usize; sessions];
+    let mut tick = 0u64;
+    let mut submitted = 0u64;
+    let mut shed_at_submit = 0u64;
+    loop {
+        let mut any = false;
+        for i in 0..sessions {
+            if cursors[i] < step_lists[i].len() {
+                let s = &step_lists[i][cursors[i]];
+                match server
+                    .submit(ids[i], UpdateRequest::new(tick, s.truth.clone(), s.factors.clone()))
+                {
+                    Ok(()) => submitted += 1,
+                    Err(AdmissionError::QueueFull { .. }) => shed_at_submit += 1,
+                    Err(e) => panic!("unexpected admission error: {e}"),
+                }
+                cursors[i] += 1;
+                tick += 1;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    server.drain_all();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let bit_identical = if check_identity {
+        let mut all = true;
+        for (i, ds) in datasets.iter().enumerate() {
+            let served = server.estimate(ids[i]).expect("session is live");
+            if served != solo_estimate(ds) {
+                eprintln!("{name}: session {i} ({}) diverged from solo", ds.name());
+                all = false;
+            }
+        }
+        Some(all)
+    } else {
+        None
+    };
+
+    let stats = server.stats();
+    let max_depth = stats.sessions.iter().map(|s| s.max_queue_depth).max().unwrap_or(0);
+    let records: Vec<_> = server.spans().iter().map(|s| s.record()).collect();
+    let violations = validate_dispatch(workers, &records);
+    for v in &violations {
+        eprintln!("{name}: dispatch invariant violated: {v}");
+    }
+    ScenarioResult {
+        name,
+        sessions,
+        workers,
+        queue_capacity,
+        submitted,
+        shed_at_submit,
+        wall_s,
+        stats,
+        max_depth,
+        bit_identical,
+        span_violations: violations.len(),
+    }
+}
+
+fn emit_json(results: &[ScenarioResult]) -> String {
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"serve_throughput\",");
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let (p50, p95, p99) = r.stats.aggregate_latency;
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"sessions\": {},", r.sessions);
+        let _ = writeln!(out, "      \"workers\": {},", r.workers);
+        let _ = writeln!(out, "      \"queue_capacity\": {},", r.queue_capacity);
+        let _ = writeln!(out, "      \"updates_submitted\": {},", r.submitted);
+        let _ = writeln!(out, "      \"updates_completed\": {},", r.stats.total_completed);
+        let _ = writeln!(out, "      \"updates_shed\": {},", r.stats.total_shed);
+        let _ = writeln!(out, "      \"updates_shed_at_submit\": {},", r.shed_at_submit);
+        let _ = writeln!(out, "      \"wall_s\": {:.6},", r.wall_s);
+        let _ = writeln!(
+            out,
+            "      \"throughput_updates_per_s\": {:.2},",
+            r.stats.total_completed as f64 / r.wall_s.max(1e-12)
+        );
+        let _ = writeln!(out, "      \"latency_p50_ms\": {:.4},", p50 * 1e3);
+        let _ = writeln!(out, "      \"latency_p95_ms\": {:.4},", p95 * 1e3);
+        let _ = writeln!(out, "      \"latency_p99_ms\": {:.4},", p99 * 1e3);
+        let _ = writeln!(out, "      \"max_queue_depth\": {},", r.max_depth);
+        let hist: Vec<String> =
+            r.stats.degradation_histogram.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(out, "      \"degradation_histogram\": [{}],", hist.join(", "));
+        let _ = writeln!(
+            out,
+            "      \"bit_identical_to_solo\": {},",
+            match r.bit_identical {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            }
+        );
+        let _ = writeln!(out, "      \"dispatch_span_violations\": {}", r.span_violations);
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let sessions: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+    eprintln!("load_gen: {sessions} sessions on {workers} workers");
+
+    let nominal = run_scenario(
+        "nominal",
+        ServeConfig {
+            workers,
+            max_sessions: sessions,
+            queue_capacity: 256,
+            degrade_start: 1 << 20,
+            ..ServeConfig::default()
+        },
+        sessions,
+        true,
+    );
+    let overload = run_scenario(
+        "overload",
+        ServeConfig {
+            workers,
+            max_sessions: sessions,
+            queue_capacity: 8,
+            degrade_start: 4,
+            degrade_stride: 4,
+            ..ServeConfig::default()
+        },
+        sessions,
+        false,
+    );
+
+    let results = [nominal, overload];
+    let json = emit_json(&results);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_serve_throughput.json", &json)
+        .expect("write results/BENCH_serve_throughput.json");
+    print!("{json}");
+
+    let ok = results
+        .iter()
+        .all(|r| r.span_violations == 0 && r.bit_identical.unwrap_or(true));
+    if ok {
+        eprintln!("load_gen: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("load_gen: FAILED");
+        ExitCode::FAILURE
+    }
+}

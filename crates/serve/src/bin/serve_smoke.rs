@@ -1,0 +1,220 @@
+//! `serve_smoke` — the CI gate for the multi-session serving layer.
+//!
+//! ```text
+//! cargo run --release -p supernova-serve --bin serve_smoke
+//! ```
+//!
+//! Two phases, both in-process (no sockets, no timing dependence in the
+//! *checked* properties):
+//!
+//! 1. **Bit-identity at low rate.** Four sessions (two Manhattan, two
+//!    sphere seeds) share two workers with queues large enough that
+//!    nothing sheds and degradation never engages. Each session's drained
+//!    estimate must equal — by exact `f64` bits — a solo replay of the
+//!    same seed on a fresh engine, no matter how the sessions interleaved
+//!    across the workers. Zero sheds is asserted.
+//! 2. **Graceful degradation under overload.** One worker, a capacity-8
+//!    queue and a burst of 50 updates: admitted work must all complete
+//!    (shed + completed = submitted), the queue high-water mark must
+//!    respect the bound, degradation must engage and then recover to
+//!    level 0 once drained.
+//!
+//! Both phases run the recorded dispatch spans through
+//! `supernova_analyze::validate_dispatch` (worker exclusivity,
+//! per-session happens-before, sequence coverage).
+//!
+//! Exits nonzero on the first failed property.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use supernova_analyze::validate_dispatch;
+use supernova_datasets::Dataset;
+use supernova_factors::Values;
+use supernova_hw::Platform;
+use supernova_runtime::CostModel;
+use supernova_serve::{AdmissionError, ServeConfig, Server, UpdateRequest};
+use supernova_solvers::{RaIsam2Config, SolverEngine};
+use supernova_sparse::ParallelExecutor;
+
+/// A solo replay of `ds` on a fresh engine — the bit-identity reference.
+fn solo_estimate(ds: &Dataset) -> Values {
+    let cost = Arc::new(CostModel::new(Platform::supernova(2)));
+    let mut e = SolverEngine::new(RaIsam2Config::default(), cost);
+    e.set_executor(ParallelExecutor::new(1));
+    for step in &ds.online_steps() {
+        e.step(step.truth.clone(), step.factors.clone());
+    }
+    e.estimate()
+}
+
+fn check_spans(server: &Server, phase: &str) -> bool {
+    let records: Vec<_> = server.spans().iter().map(|s| s.record()).collect();
+    let violations = validate_dispatch(server.config().workers, &records);
+    if violations.is_empty() {
+        println!("PASS {phase}: {} dispatch spans satisfy all invariants", records.len());
+        true
+    } else {
+        for v in &violations {
+            eprintln!("FAIL {phase}: {v}");
+        }
+        false
+    }
+}
+
+fn phase_bit_identity() -> bool {
+    let datasets = [
+        Dataset::manhattan_seeded(40, 31),
+        Dataset::sphere_seeded(30, 32),
+        Dataset::manhattan_seeded(35, 33),
+        Dataset::sphere_seeded(25, 34),
+    ];
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        max_sessions: 4,
+        queue_capacity: 128,
+        // Low rate by construction: degradation never engages, so the
+        // budget history matches a solo run exactly.
+        degrade_start: 1 << 20,
+        ..ServeConfig::default()
+    });
+
+    let ids: Vec<_> = datasets
+        .iter()
+        .map(|_| server.create_session().expect("4 slots configured"))
+        .collect();
+    // Interleave submissions round-robin with a global deadline tick, the
+    // worst case for cross-session ordering.
+    let step_lists: Vec<_> = datasets.iter().map(Dataset::online_steps).collect();
+    let mut tick = 0u64;
+    let mut cursors = vec![0usize; datasets.len()];
+    loop {
+        let mut any = false;
+        for (i, steps) in step_lists.iter().enumerate() {
+            if cursors[i] < steps.len() {
+                let s = &steps[cursors[i]];
+                server
+                    .submit(ids[i], UpdateRequest::new(tick, s.truth.clone(), s.factors.clone()))
+                    .expect("capacity 128 cannot shed these bursts");
+                cursors[i] += 1;
+                tick += 1;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+
+    let mut ok = true;
+    for (i, ds) in datasets.iter().enumerate() {
+        let served = server.estimate(ids[i]).expect("session is live");
+        let solo = solo_estimate(ds);
+        if served == solo {
+            println!(
+                "PASS bit-identity: {} ({} poses) served == solo",
+                ds.name(),
+                served.len()
+            );
+        } else {
+            eprintln!("FAIL bit-identity: {} served estimate diverged from solo", ds.name());
+            ok = false;
+        }
+    }
+
+    let stats = server.stats();
+    if stats.total_shed != 0 {
+        eprintln!("FAIL low-rate: {} updates shed, expected 0", stats.total_shed);
+        ok = false;
+    } else {
+        println!("PASS low-rate: zero sheds across {} updates", stats.total_completed);
+    }
+    if stats.any_degraded() {
+        eprintln!("FAIL low-rate: degradation engaged ({:?})", stats.degradation_histogram);
+        ok = false;
+    }
+    ok &= check_spans(&server, "bit-identity");
+    for id in ids {
+        server.close(id).expect("close");
+    }
+    ok
+}
+
+fn phase_overload() -> bool {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        max_sessions: 1,
+        queue_capacity: 8,
+        degrade_start: 2,
+        degrade_stride: 2,
+        ..ServeConfig::default()
+    });
+    let sid = server.create_session().expect("slot");
+    let ds = Dataset::manhattan_seeded(50, 35);
+    let mut shed = 0u64;
+    let mut admitted = 0u64;
+    for (i, step) in ds.online_steps().into_iter().enumerate() {
+        match server.submit(sid, UpdateRequest::new(i as u64, step.truth, step.factors)) {
+            Ok(()) => admitted += 1,
+            Err(AdmissionError::QueueFull { .. }) => shed += 1,
+            Err(e) => {
+                eprintln!("FAIL overload: unexpected admission error {e}");
+                return false;
+            }
+        }
+    }
+    server.drain(sid).expect("session is live");
+    let stats = server.stats();
+    let mut ok = true;
+
+    if stats.sessions[0].completed != admitted {
+        eprintln!(
+            "FAIL overload: {} admitted but {} completed — admitted work was dropped",
+            admitted, stats.sessions[0].completed
+        );
+        ok = false;
+    } else {
+        println!("PASS overload: all {admitted} admitted updates completed ({shed} shed at admission)");
+    }
+    if stats.sessions[0].max_queue_depth > 8 {
+        eprintln!(
+            "FAIL overload: queue depth peaked at {} over the bound 8",
+            stats.sessions[0].max_queue_depth
+        );
+        ok = false;
+    } else {
+        println!(
+            "PASS overload: queue stayed bounded (peak {} <= 8)",
+            stats.sessions[0].max_queue_depth
+        );
+    }
+    if !stats.any_degraded() {
+        eprintln!("FAIL overload: a 50-update burst never engaged degradation");
+        ok = false;
+    } else {
+        println!(
+            "PASS overload: degradation engaged (histogram {:?})",
+            stats.degradation_histogram
+        );
+    }
+    if server.degradation() != 0 {
+        eprintln!("FAIL overload: level {} after drain, expected 0", server.degradation());
+        ok = false;
+    } else {
+        println!("PASS overload: degradation recovered to level 0 after drain");
+    }
+    ok &= check_spans(&server, "overload");
+    ok
+}
+
+fn main() -> ExitCode {
+    let mut ok = phase_bit_identity();
+    ok &= phase_overload();
+    if ok {
+        println!("serve_smoke: all properties hold");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("serve_smoke: FAILED");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,232 @@
+//! Session identity, lifecycle state, and the registry.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use supernova_factors::{Factor, Variable};
+use supernova_solvers::SolverEngine;
+
+use crate::stats::SessionStats;
+
+/// Opaque handle of one SLAM session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// One queued odometry / loop-closure update: the new pose's initial guess
+/// plus every factor arriving with it (exactly one
+/// [`OnlineStep`](supernova_datasets::OnlineStep) worth of work).
+#[derive(Clone, Debug)]
+pub struct UpdateRequest {
+    /// Client-assigned logical deadline: the dispatcher serves the session
+    /// whose head-of-queue request has the smallest deadline (earliest
+    /// deadline first; ties go to the lowest session id). Any monotonic
+    /// per-client counter works — load generators use the submission tick.
+    pub deadline: u64,
+    /// Initial guess for the new pose.
+    pub initial: Variable,
+    /// Factors arriving with the new pose.
+    pub factors: Vec<Arc<dyn Factor>>,
+}
+
+impl UpdateRequest {
+    /// Convenience constructor.
+    pub fn new(deadline: u64, initial: Variable, factors: Vec<Arc<dyn Factor>>) -> Self {
+        UpdateRequest { deadline, initial, factors }
+    }
+}
+
+/// What a closed session leaves behind.
+#[derive(Clone, Debug)]
+pub struct SessionCloseReport {
+    /// The closed session.
+    pub session: SessionId,
+    /// Updates fully processed over the session's lifetime.
+    pub completed: u64,
+    /// Updates shed at admission (queue-full rejections).
+    pub shed: u64,
+    /// Final per-session statistics.
+    pub stats: SessionStats,
+}
+
+/// One live session: its engine slot, bounded queue, and statistics.
+///
+/// `engine` is `None` exactly while a worker is stepping the session (the
+/// worker holds the engine outside the registry lock); `busy` mirrors that
+/// so admission and drain logic never need to touch the engine itself.
+#[derive(Debug)]
+pub(crate) struct Session {
+    pub(crate) id: SessionId,
+    pub(crate) engine: Option<SolverEngine>,
+    pub(crate) queue: VecDeque<UpdateRequest>,
+    /// A worker currently holds the engine and is applying an update.
+    pub(crate) busy: bool,
+    /// `close()` has begun: no further updates are admitted.
+    pub(crate) closing: bool,
+    /// Updates fully processed.
+    pub(crate) completed: u64,
+    /// Monotonic sequence of the next update to be dispatched (for span
+    /// ordering checks).
+    pub(crate) next_seq: u64,
+    pub(crate) stats: SessionStats,
+}
+
+impl Session {
+    pub(crate) fn new(id: SessionId, engine: SolverEngine, degradation_levels: u8) -> Self {
+        Session {
+            id,
+            engine: Some(engine),
+            queue: VecDeque::new(),
+            busy: false,
+            closing: false,
+            completed: 0,
+            next_seq: 0,
+            stats: SessionStats::new(degradation_levels),
+        }
+    }
+
+    /// Outstanding (queued, not yet applied) updates.
+    pub(crate) fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether a worker could pick this session right now.
+    pub(crate) fn ready(&self) -> bool {
+        !self.busy && !self.queue.is_empty()
+    }
+
+    /// Whether all admitted work has been applied.
+    pub(crate) fn drained(&self) -> bool {
+        !self.busy && self.queue.is_empty()
+    }
+}
+
+/// The table of live sessions, keyed by id (deterministic iteration order —
+/// the EDF tie-break depends on it).
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    sessions: BTreeMap<u64, Session>,
+    next_id: u64,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live sessions (including closing ones).
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Total queued updates across all sessions — the dispatcher's load
+    /// signal for the degradation policy.
+    pub fn total_depth(&self) -> usize {
+        self.sessions.values().map(Session::depth).sum()
+    }
+
+    pub(crate) fn insert(&mut self, engine: SolverEngine, degradation_levels: u8) -> SessionId {
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        self.sessions.insert(id.0, Session::new(id, engine, degradation_levels));
+        id
+    }
+
+    pub(crate) fn get(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.get(&id.0)
+    }
+
+    pub(crate) fn get_mut(&mut self, id: SessionId) -> Option<&mut Session> {
+        self.sessions.get_mut(&id.0)
+    }
+
+    pub(crate) fn remove(&mut self, id: SessionId) -> Option<Session> {
+        self.sessions.remove(&id.0)
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &Session> {
+        self.sessions.values()
+    }
+
+    /// The EDF pick: among ready sessions, the one whose head request has
+    /// the earliest deadline; ties go to the lowest session id (ascending
+    /// map order makes `<` do exactly that).
+    pub(crate) fn pick_earliest_deadline(&self) -> Option<SessionId> {
+        let mut best: Option<(u64, SessionId)> = None;
+        for s in self.sessions.values().filter(|s| s.ready()) {
+            // `ready()` guarantees a head request exists.
+            if let Some(head) = s.queue.front() {
+                if best.map_or(true, |(d, _)| head.deadline < d) {
+                    best = Some((head.deadline, s.id));
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use supernova_hw::Platform;
+    use supernova_runtime::CostModel;
+    use supernova_solvers::RaIsam2Config;
+
+    fn engine() -> SolverEngine {
+        SolverEngine::new(
+            RaIsam2Config::default(),
+            Arc::new(CostModel::new(Platform::supernova(2))),
+        )
+    }
+
+    fn request(deadline: u64) -> UpdateRequest {
+        UpdateRequest::new(
+            deadline,
+            Variable::Se2(supernova_factors::Se2::identity()),
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn ids_are_sequential_and_stable_across_removal() {
+        let mut reg = SessionRegistry::new();
+        let a = reg.insert(engine(), 4);
+        let b = reg.insert(engine(), 4);
+        assert_eq!((a.0, b.0), (0, 1));
+        let removed = reg.remove(a).expect("a exists");
+        assert_eq!(removed.id, a);
+        let c = reg.insert(removed.engine.expect("engine present"), 4);
+        assert_eq!(c.0, 2, "ids are never reused");
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn edf_picks_earliest_deadline_then_lowest_id() {
+        let mut reg = SessionRegistry::new();
+        let a = reg.insert(engine(), 4);
+        let b = reg.insert(engine(), 4);
+        let c = reg.insert(engine(), 4);
+        reg.get_mut(a).expect("a").queue.push_back(request(9));
+        reg.get_mut(b).expect("b").queue.push_back(request(5));
+        reg.get_mut(c).expect("c").queue.push_back(request(5));
+        assert_eq!(reg.pick_earliest_deadline(), Some(b), "earliest deadline, lowest id");
+        // A busy session is skipped even with the earliest deadline.
+        reg.get_mut(b).expect("b").busy = true;
+        assert_eq!(reg.pick_earliest_deadline(), Some(c));
+        reg.get_mut(c).expect("c").queue.clear();
+        assert_eq!(reg.pick_earliest_deadline(), Some(a));
+        assert_eq!(reg.total_depth(), 2);
+    }
+}

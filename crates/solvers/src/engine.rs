@@ -107,6 +107,20 @@ impl IncrementalCore {
         self.executor = exec;
     }
 
+    /// Returns the core to its freshly-constructed state, dropping the
+    /// factor graph, linearizations, plan cache, numeric cache, host
+    /// schedule and every per-step accumulator, while keeping the
+    /// configuration (`relax`) and the installed executor.
+    ///
+    /// A recycled core is indistinguishable from a new one: replaying the
+    /// same step sequence afterwards produces bit-identical factors and
+    /// estimates (the serving layer's engine pool relies on this).
+    pub fn reset(&mut self) {
+        let relax = self.relax;
+        let executor = self.executor;
+        *self = IncrementalCore { relax, executor, ..Self::default() };
+    }
+
     /// The cached execution plan (after the first [`analyze`](Self::analyze)).
     pub fn plan(&self) -> Option<&ExecutionPlan> {
         self.plan.as_ref()

@@ -41,6 +41,7 @@ mod fixed_lag;
 mod isam2;
 mod local_global;
 mod ra_isam2;
+mod solver_engine;
 mod traits;
 
 pub use batch::{BatchConfig, BatchSolver, BatchStats};
@@ -49,4 +50,5 @@ pub use fixed_lag::{FixedLagConfig, FixedLagSmoother};
 pub use isam2::{Isam2, Isam2Config};
 pub use local_global::{LocalGlobal, LocalGlobalConfig};
 pub use ra_isam2::{RaIsam2, RaIsam2Config};
+pub use solver_engine::SolverEngine;
 pub use traits::OnlineSolver;

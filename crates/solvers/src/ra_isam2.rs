@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use supernova_factors::{Factor, Key, Values, Variable};
-use supernova_runtime::{RelinCostModel, StepTrace};
+use supernova_runtime::{RelinCostModel, StepBudget, StepTrace};
 
 use crate::{IncrementalCore, OnlineSolver};
 
@@ -42,6 +42,9 @@ impl Default for RaIsam2Config {
 pub struct RaIsam2 {
     core: IncrementalCore,
     config: RaIsam2Config,
+    /// The live budget knob: starts at `target_seconds · safety` and can be
+    /// degraded/recovered at runtime (the serving layer's overload policy).
+    budget: StepBudget,
     cost: Arc<dyn RelinCostModel>,
     last_selected: usize,
     last_deferred: usize,
@@ -64,11 +67,36 @@ impl RaIsam2 {
         RaIsam2 {
             core: IncrementalCore::new(config.relax),
             config,
+            budget: StepBudget::new(config.target_seconds, config.safety),
             cost,
             last_selected: 0,
             last_deferred: 0,
             steps_since_reorder: 0,
         }
+    }
+
+    /// The live per-step budget (including its degradation level).
+    pub fn budget(&self) -> StepBudget {
+        self.budget
+    }
+
+    /// Mutable access to the budget knob, e.g. to degrade a session under
+    /// server overload. Takes effect from the next [`step`](OnlineSolver::step).
+    pub fn budget_mut(&mut self) -> &mut StepBudget {
+        &mut self.budget
+    }
+
+    /// Returns the solver to its freshly-constructed state (empty graph,
+    /// cleared plan/numeric caches and host schedule, zeroed counters,
+    /// budget back at degradation level 0), keeping the configuration, the
+    /// cost model and the installed executor. Replaying the same steps
+    /// after a reset is bit-identical to a fresh solver.
+    pub fn reset(&mut self) {
+        self.core.reset();
+        self.budget = StepBudget::new(self.config.target_seconds, self.config.safety);
+        self.last_selected = 0;
+        self.last_deferred = 0;
+        self.steps_since_reorder = 0;
     }
 
     /// The underlying incremental engine.
@@ -99,7 +127,7 @@ impl OnlineSolver for RaIsam2 {
         for f in factors {
             self.core.add_factor(f);
         }
-        let budget = self.config.target_seconds * self.config.safety;
+        let budget = self.budget.effective_seconds();
 
         // Budget-gated fill-reducing reordering: only commit when the
         // resulting one-time full re-factorization itself fits well inside

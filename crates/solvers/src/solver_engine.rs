@@ -1,0 +1,200 @@
+//! The pooled solver handle the serving layer schedules.
+//!
+//! A [`SolverEngine`] owns one RA-ISAM2 instance plus the bookkeeping a
+//! multi-tenant server needs: a step counter, a recycle generation, and a
+//! degradation knob that maps straight onto the solver's
+//! [`StepBudget`](supernova_runtime::StepBudget). Engines are expensive to
+//! warm up (plan cache, workspace growth), so the server keeps a fixed pool
+//! and recycles engines across sessions via [`SolverEngine::reset`] — which
+//! must (and does) restore the exact fresh-engine state, or pooled sessions
+//! would not be bit-identical to solo runs.
+
+use std::sync::Arc;
+
+use supernova_factors::{Factor, Key, Values, Variable};
+use supernova_runtime::{RelinCostModel, StepBudget, StepTrace};
+use supernova_sparse::ParallelExecutor;
+
+use crate::{OnlineSolver, RaIsam2, RaIsam2Config};
+
+/// A recyclable RA-ISAM2 instance for the serving layer's engine pool.
+pub struct SolverEngine {
+    solver: RaIsam2,
+    steps: usize,
+    generation: usize,
+}
+
+impl std::fmt::Debug for SolverEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverEngine")
+            .field("steps", &self.steps)
+            .field("generation", &self.generation)
+            .field("solver", &self.solver)
+            .finish()
+    }
+}
+
+impl SolverEngine {
+    /// A fresh engine over the given RA-ISAM2 configuration and cost model.
+    pub fn new(config: RaIsam2Config, cost: Arc<dyn RelinCostModel>) -> Self {
+        SolverEngine { solver: RaIsam2::new(config, cost), steps: 0, generation: 0 }
+    }
+
+    /// Installs the host executor numeric plans run on (engines in a pool
+    /// share one executor width so per-session results are
+    /// interleaving-independent).
+    pub fn set_executor(&mut self, exec: ParallelExecutor) {
+        self.solver.core_mut().set_executor(exec);
+    }
+
+    /// Processes one online step (the new pose's initial guess plus its
+    /// factors), under the engine's current budget degradation.
+    pub fn step(&mut self, initial: Variable, factors: Vec<Arc<dyn Factor>>) -> StepTrace {
+        self.steps += 1;
+        self.solver.step(initial, factors)
+    }
+
+    /// Steps processed since the last [`reset`](Self::reset).
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// How many times this engine has been recycled through the pool.
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    /// The current budget (target, safety, degradation level).
+    pub fn budget(&self) -> StepBudget {
+        self.solver.budget()
+    }
+
+    /// Sets the budget degradation level for subsequent steps (clamped to
+    /// the budget's ceiling). Level 0 is the full per-step budget; each
+    /// level halves it.
+    pub fn set_degradation(&mut self, level: u8) {
+        self.solver.budget_mut().set_degradation(level);
+    }
+
+    /// Variables the last step relinearized / deferred (degradation
+    /// observability).
+    pub fn last_selected_deferred(&self) -> (usize, usize) {
+        (self.solver.last_selected(), self.solver.last_deferred())
+    }
+
+    /// Current estimate of one pose.
+    pub fn pose_estimate(&self, key: Key) -> Variable {
+        self.solver.pose_estimate(key)
+    }
+
+    /// Current full trajectory estimate.
+    pub fn estimate(&self) -> Values {
+        self.solver.estimate()
+    }
+
+    /// Number of poses incorporated since the last reset.
+    pub fn num_poses(&self) -> usize {
+        self.solver.num_poses()
+    }
+
+    /// Canonical bytes of the cached numeric factor (`None` before the
+    /// first solve) — the serving layer's bit-exactness probe.
+    pub fn numeric_bytes(&self) -> Option<Vec<u8>> {
+        self.solver.core().numeric_bytes()
+    }
+
+    /// The underlying solver (read-only diagnostics).
+    pub fn solver(&self) -> &RaIsam2 {
+        &self.solver
+    }
+
+    /// Recycles the engine for a new session: clears the factor graph, the
+    /// plan and numeric caches, the host schedule and all per-step trace
+    /// state, returns the budget to degradation level 0, and bumps the
+    /// recycle generation. After `reset`, replaying any step sequence is
+    /// bit-identical to running it on a brand-new engine with the same
+    /// configuration.
+    pub fn reset(&mut self) {
+        self.solver.reset();
+        self.steps = 0;
+        self.generation += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supernova_datasets::Dataset;
+    use supernova_hw::Platform;
+    use supernova_runtime::CostModel;
+
+    fn engine() -> SolverEngine {
+        let cost = Arc::new(CostModel::new(Platform::supernova(2)));
+        SolverEngine::new(RaIsam2Config::default(), cost)
+    }
+
+    fn replay(e: &mut SolverEngine, ds: &Dataset) -> (Vec<Variable>, Vec<u8>) {
+        for step in &ds.online_steps() {
+            e.step(step.truth.clone(), step.factors.clone());
+        }
+        let est = (0..e.num_poses()).map(|i| e.pose_estimate(Key(i))).collect();
+        (est, e.numeric_bytes().unwrap_or_default())
+    }
+
+    #[test]
+    fn recycled_engine_matches_fresh_engine_bit_for_bit() {
+        // Warm an engine on one dataset, recycle it, replay another; a
+        // brand-new engine replaying the second dataset must agree exactly
+        // (estimates by f64 equality, factor by canonical bytes).
+        let warmup = Dataset::manhattan_seeded(60, 7);
+        let target = Dataset::sphere_seeded(40, 11);
+
+        let mut recycled = engine();
+        let _ = replay(&mut recycled, &warmup);
+        assert!(recycled.steps() > 0);
+        recycled.reset();
+        assert_eq!(recycled.steps(), 0);
+        assert_eq!(recycled.num_poses(), 0);
+        assert_eq!(recycled.generation(), 1);
+        assert!(recycled.numeric_bytes().is_none(), "numeric cache must clear");
+        let (est_recycled, bytes_recycled) = replay(&mut recycled, &target);
+
+        let mut fresh = engine();
+        let (est_fresh, bytes_fresh) = replay(&mut fresh, &target);
+
+        assert_eq!(est_recycled, est_fresh, "recycled estimates diverged");
+        assert_eq!(bytes_recycled, bytes_fresh, "recycled factor bytes diverged");
+    }
+
+    #[test]
+    fn reset_restores_budget_and_counters() {
+        let mut e = engine();
+        e.set_degradation(3);
+        assert_eq!(e.budget().degradation(), 3);
+        let ds = Dataset::manhattan_seeded(10, 3);
+        let _ = replay(&mut e, &ds);
+        e.reset();
+        assert_eq!(e.budget().degradation(), 0);
+        assert_eq!(e.last_selected_deferred(), (0, 0));
+    }
+
+    #[test]
+    fn degradation_defers_more_relinearization() {
+        let ds = Dataset::manhattan_seeded(80, 5);
+        let mut full = engine();
+        let mut degraded = engine();
+        degraded.set_degradation(StepBudget::new(1.0, 1.0).max_degradation());
+        let mut full_selected = 0usize;
+        let mut degraded_selected = 0usize;
+        for step in &ds.online_steps() {
+            full.step(step.truth.clone(), step.factors.clone());
+            degraded.step(step.truth.clone(), step.factors.clone());
+            full_selected += full.last_selected_deferred().0;
+            degraded_selected += degraded.last_selected_deferred().0;
+        }
+        assert!(
+            degraded_selected <= full_selected,
+            "degraded engine selected more ({degraded_selected}) than full ({full_selected})"
+        );
+    }
+}

@@ -1,9 +1,11 @@
 //! The execute half of the plan/exec split: reusable per-worker
 //! workspaces, a scoped-thread worker pool, and the host schedule record.
 //!
-//! This module is the **only** place in the workspace allowed to spawn OS
-//! threads (`supernova-analyze`'s `thread-spawn` lint enforces this). The
-//! pool runs an [`ExecutionPlan`](crate::ExecutionPlan)'s recomputed tasks
+//! This module is one of the few places in the workspace allowed to spawn
+//! OS threads (`supernova-analyze`'s `thread-spawn` lint keeps a declared
+//! allowlist; the serve dispatcher's worker pool is the other notable
+//! entry). The pool runs an
+//! [`ExecutionPlan`](crate::ExecutionPlan)'s recomputed tasks
 //! as soon as their recomputed children finish; because every task is a
 //! pure function of the Hessian and its children's cached update matrices
 //! — merged in the plan's fixed child order — results are bit-identical to

@@ -18,4 +18,7 @@ cargo run -q -p supernova-analyze --bin lint
 echo "==> host-executor determinism (serial vs 2/4-thread factorization)"
 cargo run --release -q -p supernova-bench --bin determinism
 
+echo "==> serving layer smoke (4 sessions x 2 workers: bit-identity, zero sheds, degradation)"
+cargo run --release -q -p supernova-serve --bin serve_smoke
+
 echo "ci: all gates passed"
