@@ -2,20 +2,27 @@
 //!
 //! Runs the source lint pass over every crate's `src/` tree, then a
 //! schedule/ledger invariant sweep of the virtual-time scheduler across
-//! every ablation configuration on a synthetic elimination forest. Exits
+//! every ablation configuration on a synthetic elimination forest, then a
+//! host-schedule sweep on the real plan executor, then a unified-trace
+//! sweep: each seeded dataset is replayed through a traced `SolverEngine`
+//! and every step's span tree is run through `validate_trace`. Exits
 //! nonzero if anything is flagged, so `scripts/ci.sh` can gate on it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use supernova_analyze::{lint_workspace, validate_host_schedule, validate_step};
+use supernova_analyze::{lint_workspace, validate_host_schedule, validate_step, validate_trace};
+use supernova_datasets::Dataset;
 use supernova_hw::Platform;
 use supernova_linalg::ops::Op;
 use supernova_linalg::Mat;
-use supernova_runtime::{NodeWork, SchedulerConfig, StepTrace};
+use supernova_runtime::{CostModel, NodeWork, SchedulerConfig, StepTrace};
+use supernova_solvers::{RaIsam2Config, SolverEngine};
 use supernova_sparse::{
     BlockMat, BlockPattern, ExecutionPlan, NumericFactor, ParallelExecutor, SymbolicFactor,
 };
+use supernova_trace::{StepKey, Trace, TraceConfig};
 
 /// The workspace root: this file lives at `crates/analyze/src/bin/lint.rs`.
 fn workspace_root() -> PathBuf {
@@ -33,13 +40,28 @@ fn synthetic_trace() -> StepTrace {
     let mut nodes = Vec::new();
     for i in 0..15usize {
         let parent = if i < 14 { Some(8 + i / 2) } else { None };
-        let (m, n) = if i < 8 { (16, 16) } else if i < 14 { (24, 12) } else { (48, 0) };
+        let (m, n) = if i < 8 {
+            (16, 16)
+        } else if i < 14 {
+            (24, 12)
+        } else {
+            (48, 0)
+        };
         let t = m + n;
-        let mut w = NodeWork { node: i, parent, pivot_dim: m, rem_dim: n, ..NodeWork::default() };
+        let mut w = NodeWork {
+            node: i,
+            parent,
+            pivot_dim: m,
+            rem_dim: n,
+            ..NodeWork::default()
+        };
         w.factor_bytes = m * m * 4;
         w.ops.push(Op::Memset { bytes: t * t * 4 });
         w.ops.push(Op::Memcpy { bytes: m * t * 4 });
-        w.ops.push(Op::ScatterAdd { blocks: 4, elems: m * m });
+        w.ops.push(Op::ScatterAdd {
+            blocks: 4,
+            elems: m * m,
+        });
         w.ops.push(Op::Chol { n: m });
         if n > 0 {
             w.ops.push(Op::Trsm { m: n, n: m });
@@ -47,8 +69,15 @@ fn synthetic_trace() -> StepTrace {
         }
         nodes.push(w);
     }
-    let mut trace = StepTrace { nodes, ..StepTrace::default() };
-    trace.hessian_ops.push(Op::Gemm { m: 12, n: 12, k: 12 });
+    let mut trace = StepTrace {
+        nodes,
+        ..StepTrace::default()
+    };
+    trace.hessian_ops.push(Op::Gemm {
+        m: 12,
+        n: 12,
+        k: 12,
+    });
     trace.hessian_ops.push(Op::Memcpy { bytes: 8192 });
     trace.solve_ops.push(Op::Gemv { m: 48, n: 48 });
     trace
@@ -93,14 +122,62 @@ fn check_host_schedules() -> Result<usize, String> {
                 .map_err(|e| format!("{threads} threads ({label}): factorization failed: {e}"))?;
             let violations = validate_host_schedule(&plan, &sched, &stats.recomputed_nodes());
             if !violations.is_empty() {
-                let msgs: Vec<String> =
-                    violations.iter().map(|v| format!("{threads} threads ({label}): {v}")).collect();
+                let msgs: Vec<String> = violations
+                    .iter()
+                    .map(|v| format!("{threads} threads ({label}): {v}"))
+                    .collect();
                 return Err(msgs.join("\n  "));
             }
             checked += 1;
         }
     }
     Ok(checked)
+}
+
+/// Replays each seeded dataset through a traced engine (2-thread host
+/// executor, SuperNoVA-2S hardware pricing) and validates every step's
+/// span tree. Returns (traces checked, total spans) on success.
+fn check_traces() -> Result<(usize, usize), String> {
+    let datasets = [
+        Dataset::m3500_scaled(0.06),
+        Dataset::sphere_scaled(0.12),
+        Dataset::cab1_scaled(0.2),
+    ];
+    let mut traces = 0usize;
+    let mut spans = 0usize;
+    for ds in &datasets {
+        let platform = Platform::supernova(2);
+        let cost = Arc::new(CostModel::new(platform.clone()));
+        let mut engine = SolverEngine::new(RaIsam2Config::default(), cost);
+        engine.set_executor(ParallelExecutor::new(2));
+        engine.set_trace(TraceConfig::on());
+        engine.set_trace_hw(platform, SchedulerConfig::default());
+        for (i, step) in ds.online_steps().into_iter().enumerate() {
+            engine.step(step.truth, step.factors);
+            let root = engine
+                .take_step_span()
+                .ok_or_else(|| format!("{}: step {i} emitted no span tree", ds.name()))?;
+            let trace = Trace {
+                key: StepKey {
+                    session: 0,
+                    seq: i as u64,
+                    step: i as u64 + 1,
+                },
+                root,
+            };
+            let violations = validate_trace(&trace);
+            if !violations.is_empty() {
+                let msgs: Vec<String> = violations
+                    .iter()
+                    .map(|v| format!("{} step {i}: {v}", ds.name()))
+                    .collect();
+                return Err(msgs.join("\n  "));
+            }
+            traces += 1;
+            spans += trace.span_count();
+        }
+    }
+    Ok((traces, spans))
 }
 
 fn main() -> ExitCode {
@@ -156,6 +233,15 @@ fn main() -> ExitCode {
     println!("host-exec: checking plan-executor schedules");
     match check_host_schedules() {
         Ok(n) => println!("host-exec: {n} schedule(s) clean"),
+        Err(msg) => {
+            println!("  {msg}");
+            failed = true;
+        }
+    }
+
+    println!("traces: validating span trees over seeded datasets");
+    match check_traces() {
+        Ok((n, spans)) => println!("traces: {n} step trace(s) clean ({spans} spans)"),
         Err(msg) => {
             println!("  {msg}");
             failed = true;

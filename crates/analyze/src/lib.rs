@@ -25,9 +25,11 @@
 
 pub mod lint;
 pub mod validate;
+pub mod validate_trace;
 
 pub use lint::{lint_file, lint_workspace, Rule, Violation};
 pub use validate::{
     validate_dispatch, validate_energy, validate_exec, validate_host_schedule, validate_step,
     DispatchRecord, Invariant, ScheduleViolation,
 };
+pub use validate_trace::{validate_trace, validate_trace_dispatch};

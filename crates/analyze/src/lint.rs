@@ -78,14 +78,25 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.message)
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
     }
 }
 
 /// Paths (workspace-relative, `/`-separated prefixes) where hash-container
 /// use is forbidden: everything the deterministic replay depends on.
-const HASH_SCOPES: [&str; 4] =
-    ["crates/runtime/src", "crates/sparse/src", "crates/solvers/src", "crates/hw/src"];
+const HASH_SCOPES: [&str; 4] = [
+    "crates/runtime/src",
+    "crates/sparse/src",
+    "crates/solvers/src",
+    "crates/hw/src",
+];
 
 /// Paths where float equality comparisons are checked (the numeric
 /// kernels).
@@ -115,15 +126,15 @@ fn in_scope(rel: &str, scopes: &[&str]) -> bool {
 /// workspace member).
 fn is_crate_root(rel: &str) -> bool {
     rel == "src/lib.rs"
-        || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs") && rel.matches('/').count() == 3)
+        || (rel.starts_with("crates/")
+            && rel.ends_with("/src/lib.rs")
+            && rel.matches('/').count() == 3)
 }
 
 /// Whether the unwrap rule applies to `rel`: library sources only — not
 /// binaries, not integration tests, not benches.
 fn unwrap_scope(rel: &str) -> bool {
-    let lib = rel.starts_with("crates/")
-        && rel.contains("/src/")
-        && !rel.contains("/src/bin/");
+    let lib = rel.starts_with("crates/") && rel.contains("/src/") && !rel.contains("/src/bin/");
     lib || rel.starts_with("src/")
 }
 
@@ -138,7 +149,10 @@ struct Lexer {
 
 impl Lexer {
     fn new() -> Self {
-        Lexer { in_block_comment: 0, in_raw_string: None }
+        Lexer {
+            in_block_comment: 0,
+            in_raw_string: None,
+        }
     }
 
     fn strip(&mut self, line: &str) -> String {
@@ -299,7 +313,9 @@ fn side_has_float(side: &str, left: bool) -> bool {
             .rev()
             .collect()
     } else {
-        side.chars().take_while(|c| !matches!(c, ')' | ',' | ';' | '{' | '&' | '|')).collect()
+        side.chars()
+            .take_while(|c| !matches!(c, ')' | ',' | ';' | '{' | '&' | '|'))
+            .collect()
     };
     let t = tok.trim();
     if t.contains("f64::EPSILON") || t.contains("f32::EPSILON") {
@@ -474,8 +490,9 @@ pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
 
 /// Recursively collects `.rs` files under `dir`, sorted for determinism.
 fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    let mut entries: Vec<PathBuf> =
-        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
     entries.sort();
     for p in entries {
         if p.is_dir() {
@@ -497,8 +514,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
-        let mut members: Vec<PathBuf> =
-            fs::read_dir(&crates_dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
         members.sort();
         for member in members {
             let src = member.join("src");
@@ -559,7 +577,8 @@ mod tests {
 
     #[test]
     fn unwrap_rule_skips_test_modules() {
-        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\n";
+        let src =
+            "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\n";
         let v = lint_file("crates/linalg/src/a.rs", src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 1);
@@ -581,7 +600,9 @@ mod tests {
             // Every allowlisted worker-pool module is exempt.
             for exempt in THREAD_SPAWN_ALLOWLIST {
                 assert!(
-                    lint_file(exempt, src).iter().all(|v| v.rule != Rule::ThreadSpawn),
+                    lint_file(exempt, src)
+                        .iter()
+                        .all(|v| v.rule != Rule::ThreadSpawn),
                     "{exempt} should be exempt"
                 );
             }

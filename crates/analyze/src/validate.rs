@@ -1,7 +1,7 @@
 //! The schedule and ledger invariant checker.
 //!
 //! Consumes the runtime's executed-schedule trace
-//! ([`ExecTrace`](supernova_runtime::ExecTrace)) and verifies the
+//! ([`supernova_runtime::ExecTrace`]) and verifies the
 //! properties the virtual-time scheduler is supposed to guarantee, instead
 //! of trusting it:
 //!
@@ -39,6 +39,9 @@ pub enum Invariant {
     EnergyConservation,
     /// The executed node set does not match the step trace.
     Coverage,
+    /// A unified span tree's structure is malformed (wrong root, missing
+    /// or duplicated sections).
+    TraceShape,
 }
 
 impl std::fmt::Display for Invariant {
@@ -50,6 +53,7 @@ impl std::fmt::Display for Invariant {
             Invariant::BusyBound => "busy-bound",
             Invariant::EnergyConservation => "energy-conservation",
             Invariant::Coverage => "coverage",
+            Invariant::TraceShape => "trace-shape",
         };
         f.write_str(s)
     }
@@ -170,7 +174,13 @@ pub fn validate_exec(trace: &StepTrace, exec: &ExecTrace) -> Vec<ScheduleViolati
     // --- LLC capacity replay with calc_space cross-check (accelerated
     // schedules only: serial engines reserve nothing).
     if exec.sets > 0 && exec.llc_bytes > 0 {
-        let front_dim = |id: usize| trace.nodes.iter().find(|w| w.node == id).map(|w| w.front_dim());
+        let front_dim = |id: usize| {
+            trace
+                .nodes
+                .iter()
+                .find(|w| w.node == id)
+                .map(|w| w.front_dim())
+        };
         for n in &exec.nodes {
             if !n.fits {
                 continue; // oversized admission is priced at DRAM rate, reserves nothing
@@ -302,7 +312,10 @@ pub fn validate_host_schedule(
         if s.end < s.start - tol {
             out.push(ScheduleViolation {
                 invariant: Invariant::HappensBefore,
-                detail: format!("node {} span ends at {:.3e}s before its start {:.3e}s", s.node, s.end, s.start),
+                detail: format!(
+                    "node {} span ends at {:.3e}s before its start {:.3e}s",
+                    s.node, s.end, s.start
+                ),
             });
         }
         if s.worker >= sched.workers {
@@ -509,9 +522,7 @@ pub fn validate_energy(
     if (got - expected).abs() > tol {
         out.push(ScheduleViolation {
             invariant: Invariant::EnergyConservation,
-            detail: format!(
-                "ledger total {got:.6e} J != sum of per-op energies {expected:.6e} J"
-            ),
+            detail: format!("ledger total {got:.6e} J != sum of per-op energies {expected:.6e} J"),
         });
     }
     if !is_empty && energy.ledger.num_ops() != ops {
@@ -570,7 +581,13 @@ mod tests {
         let mut nodes = Vec::new();
         for i in 0..6 {
             let parent = Some(6 + i / 3);
-            let mut w = NodeWork { node: i, parent, pivot_dim: 16, rem_dim: 16, ..NodeWork::default() };
+            let mut w = NodeWork {
+                node: i,
+                parent,
+                pivot_dim: 16,
+                rem_dim: 16,
+                ..NodeWork::default()
+            };
             w.factor_bytes = 16 * 16 * 4;
             w.ops.push(Op::Memset { bytes: 32 * 32 * 4 });
             w.ops.push(Op::Chol { n: 16 });
@@ -579,18 +596,32 @@ mod tests {
             nodes.push(w);
         }
         for i in [6usize, 7] {
-            let mut w =
-                NodeWork { node: i, parent: Some(8), pivot_dim: 24, rem_dim: 8, ..NodeWork::default() };
+            let mut w = NodeWork {
+                node: i,
+                parent: Some(8),
+                pivot_dim: 24,
+                rem_dim: 8,
+                ..NodeWork::default()
+            };
             w.factor_bytes = 24 * 24 * 4;
             w.ops.push(Op::Memset { bytes: 32 * 32 * 4 });
             w.ops.push(Op::Chol { n: 24 });
             nodes.push(w);
         }
-        let mut root = NodeWork { node: 8, parent: None, pivot_dim: 32, rem_dim: 0, ..NodeWork::default() };
+        let mut root = NodeWork {
+            node: 8,
+            parent: None,
+            pivot_dim: 32,
+            rem_dim: 0,
+            ..NodeWork::default()
+        };
         root.factor_bytes = 32 * 32 * 4;
         root.ops.push(Op::Chol { n: 32 });
         nodes.push(root);
-        let mut t = StepTrace { nodes, ..StepTrace::default() };
+        let mut t = StepTrace {
+            nodes,
+            ..StepTrace::default()
+        };
         t.hessian_ops.push(Op::Gemm { m: 8, n: 8, k: 8 });
         t.hessian_ops.push(Op::Memcpy { bytes: 4096 });
         t.solve_ops.push(Op::Gemv { m: 32, n: 32 });
@@ -600,7 +631,11 @@ mod tests {
     #[test]
     fn legal_schedules_validate_on_all_ablations() {
         let trace = forest();
-        for p in [Platform::supernova(2), Platform::supernova(4), Platform::spatula(2)] {
+        for p in [
+            Platform::supernova(2),
+            Platform::supernova(4),
+            Platform::spatula(2),
+        ] {
             for cfg in SchedulerConfig::ablations() {
                 let r = validate_step(&p, &trace, &cfg);
                 assert!(r.is_ok(), "{} {cfg:?}: {:?}", p.name(), r.err());
@@ -611,7 +646,11 @@ mod tests {
     #[test]
     fn serial_platforms_validate_too() {
         let trace = forest();
-        for p in [Platform::boom(), Platform::server_cpu(), Platform::embedded_gpu()] {
+        for p in [
+            Platform::boom(),
+            Platform::server_cpu(),
+            Platform::embedded_gpu(),
+        ] {
             let r = validate_step(&p, &trace, &SchedulerConfig::default());
             assert!(r.is_ok(), "{}: {:?}", p.name(), r.err());
         }
@@ -648,7 +687,11 @@ mod tests {
             simulate_step_traced(&Platform::supernova(2), &trace, &SchedulerConfig::default());
         // Corrupt: move the root node to start at time zero, before its
         // children finish.
-        let root = exec.nodes.iter().position(|n| n.node == 8).expect("root executed");
+        let root = exec
+            .nodes
+            .iter()
+            .position(|n| n.node == 8)
+            .expect("root executed");
         let w = exec.nodes[root].end - exec.nodes[root].start;
         exec.nodes[root].start = 0.0;
         exec.nodes[root].end = w;
@@ -688,7 +731,8 @@ mod tests {
         energy.ledger.add(&Op::Chol { n: 4 }, 1e-12);
         let v = validate_energy(&p, &trace, &lat, &energy);
         assert!(
-            v.iter().any(|v| v.invariant == Invariant::EnergyConservation),
+            v.iter()
+                .any(|v| v.invariant == Invariant::EnergyConservation),
             "expected energy-conservation violation, got {v:?}"
         );
     }
@@ -779,7 +823,10 @@ mod tests {
             let (plan, mut sched, recomputed) = run(2);
             sched.spans.pop();
             let v = validate_host_schedule(&plan, &sched, &recomputed);
-            assert!(v.iter().any(|v| v.invariant == Invariant::Coverage), "got {v:?}");
+            assert!(
+                v.iter().any(|v| v.invariant == Invariant::Coverage),
+                "got {v:?}"
+            );
         }
 
         #[test]
@@ -787,7 +834,10 @@ mod tests {
             let (plan, mut sched, recomputed) = run(2);
             sched.spans[0].worker = sched.workers + 3;
             let v = validate_host_schedule(&plan, &sched, &recomputed);
-            assert!(v.iter().any(|v| v.invariant == Invariant::UnitExclusive), "got {v:?}");
+            assert!(
+                v.iter().any(|v| v.invariant == Invariant::UnitExclusive),
+                "got {v:?}"
+            );
         }
     }
 
@@ -795,7 +845,13 @@ mod tests {
         use super::super::*;
 
         fn span(worker: usize, session: u64, seq: u64, start: f64, end: f64) -> DispatchRecord {
-            DispatchRecord { worker, session, seq, start, end }
+            DispatchRecord {
+                worker,
+                session,
+                seq,
+                start,
+                end,
+            }
         }
 
         /// Two sessions interleaving legally across two workers.
@@ -821,7 +877,10 @@ mod tests {
             let mut spans = legal();
             spans[3].start = 0.5; // worker 0 still running seq 0 of session 0
             let v = validate_dispatch(2, &spans);
-            assert!(v.iter().any(|v| v.invariant == Invariant::UnitExclusive), "got {v:?}");
+            assert!(
+                v.iter().any(|v| v.invariant == Invariant::UnitExclusive),
+                "got {v:?}"
+            );
         }
 
         #[test]
@@ -833,7 +892,10 @@ mod tests {
             spans[2].end = 0.9;
             spans[3].start = 1.1; // worker 0's next span stays after it
             let v = validate_dispatch(2, &spans);
-            assert!(v.iter().any(|v| v.invariant == Invariant::HappensBefore), "got {v:?}");
+            assert!(
+                v.iter().any(|v| v.invariant == Invariant::HappensBefore),
+                "got {v:?}"
+            );
         }
 
         #[test]
@@ -841,11 +903,17 @@ mod tests {
             let mut spans = legal();
             spans[4].seq = 7; // session 0 loses its seq 2
             let v = validate_dispatch(2, &spans);
-            assert!(v.iter().any(|v| v.invariant == Invariant::Coverage), "got {v:?}");
+            assert!(
+                v.iter().any(|v| v.invariant == Invariant::Coverage),
+                "got {v:?}"
+            );
 
             let spans = vec![span(5, 0, 0, 0.0, 1.0)];
             let v = validate_dispatch(2, &spans);
-            assert!(v.iter().any(|v| v.invariant == Invariant::UnitExclusive), "got {v:?}");
+            assert!(
+                v.iter().any(|v| v.invariant == Invariant::UnitExclusive),
+                "got {v:?}"
+            );
         }
     }
 
@@ -856,6 +924,9 @@ mod tests {
             simulate_step_traced(&Platform::supernova(2), &trace, &SchedulerConfig::default());
         exec.nodes.pop();
         let v = validate_exec(&trace, &exec);
-        assert!(v.iter().any(|v| v.invariant == Invariant::Coverage), "got {v:?}");
+        assert!(
+            v.iter().any(|v| v.invariant == Invariant::Coverage),
+            "got {v:?}"
+        );
     }
 }

@@ -15,10 +15,25 @@ fn forest() -> StepTrace {
     let mut nodes = Vec::new();
     for i in 0..7usize {
         let parent = if i < 6 { Some(4 + i / 2) } else { None };
-        let (m, n) = if i < 4 { (12, 12) } else if i < 6 { (18, 9) } else { (30, 0) };
-        let mut w = NodeWork { node: i, parent, pivot_dim: m, rem_dim: n, ..NodeWork::default() };
+        let (m, n) = if i < 4 {
+            (12, 12)
+        } else if i < 6 {
+            (18, 9)
+        } else {
+            (30, 0)
+        };
+        let mut w = NodeWork {
+            node: i,
+            parent,
+            pivot_dim: m,
+            rem_dim: n,
+            ..NodeWork::default()
+        };
         w.factor_bytes = m * m * 4;
-        w.ops.push(Op::ScatterAdd { blocks: 3, elems: m * m });
+        w.ops.push(Op::ScatterAdd {
+            blocks: 3,
+            elems: m * m,
+        });
         w.ops.push(Op::Chol { n: m });
         if n > 0 {
             w.ops.push(Op::Trsm { m: n, n: m });
@@ -26,7 +41,10 @@ fn forest() -> StepTrace {
         }
         nodes.push(w);
     }
-    let mut trace = StepTrace { nodes, ..StepTrace::default() };
+    let mut trace = StepTrace {
+        nodes,
+        ..StepTrace::default()
+    };
     trace.hessian_ops.push(Op::Gemm { m: 8, n: 8, k: 8 });
     trace.solve_ops.push(Op::Gemv { m: 30, n: 30 });
     trace
@@ -46,14 +64,20 @@ fn lint_flags_hash_container_in_scheduler_path() {
 fn lint_flags_unwrap_in_library_code() {
     let src = "//! doc\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
     let v = lint_file("crates/sparse/src/numeric.rs", src);
-    assert!(v.iter().any(|v| v.rule == Rule::Unwrap), "bare unwrap must be flagged, got {v:?}");
+    assert!(
+        v.iter().any(|v| v.rule == Rule::Unwrap),
+        "bare unwrap must be flagged, got {v:?}"
+    );
 }
 
 #[test]
 fn lint_flags_float_equality_in_kernel() {
     let src = "//! doc\nfn f(x: f64) -> bool { x == 0.5 }\n";
     let v = lint_file("crates/linalg/src/blas.rs", src);
-    assert!(v.iter().any(|v| v.rule == Rule::FloatEq), "float == must be flagged, got {v:?}");
+    assert!(
+        v.iter().any(|v| v.rule == Rule::FloatEq),
+        "float == must be flagged, got {v:?}"
+    );
 }
 
 #[test]
@@ -61,7 +85,10 @@ fn lint_allow_comment_silences_a_rule() {
     let src = "//! doc\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n\
                // lint: allow(unwrap) — fixture\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
     let v = lint_file("crates/sparse/src/lib.rs", src);
-    assert!(v.is_empty(), "allow comment must silence the rule, got {v:?}");
+    assert!(
+        v.is_empty(),
+        "allow comment must silence the rule, got {v:?}"
+    );
 }
 
 #[test]
@@ -69,7 +96,10 @@ fn validator_rejects_overlapping_ops_on_one_unit() {
     let trace = forest();
     let platform = Platform::supernova(2);
     let (_, mut exec) = simulate_step_traced(&platform, &trace, &SchedulerConfig::default());
-    assert!(validate_exec(&trace, &exec).is_empty(), "baseline trace must be clean");
+    assert!(
+        validate_exec(&trace, &exec).is_empty(),
+        "baseline trace must be clean"
+    );
 
     // Shift one node's first op to start at t=0 on its unit — guaranteed to
     // collide with whatever ran there during the hessian phase.
@@ -94,9 +124,12 @@ fn validator_rejects_overlapping_ops_on_one_unit() {
 #[test]
 fn validator_accepts_every_ablation_on_every_platform() {
     let trace = forest();
-    for platform in
-        [Platform::supernova(1), Platform::supernova(4), Platform::spatula(2), Platform::boom()]
-    {
+    for platform in [
+        Platform::supernova(1),
+        Platform::supernova(4),
+        Platform::spatula(2),
+        Platform::boom(),
+    ] {
         for cfg in SchedulerConfig::ablations() {
             assert!(
                 validate_step(&platform, &trace, &cfg).is_ok(),

@@ -36,12 +36,16 @@ fn bench_syrk(c: &mut Criterion) {
     for (n, k) in [(48usize, 24usize), (96, 48), (192, 48)] {
         let a = Mat::from_fn(n, k, |r, q| ((r + 2 * q) % 9) as f64 * 0.03);
         let mut out = Mat::zeros(n, n);
-        group.bench_with_input(BenchmarkId::new("n_k", format!("{n}x{k}")), &n, |bench, _| {
-            bench.iter(|| {
-                syrk_lower(-1.0, &a, 0.0, &mut out);
-                std::hint::black_box(out.max_abs())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("n_k", format!("{n}x{k}")),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    syrk_lower(-1.0, &a, 0.0, &mut out);
+                    std::hint::black_box(out.max_abs())
+                })
+            },
+        );
     }
     group.finish();
 }

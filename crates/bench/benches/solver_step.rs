@@ -19,7 +19,10 @@ fn bench_online_run(c: &mut Criterion) {
     group.bench_function("isam2_m3500_tiny", |b| {
         b.iter(|| {
             let mut solver = Isam2::new(Isam2Config::default());
-            let cfg = ExperimentConfig { pricings: vec![], eval_stride: 0 };
+            let cfg = ExperimentConfig {
+                pricings: vec![],
+                eval_stride: 0,
+            };
             std::hint::black_box(run_online(&ds, &mut solver, &cfg, None).latencies.len())
         })
     });
@@ -27,7 +30,10 @@ fn bench_online_run(c: &mut Criterion) {
         b.iter(|| {
             let cost = Arc::new(CostModel::new(Platform::supernova(2)));
             let mut solver = RaIsam2::new(RaIsam2Config::default(), cost);
-            let cfg = ExperimentConfig { pricings: vec![], eval_stride: 0 };
+            let cfg = ExperimentConfig {
+                pricings: vec![],
+                eval_stride: 0,
+            };
             std::hint::black_box(run_online(&ds, &mut solver, &cfg, None).latencies.len())
         })
     });

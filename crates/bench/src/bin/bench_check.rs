@@ -1,0 +1,298 @@
+//! `bench_check` — the CI benchmark-regression gate.
+//!
+//! ```text
+//! cargo run --release -p supernova-bench --bin bench_check
+//! ```
+//!
+//! Compares freshly generated benchmark artifacts against the committed
+//! baselines:
+//!
+//! - `results/BENCH_step_latency.json`    vs `results/baselines/BENCH_step_latency.json`
+//! - `results/BENCH_serve_throughput.json` vs `results/baselines/BENCH_serve_throughput.json`
+//!
+//! Two kinds of sub-check, named per dataset/scenario:
+//!
+//! - **Wall-time regression**: measured wall seconds may not exceed
+//!   `baseline * (1 + tolerance) + slack`. Tolerance defaults to 0.15
+//!   (the >15% gate) and slack to 25 ms — the absolute term keeps
+//!   micro-benchmarks whose baseline is a few milliseconds from failing
+//!   on scheduler noise. Override with `BENCH_CHECK_TOLERANCE` /
+//!   `BENCH_CHECK_SLACK_S` (e.g. when CI hardware differs from the
+//!   machine that produced the baselines). Wall times *below* baseline
+//!   never fail: refresh baselines to bank an improvement.
+//! - **Determinism drift**: fields the design guarantees are
+//!   machine-independent must match the baseline *exactly* — step
+//!   counts, simulated SoC cycles, shed counts, the nominal scenario's
+//!   bit-identity verdict, and dispatch-span violation counts. Any
+//!   change here is a correctness regression, not noise, so no tolerance
+//!   applies. Scenarios flagged `deterministic_counts: false` (overload
+//!   bursts, whose admitted/shed split races the workers) are instead
+//!   gated on their conserved invariants: the whole burst is accounted
+//!   for and every admitted update completed.
+//!
+//! `results/README.md` documents the baseline-refresh workflow. Exits
+//! with the shared `Report` summary line naming any failed checks.
+
+use std::process::ExitCode;
+
+use supernova_bench::check::Report;
+use supernova_bench::json::{parse, Json};
+
+const FRESH_STEP: &str = "results/BENCH_step_latency.json";
+const BASE_STEP: &str = "results/baselines/BENCH_step_latency.json";
+const FRESH_SERVE: &str = "results/BENCH_serve_throughput.json";
+const BASE_SERVE: &str = "results/baselines/BENCH_serve_throughput.json";
+
+/// Loads and parses one artifact, turning both I/O and parse failures
+/// into a named FAIL so a missing file reads like any other red check.
+fn load(report: &mut Report, label: &str, path: &str) -> Option<Json> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            report.check(label, false, &format!("cannot read {path}: {e}"));
+            return None;
+        }
+    };
+    match parse(&text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            report.check(label, false, &format!("cannot parse {path}: {e}"));
+            None
+        }
+    }
+}
+
+/// The regression thresholds, env-overridable for foreign CI hardware.
+struct Gate {
+    tolerance: f64,
+    slack_s: f64,
+}
+
+impl Gate {
+    fn from_env() -> Self {
+        let parse_env = |key: &str, default: f64| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(default)
+        };
+        Gate {
+            tolerance: parse_env("BENCH_CHECK_TOLERANCE", 0.15),
+            slack_s: parse_env("BENCH_CHECK_SLACK_S", 0.025),
+        }
+    }
+
+    /// One wall-time sub-check: fresh must not exceed the gated baseline.
+    fn wall(&self, report: &mut Report, name: &str, fresh: Option<f64>, base: Option<f64>) {
+        let (Some(fresh), Some(base)) = (fresh, base) else {
+            report.check(name, false, "wall-time field missing on one side");
+            return;
+        };
+        let limit = base * (1.0 + self.tolerance) + self.slack_s;
+        report.check(
+            name,
+            fresh <= limit,
+            &format!("{fresh:.4}s vs baseline {base:.4}s (limit {limit:.4}s)"),
+        );
+    }
+}
+
+/// One exact sub-check over a numeric field (counts, cycles). Compared
+/// by bit pattern: both sides were printed by the same writer, so any
+/// difference is real drift, not formatting.
+fn exact(report: &mut Report, name: &str, fresh: Option<f64>, base: Option<f64>) {
+    let (Some(fresh), Some(base)) = (fresh, base) else {
+        report.check(name, false, "field missing on one side");
+        return;
+    };
+    report.check(
+        name,
+        fresh.to_bits() == base.to_bits(),
+        &format!("{fresh} vs baseline {base}"),
+    );
+}
+
+/// Finds the array element whose `"name"` member equals `name`.
+fn by_name<'a>(doc: &'a Json, list: &str, name: &str) -> Option<&'a Json> {
+    doc.get(list)?
+        .as_arr()?
+        .iter()
+        .find(|d| d.get("name").and_then(Json::as_str) == Some(name))
+}
+
+/// Names of every element of `doc[list]`, in file order.
+fn names(doc: &Json, list: &str) -> Vec<String> {
+    doc.get(list)
+        .and_then(Json::as_arr)
+        .map(|a| {
+            a.iter()
+                .filter_map(|d| d.get("name").and_then(Json::as_str))
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn check_step_latency(report: &mut Report, gate: &Gate) {
+    let (Some(fresh), Some(base)) = (
+        load(report, "step-latency/load-fresh", FRESH_STEP),
+        load(report, "step-latency/load-baseline", BASE_STEP),
+    ) else {
+        return;
+    };
+    let base_names = names(&base, "datasets");
+    report.check(
+        "step-latency/coverage",
+        names(&fresh, "datasets") == base_names && !base_names.is_empty(),
+        &format!("baseline datasets {base_names:?}"),
+    );
+    for ds in &base_names {
+        let (Some(f), Some(b)) = (
+            by_name(&fresh, "datasets", ds),
+            by_name(&base, "datasets", ds),
+        ) else {
+            continue;
+        };
+        exact(
+            report,
+            &format!("step-latency/{ds}/steps"),
+            f.get("steps").and_then(Json::as_f64),
+            b.get("steps").and_then(Json::as_f64),
+        );
+        let runs = |d: &'_ Json, threads: f64| -> Option<Json> {
+            d.get("runs")?
+                .as_arr()?
+                .iter()
+                .find(|r| r.get("threads").and_then(Json::as_f64) == Some(threads))
+                .cloned()
+        };
+        for threads in [1.0, 2.0, 4.0] {
+            let t = threads as u32;
+            let (Some(fr), Some(br)) = (runs(f, threads), runs(b, threads)) else {
+                report.check(
+                    &format!("step-latency/{ds}/{t}t/present"),
+                    false,
+                    "run missing on one side",
+                );
+                continue;
+            };
+            gate.wall(
+                report,
+                &format!("step-latency/{ds}/{t}t/wall"),
+                fr.get("host_wall_s").and_then(Json::as_f64),
+                br.get("host_wall_s").and_then(Json::as_f64),
+            );
+            gate.wall(
+                report,
+                &format!("step-latency/{ds}/{t}t/refactor-wall"),
+                fr.get("host_refactor_wall_s").and_then(Json::as_f64),
+                br.get("host_refactor_wall_s").and_then(Json::as_f64),
+            );
+            exact(
+                report,
+                &format!("step-latency/{ds}/{t}t/sim-cycles"),
+                fr.get("sim_cycles").and_then(Json::as_f64),
+                br.get("sim_cycles").and_then(Json::as_f64),
+            );
+        }
+    }
+}
+
+fn check_serve_throughput(report: &mut Report, gate: &Gate) {
+    let (Some(fresh), Some(base)) = (
+        load(report, "serve-throughput/load-fresh", FRESH_SERVE),
+        load(report, "serve-throughput/load-baseline", BASE_SERVE),
+    ) else {
+        return;
+    };
+    let base_names = names(&base, "scenarios");
+    report.check(
+        "serve-throughput/coverage",
+        names(&fresh, "scenarios") == base_names && !base_names.is_empty(),
+        &format!("baseline scenarios {base_names:?}"),
+    );
+    for sc in &base_names {
+        let (Some(f), Some(b)) = (
+            by_name(&fresh, "scenarios", sc),
+            by_name(&base, "scenarios", sc),
+        ) else {
+            continue;
+        };
+        gate.wall(
+            report,
+            &format!("serve-throughput/{sc}/wall"),
+            f.get("wall_s").and_then(Json::as_f64),
+            b.get("wall_s").and_then(Json::as_f64),
+        );
+        // Scenarios whose queues never fill have timing-independent
+        // admission counts — any change there is real drift. Overload
+        // scenarios race the workers' drain rate, so their split between
+        // admitted and shed varies run to run; for those, gate on what
+        // *is* invariant: nothing vanishes (submitted + shed at submit
+        // covers the whole burst) and every admitted update completes.
+        if f.get("deterministic_counts").and_then(Json::as_bool) == Some(true) {
+            for field in [
+                "updates_submitted",
+                "updates_completed",
+                "updates_shed",
+                "updates_shed_at_submit",
+            ] {
+                exact(
+                    report,
+                    &format!("serve-throughput/{sc}/{field}"),
+                    f.get(field).and_then(Json::as_f64),
+                    b.get(field).and_then(Json::as_f64),
+                );
+            }
+        } else {
+            let total = |d: &Json| {
+                Some(
+                    d.get("updates_submitted")?.as_f64()?
+                        + d.get("updates_shed_at_submit")?.as_f64()?,
+                )
+            };
+            exact(
+                report,
+                &format!("serve-throughput/{sc}/burst-conservation"),
+                total(f),
+                total(b),
+            );
+            let completed = f.get("updates_completed").and_then(Json::as_f64);
+            let admitted = f.get("updates_submitted").and_then(Json::as_f64);
+            report.check(
+                &format!("serve-throughput/{sc}/admitted-completes"),
+                completed.is_some() && completed.map(f64::to_bits) == admitted.map(f64::to_bits),
+                &format!("{completed:?} completed of {admitted:?} admitted"),
+            );
+        }
+        exact(
+            report,
+            &format!("serve-throughput/{sc}/dispatch_span_violations"),
+            f.get("dispatch_span_violations").and_then(Json::as_f64),
+            b.get("dispatch_span_violations").and_then(Json::as_f64),
+        );
+        // bit_identical_to_solo is a tri-state (true / false / null for
+        // scenarios where shedding makes solo comparison meaningless);
+        // it must match the baseline variant-for-variant.
+        let fb = f.get("bit_identical_to_solo");
+        let bb = b.get("bit_identical_to_solo");
+        report.check(
+            &format!("serve-throughput/{sc}/bit_identical_to_solo"),
+            matches!((fb, bb), (Some(x), Some(y)) if x == y),
+            &format!("{fb:?} vs baseline {bb:?}"),
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let gate = Gate::from_env();
+    eprintln!(
+        "bench_check: tolerance {:.0}% + {:.0}ms slack (BENCH_CHECK_TOLERANCE / BENCH_CHECK_SLACK_S)",
+        gate.tolerance * 100.0,
+        gate.slack_s * 1000.0
+    );
+    let mut report = Report::new();
+    check_step_latency(&mut report, &gate);
+    check_serve_throughput(&mut report, &gate);
+    report.finish("bench_check")
+}

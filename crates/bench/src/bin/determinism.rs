@@ -8,20 +8,24 @@
 //! Replays three datasets online through iSAM2 once per executor thread
 //! count (1, 2, 4). After every step the cached `NumericFactor` is
 //! serialized to canonical bytes and hashed; at the end of the replay the
-//! full byte strings and the estimated trajectories are kept. A parallel
-//! run passes only if
+//! full byte strings and the estimated trajectories are kept. For each
+//! (dataset, thread count) pair three named sub-checks must hold:
 //!
-//! - every per-step hash matches the serial run (the factor never diverges,
-//!   even transiently),
-//! - the final serialized factor is byte-for-byte identical, and
-//! - the final trajectory estimate is bit-identical (`f64::to_bits`).
+//! - `step-hashes`: every per-step hash matches the serial run (the
+//!   factor never diverges, even transiently),
+//! - `final-bytes`: the final serialized factor is byte-for-byte
+//!   identical, and
+//! - `estimate`: the final trajectory estimate is bit-identical
+//!   (`f64::to_bits`).
 //!
-//! Exits nonzero on the first mismatch, printing the dataset, thread count
-//! and step. See DESIGN.md "Plan/exec split & host parallelism" for why
-//! equality is exact rather than within-tolerance.
+//! Sub-checks report `PASS`/`FAIL` in a fixed order and the run ends with
+//! one summary line naming any failed checks. See DESIGN.md "Plan/exec
+//! split & host parallelism" for why equality is exact rather than
+//! within-tolerance.
 
 use std::process::ExitCode;
 
+use supernova_bench::check::Report;
 use supernova_datasets::Dataset;
 use supernova_factors::{Key, Variable};
 use supernova_solvers::{Isam2, Isam2Config, OnlineSolver};
@@ -48,7 +52,9 @@ struct Replay {
 
 fn replay(dataset: &Dataset, threads: usize) -> Replay {
     let mut solver = Isam2::new(Isam2Config::default());
-    solver.core_mut().set_executor(ParallelExecutor::new(threads));
+    solver
+        .core_mut()
+        .set_executor(ParallelExecutor::new(threads));
     let mut step_hashes = Vec::new();
     for step in &dataset.online_steps() {
         solver.step(step.truth.clone(), step.factors.clone());
@@ -56,45 +62,53 @@ fn replay(dataset: &Dataset, threads: usize) -> Replay {
         step_hashes.push(fnv1a(&bytes));
     }
     let final_bytes = solver.core().numeric_bytes().unwrap_or_default();
-    let estimate =
-        (0..solver.core().num_vars()).map(|i| solver.core().pose_estimate(Key(i))).collect();
-    Replay { step_hashes, final_bytes, estimate }
+    let estimate = (0..solver.core().num_vars())
+        .map(|i| solver.core().pose_estimate(Key(i)))
+        .collect();
+    Replay {
+        step_hashes,
+        final_bytes,
+        estimate,
+    }
 }
 
-fn check(dataset: &Dataset) -> Result<(), String> {
+fn check(report: &mut Report, dataset: &Dataset) {
     let name = dataset.name();
     eprintln!("{name}: {} steps", dataset.num_steps());
     let serial = replay(dataset, 1);
     for threads in [2usize, 4] {
         let run = replay(dataset, threads);
-        for (step, (a, b)) in serial.step_hashes.iter().zip(&run.step_hashes).enumerate() {
-            if a != b {
-                return Err(format!(
-                    "{name}: {threads}-thread factor diverges from serial at step {step}"
-                ));
-            }
-        }
-        if run.final_bytes != serial.final_bytes {
-            return Err(format!(
-                "{name}: {threads}-thread final factor differs from serial \
-                 ({} vs {} bytes)",
+        let diverged = serial
+            .step_hashes
+            .iter()
+            .zip(&run.step_hashes)
+            .position(|(a, b)| a != b);
+        report.check(
+            &format!("{name}/{threads}t/step-hashes"),
+            diverged.is_none(),
+            &match diverged {
+                None => format!("{} per-step hashes match serial", run.step_hashes.len()),
+                Some(step) => format!("factor diverges from serial at step {step}"),
+            },
+        );
+        report.check(
+            &format!("{name}/{threads}t/final-bytes"),
+            run.final_bytes == serial.final_bytes,
+            &format!(
+                "{} vs {} bytes",
                 run.final_bytes.len(),
                 serial.final_bytes.len()
-            ));
-        }
-        if run.estimate != serial.estimate {
-            return Err(format!(
-                "{name}: {threads}-thread trajectory estimate is not bit-identical to serial"
-            ));
-        }
-        eprintln!(
-            "  {threads} threads: {} steps, {} factor bytes, {} poses — identical",
-            run.step_hashes.len(),
-            run.final_bytes.len(),
-            run.estimate.len()
+            ),
+        );
+        report.check(
+            &format!("{name}/{threads}t/estimate"),
+            run.estimate == serial.estimate,
+            &format!(
+                "{} poses compared by exact f64 equality",
+                run.estimate.len()
+            ),
         );
     }
-    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -103,12 +117,9 @@ fn main() -> ExitCode {
         Dataset::sphere_scaled(0.12),
         Dataset::cab1_scaled(0.2),
     ];
+    let mut report = Report::new();
     for dataset in &datasets {
-        if let Err(msg) = check(dataset) {
-            eprintln!("determinism: FAIL: {msg}");
-            return ExitCode::FAILURE;
-        }
+        check(&mut report, dataset);
     }
-    eprintln!("determinism: all factors and estimates bit-identical across 1/2/4 threads");
-    ExitCode::SUCCESS
+    report.finish("determinism")
 }

@@ -22,7 +22,9 @@ fn usage() -> ExitCode {
     eprintln!("usage:");
     eprintln!("  snv gen <sphere|m3500|cab1|cab2> [--scale F] [--out FILE.g2o]");
     eprintln!("  snv info <FILE.g2o>");
-    eprintln!("  snv solve <FILE.g2o | builtin:NAME[@SCALE]> [--solver ra|isam2|local|localglobal]");
+    eprintln!(
+        "  snv solve <FILE.g2o | builtin:NAME[@SCALE]> [--solver ra|isam2|local|localglobal]"
+    );
     eprintln!("            [--sets N] [--target MS] [--traj FILE.csv]");
     ExitCode::FAILURE
 }
@@ -50,15 +52,21 @@ fn load(spec: &str) -> Result<Dataset, String> {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("gen") => {
-            let Some(name) = args.get(1) else { return usage() };
-            let scale = flag(&args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(1.0);
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
+            let scale = flag(&args, "--scale")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1.0);
             let Some(ds) = builtin(name, scale) else {
                 eprintln!("unknown dataset `{name}`");
                 return usage();
@@ -78,7 +86,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("info") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             match load(path) {
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -95,7 +105,9 @@ fn main() -> ExitCode {
             }
         }
         Some("solve") => {
-            let Some(spec) = args.get(1) else { return usage() };
+            let Some(spec) = args.get(1) else {
+                return usage();
+            };
             let ds = match load(spec) {
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -103,7 +115,9 @@ fn main() -> ExitCode {
                 }
                 Ok(ds) => ds,
             };
-            let sets: usize = flag(&args, "--sets").and_then(|s| s.parse().ok()).unwrap_or(2);
+            let sets: usize = flag(&args, "--sets")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(2);
             let target = flag(&args, "--target")
                 .and_then(|s| s.parse::<f64>().ok())
                 .map(|msv| msv / 1e3)
@@ -127,9 +141,23 @@ fn main() -> ExitCode {
             let rec = run_online(&ds, solver.as_mut(), &cfg, None);
             let totals = rec.totals(0);
             let s = BoxStats::from_samples(&totals);
-            println!("{} on {} ({} steps):", rec.solver, ds.name(), ds.num_steps());
-            println!("  median {} ms | q3 {} ms | max {} ms", ms(s.median), ms(s.q3), ms(s.max));
-            println!("  target {} ms, miss rate {}", ms(target), pct(miss_rate(&totals, target)));
+            println!(
+                "{} on {} ({} steps):",
+                rec.solver,
+                ds.name(),
+                ds.num_steps()
+            );
+            println!(
+                "  median {} ms | q3 {} ms | max {} ms",
+                ms(s.median),
+                ms(s.q3),
+                ms(s.max)
+            );
+            println!(
+                "  target {} ms, miss rate {}",
+                ms(target),
+                pct(miss_rate(&totals, target))
+            );
             if let Some(path) = flag(&args, "--traj") {
                 let mut csv = Table::new(&["index", "x", "y", "z"]);
                 for (k, v) in solver.estimate().iter() {

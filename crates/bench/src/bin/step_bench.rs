@@ -24,16 +24,57 @@
 //! `host_cpus` is recorded so a reader can tell whether the measured
 //! speedup was core-limited (e.g. a 1-CPU CI container cannot show any
 //! wall-time win regardless of the plan's parallelism).
+//!
+//! With `--trace <path>` the first dataset is additionally replayed once
+//! through a span-traced engine (2 host threads, simulator attached) and
+//! the resulting Chrome trace-event document is written to `<path>` —
+//! load it in `chrome://tracing` or Perfetto to see, per step, the
+//! solver phases, the host executor's per-worker task rows and the
+//! modeled accelerator-unit occupancy.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use supernova_datasets::Dataset;
 use supernova_factors::Key;
 use supernova_hw::Platform;
-use supernova_runtime::{simulate_step, SchedulerConfig};
-use supernova_solvers::{Isam2, Isam2Config, OnlineSolver};
+use supernova_runtime::{simulate_step, CostModel, SchedulerConfig};
+use supernova_solvers::{Isam2, Isam2Config, OnlineSolver, RaIsam2Config, SolverEngine};
 use supernova_sparse::ParallelExecutor;
+use supernova_trace::{chrome_document_wall, StepKey, Trace, TraceConfig};
+
+/// Replays `dataset` through a span-traced engine and writes the
+/// wall-clock Chrome trace-event document to `path`.
+fn dump_trace(dataset: &Dataset, path: &str) {
+    let platform = Platform::supernova(2);
+    let cost = Arc::new(CostModel::new(platform.clone()));
+    let mut engine = SolverEngine::new(RaIsam2Config::default(), cost);
+    engine.set_executor(ParallelExecutor::new(2));
+    engine.set_trace(TraceConfig::on());
+    engine.set_trace_hw(platform, SchedulerConfig::default());
+    let mut traces = Vec::new();
+    for (i, step) in dataset.online_steps().into_iter().enumerate() {
+        engine.step(step.truth, step.factors);
+        if let Some(root) = engine.take_step_span() {
+            traces.push(Trace {
+                key: StepKey {
+                    session: 0,
+                    seq: i as u64,
+                    step: i as u64 + 1,
+                },
+                root,
+            });
+        }
+    }
+    std::fs::write(path, chrome_document_wall(&traces))
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!(
+        "wrote {} step trace(s) for {} to {path} (open in chrome://tracing)",
+        traces.len(),
+        dataset.name()
+    );
+}
 
 /// One measured replay.
 struct Run {
@@ -54,7 +95,9 @@ fn replay(dataset: &Dataset, threads: usize) -> Run {
     let platform = Platform::supernova(2);
     let sched = SchedulerConfig::default();
     let mut solver = Isam2::new(Isam2Config::default());
-    solver.core_mut().set_executor(ParallelExecutor::new(threads));
+    solver
+        .core_mut()
+        .set_executor(ParallelExecutor::new(threads));
 
     let steps = dataset.online_steps();
     let mut sim_numeric_s = 0.0;
@@ -89,13 +132,28 @@ fn replay(dataset: &Dataset, threads: usize) -> Run {
 }
 
 fn main() {
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            trace_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("step_bench: --trace needs a file path");
+                std::process::exit(2);
+            }));
+        } else {
+            eprintln!("step_bench: unknown argument {arg}");
+            std::process::exit(2);
+        }
+    }
     let datasets = [
         Dataset::m3500_scaled(0.12),
         Dataset::sphere_scaled(0.2),
         Dataset::cab1_scaled(0.3),
     ];
     let thread_counts = [1usize, 2, 4];
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -123,8 +181,16 @@ fn main() {
             let _ = writeln!(out, "        {{");
             let _ = writeln!(out, "          \"threads\": {},", r.threads);
             let _ = writeln!(out, "          \"host_wall_s\": {:.6},", r.wall_s);
-            let _ = writeln!(out, "          \"host_refactor_wall_s\": {:.6},", r.refactor_wall_s);
-            let _ = writeln!(out, "          \"speedup_vs_serial\": {:.4},", serial / r.wall_s);
+            let _ = writeln!(
+                out,
+                "          \"host_refactor_wall_s\": {:.6},",
+                r.refactor_wall_s
+            );
+            let _ = writeln!(
+                out,
+                "          \"speedup_vs_serial\": {:.4},",
+                serial / r.wall_s
+            );
             let _ = writeln!(
                 out,
                 "          \"refactor_speedup_vs_serial\": {:.4},",
@@ -158,4 +224,8 @@ fn main() {
     std::fs::write("results/BENCH_step_latency.json", &out)
         .expect("write results/BENCH_step_latency.json");
     eprintln!("wrote results/BENCH_step_latency.json");
+
+    if let Some(path) = trace_path {
+        dump_trace(&datasets[0], &path);
+    }
 }

@@ -13,21 +13,57 @@ use crate::{DatasetId, Suite};
 pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig2", "Frontend vs backend latency variability per step"),
     ("fig3", "Backend latency breakdown by operation class"),
-    ("fig7", "Ground-truth trajectories of the datasets (CSV dump)"),
-    ("fig8", "Latency vs the six hardware baselines (total and numeric)"),
-    ("fig9", "Runtime parallelism ablation (hetero / inter-node / intra-node)"),
-    ("fig10", "Per-step latency box plots and target miss rates, ISAM2 vs RA-ISAM2"),
-    ("fig11", "End-to-end latency breakdown (relin / symbolic / numeric / overhead)"),
-    ("fig12", "Per-step MAX and RMSE error vs the optimized reference"),
-    ("table2", "Qualitative comparison of SLAM backend solver classes"),
+    (
+        "fig7",
+        "Ground-truth trajectories of the datasets (CSV dump)",
+    ),
+    (
+        "fig8",
+        "Latency vs the six hardware baselines (total and numeric)",
+    ),
+    (
+        "fig9",
+        "Runtime parallelism ablation (hetero / inter-node / intra-node)",
+    ),
+    (
+        "fig10",
+        "Per-step latency box plots and target miss rates, ISAM2 vs RA-ISAM2",
+    ),
+    (
+        "fig11",
+        "End-to-end latency breakdown (relin / symbolic / numeric / overhead)",
+    ),
+    (
+        "fig12",
+        "Per-step MAX and RMSE error vs the optimized reference",
+    ),
+    (
+        "table2",
+        "Qualitative comparison of SLAM backend solver classes",
+    ),
     ("table3", "SoC configuration used in the evaluation"),
-    ("table4", "Accuracy (MAX and iRMSE) of all algorithms and hardware configs"),
+    (
+        "table4",
+        "Accuracy (MAX and iRMSE) of all algorithms and hardware configs",
+    ),
     ("table5", "16 nm area breakdown vs the BOOM baseline"),
-    ("power", "Power comparison (SuperNoVA SYRK vs GPU and FPGA envelopes)"),
+    (
+        "power",
+        "Power comparison (SuperNoVA SYRK vs GPU and FPGA envelopes)",
+    ),
     ("energy", "Extension (§7): per-step energy across platforms"),
-    ("ablate-relax", "Ablation: supernode amalgamation slack vs latency"),
-    ("ablate-reorder", "Ablation: periodic fill-reducing reordering on/off"),
-    ("ablate-siu", "Ablation: SIU and MEM contributions to the Spatula gap"),
+    (
+        "ablate-relax",
+        "Ablation: supernode amalgamation slack vs latency",
+    ),
+    (
+        "ablate-reorder",
+        "Ablation: periodic fill-reducing reordering on/off",
+    ),
+    (
+        "ablate-siu",
+        "Ablation: SIU and MEM contributions to the Spatula gap",
+    ),
 ];
 
 /// Runs one experiment by id (or `all`).
@@ -63,19 +99,29 @@ pub fn run_experiment(suite: &mut Suite, id: &str) -> Result<(), String> {
         "ablate-siu" => ablate_siu(suite),
         other => Err(format!(
             "unknown experiment `{other}`; valid ids: all, {}",
-            EXPERIMENTS.iter().map(|(i, _)| *i).collect::<Vec<_>>().join(", ")
+            EXPERIMENTS
+                .iter()
+                .map(|(i, _)| *i)
+                .collect::<Vec<_>>()
+                .join(", ")
         )),
     }
 }
 
 fn banner(id: &str) {
-    let desc = EXPERIMENTS.iter().find(|(i, _)| *i == id).map(|(_, d)| *d).unwrap_or("");
+    let desc = EXPERIMENTS
+        .iter()
+        .find(|(i, _)| *i == id)
+        .map(|(_, d)| *d)
+        .unwrap_or("");
     println!("\n=== {id}: {desc} ===");
 }
 
 fn save(suite: &Suite, file: &str, table: &Table) -> Result<(), String> {
     let path = suite.out_path(file);
-    table.write_csv(&path).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    table
+        .write_csv(&path)
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
     println!("[csv] {}", path.display());
     Ok(())
 }
@@ -98,8 +144,20 @@ fn fig2(suite: &mut Suite) -> Result<(), String> {
     }
     save(suite, "fig2_breakdown.csv", &csv)?;
     let stats = BoxStats::from_samples(&backend);
-    let mut t = Table::new(&["component", "mean (ms)", "median (ms)", "max (ms)", "max/mean"]);
-    t.row(&["frontend".to_string(), ms(FRONTEND_SECONDS), ms(FRONTEND_SECONDS), ms(FRONTEND_SECONDS), "1.0".into()]);
+    let mut t = Table::new(&[
+        "component",
+        "mean (ms)",
+        "median (ms)",
+        "max (ms)",
+        "max/mean",
+    ]);
+    t.row(&[
+        "frontend".to_string(),
+        ms(FRONTEND_SECONDS),
+        ms(FRONTEND_SECONDS),
+        ms(FRONTEND_SECONDS),
+        "1.0".into(),
+    ]);
     t.row(&[
         "backend (ISAM2, server CPU)".to_string(),
         ms(stats.mean),
@@ -142,8 +200,16 @@ fn fig3(suite: &mut Suite) -> Result<(), String> {
     for (class, secs) in ledger.rows() {
         t.row(&[class.to_string(), format!("{secs:.4}"), pct(secs / total)]);
     }
-    t.row(&["RELINEARIZATION".to_string(), format!("{relin_s:.4}"), pct(relin_s / total)]);
-    t.row(&["SYMBOLIC".to_string(), format!("{symbolic_s:.4}"), pct(symbolic_s / total)]);
+    t.row(&[
+        "RELINEARIZATION".to_string(),
+        format!("{relin_s:.4}"),
+        pct(relin_s / total),
+    ]);
+    t.row(&[
+        "SYMBOLIC".to_string(),
+        format!("{symbolic_s:.4}"),
+        pct(symbolic_s / total),
+    ]);
     print!("{}", t.render());
     save(suite, "fig3_breakdown.csv", &t)?;
     println!("expected shape: GEMM-class ops (GEMM+SYRK+TRSM+CHOL) dominate the numeric share");
@@ -164,12 +230,20 @@ fn replay(
             match &step.odometry {
                 Some(Variable::Se2(o)) => {
                     // lint: allow(unwrap) — odometry chain guarantees an SE(2) estimate
-                    let p = solver.pose_estimate(Key(i - 1)).as_se2().copied().expect("se2");
+                    let p = solver
+                        .pose_estimate(Key(i - 1))
+                        .as_se2()
+                        .copied()
+                        .expect("se2"); // lint: allow(unwrap)
                     Variable::Se2(p.compose(*o))
                 }
                 Some(Variable::Se3(o)) => {
                     // lint: allow(unwrap) — odometry chain guarantees an SE(3) estimate
-                    let p = solver.pose_estimate(Key(i - 1)).as_se3().cloned().expect("se3");
+                    let p = solver
+                        .pose_estimate(Key(i - 1))
+                        .as_se3()
+                        .cloned()
+                        .expect("se3"); // lint: allow(unwrap)
                     Variable::Se3(p.compose(o))
                 }
                 _ => step.truth.clone(),
@@ -206,7 +280,10 @@ fn fig7(suite: &mut Suite) -> Result<(), String> {
         }
     }
     save(suite, "fig7_trajectories.csv", &csv)?;
-    println!("trajectory points exported for all {} datasets", DatasetId::ALL.len());
+    println!(
+        "trajectory points exported for all {} datasets",
+        DatasetId::ALL.len()
+    );
     Ok(())
 }
 
@@ -226,7 +303,14 @@ const FIG8_PLATFORMS: [&str; 9] = [
 
 fn fig8(suite: &mut Suite) -> Result<(), String> {
     banner("fig8");
-    let mut t = Table::new(&["dataset", "platform", "total (s)", "numeric (s)", "total/BOOM", "numeric/BOOM"]);
+    let mut t = Table::new(&[
+        "dataset",
+        "platform",
+        "total (s)",
+        "numeric (s)",
+        "total/BOOM",
+        "numeric/BOOM",
+    ]);
     for id in DatasetId::ALL {
         let rec = suite.run(id, SolverKind::Incremental);
         // lint: allow(unwrap) — priced by the record() call above
@@ -250,8 +334,12 @@ fn fig8(suite: &mut Suite) -> Result<(), String> {
     }
     print!("{}", t.render());
     save(suite, "fig8_latency.csv", &t)?;
-    println!("expected shape: SuperNoVA-2S total ≈ 0.1–0.5× BOOM everywhere; weakest win on M3500;");
-    println!("GPU poor on CAB1 (launch/transfer overhead); Spatula loses the memory-management time.");
+    println!(
+        "expected shape: SuperNoVA-2S total ≈ 0.1–0.5× BOOM everywhere; weakest win on M3500;"
+    );
+    println!(
+        "GPU poor on CAB1 (launch/transfer overhead); Spatula loses the memory-management time."
+    );
     Ok(())
 }
 
@@ -273,8 +361,15 @@ fn fig9(suite: &mut Suite) -> Result<(), String> {
             // lint: allow(unwrap) — priced by the record() call above
             let p = rec.pricing(label).expect("ablation priced");
             let numeric: f64 = rec.numerics(p).iter().sum();
-            let delta = prev.map(|pv| format!("-{}", pct((pv - numeric) / pv))).unwrap_or_else(|| "-".into());
-            t.row(&[id.name().to_string(), name.to_string(), format!("{numeric:.4}"), delta]);
+            let delta = prev
+                .map(|pv| format!("-{}", pct((pv - numeric) / pv)))
+                .unwrap_or_else(|| "-".into());
+            t.row(&[
+                id.name().to_string(),
+                name.to_string(),
+                format!("{numeric:.4}"),
+                delta,
+            ]);
             prev = Some(numeric);
         }
     }
@@ -290,13 +385,21 @@ fn fig10(suite: &mut Suite) -> Result<(), String> {
     banner("fig10");
     let target = suite.config().target_seconds;
     let mut t = Table::new(&[
-        "dataset", "algorithm", "sets", "median (ms)", "q3 (ms)", "max (ms)", "miss rate",
+        "dataset",
+        "algorithm",
+        "sets",
+        "median (ms)",
+        "q3 (ms)",
+        "max (ms)",
+        "miss rate",
     ]);
     for id in DatasetId::ALL {
         let inc = suite.run(id, SolverKind::Incremental);
         for sets in [1usize, 2, 4] {
             // lint: allow(unwrap) — priced by the record() call above
-            let p = inc.pricing(&format!("SuperNoVA-{sets}S")).expect("sets priced");
+            let p = inc
+                .pricing(&format!("SuperNoVA-{sets}S"))
+                .expect("sets priced"); // lint: allow(unwrap)
             let totals = inc.totals(p);
             let s = BoxStats::from_samples(&totals);
             t.row(&[
@@ -336,9 +439,17 @@ fn fig10(suite: &mut Suite) -> Result<(), String> {
 fn fig11(suite: &mut Suite) -> Result<(), String> {
     banner("fig11");
     let mut t = Table::new(&[
-        "dataset", "config", "relin (ms)", "symbolic (ms)", "numeric (ms)", "overhead (ms)", "total (ms)",
+        "dataset",
+        "config",
+        "relin (ms)",
+        "symbolic (ms)",
+        "numeric (ms)",
+        "overhead (ms)",
+        "total (ms)",
     ]);
-    let mut csv = Table::new(&["dataset", "config", "step", "relin", "symbolic", "numeric", "overhead"]);
+    let mut csv = Table::new(&[
+        "dataset", "config", "step", "relin", "symbolic", "numeric", "overhead",
+    ]);
     for id in [DatasetId::Cab2, DatasetId::M3500] {
         let inc = suite.run(id, SolverKind::Incremental);
         let mut rows: Vec<(String, Vec<supernova_runtime::StepLatency>)> = Vec::new();
@@ -353,7 +464,8 @@ fn fig11(suite: &mut Suite) -> Result<(), String> {
         }
         for (config, lats) in rows {
             let n = lats.len().max(1) as f64;
-            let sum = |f: fn(&supernova_runtime::StepLatency) -> f64| lats.iter().map(f).sum::<f64>();
+            let sum =
+                |f: fn(&supernova_runtime::StepLatency) -> f64| lats.iter().map(f).sum::<f64>();
             t.row(&[
                 id.name().to_string(),
                 config.clone(),
@@ -378,8 +490,12 @@ fn fig11(suite: &mut Suite) -> Result<(), String> {
     }
     print!("{}", t.render());
     save(suite, "fig11_breakdown.csv", &csv)?;
-    println!("expected shape: In spikes on LC steps; RA amortizes them; 4 sets raise symbolic share");
-    println!("(larger selected subtrees) while keeping totals near the target; RA overhead ~0.1-1%.");
+    println!(
+        "expected shape: In spikes on LC steps; RA amortizes them; 4 sets raise symbolic share"
+    );
+    println!(
+        "(larger selected subtrees) while keeping totals near the target; RA overhead ~0.1-1%."
+    );
     Ok(())
 }
 
@@ -452,7 +568,13 @@ fn table4(suite: &mut Suite) -> Result<(), String> {
 
 fn table2(suite: &mut Suite) -> Result<(), String> {
     banner("table2");
-    let mut t = Table::new(&["property", "Local", "Global", "Incremental", "RA-ISAM2 (ours)"]);
+    let mut t = Table::new(&[
+        "property",
+        "Local",
+        "Global",
+        "Incremental",
+        "RA-ISAM2 (ours)",
+    ]);
     t.row(&["global consistency", "no", "yes", "yes", "yes"]);
     t.row(&["bounded latency", "yes", "no", "no", "yes"]);
     t.row(&["loop closure", "no", "yes", "yes", "yes"]);
@@ -482,23 +604,54 @@ fn table3() -> Result<(), String> {
     banner("table3");
     let c = SocConfig::paper();
     let mut t = Table::new(&["parameter", "value"]);
-    t.row(&["# of COMP tiles".to_string(), format!("1-4 (paper default {})", c.comp_tiles)]);
-    t.row(&["systolic array dimension (per tile)".to_string(), format!("{0}x{0}", c.systolic_dim)]);
+    t.row(&[
+        "# of COMP tiles".to_string(),
+        format!("1-4 (paper default {})", c.comp_tiles),
+    ]);
+    t.row(&[
+        "systolic array dimension (per tile)".to_string(),
+        format!("{0}x{0}", c.systolic_dim),
+    ]);
     t.row(&[
         "scratchpad/accumulator (per tile)".to_string(),
-        format!("{}KB/{}KB", c.scratchpad_bytes >> 10, c.accumulator_bytes >> 10),
+        format!(
+            "{}KB/{}KB",
+            c.scratchpad_bytes >> 10,
+            c.accumulator_bytes >> 10
+        ),
     ]);
-    t.row(&["# of MEM tiles".to_string(), format!("1-4 (paper default {})", c.mem_tiles)]);
-    t.row(&["virtual channels (per tile)".to_string(), c.virtual_channels.to_string()]);
-    t.row(&["# of CPU tiles".to_string(), format!("1-4 (paper default {})", c.cpu_tiles)]);
-    t.row(&["ReRoCC L2 TLB entries".to_string(), c.rerocc_tlb_entries.to_string()]);
-    t.row(&["ReRoCC PTW cache".to_string(), format!("{}KB", c.rerocc_ptw_cache_bytes >> 10)]);
+    t.row(&[
+        "# of MEM tiles".to_string(),
+        format!("1-4 (paper default {})", c.mem_tiles),
+    ]);
+    t.row(&[
+        "virtual channels (per tile)".to_string(),
+        c.virtual_channels.to_string(),
+    ]);
+    t.row(&[
+        "# of CPU tiles".to_string(),
+        format!("1-4 (paper default {})", c.cpu_tiles),
+    ]);
+    t.row(&[
+        "ReRoCC L2 TLB entries".to_string(),
+        c.rerocc_tlb_entries.to_string(),
+    ]);
+    t.row(&[
+        "ReRoCC PTW cache".to_string(),
+        format!("{}KB", c.rerocc_ptw_cache_bytes >> 10),
+    ]);
     t.row(&[
         "shared L2 (size / banks)".to_string(),
         format!("{}MB, {}", c.llc_bytes >> 20, c.llc_banks),
     ]);
-    t.row(&["DRAM bandwidth".to_string(), format!("{}GB/s", (c.dram_bytes_per_sec / 1e9) as u64)]);
-    t.row(&["frequency".to_string(), format!("{}GHz", (c.freq_hz / 1e9) as u64)]);
+    t.row(&[
+        "DRAM bandwidth".to_string(),
+        format!("{}GB/s", (c.dram_bytes_per_sec / 1e9) as u64),
+    ]);
+    t.row(&[
+        "frequency".to_string(),
+        format!("{}GHz", (c.freq_hz / 1e9) as u64),
+    ]);
     print!("{}", t.render());
     Ok(())
 }
@@ -519,7 +672,11 @@ fn table5() -> Result<(), String> {
         format!("{:.0}K", area_power::config_area_um2(1, 1) / 1e3),
         pct(area_power::area_vs_boom(1, 1)),
     ]);
-    t.row(&["BOOM baseline".to_string(), format!("{:.0}K", area_power::BOOM_UM2 / 1e3), "100%".to_string()]);
+    t.row(&[
+        "BOOM baseline".to_string(),
+        format!("{:.0}K", area_power::BOOM_UM2 / 1e3),
+        "100%".to_string(),
+    ]);
     print!("{}", t.render());
     println!(
         "area check: 2 CPU tiles + 2 accelerator sets = {} of one BOOM (the §5.4 area-matching argument)",
@@ -554,7 +711,13 @@ fn power() -> Result<(), String> {
 fn energy(suite: &mut Suite) -> Result<(), String> {
     banner("energy");
     use supernova_runtime::{simulate_step, step_energy, SchedulerConfig};
-    let mut t = Table::new(&["dataset", "platform", "energy/step (mJ)", "avg power (W)", "vs SuperNoVA-2S"]);
+    let mut t = Table::new(&[
+        "dataset",
+        "platform",
+        "energy/step (mJ)",
+        "avg power (W)",
+        "vs SuperNoVA-2S",
+    ]);
     for id in [DatasetId::Sphere, DatasetId::Cab2] {
         let ds = suite.dataset(id);
         let platforms = [
@@ -582,14 +745,23 @@ fn energy(suite: &mut Suite) -> Result<(), String> {
                 id.name().to_string(),
                 p.name().to_string(),
                 format!("{:.3}", per_step * 1e3),
-                format!("{:.2}", if busy[i] > 0.0 { joules[i] / busy[i] } else { 0.0 }),
+                format!(
+                    "{:.2}",
+                    if busy[i] > 0.0 {
+                        joules[i] / busy[i]
+                    } else {
+                        0.0
+                    }
+                ),
                 format!("{:.1}x", joules[i] / joules[sn_idx].max(1e-12)),
             ]);
         }
     }
     print!("{}", t.render());
     save(suite, "energy.csv", &t)?;
-    println!("expected shape: the accelerator wins on energy even where a platform ties on latency");
+    println!(
+        "expected shape: the accelerator wins on energy even where a platform ties on latency"
+    );
     println!("(the server CPU's static draw dominates at SLAM duty cycles).");
     Ok(())
 }
@@ -603,9 +775,17 @@ fn ablate_relax(suite: &mut Suite) -> Result<(), String> {
     let ds = suite.dataset(DatasetId::Cab2);
     let platform = Platform::supernova(2);
     let sched = SchedulerConfig::default();
-    let mut t = Table::new(&["relax", "numeric (s)", "recomputed nodes/step", "flops/step (M)"]);
+    let mut t = Table::new(&[
+        "relax",
+        "numeric (s)",
+        "recomputed nodes/step",
+        "flops/step (M)",
+    ]);
     for relax in [0usize, 1, 2, 4] {
-        let mut solver = Isam2::new(Isam2Config { relax, ..Isam2Config::default() });
+        let mut solver = Isam2::new(Isam2Config {
+            relax,
+            ..Isam2Config::default()
+        });
         let mut numeric = 0.0f64;
         let mut nodes = 0usize;
         let mut flops = 0u64;
@@ -635,9 +815,18 @@ fn ablate_reorder(suite: &mut Suite) -> Result<(), String> {
     let ds = suite.dataset(DatasetId::M3500);
     let platform = Platform::supernova(2);
     let sched = SchedulerConfig::default();
-    let mut t = Table::new(&["reorder", "numeric (s)", "worst step (ms)", "fill ratio (final)", "reorders"]);
+    let mut t = Table::new(&[
+        "reorder",
+        "numeric (s)",
+        "worst step (ms)",
+        "fill ratio (final)",
+        "reorders",
+    ]);
     for reorder in [true, false] {
-        let mut solver = Isam2::new(Isam2Config { reorder, ..Isam2Config::default() });
+        let mut solver = Isam2::new(Isam2Config {
+            reorder,
+            ..Isam2Config::default()
+        });
         let mut numeric = 0.0f64;
         let mut worst = 0.0f64;
         replay(&ds, &mut solver, |trace| {
@@ -675,11 +864,21 @@ fn ablate_siu(suite: &mut Suite) -> Result<(), String> {
         no_siu_numeric += simulate_step(&no_siu, trace, &SchedulerConfig::default()).numeric;
     });
     // lint: allow(unwrap) — priced by the record() call above
-    let sn: f64 = rec.numerics(rec.pricing("SuperNoVA-2S").expect("priced")).iter().sum();
+    let sn: f64 = rec
+        .numerics(rec.pricing("SuperNoVA-2S").expect("priced")) // lint: allow(unwrap)
+        .iter()
+        .sum();
     // lint: allow(unwrap) — priced by the record() call above
-    let spatula: f64 = rec.numerics(rec.pricing("Spatula").expect("priced")).iter().sum();
+    let spatula: f64 = rec
+        .numerics(rec.pricing("Spatula").expect("priced")) // lint: allow(unwrap)
+        .iter()
+        .sum();
     let mut t = Table::new(&["configuration", "numeric (s)", "vs full SuperNoVA"]);
-    t.row(&["SuperNoVA-2S (SIU + MEM)".to_string(), format!("{sn:.4}"), "1.00x".to_string()]);
+    t.row(&[
+        "SuperNoVA-2S (SIU + MEM)".to_string(),
+        format!("{sn:.4}"),
+        "1.00x".to_string(),
+    ]);
     t.row(&[
         "SuperNoVA-2S without SIU".to_string(),
         format!("{no_siu_numeric:.4}"),
@@ -692,6 +891,8 @@ fn ablate_siu(suite: &mut Suite) -> Result<(), String> {
     ]);
     print!("{}", t.render());
     save(suite, "ablate_siu.csv", &t)?;
-    println!("expected shape: dropping the SIU costs part of the gap; dropping MEM too costs the rest.");
+    println!(
+        "expected shape: dropping the SIU costs part of the gap; dropping MEM too costs the rest."
+    );
     Ok(())
 }

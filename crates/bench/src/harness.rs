@@ -92,12 +92,7 @@ impl BenchmarkGroup {
     }
 
     /// Run a benchmark parameterized by an input value.
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
@@ -117,7 +112,10 @@ impl BenchmarkGroup {
         f(&mut bencher);
         let mut ns = bencher.per_iter_ns;
         if ns.is_empty() {
-            println!("  {}/{id}: no samples (closure never called iter)", self.name);
+            println!(
+                "  {}/{id}: no samples (closure never called iter)",
+                self.name
+            );
             return;
         }
         ns.sort_by(f64::total_cmp);

@@ -1,0 +1,351 @@
+//! A minimal recursive-descent JSON reader for the benchmark artifacts.
+//!
+//! `bench_check` compares freshly generated `results/BENCH_*.json` files
+//! against committed baselines, so it needs to *read* the JSON the bench
+//! binaries write by hand. The workspace takes no external dependencies;
+//! this module is the few hundred lines of RFC 8259 subset the regression
+//! gate actually needs: objects, arrays, strings (with escapes), numbers
+//! as `f64`, booleans and `null`. It is a reader for trusted, in-repo
+//! artifacts — errors carry a byte offset for debugging, not recovery.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value. Object keys are kept in a `BTreeMap`, so
+/// iteration order is deterministic regardless of file order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, widened to `f64`.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on an object (`None` for other variants or a
+    /// missing key).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array (`None` for other variants).
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value (`None` for other variants).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value (`None` for other variants).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value (`None` for other variants).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+/// Where and why parsing stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub at: usize,
+    /// What the parser expected or found.
+    pub what: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+/// Nesting deeper than this is rejected (keeps recursion bounded on
+/// corrupt input).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &'static str) -> JsonError {
+        JsonError { at: self.pos, what }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8, what: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let s = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(s, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates never appear in the artifacts this
+                            // reader targets; map them to the replacement
+                            // character rather than decoding pairs.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 scalar, not just one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let ch = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("empty string tail"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bench_shaped_document() {
+        let doc = r#"{
+          "bench": "step_latency",
+          "host_cpus": 4,
+          "datasets": [
+            {"name": "M420", "runs": [{"threads": 1, "host_wall_s": 0.416829,
+             "sim_cycles": 28453177, "ok": true, "skipped": null}]}
+          ]
+        }"#;
+        let v = parse(doc).expect("parse");
+        assert_eq!(v.get("bench").and_then(Json::as_str), Some("step_latency"));
+        assert_eq!(v.get("host_cpus").and_then(Json::as_f64), Some(4.0));
+        let run = &v.get("datasets").and_then(Json::as_arr).expect("arr")[0]
+            .get("runs")
+            .and_then(Json::as_arr)
+            .expect("arr")[0];
+        assert_eq!(
+            run.get("host_wall_s").and_then(Json::as_f64),
+            Some(0.416829)
+        );
+        assert_eq!(run.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(run.get("skipped").expect("key").is_null());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = parse(r#""a\"b\\c\ndA é""#).expect("parse");
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA é"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1.2.3", "[1] x", "\"abc",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+}

@@ -4,7 +4,9 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use supernova_core::{run_online, ExperimentConfig, PricingTarget, Reference, RunRecord, SolverKind};
+use supernova_core::{
+    run_online, ExperimentConfig, PricingTarget, Reference, RunRecord, SolverKind,
+};
 use supernova_datasets::Dataset;
 use supernova_hw::Platform;
 use supernova_runtime::SchedulerConfig;
@@ -24,7 +26,12 @@ pub enum DatasetId {
 
 impl DatasetId {
     /// All datasets in the paper's presentation order.
-    pub const ALL: [DatasetId; 4] = [DatasetId::Sphere, DatasetId::M3500, DatasetId::Cab1, DatasetId::Cab2];
+    pub const ALL: [DatasetId; 4] = [
+        DatasetId::Sphere,
+        DatasetId::M3500,
+        DatasetId::Cab1,
+        DatasetId::Cab2,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -106,12 +113,20 @@ pub fn incremental_pricings() -> Vec<PricingTarget> {
         PricingTarget {
             label: "SN2-hetero".into(),
             platform: Platform::supernova(2),
-            sched: SchedulerConfig { hetero_overlap: true, inter_node: false, intra_node: false },
+            sched: SchedulerConfig {
+                hetero_overlap: true,
+                inter_node: false,
+                intra_node: false,
+            },
         },
         PricingTarget {
             label: "SN2-inter".into(),
             platform: Platform::supernova(2),
-            sched: SchedulerConfig { hetero_overlap: true, inter_node: true, intra_node: false },
+            sched: SchedulerConfig {
+                hetero_overlap: true,
+                inter_node: true,
+                intra_node: false,
+            },
         },
     ]
 }
@@ -133,7 +148,12 @@ pub struct Suite {
 impl Suite {
     /// Creates an empty suite.
     pub fn new(cfg: SuiteConfig) -> Self {
-        Suite { cfg, datasets: HashMap::new(), references: HashMap::new(), runs: HashMap::new() }
+        Suite {
+            cfg,
+            datasets: HashMap::new(),
+            references: HashMap::new(),
+            runs: HashMap::new(),
+        }
     }
 
     /// The configuration.
@@ -143,7 +163,10 @@ impl Suite {
 
     /// Effective scale for a dataset.
     pub fn scale_of(&self, id: DatasetId) -> f64 {
-        self.cfg.scale.unwrap_or_else(|| id.default_scale()).clamp(1e-3, 1.0)
+        self.cfg
+            .scale
+            .unwrap_or_else(|| id.default_scale())
+            .clamp(1e-3, 1.0)
     }
 
     /// The (cached) dataset.
@@ -197,7 +220,10 @@ impl Suite {
             SolverKind::Local | SolverKind::LocalGlobal => Vec::new(),
             _ => ra_pricing(kind),
         };
-        let cfg = ExperimentConfig { pricings, eval_stride: self.cfg.eval_stride };
+        let cfg = ExperimentConfig {
+            pricings,
+            eval_stride: self.cfg.eval_stride,
+        };
         let mut solver = kind.build(self.cfg.target_seconds, 0.02);
         let t0 = Instant::now();
         let rec = run_online(&ds, solver.as_mut(), &cfg, Some(&reference));
@@ -224,8 +250,10 @@ mod tests {
 
     #[test]
     fn datasets_load_at_tiny_scale() {
-        let mut suite =
-            Suite::new(SuiteConfig { scale: Some(0.02), ..SuiteConfig::default() });
+        let mut suite = Suite::new(SuiteConfig {
+            scale: Some(0.02),
+            ..SuiteConfig::default()
+        });
         for id in DatasetId::ALL {
             let ds = suite.dataset(id);
             assert!(ds.num_steps() > 0, "{} empty", id.name());
@@ -249,7 +277,15 @@ mod tests {
     fn incremental_pricing_covers_all_baselines() {
         let p = incremental_pricings();
         let labels: Vec<&str> = p.iter().map(|t| t.label.as_str()).collect();
-        for want in ["BOOM", "Mobile CPU", "Mobile DSP", "Server CPU", "Embedded GPU", "Spatula", "SuperNoVA-2S"] {
+        for want in [
+            "BOOM",
+            "Mobile CPU",
+            "Mobile DSP",
+            "Server CPU",
+            "Embedded GPU",
+            "Spatula",
+            "SuperNoVA-2S",
+        ] {
             assert!(labels.contains(&want), "missing {want}");
         }
     }

@@ -58,13 +58,18 @@ impl SolverKind {
         match self {
             SolverKind::Local => Box::new(FixedLagSmoother::new(FixedLagConfig::default())),
             SolverKind::LocalGlobal => Box::new(LocalGlobal::new(LocalGlobalConfig::default())),
-            SolverKind::Incremental => {
-                Box::new(Isam2::new(Isam2Config { beta, ..Isam2Config::default() }))
-            }
+            SolverKind::Incremental => Box::new(Isam2::new(Isam2Config {
+                beta,
+                ..Isam2Config::default()
+            })),
             SolverKind::ResourceAware { .. } | SolverKind::ResourceAwareCpu => {
                 let cost = Arc::new(CostModel::new(self.platform()));
                 Box::new(RaIsam2::new(
-                    RaIsam2Config { beta, target_seconds, ..RaIsam2Config::default() },
+                    RaIsam2Config {
+                        beta,
+                        target_seconds,
+                        ..RaIsam2Config::default()
+                    },
                     cost,
                 ))
             }
@@ -101,7 +106,9 @@ mod tests {
 
     #[test]
     fn ra_platforms_differ() {
-        assert!(SolverKind::ResourceAware { sets: 2 }.platform().is_accelerated());
+        assert!(SolverKind::ResourceAware { sets: 2 }
+            .platform()
+            .is_accelerated());
         assert!(!SolverKind::ResourceAwareCpu.platform().is_accelerated());
     }
 }

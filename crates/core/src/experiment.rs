@@ -21,7 +21,11 @@ pub struct PricingTarget {
 impl PricingTarget {
     /// A target with the default scheduler configuration.
     pub fn new(label: impl Into<String>, platform: Platform) -> Self {
-        PricingTarget { label: label.into(), platform, sched: SchedulerConfig::default() }
+        PricingTarget {
+            label: label.into(),
+            platform,
+            sched: SchedulerConfig::default(),
+        }
     }
 }
 
@@ -111,8 +115,9 @@ impl Reference {
         assert!(stride > 0, "stride must be positive");
         let online = dataset.online_steps();
         let n = online.len();
-        let eval_steps: Vec<usize> =
-            (0..n).filter(|&i| i % stride == stride - 1 || i == n - 1).collect();
+        let eval_steps: Vec<usize> = (0..n)
+            .filter(|&i| i % stride == stride - 1 || i == n - 1)
+            .collect();
 
         let mut graph = supernova_factors::FactorGraph::new();
         let mut warm = Values::new();
@@ -137,7 +142,10 @@ impl Reference {
                 next_eval += 1;
             }
         }
-        Reference { steps: eval_steps, trajectories }
+        Reference {
+            steps: eval_steps,
+            trajectories,
+        }
     }
 
     /// The evaluated step indices.
@@ -147,7 +155,10 @@ impl Reference {
 
     /// The reference trajectory at step `step`, if evaluated there.
     pub fn at(&self, step: usize) -> Option<&Values> {
-        self.steps.iter().position(|&s| s == step).map(|i| &self.trajectories[i])
+        self.steps
+            .iter()
+            .position(|&s| s == step)
+            .map(|i| &self.trajectories[i])
     }
 
     /// The final reference trajectory.
@@ -214,7 +225,11 @@ pub fn run_online(
             if let Some(reference_traj) = r.at(i) {
                 let stats: ApeStats = ape(&solver.estimate(), reference_traj);
                 acc.push(stats);
-                record.errors.push(ErrorSample { step: i, max: stats.max, rmse: stats.rmse });
+                record.errors.push(ErrorSample {
+                    step: i,
+                    max: stats.max,
+                    rmse: stats.rmse,
+                });
             }
         }
     }
@@ -284,7 +299,10 @@ mod tests {
     fn local_solver_runs_and_drifts_more_than_incremental() {
         let ds = small_dataset();
         let r = Reference::compute(&ds, 50);
-        let cfg = ExperimentConfig { pricings: vec![], eval_stride: 50 };
+        let cfg = ExperimentConfig {
+            pricings: vec![],
+            eval_stride: 50,
+        };
         let mut local = SolverKind::Local.build(1.0 / 30.0, 0.05);
         let rec_local = run_online(&ds, local.as_mut(), &cfg, Some(&r));
         let mut inc = SolverKind::Incremental.build(1.0 / 30.0, 0.05);

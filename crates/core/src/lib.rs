@@ -34,5 +34,7 @@ pub mod report;
 mod system;
 
 pub use baselines::SolverKind;
-pub use experiment::{run_online, ErrorSample, ExperimentConfig, PricingTarget, Reference, RunRecord};
+pub use experiment::{
+    run_online, ErrorSample, ExperimentConfig, PricingTarget, Reference, RunRecord,
+};
 pub use system::{RunOutcome, SuperNova, SuperNovaConfig};

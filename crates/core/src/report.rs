@@ -26,7 +26,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header count).
@@ -36,7 +39,8 @@ impl Table {
     /// Panics on column-count mismatch.
     pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|s| s.as_ref().to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.as_ref().to_string()).collect());
         self
     }
 
@@ -66,7 +70,11 @@ impl Table {
             out.push('\n');
         };
         line(&mut out, &self.headers);
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().min(120)));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().min(120))
+        );
         for row in &self.rows {
             line(&mut out, row);
         }
@@ -84,7 +92,12 @@ impl Table {
                 s.to_string()
             }
         };
-        let mut out = self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",");
+        let mut out = self
+            .headers
+            .iter()
+            .map(|h| esc(h))
+            .collect::<Vec<_>>()
+            .join(",");
         out.push('\n');
         for row in &self.rows {
             out += &row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",");

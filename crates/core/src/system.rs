@@ -102,7 +102,10 @@ pub struct SuperNova {
 impl SuperNova {
     /// Builds the system for the configured SoC.
     pub fn new(config: SuperNovaConfig) -> Self {
-        SuperNova { platform: Platform::supernova(config.accel_sets), config }
+        SuperNova {
+            platform: Platform::supernova(config.accel_sets),
+            config,
+        }
     }
 
     /// The modeled SoC platform.
@@ -130,7 +133,9 @@ impl SuperNova {
     }
 
     fn run(&mut self, dataset: &Dataset, reference: Option<&Reference>) -> RunOutcome {
-        let kind = SolverKind::ResourceAware { sets: self.config.accel_sets };
+        let kind = SolverKind::ResourceAware {
+            sets: self.config.accel_sets,
+        };
         let mut solver = kind.build(self.config.target_seconds, self.config.beta);
         let cfg = ExperimentConfig {
             pricings: vec![PricingTarget {
@@ -141,7 +146,10 @@ impl SuperNova {
             eval_stride: self.config.eval_stride,
         };
         let record = run_online(dataset, solver.as_mut(), &cfg, reference);
-        RunOutcome { record, target: self.config.target_seconds }
+        RunOutcome {
+            record,
+            target: self.config.target_seconds,
+        }
     }
 }
 
@@ -163,7 +171,10 @@ mod tests {
     fn accuracy_reported_with_reference() {
         let ds = Dataset::m3500_scaled(0.02);
         let r = Reference::compute(&ds, 20);
-        let mut sys = SuperNova::new(SuperNovaConfig { eval_stride: 20, ..Default::default() });
+        let mut sys = SuperNova::new(SuperNovaConfig {
+            eval_stride: 20,
+            ..Default::default()
+        });
         let out = sys.run_online_with_reference(&ds, &r);
         assert!(out.irmse() >= 0.0);
         assert!(!out.record().errors.is_empty());

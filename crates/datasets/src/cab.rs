@@ -55,7 +55,15 @@ fn patrol_position(step_in_session: usize, session: usize, floor: (f64, f64)) ->
     } else {
         (0.0, perim - s, -std::f64::consts::FRAC_PI_2)
     };
-    (x, y, if dir > 0.0 { yaw } else { yaw + std::f64::consts::PI })
+    (
+        x,
+        y,
+        if dir > 0.0 {
+            yaw
+        } else {
+            yaw + std::f64::consts::PI
+        },
+    )
 }
 
 fn noisy_rel(rng: &mut XorShift64, a: &Se3, b: &Se3, ts: f64, rs: f64) -> Variable {
@@ -82,7 +90,10 @@ fn generate(p: CabParams) -> Dataset {
         let wob = (i as f64 * 0.7).sin() * 0.3;
         let pitch = (i as f64 * 0.31).sin() * 0.1;
         let rot = Rot3::exp(&[0.0, pitch, yaw]);
-        truth.push(Se3::from_parts([x + wob, y, 1.5 + 0.05 * (i as f64 * 0.13).sin()], rot));
+        truth.push(Se3::from_parts(
+            [x + wob, y, 1.5 + 0.05 * (i as f64 * 0.13).sin()],
+            rot,
+        ));
     }
 
     let sig = vec![
@@ -106,7 +117,10 @@ fn generate(p: CabParams) -> Dataset {
     let cell = SENSE_RADIUS;
     let keyof = |t: &[f64; 3]| ((t[0] / cell).floor() as i64, (t[1] / cell).floor() as i64);
     let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
-    buckets.entry(keyof(&truth[0].translation())).or_default().push(0);
+    buckets
+        .entry(keyof(&truth[0].translation()))
+        .or_default()
+        .push(0);
 
     for i in 1..p.steps {
         edges.push(Edge {
@@ -177,7 +191,10 @@ impl Dataset {
     ///
     /// Panics unless `0 < fraction <= 1`.
     pub fn cab1_scaled(fraction: f64) -> Dataset {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         generate(CabParams {
             steps: ((464.0 * fraction) as usize).max(4),
             sessions: 3,
@@ -206,7 +223,10 @@ impl Dataset {
     ///
     /// Panics unless `0 < fraction <= 1`.
     pub fn cab2_scaled(fraction: f64) -> Dataset {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         generate(CabParams {
             steps: ((3000.0 * fraction) as usize).max(4),
             sessions: 10,

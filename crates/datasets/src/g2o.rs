@@ -19,7 +19,10 @@ pub struct G2oParseError {
 
 impl G2oParseError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        G2oParseError { line, message: message.into() }
+        G2oParseError {
+            line,
+            message: message.into(),
+        }
     }
 
     /// 1-based line number of the offending record.
@@ -147,7 +150,11 @@ impl Dataset {
                     for r in 0..6 {
                         for c in r..6 {
                             tri += if r == c { &" " } else { &" " };
-                            tri += &if r == c { info[r].to_string() } else { "0".to_string() };
+                            tri += &if r == c {
+                                info[r].to_string()
+                            } else {
+                                "0".to_string()
+                            };
                         }
                     }
                     out += &format!(
@@ -208,7 +215,10 @@ impl Dataset {
                         return Err(G2oParseError::new(ln1, "malformed VERTEX_SE3:QUAT"));
                     }
                     let rot = quat_to_rot3([v[3], v[4], v[5], v[6]]);
-                    vertices.push((ids[0], Variable::Se3(Se3::from_parts([v[0], v[1], v[2]], rot))));
+                    vertices.push((
+                        ids[0],
+                        Variable::Se3(Se3::from_parts([v[0], v[1], v[2]], rot)),
+                    ));
                 }
                 "EDGE_SE2" => {
                     let v = nums.map_err(|e| G2oParseError::new(ln1, e.to_string()))?;
@@ -243,7 +253,10 @@ impl Dataset {
         vertices.sort_by_key(|&(id, _)| id);
         for (expect, &(id, _)) in vertices.iter().enumerate() {
             if id != expect {
-                return Err(G2oParseError::new(0, format!("vertex ids not dense at {id}")));
+                return Err(G2oParseError::new(
+                    0,
+                    format!("vertex ids not dense at {id}"),
+                ));
             }
         }
         let truth: Vec<Variable> = vertices.into_iter().map(|(_, v)| v).collect();
@@ -251,9 +264,19 @@ impl Dataset {
             .into_iter()
             .map(|(a, b, meas, sigmas)| {
                 if a < b {
-                    Edge { from: a, to: b, measurement: meas, sigmas }
+                    Edge {
+                        from: a,
+                        to: b,
+                        measurement: meas,
+                        sigmas,
+                    }
                 } else {
-                    Edge { from: b, to: a, measurement: invert(&meas), sigmas }
+                    Edge {
+                        from: b,
+                        to: a,
+                        measurement: invert(&meas),
+                        sigmas,
+                    }
                 }
             })
             .collect();
@@ -273,7 +296,12 @@ mod tests {
 
     #[test]
     fn quat_roundtrip() {
-        for w in [[0.1, 0.2, 0.3], [2.0, -1.0, 0.5], [0.0, 0.0, 0.0], [3.0, 0.0, 0.0]] {
+        for w in [
+            [0.1, 0.2, 0.3],
+            [2.0, -1.0, 0.5],
+            [0.0, 0.0, 0.0],
+            [3.0, 0.0, 0.0],
+        ] {
             let r = Rot3::exp(&w);
             let q = rot3_to_quat(&r);
             let r2 = quat_to_rot3(q);
@@ -312,7 +340,8 @@ mod tests {
 
     #[test]
     fn reversed_edges_are_normalized() {
-        let text = "VERTEX_SE2 0 0 0 0\nVERTEX_SE2 1 1 0 0\nEDGE_SE2 1 0 -1 0 0 100 0 0 100 0 100\n";
+        let text =
+            "VERTEX_SE2 0 0 0 0\nVERTEX_SE2 1 1 0 0\nEDGE_SE2 1 0 -1 0 0 100 0 0 100 0 100\n";
         let ds = Dataset::from_g2o("rev", text).unwrap();
         assert_eq!(ds.edges()[0].from, 0);
         assert_eq!(ds.edges()[0].to, 1);

@@ -9,7 +9,6 @@ use supernova_factors::{Se2, Variable};
 
 use crate::{Dataset, Edge, PoseKind};
 
-
 const TRANS_SIGMA: f64 = 0.10;
 const ROT_SIGMA: f64 = 0.10;
 const LC_TRANS_SIGMA: f64 = 0.12;
@@ -41,7 +40,11 @@ pub(crate) fn generate(steps: usize, seed: u64) -> Dataset {
     let mut heading = 0usize; // 0:+x 1:+y 2:−x 3:−y
     let dirs = [(1i64, 0i64), (0, 1), (-1, 0), (0, -1)];
     for i in 0..steps {
-        truth.push(Se2::new(x as f64, y as f64, heading as f64 * std::f64::consts::FRAC_PI_2));
+        truth.push(Se2::new(
+            x as f64,
+            y as f64,
+            heading as f64 * std::f64::consts::FRAC_PI_2,
+        ));
         cell_history.entry((x, y)).or_default().push(i);
         if i + 1 == steps {
             break;
@@ -102,7 +105,13 @@ pub(crate) fn generate(steps: usize, seed: u64) -> Dataset {
         }
     }
     let truth_vars = truth.into_iter().map(Variable::Se2).collect();
-    Dataset::from_parts(format!("M{steps}"), PoseKind::Planar, truth_vars, edges, 0.01)
+    Dataset::from_parts(
+        format!("M{steps}"),
+        PoseKind::Planar,
+        truth_vars,
+        edges,
+        0.01,
+    )
 }
 
 impl Dataset {
@@ -127,7 +136,10 @@ impl Dataset {
     ///
     /// Panics unless `0 < fraction <= 1`.
     pub fn m3500_scaled(fraction: f64) -> Dataset {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         Self::manhattan_seeded(((3500.0 * fraction) as usize).max(2), Self::M3500_SEED)
     }
 
@@ -150,7 +162,10 @@ mod tests {
         assert_eq!(ds.num_steps(), 3500);
         let edges = ds.num_edges();
         // Paper: 5453 edges. Accept the generator within ±25 %.
-        assert!((4000..=7000).contains(&edges), "edge count {edges} out of band");
+        assert!(
+            (4000..=7000).contains(&edges),
+            "edge count {edges} out of band"
+        );
         assert!(ds.num_loop_closures() > 500, "too few loop closures");
     }
 
@@ -182,13 +197,18 @@ mod tests {
             let b = Dataset::manhattan_seeded(80, seed);
             assert_eq!(a.to_g2o(), b.to_g2o(), "seed {seed:#x} not reproducible");
             assert_eq!(a.num_steps(), 80);
-            assert!(a.num_edges() >= 79, "seed {seed:#x}: missing odometry edges");
+            assert!(
+                a.num_edges() >= 79,
+                "seed {seed:#x}: missing odometry edges"
+            );
         }
         let a = Dataset::manhattan_seeded(80, 1);
         let b = Dataset::manhattan_seeded(80, 2);
         assert_ne!(a.to_g2o(), b.to_g2o(), "distinct seeds must differ");
-        assert_eq!(Dataset::m3500_scaled(80.0 / 3500.0).to_g2o(),
-            Dataset::manhattan_seeded(80, Dataset::M3500_SEED).to_g2o());
+        assert_eq!(
+            Dataset::m3500_scaled(80.0 / 3500.0).to_g2o(),
+            Dataset::manhattan_seeded(80, Dataset::M3500_SEED).to_g2o()
+        );
     }
 
     #[test]

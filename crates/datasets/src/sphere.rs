@@ -99,7 +99,13 @@ pub(crate) fn generate(steps: usize, seed: u64) -> Dataset {
         }
     }
     let truth_vars = truth.into_iter().map(Variable::Se3).collect();
-    Dataset::from_parts(format!("Sphere{n}"), PoseKind::Spatial, truth_vars, edges, 0.01)
+    Dataset::from_parts(
+        format!("Sphere{n}"),
+        PoseKind::Spatial,
+        truth_vars,
+        edges,
+        0.01,
+    )
 }
 
 impl Dataset {
@@ -123,7 +129,10 @@ impl Dataset {
     ///
     /// Panics unless `0 < fraction <= 1`.
     pub fn sphere_scaled(fraction: f64) -> Dataset {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         Self::sphere_seeded(((2500.0 * fraction) as usize).max(4), Self::SPHERE_SEED)
     }
 
@@ -157,13 +166,18 @@ mod tests {
             let b = Dataset::sphere_seeded(72, seed);
             assert_eq!(a.to_g2o(), b.to_g2o(), "seed {seed:#x} not reproducible");
             assert_eq!(a.num_steps(), 72);
-            assert!(a.num_edges() >= 71, "seed {seed:#x}: missing odometry edges");
+            assert!(
+                a.num_edges() >= 71,
+                "seed {seed:#x}: missing odometry edges"
+            );
         }
         let a = Dataset::sphere_seeded(72, 3);
         let b = Dataset::sphere_seeded(72, 4);
         assert_ne!(a.to_g2o(), b.to_g2o(), "distinct seeds must differ");
-        assert_eq!(Dataset::sphere_scaled(72.0 / 2500.0).to_g2o(),
-            Dataset::sphere_seeded(72, Dataset::SPHERE_SEED).to_g2o());
+        assert_eq!(
+            Dataset::sphere_scaled(72.0 / 2500.0).to_g2o(),
+            Dataset::sphere_seeded(72, Dataset::SPHERE_SEED).to_g2o()
+        );
     }
 
     #[test]

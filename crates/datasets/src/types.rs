@@ -77,10 +77,22 @@ impl Dataset {
     ) -> Self {
         let n = ground_truth.len();
         for e in &mut edges {
-            assert!(e.from < e.to && e.to < n, "edge ({}, {}) out of range", e.from, e.to);
+            assert!(
+                e.from < e.to && e.to < n,
+                "edge ({}, {}) out of range",
+                e.from,
+                e.to
+            );
         }
         edges.sort_by_key(|e| (e.to, e.from));
-        Dataset { name: name.into(), kind, ground_truth, edges, prior_sigma, huber_k: None }
+        Dataset {
+            name: name.into(),
+            kind,
+            ground_truth,
+            edges,
+            prior_sigma,
+            huber_k: None,
+        }
     }
 
     /// Returns a copy whose loop-closure factors carry a Huber robust
@@ -92,7 +104,11 @@ impl Dataset {
     /// Panics if `k <= 0`.
     pub fn robustified(&self, k: f64) -> Dataset {
         assert!(k > 0.0, "huber threshold must be positive");
-        Dataset { huber_k: Some(k), name: format!("{}+huber", self.name), ..self.clone() }
+        Dataset {
+            huber_k: Some(k),
+            name: format!("{}+huber", self.name),
+            ..self.clone()
+        }
     }
 
     /// Returns a copy where each loop-closure measurement is replaced, with
@@ -103,7 +119,10 @@ impl Dataset {
     ///
     /// Panics unless `0 <= fraction <= 1`.
     pub fn with_outliers(&self, fraction: f64, seed: u64) -> Dataset {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         let mut state = seed | 1;
         let mut next = move || {
             state ^= state << 13;
@@ -122,9 +141,7 @@ impl Dataset {
             let r2 = (next() - 0.5) * 20.0;
             let r3 = (next() - 0.5) * 3.0;
             e.measurement = match &e.measurement {
-                Variable::Se2(_) => {
-                    Variable::Se2(supernova_factors::Se2::new(r1, r2, r3))
-                }
+                Variable::Se2(_) => Variable::Se2(supernova_factors::Se2::new(r1, r2, r3)),
                 Variable::Se3(m) => {
                     let xi = [r1, r2, (next() - 0.5) * 4.0, r3 * 0.3, 0.0, 0.0];
                     Variable::Se3(m.compose(&supernova_factors::Se3::exp(&xi)))

@@ -77,7 +77,11 @@ pub fn linearize<F: Factor + ?Sized>(factor: &F, values: &Values) -> LinearizedF
     let refs: Vec<&Variable> = vars.iter().collect();
     let r0 = factor.error(&refs);
     let dim = r0.len();
-    debug_assert_eq!(dim, factor.noise().dim(), "residual/noise dimension mismatch");
+    debug_assert_eq!(
+        dim,
+        factor.noise().dim(),
+        "residual/noise dimension mismatch"
+    );
 
     let whitened0 = factor.noise().whiten(&r0);
     let robust = factor.noise().robust_weight(&whitened0).sqrt();
@@ -109,7 +113,11 @@ pub fn linearize<F: Factor + ?Sized>(factor: &F, values: &Values) -> LinearizedF
         jacobians.push(j);
     }
     let residual = whitened0.iter().map(|x| x * robust).collect();
-    LinearizedFactor { keys, jacobians, residual }
+    LinearizedFactor {
+        keys,
+        jacobians,
+        residual,
+    }
 }
 
 /// Back-compat alias of [`linearize`] emphasizing the numeric scheme.
@@ -134,8 +142,16 @@ impl PriorFactor {
     /// Panics if the noise dimension differs from the variable dimension.
     pub fn new(key: Key, prior: impl Into<Variable>, noise: NoiseModel) -> Self {
         let prior = prior.into();
-        assert_eq!(noise.dim(), prior.dim(), "noise/variable dimension mismatch");
-        PriorFactor { keys: [key], prior, noise }
+        assert_eq!(
+            noise.dim(),
+            prior.dim(),
+            "noise/variable dimension mismatch"
+        );
+        PriorFactor {
+            keys: [key],
+            prior,
+            noise,
+        }
     }
 
     /// Prior on a planar pose.
@@ -185,8 +201,16 @@ impl BetweenFactor {
     /// Panics if the noise dimension differs from the measurement dimension.
     pub fn new(a: Key, b: Key, measured: impl Into<Variable>, noise: NoiseModel) -> Self {
         let measured = measured.into();
-        assert_eq!(noise.dim(), measured.dim(), "noise/measurement dimension mismatch");
-        BetweenFactor { keys: [a, b], measured, noise }
+        assert_eq!(
+            noise.dim(),
+            measured.dim(),
+            "noise/measurement dimension mismatch"
+        );
+        BetweenFactor {
+            keys: [a, b],
+            measured,
+            noise,
+        }
     }
 
     /// Relative planar-pose constraint.
@@ -222,9 +246,12 @@ impl Factor for BetweenFactor {
             (Variable::Se3(a), Variable::Se3(b), Variable::Se3(z)) => {
                 z.local(&a.inverse().compose(b)).to_vec()
             }
-            (Variable::Vector(a), Variable::Vector(b), Variable::Vector(z)) => {
-                a.iter().zip(b).zip(z).map(|((x, y), m)| (y - x) - m).collect()
-            }
+            (Variable::Vector(a), Variable::Vector(b), Variable::Vector(z)) => a
+                .iter()
+                .zip(b)
+                .zip(z)
+                .map(|((x, y), m)| (y - x) - m)
+                .collect(),
             _ => panic!("between factor over mismatched variable kinds"),
         }
     }

@@ -78,7 +78,10 @@ impl FactorGraph {
 
     /// Indices of the factors constraining `key` (empty for unknown keys).
     pub fn factors_of(&self, key: Key) -> &[usize] {
-        self.var_factors.get(key.0).map(Vec::as_slice).unwrap_or(&[])
+        self.var_factors
+            .get(key.0)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// All variables that share a factor with `key` (excluding `key`) — the
@@ -97,7 +100,10 @@ impl FactorGraph {
 
     /// Iterates `(index, factor)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &dyn Factor)> {
-        self.factors.iter().enumerate().map(|(i, f)| (i, f.as_ref()))
+        self.factors
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i, f.as_ref()))
     }
 
     /// Total weighted squared error `Σ ‖Σ^{-1/2} φ_i‖²` at `values`.
@@ -114,8 +120,14 @@ mod tests {
     fn chain(n: usize) -> (FactorGraph, Values) {
         let mut values = Values::new();
         let mut graph = FactorGraph::new();
-        let keys: Vec<Key> = (0..n).map(|i| values.insert_se2(Se2::new(i as f64, 0.0, 0.0))).collect();
-        graph.add(PriorFactor::se2(keys[0], Se2::identity(), NoiseModel::isotropic(3, 0.1)));
+        let keys: Vec<Key> = (0..n)
+            .map(|i| values.insert_se2(Se2::new(i as f64, 0.0, 0.0)))
+            .collect();
+        graph.add(PriorFactor::se2(
+            keys[0],
+            Se2::identity(),
+            NoiseModel::isotropic(3, 0.1),
+        ));
         for w in keys.windows(2) {
             graph.add(BetweenFactor::se2(
                 w[0],
@@ -141,8 +153,18 @@ mod tests {
     fn neighbors_excludes_self_and_dedups() {
         let (mut graph, mut values) = chain(4);
         let extra = values.insert_se2(Se2::identity());
-        graph.add(BetweenFactor::se2(Key(1), extra, Se2::identity(), NoiseModel::isotropic(3, 1.0)));
-        graph.add(BetweenFactor::se2(Key(1), extra, Se2::identity(), NoiseModel::isotropic(3, 1.0)));
+        graph.add(BetweenFactor::se2(
+            Key(1),
+            extra,
+            Se2::identity(),
+            NoiseModel::isotropic(3, 1.0),
+        ));
+        graph.add(BetweenFactor::se2(
+            Key(1),
+            extra,
+            Se2::identity(),
+            NoiseModel::isotropic(3, 1.0),
+        ));
         let n = graph.neighbors(Key(1));
         assert_eq!(n, vec![Key(0), Key(2), extra]);
     }

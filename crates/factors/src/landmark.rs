@@ -53,7 +53,12 @@ impl RangeBearingFactor {
     pub fn new(pose: Key, lm: Key, range: f64, bearing: f64, noise: NoiseModel) -> Self {
         assert_eq!(noise.dim(), 2, "range-bearing noise must be 2-D");
         assert!(range > 0.0, "range must be positive");
-        RangeBearingFactor { keys: [pose, lm], range, bearing, noise }
+        RangeBearingFactor {
+            keys: [pose, lm],
+            range,
+            bearing,
+            noise,
+        }
     }
 
     /// The measured range.
@@ -84,9 +89,14 @@ impl Factor for RangeBearingFactor {
         // Landmark in the pose frame.
         let world = [lm[0] - pose.x(), lm[1] - pose.y()];
         let local = pose.rotation().inverse().rotate(world);
-        let predicted_range = (local[0] * local[0] + local[1] * local[1]).sqrt().max(1e-12);
+        let predicted_range = (local[0] * local[0] + local[1] * local[1])
+            .sqrt()
+            .max(1e-12);
         let predicted_bearing = local[1].atan2(local[0]);
-        vec![predicted_range - self.range, wrap_angle(predicted_bearing - self.bearing)]
+        vec![
+            predicted_range - self.range,
+            wrap_angle(predicted_bearing - self.bearing),
+        ]
     }
 }
 
@@ -110,7 +120,11 @@ impl PointObservationFactor {
     /// Panics if the noise model is not 3-dimensional.
     pub fn new(pose: Key, lm: Key, measured: [f64; 3], noise: NoiseModel) -> Self {
         assert_eq!(noise.dim(), 3, "point observation noise must be 3-D");
-        PointObservationFactor { keys: [pose, lm], measured, noise }
+        PointObservationFactor {
+            keys: [pose, lm],
+            measured,
+            noise,
+        }
     }
 }
 
@@ -171,19 +185,29 @@ mod tests {
         let jd = lin.jacobians[1].matvec(&delta);
         for k in 0..2 {
             let predicted = lin.residual[k] + jd[k];
-            assert!((actual[k] - predicted).abs() < 1e-6, "{k}: {} vs {predicted}", actual[k]);
+            assert!(
+                (actual[k] - predicted).abs() < 1e-6,
+                "{k}: {} vs {predicted}",
+                actual[k]
+            );
         }
     }
 
     #[test]
     fn point_observation_zero_at_truth() {
         let mut vals = Values::new();
-        let pose = vals.insert_se3(Se3::from_parts([1.0, 0.0, 0.0], Rot3::exp(&[0.0, 0.0, 0.4])));
+        let pose = vals.insert_se3(Se3::from_parts(
+            [1.0, 0.0, 0.0],
+            Rot3::exp(&[0.0, 0.0, 0.4]),
+        ));
         let world = [3.0, 2.0, 1.0];
         let lm = vals.insert(Variable::Vector(world.to_vec()));
         let p = vals.get(pose).as_se3().unwrap().clone();
         let t = p.translation();
-        let local = p.rotation().inverse().rotate([world[0] - t[0], world[1] - t[1], world[2] - t[2]]);
+        let local =
+            p.rotation()
+                .inverse()
+                .rotate([world[0] - t[0], world[1] - t[1], world[2] - t[2]]);
         let f = PointObservationFactor::new(pose, lm, local, NoiseModel::isotropic(3, 0.1));
         assert!(f.weighted_error2(&vals) < 1e-16);
     }

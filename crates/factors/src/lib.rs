@@ -43,7 +43,9 @@ mod se2;
 mod se3;
 mod values;
 
-pub use factor::{linearize, numeric_jacobians, BetweenFactor, Factor, LinearizedFactor, PriorFactor};
+pub use factor::{
+    linearize, numeric_jacobians, BetweenFactor, Factor, LinearizedFactor, PriorFactor,
+};
 pub use graph::FactorGraph;
 pub use key::Key;
 pub use landmark::{PointObservationFactor, RangeBearingFactor};

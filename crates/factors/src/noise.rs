@@ -33,7 +33,10 @@ impl NoiseModel {
     /// Panics if `sigma <= 0`.
     pub fn isotropic(dim: usize, sigma: f64) -> Self {
         assert!(sigma > 0.0, "sigma must be positive");
-        NoiseModel { sqrt_info: vec![1.0 / sigma; dim], huber_k: None }
+        NoiseModel {
+            sqrt_info: vec![1.0 / sigma; dim],
+            huber_k: None,
+        }
     }
 
     /// Diagonal noise from per-dimension standard deviations.
@@ -43,7 +46,10 @@ impl NoiseModel {
     /// Panics if any sigma is not positive.
     pub fn from_sigmas(sigmas: &[f64]) -> Self {
         assert!(sigmas.iter().all(|&s| s > 0.0), "sigmas must be positive");
-        NoiseModel { sqrt_info: sigmas.iter().map(|s| 1.0 / s).collect(), huber_k: None }
+        NoiseModel {
+            sqrt_info: sigmas.iter().map(|s| 1.0 / s).collect(),
+            huber_k: None,
+        }
     }
 
     /// Diagonal noise from per-dimension precisions (`1/σ²`).
@@ -52,8 +58,14 @@ impl NoiseModel {
     ///
     /// Panics if any precision is not positive.
     pub fn from_precisions(precisions: &[f64]) -> Self {
-        assert!(precisions.iter().all(|&p| p > 0.0), "precisions must be positive");
-        NoiseModel { sqrt_info: precisions.iter().map(|p| p.sqrt()).collect(), huber_k: None }
+        assert!(
+            precisions.iter().all(|&p| p > 0.0),
+            "precisions must be positive"
+        );
+        NoiseModel {
+            sqrt_info: precisions.iter().map(|p| p.sqrt()).collect(),
+            huber_k: None,
+        }
     }
 
     /// Wraps the model in a Huber robust kernel with threshold `k` (in
@@ -159,7 +171,10 @@ mod tests {
         let w = n.robust_weight(&[3.0, 4.0]); // |r| = 5
         assert!((w - 0.2).abs() < 1e-12);
         // Without a kernel the weight is always 1.
-        assert_eq!(NoiseModel::isotropic(2, 1.0).robust_weight(&[100.0, 0.0]), 1.0);
+        assert_eq!(
+            NoiseModel::isotropic(2, 1.0).robust_weight(&[100.0, 0.0]),
+            1.0
+        );
     }
 
     #[test]

@@ -12,7 +12,10 @@ pub struct Rot2 {
 impl Rot2 {
     /// Rotation by `theta` radians.
     pub fn from_angle(theta: f64) -> Self {
-        Rot2 { c: theta.cos(), s: theta.sin() }
+        Rot2 {
+            c: theta.cos(),
+            s: theta.sin(),
+        }
     }
 
     /// The identity rotation.
@@ -40,12 +43,18 @@ impl Rot2 {
 
     /// Composition `self · other`.
     pub fn compose(self, other: Rot2) -> Rot2 {
-        Rot2 { c: self.c * other.c - self.s * other.s, s: self.s * other.c + self.c * other.s }
+        Rot2 {
+            c: self.c * other.c - self.s * other.s,
+            s: self.s * other.c + self.c * other.s,
+        }
     }
 
     /// The inverse rotation.
     pub fn inverse(self) -> Rot2 {
-        Rot2 { c: self.c, s: -self.s }
+        Rot2 {
+            c: self.c,
+            s: -self.s,
+        }
     }
 
     /// Rotates a 2-vector.
@@ -57,7 +66,10 @@ impl Rot2 {
     /// composition chains).
     pub fn normalized(self) -> Rot2 {
         let n = (self.c * self.c + self.s * self.s).sqrt();
-        Rot2 { c: self.c / n, s: self.s / n }
+        Rot2 {
+            c: self.c / n,
+            s: self.s / n,
+        }
     }
 }
 
@@ -97,7 +109,10 @@ impl Se2 {
 
     /// Creates a pose from translation `(x, y)` and heading `theta`.
     pub fn new(x: f64, y: f64, theta: f64) -> Self {
-        Se2 { rot: Rot2::from_angle(theta), t: [x, y] }
+        Se2 {
+            rot: Rot2::from_angle(theta),
+            t: [x, y],
+        }
     }
 
     /// The identity pose.
@@ -162,7 +177,10 @@ impl Se2 {
         } else {
             (w.sin() / w, (1.0 - w.cos()) / w)
         };
-        Se2 { rot: Rot2::from_angle(w), t: [a * vx - b * vy, b * vx + a * vy] }
+        Se2 {
+            rot: Rot2::from_angle(w),
+            t: [a * vx - b * vy, b * vx + a * vy],
+        }
     }
 
     /// Logarithm map to the tangent `[vx, vy, ω]`.
@@ -203,7 +221,13 @@ impl Se2 {
 
 impl fmt::Display for Se2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({:.3}, {:.3}; {:.3} rad)", self.t[0], self.t[1], self.theta())
+        write!(
+            f,
+            "({:.3}, {:.3}; {:.3} rad)",
+            self.t[0],
+            self.t[1],
+            self.theta()
+        )
     }
 }
 
@@ -230,7 +254,12 @@ mod tests {
 
     #[test]
     fn exp_log_roundtrip() {
-        for xi in [[0.3, -0.2, 0.9], [1.0, 2.0, 0.0], [0.0, 0.0, -2.5], [1e-12, 0.0, 1e-12]] {
+        for xi in [
+            [0.3, -0.2, 0.9],
+            [1.0, 2.0, 0.0],
+            [0.0, 0.0, -2.5],
+            [1e-12, 0.0, 1e-12],
+        ] {
             let p = Se2::exp(&xi);
             let back = p.log();
             for k in 0..3 {
@@ -245,7 +274,11 @@ mod tests {
         let b = Se2::new(-0.3, 1.1, 2.0);
         let d = a.local(b);
         let b2 = a.retract(&d);
-        assert!(a.local(b2).iter().zip(&d).all(|(x, y)| (x - y).abs() < 1e-9));
+        assert!(a
+            .local(b2)
+            .iter()
+            .zip(&d)
+            .all(|(x, y)| (x - y).abs() < 1e-9));
         assert!((b2.x() - b.x()).abs() < 1e-9);
         assert!((b2.theta() - b.theta()).abs() < 1e-9);
     }

@@ -13,7 +13,9 @@ pub struct Rot3 {
 impl Rot3 {
     /// The identity rotation.
     pub fn identity() -> Self {
-        Rot3 { m: Mat::identity(3) }
+        Rot3 {
+            m: Mat::identity(3),
+        }
     }
 
     /// Builds a rotation from a matrix.
@@ -25,7 +27,10 @@ impl Rot3 {
     ///
     /// Panics if `m` is not 3×3.
     pub fn from_matrix(m: Mat) -> Self {
-        assert!(m.rows() == 3 && m.cols() == 3, "rotation matrix must be 3x3");
+        assert!(
+            m.rows() == 3 && m.cols() == 3,
+            "rotation matrix must be 3x3"
+        );
         Rot3 { m }
     }
 
@@ -96,7 +101,11 @@ impl Rot3 {
             ];
             let dotp = axis[0] * skew[0] + axis[1] * skew[1] + axis[2] * skew[2];
             let sign = if dotp < 0.0 { -1.0 } else { 1.0 };
-            return [sign * theta * axis[0], sign * theta * axis[1], sign * theta * axis[2]];
+            return [
+                sign * theta * axis[0],
+                sign * theta * axis[1],
+                sign * theta * axis[2],
+            ];
         }
         let k = theta / (2.0 * theta.sin());
         [
@@ -123,7 +132,9 @@ impl Rot3 {
 
     /// The inverse (= transpose) rotation.
     pub fn inverse(&self) -> Rot3 {
-        Rot3 { m: self.m.transposed() }
+        Rot3 {
+            m: self.m.transposed(),
+        }
     }
 
     /// Rotates a 3-vector.
@@ -253,7 +264,10 @@ impl Se3 {
         let (b, c) = if theta < 1e-9 {
             (0.5 - theta2 / 24.0, 1.0 / 6.0 - theta2 / 120.0)
         } else {
-            ((1.0 - theta.cos()) / theta2, (theta - theta.sin()) / (theta2 * theta))
+            (
+                (1.0 - theta.cos()) / theta2,
+                (theta - theta.sin()) / (theta2 * theta),
+            )
         };
         let t = apply_v(&w, b, c, v);
         Se3 { rot, t }

@@ -63,9 +63,12 @@ impl Variable {
         match (self, other) {
             (Variable::Se2(a), Variable::Se2(b)) => a.translation_distance(b),
             (Variable::Se3(a), Variable::Se3(b)) => a.translation_distance(b),
-            (Variable::Vector(a), Variable::Vector(b)) => {
-                a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
-            }
+            (Variable::Vector(a), Variable::Vector(b)) => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
             _ => panic!("distance between different variable kinds"),
         }
     }

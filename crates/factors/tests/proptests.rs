@@ -9,17 +9,33 @@ use supernova_linalg::rng::XorShift64;
 const CASES: u64 = 128;
 
 fn se2(rng: &mut XorShift64) -> Se2 {
-    Se2::new(rng.gen_range(-5.0, 5.0), rng.gen_range(-5.0, 5.0), rng.gen_range(-3.0, 3.0))
+    Se2::new(
+        rng.gen_range(-5.0, 5.0),
+        rng.gen_range(-5.0, 5.0),
+        rng.gen_range(-3.0, 3.0),
+    )
 }
 
 fn se3(rng: &mut XorShift64) -> Se3 {
-    let t = [rng.gen_range(-5.0, 5.0), rng.gen_range(-5.0, 5.0), rng.gen_range(-5.0, 5.0)];
-    let w = [rng.gen_range(-1.5, 1.5), rng.gen_range(-1.5, 1.5), rng.gen_range(-1.5, 1.5)];
+    let t = [
+        rng.gen_range(-5.0, 5.0),
+        rng.gen_range(-5.0, 5.0),
+        rng.gen_range(-5.0, 5.0),
+    ];
+    let w = [
+        rng.gen_range(-1.5, 1.5),
+        rng.gen_range(-1.5, 1.5),
+        rng.gen_range(-1.5, 1.5),
+    ];
     Se3::from_parts(t, Rot3::exp(&w))
 }
 
 fn tangent3(rng: &mut XorShift64) -> [f64; 3] {
-    [rng.gen_range(-2.0, 2.0), rng.gen_range(-2.0, 2.0), rng.gen_range(-2.0, 2.0)]
+    [
+        rng.gen_range(-2.0, 2.0),
+        rng.gen_range(-2.0, 2.0),
+        rng.gen_range(-2.0, 2.0),
+    ]
 }
 
 fn tangent6(rng: &mut XorShift64) -> [f64; 6] {
@@ -31,7 +47,11 @@ fn tangent6(rng: &mut XorShift64) -> [f64; 6] {
 }
 
 fn small_delta3(rng: &mut XorShift64) -> [f64; 3] {
-    [rng.gen_range(-1e-4, 1e-4), rng.gen_range(-1e-4, 1e-4), rng.gen_range(-1e-4, 1e-4)]
+    [
+        rng.gen_range(-1e-4, 1e-4),
+        rng.gen_range(-1e-4, 1e-4),
+        rng.gen_range(-1e-4, 1e-4),
+    ]
 }
 
 fn small_delta6(rng: &mut XorShift64) -> [f64; 6] {
@@ -115,7 +135,10 @@ fn se3_exp_log_roundtrip() {
         let p = Se3::exp(&xi);
         let back = p.log();
         for k in 0..6 {
-            assert!((back[k] - xi[k]).abs() < 1e-7, "case {case}: {xi:?} vs {back:?}");
+            assert!(
+                (back[k] - xi[k]).abs() < 1e-7,
+                "case {case}: {xi:?} vs {back:?}"
+            );
         }
     }
 }
@@ -126,8 +149,14 @@ fn se3_inverse_composes_to_identity() {
         let mut rng = XorShift64::seed_from_u64(0xfac5_0000 + case);
         let a = se3(&mut rng);
         let e = a.compose(&a.inverse());
-        assert!(e.translation_distance(&Se3::identity()) < 1e-9, "case {case}");
-        assert!(e.rotation().log().iter().all(|x| x.abs() < 1e-7), "case {case}");
+        assert!(
+            e.translation_distance(&Se3::identity()) < 1e-9,
+            "case {case}"
+        );
+        assert!(
+            e.rotation().log().iter().all(|x| x.abs() < 1e-7),
+            "case {case}"
+        );
     }
 }
 
@@ -184,7 +213,10 @@ fn between_se3_jacobian_first_order() {
         let jd = lin.jacobians[0].matvec(&delta);
         for k in 0..6 {
             let predicted = lin.residual[k] + jd[k];
-            assert!((actual[k] - predicted).abs() < 1e-6, "case {case} component {k}");
+            assert!(
+                (actual[k] - predicted).abs() < 1e-6,
+                "case {case} component {k}"
+            );
         }
     }
 }

@@ -31,16 +31,66 @@ pub const BOOM_UM2: f64 = 1262e3;
 /// The Table 5 component breakdown.
 pub fn table5() -> Vec<AreaRow> {
     vec![
-        AreaRow { component: "Rocket CPU tile", depth: 0, area_um2: ROCKET_TILE_UM2, pct_of_tile: 100.0 },
-        AreaRow { component: "COMP tile", depth: 0, area_um2: COMP_TILE_UM2, pct_of_tile: 100.0 },
-        AreaRow { component: "ReRoCC Manager", depth: 1, area_um2: 20e3, pct_of_tile: 6.6 },
-        AreaRow { component: "Accelerator", depth: 1, area_um2: 281e3, pct_of_tile: 93.4 },
-        AreaRow { component: "Mesh", depth: 2, area_um2: 92e3, pct_of_tile: 30.6 },
-        AreaRow { component: "Scratchpad+Accumulator", depth: 2, area_um2: 86e3, pct_of_tile: 28.6 },
-        AreaRow { component: "Sparse Index Unit", depth: 2, area_um2: 9e3, pct_of_tile: 3.1 },
-        AreaRow { component: "MEM tile", depth: 0, area_um2: MEM_TILE_UM2, pct_of_tile: 100.0 },
-        AreaRow { component: "ReRoCC Manager", depth: 1, area_um2: 20e3, pct_of_tile: 39.2 },
-        AreaRow { component: "Accelerator", depth: 1, area_um2: 31e3, pct_of_tile: 60.8 },
+        AreaRow {
+            component: "Rocket CPU tile",
+            depth: 0,
+            area_um2: ROCKET_TILE_UM2,
+            pct_of_tile: 100.0,
+        },
+        AreaRow {
+            component: "COMP tile",
+            depth: 0,
+            area_um2: COMP_TILE_UM2,
+            pct_of_tile: 100.0,
+        },
+        AreaRow {
+            component: "ReRoCC Manager",
+            depth: 1,
+            area_um2: 20e3,
+            pct_of_tile: 6.6,
+        },
+        AreaRow {
+            component: "Accelerator",
+            depth: 1,
+            area_um2: 281e3,
+            pct_of_tile: 93.4,
+        },
+        AreaRow {
+            component: "Mesh",
+            depth: 2,
+            area_um2: 92e3,
+            pct_of_tile: 30.6,
+        },
+        AreaRow {
+            component: "Scratchpad+Accumulator",
+            depth: 2,
+            area_um2: 86e3,
+            pct_of_tile: 28.6,
+        },
+        AreaRow {
+            component: "Sparse Index Unit",
+            depth: 2,
+            area_um2: 9e3,
+            pct_of_tile: 3.1,
+        },
+        AreaRow {
+            component: "MEM tile",
+            depth: 0,
+            area_um2: MEM_TILE_UM2,
+            pct_of_tile: 100.0,
+        },
+        AreaRow {
+            component: "ReRoCC Manager",
+            depth: 1,
+            area_um2: 20e3,
+            pct_of_tile: 39.2,
+        },
+        AreaRow {
+            component: "Accelerator",
+            depth: 1,
+            area_um2: 31e3,
+            pct_of_tile: 60.8,
+        },
     ]
 }
 
@@ -76,9 +126,21 @@ pub const SUPERNOVA_SYRK_W: f64 = 0.114;
 /// The §6.5 comparison rows.
 pub fn power_comparison() -> Vec<PowerEnvelope> {
     vec![
-        PowerEnvelope { platform: "SuperNoVA (SYRK, peak)", min_w: SUPERNOVA_SYRK_W, max_w: SUPERNOVA_SYRK_W },
-        PowerEnvelope { platform: "Embedded GPU", min_w: 5.0, max_w: 10.0 },
-        PowerEnvelope { platform: "FPGA accelerators", min_w: 2.5, max_w: 5.0 },
+        PowerEnvelope {
+            platform: "SuperNoVA (SYRK, peak)",
+            min_w: SUPERNOVA_SYRK_W,
+            max_w: SUPERNOVA_SYRK_W,
+        },
+        PowerEnvelope {
+            platform: "Embedded GPU",
+            min_w: 5.0,
+            max_w: 10.0,
+        },
+        PowerEnvelope {
+            platform: "FPGA accelerators",
+            min_w: 2.5,
+            max_w: 5.0,
+        },
     ]
 }
 

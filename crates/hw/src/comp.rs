@@ -44,7 +44,10 @@ impl CompModel {
 
     /// The Spatula-style tile: same GEMM array, no SIU.
     pub fn spatula() -> Self {
-        CompModel { has_siu: false, ..Self::paper() }
+        CompModel {
+            has_siu: false,
+            ..Self::paper()
+        }
     }
 
     /// Pipeline cycles for the compute portion of `op`; `None` when the op
@@ -87,7 +90,11 @@ impl CompModel {
     /// map onto COMP. `fits_llc` selects the LLC or DRAM streaming rate.
     pub fn op_time(&self, op: &Op, fits_llc: bool) -> Option<f64> {
         let compute = self.compute_cycles(op)?;
-        let bw = if fits_llc { self.llc_bytes_per_cycle } else { self.dram_bytes_per_cycle };
+        let bw = if fits_llc {
+            self.llc_bytes_per_cycle
+        } else {
+            self.dram_bytes_per_cycle
+        };
         let mem = op.bytes() as f64 / bw;
         Some((compute.max(mem) + self.invoke_cycles) / self.freq_hz)
     }
@@ -107,7 +114,16 @@ mod tests {
     fn gemm_scales_with_work() {
         let c = CompModel::paper();
         let small = c.op_time(&Op::Gemm { m: 8, n: 8, k: 8 }, true).unwrap();
-        let big = c.op_time(&Op::Gemm { m: 64, n: 64, k: 64 }, true).unwrap();
+        let big = c
+            .op_time(
+                &Op::Gemm {
+                    m: 64,
+                    n: 64,
+                    k: 64,
+                },
+                true,
+            )
+            .unwrap();
         assert!(big > 10.0 * small);
     }
 
@@ -115,7 +131,16 @@ mod tests {
     fn syrk_cheaper_than_square_gemm() {
         let c = CompModel::paper();
         let syrk = c.op_time(&Op::Syrk { n: 64, k: 32 }, true).unwrap();
-        let gemm = c.op_time(&Op::Gemm { m: 64, n: 64, k: 32 }, true).unwrap();
+        let gemm = c
+            .op_time(
+                &Op::Gemm {
+                    m: 64,
+                    n: 64,
+                    k: 32,
+                },
+                true,
+            )
+            .unwrap();
         assert!(syrk < gemm);
     }
 
@@ -129,7 +154,10 @@ mod tests {
 
     #[test]
     fn siu_handles_scatter_only_when_present() {
-        let op = Op::ScatterAdd { blocks: 10, elems: 360 };
+        let op = Op::ScatterAdd {
+            blocks: 10,
+            elems: 360,
+        };
         assert!(CompModel::paper().op_time(&op, true).is_some());
         assert!(CompModel::spatula().op_time(&op, true).is_none());
     }

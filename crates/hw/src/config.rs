@@ -56,7 +56,12 @@ impl SocConfig {
     /// Panics if `sets == 0`.
     pub fn with_accel_sets(sets: usize) -> Self {
         assert!(sets > 0, "at least one accelerator set is required");
-        SocConfig { comp_tiles: sets, mem_tiles: sets, cpu_tiles: sets, ..Self::paper() }
+        SocConfig {
+            comp_tiles: sets,
+            mem_tiles: sets,
+            cpu_tiles: sets,
+            ..Self::paper()
+        }
     }
 
     /// The exact Table 3 parameter values (2 accelerator sets, the

@@ -116,7 +116,11 @@ impl CpuModel {
 
     /// Seconds to execute one numeric/scatter op on this core.
     pub fn op_time(&self, op: &Op, fits_cache: bool) -> f64 {
-        let bw = if fits_cache { self.mem_bytes_per_cycle } else { self.dram_bytes_per_cycle };
+        let bw = if fits_cache {
+            self.mem_bytes_per_cycle
+        } else {
+            self.dram_bytes_per_cycle
+        };
         let mem = op.bytes() as f64 / bw;
         let mut cycles = (op.flops() as f64 / self.flops_per_cycle).max(mem);
         if let Op::ScatterAdd { blocks, .. } = *op {
@@ -155,7 +159,11 @@ mod tests {
 
     #[test]
     fn dsp_beats_scalar_mobile_on_large_gemm() {
-        let op = Op::Gemm { m: 48, n: 48, k: 48 };
+        let op = Op::Gemm {
+            m: 48,
+            n: 48,
+            k: 48,
+        };
         assert!(
             CpuModel::neon_dsp().op_time(&op, true) < CpuModel::cortex_a72().op_time(&op, true)
         );
@@ -194,8 +202,20 @@ mod tests {
     #[test]
     fn scatter_pays_per_block_overhead() {
         let c = CpuModel::rocket();
-        let few_big = c.op_time(&Op::ScatterAdd { blocks: 1, elems: 360 }, true);
-        let many_small = c.op_time(&Op::ScatterAdd { blocks: 40, elems: 360 }, true);
+        let few_big = c.op_time(
+            &Op::ScatterAdd {
+                blocks: 1,
+                elems: 360,
+            },
+            true,
+        );
+        let many_small = c.op_time(
+            &Op::ScatterAdd {
+                blocks: 40,
+                elems: 360,
+            },
+            true,
+        );
         assert!(many_small > few_big);
     }
 }

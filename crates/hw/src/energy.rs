@@ -114,7 +114,11 @@ mod tests {
     fn accelerator_is_more_efficient_per_op_than_cpus() {
         let sn = EnergyModel::of(&Platform::supernova(2));
         let boom = EnergyModel::of(&Platform::boom());
-        let op = Op::Gemm { m: 48, n: 48, k: 48 };
+        let op = Op::Gemm {
+            m: 48,
+            n: 48,
+            k: 48,
+        };
         assert!(sn.op_joules(&op) < boom.op_joules(&op));
     }
 

@@ -91,14 +91,20 @@ impl Ledger {
     /// Records `seconds` against the class of `op`.
     pub fn add(&mut self, op: &Op, seconds: f64) {
         // lint: allow(unwrap) — OpClass::ALL covers every class
-        let idx = OpClass::ALL.iter().position(|&c| c == OpClass::of(op)).expect("class exists");
+        let idx = OpClass::ALL
+            .iter()
+            .position(|&c| c == OpClass::of(op))
+            .expect("class exists"); // lint: allow(unwrap)
         self.seconds[idx] += seconds;
     }
 
     /// Accumulated time for `class`.
     pub fn time_of(&self, class: OpClass) -> f64 {
         // lint: allow(unwrap) — OpClass::ALL covers every class
-        let idx = OpClass::ALL.iter().position(|&c| c == class).expect("class exists");
+        let idx = OpClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class exists"); // lint: allow(unwrap)
         self.seconds[idx]
     }
 
@@ -155,7 +161,10 @@ impl EnergyLedger {
     /// Records `joules` of dynamic energy against the class of `op`.
     pub fn add(&mut self, op: &Op, joules: f64) {
         // lint: allow(unwrap) — OpClass::ALL covers every class
-        let idx = OpClass::ALL.iter().position(|&c| c == OpClass::of(op)).expect("class exists");
+        let idx = OpClass::ALL
+            .iter()
+            .position(|&c| c == OpClass::of(op))
+            .expect("class exists"); // lint: allow(unwrap)
         self.joules[idx] += joules;
         self.ops += 1;
     }
@@ -163,7 +172,10 @@ impl EnergyLedger {
     /// Accumulated dynamic energy for `class`, in joules.
     pub fn joules_of(&self, class: OpClass) -> f64 {
         // lint: allow(unwrap) — OpClass::ALL covers every class
-        let idx = OpClass::ALL.iter().position(|&c| c == class).expect("class exists");
+        let idx = OpClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class exists"); // lint: allow(unwrap)
         self.joules[idx]
     }
 
@@ -179,7 +191,10 @@ impl EnergyLedger {
 
     /// `(class, joules)` rows in display order.
     pub fn rows(&self) -> Vec<(OpClass, f64)> {
-        OpClass::ALL.iter().map(|&c| (c, self.joules_of(c))).collect()
+        OpClass::ALL
+            .iter()
+            .map(|&c| (c, self.joules_of(c)))
+            .collect()
     }
 
     /// Merges another ledger into this one.
@@ -200,7 +215,13 @@ mod tests {
         assert_eq!(OpClass::of(&Op::Gemm { m: 1, n: 1, k: 1 }), OpClass::Gemm);
         assert_eq!(OpClass::of(&Op::Memset { bytes: 1 }), OpClass::Memory);
         assert_eq!(OpClass::of(&Op::Memcpy { bytes: 1 }), OpClass::Memory);
-        assert_eq!(OpClass::of(&Op::ScatterAdd { blocks: 1, elems: 1 }), OpClass::Scatter);
+        assert_eq!(
+            OpClass::of(&Op::ScatterAdd {
+                blocks: 1,
+                elems: 1
+            }),
+            OpClass::Scatter
+        );
     }
 
     #[test]

@@ -32,9 +32,9 @@
 
 pub mod area_power;
 mod comp;
-mod energy;
 mod config;
 mod cpu;
+mod energy;
 mod gpu;
 mod ledger;
 mod mem;

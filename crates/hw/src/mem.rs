@@ -44,7 +44,11 @@ impl MemModel {
             Op::Memset { bytes } => bytes,
             _ => return None,
         };
-        let bw = if fits_llc { self.llc_bytes_per_cycle } else { self.dram_bytes_per_cycle };
+        let bw = if fits_llc {
+            self.llc_bytes_per_cycle
+        } else {
+            self.dram_bytes_per_cycle
+        };
         Some((self.setup_cycles + bytes as f64 / bw) / self.freq_hz)
     }
 
@@ -70,7 +74,11 @@ impl MemModel {
         if count == 0 {
             return 0.0;
         }
-        let bw = if fits_llc { self.llc_bytes_per_cycle } else { self.dram_bytes_per_cycle };
+        let bw = if fits_llc {
+            self.llc_bytes_per_cycle
+        } else {
+            self.dram_bytes_per_cycle
+        };
         let setups = (count as f64 / self.virtual_channels as f64).ceil() * self.setup_cycles;
         (setups + total_bytes as f64 / bw) / self.freq_hz
     }

@@ -92,7 +92,11 @@ impl Platform {
 
     /// Baseline 3: Cortex-A72 with NEON engaged for numeric kernels.
     pub fn mobile_dsp() -> Self {
-        Platform { kind: PlatformKind::MobileDsp, host: CpuModel::neon_dsp(), ..Self::mobile_cpu() }
+        Platform {
+            kind: PlatformKind::MobileDsp,
+            host: CpuModel::neon_dsp(),
+            ..Self::mobile_cpu()
+        }
     }
 
     /// Baseline 4: server-class Xeon.
@@ -209,6 +213,12 @@ impl Platform {
         &self.soc
     }
 
+    /// Converts modeled virtual-time seconds to SoC clock cycles (the
+    /// deterministic tick unit the trace layer records hardware spans in).
+    pub fn seconds_to_cycles(&self, seconds: f64) -> u64 {
+        (seconds * self.soc.freq_hz).round().max(0.0) as u64
+    }
+
     /// Number of accelerator sets; zero for non-accelerated platforms.
     pub fn accel_sets(&self) -> usize {
         if self.comp.is_some() {
@@ -264,7 +274,8 @@ impl Platform {
     /// Seconds to relinearize `factors` factors totalling `jacobian_elems`
     /// Jacobian elements on this platform's host CPU(s).
     pub fn relin_time(&self, jacobian_elems: usize, factors: usize) -> f64 {
-        self.host.relin_time(jacobian_elems, factors, self.relin_threads)
+        self.host
+            .relin_time(jacobian_elems, factors, self.relin_threads)
     }
 
     /// Seconds of symbolic analysis over `pattern_elems` pattern entries.
@@ -320,12 +331,19 @@ mod tests {
     #[test]
     fn every_platform_prices_every_op() {
         let ops = [
-            Op::Gemm { m: 12, n: 12, k: 12 },
+            Op::Gemm {
+                m: 12,
+                n: 12,
+                k: 12,
+            },
             Op::Syrk { n: 24, k: 12 },
             Op::Trsm { m: 12, n: 24 },
             Op::Chol { n: 12 },
             Op::Gemv { m: 12, n: 12 },
-            Op::ScatterAdd { blocks: 6, elems: 216 },
+            Op::ScatterAdd {
+                blocks: 6,
+                elems: 216,
+            },
             Op::Memcpy { bytes: 4096 },
             Op::Memset { bytes: 4096 },
         ];
@@ -349,12 +367,19 @@ mod tests {
     fn spatula_pays_cpu_scatter_and_memory() {
         let sn = Platform::supernova(2);
         let sp = Platform::spatula(2);
-        let scatter = Op::ScatterAdd { blocks: 64, elems: 2304 };
+        let scatter = Op::ScatterAdd {
+            blocks: 64,
+            elems: 2304,
+        };
         let memset = Op::Memset { bytes: 1 << 16 };
         assert!(sp.numeric_engine().op_time(&scatter) > sn.numeric_engine().op_time(&scatter));
         assert!(sp.numeric_engine().op_time(&memset) > sn.numeric_engine().op_time(&memset));
         // But the GEMM array itself matches.
-        let gemm = Op::Gemm { m: 64, n: 64, k: 64 };
+        let gemm = Op::Gemm {
+            m: 64,
+            n: 64,
+            k: 64,
+        };
         let a = sp.numeric_engine().op_time(&gemm);
         let b = sn.numeric_engine().op_time(&gemm);
         assert!((a - b).abs() < 1e-12);
@@ -388,7 +413,10 @@ mod tests {
         let p = Platform::supernova_without_siu(2);
         assert!(!p.has_siu());
         assert!(p.has_mem_accel());
-        let scatter = Op::ScatterAdd { blocks: 64, elems: 2304 };
+        let scatter = Op::ScatterAdd {
+            blocks: 64,
+            elems: 2304,
+        };
         assert!(
             p.numeric_engine().op_time(&scatter)
                 > Platform::supernova(2).numeric_engine().op_time(&scatter)

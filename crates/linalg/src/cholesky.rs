@@ -267,7 +267,15 @@ mod tests {
         let rest = n_total - pivots;
         let l22 = full.block(pivots, pivots, rest, rest);
         let mut schur = Mat::zeros(rest, rest);
-        gemm(1.0, &l22, Transpose::No, &l22, Transpose::Yes, 0.0, &mut schur);
+        gemm(
+            1.0,
+            &l22,
+            Transpose::No,
+            &l22,
+            Transpose::Yes,
+            0.0,
+            &mut schur,
+        );
         for j in 0..rest {
             for i in j..rest {
                 assert!(

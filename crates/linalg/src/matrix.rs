@@ -29,7 +29,11 @@ pub struct Mat {
 impl Mat {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -290,7 +294,10 @@ impl Index<(usize, usize)> for Mat {
 
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[c * self.rows + r]
     }
 }
@@ -298,7 +305,10 @@ impl Index<(usize, usize)> for Mat {
 impl IndexMut<(usize, usize)> for Mat {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[c * self.rows + r]
     }
 }
@@ -379,7 +389,11 @@ mod tests {
         assert_eq!(m.rows(), 2);
         assert_eq!(m.cols(), 4);
         assert!(m.as_slice().iter().all(|&x| x == 0.0));
-        assert_eq!(m.as_slice().as_ptr(), ptr, "reset within capacity must not reallocate");
+        assert_eq!(
+            m.as_slice().as_ptr(),
+            ptr,
+            "reset within capacity must not reallocate"
+        );
     }
 
     #[test]

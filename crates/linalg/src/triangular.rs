@@ -67,11 +67,7 @@ mod tests {
 
     #[test]
     fn forward_backward_solve_spd_system() {
-        let a = Mat::from_rows(
-            3,
-            3,
-            &[10.0, 2.0, 1.0, 2.0, 8.0, 0.5, 1.0, 0.5, 6.0],
-        );
+        let a = Mat::from_rows(3, 3, &[10.0, 2.0, 1.0, 2.0, 8.0, 0.5, 1.0, 0.5, 6.0]);
         let x_true = vec![1.0, -2.0, 0.5];
         let b = a.matvec(&x_true);
         let mut l = a.clone();

@@ -46,7 +46,9 @@ fn solve_inverts_spd_system() {
         let a = spd_matrix(&mut rng);
         let n = a.rows();
         let seed = rng.gen_index(1000) as u64;
-        let x_true: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 7) as f64 - 3.0).collect();
+        let x_true: Vec<f64> = (0..n)
+            .map(|i| ((seed + i as u64) % 7) as f64 - 3.0)
+            .collect();
         let b = a.matvec(&x_true);
         let mut l = a.clone();
         cholesky_in_place(&mut l).unwrap();
@@ -95,7 +97,10 @@ fn gemm_is_linear_in_alpha() {
         c2.scale(alpha);
         for i in 0..3 {
             for j in 0..3 {
-                assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-10, "case {case} at ({i},{j})");
+                assert!(
+                    (c1[(i, j)] - c2[(i, j)]).abs() < 1e-10,
+                    "case {case} at ({i},{j})"
+                );
             }
         }
     }
@@ -111,7 +116,10 @@ fn transpose_product_identity() {
         gemm(1.0, &a, Transpose::Yes, &a, Transpose::No, 0.0, &mut c);
         for i in 0..3 {
             for j in 0..3 {
-                assert!((c[(i, j)] - c[(j, i)]).abs() < 1e-10, "case {case} at ({i},{j})");
+                assert!(
+                    (c[(i, j)] - c[(j, i)]).abs() < 1e-10,
+                    "case {case} at ({i},{j})"
+                );
             }
         }
     }

@@ -24,11 +24,17 @@ pub fn ape(estimate: &Values, reference: &Values) -> ApeStats {
     let mut max = 0.0f64;
     let mut sum2 = 0.0f64;
     for i in 0..n {
-        let d = estimate.get(i.into()).translation_distance(reference.get(i.into()));
+        let d = estimate
+            .get(i.into())
+            .translation_distance(reference.get(i.into()));
         max = max.max(d);
         sum2 += d * d;
     }
-    ApeStats { max, rmse: if n > 0 { (sum2 / n as f64).sqrt() } else { 0.0 }, count: n }
+    ApeStats {
+        max,
+        rmse: if n > 0 { (sum2 / n as f64).sqrt() } else { 0.0 },
+        count: n,
+    }
 }
 
 /// Accumulates per-step APE into the incremental metrics of Equation (3):
@@ -120,8 +126,16 @@ mod tests {
     #[test]
     fn irmse_averages_and_tracks_worst() {
         let mut acc = IrmseAccumulator::new();
-        acc.push(ApeStats { max: 0.5, rmse: 0.2, count: 10 });
-        acc.push(ApeStats { max: 1.5, rmse: 0.4, count: 11 });
+        acc.push(ApeStats {
+            max: 0.5,
+            rmse: 0.2,
+            count: 10,
+        });
+        acc.push(ApeStats {
+            max: 1.5,
+            rmse: 0.4,
+            count: 11,
+        });
         assert!((acc.irmse() - 0.3).abs() < 1e-12);
         assert_eq!(acc.max(), 1.5);
         assert_eq!(acc.steps(), 2);

@@ -80,7 +80,12 @@ impl Histogram {
     pub fn new(width: f64, buckets: usize) -> Histogram {
         assert!(width > 0.0, "bucket width must be positive");
         assert!(buckets >= 1, "need at least one bucket");
-        Histogram { width, counts: vec![0; buckets], total: 0, max_seen: f64::NEG_INFINITY }
+        Histogram {
+            width,
+            counts: vec![0; buckets],
+            total: 0,
+            max_seen: f64::NEG_INFINITY,
+        }
     }
 
     /// The bucket width in sample units.

@@ -87,15 +87,21 @@ impl CostModel {
                     comp_t += self.platform.host().op_time(op, fits);
                 }
             }
-            let mem_t =
-                self.platform.mem().map(|m| m.batch_time(&mem_ops, fits)).unwrap_or(0.0);
+            let mem_t = self
+                .platform
+                .mem()
+                .map(|m| m.batch_time(&mem_ops, fits))
+                .unwrap_or(0.0);
             if self.cfg.hetero_overlap && self.platform.has_mem_accel() {
                 comp_t.max(mem_t) + 0.07 * comp_t.min(mem_t)
             } else {
                 comp_t + mem_t
             }
         } else {
-            ops.ops().iter().map(|op| self.platform.numeric_engine().op_time_ctx(op, fits)).sum()
+            ops.ops()
+                .iter()
+                .map(|op| self.platform.numeric_engine().op_time_ctx(op, fits))
+                .sum()
         }
     }
 }
@@ -117,7 +123,10 @@ impl RelinCostModel for CostModel {
 
     fn solve_seconds(&self, l_nnz_scalars: usize) -> f64 {
         // Two triangular sweeps over the stored factor; sequential chain.
-        let op = Op::Gemv { m: 1, n: 2 * l_nnz_scalars };
+        let op = Op::Gemv {
+            m: 1,
+            n: 2 * l_nnz_scalars,
+        };
         self.serial_ops_time(&[op].into_iter().collect(), true)
     }
 }
@@ -134,14 +143,22 @@ pub(crate) fn node_ops_profile(pivot_dim: usize, rem_dim: usize, factor_bytes: u
     ops.push(Op::Memset { bytes: t * t * 4 });
     if factor_bytes > 0 {
         let elems = factor_bytes / 4;
-        ops.push(Op::Memcpy { bytes: factor_bytes });
-        ops.push(Op::ScatterAdd { blocks: (elems / 36).max(1), elems });
+        ops.push(Op::Memcpy {
+            bytes: factor_bytes,
+        });
+        ops.push(Op::ScatterAdd {
+            blocks: (elems / 36).max(1),
+            elems,
+        });
     }
     if n > 0 {
         // Children extend-add is roughly one full update-matrix scatter.
         let elems = n * (n + 1) / 2;
         ops.push(Op::Memcpy { bytes: elems * 4 });
-        ops.push(Op::ScatterAdd { blocks: (elems / 36).max(1), elems });
+        ops.push(Op::ScatterAdd {
+            blocks: (elems / 36).max(1),
+            elems,
+        });
     }
     ops.push(Op::Chol { n: m });
     if n > 0 {

@@ -73,7 +73,10 @@ pub fn step_energy_ledger(
     for op in trace.solve_ops.ops() {
         ledger.add(op, model.op_joules(op));
     }
-    StepEnergy { ledger, static_joules: model.static_watts * latency.total() }
+    StepEnergy {
+        ledger,
+        static_joules: model.static_watts * latency.total(),
+    }
 }
 
 #[cfg(test)]
@@ -83,11 +86,19 @@ mod tests {
     use supernova_linalg::ops::Op;
 
     fn trace() -> StepTrace {
-        let mut w = NodeWork { node: 0, pivot_dim: 48, rem_dim: 48, ..NodeWork::default() };
+        let mut w = NodeWork {
+            node: 0,
+            pivot_dim: 48,
+            rem_dim: 48,
+            ..NodeWork::default()
+        };
         w.ops.push(Op::Chol { n: 48 });
         w.ops.push(Op::Syrk { n: 48, k: 48 });
         w.ops.push(Op::Memset { bytes: 96 * 96 * 4 });
-        StepTrace { nodes: vec![w], ..StepTrace::default() }
+        StepTrace {
+            nodes: vec![w],
+            ..StepTrace::default()
+        }
     }
 
     #[test]
@@ -121,7 +132,11 @@ mod tests {
     fn ledger_totals_match_scalar_energy() {
         let t = trace();
         let cfg = SchedulerConfig::default();
-        for p in [Platform::supernova(2), Platform::boom(), Platform::embedded_gpu()] {
+        for p in [
+            Platform::supernova(2),
+            Platform::boom(),
+            Platform::embedded_gpu(),
+        ] {
             let lat = simulate_step(&p, &t, &cfg);
             let itemized = step_energy_ledger(&p, &t, &lat);
             let scalar = step_energy(&p, &t, &lat);

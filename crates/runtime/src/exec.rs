@@ -107,7 +107,11 @@ pub struct ExecTrace {
 impl ExecTrace {
     /// Busy seconds accumulated on `unit` across all recorded ops.
     pub fn busy_seconds(&self, unit: Unit) -> f64 {
-        self.ops.iter().filter(|o| o.unit == unit).map(|o| o.end - o.start).sum()
+        self.ops
+            .iter()
+            .filter(|o| o.unit == unit)
+            .map(|o| o.end - o.start)
+            .sum()
     }
 
     /// All units that appear in the trace, sorted and deduplicated.

@@ -41,6 +41,7 @@ pub mod exec;
 mod queue;
 mod sched;
 mod space;
+pub mod spans;
 mod trace;
 
 pub use budget::StepBudget;
@@ -50,4 +51,5 @@ pub use exec::{ExecTrace, NodeExec, OpExec, Phase, Unit};
 pub use queue::NodeQueue;
 pub use sched::{simulate_step, simulate_step_traced, SchedulerConfig, StepLatency};
 pub use space::calc_space;
+pub use spans::{exec_span, hw_span};
 pub use trace::{node_work_from_plan, NodeWork, StepTrace};

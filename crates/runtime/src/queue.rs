@@ -81,7 +81,11 @@ impl NodeQueue {
     /// Panics if the node is not currently ready.
     pub fn take(&mut self, id: usize) {
         // lint: allow(unwrap) — panic documented in the method contract
-        let pos = self.ready.iter().position(|&r| r == id).expect("node must be ready");
+        let pos = self
+            .ready
+            .iter()
+            .position(|&r| r == id)
+            .expect("node must be ready"); // lint: allow(unwrap)
         self.ready.remove(pos);
         self.taken[self.slot_of_id[&id]] = true;
     }
@@ -93,7 +97,10 @@ impl NodeQueue {
     /// Panics if the node was not taken or is already complete.
     pub fn complete(&mut self, id: usize) {
         let slot = self.slot_of_id[&id];
-        assert!(self.taken[slot] && !self.done[slot], "complete() on node not in flight");
+        assert!(
+            self.taken[slot] && !self.done[slot],
+            "complete() on node not in flight"
+        );
         self.done[slot] = true;
         if let Some(p) = self.parent_slot[slot] {
             self.pending_children[p] -= 1;

@@ -27,7 +27,11 @@ pub struct SchedulerConfig {
 impl SchedulerConfig {
     /// Everything disabled: single thread, single set, serial COMP+MEM.
     pub fn serial() -> Self {
-        SchedulerConfig { hetero_overlap: false, inter_node: false, intra_node: false }
+        SchedulerConfig {
+            hetero_overlap: false,
+            inter_node: false,
+            intra_node: false,
+        }
     }
 
     /// The Figure 9 ablation ladder: serial, each optimization added in
@@ -35,8 +39,16 @@ impl SchedulerConfig {
     pub fn ablations() -> [SchedulerConfig; 4] {
         [
             SchedulerConfig::serial(),
-            SchedulerConfig { hetero_overlap: true, inter_node: false, intra_node: false },
-            SchedulerConfig { hetero_overlap: true, inter_node: true, intra_node: false },
+            SchedulerConfig {
+                hetero_overlap: true,
+                inter_node: false,
+                intra_node: false,
+            },
+            SchedulerConfig {
+                hetero_overlap: true,
+                inter_node: true,
+                intra_node: false,
+            },
             SchedulerConfig::default(),
         ]
     }
@@ -44,7 +56,11 @@ impl SchedulerConfig {
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
-        SchedulerConfig { hetero_overlap: true, inter_node: true, intra_node: true }
+        SchedulerConfig {
+            hetero_overlap: true,
+            inter_node: true,
+            intra_node: true,
+        }
     }
 }
 
@@ -103,7 +119,11 @@ pub fn simulate_step_traced(
     if platform.is_accelerated() {
         let soc = platform.soc();
         exec.sets = platform.accel_sets().max(1);
-        exec.cpu_tiles = if cfg.inter_node { soc.cpu_tiles.max(1) } else { 1 };
+        exec.cpu_tiles = if cfg.inter_node {
+            soc.cpu_tiles.max(1)
+        } else {
+            1
+        };
         exec.llc_bytes = soc.llc_bytes;
     } else {
         exec.sets = 0;
@@ -124,21 +144,30 @@ fn simulate_step_rec<R: Recorder>(
 ) -> StepLatency {
     let relin = platform.relin_time(trace.relin_jacobian_elems, trace.relin_factors);
     let symbolic = platform.symbolic_time(trace.symbolic_pattern_elems);
-    let overhead = trace.selection_nodes_visited as f64 * SELECTION_CYCLES_PER_NODE
-        / platform.host().freq_hz;
+    let overhead =
+        trace.selection_nodes_visited as f64 * SELECTION_CYCLES_PER_NODE / platform.host().freq_hz;
     let numeric = if platform.is_accelerated() {
         accelerated_numeric(platform, trace, cfg, rec)
     } else {
         serial_numeric(platform, trace, rec)
     };
-    StepLatency { relin, symbolic, numeric, overhead }
+    StepLatency {
+        relin,
+        symbolic,
+        numeric,
+        overhead,
+    }
 }
 
 /// Serial pricing for CPU/DSP/GPU platforms. Every op runs on the single
 /// engine, recorded as `CPU0`.
 fn serial_numeric<R: Recorder>(platform: &Platform, trace: &StepTrace, rec: &mut R) -> f64 {
     let engine = platform.numeric_engine();
-    let mut t = if trace.is_numeric_empty() { 0.0 } else { platform.step_overhead() };
+    let mut t = if trace.is_numeric_empty() {
+        0.0
+    } else {
+        platform.step_overhead()
+    };
     for op in trace.hessian_ops.ops() {
         let dt = engine.op_time(op);
         rec.op(OpExec {
@@ -311,12 +340,18 @@ fn node_duration<R: Recorder>(
             if let Some(m) = platform.mem() {
                 // The batch is priced as a whole (VC-overlapped setups), so
                 // apportion the batch time across ops by their solo times.
-                let weights: Vec<f64> =
-                    mem_ops.iter().map(|op| m.batch_time(std::slice::from_ref(op), fits)).collect();
+                let weights: Vec<f64> = mem_ops
+                    .iter()
+                    .map(|op| m.batch_time(std::slice::from_ref(op), fits))
+                    .collect();
                 let wsum: f64 = weights.iter().sum();
                 let mut cur = mem_start;
                 for (op, w) in mem_ops.iter().zip(&weights) {
-                    let dt = if wsum > 0.0 { mem_t * w / wsum } else { mem_t / mem_ops.len() as f64 };
+                    let dt = if wsum > 0.0 {
+                        mem_t * w / wsum
+                    } else {
+                        mem_t / mem_ops.len() as f64
+                    };
                     for &s in slot.sets {
                         rec.op(OpExec {
                             node: Some(slot.node),
@@ -356,7 +391,11 @@ fn accelerated_numeric<R: Recorder>(
 ) -> f64 {
     let soc = platform.soc();
     let sets = platform.accel_sets().max(1);
-    let threads = if cfg.inter_node { soc.cpu_tiles.max(1) } else { 1 };
+    let threads = if cfg.inter_node {
+        soc.cpu_tiles.max(1)
+    } else {
+        1
+    };
     let llc = soc.llc_bytes;
 
     // --- Hessian construction preamble: independent small ops.
@@ -391,8 +430,15 @@ fn accelerated_numeric<R: Recorder>(
             }
         }
     }
-    let fan = if cfg.inter_node { 1.0 + FAN_OUT_EFFICIENCY * (sets as f64 - 1.0) } else { 1.0 };
-    let hess_mem_t = platform.mem().map(|m| m.batch_time(&hess_mem, true) / fan).unwrap_or(0.0);
+    let fan = if cfg.inter_node {
+        1.0 + FAN_OUT_EFFICIENCY * (sets as f64 - 1.0)
+    } else {
+        1.0
+    };
+    let hess_mem_t = platform
+        .mem()
+        .map(|m| m.batch_time(&hess_mem, true) / fan)
+        .unwrap_or(0.0);
     let hess_comp_t = hess_comp / fan;
     let hess_overlap = cfg.hetero_overlap && platform.has_mem_accel();
     let hessian_time = if hess_overlap {
@@ -421,8 +467,10 @@ fn accelerated_numeric<R: Recorder>(
         }
         if hess_mem_t > 0.0 {
             if let Some(m) = platform.mem() {
-                let weights: Vec<f64> =
-                    hess_mem.iter().map(|op| m.batch_time(std::slice::from_ref(op), true)).collect();
+                let weights: Vec<f64> = hess_mem
+                    .iter()
+                    .map(|op| m.batch_time(std::slice::from_ref(op), true))
+                    .collect();
                 let wsum: f64 = weights.iter().sum();
                 let mut cur = 0.0;
                 for (op, w) in hess_mem.iter().zip(&weights) {
@@ -469,12 +517,19 @@ fn accelerated_numeric<R: Recorder>(
     let tree_time = if trace.nodes.is_empty() {
         0.0
     } else {
-        let works: BTreeMap<usize, &NodeWork> =
-            trace.nodes.iter().map(|w| (w.node, w)).collect();
-        let parent_front: BTreeMap<usize, usize> =
-            trace.nodes.iter().map(|w| (w.node, w.front_dim())).collect();
-        let mut queue =
-            NodeQueue::new(&trace.nodes.iter().map(|w| (w.node, w.parent)).collect::<Vec<_>>());
+        let works: BTreeMap<usize, &NodeWork> = trace.nodes.iter().map(|w| (w.node, w)).collect();
+        let parent_front: BTreeMap<usize, usize> = trace
+            .nodes
+            .iter()
+            .map(|w| (w.node, w.front_dim()))
+            .collect();
+        let mut queue = NodeQueue::new(
+            &trace
+                .nodes
+                .iter()
+                .map(|w| (w.node, w.parent))
+                .collect::<Vec<_>>(),
+        );
 
         // (finish_time, node, cpu_tile, granted_sets, space) ordered by
         // finish time, ties broken by node id — deterministic.
@@ -507,8 +562,7 @@ fn accelerated_numeric<R: Recorder>(
                 let mut fits = true;
                 for &id in &ready {
                     let w = works[&id];
-                    let space =
-                        calc_space(w, w.parent.and_then(|p| parent_front.get(&p).copied()));
+                    let space = calc_space(w, w.parent.and_then(|p| parent_front.get(&p).copied()));
                     if space <= llc_free {
                         pick = Some((id, space));
                         break;
@@ -529,9 +583,8 @@ fn accelerated_numeric<R: Recorder>(
                 };
                 // Intra-node: grab a fair share of the idle sets.
                 let k = if cfg.intra_node {
-                    (idle_sets.len()
-                        / ready.len().max(idle_threads.len().min(ready.len())).max(1))
-                    .max(1)
+                    (idle_sets.len() / ready.len().max(idle_threads.len().min(ready.len())).max(1))
+                        .max(1)
                 } else {
                     1
                 };
@@ -540,7 +593,12 @@ fn accelerated_numeric<R: Recorder>(
                 let grant: Vec<usize> = (0..k).filter_map(|_| idle_sets.pop_first()).collect();
                 // lint: allow(unwrap) — loop guard proved the set non-empty
                 let tid = idle_threads.pop_first().expect("idle thread available");
-                let slot = NodeSlot { node: id, start: t0 + now, sets: &grant, cpu_tile: tid };
+                let slot = NodeSlot {
+                    node: id,
+                    start: t0 + now,
+                    sets: &grant,
+                    cpu_tile: tid,
+                };
                 let dur = node_duration(platform, works[&id], k, fits, cfg, Some(&slot), rec);
                 rec.node(NodeExec {
                     node: id,
@@ -604,13 +662,23 @@ mod tests {
         let t = m + n;
         ops.push(Op::Memset { bytes: t * t * 4 });
         ops.push(Op::Memcpy { bytes: m * t * 4 });
-        ops.push(Op::ScatterAdd { blocks: 4, elems: m * m });
+        ops.push(Op::ScatterAdd {
+            blocks: 4,
+            elems: m * m,
+        });
         ops.push(Op::Chol { n: m });
         if n > 0 {
             ops.push(Op::Trsm { m: n, n: m });
             ops.push(Op::Syrk { n, k: m });
         }
-        NodeWork { node: id, parent, ops, pivot_dim: m, rem_dim: n, factor_bytes: m * m * 4 }
+        NodeWork {
+            node: id,
+            parent,
+            ops,
+            pivot_dim: m,
+            rem_dim: n,
+            factor_bytes: m * m * 4,
+        }
     }
 
     fn wide_trace() -> StepTrace {
@@ -624,7 +692,10 @@ mod tests {
             nodes.push(node(8 + i, Some(12), 24, 24));
         }
         nodes.push(node(12, None, 48, 0));
-        StepTrace { nodes, ..StepTrace::default() }
+        StepTrace {
+            nodes,
+            ..StepTrace::default()
+        }
     }
 
     /// Latencies captured from the pre-`BTreeSet` admission code (sorted
@@ -634,9 +705,33 @@ mod tests {
     #[test]
     fn idle_list_refactor_keeps_latencies_unchanged() {
         let golden = [
-            (1usize, [3.7170714284e-5, 3.3252624283e-5, 3.3252624283e-5, 3.3252624283e-5]),
-            (2, [3.7170714284e-5, 3.3252624283e-5, 1.8594307142e-5, 1.7922562142e-5]),
-            (4, [3.7170714284e-5, 3.3252624283e-5, 1.1265148571e-5, 1.0257531071e-5]),
+            (
+                1usize,
+                [
+                    3.7170714284e-5,
+                    3.3252624283e-5,
+                    3.3252624283e-5,
+                    3.3252624283e-5,
+                ],
+            ),
+            (
+                2,
+                [
+                    3.7170714284e-5,
+                    3.3252624283e-5,
+                    1.8594307142e-5,
+                    1.7922562142e-5,
+                ],
+            ),
+            (
+                4,
+                [
+                    3.7170714284e-5,
+                    3.3252624283e-5,
+                    1.1265148571e-5,
+                    1.0257531071e-5,
+                ],
+            ),
         ];
         let trace = wide_trace();
         for (sets, expected) in golden {
@@ -650,12 +745,19 @@ mod tests {
         }
         let got = simulate_step(&Platform::spatula(2), &trace, &SchedulerConfig::default()).numeric;
         let want = 4.5953107142e-5;
-        assert!((got - want).abs() <= want * 1e-12, "spatula(2): {got} != golden {want}");
+        assert!(
+            (got - want).abs() <= want * 1e-12,
+            "spatula(2): {got} != golden {want}"
+        );
     }
 
     #[test]
     fn empty_trace_costs_nothing_numeric() {
-        let lat = simulate_step(&Platform::supernova(2), &StepTrace::default(), &SchedulerConfig::default());
+        let lat = simulate_step(
+            &Platform::supernova(2),
+            &StepTrace::default(),
+            &SchedulerConfig::default(),
+        );
         assert_eq!(lat.numeric, 0.0);
         assert_eq!(lat.total(), 0.0);
     }
@@ -679,13 +781,21 @@ mod tests {
         let hetero = simulate_step(
             &p,
             &trace,
-            &SchedulerConfig { hetero_overlap: true, inter_node: false, intra_node: false },
+            &SchedulerConfig {
+                hetero_overlap: true,
+                inter_node: false,
+                intra_node: false,
+            },
         )
         .numeric;
         let inter = simulate_step(
             &p,
             &trace,
-            &SchedulerConfig { hetero_overlap: true, inter_node: true, intra_node: false },
+            &SchedulerConfig {
+                hetero_overlap: true,
+                inter_node: true,
+                intra_node: false,
+            },
         )
         .numeric;
         let intra = simulate_step(&p, &trace, &SchedulerConfig::default()).numeric;
@@ -718,13 +828,20 @@ mod tests {
     fn gpu_pays_step_overhead_once() {
         let mut trace = StepTrace::default();
         trace.nodes.push(node(0, None, 8, 0));
-        let lat = simulate_step(&Platform::embedded_gpu(), &trace, &SchedulerConfig::default());
+        let lat = simulate_step(
+            &Platform::embedded_gpu(),
+            &trace,
+            &SchedulerConfig::default(),
+        );
         assert!(lat.numeric > Platform::embedded_gpu().step_overhead());
     }
 
     #[test]
     fn selection_overhead_counted() {
-        let trace = StepTrace { selection_nodes_visited: 1000, ..StepTrace::default() };
+        let trace = StepTrace {
+            selection_nodes_visited: 1000,
+            ..StepTrace::default()
+        };
         let lat = simulate_step(&Platform::supernova(2), &trace, &SchedulerConfig::default());
         assert!(lat.overhead > 0.0);
         assert_eq!(lat.numeric, 0.0);
@@ -733,7 +850,10 @@ mod tests {
     #[test]
     fn oversized_node_still_completes() {
         // A node whose front exceeds the whole LLC must still be scheduled.
-        let trace = StepTrace { nodes: vec![node(0, None, 1200, 0)], ..StepTrace::default() };
+        let trace = StepTrace {
+            nodes: vec![node(0, None, 1200, 0)],
+            ..StepTrace::default()
+        };
         let lat = simulate_step(&Platform::supernova(1), &trace, &SchedulerConfig::default());
         assert!(lat.numeric > 0.0 && lat.numeric.is_finite());
     }
@@ -741,7 +861,11 @@ mod tests {
     #[test]
     fn traced_latency_matches_untraced() {
         let trace = wide_trace();
-        for p in [Platform::supernova(2), Platform::spatula(2), Platform::boom()] {
+        for p in [
+            Platform::supernova(2),
+            Platform::spatula(2),
+            Platform::boom(),
+        ] {
             for cfg in SchedulerConfig::ablations() {
                 let plain = simulate_step(&p, &trace, &cfg);
                 let (traced, exec) = simulate_step_traced(&p, &trace, &cfg);
@@ -759,7 +883,11 @@ mod tests {
         let (_, exec) = simulate_step_traced(
             &Platform::supernova(4),
             &trace,
-            &SchedulerConfig { hetero_overlap: true, inter_node: true, intra_node: false },
+            &SchedulerConfig {
+                hetero_overlap: true,
+                inter_node: true,
+                intra_node: false,
+            },
         );
         // Any two nodes whose intervals overlap must hold disjoint sets
         // (allowing the event heap's femtosecond quantization slack).
@@ -778,7 +906,8 @@ mod tests {
     #[test]
     fn serial_trace_is_sequential_on_cpu0() {
         let trace = wide_trace();
-        let (lat, exec) = simulate_step_traced(&Platform::boom(), &trace, &SchedulerConfig::serial());
+        let (lat, exec) =
+            simulate_step_traced(&Platform::boom(), &trace, &SchedulerConfig::serial());
         assert_eq!(exec.units(), vec![Unit::Cpu(0)]);
         let mut prev_end = 0.0;
         for op in &exec.ops {

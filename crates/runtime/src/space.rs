@@ -34,21 +34,36 @@ mod tests {
 
     #[test]
     fn space_includes_all_three_terms() {
-        let w = NodeWork { pivot_dim: 4, rem_dim: 4, factor_bytes: 100, ..NodeWork::default() };
+        let w = NodeWork {
+            pivot_dim: 4,
+            rem_dim: 4,
+            factor_bytes: 100,
+            ..NodeWork::default()
+        };
         let s = calc_space(&w, Some(10));
         assert_eq!(s, 100 + 8 * 8 * 4 + 10 * 10 * 4);
     }
 
     #[test]
     fn factor_staging_is_capped() {
-        let w = NodeWork { pivot_dim: 4, rem_dim: 0, factor_bytes: usize::MAX / 2, ..NodeWork::default() };
+        let w = NodeWork {
+            pivot_dim: 4,
+            rem_dim: 0,
+            factor_bytes: usize::MAX / 2,
+            ..NodeWork::default()
+        };
         let s = calc_space(&w, None);
         assert_eq!(s, H_WORKSPACE_CAP_BYTES + 4 * 4 * 4);
     }
 
     #[test]
     fn root_has_no_parent_term() {
-        let w = NodeWork { pivot_dim: 4, rem_dim: 4, factor_bytes: 0, ..NodeWork::default() };
+        let w = NodeWork {
+            pivot_dim: 4,
+            rem_dim: 4,
+            factor_bytes: 0,
+            ..NodeWork::default()
+        };
         assert!(calc_space(&w, None) < calc_space(&w, Some(12)));
     }
 }

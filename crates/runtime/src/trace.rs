@@ -115,7 +115,11 @@ mod tests {
 
     #[test]
     fn front_bytes_fp32() {
-        let w = NodeWork { pivot_dim: 6, rem_dim: 10, ..NodeWork::default() };
+        let w = NodeWork {
+            pivot_dim: 6,
+            rem_dim: 10,
+            ..NodeWork::default()
+        };
         assert_eq!(w.front_dim(), 16);
         assert_eq!(w.front_bytes(), 16 * 16 * 4);
     }

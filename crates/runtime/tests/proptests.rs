@@ -26,8 +26,12 @@ fn forest(rng: &mut XorShift64) -> Vec<NodeWork> {
             };
             let m = 4 + rng.gen_index(44);
             let nn = rng.gen_index(48);
-            let mut ops: Vec<Op> =
-                vec![Op::Memset { bytes: (m + nn) * (m + nn) * 4 }, Op::Chol { n: m }];
+            let mut ops: Vec<Op> = vec![
+                Op::Memset {
+                    bytes: (m + nn) * (m + nn) * 4,
+                },
+                Op::Chol { n: m },
+            ];
             if nn > 0 {
                 ops.push(Op::Trsm { m: nn, n: m });
                 ops.push(Op::Syrk { n: nn, k: m });
@@ -48,7 +52,10 @@ fn forest(rng: &mut XorShift64) -> Vec<NodeWork> {
 fn scheduler_is_deterministic() {
     for case in 0..CASES {
         let mut rng = XorShift64::seed_from_u64(0x5e11_0000 + case);
-        let trace = StepTrace { nodes: forest(&mut rng), ..StepTrace::default() };
+        let trace = StepTrace {
+            nodes: forest(&mut rng),
+            ..StepTrace::default()
+        };
         let p = Platform::supernova(2);
         let cfg = SchedulerConfig::default();
         let a = simulate_step(&p, &trace, &cfg);
@@ -61,11 +68,17 @@ fn scheduler_is_deterministic() {
 fn more_sets_never_hurt() {
     for case in 0..CASES {
         let mut rng = XorShift64::seed_from_u64(0x5e22_0000 + case);
-        let trace = StepTrace { nodes: forest(&mut rng), ..StepTrace::default() };
+        let trace = StepTrace {
+            nodes: forest(&mut rng),
+            ..StepTrace::default()
+        };
         let cfg = SchedulerConfig::default();
         let one = simulate_step(&Platform::supernova(1), &trace, &cfg).numeric;
         let four = simulate_step(&Platform::supernova(4), &trace, &cfg).numeric;
-        assert!(four <= one * 1.0001, "case {case}: 4 sets {four} > 1 set {one}");
+        assert!(
+            four <= one * 1.0001,
+            "case {case}: 4 sets {four} > 1 set {one}"
+        );
     }
 }
 
@@ -75,14 +88,20 @@ fn parallel_never_beats_critical_path_bound() {
         let mut rng = XorShift64::seed_from_u64(0x5e33_0000 + case);
         // The scheduled time can never be shorter than the single most
         // expensive node at maximal parallelism — a basic sanity bound.
-        let trace = StepTrace { nodes: forest(&mut rng), ..StepTrace::default() };
+        let trace = StepTrace {
+            nodes: forest(&mut rng),
+            ..StepTrace::default()
+        };
         let p = Platform::supernova(4);
         let t = simulate_step(&p, &trace, &SchedulerConfig::default()).numeric;
         assert!(t > 0.0 && t.is_finite(), "case {case}");
         // And serial time is an upper bound.
         let serial =
             simulate_step(&Platform::supernova(1), &trace, &SchedulerConfig::serial()).numeric;
-        assert!(t <= serial * 1.0001, "case {case}: parallel {t} > serial {serial}");
+        assert!(
+            t <= serial * 1.0001,
+            "case {case}: parallel {t} > serial {serial}"
+        );
     }
 }
 
@@ -91,12 +110,15 @@ fn node_queue_completes_every_node_once() {
     for case in 0..CASES {
         let mut rng = XorShift64::seed_from_u64(0x5e44_0000 + case);
         let nodes = forest(&mut rng);
-        let mut q =
-            NodeQueue::new(&nodes.iter().map(|w| (w.node, w.parent)).collect::<Vec<_>>());
+        let mut q = NodeQueue::new(&nodes.iter().map(|w| (w.node, w.parent)).collect::<Vec<_>>());
         let mut completed = 0usize;
         while !q.all_done() {
             let ready = q.ready().to_vec();
-            assert!(!ready.is_empty(), "case {case}: deadlock with {} remaining", q.remaining());
+            assert!(
+                !ready.is_empty(),
+                "case {case}: deadlock with {} remaining",
+                q.remaining()
+            );
             for id in ready {
                 q.take(id);
                 q.complete(id);

@@ -32,7 +32,10 @@ impl std::fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AdmissionError::SessionLimit { max_sessions } => {
-                write!(f, "session limit reached ({max_sessions} concurrent sessions)")
+                write!(
+                    f,
+                    "session limit reached ({max_sessions} concurrent sessions)"
+                )
             }
             AdmissionError::QueueFull { session, capacity } => {
                 write!(f, "{session} queue full (capacity {capacity}); update shed")
@@ -69,7 +72,12 @@ impl AdmissionController {
     pub fn new(max_sessions: usize, queue_capacity: usize) -> Self {
         assert!(max_sessions >= 1, "need at least one session slot");
         assert!(queue_capacity >= 1, "need at least one queue slot");
-        AdmissionController { max_sessions, queue_capacity, rejected_creates: 0, shed_updates: 0 }
+        AdmissionController {
+            max_sessions,
+            queue_capacity,
+            rejected_creates: 0,
+            shed_updates: 0,
+        }
     }
 
     /// The configured per-session queue capacity.
@@ -96,7 +104,9 @@ impl AdmissionController {
     pub fn admit_create(&mut self, registry: &SessionRegistry) -> Result<(), AdmissionError> {
         if registry.len() >= self.max_sessions {
             self.rejected_creates += 1;
-            return Err(AdmissionError::SessionLimit { max_sessions: self.max_sessions });
+            return Err(AdmissionError::SessionLimit {
+                max_sessions: self.max_sessions,
+            });
         }
         Ok(())
     }
@@ -109,13 +119,18 @@ impl AdmissionController {
         registry: &SessionRegistry,
         session: SessionId,
     ) -> Result<(), AdmissionError> {
-        let s = registry.get(session).ok_or(AdmissionError::UnknownSession(session))?;
+        let s = registry
+            .get(session)
+            .ok_or(AdmissionError::UnknownSession(session))?;
         if s.closing {
             return Err(AdmissionError::SessionClosing(session));
         }
         if s.depth() >= self.queue_capacity {
             self.shed_updates += 1;
-            return Err(AdmissionError::QueueFull { session, capacity: self.queue_capacity });
+            return Err(AdmissionError::QueueFull {
+                session,
+                capacity: self.queue_capacity,
+            });
         }
         Ok(())
     }
@@ -141,7 +156,11 @@ mod tests {
         reg.get_mut(id)
             .expect("session")
             .queue
-            .push_back(crate::UpdateRequest::new(0, Variable::Se2(Se2::identity()), Vec::new()));
+            .push_back(crate::UpdateRequest::new(
+                0,
+                Variable::Se2(Se2::identity()),
+                Vec::new(),
+            ));
     }
 
     #[test]
@@ -170,7 +189,10 @@ mod tests {
         push(&mut reg, id);
         assert_eq!(
             adm.admit_update(&reg, id),
-            Err(AdmissionError::QueueFull { session: id, capacity: 2 })
+            Err(AdmissionError::QueueFull {
+                session: id,
+                capacity: 2
+            })
         );
         assert_eq!(adm.shed_updates(), 1);
     }
@@ -180,10 +202,16 @@ mod tests {
         let mut reg = SessionRegistry::new();
         let mut adm = AdmissionController::new(4, 2);
         let ghost = SessionId(99);
-        assert_eq!(adm.admit_update(&reg, ghost), Err(AdmissionError::UnknownSession(ghost)));
+        assert_eq!(
+            adm.admit_update(&reg, ghost),
+            Err(AdmissionError::UnknownSession(ghost))
+        );
         let id = reg.insert(engine(), 4);
         reg.get_mut(id).expect("session").closing = true;
-        assert_eq!(adm.admit_update(&reg, id), Err(AdmissionError::SessionClosing(id)));
+        assert_eq!(
+            adm.admit_update(&reg, id),
+            Err(AdmissionError::SessionClosing(id))
+        );
         // Neither counts as a shed (the client misused the API; nothing
         // was load-shed).
         assert_eq!(adm.shed_updates(), 0);

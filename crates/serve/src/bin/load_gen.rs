@@ -57,6 +57,11 @@ fn solo_estimate(ds: &Dataset) -> Values {
 
 struct ScenarioResult {
     name: &'static str,
+    /// Whether the scenario's admission counts are timing-independent.
+    /// Nominal queues never fill, so shed counts are deterministic (zero);
+    /// overload sheds race the workers' drain rate, so its exact counts
+    /// vary run to run and `bench_check` gates on conservation instead.
+    deterministic_counts: bool,
     sessions: usize,
     workers: usize,
     queue_capacity: usize,
@@ -74,12 +79,17 @@ fn run_scenario(
     cfg: ServeConfig,
     sessions: usize,
     check_identity: bool,
+    deterministic_counts: bool,
 ) -> ScenarioResult {
     let workers = cfg.workers;
     let queue_capacity = cfg.queue_capacity;
     let server = Server::start(cfg);
     let ids: Vec<_> = (0..sessions)
-        .map(|_| server.create_session().expect("pool sized to the session count"))
+        .map(|_| {
+            server
+                .create_session()
+                .expect("pool sized to the session count")
+        })
         .collect();
     let datasets: Vec<Dataset> = (0..sessions).map(session_dataset).collect();
     let step_lists: Vec<_> = datasets.iter().map(Dataset::online_steps).collect();
@@ -94,9 +104,10 @@ fn run_scenario(
         for i in 0..sessions {
             if cursors[i] < step_lists[i].len() {
                 let s = &step_lists[i][cursors[i]];
-                match server
-                    .submit(ids[i], UpdateRequest::new(tick, s.truth.clone(), s.factors.clone()))
-                {
+                match server.submit(
+                    ids[i],
+                    UpdateRequest::new(tick, s.truth.clone(), s.factors.clone()),
+                ) {
                     Ok(()) => submitted += 1,
                     Err(AdmissionError::QueueFull { .. }) => shed_at_submit += 1,
                     Err(e) => panic!("unexpected admission error: {e}"),
@@ -128,7 +139,12 @@ fn run_scenario(
     };
 
     let stats = server.stats();
-    let max_depth = stats.sessions.iter().map(|s| s.max_queue_depth).max().unwrap_or(0);
+    let max_depth = stats
+        .sessions
+        .iter()
+        .map(|s| s.max_queue_depth)
+        .max()
+        .unwrap_or(0);
     let records: Vec<_> = server.spans().iter().map(|s| s.record()).collect();
     let violations = validate_dispatch(workers, &records);
     for v in &violations {
@@ -136,6 +152,7 @@ fn run_scenario(
     }
     ScenarioResult {
         name,
+        deterministic_counts,
         sessions,
         workers,
         queue_capacity,
@@ -150,7 +167,9 @@ fn run_scenario(
 }
 
 fn emit_json(results: &[ScenarioResult]) -> String {
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"serve_throughput\",");
@@ -163,10 +182,23 @@ fn emit_json(results: &[ScenarioResult]) -> String {
         let _ = writeln!(out, "      \"sessions\": {},", r.sessions);
         let _ = writeln!(out, "      \"workers\": {},", r.workers);
         let _ = writeln!(out, "      \"queue_capacity\": {},", r.queue_capacity);
+        let _ = writeln!(
+            out,
+            "      \"deterministic_counts\": {},",
+            r.deterministic_counts
+        );
         let _ = writeln!(out, "      \"updates_submitted\": {},", r.submitted);
-        let _ = writeln!(out, "      \"updates_completed\": {},", r.stats.total_completed);
+        let _ = writeln!(
+            out,
+            "      \"updates_completed\": {},",
+            r.stats.total_completed
+        );
         let _ = writeln!(out, "      \"updates_shed\": {},", r.stats.total_shed);
-        let _ = writeln!(out, "      \"updates_shed_at_submit\": {},", r.shed_at_submit);
+        let _ = writeln!(
+            out,
+            "      \"updates_shed_at_submit\": {},",
+            r.shed_at_submit
+        );
         let _ = writeln!(out, "      \"wall_s\": {:.6},", r.wall_s);
         let _ = writeln!(
             out,
@@ -177,9 +209,17 @@ fn emit_json(results: &[ScenarioResult]) -> String {
         let _ = writeln!(out, "      \"latency_p95_ms\": {:.4},", p95 * 1e3);
         let _ = writeln!(out, "      \"latency_p99_ms\": {:.4},", p99 * 1e3);
         let _ = writeln!(out, "      \"max_queue_depth\": {},", r.max_depth);
-        let hist: Vec<String> =
-            r.stats.degradation_histogram.iter().map(|c| c.to_string()).collect();
-        let _ = writeln!(out, "      \"degradation_histogram\": [{}],", hist.join(", "));
+        let hist: Vec<String> = r
+            .stats
+            .degradation_histogram
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "      \"degradation_histogram\": [{}],",
+            hist.join(", ")
+        );
         let _ = writeln!(
             out,
             "      \"bit_identical_to_solo\": {},",
@@ -188,7 +228,11 @@ fn emit_json(results: &[ScenarioResult]) -> String {
                 None => "null".to_string(),
             }
         );
-        let _ = writeln!(out, "      \"dispatch_span_violations\": {}", r.span_violations);
+        let _ = writeln!(
+            out,
+            "      \"dispatch_span_violations\": {}",
+            r.span_violations
+        );
         let comma = if i + 1 < results.len() { "," } else { "" };
         let _ = writeln!(out, "    }}{comma}");
     }
@@ -213,6 +257,7 @@ fn main() -> ExitCode {
         },
         sessions,
         true,
+        true,
     );
     let overload = run_scenario(
         "overload",
@@ -225,6 +270,7 @@ fn main() -> ExitCode {
             ..ServeConfig::default()
         },
         sessions,
+        false,
         false,
     );
 

@@ -4,7 +4,7 @@
 //! cargo run --release -p supernova-serve --bin serve_smoke
 //! ```
 //!
-//! Two phases, both in-process (no sockets, no timing dependence in the
+//! Three phases, all in-process (no sockets, no timing dependence in the
 //! *checked* properties):
 //!
 //! 1. **Bit-identity at low rate.** Four sessions (two Manhattan, two
@@ -18,17 +18,24 @@
 //!    (shed + completed = submitted), the queue high-water mark must
 //!    respect the bound, degradation must engage and then recover to
 //!    level 0 once drained.
+//! 3. **Trace emission.** Two sessions on two workers with
+//!    `TraceConfig::on()`: every dispatched step must emit a span tree
+//!    that passes `validate_trace`, and the collected trees must
+//!    cross-check against the dispatch ledger
+//!    (`validate_trace_dispatch`: one tree per record, matching worker
+//!    tracks, record interval inside the root span).
 //!
-//! Both phases run the recorded dispatch spans through
+//! Phases 1 and 2 also run the recorded dispatch spans through
 //! `supernova_analyze::validate_dispatch` (worker exclusivity,
 //! per-session happens-before, sequence coverage).
 //!
-//! Exits nonzero on the first failed property.
+//! Every sub-check has a stable name and reports `PASS`/`FAIL` in a fixed
+//! order; the run ends with one summary line naming any failed checks.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use supernova_analyze::validate_dispatch;
+use supernova_analyze::{validate_dispatch, validate_trace, validate_trace_dispatch};
 use supernova_datasets::Dataset;
 use supernova_factors::Values;
 use supernova_hw::Platform;
@@ -36,6 +43,54 @@ use supernova_runtime::CostModel;
 use supernova_serve::{AdmissionError, ServeConfig, Server, UpdateRequest};
 use supernova_solvers::{RaIsam2Config, SolverEngine};
 use supernova_sparse::ParallelExecutor;
+use supernova_trace::TraceConfig;
+
+/// Ordered pass/fail ledger: every sub-check lands here under a stable
+/// name, in execution order, so failures read the same way run to run.
+struct Report {
+    results: Vec<(String, bool)>,
+}
+
+impl Report {
+    fn new() -> Self {
+        Report {
+            results: Vec::new(),
+        }
+    }
+
+    /// Records one named sub-check and prints its verdict immediately.
+    fn check(&mut self, name: &str, ok: bool, detail: &str) {
+        if ok {
+            println!("PASS {name}: {detail}");
+        } else {
+            eprintln!("FAIL {name}: {detail}");
+        }
+        self.results.push((name.to_string(), ok));
+    }
+
+    /// Prints the summary line and converts the ledger to an exit code.
+    fn finish(self, bin: &str) -> ExitCode {
+        let failed: Vec<&str> = self
+            .results
+            .iter()
+            .filter(|(_, ok)| !ok)
+            .map(|(name, _)| name.as_str())
+            .collect();
+        let total = self.results.len();
+        if failed.is_empty() {
+            println!("{bin}: {total}/{total} checks passed");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "{bin}: {}/{} checks passed; FAILED: {}",
+                total - failed.len(),
+                total,
+                failed.join(", ")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
 
 /// A solo replay of `ds` on a fresh engine — the bit-identity reference.
 fn solo_estimate(ds: &Dataset) -> Values {
@@ -48,21 +103,26 @@ fn solo_estimate(ds: &Dataset) -> Values {
     e.estimate()
 }
 
-fn check_spans(server: &Server, phase: &str) -> bool {
+fn check_spans(report: &mut Report, server: &Server, phase: &str) {
     let records: Vec<_> = server.spans().iter().map(|s| s.record()).collect();
     let violations = validate_dispatch(server.config().workers, &records);
-    if violations.is_empty() {
-        println!("PASS {phase}: {} dispatch spans satisfy all invariants", records.len());
-        true
+    let detail = if violations.is_empty() {
+        format!("{} dispatch spans satisfy all invariants", records.len())
     } else {
-        for v in &violations {
-            eprintln!("FAIL {phase}: {v}");
-        }
-        false
-    }
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    };
+    report.check(
+        &format!("{phase}/dispatch-invariants"),
+        violations.is_empty(),
+        &detail,
+    );
 }
 
-fn phase_bit_identity() -> bool {
+fn phase_bit_identity(report: &mut Report) {
     let datasets = [
         Dataset::manhattan_seeded(40, 31),
         Dataset::sphere_seeded(30, 32),
@@ -94,7 +154,10 @@ fn phase_bit_identity() -> bool {
             if cursors[i] < steps.len() {
                 let s = &steps[cursors[i]];
                 server
-                    .submit(ids[i], UpdateRequest::new(tick, s.truth.clone(), s.factors.clone()))
+                    .submit(
+                        ids[i],
+                        UpdateRequest::new(tick, s.truth.clone(), s.factors.clone()),
+                    )
                     .expect("capacity 128 cannot shed these bursts");
                 cursors[i] += 1;
                 tick += 1;
@@ -106,41 +169,37 @@ fn phase_bit_identity() -> bool {
         }
     }
 
-    let mut ok = true;
     for (i, ds) in datasets.iter().enumerate() {
         let served = server.estimate(ids[i]).expect("session is live");
         let solo = solo_estimate(ds);
-        if served == solo {
-            println!(
-                "PASS bit-identity: {} ({} poses) served == solo",
-                ds.name(),
-                served.len()
-            );
-        } else {
-            eprintln!("FAIL bit-identity: {} served estimate diverged from solo", ds.name());
-            ok = false;
-        }
+        report.check(
+            &format!("bit-identity/served-eq-solo[{}#{i}]", ds.name()),
+            served == solo,
+            &format!("{} poses", served.len()),
+        );
     }
 
     let stats = server.stats();
-    if stats.total_shed != 0 {
-        eprintln!("FAIL low-rate: {} updates shed, expected 0", stats.total_shed);
-        ok = false;
-    } else {
-        println!("PASS low-rate: zero sheds across {} updates", stats.total_completed);
-    }
-    if stats.any_degraded() {
-        eprintln!("FAIL low-rate: degradation engaged ({:?})", stats.degradation_histogram);
-        ok = false;
-    }
-    ok &= check_spans(&server, "bit-identity");
+    report.check(
+        "bit-identity/zero-sheds",
+        stats.total_shed == 0,
+        &format!(
+            "{} shed across {} completed updates",
+            stats.total_shed, stats.total_completed
+        ),
+    );
+    report.check(
+        "bit-identity/no-degradation",
+        !stats.any_degraded(),
+        &format!("histogram {:?}", stats.degradation_histogram),
+    );
+    check_spans(report, &server, "bit-identity");
     for id in ids {
         server.close(id).expect("close");
     }
-    ok
 }
 
-fn phase_overload() -> bool {
+fn phase_overload(report: &mut Report) {
     let server = Server::start(ServeConfig {
         workers: 1,
         max_sessions: 1,
@@ -158,63 +217,139 @@ fn phase_overload() -> bool {
             Ok(()) => admitted += 1,
             Err(AdmissionError::QueueFull { .. }) => shed += 1,
             Err(e) => {
-                eprintln!("FAIL overload: unexpected admission error {e}");
-                return false;
+                report.check(
+                    "overload/admission",
+                    false,
+                    &format!("unexpected admission error {e}"),
+                );
+                return;
             }
         }
     }
     server.drain(sid).expect("session is live");
     let stats = server.stats();
-    let mut ok = true;
 
-    if stats.sessions[0].completed != admitted {
-        eprintln!(
-            "FAIL overload: {} admitted but {} completed — admitted work was dropped",
-            admitted, stats.sessions[0].completed
-        );
-        ok = false;
-    } else {
-        println!("PASS overload: all {admitted} admitted updates completed ({shed} shed at admission)");
-    }
-    if stats.sessions[0].max_queue_depth > 8 {
-        eprintln!(
-            "FAIL overload: queue depth peaked at {} over the bound 8",
+    report.check(
+        "overload/admitted-completes",
+        stats.sessions[0].completed == admitted,
+        &format!(
+            "{admitted} admitted, {} completed ({shed} shed at admission)",
+            stats.sessions[0].completed
+        ),
+    );
+    report.check(
+        "overload/queue-bounded",
+        stats.sessions[0].max_queue_depth <= 8,
+        &format!(
+            "queue depth peaked at {} (bound 8)",
             stats.sessions[0].max_queue_depth
-        );
-        ok = false;
-    } else {
-        println!(
-            "PASS overload: queue stayed bounded (peak {} <= 8)",
-            stats.sessions[0].max_queue_depth
-        );
+        ),
+    );
+    report.check(
+        "overload/degradation-engages",
+        stats.any_degraded(),
+        &format!("histogram {:?}", stats.degradation_histogram),
+    );
+    report.check(
+        "overload/degradation-recovers",
+        server.degradation() == 0,
+        &format!("level {} after drain", server.degradation()),
+    );
+    check_spans(report, &server, "overload");
+}
+
+fn phase_traces(report: &mut Report) {
+    let datasets = [
+        Dataset::manhattan_seeded(30, 41),
+        Dataset::sphere_seeded(25, 42),
+    ];
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        max_sessions: 2,
+        queue_capacity: 128,
+        degrade_start: 1 << 20,
+        trace: TraceConfig::on(),
+        ..ServeConfig::default()
+    });
+    let ids: Vec<_> = datasets
+        .iter()
+        .map(|_| server.create_session().expect("2 slots configured"))
+        .collect();
+    let step_lists: Vec<_> = datasets.iter().map(Dataset::online_steps).collect();
+    let mut tick = 0u64;
+    let mut cursors = vec![0usize; datasets.len()];
+    loop {
+        let mut any = false;
+        for (i, steps) in step_lists.iter().enumerate() {
+            if cursors[i] < steps.len() {
+                let s = &steps[cursors[i]];
+                server
+                    .submit(
+                        ids[i],
+                        UpdateRequest::new(tick, s.truth.clone(), s.factors.clone()),
+                    )
+                    .expect("capacity 128 cannot shed these bursts");
+                cursors[i] += 1;
+                tick += 1;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
     }
-    if !stats.any_degraded() {
-        eprintln!("FAIL overload: a 50-update burst never engaged degradation");
-        ok = false;
-    } else {
-        println!(
-            "PASS overload: degradation engaged (histogram {:?})",
-            stats.degradation_histogram
-        );
+    for &id in &ids {
+        server.drain(id).expect("session is live");
     }
-    if server.degradation() != 0 {
-        eprintln!("FAIL overload: level {} after drain, expected 0", server.degradation());
-        ok = false;
-    } else {
-        println!("PASS overload: degradation recovered to level 0 after drain");
+
+    let traces = server.take_traces();
+    let records: Vec<_> = server.spans().iter().map(|s| s.record()).collect();
+    let submitted: usize = step_lists.iter().map(Vec::len).sum();
+    report.check(
+        "traces/one-per-step",
+        traces.len() == submitted,
+        &format!("{} trace(s) for {submitted} submitted steps", traces.len()),
+    );
+
+    let mut tree_violations: Vec<String> = Vec::new();
+    let mut spans = 0usize;
+    for t in &traces {
+        spans += t.span_count();
+        for v in validate_trace(t) {
+            tree_violations.push(format!("session {} seq {}: {v}", t.key.session, t.key.seq));
+        }
     }
-    ok &= check_spans(&server, "overload");
-    ok
+    let detail = if tree_violations.is_empty() {
+        format!("{} span tree(s), {spans} spans clean", traces.len())
+    } else {
+        tree_violations.join("; ")
+    };
+    report.check("traces/span-trees", tree_violations.is_empty(), &detail);
+
+    let cross = validate_trace_dispatch(&traces, &records);
+    let detail = if cross.is_empty() {
+        format!(
+            "{} trace(s) consistent with {} dispatch record(s)",
+            traces.len(),
+            records.len()
+        )
+    } else {
+        cross
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    };
+    report.check("traces/dispatch-crosscheck", cross.is_empty(), &detail);
+    for id in ids {
+        server.close(id).expect("close");
+    }
 }
 
 fn main() -> ExitCode {
-    let mut ok = phase_bit_identity();
-    ok &= phase_overload();
-    if ok {
-        println!("serve_smoke: all properties hold");
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("serve_smoke: FAILED");
-        ExitCode::FAILURE
-    }
+    let mut report = Report::new();
+    phase_bit_identity(&mut report);
+    phase_overload(&mut report);
+    phase_traces(&mut report);
+    report.finish("serve_smoke")
 }

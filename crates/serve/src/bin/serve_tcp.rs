@@ -1,11 +1,15 @@
 //! `serve_tcp` — the serving layer behind a length-prefixed TCP protocol.
 //!
 //! ```text
-//! cargo run --release -p supernova-serve --bin serve_tcp [addr]
+//! cargo run --release -p supernova-serve --bin serve_tcp [addr] [--trace <path>]
 //! ```
 //!
 //! Binds `addr` (default `127.0.0.1:7654`; use port `0` for an ephemeral
-//! port) and prints `serve_tcp listening on <addr>` once ready. The
+//! port) and prints `serve_tcp listening on <addr>` once ready. With
+//! `--trace <path>`, span emission is enabled on every pooled engine and
+//! a Chrome trace-event document (wall-clock layout, one row per worker
+//! plus virtual hardware rows) covering every dispatched step is written
+//! to `<path>` at shutdown — load it in `chrome://tracing` or Perfetto. The
 //! protocol is *replay-serving* (see `supernova_serve::protocol`): a
 //! client opens a session by naming a seeded dataset and the server
 //! regenerates the identical step stream locally, so only indices and
@@ -27,6 +31,7 @@ use supernova_serve::protocol::{
     recv_request, send_response, DatasetKind, Request, Response, WireError,
 };
 use supernova_serve::{AdmissionError, ServeConfig, Server, SessionId, UpdateRequest};
+use supernova_trace::{chrome_document_wall, TraceConfig};
 
 /// Server-side replay state of one session: the regenerated step stream
 /// and how far the client has pushed it.
@@ -44,21 +49,27 @@ fn generate(kind: DatasetKind, steps: u32, seed: u64) -> Dataset {
 
 /// Applies one request. Returns the response and whether the server
 /// should shut down after sending it.
-fn handle(
-    server: &Server,
-    replays: &mut BTreeMap<u64, Replay>,
-    req: Request,
-) -> (Response, bool) {
+fn handle(server: &Server, replays: &mut BTreeMap<u64, Replay>, req: Request) -> (Response, bool) {
     match req {
         Request::CreateSession { kind, steps, seed } => match server.create_session() {
             Ok(sid) => {
                 let ds = generate(kind, steps, seed);
-                replays.insert(sid.0, Replay { steps: ds.online_steps(), cursor: 0 });
+                replays.insert(
+                    sid.0,
+                    Replay {
+                        steps: ds.online_steps(),
+                        cursor: 0,
+                    },
+                );
                 (Response::Created { session: sid.0 }, false)
             }
             Err(e) => (Response::Error(e.to_string()), false),
         },
-        Request::Submit { session, deadline, count } => {
+        Request::Submit {
+            session,
+            deadline,
+            count,
+        } => {
             let Some(replay) = replays.get_mut(&session) else {
                 return (
                     Response::Error(AdmissionError::UnknownSession(SessionId(session)).to_string()),
@@ -88,7 +99,9 @@ fn handle(
         }
         Request::QueryEstimate { session } => match server.estimate(SessionId(session)) {
             Ok(values) => {
-                let vars = (0..values.len()).map(|i| values.get(Key(i)).clone()).collect();
+                let vars = (0..values.len())
+                    .map(|i| values.get(Key(i)).clone())
+                    .collect();
                 (Response::Estimate(vars), false)
             }
             Err(e) => (Response::Error(e.to_string()), false),
@@ -96,7 +109,13 @@ fn handle(
         Request::Close { session } => match server.close(SessionId(session)) {
             Ok(report) => {
                 replays.remove(&session);
-                (Response::Closed { completed: report.completed, shed: report.shed }, false)
+                (
+                    Response::Closed {
+                        completed: report.completed,
+                        shed: report.shed,
+                    },
+                    false,
+                )
             }
             Err(e) => (Response::Error(e.to_string()), false),
         },
@@ -134,13 +153,32 @@ fn serve_connection(
 }
 
 fn main() {
-    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7654".to_string());
-    let listener = TcpListener::bind(&addr)
-        .unwrap_or_else(|e| panic!("serve_tcp: cannot bind {addr}: {e}"));
+    let mut addr = "127.0.0.1:7654".to_string();
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            trace_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("serve_tcp: --trace needs a file path");
+                std::process::exit(2);
+            }));
+        } else {
+            addr = arg;
+        }
+    }
+    let listener =
+        TcpListener::bind(&addr).unwrap_or_else(|e| panic!("serve_tcp: cannot bind {addr}: {e}"));
     let local = listener.local_addr().expect("bound socket has an address");
     println!("serve_tcp listening on {local}");
 
-    let server = Server::start(ServeConfig::default());
+    let server = Server::start(ServeConfig {
+        trace: if trace_path.is_some() {
+            TraceConfig::on()
+        } else {
+            TraceConfig::off()
+        },
+        ..ServeConfig::default()
+    });
     let mut replays: BTreeMap<u64, Replay> = BTreeMap::new();
     for stream in listener.incoming() {
         let stream = match stream {
@@ -154,6 +192,17 @@ fn main() {
             Ok(true) => break,
             Ok(false) => {}
             Err(e) => eprintln!("serve_tcp: connection error: {e}"),
+        }
+    }
+    if let Some(path) = trace_path {
+        let traces = server.take_traces();
+        let doc = chrome_document_wall(&traces);
+        match std::fs::write(&path, doc) {
+            Ok(()) => eprintln!(
+                "serve_tcp: wrote {} step trace(s) to {path} (open in chrome://tracing)",
+                traces.len()
+            ),
+            Err(e) => eprintln!("serve_tcp: cannot write trace to {path}: {e}"),
         }
     }
     eprintln!("serve_tcp: shutting down");

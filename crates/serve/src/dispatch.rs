@@ -25,13 +25,13 @@
 
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
 
 use supernova_factors::{Key, Values, Variable};
 use supernova_hw::Platform;
-use supernova_runtime::CostModel;
+use supernova_runtime::{CostModel, SchedulerConfig};
 use supernova_solvers::{RaIsam2Config, SolverEngine};
 use supernova_sparse::ParallelExecutor;
+use supernova_trace::{epoch_seconds, Category, StepKey, Trace, TraceConfig, Tracer};
 
 use crate::admission::{AdmissionController, AdmissionError};
 use crate::session::{SessionCloseReport, SessionId, SessionRegistry, UpdateRequest};
@@ -63,6 +63,13 @@ pub struct ServeConfig {
     pub max_degradation: u8,
     /// Cap on recorded [`DispatchSpan`]s (0 disables recording).
     pub record_spans: usize,
+    /// Unified span-tree tracing (`supernova-trace`). When enabled, every
+    /// dispatched step records a full `serve.dispatch` → `solver.step` →
+    /// `exec`/`hw` tree retrievable via [`Server::take_traces`]; engines
+    /// additionally price each step on [`ServeConfig::platform`] so the
+    /// tree reaches down to modeled hardware units. Disabled by default
+    /// (zero cost beyond one branch per step).
+    pub trace: TraceConfig,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +85,7 @@ impl Default for ServeConfig {
             degrade_stride: 8,
             max_degradation: 4,
             record_spans: 65_536,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -97,9 +105,11 @@ impl ServeConfig {
 }
 
 /// One dispatched step, as executed: which worker applied which session's
-/// `seq`-th update over which wall-clock interval (seconds since server
-/// start). The analyze crate checks worker exclusivity and per-session
-/// ordering over these.
+/// `seq`-th update over which wall-clock interval (seconds on the
+/// process-global trace epoch, the same timeline `supernova-trace` spans
+/// use). The analyze crate checks worker exclusivity and per-session
+/// ordering over these, and cross-checks them against the unified span
+/// trees when tracing is enabled.
 #[derive(Clone, Copy, Debug)]
 pub struct DispatchSpan {
     /// The worker that applied the update.
@@ -154,7 +164,8 @@ struct Inner {
     work_cv: Condvar,
     /// Signalled when a session may have drained (queue empty, not busy).
     idle_cv: Condvar,
-    epoch: Instant,
+    /// Unified span-tree sink (inert when `cfg.trace` is disabled).
+    tracer: Tracer,
 }
 
 /// The multi-session server: owns the engine pool and the worker threads.
@@ -171,7 +182,9 @@ pub struct Server {
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Server").field("workers", &self.workers.len()).finish()
+        f.debug_struct("Server")
+            .field("workers", &self.workers.len())
+            .finish()
     }
 }
 
@@ -188,6 +201,10 @@ impl Server {
             .map(|_| {
                 let mut e = SolverEngine::new(cfg.ra, Arc::clone(&cost) as _);
                 e.set_executor(exec);
+                if cfg.trace.enabled {
+                    e.set_trace(cfg.trace);
+                    e.set_trace_hw(cfg.platform.clone(), SchedulerConfig::default());
+                }
                 e
             })
             .collect::<Vec<_>>();
@@ -206,7 +223,7 @@ impl Server {
             }),
             work_cv: Condvar::new(),
             idle_cv: Condvar::new(),
-            epoch: Instant::now(),
+            tracer: Tracer::new(cfg.trace),
             cfg,
         });
         let workers = (0..inner.cfg.workers.max(1))
@@ -266,7 +283,10 @@ impl Server {
             return Err(e);
         }
         // lint: allow(unwrap) — admit_update just proved the session is live
-        let s = state.registry.get_mut(session).expect("admitted session exists");
+        let s = state
+            .registry
+            .get_mut(session)
+            .expect("admitted session exists"); // lint: allow(unwrap)
         s.queue.push_back(req);
         let depth = s.depth();
         s.stats.record_depth(depth);
@@ -314,9 +334,15 @@ impl Server {
     pub fn estimate(&self, session: SessionId) -> Result<Values, AdmissionError> {
         self.drain(session)?;
         let st = self.inner.state.lock().unwrap(); // lint: allow(unwrap)
-        let s = st.registry.get(session).ok_or(AdmissionError::UnknownSession(session))?;
+        let s = st
+            .registry
+            .get(session)
+            .ok_or(AdmissionError::UnknownSession(session))?;
         // lint: allow(unwrap) — a drained session is not busy, so it holds its engine
-        Ok(s.engine.as_ref().expect("drained session holds its engine").estimate())
+        Ok(s.engine
+            .as_ref()
+            .expect("drained session holds its engine") // lint: allow(unwrap)
+            .estimate())
     }
 
     /// Drains `session`, then returns its estimate of one pose.
@@ -327,9 +353,15 @@ impl Server {
     pub fn pose_estimate(&self, session: SessionId, key: Key) -> Result<Variable, AdmissionError> {
         self.drain(session)?;
         let st = self.inner.state.lock().unwrap(); // lint: allow(unwrap)
-        let s = st.registry.get(session).ok_or(AdmissionError::UnknownSession(session))?;
+        let s = st
+            .registry
+            .get(session)
+            .ok_or(AdmissionError::UnknownSession(session))?;
         // lint: allow(unwrap) — a drained session is not busy, so it holds its engine
-        Ok(s.engine.as_ref().expect("drained session holds its engine").pose_estimate(key))
+        Ok(s.engine
+            .as_ref()
+            .expect("drained session holds its engine") // lint: allow(unwrap)
+            .pose_estimate(key))
     }
 
     /// Closes `session`: refuses further updates, drains what was admitted,
@@ -348,16 +380,24 @@ impl Server {
         loop {
             // The session cannot disappear underneath us: removal happens
             // only here, and double-close is rejected above. lint: allow(unwrap)
-            let drained = st.registry.get(session).expect("closing session stays live").drained();
+            let drained = st
+                .registry
+                .get(session)
+                .expect("closing session stays live") // lint: allow(unwrap)
+                .drained();
             if drained {
                 break;
             }
             st = self.inner.idle_cv.wait(st).unwrap(); // lint: allow(unwrap)
         }
         // lint: allow(unwrap) — same argument as the loop above
-        let s = st.registry.remove(session).expect("closing session stays live");
-        // lint: allow(unwrap) — drained ⇒ not busy ⇒ the engine is home
-        let mut engine = s.engine.expect("drained session holds its engine");
+        let s = st
+            .registry
+            .remove(session)
+            .expect("closing session stays live"); // lint: allow(unwrap)
+
+        // drained ⇒ not busy ⇒ the engine is home
+        let mut engine = s.engine.expect("drained session holds its engine"); // lint: allow(unwrap)
         engine.reset();
         st.pool.push(engine);
         st.closed_completed += s.completed;
@@ -378,6 +418,12 @@ impl Server {
     /// The recorded dispatch spans (up to the configured cap).
     pub fn spans(&self) -> Vec<DispatchSpan> {
         self.inner.state.lock().unwrap().spans.clone() // lint: allow(unwrap)
+    }
+
+    /// Drains the unified span trees recorded so far (empty unless
+    /// [`ServeConfig::trace`] is enabled), sorted by `(session, seq)`.
+    pub fn take_traces(&self) -> Vec<Trace> {
+        self.inner.tracer.take()
     }
 
     /// A point-in-time statistics snapshot.
@@ -462,7 +508,10 @@ fn worker_loop(worker: usize, inner: &Inner) {
             let s = st.registry.get_mut(session).expect("picked session exists");
             s.busy = true;
             // lint: allow(unwrap) — `ready()` requires a non-empty queue
-            let req = s.queue.pop_front().expect("ready session has a head request");
+            let req = s
+                .queue
+                .pop_front()
+                .expect("ready session has a head request"); // lint: allow(unwrap)
             let seq = s.next_seq;
             s.next_seq += 1;
             // lint: allow(unwrap) — `ready()` requires not-busy, which pins the engine
@@ -471,13 +520,31 @@ fn worker_loop(worker: usize, inner: &Inner) {
         };
 
         engine.set_degradation(level);
-        let t0 = inner.epoch.elapsed().as_secs_f64();
+        let key = StepKey {
+            session: session.0,
+            seq,
+            step: engine.steps() as u64 + 1,
+        };
+        let mut builder = inner.tracer.step(key, "serve.dispatch", Category::Serve);
+        let t0 = epoch_seconds();
         let _trace = engine.step(req.initial, req.factors);
-        let t1 = inner.epoch.elapsed().as_secs_f64();
+        let t1 = epoch_seconds();
+        if let Some(mut b) = builder.take() {
+            let root = b.root_mut();
+            root.set_track(worker as u32);
+            root.counter("level", u64::from(level));
+            if let Some(span) = engine.take_step_span() {
+                root.child(span);
+            }
+            inner.tracer.finish(b);
+        }
 
         let mut st = inner.state.lock().unwrap(); // lint: allow(unwrap)
-        // lint: allow(unwrap) — close() cannot remove a busy session
-        let s = st.registry.get_mut(session).expect("busy session stays live");
+                                                  // lint: allow(unwrap) — close() cannot remove a busy session
+        let s = st
+            .registry
+            .get_mut(session)
+            .expect("busy session stays live"); // lint: allow(unwrap)
         s.engine = Some(engine);
         s.busy = false;
         s.completed += 1;
@@ -485,7 +552,14 @@ fn worker_loop(worker: usize, inner: &Inner) {
         let idx = usize::from(level).min(st.level_histogram.len() - 1);
         st.level_histogram[idx] += 1;
         if st.spans.len() < inner.cfg.record_spans {
-            st.spans.push(DispatchSpan { worker, session, seq, start: t0, end: t1, level });
+            st.spans.push(DispatchSpan {
+                worker,
+                session,
+                seq,
+                start: t0,
+                end: t1,
+                level,
+            });
         }
         st.level = inner.cfg.level_for_depth(st.registry.total_depth());
         drop(st);
@@ -587,7 +661,10 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.total_shed, shed);
         assert_eq!(stats.sessions[0].completed + shed, 12);
-        assert!(stats.sessions[0].max_queue_depth <= 2, "queue stayed bounded");
+        assert!(
+            stats.sessions[0].max_queue_depth <= 2,
+            "queue stayed bounded"
+        );
     }
 
     #[test]
@@ -624,7 +701,10 @@ mod tests {
         submit_all(&server, sid, &ds);
         server.drain(sid).expect("live");
         let stats = server.stats();
-        assert_eq!(stats.sessions[0].completed, 30, "nothing admitted was dropped");
+        assert_eq!(
+            stats.sessions[0].completed, 30,
+            "nothing admitted was dropped"
+        );
         assert_eq!(stats.total_shed, 0);
         assert!(
             stats.any_degraded(),
@@ -648,8 +728,11 @@ mod tests {
         let spans = server.spans();
         assert_eq!(spans.len(), 20);
         for sid in [sa, sb] {
-            let seqs: Vec<u64> =
-                spans.iter().filter(|s| s.session == sid).map(|s| s.seq).collect();
+            let seqs: Vec<u64> = spans
+                .iter()
+                .filter(|s| s.session == sid)
+                .map(|s| s.seq)
+                .collect();
             let mut sorted = seqs.clone();
             sorted.sort_unstable();
             assert_eq!(sorted, (0..10).collect::<Vec<u64>>());

@@ -163,7 +163,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        let end = self.at.checked_add(n).ok_or(WireError::Malformed("length overflow"))?;
+        let end = self
+            .at
+            .checked_add(n)
+            .ok_or(WireError::Malformed("length overflow"))?;
         if end > self.buf.len() {
             return Err(WireError::Malformed("truncated frame"));
         }
@@ -183,7 +186,9 @@ impl<'a> Cursor<'a> {
 
     fn u64(&mut self) -> Result<u64, WireError> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -259,7 +264,10 @@ fn decode_variable(cur: &mut Cursor<'_>) -> Result<Variable, WireError> {
             let s = cur.f64()?;
             let x = cur.f64()?;
             let y = cur.f64()?;
-            Ok(Variable::Se2(Se2::from_parts([x, y], Rot2::from_cos_sin(c, s))))
+            Ok(Variable::Se2(Se2::from_parts(
+                [x, y],
+                Rot2::from_cos_sin(c, s),
+            )))
         }
         VAR_SE3 => {
             let mut m = [0.0f64; 9];
@@ -270,7 +278,10 @@ fn decode_variable(cur: &mut Cursor<'_>) -> Result<Variable, WireError> {
             for v in &mut t {
                 *v = cur.f64()?;
             }
-            Ok(Variable::Se3(Se3::from_parts(t, Rot3::from_matrix(Mat::from_rows(3, 3, &m)))))
+            Ok(Variable::Se3(Se3::from_parts(
+                t,
+                Rot3::from_matrix(Mat::from_rows(3, 3, &m)),
+            )))
         }
         VAR_VEC => {
             let n = cur.u32()? as usize;
@@ -313,7 +324,11 @@ impl Request {
                 put_u32(&mut out, *steps);
                 put_u64(&mut out, *seed);
             }
-            Request::Submit { session, deadline, count } => {
+            Request::Submit {
+                session,
+                deadline,
+                count,
+            } => {
                 out.push(REQ_SUBMIT);
                 put_u64(&mut out, *session);
                 put_u64(&mut out, *deadline);
@@ -351,8 +366,12 @@ impl Request {
                 deadline: cur.u64()?,
                 count: cur.u32()?,
             },
-            REQ_ESTIMATE => Request::QueryEstimate { session: cur.u64()? },
-            REQ_CLOSE => Request::Close { session: cur.u64()? },
+            REQ_ESTIMATE => Request::QueryEstimate {
+                session: cur.u64()?,
+            },
+            REQ_CLOSE => Request::Close {
+                session: cur.u64()?,
+            },
             REQ_SHUTDOWN => Request::Shutdown,
             _ => return Err(WireError::Malformed("unknown request tag")),
         };
@@ -406,8 +425,13 @@ impl Response {
     pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
         let mut cur = Cursor::new(payload);
         let rsp = match cur.u8()? {
-            RSP_CREATED => Response::Created { session: cur.u64()? },
-            RSP_SUBMITTED => Response::Submitted { accepted: cur.u32()?, shed: cur.u32()? },
+            RSP_CREATED => Response::Created {
+                session: cur.u64()?,
+            },
+            RSP_SUBMITTED => Response::Submitted {
+                accepted: cur.u32()?,
+                shed: cur.u32()?,
+            },
             RSP_ESTIMATE => {
                 let n = cur.u32()? as usize;
                 if n > MAX_FRAME_BYTES / 9 {
@@ -419,7 +443,10 @@ impl Response {
                 }
                 Response::Estimate(vars)
             }
-            RSP_CLOSED => Response::Closed { completed: cur.u64()?, shed: cur.u64()? },
+            RSP_CLOSED => Response::Closed {
+                completed: cur.u64()?,
+                shed: cur.u64()?,
+            },
             RSP_SHUTTING_DOWN => Response::ShuttingDown,
             RSP_ERROR => {
                 let n = cur.u32()? as usize;
@@ -519,8 +546,16 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let reqs = [
-            Request::CreateSession { kind: DatasetKind::Sphere, steps: 40, seed: 11 },
-            Request::Submit { session: 3, deadline: 100, count: 5 },
+            Request::CreateSession {
+                kind: DatasetKind::Sphere,
+                steps: 40,
+                seed: 11,
+            },
+            Request::Submit {
+                session: 3,
+                deadline: 100,
+                count: 5,
+            },
             Request::QueryEstimate { session: 3 },
             Request::Close { session: 3 },
             Request::Shutdown,
@@ -541,7 +576,9 @@ mod tests {
         ));
         let rsp = Response::Estimate(vec![se2.clone(), se3.clone()]);
         let back = Response::decode(&rsp.encode()).expect("round trip");
-        let Response::Estimate(vars) = back else { panic!("wrong tag") };
+        let Response::Estimate(vars) = back else {
+            panic!("wrong tag")
+        };
         // Variable's PartialEq compares exact f64 bits componentwise.
         assert_eq!(vars, vec![se2, se3]);
     }
@@ -550,28 +587,55 @@ mod tests {
     fn framing_round_trips_over_a_buffer() {
         let mut buf = Vec::new();
         send_request(&mut buf, &Request::Shutdown).expect("write");
-        send_response(&mut buf, &Response::Submitted { accepted: 4, shed: 1 }).expect("write");
+        send_response(
+            &mut buf,
+            &Response::Submitted {
+                accepted: 4,
+                shed: 1,
+            },
+        )
+        .expect("write");
         let mut r = buf.as_slice();
         assert_eq!(recv_request(&mut r).expect("read"), Request::Shutdown);
         assert_eq!(
             recv_response(&mut r).expect("read"),
-            Response::Submitted { accepted: 4, shed: 1 }
+            Response::Submitted {
+                accepted: 4,
+                shed: 1
+            }
         );
-        assert!(matches!(recv_request(&mut r), Err(WireError::Closed)), "clean EOF");
+        assert!(
+            matches!(recv_request(&mut r), Err(WireError::Closed)),
+            "clean EOF"
+        );
     }
 
     #[test]
     fn malformed_frames_are_rejected_not_panicked() {
         assert!(matches!(Request::decode(&[]), Err(WireError::Malformed(_))));
-        assert!(matches!(Request::decode(&[0x7E]), Err(WireError::Malformed(_))));
+        assert!(matches!(
+            Request::decode(&[0x7E]),
+            Err(WireError::Malformed(_))
+        ));
         // Truncated Submit.
-        let mut good = Request::Submit { session: 1, deadline: 2, count: 3 }.encode();
+        let mut good = Request::Submit {
+            session: 1,
+            deadline: 2,
+            count: 3,
+        }
+        .encode();
         good.pop();
-        assert!(matches!(Request::decode(&good), Err(WireError::Malformed(_))));
+        assert!(matches!(
+            Request::decode(&good),
+            Err(WireError::Malformed(_))
+        ));
         // Trailing garbage.
         let mut padded = Request::Shutdown.encode();
         padded.push(0);
-        assert!(matches!(Request::decode(&padded), Err(WireError::Malformed(_))));
+        assert!(matches!(
+            Request::decode(&padded),
+            Err(WireError::Malformed(_))
+        ));
         // Oversized length prefix.
         let mut framed = Vec::new();
         framed.extend_from_slice(&(u32::MAX).to_le_bytes());

@@ -37,7 +37,11 @@ pub struct UpdateRequest {
 impl UpdateRequest {
     /// Convenience constructor.
     pub fn new(deadline: u64, initial: Variable, factors: Vec<Arc<dyn Factor>>) -> Self {
-        UpdateRequest { deadline, initial, factors }
+        UpdateRequest {
+            deadline,
+            initial,
+            factors,
+        }
     }
 }
 
@@ -139,7 +143,8 @@ impl SessionRegistry {
     pub(crate) fn insert(&mut self, engine: SolverEngine, degradation_levels: u8) -> SessionId {
         let id = SessionId(self.next_id);
         self.next_id += 1;
-        self.sessions.insert(id.0, Session::new(id, engine, degradation_levels));
+        self.sessions
+            .insert(id.0, Session::new(id, engine, degradation_levels));
         id
     }
 
@@ -221,7 +226,11 @@ mod tests {
         reg.get_mut(a).expect("a").queue.push_back(request(9));
         reg.get_mut(b).expect("b").queue.push_back(request(5));
         reg.get_mut(c).expect("c").queue.push_back(request(5));
-        assert_eq!(reg.pick_earliest_deadline(), Some(b), "earliest deadline, lowest id");
+        assert_eq!(
+            reg.pick_earliest_deadline(),
+            Some(b),
+            "earliest deadline, lowest id"
+        );
         // A busy session is skipped even with the earliest deadline.
         reg.get_mut(b).expect("b").busy = true;
         assert_eq!(reg.pick_earliest_deadline(), Some(c));

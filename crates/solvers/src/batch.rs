@@ -7,7 +7,9 @@
 
 use supernova_factors::{linearize, FactorGraph, Values};
 use supernova_linalg::{gemm, Mat, Transpose};
-use supernova_sparse::{ordering, BlockMat, BlockPattern, NumericFactor, Permutation, SymbolicFactor};
+use supernova_sparse::{
+    ordering, BlockMat, BlockPattern, NumericFactor, Permutation, SymbolicFactor,
+};
 
 /// Batch solver options.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,7 +27,12 @@ pub struct BatchConfig {
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        BatchConfig { max_iterations: 25, tolerance: 1e-6, use_min_degree: true, relax: 1 }
+        BatchConfig {
+            max_iterations: 25,
+            tolerance: 1e-6,
+            use_min_degree: true,
+            relax: 1,
+        }
     }
 }
 
@@ -126,10 +133,21 @@ impl BatchSolver {
                     // Hessian contributions.
                     for (kb, jb) in lf.keys.iter().zip(&lf.jacobians).take(ai + 1) {
                         let (pa, pb) = (perm.new_of_old(ka.0), perm.new_of_old(kb.0));
-                        let (brow, bcol, jrow, jcol) =
-                            if pa >= pb { (pa, pb, ja, jb) } else { (pb, pa, jb, ja) };
+                        let (brow, bcol, jrow, jcol) = if pa >= pb {
+                            (pa, pb, ja, jb)
+                        } else {
+                            (pb, pa, jb, ja)
+                        };
                         let mut blk = Mat::zeros(jrow.cols(), jcol.cols());
-                        gemm(1.0, jrow, Transpose::Yes, jcol, Transpose::No, 0.0, &mut blk);
+                        gemm(
+                            1.0,
+                            jrow,
+                            Transpose::Yes,
+                            jcol,
+                            Transpose::No,
+                            0.0,
+                            &mut blk,
+                        );
                         h.add_to_block(brow, bcol, &blk);
                     }
                 }
@@ -198,7 +216,11 @@ mod tests {
         let mut graph = FactorGraph::new();
         for (i, p) in truth.iter().enumerate() {
             // Corrupt initial guesses increasingly with i.
-            let bad = Se2::new(p.x() + 0.02 * i as f64, p.y() - 0.015 * i as f64, p.theta() + 0.01);
+            let bad = Se2::new(
+                p.x() + 0.02 * i as f64,
+                p.y() - 0.015 * i as f64,
+                p.theta() + 0.01,
+            );
             let k = values.insert_se2(bad);
             if i == 0 {
                 graph.add(PriorFactor::se2(k, *p, NoiseModel::isotropic(3, 0.01)));
@@ -213,7 +235,12 @@ mod tests {
             }
         }
         let z = truth[19].inverse().compose(truth[0]);
-        graph.add(BetweenFactor::se2(19.into(), 0.into(), z, NoiseModel::isotropic(3, 0.05)));
+        graph.add(BetweenFactor::se2(
+            19.into(),
+            0.into(),
+            z,
+            NoiseModel::isotropic(3, 0.05),
+        ));
         (graph, values, truth)
     }
 
@@ -225,7 +252,11 @@ mod tests {
         assert!(stats.flops > 0);
         for (i, t) in truth.iter().enumerate() {
             let p = sol.get(i.into()).as_se2().copied().unwrap();
-            assert!(p.translation_distance(t) < 1e-5, "pose {i} off by {}", p.translation_distance(t));
+            assert!(
+                p.translation_distance(t) < 1e-5,
+                "pose {i} off by {}",
+                p.translation_distance(t)
+            );
         }
     }
 
@@ -233,7 +264,10 @@ mod tests {
     fn natural_ordering_gives_same_solution() {
         let (graph, initial, _) = noisy_square();
         let (a, _) = BatchSolver::default().solve(&graph, &initial);
-        let cfg = BatchConfig { use_min_degree: false, ..BatchConfig::default() };
+        let cfg = BatchConfig {
+            use_min_degree: false,
+            ..BatchConfig::default()
+        };
         let (b, _) = BatchSolver::new(cfg).solve(&graph, &initial);
         for (k, va) in a.iter() {
             assert!(va.translation_distance(b.get(k)) < 1e-6);

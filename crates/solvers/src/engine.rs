@@ -8,8 +8,8 @@ use supernova_linalg::ops::{Op, OpTrace};
 use supernova_linalg::{gemm, norm_inf, Mat, Transpose};
 use supernova_runtime::{node_work_from_plan, StepTrace};
 use supernova_sparse::{
-    ordering, BlockMat, BlockPattern, ExecutionPlan, HostSchedule, NumericFactor,
-    ParallelExecutor, SymbolicFactor,
+    ordering, BlockMat, BlockPattern, ExecutionPlan, HostSchedule, NumericFactor, ParallelExecutor,
+    SymbolicFactor,
 };
 
 /// A prepared fill-reducing reordering (see
@@ -99,7 +99,11 @@ impl IncrementalCore {
     /// the machine's available parallelism); results are bit-identical at
     /// every thread count.
     pub fn new(relax: usize) -> Self {
-        IncrementalCore { relax, executor: ParallelExecutor::from_env(), ..Self::default() }
+        IncrementalCore {
+            relax,
+            executor: ParallelExecutor::from_env(),
+            ..Self::default()
+        }
     }
 
     /// Overrides the host executor the numeric plans run on.
@@ -118,7 +122,11 @@ impl IncrementalCore {
     pub fn reset(&mut self) {
         let relax = self.relax;
         let executor = self.executor;
-        *self = IncrementalCore { relax, executor, ..Self::default() };
+        *self = IncrementalCore {
+            relax,
+            executor,
+            ..Self::default()
+        };
     }
 
     /// The cached execution plan (after the first [`analyze`](Self::analyze)).
@@ -239,9 +247,16 @@ impl IncrementalCore {
     /// Panics if the factor references an unknown variable.
     pub fn add_factor(&mut self, factor: Arc<dyn Factor>) {
         for k in factor.keys() {
-            assert!(k.0 < self.num_vars(), "factor references unknown variable {k}");
+            assert!(
+                k.0 < self.num_vars(),
+                "factor references unknown variable {k}"
+            );
         }
-        let blocks: Vec<usize> = factor.keys().iter().map(|k| self.order_of_key[k.0]).collect();
+        let blocks: Vec<usize> = factor
+            .keys()
+            .iter()
+            .map(|k| self.order_of_key[k.0])
+            .collect();
         self.pattern.add_clique(&blocks);
         let lf = linearize(factor.as_ref(), &self.theta);
         self.pending_relin_elems += lf.jacobian_elems();
@@ -282,7 +297,8 @@ impl IncrementalCore {
             let lf = linearize(self.graph.factor(fi), &self.theta);
             self.pending_relin_elems += lf.jacobian_elems();
             self.pending_relin_factors += 1;
-            self.dirty.extend(lf.keys.iter().map(|k| self.order_of_key[k.0]));
+            self.dirty
+                .extend(lf.keys.iter().map(|k| self.order_of_key[k.0]));
             apply_contribution(
                 &mut self.h,
                 &lf,
@@ -324,7 +340,9 @@ impl IncrementalCore {
         match &self.sym {
             None => 1.0,
             Some(sym) => {
-                let l: usize = (0..sym.num_blocks()).map(|j| sym.col_pattern(j).len()).sum();
+                let l: usize = (0..sym.num_blocks())
+                    .map(|j| sym.col_pattern(j).len())
+                    .sum();
                 l as f64 / self.pattern.nnz_blocks().max(1) as f64
             }
         }
@@ -344,7 +362,11 @@ impl IncrementalCore {
         let pattern = key_pattern.permuted(&perm);
         let sym = SymbolicFactor::analyze(&pattern, self.relax);
         let order_of_key = (0..self.num_vars()).map(|k| perm.new_of_old(k)).collect();
-        Some(ReorderPlan { order_of_key, pattern, sym })
+        Some(ReorderPlan {
+            order_of_key,
+            pattern,
+            sym,
+        })
     }
 
     /// Applies a prepared reordering: remaps Δ, rebuilds the block Hessian
@@ -352,8 +374,9 @@ impl IncrementalCore {
     /// (the next solve performs one full — but low-fill — factorization).
     /// The analysis cost is metered as symbolic work.
     pub fn apply_reorder(&mut self, plan: ReorderPlan) {
-        let old_delta: Vec<Vec<f64>> =
-            (0..self.num_vars()).map(|k| self.delta_of(Key(k)).to_vec()).collect();
+        let old_delta: Vec<Vec<f64>> = (0..self.num_vars())
+            .map(|k| self.delta_of(Key(k)).to_vec())
+            .collect();
         self.order_of_key = plan.order_of_key;
         self.key_of_order = {
             let mut v = vec![0usize; self.num_vars()];
@@ -382,8 +405,10 @@ impl IncrementalCore {
             apply_contribution(&mut self.h, lf, &self.order_of_key, 1.0, None);
         }
         // Meter: one min-degree pass plus a fresh symbolic analysis.
-        self.pending_symbolic_extra +=
-            4 * self.pattern.nnz_blocks() + 2 * plan.sym.pattern_size_of_nodes(&(0..plan.sym.nodes().len()).collect::<Vec<_>>());
+        self.pending_symbolic_extra += 4 * self.pattern.nnz_blocks()
+            + 2 * plan
+                .sym
+                .pattern_size_of_nodes(&(0..plan.sym.nodes().len()).collect::<Vec<_>>());
         // A reorder permutes the structure without changing the block or
         // nnz counts, so the plan cache must be invalidated explicitly.
         self.plan = Some(ExecutionPlan::from_symbolic(&plan.sym));
@@ -439,9 +464,16 @@ impl IncrementalCore {
     /// Panics if `analyze` has not been called for the current structure.
     pub fn factorize_and_solve(&mut self) -> StepTrace {
         // lint: allow(unwrap) — documented panic: analyze() must precede this call
-        let sym = self.sym.as_ref().expect("analyze() before factorize_and_solve()");
-        // lint: allow(unwrap) — analyze() populates the plan alongside sym
-        let plan = self.plan.as_ref().expect("analyze() before factorize_and_solve()");
+        let sym = self
+            .sym
+            .as_ref()
+            .expect("analyze() before factorize_and_solve()"); // lint: allow(unwrap)
+
+        // analyze() populates the plan alongside sym
+        let plan = self
+            .plan
+            .as_ref()
+            .expect("analyze() before factorize_and_solve()"); // lint: allow(unwrap)
         let dirty: Vec<usize> = self.dirty.iter().copied().collect();
 
         // Incremental plan execution with non-PD damping recovery.
@@ -452,10 +484,11 @@ impl IncrementalCore {
                 None => {
                     let all: Vec<usize> = (0..plan.num_blocks()).collect();
                     let mut num = NumericFactor::empty(plan);
-                    num.execute_plan(plan, &self.h, &all, &self.executor).map(|out| {
-                        self.num = Some(num);
-                        out
-                    })
+                    num.execute_plan(plan, &self.h, &all, &self.executor)
+                        .map(|out| {
+                            self.num = Some(num);
+                            out
+                        })
                 }
             };
             match result {
@@ -466,7 +499,10 @@ impl IncrementalCore {
                 Err(err) => {
                     attempts += 1;
                     self.damping_events += 1;
-                    assert!(attempts <= 8, "factorization kept failing after damping: {err}");
+                    assert!(
+                        attempts <= 8,
+                        "factorization kept failing after damping: {err}"
+                    );
                     // Dampen every diagonal block and retry from scratch.
                     let lambda = 1e-6 * 10f64.powi(attempts as i32);
                     for b in 0..self.pattern.num_blocks() {
@@ -535,21 +571,41 @@ fn apply_contribution(
     mut ops: Option<&mut OpTrace>,
 ) {
     if let Some(ops) = ops.as_deref_mut() {
-        ops.push(Op::Memcpy { bytes: lf.jacobian_elems() * 4 });
+        ops.push(Op::Memcpy {
+            bytes: lf.jacobian_elems() * 4,
+        });
     }
     let fdim = lf.dim();
     for (ai, (ka, ja)) in lf.keys.iter().zip(&lf.jacobians).enumerate() {
         for (kb, jb) in lf.keys.iter().zip(&lf.jacobians).take(ai + 1) {
             let (oa, ob) = (order_of_key[ka.0], order_of_key[kb.0]);
             // Store at (row = later position, col = earlier position).
-            let (brow, bcol, jrow, jcol) =
-                if oa >= ob { (oa, ob, ja, jb) } else { (ob, oa, jb, ja) };
+            let (brow, bcol, jrow, jcol) = if oa >= ob {
+                (oa, ob, ja, jb)
+            } else {
+                (ob, oa, jb, ja)
+            };
             let mut blk = Mat::zeros(jrow.cols(), jcol.cols());
-            gemm(sign, jrow, Transpose::Yes, jcol, Transpose::No, 0.0, &mut blk);
+            gemm(
+                sign,
+                jrow,
+                Transpose::Yes,
+                jcol,
+                Transpose::No,
+                0.0,
+                &mut blk,
+            );
             h.add_to_block(brow, bcol, &blk);
             if let Some(ops) = ops.as_deref_mut() {
-                ops.push(Op::Gemm { m: jrow.cols(), n: jcol.cols(), k: fdim });
-                ops.push(Op::ScatterAdd { blocks: 1, elems: jrow.cols() * jcol.cols() });
+                ops.push(Op::Gemm {
+                    m: jrow.cols(),
+                    n: jcol.cols(),
+                    k: fdim,
+                });
+                ops.push(Op::ScatterAdd {
+                    blocks: 1,
+                    elems: jrow.cols() * jcol.cols(),
+                });
             }
         }
     }
@@ -561,11 +617,20 @@ mod tests {
     use supernova_factors::{BetweenFactor, NoiseModel, PriorFactor, Se2};
 
     fn prior(k: usize, pose: Se2) -> Arc<dyn Factor> {
-        Arc::new(PriorFactor::se2(Key(k), pose, NoiseModel::isotropic(3, 0.1)))
+        Arc::new(PriorFactor::se2(
+            Key(k),
+            pose,
+            NoiseModel::isotropic(3, 0.1),
+        ))
     }
 
     fn between(a: usize, b: usize, z: Se2) -> Arc<dyn Factor> {
-        Arc::new(BetweenFactor::se2(Key(a), Key(b), z, NoiseModel::isotropic(3, 0.05)))
+        Arc::new(BetweenFactor::se2(
+            Key(a),
+            Key(b),
+            z,
+            NoiseModel::isotropic(3, 0.05),
+        ))
     }
 
     /// Builds a 4-pose chain with slightly wrong initial guesses.
@@ -703,7 +768,10 @@ mod tests {
         core.apply_reorder(plan);
         core.analyze();
         let fill_after = core.fill_ratio();
-        assert!(fill_after <= fill_before + 1e-9, "{fill_after} > {fill_before}");
+        assert!(
+            fill_after <= fill_before + 1e-9,
+            "{fill_after} > {fill_before}"
+        );
         assert_eq!(core.reorders(), 1);
 
         // Solving in the new order gives the same estimates.
@@ -740,7 +808,10 @@ mod tests {
         core.analyze();
         assert_eq!(core.plan_generation(), gen + 1);
         let plan = core.plan().expect("plan cached");
-        assert_eq!(plan.num_tasks(), core.symbolic().expect("sym").nodes().len());
+        assert_eq!(
+            plan.num_tasks(),
+            core.symbolic().expect("sym").nodes().len()
+        );
     }
 
     #[test]
@@ -752,15 +823,25 @@ mod tests {
         let candidate = core.reorder_candidate().expect("nonempty");
         assert!(candidate.symbolic().nodes().len() > 0);
         drop(candidate);
-        assert_eq!(core.plan_generation(), gen, "rejecting must not touch the cache");
+        assert_eq!(
+            core.plan_generation(),
+            gen,
+            "rejecting must not touch the cache"
+        );
         assert_eq!(core.reorders(), 0);
-        assert!(core.has_numeric_cache(), "rejecting must keep the numeric cache");
+        assert!(
+            core.has_numeric_cache(),
+            "rejecting must keep the numeric cache"
+        );
         core.analyze();
         core.factorize_and_solve();
         let est_after = core.estimate();
         for (k, v) in est_before.iter() {
             let d = v.translation_distance(est_after.get(k));
-            assert!(d < 1e-9, "estimate moved at {k} after rejected reorder: {d}");
+            assert!(
+                d < 1e-9,
+                "estimate moved at {k} after rejected reorder: {d}"
+            );
         }
     }
 
@@ -772,8 +853,15 @@ mod tests {
         let gen = reordered.plan_generation();
         let plan = reordered.reorder_candidate().expect("nonempty");
         reordered.apply_reorder(plan);
-        assert_eq!(reordered.plan_generation(), gen + 1, "apply must rebuild the plan");
-        assert!(!reordered.has_numeric_cache(), "apply must drop the numeric cache");
+        assert_eq!(
+            reordered.plan_generation(),
+            gen + 1,
+            "apply must rebuild the plan"
+        );
+        assert!(
+            !reordered.has_numeric_cache(),
+            "apply must drop the numeric cache"
+        );
         reordered.analyze();
         assert_eq!(
             reordered.plan_generation(),
@@ -813,6 +901,10 @@ mod tests {
             core.analyze();
             core.factorize_and_solve();
         }
-        assert!(core.current_error2() < 1.0, "error {}", core.current_error2());
+        assert!(
+            core.current_error2() < 1.0,
+            "error {}",
+            core.current_error2()
+        );
     }
 }

@@ -18,7 +18,10 @@ pub struct FixedLagConfig {
 
 impl Default for FixedLagConfig {
     fn default() -> Self {
-        FixedLagConfig { window: 20, iterations: 3 }
+        FixedLagConfig {
+            window: 20,
+            iterations: 3,
+        }
     }
 }
 
@@ -41,7 +44,11 @@ impl FixedLagSmoother {
     /// Creates an empty smoother.
     pub fn new(config: FixedLagConfig) -> Self {
         assert!(config.window >= 2, "window must hold at least two poses");
-        FixedLagSmoother { config, estimates: Vec::new(), active: Vec::new() }
+        FixedLagSmoother {
+            config,
+            estimates: Vec::new(),
+            active: Vec::new(),
+        }
     }
 
     /// First pose index inside the window.
@@ -91,7 +98,8 @@ impl OnlineSolver for FixedLagSmoother {
                 self.active.push(f);
             }
         }
-        self.active.retain(|f| f.keys().iter().all(|k| k.0 >= start));
+        self.active
+            .retain(|f| f.keys().iter().all(|k| k.0 >= start));
 
         // Window-local problem: anchor the oldest pose at its frozen value.
         let mut values = Values::new();
@@ -101,10 +109,17 @@ impl OnlineSolver for FixedLagSmoother {
         let mut graph = supernova_factors::FactorGraph::new();
         let anchor = self.estimates[start].clone();
         let dim = anchor.dim();
-        graph.add(PriorFactor::new(Key(0), anchor, NoiseModel::isotropic(dim, 1e-3)));
+        graph.add(PriorFactor::new(
+            Key(0),
+            anchor,
+            NoiseModel::isotropic(dim, 1e-3),
+        ));
         for f in &self.active {
             let keys: Vec<Key> = f.keys().iter().map(|k| Key(k.0 - start)).collect();
-            graph.add(RemappedFactor { inner: Arc::clone(f), keys });
+            graph.add(RemappedFactor {
+                inner: Arc::clone(f),
+                keys,
+            });
         }
         let solver = BatchSolver::new(BatchConfig {
             max_iterations: self.config.iterations,
@@ -150,16 +165,27 @@ mod tests {
     use supernova_factors::{BetweenFactor, Se2};
 
     fn odo(a: usize, b: usize, z: Se2) -> Arc<dyn Factor> {
-        Arc::new(BetweenFactor::se2(Key(a), Key(b), z, NoiseModel::isotropic(3, 0.05)))
+        Arc::new(BetweenFactor::se2(
+            Key(a),
+            Key(b),
+            z,
+            NoiseModel::isotropic(3, 0.05),
+        ))
     }
 
     #[test]
     fn follows_odometry_within_window() {
-        let mut s = FixedLagSmoother::new(FixedLagConfig { window: 5, iterations: 3 });
+        let mut s = FixedLagSmoother::new(FixedLagConfig {
+            window: 5,
+            iterations: 3,
+        });
         s.step(Variable::Se2(Se2::identity()), vec![]);
         for i in 1..12 {
             let init = Se2::new(i as f64 + 0.05, 0.02, 0.0);
-            s.step(Variable::Se2(init), vec![odo(i - 1, i, Se2::new(1.0, 0.0, 0.0))]);
+            s.step(
+                Variable::Se2(init),
+                vec![odo(i - 1, i, Se2::new(1.0, 0.0, 0.0))],
+            );
         }
         assert_eq!(s.num_poses(), 12);
         let last = s.pose_estimate(Key(11)).as_se2().copied().unwrap();
@@ -169,18 +195,30 @@ mod tests {
 
     #[test]
     fn loop_closures_are_discarded() {
-        let mut s = FixedLagSmoother::new(FixedLagConfig { window: 4, iterations: 2 });
+        let mut s = FixedLagSmoother::new(FixedLagConfig {
+            window: 4,
+            iterations: 2,
+        });
         s.step(Variable::Se2(Se2::identity()), vec![]);
         for i in 1..10 {
-            s.step(Variable::Se2(Se2::new(i as f64, 0.0, 0.0)), vec![odo(i - 1, i, Se2::new(1.0, 0.0, 0.0))]);
+            s.step(
+                Variable::Se2(Se2::new(i as f64, 0.0, 0.0)),
+                vec![odo(i - 1, i, Se2::new(1.0, 0.0, 0.0))],
+            );
         }
         let before = s.active_factors();
         // A loop closure to pose 0 is outside the window: dropped.
         s.step(
             Variable::Se2(Se2::new(10.0, 0.0, 0.0)),
-            vec![odo(9, 10, Se2::new(1.0, 0.0, 0.0)), odo(0, 10, Se2::new(10.0, 0.0, 0.0))],
+            vec![
+                odo(9, 10, Se2::new(1.0, 0.0, 0.0)),
+                odo(0, 10, Se2::new(10.0, 0.0, 0.0)),
+            ],
         );
-        assert!(s.active_factors() <= before + 1, "LC factor should be discarded");
+        assert!(
+            s.active_factors() <= before + 1,
+            "LC factor should be discarded"
+        );
     }
 
     #[test]
@@ -190,8 +228,16 @@ mod tests {
         s.step(Variable::Se2(Se2::identity()), vec![]);
         for i in 1..60 {
             // True motion 1.0 forward, measured 1.01: 1 % bias.
-            let init = s.pose_estimate(Key(i - 1)).as_se2().copied().unwrap().compose(Se2::new(1.01, 0.0, 0.0));
-            s.step(Variable::Se2(init), vec![odo(i - 1, i, Se2::new(1.01, 0.0, 0.0))]);
+            let init = s
+                .pose_estimate(Key(i - 1))
+                .as_se2()
+                .copied()
+                .unwrap()
+                .compose(Se2::new(1.01, 0.0, 0.0));
+            s.step(
+                Variable::Se2(init),
+                vec![odo(i - 1, i, Se2::new(1.01, 0.0, 0.0))],
+            );
         }
         let last = s.pose_estimate(Key(59)).as_se2().copied().unwrap();
         let drift = (last.x() - 59.0).abs();

@@ -23,7 +23,11 @@ pub struct Isam2Config {
 
 impl Default for Isam2Config {
     fn default() -> Self {
-        Isam2Config { beta: 0.02, relax: 1, reorder: true }
+        Isam2Config {
+            beta: 0.02,
+            relax: 1,
+            reorder: true,
+        }
     }
 }
 
@@ -49,7 +53,11 @@ pub struct Isam2 {
 impl Isam2 {
     /// Creates an empty solver.
     pub fn new(config: Isam2Config) -> Self {
-        Isam2 { core: IncrementalCore::new(config.relax), config, steps_since_reorder: 0 }
+        Isam2 {
+            core: IncrementalCore::new(config.relax),
+            config,
+            steps_since_reorder: 0,
+        }
     }
 
     /// The underlying incremental engine.
@@ -119,7 +127,11 @@ mod tests {
         let truth: Vec<Se2> = (0..n)
             .map(|i| {
                 let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
-                Se2::new(a.cos() * 5.0, a.sin() * 5.0, a + std::f64::consts::FRAC_PI_2)
+                Se2::new(
+                    a.cos() * 5.0,
+                    a.sin() * 5.0,
+                    a + std::f64::consts::FRAC_PI_2,
+                )
             })
             .collect();
         let mut solver = Isam2::new(Isam2Config::default());
@@ -154,7 +166,10 @@ mod tests {
                     NoiseModel::isotropic(3, 0.05),
                 )));
             }
-            solver.step(Variable::Se2(truth[i].compose(Se2::new(0.0, 0.0, 0.0))), factors);
+            solver.step(
+                Variable::Se2(truth[i].compose(Se2::new(0.0, 0.0, 0.0))),
+                factors,
+            );
             let _ = initial;
         }
         (solver, truth)
@@ -166,7 +181,11 @@ mod tests {
         let est = solver.estimate();
         for (i, t) in truth.iter().enumerate() {
             let p = est.get(Key(i)).as_se2().copied().unwrap();
-            assert!(p.translation_distance(t) < 0.1, "pose {i} off by {}", p.translation_distance(t));
+            assert!(
+                p.translation_distance(t) < 0.1,
+                "pose {i} off by {}",
+                p.translation_distance(t)
+            );
         }
         assert_eq!(solver.num_poses(), 24);
         assert!(!solver.name().is_empty());
@@ -183,10 +202,19 @@ mod tests {
         for i in 0..n {
             let mut factors: Vec<Arc<dyn Factor>> = Vec::new();
             if i == 0 {
-                factors.push(Arc::new(PriorFactor::se2(Key(0), truth[0], NoiseModel::isotropic(3, 0.01))));
+                factors.push(Arc::new(PriorFactor::se2(
+                    Key(0),
+                    truth[0],
+                    NoiseModel::isotropic(3, 0.01),
+                )));
             } else {
                 let z = truth[i - 1].inverse().compose(truth[i]);
-                factors.push(Arc::new(BetweenFactor::se2(Key(i - 1), Key(i), z, NoiseModel::isotropic(3, 0.05))));
+                factors.push(Arc::new(BetweenFactor::se2(
+                    Key(i - 1),
+                    Key(i),
+                    z,
+                    NoiseModel::isotropic(3, 0.05),
+                )));
             }
             let trace = solver.step(Variable::Se2(truth[i]), factors);
             if i == n - 1 {

@@ -92,7 +92,10 @@ impl LocalGlobal {
 
 impl OnlineSolver for LocalGlobal {
     fn step(&mut self, new_variable: Variable, factors: Vec<Arc<dyn Factor>>) -> StepTrace {
-        let window_start = self.estimates.len().saturating_sub(self.config.local.window);
+        let window_start = self
+            .estimates
+            .len()
+            .saturating_sub(self.config.local.window);
         let mut saw_loop_closure = false;
         for f in &factors {
             if f.keys().iter().any(|k| k.0 < window_start) {
@@ -101,7 +104,8 @@ impl OnlineSolver for LocalGlobal {
             self.full_graph.add_arc(Arc::clone(f));
         }
         let trace = self.local.step(new_variable, factors);
-        self.estimates.push(self.local.pose_estimate(Key(self.estimates.len())));
+        self.estimates
+            .push(self.local.pose_estimate(Key(self.estimates.len())));
         // Refresh the in-window estimates from the local solver.
         for i in window_start..self.estimates.len() {
             self.estimates[i] = self.local.pose_estimate(Key(i));
@@ -116,8 +120,8 @@ impl OnlineSolver for LocalGlobal {
                 }
                 v
             };
-            let (result, stats) = BatchSolver::new(BatchConfig::default())
-                .solve(&self.full_graph, &initial);
+            let (result, stats) =
+                BatchSolver::new(BatchConfig::default()).solve(&self.full_graph, &initial);
             let seconds = stats.flops as f64 / self.config.solver_flops_per_sec;
             let delay = ((seconds / self.config.frame_period).ceil() as usize)
                 .clamp(1, self.config.max_delay_steps);
@@ -177,22 +181,41 @@ mod tests {
     use supernova_factors::{BetweenFactor, NoiseModel, PriorFactor, Se2};
 
     fn odo(a: usize, b: usize, z: Se2) -> Arc<dyn Factor> {
-        Arc::new(BetweenFactor::se2(Key(a), Key(b), z, NoiseModel::isotropic(3, 0.05)))
+        Arc::new(BetweenFactor::se2(
+            Key(a),
+            Key(b),
+            z,
+            NoiseModel::isotropic(3, 0.05),
+        ))
     }
 
     #[test]
     fn correction_arrives_after_delay_and_fixes_drift() {
         let mut s = LocalGlobal::new(LocalGlobalConfig {
-            local: FixedLagConfig { window: 5, iterations: 2 },
+            local: FixedLagConfig {
+                window: 5,
+                iterations: 2,
+            },
             ..LocalGlobalConfig::default()
         });
-        let prior: Arc<dyn Factor> =
-            Arc::new(PriorFactor::se2(Key(0), Se2::identity(), NoiseModel::isotropic(3, 0.01)));
+        let prior: Arc<dyn Factor> = Arc::new(PriorFactor::se2(
+            Key(0),
+            Se2::identity(),
+            NoiseModel::isotropic(3, 0.01),
+        ));
         s.step(Variable::Se2(Se2::identity()), vec![prior]);
         // Drift: biased odometry along a line.
         for i in 1..30 {
-            let init = s.pose_estimate(Key(i - 1)).as_se2().copied().unwrap().compose(Se2::new(1.02, 0.0, 0.0));
-            s.step(Variable::Se2(init), vec![odo(i - 1, i, Se2::new(1.02, 0.0, 0.0))]);
+            let init = s
+                .pose_estimate(Key(i - 1))
+                .as_se2()
+                .copied()
+                .unwrap()
+                .compose(Se2::new(1.02, 0.0, 0.0));
+            s.step(
+                Variable::Se2(init),
+                vec![odo(i - 1, i, Se2::new(1.02, 0.0, 0.0))],
+            );
         }
         let drifted = s.pose_estimate(Key(29)).as_se2().copied().unwrap();
         assert!((drifted.x() - 29.0).abs() > 0.2, "expected drift before LC");
@@ -200,15 +223,26 @@ mod tests {
         // Loop closure telling the truth: pose 29 is really at 29 m.
         let lc = odo(0, 29, Se2::new(29.0, 0.0, 0.0));
         let init = drifted.compose(Se2::new(1.0, 0.0, 0.0));
-        s.step(Variable::Se2(init), vec![odo(29, 30, Se2::new(1.0, 0.0, 0.0)), lc]);
+        s.step(
+            Variable::Se2(init),
+            vec![odo(29, 30, Se2::new(1.0, 0.0, 0.0)), lc],
+        );
         assert!(s.global_in_flight() || s.corrections_applied() > 0);
 
         // Keep stepping until the correction lands.
         let mut i = 30;
         while s.corrections_applied() == 0 && i < 200 {
             i += 1;
-            let init = s.pose_estimate(Key(i - 1)).as_se2().copied().unwrap().compose(Se2::new(1.0, 0.0, 0.0));
-            s.step(Variable::Se2(init), vec![odo(i - 1, i, Se2::new(1.0, 0.0, 0.0))]);
+            let init = s
+                .pose_estimate(Key(i - 1))
+                .as_se2()
+                .copied()
+                .unwrap()
+                .compose(Se2::new(1.0, 0.0, 0.0));
+            s.step(
+                Variable::Se2(init),
+                vec![odo(i - 1, i, Se2::new(1.0, 0.0, 0.0))],
+            );
         }
         assert!(s.corrections_applied() > 0, "correction never landed");
         let fixed = s.pose_estimate(Key(29)).as_se2().copied().unwrap();
@@ -225,7 +259,10 @@ mod tests {
         let mut s = LocalGlobal::new(LocalGlobalConfig::default());
         s.step(Variable::Se2(Se2::identity()), vec![]);
         for i in 1..10 {
-            s.step(Variable::Se2(Se2::new(i as f64, 0.0, 0.0)), vec![odo(i - 1, i, Se2::new(1.0, 0.0, 0.0))]);
+            s.step(
+                Variable::Se2(Se2::new(i as f64, 0.0, 0.0)),
+                vec![odo(i - 1, i, Se2::new(1.0, 0.0, 0.0))],
+            );
         }
         assert!(!s.global_in_flight());
         assert_eq!(s.corrections_applied(), 0);

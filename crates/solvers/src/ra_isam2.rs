@@ -26,7 +26,12 @@ pub struct RaIsam2Config {
 
 impl Default for RaIsam2Config {
     fn default() -> Self {
-        RaIsam2Config { beta: 0.02, relax: 1, target_seconds: 1.0 / 30.0, safety: 0.8 }
+        RaIsam2Config {
+            beta: 0.02,
+            relax: 1,
+            target_seconds: 1.0 / 30.0,
+            safety: 0.8,
+        }
     }
 }
 
@@ -158,13 +163,18 @@ impl OnlineSolver for RaIsam2 {
         let node_bytes = self.core.node_factor_bytes(&sym);
         let node_cost = |s: usize| {
             let info = &sym.nodes()[s];
-            self.cost.predict_node_seconds(info.pivot_dim, info.rem_dim, node_bytes[s])
+            self.cost
+                .predict_node_seconds(info.pivot_dim, info.rem_dim, node_bytes[s])
         };
 
         // Mandatory work: the new pose's factors already dirtied a path
         // (everything, right after a reorder invalidated the cache).
         let mandatory: Vec<usize> = if self.core.has_numeric_cache() {
-            self.core.dirty_blocks().iter().map(|&b| sym.node_of_block(b)).collect()
+            self.core
+                .dirty_blocks()
+                .iter()
+                .map(|&b| sym.node_of_block(b))
+                .collect()
         } else {
             (0..sym.nodes().len()).collect()
         };
@@ -173,7 +183,9 @@ impl OnlineSolver for RaIsam2 {
         let (pending_elems, pending_factors) = self.core.pending_relin();
         let mut spent = mandatory_list.iter().map(|&s| node_cost(s)).sum::<f64>()
             + self.cost.solve_seconds(sym.l_nnz_scalars())
-            + self.cost.symbolic_seconds(sym.pattern_size_of_nodes(&mandatory_list))
+            + self
+                .cost
+                .symbolic_seconds(sym.pattern_size_of_nodes(&mandatory_list))
             + self.cost.relin_seconds(pending_elems, pending_factors);
         let mut nodes_visited = mandatory_list.len();
 
@@ -221,11 +233,15 @@ impl OnlineSolver for RaIsam2 {
                 .copied()
                 .filter(|fi| !selected_factors.contains(fi))
                 .collect();
-            let relin_elems: usize =
-                marginal_factors.iter().map(|&fi| self.core.factor_jacobian_elems(fi)).sum();
+            let relin_elems: usize = marginal_factors
+                .iter()
+                .map(|&fi| self.core.factor_jacobian_elems(fi))
+                .sum();
             let marginal = marginal_nodes.iter().map(|&s| node_cost(s)).sum::<f64>()
                 + self.cost.relin_seconds(relin_elems, marginal_factors.len())
-                + self.cost.symbolic_seconds(sym.pattern_size_of_nodes(&marginal_nodes));
+                + self
+                    .cost
+                    .symbolic_seconds(sym.pattern_size_of_nodes(&marginal_nodes));
             if spent + marginal <= budget {
                 spent += marginal;
                 visited.extend(marginal_nodes);
@@ -271,7 +287,10 @@ mod tests {
     fn solver_with(target: f64) -> RaIsam2 {
         let cost = Arc::new(CostModel::new(Platform::supernova(2)));
         RaIsam2::new(
-            RaIsam2Config { target_seconds: target, ..RaIsam2Config::default() },
+            RaIsam2Config {
+                target_seconds: target,
+                ..RaIsam2Config::default()
+            },
             cost,
         )
     }
@@ -281,10 +300,19 @@ mod tests {
         for i in 0..n {
             let mut factors: Vec<Arc<dyn Factor>> = Vec::new();
             if i == 0 {
-                factors.push(Arc::new(PriorFactor::se2(Key(0), truth[0], NoiseModel::isotropic(3, 0.01))));
+                factors.push(Arc::new(PriorFactor::se2(
+                    Key(0),
+                    truth[0],
+                    NoiseModel::isotropic(3, 0.01),
+                )));
             } else {
                 let z = truth[i - 1].inverse().compose(truth[i]);
-                factors.push(Arc::new(BetweenFactor::se2(Key(i - 1), Key(i), z, NoiseModel::isotropic(3, 0.05))));
+                factors.push(Arc::new(BetweenFactor::se2(
+                    Key(i - 1),
+                    Key(i),
+                    z,
+                    NoiseModel::isotropic(3, 0.05),
+                )));
             }
             // Slightly corrupted initial guess.
             let init = truth[i].compose(Se2::new(0.03, -0.02, 0.01));
@@ -300,7 +328,11 @@ mod tests {
         let est = solver.estimate();
         for (i, t) in truth.iter().enumerate() {
             let p = est.get(Key(i)).as_se2().copied().unwrap();
-            assert!(p.translation_distance(t) < 0.05, "pose {i}: {}", p.translation_distance(t));
+            assert!(
+                p.translation_distance(t) < 0.05,
+                "pose {i}: {}",
+                p.translation_distance(t)
+            );
         }
         assert_eq!(solver.last_deferred(), 0);
     }
@@ -327,10 +359,19 @@ mod tests {
         for i in 0..5 {
             let mut factors: Vec<Arc<dyn Factor>> = Vec::new();
             if i == 0 {
-                factors.push(Arc::new(PriorFactor::se2(Key(0), truth[0], NoiseModel::isotropic(3, 0.01))));
+                factors.push(Arc::new(PriorFactor::se2(
+                    Key(0),
+                    truth[0],
+                    NoiseModel::isotropic(3, 0.01),
+                )));
             } else {
                 let z = truth[i - 1].inverse().compose(truth[i]);
-                factors.push(Arc::new(BetweenFactor::se2(Key(i - 1), Key(i), z, NoiseModel::isotropic(3, 0.05))));
+                factors.push(Arc::new(BetweenFactor::se2(
+                    Key(i - 1),
+                    Key(i),
+                    z,
+                    NoiseModel::isotropic(3, 0.05),
+                )));
             }
             last = solver.step(Variable::Se2(truth[i]), factors);
         }

@@ -12,8 +12,13 @@
 use std::sync::Arc;
 
 use supernova_factors::{Factor, Key, Values, Variable};
-use supernova_runtime::{RelinCostModel, StepBudget, StepTrace};
+use supernova_hw::Platform;
+use supernova_runtime::{
+    exec_span, hw_span, simulate_step_traced, RelinCostModel, SchedulerConfig, StepBudget,
+    StepTrace,
+};
 use supernova_sparse::ParallelExecutor;
+use supernova_trace::{Category, Span, SpanGuard, TraceConfig};
 
 use crate::{OnlineSolver, RaIsam2, RaIsam2Config};
 
@@ -22,6 +27,9 @@ pub struct SolverEngine {
     solver: RaIsam2,
     steps: usize,
     generation: usize,
+    trace_cfg: TraceConfig,
+    trace_hw: Option<(Platform, SchedulerConfig)>,
+    last_span: Option<Span>,
 }
 
 impl std::fmt::Debug for SolverEngine {
@@ -37,7 +45,41 @@ impl std::fmt::Debug for SolverEngine {
 impl SolverEngine {
     /// A fresh engine over the given RA-ISAM2 configuration and cost model.
     pub fn new(config: RaIsam2Config, cost: Arc<dyn RelinCostModel>) -> Self {
-        SolverEngine { solver: RaIsam2::new(config, cost), steps: 0, generation: 0 }
+        SolverEngine {
+            solver: RaIsam2::new(config, cost),
+            steps: 0,
+            generation: 0,
+            trace_cfg: TraceConfig::default(),
+            trace_hw: None,
+            last_span: None,
+        }
+    }
+
+    /// Enables or disables span emission for subsequent steps. Disabled
+    /// (the default) costs one branch per step and nothing else.
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        self.trace_cfg = cfg;
+    }
+
+    /// The engine's current trace configuration.
+    pub fn trace_config(&self) -> TraceConfig {
+        self.trace_cfg
+    }
+
+    /// Additionally prices every traced step on `platform` with the
+    /// virtual-time scheduler and attaches the resulting `hw` span
+    /// (per-unit busy intervals in modeled cycles) to the step's tree.
+    /// Only consulted when tracing is enabled.
+    pub fn set_trace_hw(&mut self, platform: Platform, cfg: SchedulerConfig) {
+        self.trace_hw = Some((platform, cfg));
+    }
+
+    /// Takes the span tree built by the most recent traced step (`None`
+    /// when tracing is disabled or the span was already taken). The
+    /// caller — serving dispatcher or bench harness — wraps it in its own
+    /// root span and records it with a `Tracer`.
+    pub fn take_step_span(&mut self) -> Option<Span> {
+        self.last_span.take()
     }
 
     /// Installs the host executor numeric plans run on (engines in a pool
@@ -51,7 +93,54 @@ impl SolverEngine {
     /// factors), under the engine's current budget degradation.
     pub fn step(&mut self, initial: Variable, factors: Vec<Arc<dyn Factor>>) -> StepTrace {
         self.steps += 1;
-        self.solver.step(initial, factors)
+        if !self.trace_cfg.enabled {
+            return self.solver.step(initial, factors);
+        }
+        let guard = SpanGuard::begin("solver.step", Category::Solver);
+        let trace = self.solver.step(initial, factors);
+        self.last_span = Some(self.build_step_span(guard, &trace));
+        trace
+    }
+
+    /// Assembles the step's span tree from the records the step left
+    /// behind: zero-width solver markers (ticks = deterministic element
+    /// counts), the host executor's wall-clock `exec` span, and — when
+    /// [`set_trace_hw`](Self::set_trace_hw) configured a platform — the
+    /// simulator's virtual-time `hw` span.
+    fn build_step_span(&self, mut guard: SpanGuard, trace: &StepTrace) -> Span {
+        let select = Span::marker(
+            "solver.select",
+            Category::Solver,
+            trace.selection_nodes_visited as u64,
+        );
+        guard.child(select);
+        let mut relin = Span::marker(
+            "solver.relin",
+            Category::Solver,
+            trace.relin_jacobian_elems as u64,
+        );
+        relin.counters.set("factors", trace.relin_factors as u64);
+        guard.child(relin);
+        guard.child(Span::marker(
+            "solver.symbolic",
+            Category::Solver,
+            trace.symbolic_pattern_elems as u64,
+        ));
+        if let Some(sched) = self.solver.core().last_host_schedule() {
+            // A schedule that predates this span belongs to an earlier
+            // step (this step did no numeric refactor); don't attach it.
+            if sched.origin >= guard.start() {
+                guard.child(exec_span(sched, trace));
+            }
+        }
+        if let Some((platform, cfg)) = &self.trace_hw {
+            let (_, exec) = simulate_step_traced(platform, trace, cfg);
+            guard.child(hw_span(&exec, platform.soc().freq_hz));
+        }
+        guard.counter("step", self.steps as u64);
+        guard.counter("poses", self.solver.num_poses() as u64);
+        guard.counter("degradation", u64::from(self.solver.budget().degradation()));
+        guard.finish()
     }
 
     /// Steps processed since the last [`reset`](Self::reset).
@@ -118,6 +207,7 @@ impl SolverEngine {
         self.solver.reset();
         self.steps = 0;
         self.generation += 1;
+        self.last_span = None;
     }
 }
 
@@ -137,7 +227,9 @@ mod tests {
         for step in &ds.online_steps() {
             e.step(step.truth.clone(), step.factors.clone());
         }
-        let est = (0..e.num_poses()).map(|i| e.pose_estimate(Key(i))).collect();
+        let est = (0..e.num_poses())
+            .map(|i| e.pose_estimate(Key(i)))
+            .collect();
         (est, e.numeric_bytes().unwrap_or_default())
     }
 
@@ -156,14 +248,20 @@ mod tests {
         assert_eq!(recycled.steps(), 0);
         assert_eq!(recycled.num_poses(), 0);
         assert_eq!(recycled.generation(), 1);
-        assert!(recycled.numeric_bytes().is_none(), "numeric cache must clear");
+        assert!(
+            recycled.numeric_bytes().is_none(),
+            "numeric cache must clear"
+        );
         let (est_recycled, bytes_recycled) = replay(&mut recycled, &target);
 
         let mut fresh = engine();
         let (est_fresh, bytes_fresh) = replay(&mut fresh, &target);
 
         assert_eq!(est_recycled, est_fresh, "recycled estimates diverged");
-        assert_eq!(bytes_recycled, bytes_fresh, "recycled factor bytes diverged");
+        assert_eq!(
+            bytes_recycled, bytes_fresh,
+            "recycled factor bytes diverged"
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ fn scenario(rng: &mut XorShift64) -> Scenario {
             closures.push((from, to));
         }
     }
-    Scenario { truth, closures, noise_seed: rng.next_u64() }
+    Scenario {
+        truth,
+        closures,
+        noise_seed: rng.next_u64(),
+    }
 }
 
 fn drive(solver: &mut dyn OnlineSolver, sc: &Scenario) {
@@ -76,9 +80,14 @@ fn drive(solver: &mut dyn OnlineSolver, sc: &Scenario) {
         let init = if i == 0 {
             sc.truth[0]
         } else {
-            let prev = solver.pose_estimate(Key(i - 1)).as_se2().copied().expect("se2");
+            let prev = solver
+                .pose_estimate(Key(i - 1))
+                .as_se2()
+                .copied()
+                .expect("se2");
             let odom = sc.truth[i - 1].inverse().compose(sc.truth[i]);
-            prev.compose(odom).compose(Se2::new(noise(0.05), noise(0.05), noise(0.02)))
+            prev.compose(odom)
+                .compose(Se2::new(noise(0.05), noise(0.05), noise(0.02)))
         };
         solver.step(Variable::Se2(init), factors);
     }
@@ -110,7 +119,10 @@ fn unconstrained_ra_matches_isam2() {
         drive(&mut inc, &sc);
         let cost = Arc::new(CostModel::new(Platform::supernova(2)));
         let mut ra = RaIsam2::new(
-            RaIsam2Config { target_seconds: 100.0, ..RaIsam2Config::default() },
+            RaIsam2Config {
+                target_seconds: 100.0,
+                ..RaIsam2Config::default()
+            },
             cost,
         );
         drive(&mut ra, &sc);

@@ -29,7 +29,9 @@ pub struct Workspace {
 impl Workspace {
     /// An empty workspace; buffers grow on first use and are then reused.
     pub fn new() -> Self {
-        Workspace { front: Mat::zeros(0, 0) }
+        Workspace {
+            front: Mat::zeros(0, 0),
+        }
     }
 
     /// A workspace whose frontal buffer is pre-grown to hold `elems`
@@ -79,13 +81,22 @@ pub struct HostSchedule {
     pub spans: Vec<TaskSpan>,
     /// Number of workers the pool ran with.
     pub workers: usize,
+    /// When this execution began, in seconds on the process-global trace
+    /// epoch ([`supernova_trace::epoch_seconds`]) — span `start`/`end`
+    /// values are relative to this origin, so `origin + start` places a
+    /// task on the same timeline as every other traced subsystem.
+    pub origin: f64,
 }
 
 impl HostSchedule {
     /// Wall-clock duration from first start to last end, in seconds.
     pub fn makespan(&self) -> f64 {
         let end = self.spans.iter().map(|s| s.end).fold(0.0, f64::max);
-        let start = self.spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+        let start = self
+            .spans
+            .iter()
+            .map(|s| s.start)
+            .fold(f64::INFINITY, f64::min);
         if self.spans.is_empty() {
             0.0
         } else {
@@ -112,7 +123,9 @@ pub struct ParallelExecutor {
 impl ParallelExecutor {
     /// An executor with exactly `threads` workers (clamped to ≥ 1).
     pub fn new(threads: usize) -> Self {
-        ParallelExecutor { threads: threads.max(1) }
+        ParallelExecutor {
+            threads: threads.max(1),
+        }
     }
 
     /// A single-threaded (inline) executor.
@@ -128,7 +141,9 @@ impl ParallelExecutor {
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
             });
         ParallelExecutor::new(threads)
     }
@@ -147,7 +162,6 @@ impl Default for ParallelExecutor {
 }
 
 impl ParallelExecutor {
-
     /// Runs the plan's tasks flagged in `recompute`, calling `task_fn`
     /// exactly once per flagged task after all its flagged children have
     /// completed. `task_fn` publishes each task's result itself (the
@@ -184,6 +198,7 @@ fn run_serial<E, F>(
 where
     F: Fn(usize, &mut Workspace) -> Result<(), E>,
 {
+    let epoch = supernova_trace::epoch_seconds();
     let origin = Instant::now();
     let mut ws = Workspace::with_capacity(plan.max_workspace_elems());
     let mut spans = Vec::new();
@@ -194,12 +209,31 @@ where
         let start = origin.elapsed().as_secs_f64();
         let res = task_fn(s, &mut ws);
         let end = origin.elapsed().as_secs_f64();
-        spans.push(TaskSpan { node: s, worker: 0, start, end });
+        spans.push(TaskSpan {
+            node: s,
+            worker: 0,
+            start,
+            end,
+        });
         if let Err(e) = res {
-            return (Err(e), HostSchedule { spans, workers: 1 });
+            return (
+                Err(e),
+                HostSchedule {
+                    spans,
+                    workers: 1,
+                    origin: epoch,
+                },
+            );
         }
     }
-    (Ok(()), HostSchedule { spans, workers: 1 })
+    (
+        Ok(()),
+        HostSchedule {
+            spans,
+            workers: 1,
+            origin: epoch,
+        },
+    )
 }
 
 /// Shared pool state: the ready queue plus progress/abort flags.
@@ -227,11 +261,7 @@ where
     let pending: Vec<AtomicUsize> = tasks
         .iter()
         .map(|t| {
-            let n = t
-                .merges
-                .iter()
-                .filter(|m| recompute[m.child])
-                .count();
+            let n = t.merges.iter().filter(|m| recompute[m.child]).count();
             AtomicUsize::new(n)
         })
         .collect();
@@ -246,6 +276,7 @@ where
         abort: AtomicBool::new(false),
     };
     let errors: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
+    let epoch = supernova_trace::epoch_seconds();
     let origin = Instant::now();
     let nworkers = threads.min(total.max(1));
 
@@ -270,8 +301,11 @@ where
                             {
                                 return spans;
                             }
-                            if let Some(pos) =
-                                q.iter().enumerate().min_by_key(|&(_, &t)| t).map(|(i, _)| i)
+                            if let Some(pos) = q
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|&(_, &t)| t)
+                                .map(|(i, _)| i)
                             {
                                 break q.swap_remove(pos);
                             }
@@ -282,7 +316,12 @@ where
                     let start = origin.elapsed().as_secs_f64();
                     let res = task_fn(task, &mut ws);
                     let end = origin.elapsed().as_secs_f64();
-                    spans.push(TaskSpan { node: task, worker, start, end });
+                    spans.push(TaskSpan {
+                        node: task,
+                        worker,
+                        start,
+                        end,
+                    });
                     match res {
                         Ok(()) => {
                             if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -322,7 +361,11 @@ where
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.node.cmp(&b.node))
     });
-    let sched = HostSchedule { spans: all_spans, workers: nworkers };
+    let sched = HostSchedule {
+        spans: all_spans,
+        workers: nworkers,
+        origin: epoch,
+    };
     let mut errs = errors.into_inner().unwrap_or_default();
     if errs.is_empty() {
         (Ok(()), sched)
@@ -354,14 +397,11 @@ mod tests {
         for threads in [1usize, 2, 4] {
             let counts: Vec<AtomicUsize> =
                 (0..plan.num_tasks()).map(|_| AtomicUsize::new(0)).collect();
-            let (res, sched) = ParallelExecutor::new(threads).run::<(), _>(
-                &plan,
-                &recompute,
-                |s, _ws| {
+            let (res, sched) =
+                ParallelExecutor::new(threads).run::<(), _>(&plan, &recompute, |s, _ws| {
                     counts[s].fetch_add(1, Ordering::SeqCst);
                     Ok(())
-                },
-            );
+                });
             assert!(res.is_ok());
             assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
             assert_eq!(sched.spans.len(), plan.num_tasks());
@@ -378,12 +418,15 @@ mod tests {
         let marks: Vec<(AtomicU64, AtomicU64)> = (0..plan.num_tasks())
             .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
             .collect();
-        let (res, _) =
-            ParallelExecutor::new(3).run::<(), _>(&plan, &recompute, |s, _ws| {
-                marks[s].0.store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
-                marks[s].1.store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
-                Ok(())
-            });
+        let (res, _) = ParallelExecutor::new(3).run::<(), _>(&plan, &recompute, |s, _ws| {
+            marks[s]
+                .0
+                .store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+            marks[s]
+                .1
+                .store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+            Ok(())
+        });
         assert!(res.is_ok());
         for task in plan.tasks() {
             for mg in &task.merges {
@@ -407,11 +450,10 @@ mod tests {
         let tail = *plan.postorder().last().expect("nonempty"); // lint: allow(unwrap)
         recompute[tail] = true;
         let ran = AtomicUsize::new(0);
-        let (res, sched) =
-            ParallelExecutor::new(4).run::<(), _>(&plan, &recompute, |_s, _ws| {
-                ran.fetch_add(1, Ordering::SeqCst);
-                Ok(())
-            });
+        let (res, sched) = ParallelExecutor::new(4).run::<(), _>(&plan, &recompute, |_s, _ws| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
         assert!(res.is_ok());
         assert_eq!(ran.load(Ordering::SeqCst), 1);
         assert_eq!(sched.spans.len(), 1);
@@ -422,11 +464,14 @@ mod tests {
         let plan = plan_of(12);
         let recompute = vec![true; plan.num_tasks()];
         for threads in [1usize, 4] {
-            let (res, _) = ParallelExecutor::new(threads).run::<usize, _>(
-                &plan,
-                &recompute,
-                |s, _ws| if s == 0 { Err(s) } else { Ok(()) },
-            );
+            let (res, _) =
+                ParallelExecutor::new(threads).run::<usize, _>(&plan, &recompute, |s, _ws| {
+                    if s == 0 {
+                        Err(s)
+                    } else {
+                        Ok(())
+                    }
+                });
             assert_eq!(res, Err(0));
         }
     }
@@ -441,15 +486,11 @@ mod tests {
     fn makespan_and_busy_time_are_consistent() {
         let plan = plan_of(10);
         let recompute = vec![true; plan.num_tasks()];
-        let (res, sched) = ParallelExecutor::new(2).run::<(), _>(
-            &plan,
-            &recompute,
-            |_s, ws| {
-                // Touch the workspace so the buffer path is exercised.
-                ws.front_mut().reset(4, 4);
-                Ok(())
-            },
-        );
+        let (res, sched) = ParallelExecutor::new(2).run::<(), _>(&plan, &recompute, |_s, ws| {
+            // Touch the workspace so the buffer path is exercised.
+            ws.front_mut().reset(4, 4);
+            Ok(())
+        });
         assert!(res.is_ok());
         assert!(sched.makespan() >= 0.0);
         assert!(sched.busy_time() >= 0.0);

@@ -129,7 +129,9 @@ impl NumericFactor {
         sym: &SymbolicFactor,
         h: &BlockMat,
     ) -> Result<(Self, RefactorStats), FactorizeError> {
-        let mut factor = NumericFactor { nodes: vec![None; sym.nodes().len()] };
+        let mut factor = NumericFactor {
+            nodes: vec![None; sym.nodes().len()],
+        };
         let all: Vec<usize> = (0..sym.num_blocks()).collect();
         let stats = factor.refactor(sym, h, &all)?;
         Ok((factor, stats))
@@ -162,7 +164,9 @@ impl NumericFactor {
     /// An empty factor sized for `plan` — the starting point for a from-
     /// scratch [`execute_plan`](Self::execute_plan) (every node is seeded).
     pub fn empty(plan: &ExecutionPlan) -> Self {
-        NumericFactor { nodes: vec![None; plan.num_tasks()] }
+        NumericFactor {
+            nodes: vec![None; plan.num_tasks()],
+        }
     }
 
     /// Incrementally (re)factorizes by executing `plan` on `exec`.
@@ -224,7 +228,9 @@ impl NumericFactor {
         for (s, task) in plan.tasks().iter().enumerate() {
             if !is_recompute[s] {
                 // lint: allow(unwrap) — signature match proved the node is cached
-                let nf = old.remove(&task.sig.0).expect("reused node missing from cache");
+                let nf = old
+                    .remove(&task.sig.0)
+                    .expect("reused node missing from cache"); // lint: allow(unwrap)
                 debug_assert_eq!(nf.sig, task.sig);
                 let _ = slots[s].set((nf, OpTrace::new()));
                 reused += 1;
@@ -255,7 +261,10 @@ impl NumericFactor {
         self.nodes = nodes;
 
         // Report traces in plan postorder so stats are executor-independent.
-        let mut stats = RefactorStats { recomputed: Vec::new(), reused };
+        let mut stats = RefactorStats {
+            recomputed: Vec::new(),
+            reused,
+        };
         for &s in plan.postorder() {
             if let Some(ops) = traces[s].take() {
                 stats.recomputed.push(NodeTrace { node: s, ops });
@@ -441,8 +450,13 @@ fn compute_task(
         }
     }
     if asm_blocks > 0 {
-        trace.push(Op::Memcpy { bytes: asm_elems * 4 });
-        trace.push(Op::ScatterAdd { blocks: asm_blocks, elems: asm_elems });
+        trace.push(Op::Memcpy {
+            bytes: asm_elems * 4,
+        });
+        trace.push(Op::ScatterAdd {
+            blocks: asm_blocks,
+            elems: asm_elems,
+        });
     }
 
     // Extend-add each child's cached update matrix (the merge step), in
@@ -453,18 +467,31 @@ fn compute_task(
         let (child, _) = slots[mg.child].get().expect("child factored after parent");
         for b in &mg.blocks {
             front.add_block_from(
-                b.dst_row, b.dst_col, &child.update, b.src_row, b.src_col, b.rows, b.cols,
+                b.dst_row,
+                b.dst_col,
+                &child.update,
+                b.src_row,
+                b.src_col,
+                b.rows,
+                b.cols,
             );
         }
         if !mg.blocks.is_empty() {
-            trace.push(Op::Memcpy { bytes: mg.elems * 4 });
-            trace.push(Op::ScatterAdd { blocks: mg.blocks.len(), elems: mg.elems });
+            trace.push(Op::Memcpy {
+                bytes: mg.elems * 4,
+            });
+            trace.push(Op::ScatterAdd {
+                blocks: mg.blocks.len(),
+                elems: mg.elems,
+            });
         }
     }
 
     // Three-step partial factorization (Figure 5, bottom).
-    partial_cholesky_in_place(front, m)
-        .map_err(|e| FactorizeError { node: s, front_col: e.col() })?;
+    partial_cholesky_in_place(front, m).map_err(|e| FactorizeError {
+        node: s,
+        front_col: e.col(),
+    })?;
     trace.push(Op::Chol { n: m });
     if n > 0 {
         trace.push(Op::Trsm { m: n, n: m });
@@ -473,9 +500,20 @@ fn compute_task(
 
     // Copy the supernode columns out of the frontal workspace.
     let l = front.block(0, 0, t, m);
-    let update = if n > 0 { front.block(m, m, n, n) } else { Mat::zeros(0, 0) };
+    let update = if n > 0 {
+        front.block(m, m, n, n)
+    } else {
+        Mat::zeros(0, 0)
+    };
     trace.push(Op::Memcpy { bytes: t * m * 4 });
-    Ok((NodeFactor { l, update, sig: task.sig }, trace))
+    Ok((
+        NodeFactor {
+            l,
+            update,
+            sig: task.sig,
+        },
+        trace,
+    ))
 }
 
 /// `x[rows] -= v`, scattering block-contiguous `v` into the global vector.
@@ -531,7 +569,12 @@ mod tests {
         h
     }
 
-    fn assert_matches_dense(pattern: &BlockPattern, h: &BlockMat, num: &NumericFactor, sym: &SymbolicFactor) {
+    fn assert_matches_dense(
+        pattern: &BlockPattern,
+        h: &BlockMat,
+        num: &NumericFactor,
+        sym: &SymbolicFactor,
+    ) {
         let dense = h.to_dense();
         let mut l_ref = dense.clone();
         cholesky_in_place(&mut l_ref).unwrap();
@@ -801,7 +844,9 @@ mod tests {
         bad.add_to_block(1, 1, &Mat::from_rows(1, 1, &[1.0]));
         let all = [0usize, 1];
         let mut num = NumericFactor::empty(&plan);
-        assert!(num.execute_plan(&plan, &bad, &all, &ParallelExecutor::new(2)).is_err());
+        assert!(num
+            .execute_plan(&plan, &bad, &all, &ParallelExecutor::new(2))
+            .is_err());
         // A good system factorizes fine afterwards.
         let good = build_h(&p, 3);
         let (stats, _) = num

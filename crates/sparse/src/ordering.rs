@@ -22,7 +22,10 @@ pub struct Permutation {
 impl Permutation {
     /// Identity permutation on `n` indices.
     pub fn identity(n: usize) -> Self {
-        Permutation { new_of_old: (0..n).collect(), old_of_new: (0..n).collect() }
+        Permutation {
+            new_of_old: (0..n).collect(),
+            old_of_new: (0..n).collect(),
+        }
     }
 
     /// Builds a permutation from the `new_of_old` map.
@@ -34,10 +37,16 @@ impl Permutation {
         let n = new_of_old.len();
         let mut old_of_new = vec![usize::MAX; n];
         for (old, &new) in new_of_old.iter().enumerate() {
-            assert!(new < n && old_of_new[new] == usize::MAX, "not a permutation");
+            assert!(
+                new < n && old_of_new[new] == usize::MAX,
+                "not a permutation"
+            );
             old_of_new[new] = old;
         }
-        Permutation { new_of_old, old_of_new }
+        Permutation {
+            new_of_old,
+            old_of_new,
+        }
     }
 
     /// Number of indices.
@@ -172,6 +181,9 @@ mod tests {
         let natural = SymbolicFactor::analyze(&p, 0).fill_blocks();
         let q = p.permuted(&min_degree(&p));
         let ordered = SymbolicFactor::analyze(&q, 0).fill_blocks();
-        assert!(ordered <= natural, "min-degree made fill worse: {ordered} > {natural}");
+        assert!(
+            ordered <= natural,
+            "min-degree made fill worse: {ordered} > {natural}"
+        );
     }
 }

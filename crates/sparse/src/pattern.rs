@@ -72,7 +72,10 @@ impl BlockPattern {
     ///
     /// Panics if either index is out of bounds.
     pub fn add_block_edge(&mut self, a: usize, b: usize) {
-        assert!(a < self.num_blocks() && b < self.num_blocks(), "block index out of bounds");
+        assert!(
+            a < self.num_blocks() && b < self.num_blocks(),
+            "block index out of bounds"
+        );
         if a == b {
             return;
         }

@@ -177,7 +177,11 @@ impl ExecutionPlan {
                         elems += h * w;
                     }
                 }
-                merges.push(ChildMerge { child: c, blocks, elems });
+                merges.push(ChildMerge {
+                    child: c,
+                    blocks,
+                    elems,
+                });
             }
 
             let front = info.front_dim();
@@ -216,7 +220,9 @@ impl ExecutionPlan {
         }
 
         let max_workspace_elems = tasks.iter().map(|t| t.workspace_elems).max().unwrap_or(0);
-        let node_of_block = (0..sym.num_blocks()).map(|b| sym.node_of_block(b)).collect();
+        let node_of_block = (0..sym.num_blocks())
+            .map(|b| sym.node_of_block(b))
+            .collect();
         ExecutionPlan {
             tasks,
             postorder,

@@ -446,7 +446,10 @@ mod tests {
             if let Some(parent) = node.parent {
                 let prow = &sym.nodes()[parent].rows;
                 for r in node.remainder_rows() {
-                    assert!(prow.contains(r), "remainder row {r} missing from parent front");
+                    assert!(
+                        prow.contains(r),
+                        "remainder row {r} missing from parent front"
+                    );
                 }
             }
         }

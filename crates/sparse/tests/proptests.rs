@@ -35,7 +35,11 @@ fn problem(rng: &mut XorShift64) -> Problem {
     let mut h = BlockMat::new(dims.clone());
     for j in 0..n {
         for &i in pattern.col(j) {
-            h.add_to_block(i, j, &Mat::from_fn(dims[i], dims[j], |_, _| rng.gen_range(-0.2, 0.2)));
+            h.add_to_block(
+                i,
+                j,
+                &Mat::from_fn(dims[i], dims[j], |_, _| rng.gen_range(-0.2, 0.2)),
+            );
         }
         let deg = pattern.col(j).len() as f64;
         h.add_to_block(j, j, &Mat::from_diag(&vec![5.0 + 3.0 * deg; dims[j]]));
@@ -101,7 +105,9 @@ fn incremental_refactor_equals_fresh() {
         // Perturb the diagonal of each dirty block and refactor.
         let mut h2 = p.h.clone();
         let nb = p.pattern.num_blocks();
-        let dirty: Vec<usize> = (0..1 + rng.gen_index(3)).map(|_| rng.gen_index(nb)).collect();
+        let dirty: Vec<usize> = (0..1 + rng.gen_index(3))
+            .map(|_| rng.gen_index(nb))
+            .collect();
         for &d in &dirty {
             let dim = p.pattern.block_dims()[d];
             h2.add_to_block(d, d, &Mat::from_diag(&vec![1.0; dim]));
@@ -113,7 +119,10 @@ fn incremental_refactor_equals_fresh() {
         let b = fresh.to_dense_l(&sym);
         for i in 0..sym.total_dim() {
             for j in 0..=i {
-                assert!((a[(i, j)] - b[(i, j)]).abs() < 1e-8, "case {case} at ({i},{j})");
+                assert!(
+                    (a[(i, j)] - b[(i, j)]).abs() < 1e-8,
+                    "case {case} at ({i},{j})"
+                );
             }
         }
     }
@@ -140,7 +149,9 @@ fn refactor_after_growth_equals_fresh() {
         h.add_to_block(
             new,
             last,
-            &Mat::from_fn(new_dim, p.pattern.block_dims()[last], |r, c| 0.1 * (r + c) as f64),
+            &Mat::from_fn(new_dim, p.pattern.block_dims()[last], |r, c| {
+                0.1 * (r + c) as f64
+            }),
         );
 
         let sym1 = SymbolicFactor::analyze(&pattern, 0);
@@ -150,7 +161,10 @@ fn refactor_after_growth_equals_fresh() {
         let b = fresh.to_dense_l(&sym1);
         for i in 0..sym1.total_dim() {
             for j in 0..=i {
-                assert!((a[(i, j)] - b[(i, j)]).abs() < 1e-8, "case {case} at ({i},{j})");
+                assert!(
+                    (a[(i, j)] - b[(i, j)]).abs() < 1e-8,
+                    "case {case} at ({i},{j})"
+                );
             }
         }
     }

@@ -1,0 +1,315 @@
+//! Compact binary trace encoding (`SNVT`), for golden-file tests.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "SNVT" | version u16 | key: session u64, seq u64, step u64
+//! string table: count u32, then per string: len u32, utf-8 bytes
+//! span tree (pre-order recursive):
+//!   name_idx u32 | cat u8 | timebase u8 | track u32
+//!   start f64-bits u64 | end f64-bits u64 | ticks u64
+//!   n_counters u32, per counter: name_idx u32, value u64
+//!   n_children u32, children...
+//! ```
+//!
+//! The string table is sorted, so encoding a canonical trace (see
+//! [`Trace::canonical`]) yields byte-identical output across runs —
+//! exactly what the committed golden fixtures rely on.
+
+use std::collections::BTreeMap;
+
+use crate::span::{Category, CounterSet, Span, StepKey, Timebase};
+use crate::tracer::Trace;
+
+const MAGIC: &[u8; 4] = b"SNVT";
+const VERSION: u16 = 1;
+const MAX_DEPTH: usize = 512;
+
+/// Why a byte buffer failed to decode as a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Buffer ended before the structure was complete.
+    Truncated,
+    /// The magic prefix was not `SNVT`.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// A string-table index was out of range.
+    BadStringIndex(u32),
+    /// An enum discriminant byte was out of range.
+    BadDiscriminant(u8),
+    /// A string-table entry was not valid UTF-8.
+    BadUtf8,
+    /// The span tree nested deeper than the decoder allows.
+    TooDeep,
+    /// Trailing bytes after a complete trace.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "buffer truncated"),
+            CodecError::BadMagic => write!(f, "bad magic (want SNVT)"),
+            CodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            CodecError::BadStringIndex(i) => write!(f, "string index {i} out of range"),
+            CodecError::BadDiscriminant(d) => write!(f, "bad enum discriminant {d}"),
+            CodecError::BadUtf8 => write!(f, "string table entry is not UTF-8"),
+            CodecError::TooDeep => write!(f, "span tree nested deeper than {MAX_DEPTH}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after trace"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn gather_strings<'a>(span: &'a Span, table: &mut BTreeMap<&'a str, u32>) {
+    table.entry(span.name.as_str()).or_insert(0);
+    for (name, _) in span.counters.iter() {
+        table.entry(name).or_insert(0);
+    }
+    for c in &span.children {
+        gather_strings(c, table);
+    }
+}
+
+fn encode_span(span: &Span, table: &BTreeMap<&str, u32>, out: &mut Vec<u8>) {
+    out.extend_from_slice(&table[span.name.as_str()].to_le_bytes());
+    out.push(match span.cat {
+        Category::Serve => 0,
+        Category::Solver => 1,
+        Category::Exec => 2,
+        Category::Hw => 3,
+    });
+    out.push(match span.timebase {
+        Timebase::Wall => 0,
+        Timebase::Virtual => 1,
+    });
+    out.extend_from_slice(&span.track.to_le_bytes());
+    out.extend_from_slice(&span.start.to_bits().to_le_bytes());
+    out.extend_from_slice(&span.end.to_bits().to_le_bytes());
+    out.extend_from_slice(&span.ticks.to_le_bytes());
+    out.extend_from_slice(&(span.counters.len() as u32).to_le_bytes());
+    for (name, value) in span.counters.iter() {
+        out.extend_from_slice(&table[name].to_le_bytes());
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    out.extend_from_slice(&(span.children.len() as u32).to_le_bytes());
+    for c in &span.children {
+        encode_span(c, table, out);
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.bytes(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+}
+
+fn decode_span(c: &mut Cursor<'_>, strings: &[String], depth: usize) -> Result<Span, CodecError> {
+    if depth > MAX_DEPTH {
+        return Err(CodecError::TooDeep);
+    }
+    let lookup = |i: u32, strings: &[String]| -> Result<String, CodecError> {
+        strings
+            .get(i as usize)
+            .cloned()
+            .ok_or(CodecError::BadStringIndex(i))
+    };
+    let name = lookup(c.u32()?, strings)?;
+    let cat = match c.u8()? {
+        0 => Category::Serve,
+        1 => Category::Solver,
+        2 => Category::Exec,
+        3 => Category::Hw,
+        d => return Err(CodecError::BadDiscriminant(d)),
+    };
+    let timebase = match c.u8()? {
+        0 => Timebase::Wall,
+        1 => Timebase::Virtual,
+        d => return Err(CodecError::BadDiscriminant(d)),
+    };
+    let track = c.u32()?;
+    let start = f64::from_bits(c.u64()?);
+    let end = f64::from_bits(c.u64()?);
+    let ticks = c.u64()?;
+    let n_counters = c.u32()?;
+    let mut counters = CounterSet::new();
+    for _ in 0..n_counters {
+        let cname = lookup(c.u32()?, strings)?;
+        let value = c.u64()?;
+        counters.set(&cname, value);
+    }
+    let n_children = c.u32()?;
+    let mut children = Vec::new();
+    for _ in 0..n_children {
+        children.push(decode_span(c, strings, depth + 1)?);
+    }
+    Ok(Span {
+        name,
+        cat,
+        timebase,
+        track,
+        start,
+        end,
+        ticks,
+        counters,
+        children,
+    })
+}
+
+impl Trace {
+    /// Encodes the trace as `SNVT` bytes. Encoding a
+    /// [`canonical`](Trace::canonical) trace is deterministic.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut table: BTreeMap<&str, u32> = BTreeMap::new();
+        gather_strings(&self.root, &mut table);
+        for (i, (_, idx)) in table.iter_mut().enumerate() {
+            *idx = i as u32;
+        }
+        let mut out = Vec::with_capacity(64 + self.span_count() * 48);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.key.session.to_le_bytes());
+        out.extend_from_slice(&self.key.seq.to_le_bytes());
+        out.extend_from_slice(&self.key.step.to_le_bytes());
+        out.extend_from_slice(&(table.len() as u32).to_le_bytes());
+        for (s, _) in &table {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        encode_span(&self.root, &table, &mut out);
+        out
+    }
+
+    /// Decodes `SNVT` bytes produced by [`to_bytes`](Trace::to_bytes).
+    pub fn from_bytes(buf: &[u8]) -> Result<Trace, CodecError> {
+        let mut c = Cursor { buf, pos: 0 };
+        if c.bytes(4)? != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = c.u16()?;
+        if version != VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let key = StepKey {
+            session: c.u64()?,
+            seq: c.u64()?,
+            step: c.u64()?,
+        };
+        let n_strings = c.u32()?;
+        let mut strings = Vec::new();
+        for _ in 0..n_strings {
+            let len = c.u32()? as usize;
+            let bytes = c.bytes(len)?;
+            strings.push(String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)?);
+        }
+        let root = decode_span(&mut c, &strings, 0)?;
+        if c.pos != buf.len() {
+            return Err(CodecError::TrailingBytes(buf.len() - c.pos));
+        }
+        Ok(Trace { key, root })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut root = Span::wall("serve.dispatch", Category::Serve, 4.25, 4.5);
+        root.track = 1;
+        root.counters.set("level", 2);
+        let mut solver = Span::wall("solver.step", Category::Solver, 4.26, 4.49);
+        solver.counters.set("poses", 17);
+        let mut hw = Span::virtual_time("hw", Category::Hw, 0.0, 1.5e-3, 123456);
+        hw.children.push(Span::virtual_time(
+            "hw.unit COMP0",
+            Category::Hw,
+            0.0,
+            1.0e-3,
+            99999,
+        ));
+        solver.children.push(hw);
+        solver
+            .children
+            .push(Span::marker("solver.relin", Category::Solver, 4200));
+        root.children.push(solver);
+        Trace {
+            key: StepKey {
+                session: 9,
+                seq: 3,
+                step: 4,
+            },
+            root,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        let back = Trace::from_bytes(&bytes).expect("decode");
+        assert_eq!(back, t);
+        // Canonical bytes are deterministic: two encodes agree.
+        assert_eq!(t.canonical().to_bytes(), t.canonical().to_bytes());
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        assert_eq!(Trace::from_bytes(&bytes[..3]), Err(CodecError::Truncated));
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(Trace::from_bytes(&bad_magic), Err(CodecError::BadMagic));
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xEE;
+        assert!(matches!(
+            Trace::from_bytes(&bad_version),
+            Err(CodecError::BadVersion(_))
+        ));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            Trace::from_bytes(&trailing),
+            Err(CodecError::TrailingBytes(1))
+        );
+        // Truncation anywhere in the body must error, never panic.
+        for cut in (8..bytes.len()).step_by(7) {
+            assert!(Trace::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Chrome trace-event (`chrome://tracing` / Perfetto) JSON export.
+//!
+//! Two exports with different contracts:
+//!
+//! - [`Trace::to_chrome_json`] — the **canonical** export. Timestamps are
+//!   derived from each span's deterministic `ticks` (1 tick = 1 µs in the
+//!   viewer), children are laid out sequentially inside their parent in
+//!   canonical order, and worker tracks are normalized away. The output is
+//!   byte-identical across runs and across host thread counts; golden
+//!   tests and CI diff it directly.
+//! - [`Trace::to_chrome_json_wall`] — the **profile** export. Real wall
+//!   (and simulator virtual) intervals in microseconds, one viewer row per
+//!   worker track. Not deterministic; meant for humans.
+
+use crate::span::{Span, Timebase};
+use crate::tracer::Trace;
+
+/// Escapes a string for a JSON string literal (ASCII control, quote,
+/// backslash).
+fn esc(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// The canonical-layout duration of a span: at least its own ticks, at
+/// least the sum of its children, never zero (so every span is visible).
+fn canonical_dur(span: &Span) -> u64 {
+    let child_sum: u64 = span.children.iter().map(canonical_dur).sum();
+    span.ticks.max(child_sum).max(1)
+}
+
+fn write_args(span: &Span, trace: Option<&Trace>, out: &mut String) {
+    out.push_str("\"args\":{");
+    let mut first = true;
+    if let Some(t) = trace {
+        out.push_str(&format!(
+            "\"session\":{},\"seq\":{},\"step\":{}",
+            t.key.session, t.key.seq, t.key.step
+        ));
+        first = false;
+    }
+    if span.ticks > 0 {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("\"ticks\":{}", span.ticks));
+        first = false;
+    }
+    for (name, value) in span.counters.iter() {
+        if !first {
+            out.push(',');
+        }
+        out.push('"');
+        esc(name, out);
+        out.push_str(&format!("\":{value}"));
+        first = false;
+    }
+    out.push('}');
+}
+
+fn emit_canonical(span: &Span, ts: u64, trace: Option<&Trace>, out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("{\"name\":\"");
+    esc(&span.name, out);
+    out.push_str("\",\"cat\":\"");
+    out.push_str(span.cat.as_str());
+    out.push_str("\",\"ph\":\"X\",\"ts\":");
+    out.push_str(&ts.to_string());
+    out.push_str(&format!(
+        ",\"dur\":{},\"pid\":1,\"tid\":0,",
+        canonical_dur(span)
+    ));
+    write_args(span, trace, out);
+    out.push('}');
+    let mut child_ts = ts;
+    for c in &span.children {
+        emit_canonical(c, child_ts, None, out, first);
+        child_ts += canonical_dur(c);
+    }
+}
+
+fn emit_wall(span: &Span, base: f64, trace: Option<&Trace>, out: &mut String, first: &mut bool) {
+    // Markers have no interval of their own; they surface via their
+    // parent's args in the profile view.
+    if span.has_interval() {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        let (ts, tid) = match span.timebase {
+            Timebase::Wall => ((span.start - base) * 1e6, span.track),
+            // Virtual spans render on their own lane block so the two
+            // timebases do not visually interleave.
+            Timebase::Virtual => (span.start * 1e6, 100 + span.track),
+        };
+        out.push_str("{\"name\":\"");
+        esc(&span.name, out);
+        out.push_str("\",\"cat\":\"");
+        out.push_str(span.cat.as_str());
+        out.push_str(&format!(
+            "\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{tid},",
+            span.duration() * 1e6
+        ));
+        write_args(span, trace, out);
+        out.push('}');
+    }
+    for c in &span.children {
+        emit_wall(c, base, None, out, first);
+    }
+}
+
+impl Trace {
+    /// The canonical Chrome trace-event JSON document for this step.
+    ///
+    /// Deterministic: byte-identical across runs at any host thread count
+    /// for the same workload. Timestamps are tick-derived (1 tick = 1 µs),
+    /// children are packed sequentially inside their parent.
+    pub fn to_chrome_json(&self) -> String {
+        let canon = self.canonical();
+        let mut out = String::with_capacity(canon.span_count() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        emit_canonical(&canon.root, 0, Some(&canon), &mut out, &mut first);
+        out.push_str("]}");
+        out
+    }
+
+    /// The wall-clock (profile) Chrome trace-event JSON document:
+    /// real intervals in microseconds, one `tid` per worker track,
+    /// virtual-time hardware spans on `tid >= 100`. Not deterministic.
+    pub fn to_chrome_json_wall(&self) -> String {
+        let mut out = String::with_capacity(self.span_count() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        emit_wall(
+            &self.root,
+            self.root.start,
+            Some(self),
+            &mut out,
+            &mut first,
+        );
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One wall-clock Chrome document spanning many traces (e.g. everything a
+/// serving run recorded), on a shared timeline anchored at the earliest
+/// root start. This is what `serve_tcp --trace` and the step bench dump.
+pub fn chrome_document_wall(traces: &[Trace]) -> String {
+    let base = traces
+        .iter()
+        .map(|t| t.root.start)
+        .fold(f64::INFINITY, f64::min);
+    let base = if base.is_finite() { base } else { 0.0 };
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for t in traces {
+        emit_wall(&t.root, base, Some(t), &mut out, &mut first);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Category, CounterSet, StepKey};
+
+    fn sample() -> Trace {
+        let mut root = Span::wall("solver.step", Category::Solver, 10.0, 10.5);
+        root.counters.set("poses", 42);
+        let mut task_b = Span::wall("exec.task", Category::Exec, 10.1, 10.2);
+        task_b.ticks = 30;
+        task_b.counters.set("node", 5);
+        task_b.track = 1;
+        let mut task_a = Span::wall("exec.task", Category::Exec, 10.2, 10.3);
+        task_a.ticks = 20;
+        task_a.counters.set("node", 2);
+        let mut exec = Span::wall("exec", Category::Exec, 10.05, 10.4);
+        exec.ticks = 50;
+        exec.children = vec![task_b, task_a];
+        root.children.push(exec);
+        root.children
+            .push(Span::virtual_time("hw", Category::Hw, 0.0, 2.0e-3, 9000));
+        Trace {
+            key: StepKey {
+                session: 3,
+                seq: 7,
+                step: 8,
+            },
+            root,
+        }
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_orders_children() {
+        let t = sample();
+        let json = t.to_chrome_json();
+        // Same content with children emitted in a different order and
+        // different wall times / tracks must export identically.
+        let mut shuffled = t.clone();
+        shuffled.root.children.reverse();
+        shuffled.root.children[1].children.reverse();
+        shuffled.root.start = 99.0;
+        shuffled.root.end = 99.9;
+        shuffled.root.children[1].children[0].track = 3;
+        assert_eq!(shuffled.to_chrome_json(), json);
+        // tick-derived layout: exec dur = max(50, 30+20, 1) = 50, root
+        // dur = max(0, 50 + 9000, 1).
+        assert!(
+            json.contains("\"name\":\"exec\",\"cat\":\"exec\",\"ph\":\"X\",\"ts\":0,\"dur\":50")
+        );
+        assert!(json.contains("\"dur\":9050"));
+        assert!(json.contains("\"session\":3,\"seq\":7,\"step\":8"));
+        // node 2 sorts before node 5 in canonical order.
+        let n2 = json.find("\"node\":2").expect("node 2 present");
+        let n5 = json.find("\"node\":5").expect("node 5 present");
+        assert!(n2 < n5);
+    }
+
+    #[test]
+    fn wall_json_uses_real_intervals() {
+        let t = sample();
+        let json = t.to_chrome_json_wall();
+        // Root starts at ts 0 (anchored at its own start), 0.5 s long.
+        assert!(json.contains("\"ts\":0.000,\"dur\":500000.000"));
+        // Virtual hw span lands on the tid >= 100 block.
+        assert!(json.contains("\"tid\":100"));
+        // Worker track of task_b survives.
+        assert!(json.contains("\"tid\":1"));
+        let doc = chrome_document_wall(&[t.clone(), t]);
+        assert!(doc.starts_with("{\"displayTimeUnit\""));
+        assert!(doc.ends_with("]}"));
+    }
+
+    #[test]
+    fn escapes_hostile_names() {
+        let mut c = CounterSet::new();
+        c.set("a\"b", 1);
+        let mut root = Span::marker("we\\ird\n", Category::Serve, 1);
+        root.counters = c;
+        let t = Trace {
+            key: StepKey::default(),
+            root,
+        };
+        let json = t.to_chrome_json();
+        assert!(json.contains("we\\\\ird\\n"));
+        assert!(json.contains("a\\\"b"));
+    }
+}

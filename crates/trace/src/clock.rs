@@ -1,0 +1,19 @@
+//! A process-global monotonic clock shared by every emission site.
+//!
+//! Spans from different crates (serve dispatcher, solver engine, host
+//! executor) must land on one timeline for parent/child containment to be
+//! checkable. `Instant`s are not comparable across independently captured
+//! origins, so everything samples seconds since a single lazily
+//! initialized epoch instead.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Seconds elapsed since the process-global trace epoch (the first call to
+/// this function anywhere in the process). Monotonic, comparable across
+/// threads and crates.
+pub fn epoch_seconds() -> f64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+}

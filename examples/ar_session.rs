@@ -27,19 +27,33 @@ fn main() {
         eval_stride: 0,
     };
 
-    for kind in [SolverKind::Incremental, SolverKind::ResourceAware { sets: 2 }] {
+    for kind in [
+        SolverKind::Incremental,
+        SolverKind::ResourceAware { sets: 2 },
+    ] {
         let mut solver = kind.build(TARGET, 0.05);
         let rec = run_online(&dataset, solver.as_mut(), &cfg, None);
         let totals = rec.totals(0);
         let s = BoxStats::from_samples(&totals);
         println!("\n{}:", rec.solver);
-        println!("  median {:.2} ms | q3 {:.2} ms | worst {:.2} ms", s.median * 1e3, s.q3 * 1e3, s.max * 1e3);
-        println!("  deadline misses: {:.1} %", miss_rate(&totals, TARGET) * 100.0);
+        println!(
+            "  median {:.2} ms | q3 {:.2} ms | worst {:.2} ms",
+            s.median * 1e3,
+            s.q3 * 1e3,
+            s.max * 1e3
+        );
+        println!(
+            "  deadline misses: {:.1} %",
+            miss_rate(&totals, TARGET) * 100.0
+        );
         // Show the worst five steps — for ISAM2 these are the loop closures.
         let mut worst: Vec<(usize, f64)> = totals.iter().copied().enumerate().collect();
         worst.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-        let tail: Vec<String> =
-            worst.iter().take(5).map(|(i, t)| format!("step {i}: {:.1} ms", t * 1e3)).collect();
+        let tail: Vec<String> = worst
+            .iter()
+            .take(5)
+            .map(|(i, t)| format!("step {i}: {:.1} ms", t * 1e3))
+            .collect();
         println!("  worst steps: {}", tail.join(", "));
     }
     println!("\nexpected: ISAM2's worst steps blow through 33.3 ms on loop closures;");

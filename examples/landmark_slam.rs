@@ -26,7 +26,11 @@ fn main() {
     let truth_poses: Vec<Se2> = (0..n_poses)
         .map(|i| {
             let a = 2.0 * std::f64::consts::PI * i as f64 / n_poses as f64;
-            Se2::new(6.0 * a.cos(), 6.0 * a.sin(), a + std::f64::consts::FRAC_PI_2)
+            Se2::new(
+                6.0 * a.cos(),
+                6.0 * a.sin(),
+                a + std::f64::consts::FRAC_PI_2,
+            )
         })
         .collect();
     let truth_landmarks: Vec<[f64; 2]> = (0..12)
@@ -54,9 +58,14 @@ fn main() {
         let initial = if i == 0 {
             *pose
         } else {
-            let prev = core.pose_estimate(pose_keys[i - 1]).as_se2().copied().unwrap();
+            let prev = core
+                .pose_estimate(pose_keys[i - 1])
+                .as_se2()
+                .copied()
+                .unwrap();
             let odom = truth_poses[i - 1].inverse().compose(*pose);
-            prev.compose(odom).compose(Se2::new(noise(0.05), noise(0.05), noise(0.02)))
+            prev.compose(odom)
+                .compose(Se2::new(noise(0.05), noise(0.05), noise(0.02)))
         };
         let pose_key = core.add_variable(Variable::Se2(initial));
         pose_keys.push(pose_key);
@@ -109,8 +118,14 @@ fn main() {
 
     // Accuracy of the incremental estimate vs the batch optimum.
     let (batch, stats) = BatchSolver::default().solve(core.graph(), &core.estimate());
-    println!("incremental landmark SLAM over {} variables:", core.num_vars());
-    println!("  batch solver converged in {} iterations", stats.iterations);
+    println!(
+        "incremental landmark SLAM over {} variables:",
+        core.num_vars()
+    );
+    println!(
+        "  batch solver converged in {} iterations",
+        stats.iterations
+    );
     let mut worst = 0.0f64;
     for (k, v) in core.estimate().iter() {
         worst = worst.max(v.translation_distance(batch.get(k)));
@@ -127,5 +142,7 @@ fn main() {
     }
     println!("  worst landmark error vs ground truth: {lm_err:.3} m");
     assert!(worst < 0.1, "incremental should track the batch optimum");
-    println!("\nposes and landmarks estimated jointly — the factor-graph backend is type-agnostic.");
+    println!(
+        "\nposes and landmarks estimated jointly — the factor-graph backend is type-agnostic."
+    );
 }

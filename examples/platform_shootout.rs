@@ -50,5 +50,7 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    println!("\nsee `cargo run --release -p supernova-bench --bin repro -- fig8` for all datasets.");
+    println!(
+        "\nsee `cargo run --release -p supernova-bench --bin repro -- fig8` for all datasets."
+    );
 }

@@ -25,11 +25,17 @@ fn main() {
     let reference = Reference::compute(&dataset, 10);
 
     // The full stack: RA-ISAM2 + runtime + the 2-accelerator-set SoC model.
-    let mut system = SuperNova::new(SuperNovaConfig { accel_sets: 2, ..Default::default() });
+    let mut system = SuperNova::new(SuperNovaConfig {
+        accel_sets: 2,
+        ..Default::default()
+    });
     let outcome = system.run_online_with_reference(&dataset, &reference);
 
     let stats = outcome.latency_stats();
-    println!("\nper-step backend latency on {}:", system.platform().name());
+    println!(
+        "\nper-step backend latency on {}:",
+        system.platform().name()
+    );
     println!("  median : {:.3} ms", stats.median * 1e3);
     println!("  q3     : {:.3} ms", stats.q3 * 1e3);
     println!("  max    : {:.3} ms  (target 33.333 ms)", stats.max * 1e3);
@@ -38,6 +44,9 @@ fn main() {
     println!("  MAX    : {:.4} m", outcome.max_error());
     println!("  iRMSE  : {:.4} m", outcome.irmse());
 
-    assert!(outcome.miss_rate() == 0.0, "RA-ISAM2 should always meet the deadline");
+    assert!(
+        outcome.miss_rate() == 0.0,
+        "RA-ISAM2 should always meet the deadline"
+    );
     println!("\nevery step met the 30 FPS deadline — resource-aware selection at work.");
 }

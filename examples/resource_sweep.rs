@@ -24,8 +24,14 @@ fn main() {
     );
     let reference = Reference::compute(&dataset, 15);
 
-    let mut table =
-        Table::new(&["accelerator sets", "median (ms)", "max (ms)", "miss rate", "MAX (m)", "iRMSE (m)"]);
+    let mut table = Table::new(&[
+        "accelerator sets",
+        "median (ms)",
+        "max (ms)",
+        "miss rate",
+        "MAX (m)",
+        "iRMSE (m)",
+    ]);
     for sets in [1usize, 2, 4] {
         let mut system = SuperNova::new(SuperNovaConfig {
             accel_sets: sets,

@@ -1,24 +1,88 @@
 #!/usr/bin/env sh
-# Offline CI gate: build, test, then lint + schedule-invariant sweep.
+# Offline CI gate for the SuperNoVA workspace.
+#
+# Stages, in order (each is a named, timed gate; the run stops at the
+# first failure):
+#
+#   fmt          cargo fmt --check
+#   build        release build of the workspace (+ bench-harness bins)
+#   test         cargo test -q --workspace
+#   doc          cargo doc --no-deps with warnings denied
+#   lint         supernova-analyze lint + schedule/ledger/trace invariants
+#   determinism  serial vs 2/4-thread factorization bit-identity
+#   serve-smoke  serving layer: bit-identity, overload, trace cross-check
+#   bench        regenerate results/BENCH_*.json (step_bench + load_gen)
+#   bench-check  compare fresh benchmarks against results/baselines/
+#
 # No network access required — the workspace has no external dependencies
-# and the lint/invariant pass is the in-tree supernova-analyze binary.
+# and every gate is an in-tree binary. Per-stage wall-clock timings are
+# printed as each stage finishes and written, machine-readable, to
+# results/ci_stage_times.json.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release --workspace
+STAGE_JSON=""
 
-echo "==> cargo test"
-cargo test -q --workspace
+now() {
+    # GNU date gives nanoseconds; fall back to whole seconds elsewhere.
+    date +%s.%N 2>/dev/null || date +%s
+}
 
-echo "==> lint + invariants"
-cargo run -q -p supernova-analyze --bin lint
+TOTAL_START=$(now)
 
-echo "==> host-executor determinism (serial vs 2/4-thread factorization)"
-cargo run --release -q -p supernova-bench --bin determinism
+# stage <name> <command...> — echo, run, time, and record one gate.
+stage() {
+    _name="$1"
+    shift
+    echo "==> $_name: $*"
+    _start=$(now)
+    "$@"
+    _end=$(now)
+    _wall=$(awk "BEGIN { printf \"%.3f\", $_end - $_start }")
+    echo "==> $_name: ok (${_wall}s)"
+    if [ -n "$STAGE_JSON" ]; then
+        STAGE_JSON="$STAGE_JSON,
+"
+    fi
+    STAGE_JSON="$STAGE_JSON    { \"name\": \"$_name\", \"wall_s\": $_wall }"
+}
 
-echo "==> serving layer smoke (4 sessions x 2 workers: bit-identity, zero sheds, degradation)"
-cargo run --release -q -p supernova-serve --bin serve_smoke
+doc_deny_warnings() {
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+}
 
-echo "ci: all gates passed"
+build_all() {
+    cargo build --release --workspace
+    cargo build --release -p supernova-bench --features bench-harness
+}
+
+bench_regen() {
+    cargo run --release -q -p supernova-bench --features bench-harness --bin step_bench
+    cargo run --release -q -p supernova-serve --bin load_gen >/dev/null
+}
+
+stage fmt cargo fmt --all --check
+stage build build_all
+stage test cargo test -q --workspace
+stage doc doc_deny_warnings
+stage lint cargo run -q -p supernova-analyze --bin lint
+stage determinism cargo run --release -q -p supernova-bench --bin determinism
+stage serve-smoke cargo run --release -q -p supernova-serve --bin serve_smoke
+stage bench bench_regen
+stage bench-check cargo run --release -q -p supernova-bench --bin bench_check
+
+TOTAL_END=$(now)
+TOTAL_WALL=$(awk "BEGIN { printf \"%.3f\", $TOTAL_END - $TOTAL_START }")
+
+mkdir -p results
+cat > results/ci_stage_times.json <<EOF
+{
+  "stages": [
+$STAGE_JSON
+  ],
+  "total_s": $TOTAL_WALL
+}
+EOF
+
+echo "ci: all gates passed in ${TOTAL_WALL}s (timings: results/ci_stage_times.json)"

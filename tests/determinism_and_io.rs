@@ -18,7 +18,11 @@ fn identical_runs_produce_identical_latencies_and_errors() {
     };
     let a = make();
     let b = make();
-    assert_eq!(a.totals(0), b.totals(0), "virtual-time scheduler must be deterministic");
+    assert_eq!(
+        a.totals(0),
+        b.totals(0),
+        "virtual-time scheduler must be deterministic"
+    );
 }
 
 #[test]
@@ -40,7 +44,10 @@ fn g2o_roundtrip_preserves_solver_behaviour() {
 
     let run = |ds: &Dataset| {
         let mut solver = SolverKind::Incremental.build(1.0 / 30.0, 0.05);
-        let cfg = ExperimentConfig { pricings: vec![], eval_stride: 0 };
+        let cfg = ExperimentConfig {
+            pricings: vec![],
+            eval_stride: 0,
+        };
         run_online(ds, solver.as_mut(), &cfg, None);
         solver.estimate()
     };

@@ -15,7 +15,10 @@ fn run(
     reference: Option<&Reference>,
 ) -> supernova::core::RunRecord {
     let mut solver = kind.build(TARGET, 0.05);
-    let cfg = ExperimentConfig { pricings, eval_stride: 15 };
+    let cfg = ExperimentConfig {
+        pricings,
+        eval_stride: 15,
+    };
     run_online(ds, solver.as_mut(), &cfg, reference)
 }
 
@@ -28,7 +31,12 @@ fn ra_isam2_never_misses_the_deadline_on_any_dataset() {
         Dataset::cab2_scaled(0.04),
     ] {
         let kind = SolverKind::ResourceAware { sets: 2 };
-        let rec = run(&ds, kind, vec![PricingTarget::new("sn2", kind.platform())], None);
+        let rec = run(
+            &ds,
+            kind,
+            vec![PricingTarget::new("sn2", kind.platform())],
+            None,
+        );
         let rate = miss_rate(&rec.totals(0), TARGET);
         assert_eq!(rate, 0.0, "RA-ISAM2 missed the deadline on {}", ds.name());
     }
@@ -48,9 +56,18 @@ fn resource_aware_caps_the_tail_that_isam2_does_not() {
         None,
     );
     let ra_kind = SolverKind::ResourceAware { sets: 2 };
-    let ra = run(&ds, ra_kind, vec![PricingTarget::new("sn2", ra_kind.platform())], None);
+    let ra = run(
+        &ds,
+        ra_kind,
+        vec![PricingTarget::new("sn2", ra_kind.platform())],
+        None,
+    );
     let worst = |v: &[f64]| v.iter().fold(0.0f64, |m, &x| m.max(x));
-    assert!(worst(&ra.totals(0)) <= TARGET, "RA worst step {} over target", worst(&ra.totals(0)));
+    assert!(
+        worst(&ra.totals(0)) <= TARGET,
+        "RA worst step {} over target",
+        worst(&ra.totals(0))
+    );
     // If ISAM2 blew the deadline, RA must have been the cheaper worst case.
     if worst(&inc.totals(0)) > TARGET {
         assert!(worst(&inc.totals(0)) >= worst(&ra.totals(0)));
@@ -100,8 +117,14 @@ fn supernova_hardware_beats_embedded_baselines_on_dense_graphs() {
     let total = |p: usize| rec.totals(p).iter().sum::<f64>();
     let numeric = |p: usize| rec.numerics(p).iter().sum::<f64>();
     assert!(total(3) < total(0), "SuperNoVA total must beat BOOM");
-    assert!(numeric(3) < numeric(1), "SuperNoVA numeric must beat the DSP");
-    assert!(numeric(3) < numeric(2), "SuperNoVA numeric must beat Spatula (MEM+SIU co-design)");
+    assert!(
+        numeric(3) < numeric(1),
+        "SuperNoVA numeric must beat the DSP"
+    );
+    assert!(
+        numeric(3) < numeric(2),
+        "SuperNoVA numeric must beat Spatula (MEM+SIU co-design)"
+    );
 }
 
 #[test]
@@ -119,7 +142,12 @@ fn more_accelerator_sets_reduce_incremental_latency() {
     );
     let sums: Vec<f64> = (0..3).map(|p| rec.totals(p).iter().sum()).collect();
     assert!(sums[1] < sums[0], "2 sets {} !< 1 set {}", sums[1], sums[0]);
-    assert!(sums[2] < sums[1], "4 sets {} !< 2 sets {}", sums[2], sums[1]);
+    assert!(
+        sums[2] < sums[1],
+        "4 sets {} !< 2 sets {}",
+        sums[2],
+        sums[1]
+    );
 }
 
 #[test]
@@ -127,12 +155,20 @@ fn incremental_tracks_reference_closely() {
     let ds = Dataset::cab1_scaled(0.3);
     let reference = Reference::compute(&ds, 20);
     let rec = run(&ds, SolverKind::Incremental, vec![], Some(&reference));
-    assert!(rec.irmse < 0.2, "ISAM2 should track the reference, iRMSE {}", rec.irmse);
+    assert!(
+        rec.irmse < 0.2,
+        "ISAM2 should track the reference, iRMSE {}",
+        rec.irmse
+    );
 }
 
 /// Drive a solver over the first steps of a dataset and return every
 /// per-step work trace it emits.
-fn collect_traces(ds: &Dataset, kind: SolverKind, steps: usize) -> Vec<supernova::runtime::StepTrace> {
+fn collect_traces(
+    ds: &Dataset,
+    kind: SolverKind,
+    steps: usize,
+) -> Vec<supernova::runtime::StepTrace> {
     use supernova::solvers::OnlineSolver;
     let mut solver = kind.build(TARGET, 0.05);
     ds.online_steps()

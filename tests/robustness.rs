@@ -7,7 +7,10 @@ use supernova::datasets::Dataset;
 
 fn irmse_of(ds: &Dataset, reference: &Reference) -> f64 {
     let mut solver = SolverKind::Incremental.build(1.0 / 30.0, 0.02);
-    let cfg = ExperimentConfig { pricings: vec![], eval_stride: 20 };
+    let cfg = ExperimentConfig {
+        pricings: vec![],
+        eval_stride: 20,
+    };
     run_online(ds, solver.as_mut(), &cfg, Some(reference)).irmse
 }
 
