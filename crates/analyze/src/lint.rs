@@ -20,6 +20,12 @@
 //!   `serve`'s dispatcher and TCP front-end) — all other host parallelism
 //!   goes through those pools so the bit-identical-results argument holds
 //!   everywhere.
+//! - **hot-alloc**: no heap allocation (`Vec::new`, `vec!`, `.to_vec(`,
+//!   `with_capacity`, `Mat::zeros`, `.block(`) in the blocked-kernel files
+//!   or the multifrontal task body — the steady-state refactorization loop
+//!   is zero-alloc by design (pooled `KernelScratch` arenas + persistent
+//!   executor workspaces); any deliberate cold-path allocation must carry
+//!   an allow with its justification.
 //!
 //! Any line can opt out with `// lint: allow(<rule>)` on the same line or
 //! the line directly above — the escape hatch is the documentation.
@@ -42,6 +48,8 @@ pub enum Rule {
     CrateAttrs,
     /// `thread::spawn` / `thread::scope` outside the allowlisted pools.
     ThreadSpawn,
+    /// Heap allocation in the blocked-kernel hot path.
+    HotAlloc,
 }
 
 impl Rule {
@@ -53,6 +61,7 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::CrateAttrs => "crate-attrs",
             Rule::ThreadSpawn => "thread-spawn",
+            Rule::HotAlloc => "hot-alloc",
         }
     }
 }
@@ -116,6 +125,34 @@ const FLOAT_EQ_SCOPES: [&str; 2] = ["crates/linalg/src", "crates/sparse/src"];
 const THREAD_SPAWN_ALLOWLIST: [&str; 2] = [
     "crates/sparse/src/executor.rs",
     "crates/serve/src/dispatch.rs",
+];
+
+/// Files whose *entire* non-test contents are hot-alloc scope: the blocked
+/// dense kernels and the plan executor (every line of these is either on
+/// the per-task hot path or a documented cold-path setup that carries an
+/// allow).
+const HOT_ALLOC_FILE_SCOPES: [&str; 4] = [
+    "crates/linalg/src/kernels.rs",
+    "crates/linalg/src/blas.rs",
+    "crates/linalg/src/cholesky.rs",
+    "crates/sparse/src/executor.rs",
+];
+
+/// `(file, fn name)` pairs whose function body (brace extent) is hot-alloc
+/// scope: the multifrontal task body runs once per supernode per step.
+const HOT_ALLOC_FN_SCOPES: [(&str, &str); 1] = [("crates/sparse/src/numeric.rs", "compute_task")];
+
+/// Allocation-shaped tokens the hot-alloc rule flags. Method-call forms
+/// are matched with their leading `.`/`::` so `fn with_capacity(...)`
+/// definitions don't fire.
+const HOT_ALLOC_TOKENS: [&str; 7] = [
+    "Vec::new",
+    "vec!",
+    ".to_vec(",
+    ".with_capacity(",
+    "::with_capacity(",
+    "Mat::zeros(",
+    ".block(",
 ];
 
 fn in_scope(rel: &str, scopes: &[&str]) -> bool {
@@ -346,12 +383,20 @@ pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
     let check_float = in_scope(rel, &FLOAT_EQ_SCOPES);
     let check_unwrap = unwrap_scope(rel);
     let check_thread_spawn = !THREAD_SPAWN_ALLOWLIST.contains(&rel);
+    let hot_alloc_file = in_scope(rel, &HOT_ALLOC_FILE_SCOPES);
+    let hot_alloc_fns: Vec<&str> = HOT_ALLOC_FN_SCOPES
+        .iter()
+        .filter(|(f, _)| *f == rel)
+        .map(|(_, name)| *name)
+        .collect();
     let crate_root = is_crate_root(rel);
 
     let mut lexer = Lexer::new();
     let mut depth: i64 = 0;
     // Brace depth *above* which we are inside a #[cfg(test)] mod.
     let mut test_mod_exit: Option<i64> = None;
+    // Brace depth *above* which we are inside a hot-alloc-scoped fn.
+    let mut hot_fn_exit: Option<i64> = None;
     let mut pending_cfg_test = false;
     let mut prev_raw: Option<&str> = None;
 
@@ -390,9 +435,25 @@ pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
             }
         }
 
+        // Track the brace extents of hot-alloc-scoped fns (entered on the
+        // signature line, left when depth returns to the entry level).
+        if hot_fn_exit.is_none()
+            && hot_alloc_fns
+                .iter()
+                .any(|name| stripped.contains(&format!("fn {name}")))
+        {
+            hot_fn_exit = Some(depth);
+        }
+        let in_hot_fn = hot_fn_exit.is_some();
+
         let opens = stripped.matches('{').count() as i64;
         let closes = stripped.matches('}').count() as i64;
         depth += opens - closes;
+        if let Some(exit) = hot_fn_exit {
+            if depth <= exit {
+                hot_fn_exit = None;
+            }
+        }
         if let Some(exit) = test_mod_exit {
             if depth <= exit {
                 test_mod_exit = None;
@@ -445,6 +506,23 @@ pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
                     "direct thread spawn outside the allowlisted worker pools (route \
                      host parallelism through sparse::ParallelExecutor or the serve \
                      dispatcher so results stay bit-identical): `{}`",
+                    raw.trim()
+                ),
+            });
+        }
+
+        if (hot_alloc_file || in_hot_fn)
+            && HOT_ALLOC_TOKENS.iter().any(|t| stripped.contains(t))
+            && !allowed(raw, prev_raw, Rule::HotAlloc)
+        {
+            out.push(Violation {
+                file: path.clone(),
+                line: lineno,
+                rule: Rule::HotAlloc,
+                message: format!(
+                    "heap allocation in the blocked-kernel hot path (use the pooled \
+                     KernelScratch / persistent workspace buffers, or document a \
+                     cold-path allocation with an allow): `{}`",
                     raw.trim()
                 ),
             });
@@ -627,6 +705,65 @@ mod tests {
         // Test modules are exempt like every other rule.
         let test_mod = "#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(f); }\n}\n";
         assert!(lint_file("crates/runtime/src/sched.rs", test_mod).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_fires_in_kernel_files_only() {
+        let src = "fn pack() { let v: Vec<f64> = Vec::new(); }\n";
+        for hot in HOT_ALLOC_FILE_SCOPES {
+            let v = lint_file(hot, src);
+            assert_eq!(
+                v.iter().filter(|v| v.rule == Rule::HotAlloc).count(),
+                1,
+                "{hot}"
+            );
+        }
+        // Out-of-scope files allocate freely.
+        assert!(lint_file("crates/datasets/src/manhattan.rs", src).is_empty());
+        assert!(lint_file("crates/linalg/src/matrix.rs", src).is_empty());
+        // Test modules are exempt like every other rule.
+        let test_mod = "#[cfg(test)]\nmod tests {\n    fn g() { let v = vec![0.0; 4]; }\n}\n";
+        assert!(lint_file("crates/linalg/src/kernels.rs", test_mod).is_empty());
+    }
+    #[test]
+    fn hot_alloc_tokens_each_fire_and_fn_defs_do_not() {
+        for tok in [
+            "let a = Vec::new();",
+            "let b = vec![0.0; n];",
+            "let c = s.to_vec();",
+            "let d = Vec::with_capacity(n);",
+            "let e = buf.with_capacity(n);",
+            "let f = Mat::zeros(3, 3);",
+            "let g = m.block(0, 0, 2, 2);",
+        ] {
+            let src = format!("fn f() {{ {tok} }}\n");
+            let v = lint_file("crates/linalg/src/kernels.rs", &src);
+            assert_eq!(
+                v.iter().filter(|v| v.rule == Rule::HotAlloc).count(),
+                1,
+                "{tok}"
+            );
+        }
+        // A `with_capacity` *definition* is not a call.
+        let def = "pub fn with_capacity(elems: usize) -> Self { Self::grow(elems) }\n";
+        assert!(lint_file("crates/linalg/src/kernels.rs", def).is_empty());
+        // The escape hatch documents deliberate cold-path allocations.
+        let ok = "let v = Vec::with_capacity(n); // lint: allow(hot-alloc) — ctor\n";
+        assert!(lint_file("crates/linalg/src/kernels.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_fn_scope_covers_only_that_fn() {
+        let (file, name) = HOT_ALLOC_FN_SCOPES[0];
+        let src = format!(
+            "fn cold() {{ let v = Vec::new(); }}\n\
+             fn {name}(x: usize) -> usize {{\n    let v = vec![0.0; x];\n    x\n}}\n\
+             fn also_cold() {{ let w = Mat::zeros(2, 2); }}\n"
+        );
+        let v = lint_file(file, &src);
+        let hot: Vec<_> = v.iter().filter(|v| v.rule == Rule::HotAlloc).collect();
+        assert_eq!(hot.len(), 1, "{v:?}");
+        assert_eq!(hot[0].line, 3);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!
 //! - `results/BENCH_step_latency.json`    vs `results/baselines/BENCH_step_latency.json`
 //! - `results/BENCH_serve_throughput.json` vs `results/baselines/BENCH_serve_throughput.json`
+//! - `results/BENCH_kernels.json`          vs `results/baselines/BENCH_kernels.json`
 //!
 //! Two kinds of sub-check, named per dataset/scenario:
 //!
@@ -30,6 +31,14 @@
 //!   gated on their conserved invariants: the whole burst is accounted
 //!   for and every admitted update completed.
 //!
+//! The kernel check is ratio-based rather than wall-based: each case's
+//! blocked-vs-reference speedup is measured within one process run, so
+//! host frequency scaling cancels out of the gated number. Fresh speedups
+//! must meet the `min_speedup` floors recorded in the committed baseline
+//! (scaled by `BENCH_CHECK_KERNEL_SPEEDUP_SCALE`, default 1.0, for
+//! foreign hardware); per-call flop counts are shape-derived and gated
+//! exactly.
+//!
 //! `results/README.md` documents the baseline-refresh workflow. Exits
 //! with the shared `Report` summary line naming any failed checks.
 
@@ -42,6 +51,8 @@ const FRESH_STEP: &str = "results/BENCH_step_latency.json";
 const BASE_STEP: &str = "results/baselines/BENCH_step_latency.json";
 const FRESH_SERVE: &str = "results/BENCH_serve_throughput.json";
 const BASE_SERVE: &str = "results/baselines/BENCH_serve_throughput.json";
+const FRESH_KERNELS: &str = "results/BENCH_kernels.json";
+const BASE_KERNELS: &str = "results/baselines/BENCH_kernels.json";
 
 /// Loads and parses one artifact, turning both I/O and parse failures
 /// into a named FAIL so a missing file reads like any other red check.
@@ -284,6 +295,58 @@ fn check_serve_throughput(report: &mut Report, gate: &Gate) {
     }
 }
 
+fn check_kernels(report: &mut Report) {
+    let (Some(fresh), Some(base)) = (
+        load(report, "kernels/load-fresh", FRESH_KERNELS),
+        load(report, "kernels/load-baseline", BASE_KERNELS),
+    ) else {
+        return;
+    };
+    let scale = std::env::var("BENCH_CHECK_KERNEL_SPEEDUP_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let base_names = names(&base, "cases");
+    report.check(
+        "kernels/coverage",
+        names(&fresh, "cases") == base_names && !base_names.is_empty(),
+        &format!("baseline cases {base_names:?}"),
+    );
+    for case in &base_names {
+        let (Some(f), Some(b)) = (
+            by_name(&fresh, "cases", case),
+            by_name(&base, "cases", case),
+        ) else {
+            continue;
+        };
+        // Per-call flops are a pure function of the case's shape.
+        exact(
+            report,
+            &format!("kernels/{case}/flops"),
+            f.get("flops_per_call").and_then(Json::as_f64),
+            b.get("flops_per_call").and_then(Json::as_f64),
+        );
+        // The ratio gate: measured same-run speedup vs the baseline floor.
+        let speedup = f.get("speedup_vs_reference").and_then(Json::as_f64);
+        let floor = b.get("min_speedup").and_then(Json::as_f64);
+        match (speedup, floor) {
+            (Some(s), Some(fl)) => {
+                let limit = fl * scale;
+                report.check(
+                    &format!("kernels/{case}/speedup"),
+                    s >= limit,
+                    &format!("{s:.2}x vs floor {limit:.2}x"),
+                );
+            }
+            _ => report.check(
+                &format!("kernels/{case}/speedup"),
+                false,
+                "speedup or floor missing",
+            ),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let gate = Gate::from_env();
     eprintln!(
@@ -294,5 +357,6 @@ fn main() -> ExitCode {
     let mut report = Report::new();
     check_step_latency(&mut report, &gate);
     check_serve_throughput(&mut report, &gate);
+    check_kernels(&mut report);
     report.finish("bench_check")
 }

@@ -1,9 +1,23 @@
 //! Dense and partial (frontal) Cholesky factorization.
+//!
+//! Both entry points share one blocked right-looking driver that factors
+//! the leading `pivots` columns of a front **in place**: per `NB`-wide
+//! panel it runs an unblocked Cholesky on the diagonal block, a blocked
+//! TRSM on everything below it (against a packed copy of the diagonal
+//! block, so no aliasing), and a blocked SYRK on the trailing lower
+//! triangle. When `pivots == n` that is full Cholesky; when `pivots < n`
+//! the trailing block ends up holding exactly the Schur complement
+//! `C − L_B L_Bᵀ` — the multifrontal update matrix (§3.2) — because the
+//! right-looking trailing updates accumulate it panel by panel. Unlike the
+//! earlier implementation there are no `block()`/`set_block()` round
+//! trips, so a warm [`KernelScratch`] makes the whole factorization
+//! allocation-free.
 
 use std::error::Error;
 use std::fmt;
 
-use crate::{syrk_lower, trsm_right_lower_transpose, Mat};
+use crate::kernels::{syrk_core, trsm_core, KernelScratch, MutView, View};
+use crate::Mat;
 
 /// The matrix handed to a Cholesky factorization was not (numerically)
 /// symmetric positive definite.
@@ -30,11 +44,105 @@ impl fmt::Display for NotPositiveDefiniteError {
 
 impl Error for NotPositiveDefiniteError {}
 
+/// Panel width of the blocked factorization: panels stay in cache and the
+/// below-panel / trailing updates run through the packed BLAS-3 kernels.
+/// Defined next to the kernels so [`KernelScratch::reserve`] can pre-size
+/// the triangular-panel buffer to `NB²`.
+const NB: usize = crate::kernels::CHOL_NB;
+
+/// Factors the leading `pivots` columns of the `total × total` column-major
+/// matrix in `data` (leading dimension `ld`), right-looking: after the last
+/// panel, columns `0..pivots` hold `L_A` over `L_B` and the trailing
+/// `(total − pivots)²` lower triangle holds `C − L_B L_Bᵀ`.
+fn factor_columns(
+    data: &mut [f64],
+    ld: usize,
+    total: usize,
+    pivots: usize,
+    scratch: &mut KernelScratch,
+) -> Result<(), NotPositiveDefiniteError> {
+    let mut k = 0usize;
+    while k < pivots {
+        let b = NB.min(pivots - k);
+        cholesky_unblocked_raw(data, ld, k, b)?;
+        let below = total - k - b;
+        if below > 0 {
+            // Solve the full subcolumn against a packed copy of the diagonal
+            // block (separate storage, so the blocked TRSM can read L while
+            // writing the same columns of the front).
+            let mut lbuf = scratch.take_lpack(b * b);
+            for j in 0..b {
+                let src = &data[(k + j) * ld + k..(k + j) * ld + k + b];
+                lbuf[j * b..(j + 1) * b].copy_from_slice(src);
+            }
+            let lview = View::raw(&lbuf, b, 0, 0, b, b, false);
+            trsm_core(&lview, data, ld, k + b, k, below, b, scratch);
+            scratch.put_lpack(lbuf);
+
+            // Trailing update: the panel's columns and the trailing block
+            // are disjoint column ranges, so a column split gives aliasing-
+            // free views into the same front.
+            let (left, right) = data.split_at_mut((k + b) * ld);
+            let aview = View::raw(left, ld, k + b, k, below, b, false);
+            let mut cview = MutView::raw(right, ld, k + b, 0, below, below);
+            syrk_core(-1.0, &aview, &mut cview, scratch);
+        }
+        k += b;
+    }
+    Ok(())
+}
+
+/// Unblocked left-looking Cholesky of the `b × b` diagonal block at
+/// `(k, k)`; zeroes the block's strict upper triangle and reports pivot
+/// failures in global column coordinates.
+fn cholesky_unblocked_raw(
+    data: &mut [f64],
+    ld: usize,
+    k: usize,
+    b: usize,
+) -> Result<(), NotPositiveDefiniteError> {
+    for j in 0..b {
+        let cj = (k + j) * ld + k;
+        // d = a[j,j] - Σ_{p<j} L[j,p]²
+        let mut d = data[cj + j];
+        for p in 0..j {
+            let ljp = data[(k + p) * ld + k + j];
+            d -= ljp * ljp;
+        }
+        if !(d > 0.0) || !d.is_finite() {
+            return Err(NotPositiveDefiniteError { col: k + j });
+        }
+        let djj = d.sqrt();
+        data[cj + j] = djj;
+        for i in (j + 1)..b {
+            let mut s = data[cj + i];
+            for p in 0..j {
+                s -= data[(k + p) * ld + k + i] * data[(k + p) * ld + k + j];
+            }
+            data[cj + i] = s / djj;
+        }
+        for i in 0..j {
+            data[cj + i] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Zeroes the strict upper triangle of the leading `n × n` block.
+fn zero_strict_upper(data: &mut [f64], ld: usize, n: usize) {
+    for j in 1..n {
+        for x in &mut data[j * ld..j * ld + j.min(ld)] {
+            *x = 0.0;
+        }
+    }
+}
+
 /// Factors a symmetric positive-definite matrix in place: on success the
 /// lower triangle of `a` holds `L` with `a = L Lᵀ`.
 ///
 /// Only the lower triangle of the input is read; the strict upper triangle is
-/// zeroed on success so the result can be used directly as `L`.
+/// zeroed on success so the result can be used directly as `L`. Allocating
+/// wrapper over [`cholesky_in_place_scratch`].
 ///
 /// # Errors
 ///
@@ -56,67 +164,29 @@ impl Error for NotPositiveDefiniteError {}
 /// # Ok::<(), supernova_linalg::NotPositiveDefiniteError>(())
 /// ```
 pub fn cholesky_in_place(a: &mut Mat) -> Result<(), NotPositiveDefiniteError> {
-    assert_eq!(a.rows(), a.cols(), "cholesky requires a square matrix");
-    let n = a.rows();
-    // Blocked right-looking factorization above this size: panels stay in
-    // cache and the trailing updates run through the BLAS-3 kernels.
-    const NB: usize = 48;
-    if n <= NB {
-        return cholesky_unblocked(a, 0);
-    }
-    let mut k = 0usize;
-    while k < n {
-        let b = NB.min(n - k);
-        let mut akk = a.block(k, k, b, b);
-        cholesky_unblocked(&mut akk, k)?;
-        a.set_block(k, k, &akk);
-        let rest = n - k - b;
-        if rest > 0 {
-            let mut asub = a.block(k + b, k, rest, b);
-            trsm_right_lower_transpose(&akk, &mut asub);
-            a.set_block(k + b, k, &asub);
-            let mut trail = a.block(k + b, k + b, rest, rest);
-            syrk_lower(-1.0, &asub, 1.0, &mut trail);
-            a.set_block(k + b, k + b, &trail);
-        }
-        k += b;
-    }
-    // Zero the strict upper triangle so the result is usable as L directly.
-    for j in 1..n {
-        for i in 0..j {
-            a[(i, j)] = 0.0;
-        }
-    }
-    Ok(())
+    cholesky_in_place_scratch(a, &mut KernelScratch::new())
 }
 
-/// Unblocked left-looking Cholesky of `a`; pivot-failure columns are
-/// reported offset by `col_base` (the caller's panel origin).
-fn cholesky_unblocked(a: &mut Mat, col_base: usize) -> Result<(), NotPositiveDefiniteError> {
+/// [`cholesky_in_place`] with a caller-owned pack-buffer arena (zero-alloc
+/// when warm).
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefiniteError`] when a pivot is not strictly
+/// positive.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn cholesky_in_place_scratch(
+    a: &mut Mat,
+    scratch: &mut KernelScratch,
+) -> Result<(), NotPositiveDefiniteError> {
+    assert_eq!(a.rows(), a.cols(), "cholesky requires a square matrix");
     let n = a.rows();
-    for j in 0..n {
-        // d = a[j,j] - Σ_{p<j} L[j,p]²
-        let mut d = a[(j, j)];
-        for p in 0..j {
-            let ljp = a[(j, p)];
-            d -= ljp * ljp;
-        }
-        if !(d > 0.0) || !d.is_finite() {
-            return Err(NotPositiveDefiniteError { col: col_base + j });
-        }
-        let djj = d.sqrt();
-        a[(j, j)] = djj;
-        for i in (j + 1)..n {
-            let mut s = a[(i, j)];
-            for p in 0..j {
-                s -= a[(i, p)] * a[(j, p)];
-            }
-            a[(i, j)] = s / djj;
-        }
-        for i in 0..j {
-            a[(i, j)] = 0.0;
-        }
-    }
+    factor_columns(a.as_mut_slice(), n, n, n, scratch)?;
+    // Zero the strict upper triangle so the result is usable as L directly.
+    zero_strict_upper(a.as_mut_slice(), n, n);
     Ok(())
 }
 
@@ -131,6 +201,8 @@ fn cholesky_unblocked(a: &mut Mat, col_base: usize) -> Result<(), NotPositiveDef
 /// 3. `L_C = C − L_B L_Bᵀ` — the trailing `n × n` lower triangle holds the
 ///    update matrix that is scatter-added into the parent (the *merge* step).
 ///
+/// Allocating wrapper over [`partial_cholesky_scratch`].
+///
 /// # Errors
 ///
 /// Returns [`NotPositiveDefiniteError`] (with a column index relative to the
@@ -143,36 +215,40 @@ pub fn partial_cholesky_in_place(
     front: &mut Mat,
     pivots: usize,
 ) -> Result<(), NotPositiveDefiniteError> {
+    partial_cholesky_scratch(front, pivots, &mut KernelScratch::new())
+}
+
+/// [`partial_cholesky_in_place`] with a caller-owned pack-buffer arena —
+/// the multifrontal executor's per-worker hot path (zero-alloc when warm).
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefiniteError`] (with a column index relative to the
+/// front) if the pivot block is not positive definite.
+///
+/// # Panics
+///
+/// Panics if `front` is not square or `pivots > front.rows()`.
+pub fn partial_cholesky_scratch(
+    front: &mut Mat,
+    pivots: usize,
+    scratch: &mut KernelScratch,
+) -> Result<(), NotPositiveDefiniteError> {
     assert_eq!(front.rows(), front.cols(), "frontal matrix must be square");
     let total = front.rows();
     assert!(pivots <= total, "pivot count exceeds front size");
-    let n = total - pivots;
-
-    // Step 1: dense Cholesky of the pivot block A.
-    let mut la = front.block(0, 0, pivots, pivots);
-    cholesky_in_place(&mut la)?;
-    front.set_block(0, 0, &la);
-
-    if n == 0 {
-        return Ok(());
-    }
-
-    // Step 2: triangular solve L_B L_Aᵀ = B.
-    let mut lb = front.block(pivots, 0, n, pivots);
-    trsm_right_lower_transpose(&la, &mut lb);
-    front.set_block(pivots, 0, &lb);
-
-    // Step 3: symmetric rank-k update L_C = C − L_B L_Bᵀ (lower triangle).
-    let mut lc = front.block(pivots, pivots, n, n);
-    syrk_lower(-1.0, &lb, 1.0, &mut lc);
-    front.set_block(pivots, pivots, &lc);
+    factor_columns(front.as_mut_slice(), total, total, pivots, scratch)?;
+    // The pivot block's strict upper triangle is zeroed (so the leading
+    // columns are usable as L directly); everything right of the pivot
+    // columns is left untouched, as before.
+    zero_strict_upper(front.as_mut_slice(), total, pivots);
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{gemm, Transpose};
+    use crate::{gemm, syrk_lower, Transpose};
 
     fn spd(n: usize, seed: u64) -> Mat {
         // Deterministic pseudo-random well-conditioned SPD matrix.
@@ -240,6 +316,27 @@ mod tests {
     }
 
     #[test]
+    fn scratch_variant_is_bit_identical() {
+        // Same code path with or without a warm arena: scratch contents
+        // must never leak into values.
+        let a = spd(120, 9);
+        let mut plain = a.clone();
+        cholesky_in_place(&mut plain).unwrap();
+        let mut scratch = KernelScratch::with_capacity(crate::kernels::pack_elems_bound(120));
+        let mut warm = a.clone();
+        cholesky_in_place_scratch(&mut warm, &mut scratch).unwrap();
+        // Run again warm to ensure reuse doesn't perturb anything.
+        let mut warm2 = a.clone();
+        cholesky_in_place_scratch(&mut warm2, &mut scratch).unwrap();
+        for (x, y) in plain.as_slice().iter().zip(warm.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in warm.as_slice().iter().zip(warm2.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
     fn partial_factorization_matches_full() {
         // Factor the full SPD matrix, then verify the partial factorization
         // of the front reproduces the leading columns and the Schur
@@ -287,6 +384,47 @@ mod tests {
     }
 
     #[test]
+    fn partial_factorization_matches_full_multi_panel() {
+        // Pivot count spanning several NB panels, remainder forcing the
+        // right-looking Schur accumulation across panels.
+        let n_total = 140;
+        let pivots = 110;
+        let a = spd(n_total, 17);
+        let mut full = a.clone();
+        cholesky_in_place(&mut full).unwrap();
+        let mut front = a.clone();
+        partial_cholesky_in_place(&mut front, pivots).unwrap();
+        for j in 0..pivots {
+            for i in j..n_total {
+                assert!(
+                    (front[(i, j)] - full[(i, j)]).abs() < 1e-6,
+                    "column {j} row {i} differs"
+                );
+            }
+        }
+        let rest = n_total - pivots;
+        let l22 = full.block(pivots, pivots, rest, rest);
+        let mut schur = Mat::zeros(rest, rest);
+        gemm(
+            1.0,
+            &l22,
+            Transpose::No,
+            &l22,
+            Transpose::Yes,
+            0.0,
+            &mut schur,
+        );
+        for j in 0..rest {
+            for i in j..rest {
+                assert!(
+                    (front[(pivots + i, pivots + j)] - schur[(i, j)]).abs() < 1e-5,
+                    "schur ({i},{j}) differs"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn partial_with_zero_remainder_is_plain_cholesky() {
         let a = spd(4, 7);
         let mut f = a.clone();
@@ -297,6 +435,16 @@ mod tests {
             for i in j..4 {
                 assert!((f[(i, j)] - l[(i, j)]).abs() < 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn partial_with_zero_pivots_leaves_front_untouched_values() {
+        let a = spd(5, 3);
+        let mut f = a.clone();
+        partial_cholesky_in_place(&mut f, 0).unwrap();
+        for (x, y) in f.as_slice().iter().zip(a.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 }

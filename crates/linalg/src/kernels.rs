@@ -1,0 +1,956 @@
+//! The blocked, packed dense-kernel core behind [`crate::gemm`],
+//! [`crate::syrk_lower`] and [`crate::trsm_right_lower_transpose`].
+//!
+//! The paper's latency story rests on three supernode operations — GEMM,
+//! SYRK (`L_C = C − L_B L_Bᵀ`, §3.2, the dominant cost per §6.5) and TRSM
+//! — so the host implementations here mirror what a BLIS-style kernel
+//! stack does, in safe Rust:
+//!
+//! - operands are **packed** once per `KC`-deep block into contiguous
+//!   micro-panels ([`MR`]-row panels of `A`, [`NR`]-column panels of `B`),
+//!   which turns every strided or transposed access pattern into linear
+//!   streams and pads the tails so the microkernel never branches;
+//! - an [`MR`]`×`[`NR`] **register-tiled microkernel** accumulates a full
+//!   tile of `C` in locals across the packed depth, cutting `C` traffic by
+//!   `NR×` versus the column-AXPY loop it replaces;
+//! - SYRK walks only the tiles that intersect the lower triangle and TRSM
+//!   factors into (packed GEMM update) + (small in-block solve), so both
+//!   ride the same microkernel;
+//! - a deterministic, size-keyed [`dispatch table`](GemmPath) routes
+//!   SLAM-typical small blocks (SE(2)'s 3-wide and SE(3)'s 6-wide fronts)
+//!   to fully unrolled direct kernels where packing overhead would
+//!   dominate.
+//!
+//! Pack buffers come from a caller-provided [`KernelScratch`] arena that
+//! grows monotonically and is reused across calls — the sparse executor
+//! threads one per worker so the steady-state refactor loop performs zero
+//! heap allocation (machine-checked by `supernova-analyze`'s `hot-alloc`
+//! lint; the allowed escapes in this file are the cold-path constructors).
+//!
+//! Every path is a pure function of the operand values and shapes: the
+//! same call always performs the same operations in the same order, so
+//! serial and pooled plan executions (which call identical kernels) stay
+//! bit-identical — blocking changes *which* deterministic summation order
+//! is used, never makes it data- or thread-dependent.
+
+use crate::Mat;
+
+/// Microkernel tile height (rows of `C` held in registers).
+pub const MR: usize = 4;
+/// Microkernel tile width (columns of `C` held in registers).
+pub const NR: usize = 4;
+/// Depth of one packed block: panels of at most `KC` columns of `A` (rows
+/// of `B`) are packed and consumed before the next block is packed.
+pub const KC: usize = 256;
+/// Problems with `m·n·k` at or below this run the direct (non-packing)
+/// path; above it, packing pays for itself.
+pub const DIRECT_FLOP_CUTOFF: usize = 24 * 24 * 24;
+/// Panel width of the blocked Cholesky driver (`cholesky.rs`), restated
+/// here so [`KernelScratch::reserve`] can bound the triangular-panel
+/// buffer [`take_lpack`](KernelScratch::take_lpack) hands out.
+pub(crate) const CHOL_NB: usize = 48;
+
+/// Rounds `x` up to a multiple of `to` (`to > 0`).
+#[inline]
+fn round_up(x: usize, to: usize) -> usize {
+    x.div_ceil(to) * to
+}
+
+/// Reusable pack-buffer arena for the blocked kernels.
+///
+/// Buffers grow monotonically (never shrink) and are fully overwritten on
+/// every use, so scratch contents can never leak between calls and a
+/// warm arena performs zero allocation. The arena also meters the f64
+/// multiply-add work the kernels actually execute ([`flops`](Self::flops))
+/// so callers can tick real kernel work into trace spans.
+#[derive(Clone, Debug, Default)]
+pub struct KernelScratch {
+    apack: Vec<f64>,
+    bpack: Vec<f64>,
+    /// Packed copy of a triangular diagonal block, taken/returned by the
+    /// in-place blocked Cholesky so its TRSM reads `L` without aliasing
+    /// the front it is updating.
+    lpack: Vec<f64>,
+    flops: u64,
+    grow_events: u64,
+}
+
+impl KernelScratch {
+    /// An empty arena; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An arena whose pack buffers are pre-grown to `pack_elems` scalars
+    /// each (use [`pack_elems_bound`] /
+    /// `ExecutionPlan::max_pack_elems`-style precomputation), so even the
+    /// first call allocates nothing.
+    pub fn with_capacity(pack_elems: usize) -> Self {
+        let mut s = Self::new();
+        if pack_elems > 0 {
+            s.grow_events = 1;
+            // lint: allow(hot-alloc) — cold-path constructor, the one-time sizing
+            s.apack = vec![0.0; pack_elems];
+            // lint: allow(hot-alloc) — cold-path constructor, the one-time sizing
+            s.bpack = vec![0.0; pack_elems];
+        }
+        s
+    }
+
+    /// Pre-grows (never shrinks) every buffer for kernels within a
+    /// `pack_elems` envelope, so later calls allocate nothing: both pack
+    /// buffers to `pack_elems` scalars, and the triangular-panel buffer to
+    /// its need under that envelope — `min(pack_elems, NB²)`, since
+    /// `take_lpack` panels are at most `NB × NB` and
+    /// never exceed a front whose pack bound is `pack_elems`. Growth is
+    /// counted in [`grow_events`](Self::grow_events); a no-op when
+    /// already large enough.
+    pub fn reserve(&mut self, pack_elems: usize) {
+        let a = self.apack.len().max(pack_elems);
+        let b = self.bpack.len().max(pack_elems);
+        let _ = self.packs(a, b);
+        let l = pack_elems.min(CHOL_NB * CHOL_NB);
+        if self.lpack.capacity() < l {
+            self.grow_events += 1;
+            let need = l - self.lpack.len();
+            self.lpack.reserve(need);
+        }
+    }
+
+    /// Grows (never shrinks) the pack buffers to at least `a_elems` /
+    /// `b_elems` and returns them. Growth is counted in
+    /// [`grow_events`](Self::grow_events).
+    fn packs(&mut self, a_elems: usize, b_elems: usize) -> (&mut [f64], &mut [f64]) {
+        if self.apack.len() < a_elems {
+            self.grow_events += 1;
+            self.apack.resize(a_elems, 0.0);
+        }
+        if self.bpack.len() < b_elems {
+            self.grow_events += 1;
+            self.bpack.resize(b_elems, 0.0);
+        }
+        (&mut self.apack[..a_elems], &mut self.bpack[..b_elems])
+    }
+
+    /// Detaches the triangular-panel buffer, grown to exactly `elems`
+    /// zero-initialized scalars. Detaching (rather than borrowing) lets the
+    /// caller keep using the arena for pack buffers while the panel copy is
+    /// live; pair with [`put_lpack`](Self::put_lpack) to preserve reuse.
+    pub(crate) fn take_lpack(&mut self, elems: usize) -> Vec<f64> {
+        let mut v = std::mem::take(&mut self.lpack);
+        if v.capacity() < elems {
+            self.grow_events += 1;
+        }
+        v.clear();
+        v.resize(elems, 0.0);
+        v
+    }
+
+    /// Returns a buffer obtained from [`take_lpack`](Self::take_lpack) to
+    /// the arena for reuse.
+    pub(crate) fn put_lpack(&mut self, v: Vec<f64>) {
+        if v.capacity() > self.lpack.capacity() {
+            self.lpack = v;
+        }
+    }
+
+    /// Total f64 multiply-add flops (MAC = 2 flops) executed through this
+    /// arena since construction or the last [`take_flops`](Self::take_flops).
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// Returns and resets the flop counter (per-task metering).
+    pub fn take_flops(&mut self) -> u64 {
+        std::mem::take(&mut self.flops)
+    }
+
+    /// Number of times a pack buffer actually grew (including the
+    /// constructor's pre-sizing). Flat after warm-up on a steady workload —
+    /// the zero-alloc hot-path invariant tests assert exactly this.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    /// Largest pack-buffer length reached so far, in scalars (the arena
+    /// high-water mark).
+    pub fn high_water_elems(&self) -> usize {
+        self.apack.len().max(self.bpack.len()).max(self.lpack.len())
+    }
+
+    #[inline]
+    fn tick(&mut self, flops: u64) {
+        self.flops += flops;
+    }
+}
+
+/// Scalars each pack buffer of a [`KernelScratch`] needs for any blocked
+/// kernel whose operands fit in an `n × n` envelope — the per-front bound
+/// the execution plan uses to pre-size per-worker arenas.
+pub fn pack_elems_bound(n: usize) -> usize {
+    round_up(n, MR.max(NR)) * n.min(KC)
+}
+
+/// A read-only view of a column-major sub-block, optionally transposed.
+///
+/// `at(i, j)` addresses the *logical* operand (after transposition); the
+/// pack routines turn these strided reads into contiguous panel writes
+/// exactly once per `KC` block.
+#[derive(Clone, Copy)]
+pub(crate) struct View<'a> {
+    data: &'a [f64],
+    /// Leading dimension: rows of the backing matrix.
+    ld: usize,
+    /// Top-left corner of the viewed block in the backing matrix.
+    row: usize,
+    col: usize,
+    /// Logical dimensions (after transposition).
+    rows: usize,
+    cols: usize,
+    trans: bool,
+}
+
+impl<'a> View<'a> {
+    /// Views an entire matrix, transposed when `trans`.
+    pub(crate) fn of(m: &'a Mat, trans: bool) -> Self {
+        let (rows, cols) = if trans {
+            (m.cols(), m.rows())
+        } else {
+            (m.rows(), m.cols())
+        };
+        View {
+            data: m.as_slice(),
+            ld: m.rows().max(1),
+            row: 0,
+            col: 0,
+            rows,
+            cols,
+            trans,
+        }
+    }
+
+    /// Views a raw column-major slice block.
+    pub(crate) fn raw(
+        data: &'a [f64],
+        ld: usize,
+        row: usize,
+        col: usize,
+        rows: usize,
+        cols: usize,
+        trans: bool,
+    ) -> Self {
+        View {
+            data,
+            ld: ld.max(1),
+            row,
+            col,
+            rows,
+            cols,
+            trans,
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        let (r, c) = if self.trans { (j, i) } else { (i, j) };
+        self.data[(self.col + c) * self.ld + self.row + r]
+    }
+
+    /// Contiguous storage column `c` (storage coordinates, not logical),
+    /// restricted to the viewed rows.
+    #[inline]
+    fn storage_col(&self, c: usize, len: usize) -> &[f64] {
+        let base = (self.col + c) * self.ld + self.row;
+        &self.data[base..base + len]
+    }
+}
+
+/// A mutable view of a column-major sub-block (never transposed — only
+/// `C` operands are mutable).
+pub(crate) struct MutView<'a> {
+    data: &'a mut [f64],
+    ld: usize,
+    row: usize,
+    col: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a> MutView<'a> {
+    /// Views an entire matrix mutably.
+    pub(crate) fn of(m: &'a mut Mat) -> Self {
+        let ld = m.rows().max(1);
+        let (rows, cols) = (m.rows(), m.cols());
+        MutView {
+            data: m.as_mut_slice(),
+            ld,
+            row: 0,
+            col: 0,
+            rows,
+            cols,
+        }
+    }
+
+    /// Views a raw column-major slice block.
+    pub(crate) fn raw(
+        data: &'a mut [f64],
+        ld: usize,
+        row: usize,
+        col: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Self {
+        MutView {
+            data,
+            ld: ld.max(1),
+            row,
+            col,
+            rows,
+            cols,
+        }
+    }
+
+    /// Column `j` of the viewed block as a contiguous mutable slice.
+    #[inline]
+    fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        let base = (self.col + j) * self.ld + self.row;
+        &mut self.data[base..base + self.rows]
+    }
+
+    /// Rows `r0..` of column `j` as a contiguous mutable slice of `len`.
+    #[inline]
+    fn col_tail_mut(&mut self, j: usize, r0: usize, len: usize) -> &mut [f64] {
+        let base = (self.col + j) * self.ld + self.row + r0;
+        &mut self.data[base..base + len]
+    }
+
+    /// Scales the whole viewed block by `beta` (with the exact-zero and
+    /// exact-one fast paths BLAS semantics require).
+    pub(crate) fn scale(&mut self, beta: f64) {
+        // lint: allow(float-eq) — exact beta-scaling fast path, matches BLAS semantics
+        if beta == 1.0 || self.rows == 0 {
+            return;
+        }
+        for j in 0..self.cols {
+            let col = self.col_mut(j);
+            // lint: allow(float-eq) — exact beta-scaling fast path, matches BLAS semantics
+            if beta == 0.0 {
+                col.iter_mut().for_each(|x| *x = 0.0);
+            } else {
+                col.iter_mut().for_each(|x| *x *= beta);
+            }
+        }
+    }
+
+    /// Scales rows `j..rows` of every column `j` (the lower triangle) by
+    /// `beta`.
+    pub(crate) fn scale_lower(&mut self, beta: f64) {
+        // lint: allow(float-eq) — exact beta-scaling fast path, matches BLAS semantics
+        if beta == 1.0 || self.rows == 0 {
+            return;
+        }
+        let rows = self.rows;
+        for j in 0..self.cols {
+            let col = self.col_tail_mut(j, j, rows - j);
+            // lint: allow(float-eq) — exact beta-scaling fast path, matches BLAS semantics
+            if beta == 0.0 {
+                col.iter_mut().for_each(|x| *x = 0.0);
+            } else {
+                col.iter_mut().for_each(|x| *x *= beta);
+            }
+        }
+    }
+}
+
+/// The kernel paths the size-keyed dispatch table selects between.
+///
+/// Selection depends only on the operand shapes — never on values, thread
+/// counts or runtime feature detection — so the same call sites take the
+/// same path in serial and pooled executions (the determinism anchor).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GemmPath {
+    /// `k == 0` or an empty output: nothing to do.
+    Noop,
+    /// Fully unrolled `k = 3` direct kernel (SE(2) pose blocks).
+    DirectK3,
+    /// Fully unrolled `k = 6` direct kernel (SE(3) pose blocks).
+    DirectK6,
+    /// Generic direct kernel for small products (no packing).
+    Direct,
+    /// Packed panels + register-tiled microkernel.
+    Packed,
+}
+
+/// The deterministic size-keyed dispatch table: which kernel path a GEMM
+/// of logical shape `m × n × k` takes.
+pub fn gemm_path(m: usize, n: usize, k: usize) -> GemmPath {
+    match (m, n, k) {
+        (0, _, _) | (_, 0, _) | (_, _, 0) => GemmPath::Noop,
+        // SLAM-typical SE(2)/SE(3) block products: unrolled contraction.
+        (_, _, 3) if m * n <= 24 * 24 => GemmPath::DirectK3,
+        (_, _, 6) if m * n <= 24 * 24 => GemmPath::DirectK6,
+        _ if m * n * k <= DIRECT_FLOP_CUTOFF => GemmPath::Direct,
+        _ => GemmPath::Packed,
+    }
+}
+
+/// `C += A · B` on views, `beta` already applied to `C` by the caller.
+/// `alpha` is folded into the packed/gathered `B` operand, mirroring the
+/// classic column-AXPY operand order `a[i,p] · (alpha · b[p,j])`.
+pub(crate) fn gemm_core(
+    alpha: f64,
+    a: &View<'_>,
+    b: &View<'_>,
+    c: &mut MutView<'_>,
+    scratch: &mut KernelScratch,
+) {
+    let (m, n, k) = (c.rows, c.cols, a.cols);
+    debug_assert_eq!(a.rows, m, "gemm_core A row mismatch");
+    debug_assert_eq!(b.rows, k, "gemm_core B row mismatch");
+    debug_assert_eq!(b.cols, n, "gemm_core B column mismatch");
+    match gemm_path(m, n, k) {
+        GemmPath::Noop => {}
+        GemmPath::DirectK3 => gemm_direct_k::<3>(alpha, a, b, c, scratch),
+        GemmPath::DirectK6 => gemm_direct_k::<6>(alpha, a, b, c, scratch),
+        GemmPath::Direct => gemm_direct(alpha, a, b, c, scratch),
+        GemmPath::Packed => gemm_packed(alpha, a, b, c, scratch),
+    }
+}
+
+/// Direct kernel with the contraction depth `K` a compile-time constant:
+/// the column of `B` is gathered into registers once per output column and
+/// the `K`-term dot products unroll completely.
+fn gemm_direct_k<const K: usize>(
+    alpha: f64,
+    a: &View<'_>,
+    b: &View<'_>,
+    c: &mut MutView<'_>,
+    scratch: &mut KernelScratch,
+) {
+    let (m, n) = (c.rows, c.cols);
+    debug_assert_eq!(a.cols, K);
+    for j in 0..n {
+        let mut bcol = [0.0f64; K];
+        for (p, slot) in bcol.iter_mut().enumerate() {
+            *slot = alpha * b.at(p, j);
+        }
+        let col = c.col_mut(j);
+        for (i, out) in col.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (p, &bp) in bcol.iter().enumerate() {
+                acc += a.at(i, p) * bp;
+            }
+            *out += acc;
+        }
+    }
+    scratch.tick(2 * (m * n * K) as u64);
+}
+
+/// Generic direct kernel for small shapes: per-column AXPY when `A` is
+/// untransposed (contiguous columns), gathered dot products otherwise.
+fn gemm_direct(
+    alpha: f64,
+    a: &View<'_>,
+    b: &View<'_>,
+    c: &mut MutView<'_>,
+    scratch: &mut KernelScratch,
+) {
+    let (m, n, k) = (c.rows, c.cols, a.cols);
+    if !a.trans {
+        for j in 0..n {
+            for p in 0..k {
+                let bpj = alpha * b.at(p, j);
+                let acol = a.storage_col(p, m);
+                let ccol = c.col_mut(j);
+                for (ci, &ai) in ccol.iter_mut().zip(acol) {
+                    *ci += ai * bpj;
+                }
+            }
+        }
+    } else {
+        for j in 0..n {
+            let ccol = c.col_mut(j);
+            for (i, out) in ccol.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(i, p) * b.at(p, j);
+                }
+                *out += alpha * acc;
+            }
+        }
+    }
+    scratch.tick(2 * (m * n * k) as u64);
+}
+
+/// Packs the `m × kc` slab of `A` starting at depth `p0` into `MR`-row
+/// micro-panels: panel `ib` holds rows `ib·MR..` for all `kc` depths,
+/// contiguously, zero-padded past row `m`.
+fn pack_a(a: &View<'_>, p0: usize, kc: usize, m: usize, apack: &mut [f64]) {
+    let panels = m.div_ceil(MR);
+    debug_assert!(apack.len() >= panels * kc * MR);
+    if !a.trans {
+        // Storage columns are logical columns: walk each depth's column
+        // slice once, scattering into the panels.
+        for (ib, panel) in apack.chunks_exact_mut(kc * MR).take(panels).enumerate() {
+            let i0 = ib * MR;
+            let rows = MR.min(m - i0);
+            for (p, dst) in panel.chunks_exact_mut(MR).enumerate() {
+                let src = a.storage_col(p0 + p, a.rows);
+                for r in 0..MR {
+                    dst[r] = if r < rows { src[i0 + r] } else { 0.0 };
+                }
+            }
+        }
+    } else {
+        // Logical rows are storage columns: each packed row streams one
+        // contiguous storage column segment.
+        for (ib, panel) in apack.chunks_exact_mut(kc * MR).take(panels).enumerate() {
+            let i0 = ib * MR;
+            let rows = MR.min(m - i0);
+            for dst in panel.chunks_exact_mut(MR) {
+                dst.iter_mut().for_each(|x| *x = 0.0);
+            }
+            for r in 0..rows {
+                let src = a.storage_col(i0 + r, a.cols);
+                for (p, dst) in panel.chunks_exact_mut(MR).enumerate() {
+                    dst[r] = src[p0 + p];
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kc × n` slab of `B` starting at depth `p0` into `NR`-column
+/// micro-panels scaled by `alpha`, zero-padded past column `n`.
+fn pack_b(alpha: f64, b: &View<'_>, p0: usize, kc: usize, n: usize, bpack: &mut [f64]) {
+    let panels = n.div_ceil(NR);
+    debug_assert!(bpack.len() >= panels * kc * NR);
+    if !b.trans {
+        for (jb, panel) in bpack.chunks_exact_mut(kc * NR).take(panels).enumerate() {
+            let j0 = jb * NR;
+            let cols = NR.min(n - j0);
+            for dst in panel.chunks_exact_mut(NR) {
+                dst.iter_mut().for_each(|x| *x = 0.0);
+            }
+            for j in 0..cols {
+                let src = b.storage_col(j0 + j, b.rows);
+                for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                    dst[j] = alpha * src[p0 + p];
+                }
+            }
+        }
+    } else {
+        // Transposed B: logical row p is storage column p.
+        for (jb, panel) in bpack.chunks_exact_mut(kc * NR).take(panels).enumerate() {
+            let j0 = jb * NR;
+            let cols = NR.min(n - j0);
+            for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                let src = b.storage_col(p0 + p, b.cols);
+                for j in 0..NR {
+                    dst[j] = if j < cols { alpha * src[j0 + j] } else { 0.0 };
+                }
+            }
+        }
+    }
+}
+
+/// The register-tiled microkernel: accumulates the full `MR × NR` tile
+/// product of one packed `A` panel and one packed `B` panel across `kc`
+/// depths. `acc` is column-major (`acc[j][i]`).
+#[inline(always)]
+fn microkernel(kc: usize, apanel: &[f64], bpanel: &[f64], acc: &mut [[f64; MR]; NR]) {
+    // Two depth steps per iteration: halves the loop-control overhead and
+    // gives the scheduler two independent rank-1 updates to interleave.
+    let pairs = kc / 2;
+    for (ap, bp) in apanel
+        .chunks_exact(2 * MR)
+        .zip(bpanel.chunks_exact(2 * NR))
+        .take(pairs)
+    {
+        let a: &[f64; 2 * MR] = ap.try_into().unwrap_or(&[0.0; 2 * MR]);
+        let b: &[f64; 2 * NR] = bp.try_into().unwrap_or(&[0.0; 2 * NR]);
+        for j in 0..NR {
+            let bj0 = b[j];
+            let bj1 = b[NR + j];
+            for i in 0..MR {
+                acc[j][i] += a[i] * bj0 + a[MR + i] * bj1;
+            }
+        }
+    }
+    if kc % 2 == 1 {
+        let p = kc - 1;
+        let a = &apanel[p * MR..(p + 1) * MR];
+        let b = &bpanel[p * NR..(p + 1) * NR];
+        for j in 0..NR {
+            let bj = b[j];
+            for i in 0..MR {
+                acc[j][i] += a[i] * bj;
+            }
+        }
+    }
+}
+
+/// Packed GEMM: `C += (alpha·A)·B`, blocked over the contraction depth in
+/// `KC` slabs, each slab packed once and swept by the microkernel.
+fn gemm_packed(
+    alpha: f64,
+    a: &View<'_>,
+    b: &View<'_>,
+    c: &mut MutView<'_>,
+    scratch: &mut KernelScratch,
+) {
+    let (m, n, k) = (c.rows, c.cols, a.cols);
+    let a_elems = round_up(m, MR) * KC.min(k);
+    let b_elems = round_up(n, NR) * KC.min(k);
+    let (apack, bpack) = scratch.packs(a_elems, b_elems);
+
+    let mut p0 = 0usize;
+    while p0 < k {
+        let kc = KC.min(k - p0);
+        pack_a(a, p0, kc, m, apack);
+        pack_b(alpha, b, p0, kc, n, bpack);
+        for jb in 0..n.div_ceil(NR) {
+            let j0 = jb * NR;
+            let jw = NR.min(n - j0);
+            let bpanel = &bpack[jb * kc * NR..(jb + 1) * kc * NR];
+            for ib in 0..m.div_ceil(MR) {
+                let i0 = ib * MR;
+                let ih = MR.min(m - i0);
+                let apanel = &apack[ib * kc * MR..(ib + 1) * kc * MR];
+                let mut acc = [[0.0f64; MR]; NR];
+                microkernel(kc, apanel, bpanel, &mut acc);
+                for (j, accj) in acc.iter().enumerate().take(jw) {
+                    let col = c.col_tail_mut(j0 + j, i0, ih);
+                    for (ci, &v) in col.iter_mut().zip(accj) {
+                        *ci += v;
+                    }
+                }
+            }
+        }
+        p0 += kc;
+    }
+    scratch.tick(2 * (m * n * k) as u64);
+}
+
+/// Blocked SYRK on the lower triangle: `C_lower += (alpha·A)·Aᵀ` with
+/// `beta` already applied. Packs `A` twice (row panels and, transposed and
+/// alpha-scaled, column panels) and sweeps only the tiles that intersect
+/// the lower triangle; diagonal tiles compute the full tile and store the
+/// `i ≥ j` half.
+pub(crate) fn syrk_core(
+    alpha: f64,
+    a: &View<'_>,
+    c: &mut MutView<'_>,
+    scratch: &mut KernelScratch,
+) {
+    let (n, k) = (a.rows, a.cols);
+    debug_assert_eq!(c.rows, n);
+    debug_assert_eq!(c.cols, n);
+    if n == 0 || k == 0 {
+        return;
+    }
+    if n * n * k <= DIRECT_FLOP_CUTOFF {
+        syrk_direct(alpha, a, c, scratch);
+        return;
+    }
+    let at = View {
+        trans: !a.trans,
+        rows: a.cols,
+        cols: a.rows,
+        ..*a
+    };
+    let a_elems = round_up(n, MR) * KC.min(k);
+    let b_elems = round_up(n, NR) * KC.min(k);
+    let (apack, bpack) = scratch.packs(a_elems, b_elems);
+
+    let mut p0 = 0usize;
+    while p0 < k {
+        let kc = KC.min(k - p0);
+        pack_a(a, p0, kc, n, apack);
+        pack_b(alpha, &at, p0, kc, n, bpack);
+        for jb in 0..n.div_ceil(NR) {
+            let j0 = jb * NR;
+            let jw = NR.min(n - j0);
+            let bpanel = &bpack[jb * kc * NR..(jb + 1) * kc * NR];
+            // First row tile that reaches the diagonal: rows i0 + MR - 1 ≥ j0.
+            for ib in (j0 / MR)..n.div_ceil(MR) {
+                let i0 = ib * MR;
+                let ih = MR.min(n - i0);
+                let apanel = &apack[ib * kc * MR..(ib + 1) * kc * MR];
+                let mut acc = [[0.0f64; MR]; NR];
+                microkernel(kc, apanel, bpanel, &mut acc);
+                for (j, accj) in acc.iter().enumerate().take(jw) {
+                    let gj = j0 + j;
+                    // Store only the i ≥ j half (global coordinates).
+                    let r0 = gj.saturating_sub(i0).min(ih);
+                    let col = c.col_tail_mut(gj, i0 + r0, ih - r0);
+                    for (ci, &v) in col.iter_mut().zip(&accj[r0..]) {
+                        *ci += v;
+                    }
+                }
+            }
+        }
+        p0 += kc;
+    }
+    // Lower triangle only: n(n+1)/2 length-k MACs.
+    scratch.tick((n * (n + 1)) as u64 * k as u64);
+}
+
+/// Direct small-size SYRK (column-AXPY over the lower triangle).
+fn syrk_direct(alpha: f64, a: &View<'_>, c: &mut MutView<'_>, scratch: &mut KernelScratch) {
+    let (n, k) = (a.rows, a.cols);
+    for j in 0..n {
+        for p in 0..k {
+            let ajp = alpha * a.at(j, p);
+            // lint: allow(float-eq) — structural-zero skip: exact zeros from sparsity
+            if ajp == 0.0 {
+                continue;
+            }
+            if !a.trans {
+                let base = (a.col + p) * a.ld + a.row;
+                let acol = &a.data[base..base + n];
+                let ccol = c.col_tail_mut(j, j, n - j);
+                for (ci, &ai) in ccol.iter_mut().zip(&acol[j..]) {
+                    *ci += ai * ajp;
+                }
+            } else {
+                let ccol = c.col_tail_mut(j, j, n - j);
+                for (r, ci) in ccol.iter_mut().enumerate() {
+                    *ci += a.at(j + r, p) * ajp;
+                }
+            }
+        }
+    }
+    scratch.tick((n * (n + 1)) as u64 * k as u64);
+}
+
+/// In-block column width of the blocked TRSM (the GEMM update handles
+/// everything left of the current block).
+const TRSM_NB: usize = 32;
+
+/// Blocked in-place TRSM: solves `X · Lᵀ = B` for `X`, overwriting the
+/// viewed `b` block. `l` views the `n × n` lower triangle (`ld`-strided).
+///
+/// Column blocks of width [`TRSM_NB`] are updated against all previously
+/// solved columns with one packed GEMM (`B[:,J] −= X[:,0..j0] · L[J,0..j0]ᵀ`)
+/// and then finished with the small in-block forward substitution.
+pub(crate) fn trsm_core(
+    l: &View<'_>,
+    bdata: &mut [f64],
+    bld: usize,
+    brow: usize,
+    bcol: usize,
+    m: usize,
+    n: usize,
+    scratch: &mut KernelScratch,
+) {
+    debug_assert_eq!(l.rows, n);
+    debug_assert_eq!(l.cols, n);
+    let mut j0 = 0usize;
+    while j0 < n {
+        let nb = TRSM_NB.min(n - j0);
+        if j0 > 0 {
+            // Split the viewed columns at j0: left of the split is solved
+            // (read-only), the current block is written.
+            let (done, cur) = bdata.split_at_mut((bcol + j0) * bld);
+            let x = View::raw(done, bld, brow, bcol, m, j0, false);
+            let lt = View::raw(l.data, l.ld, l.row + j0, l.col, j0, nb, true);
+            let mut cview = MutView::raw(cur, bld, brow, 0, m, nb);
+            gemm_core(-1.0, &x, &lt, &mut cview, scratch);
+        }
+        // In-block forward substitution (columns j0..j0+nb).
+        for j in j0..j0 + nb {
+            for p in j0..j {
+                let ljp = l.at(j, p);
+                // lint: allow(float-eq) — structural-zero skip: exact zeros from sparsity
+                if ljp == 0.0 {
+                    continue;
+                }
+                let (done, cur) = bdata.split_at_mut((bcol + j) * bld);
+                let src = &done[(bcol + p) * bld + brow..(bcol + p) * bld + brow + m];
+                let dst = &mut cur[brow..brow + m];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d -= s * ljp;
+                }
+            }
+            let d = l.at(j, j);
+            let base = (bcol + j) * bld + brow;
+            let col = &mut bdata[base..base + m];
+            col.iter_mut().for_each(|x| *x /= d);
+        }
+        // The GEMM update metered itself; this covers the in-block solve.
+        scratch.tick((m * nb * nb) as u64);
+        j0 += nb;
+    }
+}
+
+/// Public-surface helper: `c = alpha·opa(a)·opb(b) + beta·c` entirely on
+/// whole matrices (the [`crate::gemm`] body).
+pub(crate) fn gemm_mats(
+    alpha: f64,
+    a: &View<'_>,
+    b: &View<'_>,
+    beta: f64,
+    c: &mut Mat,
+    scratch: &mut KernelScratch,
+) {
+    let mut cv = MutView::of(c);
+    cv.scale(beta);
+    gemm_core(alpha, a, b, &mut cv, scratch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(rows: usize, cols: usize, seed: f64) -> Mat {
+        Mat::from_fn(rows, cols, |r, c| {
+            ((r * 7 + c * 3) % 11) as f64 * 0.25 - seed
+        })
+    }
+
+    fn naive(a: &Mat, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                for p in 0..a.cols() {
+                    c[(i, j)] += a[(i, p)] * b[(p, j)];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn packed_gemm_matches_naive_with_tails() {
+        let mut scratch = KernelScratch::new();
+        for (m, n, k) in [(33, 29, 37), (64, 64, 64), (5, 70, 100), (70, 5, 300)] {
+            let a = filled(m, k, 0.5);
+            let b = filled(k, n, 1.5);
+            let want = naive(&a, &b);
+            let mut c = Mat::zeros(m, n);
+            gemm_mats(
+                1.0,
+                &View::of(&a, false),
+                &View::of(&b, false),
+                0.0,
+                &mut c,
+                &mut scratch,
+            );
+            for i in 0..m {
+                for j in 0..n {
+                    assert!(
+                        (c[(i, j)] - want[(i, j)]).abs() < 1e-9,
+                        "({m},{n},{k}) at ({i},{j})"
+                    );
+                }
+            }
+        }
+        assert!(scratch.flops() > 0);
+        assert!(scratch.high_water_elems() > 0);
+    }
+
+    #[test]
+    fn transposed_views_match_explicit_transposes() {
+        let mut scratch = KernelScratch::new();
+        let a = filled(40, 33, 0.25);
+        let b = filled(27, 40, 2.0);
+        let want = naive(&a.transposed(), &b.transposed());
+        let mut c = Mat::zeros(33, 27);
+        gemm_mats(
+            1.0,
+            &View::of(&a, true),
+            &View::of(&b, true),
+            0.0,
+            &mut c,
+            &mut scratch,
+        );
+        for i in 0..33 {
+            for j in 0..27 {
+                assert!((c[(i, j)] - want[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_is_size_keyed_and_deterministic() {
+        assert_eq!(gemm_path(10, 10, 0), GemmPath::Noop);
+        assert_eq!(gemm_path(0, 4, 4), GemmPath::Noop);
+        assert_eq!(gemm_path(3, 3, 3), GemmPath::DirectK3);
+        assert_eq!(gemm_path(6, 6, 6), GemmPath::DirectK6);
+        assert_eq!(gemm_path(12, 12, 12), GemmPath::Direct);
+        assert_eq!(gemm_path(64, 64, 64), GemmPath::Packed);
+        // The table is a pure function of shape.
+        for _ in 0..3 {
+            assert_eq!(gemm_path(48, 48, 48), gemm_path(48, 48, 48));
+        }
+    }
+
+    #[test]
+    fn scratch_growth_is_monotonic_and_reused() {
+        let mut scratch = KernelScratch::new();
+        let a = filled(64, 64, 0.0);
+        let b = filled(64, 64, 1.0);
+        let mut c = Mat::zeros(64, 64);
+        gemm_mats(
+            1.0,
+            &View::of(&a, false),
+            &View::of(&b, false),
+            0.0,
+            &mut c,
+            &mut scratch,
+        );
+        let grows = scratch.grow_events();
+        let high = scratch.high_water_elems();
+        assert!(grows > 0);
+        for _ in 0..4 {
+            gemm_mats(
+                1.0,
+                &View::of(&a, false),
+                &View::of(&b, false),
+                0.0,
+                &mut c,
+                &mut scratch,
+            );
+        }
+        assert_eq!(scratch.grow_events(), grows, "warm arena must not grow");
+        assert_eq!(scratch.high_water_elems(), high);
+    }
+
+    #[test]
+    fn presized_scratch_never_grows() {
+        let n = 96;
+        let mut scratch = KernelScratch::with_capacity(pack_elems_bound(n));
+        let base = scratch.grow_events();
+        let a = filled(n, n, 0.0);
+        let b = filled(n, n, 1.0);
+        let mut c = Mat::zeros(n, n);
+        gemm_mats(
+            1.0,
+            &View::of(&a, false),
+            &View::of(&b, false),
+            0.0,
+            &mut c,
+            &mut scratch,
+        );
+        assert_eq!(scratch.grow_events(), base);
+    }
+
+    #[test]
+    fn flop_meter_matches_shape() {
+        let mut scratch = KernelScratch::new();
+        let a = filled(8, 4, 0.0);
+        let b = filled(4, 8, 1.0);
+        let mut c = Mat::zeros(8, 8);
+        gemm_mats(
+            1.0,
+            &View::of(&a, false),
+            &View::of(&b, false),
+            0.0,
+            &mut c,
+            &mut scratch,
+        );
+        assert_eq!(scratch.take_flops(), 2 * 8 * 8 * 4);
+        assert_eq!(scratch.flops(), 0);
+    }
+}

@@ -31,15 +31,22 @@
 
 mod blas;
 mod cholesky;
+pub mod kernels;
 mod matrix;
 pub mod ops;
+pub mod reference;
 pub mod rng;
 mod triangular;
 
 pub use blas::{
-    axpy, dot, gemm, gemv, norm2, norm_inf, syrk_lower, trsm_right_lower_transpose, Transpose,
+    axpy, dot, gemm, gemm_scratch, gemv, norm2, norm_inf, syrk_lower, syrk_lower_scratch,
+    trsm_right_lower_transpose, trsm_right_lower_transpose_scratch, Transpose,
 };
-pub use cholesky::{cholesky_in_place, partial_cholesky_in_place, NotPositiveDefiniteError};
+pub use cholesky::{
+    cholesky_in_place, cholesky_in_place_scratch, partial_cholesky_in_place,
+    partial_cholesky_scratch, NotPositiveDefiniteError,
+};
+pub use kernels::{gemm_path, pack_elems_bound, GemmPath, KernelScratch};
 pub use matrix::Mat;
 pub use triangular::{solve_lower, solve_lower_transpose};
 

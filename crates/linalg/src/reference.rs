@@ -1,0 +1,187 @@
+//! Unblocked reference kernels — the pre-optimization implementations.
+//!
+//! These are the naive triple-loop kernels the blocked, packed layer in
+//! [`crate::kernels`] replaced. They are kept as the *oracle*: property
+//! tests check blocked-vs-reference agreement on odd shapes, tails and
+//! alpha/beta edge cases, and `kernel_bench` measures the blocked layer's
+//! speedup against them (the `BENCH_kernels.json` baseline). They are not
+//! called anywhere on a hot path.
+
+use crate::{Mat, Transpose};
+
+fn at(op: Transpose, m: &Mat, r: usize, c: usize) -> f64 {
+    match op {
+        Transpose::No => m[(r, c)],
+        Transpose::Yes => m[(c, r)],
+    }
+}
+
+fn dims(op: Transpose, m: &Mat) -> (usize, usize) {
+    match op {
+        Transpose::No => (m.rows(), m.cols()),
+        Transpose::Yes => (m.cols(), m.rows()),
+    }
+}
+
+/// Reference `c = alpha * op_a(a) * op_b(b) + beta * c` (column-AXPY for
+/// the untransposed-`a` case, strided triple loop otherwise — the exact
+/// seed implementation).
+///
+/// # Panics
+///
+/// Panics if the operand shapes are incompatible with `c`.
+pub fn gemm(
+    alpha: f64,
+    a: &Mat,
+    op_a: Transpose,
+    b: &Mat,
+    op_b: Transpose,
+    beta: f64,
+    c: &mut Mat,
+) {
+    let (m, k) = dims(op_a, a);
+    let (kb, n) = dims(op_b, b);
+    assert_eq!(k, kb, "gemm inner dimension mismatch: {k} vs {kb}");
+    assert_eq!(c.rows(), m, "gemm output row mismatch");
+    assert_eq!(c.cols(), n, "gemm output column mismatch");
+    // lint: allow(float-eq) — exact beta-scaling fast path, matches BLAS semantics
+    if beta != 1.0 {
+        // lint: allow(float-eq) — exact beta-scaling fast path, matches BLAS semantics
+        if beta == 0.0 {
+            c.fill_zero();
+        } else {
+            c.scale(beta);
+        }
+    }
+    if op_a == Transpose::No {
+        for j in 0..n {
+            for p in 0..k {
+                let bpj = alpha * at(op_b, b, p, j);
+                // lint: allow(float-eq) — structural-zero skip: exact zeros from sparsity
+                if bpj == 0.0 {
+                    continue;
+                }
+                let acol = a.col(p);
+                let ccol = c.col_mut(j);
+                for i in 0..m {
+                    ccol[i] += acol[i] * bpj;
+                }
+            }
+        }
+    } else {
+        for j in 0..n {
+            for i in 0..m {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += at(op_a, a, i, p) * at(op_b, b, p, j);
+                }
+                c[(i, j)] += alpha * acc;
+            }
+        }
+    }
+}
+
+/// Reference `c_lower = beta * c_lower + alpha * a * aᵀ`, touching only
+/// `i >= j` (the seed column-AXPY implementation).
+///
+/// # Panics
+///
+/// Panics if `c` is not square with `c.rows() == a.rows()`.
+pub fn syrk_lower(alpha: f64, a: &Mat, beta: f64, c: &mut Mat) {
+    assert_eq!(c.rows(), c.cols(), "syrk output must be square");
+    assert_eq!(c.rows(), a.rows(), "syrk dimension mismatch");
+    let n = c.rows();
+    let k = a.cols();
+    for j in 0..n {
+        // lint: allow(float-eq) — exact beta-scaling fast path, matches BLAS semantics
+        if beta != 1.0 {
+            let ccol = c.col_mut(j);
+            for i in j..n {
+                ccol[i] *= beta;
+            }
+        }
+        for p in 0..k {
+            let ajp = alpha * a[(j, p)];
+            // lint: allow(float-eq) — structural-zero skip: exact zeros from sparsity
+            if ajp == 0.0 {
+                continue;
+            }
+            let acol = a.col(p);
+            let ccol = c.col_mut(j);
+            for i in j..n {
+                ccol[i] += acol[i] * ajp;
+            }
+        }
+    }
+}
+
+/// Reference triangular solve `x * lᵀ = b` overwriting `b` (the seed
+/// column-by-column forward substitution).
+///
+/// # Panics
+///
+/// Panics if `l` is not square or `b.cols() != l.rows()`.
+pub fn trsm_right_lower_transpose(l: &Mat, b: &mut Mat) {
+    assert_eq!(l.rows(), l.cols(), "trsm triangle must be square");
+    assert_eq!(b.cols(), l.rows(), "trsm dimension mismatch");
+    let n = l.rows();
+    let m = b.rows();
+    for j in 0..n {
+        for p in 0..j {
+            let ljp = l[(j, p)];
+            // lint: allow(float-eq) — structural-zero skip: exact zeros from sparsity
+            if ljp == 0.0 {
+                continue;
+            }
+            let (done, cur) = split_two_cols(b, p, j);
+            for i in 0..m {
+                cur[i] -= done[i] * ljp;
+            }
+        }
+        let d = l[(j, j)];
+        let col = b.col_mut(j);
+        for i in 0..m {
+            col[i] /= d;
+        }
+    }
+}
+
+/// Borrows two distinct columns of `m` (`first < second`).
+fn split_two_cols(m: &mut Mat, first: usize, second: usize) -> (&[f64], &mut [f64]) {
+    debug_assert!(first < second);
+    let rows = m.rows();
+    let (lo, hi) = m.as_mut_slice().split_at_mut(second * rows);
+    (&lo[first * rows..first * rows + rows], &mut hi[..rows])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_gemm_identity() {
+        let a = Mat::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let mut c = Mat::zeros(2, 2);
+        gemm(
+            1.0,
+            &a,
+            Transpose::No,
+            &Mat::identity(2),
+            Transpose::No,
+            0.0,
+            &mut c,
+        );
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn reference_trsm_inverts() {
+        let l = Mat::from_rows(2, 2, &[2.0, 0.0, 1.0, 4.0]);
+        let x = Mat::from_rows(1, 2, &[3.0, 5.0]);
+        let mut b = Mat::zeros(1, 2);
+        gemm(1.0, &x, Transpose::No, &l, Transpose::Yes, 0.0, &mut b);
+        trsm_right_lower_transpose(&l, &mut b);
+        assert!((b[(0, 0)] - 3.0).abs() < 1e-12);
+        assert!((b[(0, 1)] - 5.0).abs() < 1e-12);
+    }
+}

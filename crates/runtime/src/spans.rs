@@ -54,11 +54,15 @@ pub fn exec_span(sched: &HostSchedule, trace: &StepTrace) -> Span {
         child.ticks = ticks;
         child.track = t.worker as u32;
         child.counters.set("node", t.node as u64);
+        // Measured (not modeled) flops from the worker's kernel arena —
+        // deterministic, a pure function of the task's front shape.
+        child.counters.set("kernel_flops", t.kernel_flops);
         span.children.push(child);
     }
     span.ticks = total;
     span.counters.set("workers", sched.workers as u64);
     span.counters.set("tasks", sched.spans.len() as u64);
+    span.counters.set("kernel_flops", sched.kernel_flops());
     span
 }
 

@@ -200,7 +200,7 @@ impl Server {
         let pool = (0..cfg.max_sessions.max(1))
             .map(|_| {
                 let mut e = SolverEngine::new(cfg.ra, Arc::clone(&cost) as _);
-                e.set_executor(exec);
+                e.set_executor(exec.clone());
                 if cfg.trace.enabled {
                     e.set_trace(cfg.trace);
                     e.set_trace_hw(cfg.platform.clone(), SchedulerConfig::default());

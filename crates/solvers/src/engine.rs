@@ -111,6 +111,12 @@ impl IncrementalCore {
         self.executor = exec;
     }
 
+    /// The installed host executor (pool-stats access: its persistent
+    /// workspace pool witnesses the zero-alloc hot path).
+    pub fn executor(&self) -> &ParallelExecutor {
+        &self.executor
+    }
+
     /// Returns the core to its freshly-constructed state, dropping the
     /// factor graph, linearizations, plan cache, numeric cache, host
     /// schedule and every per-step accumulator, while keeping the
@@ -121,7 +127,9 @@ impl IncrementalCore {
     /// estimates (the serving layer's engine pool relies on this).
     pub fn reset(&mut self) {
         let relax = self.relax;
-        let executor = self.executor;
+        // Clones share the persistent workspace pool, so a recycled core
+        // keeps its warm (zero-alloc) buffers.
+        let executor = self.executor.clone();
         *self = IncrementalCore {
             relax,
             executor,

@@ -89,6 +89,14 @@ impl SolverEngine {
         self.solver.core_mut().set_executor(exec);
     }
 
+    /// The installed host executor; its [`pool_stats`] snapshot witnesses
+    /// the zero-alloc steady state of the factorization hot path.
+    ///
+    /// [`pool_stats`]: ParallelExecutor::pool_stats
+    pub fn executor(&self) -> &ParallelExecutor {
+        self.solver.core().executor()
+    }
+
     /// Processes one online step (the new pose's initial guess plus its
     /// factors), under the engine's current budget degradation.
     pub fn step(&mut self, initial: Variable, factors: Vec<Arc<dyn Factor>>) -> StepTrace {

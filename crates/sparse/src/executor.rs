@@ -12,34 +12,49 @@
 //! serial execution at any thread count.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use supernova_linalg::Mat;
+use supernova_linalg::{KernelScratch, Mat};
 
 use crate::ExecutionPlan;
 
 /// A worker's preallocated scratch buffers, reused across every task the
 /// worker executes (no per-node allocation on the hot path).
-#[derive(Debug)]
+///
+/// A workspace bundles the frontal matrix buffer with the blocked-kernel
+/// pack arena ([`KernelScratch`]), so one checkout from the executor's
+/// persistent pool covers everything a task touches. Both halves grow
+/// monotonically and are fully overwritten per task, so reuse can never
+/// change results.
+#[derive(Debug, Default)]
 pub struct Workspace {
     front: Mat,
+    scratch: KernelScratch,
 }
 
 impl Workspace {
     /// An empty workspace; buffers grow on first use and are then reused.
     pub fn new() -> Self {
-        Workspace {
-            front: Mat::zeros(0, 0),
-        }
+        Workspace::default()
     }
 
-    /// A workspace whose frontal buffer is pre-grown to hold `elems`
-    /// scalars (use [`ExecutionPlan::max_workspace_elems`]).
-    pub fn with_capacity(elems: usize) -> Self {
+    /// A workspace pre-grown for fronts of up to `front_elems` scalars
+    /// (use [`ExecutionPlan::max_workspace_elems`]) and kernel pack
+    /// buffers of up to `pack_elems` scalars each (use
+    /// [`ExecutionPlan::max_pack_elems`]).
+    pub fn with_capacity(front_elems: usize, pack_elems: usize) -> Self {
         let mut ws = Workspace::new();
-        ws.front.reset(elems, 1);
+        ws.reserve(front_elems, pack_elems);
         ws
+    }
+
+    /// Grows (never shrinks) both buffers to the given capacities. Cheap
+    /// when already large enough; called once per plan execution, not per
+    /// task.
+    pub fn reserve(&mut self, front_elems: usize, pack_elems: usize) {
+        self.front.reset(front_elems, 1);
+        self.scratch.reserve(pack_elems);
     }
 
     /// The frontal matrix buffer; callers `reset` it to the task's front
@@ -47,11 +62,21 @@ impl Workspace {
     pub fn front_mut(&mut self) -> &mut Mat {
         &mut self.front
     }
-}
 
-impl Default for Workspace {
-    fn default() -> Self {
-        Workspace::new()
+    /// The blocked-kernel pack arena (read-only; for stats).
+    pub fn scratch(&self) -> &KernelScratch {
+        &self.scratch
+    }
+
+    /// The blocked-kernel pack arena.
+    pub fn scratch_mut(&mut self) -> &mut KernelScratch {
+        &mut self.scratch
+    }
+
+    /// Both halves at once, mutably — a task factors `front` with the
+    /// `_scratch` kernel variants fed by this workspace's own arena.
+    pub fn parts(&mut self) -> (&mut Mat, &mut KernelScratch) {
+        (&mut self.front, &mut self.scratch)
     }
 }
 
@@ -67,6 +92,10 @@ pub struct TaskSpan {
     pub start: f64,
     /// End time in seconds since the execution began.
     pub end: f64,
+    /// f64 multiply-add flops the dense kernels executed for this task, as
+    /// metered by the worker's [`KernelScratch`]. Deterministic — a pure
+    /// function of the task's front shape — unlike the wall-clock fields.
+    pub kernel_flops: u64,
 }
 
 /// The wall-clock record of one plan execution on the host pool.
@@ -108,6 +137,27 @@ impl HostSchedule {
     pub fn busy_time(&self) -> f64 {
         self.spans.iter().map(|s| s.end - s.start).sum()
     }
+
+    /// Total dense-kernel flops across all executed tasks (deterministic,
+    /// unlike the wall-clock fields).
+    pub fn kernel_flops(&self) -> u64 {
+        self.spans.iter().map(|s| s.kernel_flops).sum()
+    }
+}
+
+/// Aggregate statistics over an executor's persistent workspace pool —
+/// the zero-alloc hot-path witness: on a steady workload `grow_events`
+/// and `high_water_elems` go flat after warm-up.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workspaces currently parked in the pool (checked-out ones are not
+    /// counted; between plan executions this equals the peak worker count
+    /// seen so far).
+    pub workspaces: usize,
+    /// Sum of [`KernelScratch::grow_events`] over pooled workspaces.
+    pub grow_events: u64,
+    /// Max of [`KernelScratch::high_water_elems`] over pooled workspaces.
+    pub high_water_elems: usize,
 }
 
 /// Host-side executor configuration: how many workers to run plans on.
@@ -115,16 +165,42 @@ impl HostSchedule {
 /// `threads == 1` executes inline on the calling thread (no pool, no
 /// locking); `threads > 1` spins up a scoped `std::thread` pool per
 /// execution. Results are bit-identical either way.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// The executor owns a persistent pool of [`Workspace`]s that survives
+/// across `run` calls (and is shared by clones), so the steady-state
+/// refactorization loop performs zero heap allocation: workers check a
+/// warm workspace out at the start of an execution and return it at the
+/// end. Workspace contents are fully overwritten per task, so pooling
+/// never affects results.
+#[derive(Clone, Debug)]
 pub struct ParallelExecutor {
     threads: usize,
+    pool: Arc<Mutex<Vec<Workspace>>>,
 }
+
+impl PartialEq for ParallelExecutor {
+    /// Configuration equality only — the workspace pool is a cache and
+    /// never affects behavior.
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads
+    }
+}
+
+impl Eq for ParallelExecutor {}
 
 impl ParallelExecutor {
     /// An executor with exactly `threads` workers (clamped to ≥ 1).
     pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        // Pre-populate one (empty, allocation-free) workspace per worker,
+        // so the pool's workspace count is fixed at construction instead
+        // of depending on how checkouts happened to overlap — a
+        // prerequisite for deterministic pool statistics.
+        // lint: allow(hot-alloc) — one-time constructor, not the task path
+        let pool = (0..threads).map(|_| Workspace::new()).collect();
         ParallelExecutor {
-            threads: threads.max(1),
+            threads,
+            pool: Arc::new(Mutex::new(pool)),
         }
     }
 
@@ -151,6 +227,55 @@ impl ParallelExecutor {
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Snapshot of the persistent workspace pool (call between plan
+    /// executions; checked-out workspaces are not visible).
+    pub fn pool_stats(&self) -> PoolStats {
+        // Poisoning requires a worker panic, which unwinds the whole
+        // execution scope anyway.
+        let pool = self.pool.lock().unwrap(); // lint: allow(unwrap)
+        PoolStats {
+            workspaces: pool.len(),
+            grow_events: pool.iter().map(|w| w.scratch().grow_events()).sum(),
+            high_water_elems: pool
+                .iter()
+                .map(|w| w.scratch().high_water_elems())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Checks a workspace out of the pool (or makes a cold one), grown
+    /// for `plan`'s largest front, with the flop meter drained so per-task
+    /// deltas start from zero.
+    ///
+    /// Takes the *largest* pooled workspace, not the most recently
+    /// returned one: check-in order depends on worker timing, but the
+    /// pool's multiset of workspaces does not, so best-fit selection
+    /// makes the checked-out set — and therefore all arena growth — a
+    /// deterministic function of the plan sequence. Once warm, the k-th
+    /// largest workspace dominates every plan that ran at width ≥ k, and
+    /// replays stop allocating entirely.
+    fn checkout(&self, plan: &ExecutionPlan) -> Workspace {
+        // lint: allow(unwrap) — poisoning as above
+        let mut pool = self.pool.lock().unwrap();
+        let largest = pool
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, w)| (w.scratch().high_water_elems(), usize::MAX - i))
+            .map(|(i, _)| i);
+        let mut ws = largest.map(|i| pool.swap_remove(i)).unwrap_or_default();
+        drop(pool);
+        ws.reserve(plan.max_workspace_elems(), plan.max_pack_elems());
+        ws.scratch_mut().take_flops();
+        ws
+    }
+
+    /// Returns a workspace to the pool for the next execution.
+    fn checkin(&self, ws: Workspace) {
+        // lint: allow(unwrap) — poisoning as above
+        self.pool.lock().unwrap().push(ws);
     }
 }
 
@@ -181,16 +306,34 @@ impl ParallelExecutor {
         F: Fn(usize, &mut Workspace) -> Result<(), E> + Sync,
     {
         assert_eq!(recompute.len(), plan.num_tasks());
+        self.prepare(plan);
         let total: usize = recompute.iter().filter(|&&r| r).count();
         if self.threads <= 1 || total <= 1 {
-            return run_serial(plan, recompute, &task_fn);
+            return run_serial(self, plan, recompute, &task_fn);
         }
-        run_pool(plan, recompute, &task_fn, self.threads)
+        run_pool(self, plan, recompute, &task_fn, self.threads)
+    }
+
+    /// Grows every pooled workspace to `plan`'s bounds before any worker
+    /// spawns. Doing all growth here, on the calling thread, makes the
+    /// arena statistics a pure function of the plan sequence: which
+    /// worker later picks which workspace (timing-dependent) can no
+    /// longer decide whether a buffer grows. A no-op once the pool is
+    /// warm enough for `plan` — the zero-alloc steady state.
+    fn prepare(&self, plan: &ExecutionPlan) {
+        let front = plan.max_workspace_elems();
+        let pack = plan.max_pack_elems();
+        // lint: allow(unwrap) — poisoning requires a prior worker panic
+        let mut pool = self.pool.lock().unwrap();
+        for ws in pool.iter_mut() {
+            ws.reserve(front, pack);
+        }
     }
 }
 
 /// Inline execution on the calling thread, in plan postorder.
 fn run_serial<E, F>(
+    exec: &ParallelExecutor,
     plan: &ExecutionPlan,
     recompute: &[bool],
     task_fn: &F,
@@ -200,8 +343,10 @@ where
 {
     let epoch = supernova_trace::epoch_seconds();
     let origin = Instant::now();
-    let mut ws = Workspace::with_capacity(plan.max_workspace_elems());
+    let mut ws = exec.checkout(plan);
+    // lint: allow(hot-alloc) — per-execution schedule record, not the task path
     let mut spans = Vec::new();
+    let mut err = None;
     for &s in plan.postorder() {
         if !recompute[s] {
             continue;
@@ -214,26 +359,23 @@ where
             worker: 0,
             start,
             end,
+            kernel_flops: ws.scratch_mut().take_flops(),
         });
         if let Err(e) = res {
-            return (
-                Err(e),
-                HostSchedule {
-                    spans,
-                    workers: 1,
-                    origin: epoch,
-                },
-            );
+            err = Some(e);
+            break;
         }
     }
-    (
-        Ok(()),
-        HostSchedule {
-            spans,
-            workers: 1,
-            origin: epoch,
-        },
-    )
+    exec.checkin(ws);
+    let sched = HostSchedule {
+        spans,
+        workers: 1,
+        origin: epoch,
+    };
+    match err {
+        Some(e) => (Err(e), sched),
+        None => (Ok(()), sched),
+    }
 }
 
 /// Shared pool state: the ready queue plus progress/abort flags.
@@ -246,6 +388,7 @@ struct PoolState {
 
 /// Scoped worker-pool execution.
 fn run_pool<E, F>(
+    exec: &ParallelExecutor,
     plan: &ExecutionPlan,
     recompute: &[bool],
     task_fn: &F,
@@ -275,31 +418,35 @@ where
         remaining: AtomicUsize::new(total),
         abort: AtomicBool::new(false),
     };
+    // lint: allow(hot-alloc) — per-execution error collector, not the task path
     let errors: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
     let epoch = supernova_trace::epoch_seconds();
     let origin = Instant::now();
     let nworkers = threads.min(total.max(1));
 
+    // lint: allow(hot-alloc) — per-execution schedule record, not the task path
     let mut all_spans: Vec<TaskSpan> = Vec::with_capacity(total);
     std::thread::scope(|scope| {
+        // lint: allow(hot-alloc) — per-execution worker handles, not the task path
         let mut handles = Vec::with_capacity(nworkers);
         for worker in 0..nworkers {
             let state = &state;
             let errors = &errors;
             let pending = &pending;
             handles.push(scope.spawn(move || {
-                let mut ws = Workspace::with_capacity(plan.max_workspace_elems());
+                let mut ws = exec.checkout(plan);
+                // lint: allow(hot-alloc) — per-execution schedule record, not the task path
                 let mut spans: Vec<TaskSpan> = Vec::new();
                 loop {
                     let task = {
                         // Poisoning requires a worker panic, which
                         // aborts the whole scope anyway.
                         let mut q = state.ready.lock().unwrap(); // lint: allow(unwrap)
-                        loop {
+                        let picked = loop {
                             if state.abort.load(Ordering::Acquire)
                                 || state.remaining.load(Ordering::Acquire) == 0
                             {
-                                return spans;
+                                break None;
                             }
                             if let Some(pos) = q
                                 .iter()
@@ -307,10 +454,18 @@ where
                                 .min_by_key(|&(_, &t)| t)
                                 .map(|(i, _)| i)
                             {
-                                break q.swap_remove(pos);
+                                break Some(q.swap_remove(pos));
                             }
                             // lint: allow(unwrap) — same poisoning argument
                             q = state.cv.wait(q).unwrap();
+                        };
+                        match picked {
+                            Some(t) => t,
+                            None => {
+                                drop(q);
+                                exec.checkin(ws);
+                                return spans;
+                            }
                         }
                     };
                     let start = origin.elapsed().as_secs_f64();
@@ -321,11 +476,13 @@ where
                         worker,
                         start,
                         end,
+                        kernel_flops: ws.scratch_mut().take_flops(),
                     });
                     match res {
                         Ok(()) => {
                             if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                                 state.cv.notify_all();
+                                exec.checkin(ws);
                                 return spans;
                             }
                             let parent = plan.tasks()[task].parent;
@@ -342,6 +499,7 @@ where
                             errors.lock().unwrap().push((task, e));
                             state.abort.store(true, Ordering::Release);
                             state.cv.notify_all();
+                            exec.checkin(ws);
                             return spans;
                         }
                     }
@@ -480,6 +638,57 @@ mod tests {
     fn env_override_parses() {
         assert_eq!(ParallelExecutor::new(0).threads(), 1);
         assert!(ParallelExecutor::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn workspace_pool_persists_and_stops_growing() {
+        let plan = plan_of(20);
+        let recompute = vec![true; plan.num_tasks()];
+        for threads in [1usize, 3] {
+            let exec = ParallelExecutor::new(threads);
+            // One pre-created (empty) workspace per worker, nothing grown.
+            assert_eq!(
+                exec.pool_stats(),
+                PoolStats {
+                    workspaces: threads,
+                    ..PoolStats::default()
+                }
+            );
+            let task = |_s: usize, ws: &mut Workspace| -> Result<(), ()> {
+                let (front, scratch) = ws.parts();
+                front.reset(6, 6);
+                scratch.reserve(64);
+                Ok(())
+            };
+            let (res, _) = exec.run(&plan, &recompute, task);
+            assert!(res.is_ok());
+            let warm = exec.pool_stats();
+            assert_eq!(warm.workspaces, threads);
+            assert!(warm.high_water_elems >= 64);
+            // Clones share the same pool; re-running must not grow it.
+            let alias = exec.clone();
+            for _ in 0..3 {
+                let (res, _) = alias.run(&plan, &recompute, task);
+                assert!(res.is_ok());
+            }
+            let steady = exec.pool_stats();
+            assert_eq!(steady.workspaces, warm.workspaces, "pool count flat");
+            assert_eq!(steady.grow_events, warm.grow_events, "no arena growth");
+            assert_eq!(steady.high_water_elems, warm.high_water_elems);
+        }
+    }
+
+    #[test]
+    fn kernel_flops_are_recorded_per_span() {
+        let plan = plan_of(6);
+        let recompute = vec![true; plan.num_tasks()];
+        let exec = ParallelExecutor::new(2);
+        let (res, sched) = exec.run::<(), _>(&plan, &recompute, |_s, _ws| Ok(()));
+        assert!(res.is_ok());
+        // No kernels ran, so every span meters zero — but the field is
+        // present and the schedule total agrees.
+        assert!(sched.spans.iter().all(|s| s.kernel_flops == 0));
+        assert_eq!(sched.kernel_flops(), 0);
     }
 
     #[test]

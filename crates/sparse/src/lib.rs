@@ -57,7 +57,7 @@ mod plan;
 mod symbolic;
 
 pub use blockmat::BlockMat;
-pub use executor::{HostSchedule, ParallelExecutor, TaskSpan, Workspace};
+pub use executor::{HostSchedule, ParallelExecutor, PoolStats, TaskSpan, Workspace};
 pub use numeric::{FactorizeError, NodeTrace, NumericFactor, RefactorStats};
 pub use ordering::Permutation;
 pub use pattern::BlockPattern;

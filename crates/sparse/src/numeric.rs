@@ -15,7 +15,7 @@ use std::sync::OnceLock;
 
 use supernova_linalg::ops::{Op, OpTrace};
 use supernova_linalg::{
-    gemv, partial_cholesky_in_place, solve_lower, solve_lower_transpose, Mat, Transpose,
+    gemv, partial_cholesky_scratch, solve_lower, solve_lower_transpose, Mat, Transpose,
 };
 
 use crate::executor::{HostSchedule, ParallelExecutor, Workspace};
@@ -431,7 +431,7 @@ fn compute_task(
     let n = task.rem_dim;
     let t = m + n;
     let mut trace = OpTrace::new();
-    let front = ws.front_mut();
+    let (front, scratch) = ws.parts();
     front.reset(t, t);
     trace.push(Op::Memset { bytes: t * t * 4 });
 
@@ -487,8 +487,10 @@ fn compute_task(
         }
     }
 
-    // Three-step partial factorization (Figure 5, bottom).
-    partial_cholesky_in_place(front, m).map_err(|e| FactorizeError {
+    // Three-step partial factorization (Figure 5, bottom), run through
+    // the worker's pooled pack arena: zero allocation once warm, and the
+    // arena's flop meter feeds the span's `kernel_flops`.
+    partial_cholesky_scratch(front, m, scratch).map_err(|e| FactorizeError {
         node: s,
         front_col: e.col(),
     })?;
@@ -498,12 +500,14 @@ fn compute_task(
         trace.push(Op::Syrk { n, k: m });
     }
 
-    // Copy the supernode columns out of the frontal workspace.
-    let l = front.block(0, 0, t, m);
+    // Copy the supernode columns out of the frontal workspace. These are
+    // the published results, so they genuinely own their storage — the
+    // one permitted allocation per task.
+    let l = front.block(0, 0, t, m); // lint: allow(hot-alloc)
     let update = if n > 0 {
-        front.block(m, m, n, n)
+        front.block(m, m, n, n) // lint: allow(hot-alloc)
     } else {
-        Mat::zeros(0, 0)
+        Mat::zeros(0, 0) // lint: allow(hot-alloc)
     };
     trace.push(Op::Memcpy { bytes: t * m * 4 });
     Ok((

@@ -275,6 +275,18 @@ impl ExecutionPlan {
         self.max_workspace_elems
     }
 
+    /// Scalars each kernel pack buffer needs for the plan's largest front
+    /// ([`supernova_linalg::pack_elems_bound`] over all tasks) — the size
+    /// each worker's [`supernova_linalg::KernelScratch`] is pre-grown to,
+    /// so the blocked kernels never allocate mid-execution.
+    pub fn max_pack_elems(&self) -> usize {
+        self.tasks
+            .iter()
+            .map(|t| supernova_linalg::pack_elems_bound(t.front_dim()))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Every listed task plus all its ancestors, deduplicated and sorted —
     /// the affected set of an incremental re-factorization.
     pub fn ancestor_closure(&self, seeds: impl IntoIterator<Item = usize>) -> Vec<usize> {

@@ -11,6 +11,9 @@
 #   lint         supernova-analyze lint + schedule/ledger/trace invariants
 #   determinism  serial vs 2/4-thread factorization bit-identity
 #   serve-smoke  serving layer: bit-identity, overload, trace cross-check
+#   kernel-bench regenerate results/BENCH_kernels.json (blocked vs
+#                reference dense-kernel throughput; gated on the
+#                in-process speedup ratio, which is host-noise immune)
 #   bench        regenerate results/BENCH_*.json (step_bench + load_gen)
 #   bench-check  compare fresh benchmarks against results/baselines/
 #
@@ -69,6 +72,7 @@ stage doc doc_deny_warnings
 stage lint cargo run -q -p supernova-analyze --bin lint
 stage determinism cargo run --release -q -p supernova-bench --bin determinism
 stage serve-smoke cargo run --release -q -p supernova-serve --bin serve_smoke
+stage kernel-bench cargo run --release -q -p supernova-bench --features bench-harness --bin kernel_bench
 stage bench bench_regen
 stage bench-check cargo run --release -q -p supernova-bench --bin bench_check
 
