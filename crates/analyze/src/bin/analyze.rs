@@ -1,0 +1,108 @@
+//! Machine-readable static-analysis driver:
+//! `cargo run -p supernova-analyze --bin analyze -- [--json <path>]`.
+//!
+//! Runs the lint engine (v2, token-stream) over every crate's `src/` tree
+//! and the plan-interference certification sweep over the seeded datasets,
+//! then emits one deterministic JSON report: live violations, every
+//! allow-escape with its provenance line, and one certification record per
+//! dataset (task/level counts, structural fingerprint, violations if any).
+//!
+//! Exit status: nonzero if any live lint violation exists or any dataset
+//! plan fails certification. Allow-suppressed findings never fail the run
+//! — they are reported so CI can audit them.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use supernova_analyze::{certify_datasets, lint_workspace_diag, render_json};
+
+/// The workspace root: this file lives at
+/// `crates/analyze/src/bin/analyze.rs`.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("analyze: --json needs a file path");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            eprintln!("analyze: unknown argument `{arg}` (usage: analyze [--json <path>])");
+            return ExitCode::from(2);
+        }
+    }
+
+    let root = workspace_root();
+    println!("analyze: linting {}", root.display());
+    let diags = match lint_workspace_diag(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("analyze: cannot read workspace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &diags.violations {
+        println!("  {v}");
+    }
+    println!(
+        "analyze: {} violation(s), {} allow-suppressed",
+        diags.violations.len(),
+        diags.allowed.len()
+    );
+    for a in &diags.allowed {
+        println!(
+            "  allowed {}:{} [{}] via allow at line {}",
+            a.violation.file.display(),
+            a.violation.line,
+            a.violation.rule,
+            a.allow_line
+        );
+    }
+
+    println!("analyze: certifying dataset execution plans");
+    let certs = certify_datasets();
+    let mut uncertified = 0usize;
+    for c in &certs {
+        if c.certified {
+            println!(
+                "  {}: certified ({} tasks, {} levels, fingerprint {:#018x})",
+                c.dataset, c.num_tasks, c.num_levels, c.fingerprint
+            );
+        } else {
+            uncertified += 1;
+            println!("  {}: NOT certified", c.dataset);
+            for v in &c.violations {
+                println!("    {v}");
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let report = render_json(&diags, &certs);
+        if let Err(e) = std::fs::write(&path, report) {
+            eprintln!("analyze: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("analyze: report written to {path}");
+    }
+
+    if diags.violations.is_empty() && uncertified == 0 {
+        println!("analyze: clean");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -4,13 +4,22 @@
 //! Two halves, one goal — keeping the reproduction *deterministic and
 //! auditable*:
 //!
-//! - [`lint`]: a dependency-free source lint pass over every crate's
-//!   `src/` tree. It enforces the workspace's determinism and robustness
-//!   conventions (no hash-container iteration in order-sensitive paths, no
-//!   `unwrap`/`expect` in library code, no float `==` in kernels, strict
-//!   crate attributes), with a `// lint: allow(<rule>)` escape hatch that
-//!   doubles as documentation of every deliberate exception. Run it with
-//!   `cargo run -p supernova-analyze --bin lint`.
+//! - [`lint`]: a dependency-free source lint pass (token-stream lexer,
+//!   engine v2) over every crate's `src/` tree. It enforces the
+//!   workspace's determinism and robustness conventions (no hash-container
+//!   iteration in order-sensitive paths, no `unwrap`/`expect` in library
+//!   code, no panics or slice indexing on request-handling/decode paths,
+//!   no ambient wall-clock reads, ranked lock ordering, no float `==` in
+//!   kernels, strict crate attributes), with a `// lint: allow(<rule>)`
+//!   escape hatch that doubles as documentation of every deliberate
+//!   exception. Run it with `cargo run -p supernova-analyze --bin lint`,
+//!   or `--bin analyze -- --json <path>` for the machine-readable report.
+//! - [`interference`]: the static interference checker over the
+//!   [`ExecutionPlan`](supernova_sparse::ExecutionPlan) IR — proves every
+//!   same-level task pair access-disjoint and issues the
+//!   [`PlanCertificate`](supernova_sparse::interference::PlanCertificate)
+//!   that unlocks the executor's batched level dispatch — plus the
+//!   seeded-dataset certification sweep.
 //! - [`validate`]: a schedule and ledger invariant checker over the
 //!   runtime's executed-schedule traces
 //!   ([`ExecTrace`](supernova_runtime::ExecTrace)): happens-before
@@ -23,11 +32,18 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod interference;
 pub mod lint;
+pub mod report;
 pub mod validate;
 pub mod validate_trace;
 
-pub use lint::{lint_file, lint_workspace, Rule, Violation};
+pub use interference::{certify_datasets, DatasetCertification};
+pub use lint::{
+    lint_file, lint_file_diag, lint_workspace, lint_workspace_diag, AllowedViolation, Diagnostics,
+    Rule, Violation,
+};
+pub use report::render_json;
 pub use validate::{
     validate_dispatch, validate_energy, validate_exec, validate_host_schedule, validate_step,
     DispatchRecord, Invariant, ScheduleViolation,

@@ -24,12 +24,21 @@
 //! - **Determinism drift**: fields the design guarantees are
 //!   machine-independent must match the baseline *exactly* — step
 //!   counts, simulated SoC cycles, shed counts, the nominal scenario's
-//!   bit-identity verdict, and dispatch-span violation counts. Any
-//!   change here is a correctness regression, not noise, so no tolerance
-//!   applies. Scenarios flagged `deterministic_counts: false` (overload
+//!   bit-identity verdict, dispatch-span violation counts, and the
+//!   dispatch mode of each step-latency run (a certified plan must
+//!   level-batch; falling back to dep-counting means certification
+//!   regressed). Any change here is a correctness regression, not
+//!   noise, so no tolerance applies. Scenarios flagged `deterministic_counts: false` (overload
 //!   bursts, whose admitted/shed split races the workers) are instead
 //!   gated on their conserved invariants: the whole burst is accounted
 //!   for and every admitted update completed.
+//!
+//! Each step-latency run's per-task dispatch overhead gets its own
+//! wall-style gate with a microsecond-scale absolute slack
+//! (`BENCH_CHECK_DISPATCH_SLACK_S`, default 200 us): the level-batched
+//! dispatcher exists to shrink per-task bookkeeping, so its cost is
+//! tracked as a first-class regression surface rather than buried in
+//! whole-replay wall time.
 //!
 //! The kernel check is ratio-based rather than wall-based: each case's
 //! blocked-vs-reference speedup is measured within one process run, so
@@ -77,6 +86,7 @@ fn load(report: &mut Report, label: &str, path: &str) -> Option<Json> {
 struct Gate {
     tolerance: f64,
     slack_s: f64,
+    dispatch_slack_s: f64,
 }
 
 impl Gate {
@@ -90,6 +100,7 @@ impl Gate {
         Gate {
             tolerance: parse_env("BENCH_CHECK_TOLERANCE", 0.15),
             slack_s: parse_env("BENCH_CHECK_SLACK_S", 0.025),
+            dispatch_slack_s: parse_env("BENCH_CHECK_DISPATCH_SLACK_S", 0.0002),
         }
     }
 
@@ -104,6 +115,33 @@ impl Gate {
             name,
             fresh <= limit,
             &format!("{fresh:.4}s vs baseline {base:.4}s (limit {limit:.4}s)"),
+        );
+    }
+
+    /// The per-task dispatch-overhead sub-check: same shape as `wall`,
+    /// but with a microsecond-scale absolute slack — the 25 ms wall
+    /// slack would swallow any plausible per-task regression.
+    fn dispatch_overhead(
+        &self,
+        report: &mut Report,
+        name: &str,
+        fresh: Option<f64>,
+        base: Option<f64>,
+    ) {
+        let (Some(fresh), Some(base)) = (fresh, base) else {
+            report.check(name, false, "dispatch-overhead field missing on one side");
+            return;
+        };
+        let limit = base * (1.0 + self.tolerance) + self.dispatch_slack_s;
+        report.check(
+            name,
+            fresh <= limit,
+            &format!(
+                "{:.1}us/task vs baseline {:.1}us/task (limit {:.1}us/task)",
+                fresh * 1e6,
+                base * 1e6,
+                limit * 1e6
+            ),
         );
     }
 }
@@ -204,6 +242,25 @@ fn check_step_latency(report: &mut Report, gate: &Gate) {
                 &format!("step-latency/{ds}/{t}t/sim-cycles"),
                 fr.get("sim_cycles").and_then(Json::as_f64),
                 br.get("sim_cycles").and_then(Json::as_f64),
+            );
+            // The dispatch mode is a pure function of thread count and
+            // plan certification (1 thread runs serial, more threads
+            // level-batch every certified plan), so it is gated exactly:
+            // a dep-counted run here means a dataset plan stopped
+            // certifying, which is a correctness regression.
+            exact(
+                report,
+                &format!("step-latency/{ds}/{t}t/dispatch-mode"),
+                fr.get("dispatch_mode").and_then(Json::as_f64),
+                br.get("dispatch_mode").and_then(Json::as_f64),
+            );
+            gate.dispatch_overhead(
+                report,
+                &format!("step-latency/{ds}/{t}t/dispatch-overhead"),
+                fr.get("dispatch_overhead_per_task_s")
+                    .and_then(Json::as_f64),
+                br.get("dispatch_overhead_per_task_s")
+                    .and_then(Json::as_f64),
             );
         }
     }

@@ -19,7 +19,12 @@
 //!   priced trace is too);
 //! - the plan's modeled subtree-parallel speedup
 //!   (`total_cost / critical_path_cost`), which is what the measured
-//!   speedup converges to given enough host cores.
+//!   speedup converges to given enough host cores;
+//! - the dispatch mode of the final full-refactor host schedule (serial /
+//!   dep-counted / level-batched — level-batched proves the interference
+//!   certificate gate engaged) and that schedule's dispatch overhead per
+//!   task, the number `bench_check` gates so the batched dispatcher's
+//!   per-task bookkeeping cost cannot silently regress.
 //!
 //! `host_cpus` is recorded so a reader can tell whether the measured
 //! speedup was core-limited (e.g. a 1-CPU CI container cannot show any
@@ -89,6 +94,14 @@ struct Run {
     sim_cycles: f64,
     /// Plan-modeled subtree parallelism of the final tree.
     modeled_speedup: f64,
+    /// Dispatch strategy of the final full-refactor host schedule
+    /// (0 serial, 1 dep-counted, 2 level-batched).
+    dispatch_mode: u64,
+    /// Dispatch overhead of that schedule, per task: the gap between
+    /// `makespan * workers` and summed busy time, divided by task count.
+    /// On a core-starved host this includes worker idle time, so it is
+    /// gated with a tolerance, not exactly.
+    dispatch_overhead_per_task_s: f64,
 }
 
 fn replay(dataset: &Dataset, threads: usize) -> Run {
@@ -116,6 +129,15 @@ fn replay(dataset: &Dataset, threads: usize) -> Run {
     let _ = solver.core_mut().factorize_and_solve();
     let refactor_wall_s = t1.elapsed().as_secs_f64();
 
+    // The refactor above is the freshest plan execution, so its host
+    // schedule witnesses which dispatch strategy the certificate gate
+    // selected and what the dispatch machinery cost per task.
+    let sched = solver.core().last_host_schedule();
+    let dispatch_mode = sched.map(|s| s.mode.as_u64()).unwrap_or(0);
+    let dispatch_overhead_per_task_s = sched
+        .map(|s| s.dispatch_overhead_per_task_s())
+        .unwrap_or(0.0);
+
     let modeled_speedup = solver
         .core()
         .plan()
@@ -128,6 +150,8 @@ fn replay(dataset: &Dataset, threads: usize) -> Run {
         sim_numeric_s,
         sim_cycles: sim_numeric_s * platform.soc().freq_hz,
         modeled_speedup,
+        dispatch_mode,
+        dispatch_overhead_per_task_s,
     }
 }
 
@@ -196,6 +220,12 @@ fn main() {
                 "          \"refactor_speedup_vs_serial\": {:.4},",
                 serial_refactor / r.refactor_wall_s
             );
+            let _ = writeln!(out, "          \"dispatch_mode\": {},", r.dispatch_mode);
+            let _ = writeln!(
+                out,
+                "          \"dispatch_overhead_per_task_s\": {:.9},",
+                r.dispatch_overhead_per_task_s
+            );
             let _ = writeln!(out, "          \"sim_numeric_s\": {:.9},", r.sim_numeric_s);
             let _ = writeln!(out, "          \"sim_cycles\": {:.0}", r.sim_cycles);
             let comma = if i + 1 < runs.len() { "," } else { "" };
@@ -208,13 +238,15 @@ fn main() {
         for r in &runs {
             eprintln!(
                 "  {} threads: wall {:.3}s (refactor {:.4}s, {:.2}x), sim numeric {:.4}s, \
-                 modeled {:.2}x",
+                 modeled {:.2}x, dispatch mode {} ({:.1}us/task overhead)",
                 r.threads,
                 r.wall_s,
                 r.refactor_wall_s,
                 serial_refactor / r.refactor_wall_s,
                 r.sim_numeric_s,
-                r.modeled_speedup
+                r.modeled_speedup,
+                r.dispatch_mode,
+                r.dispatch_overhead_per_task_s * 1e6
             );
         }
     }

@@ -79,10 +79,9 @@ fn handle(server: &Server, replays: &mut BTreeMap<u64, Replay>, req: Request) ->
             let mut accepted = 0u32;
             let mut shed = 0u32;
             for i in 0..count {
-                if replay.cursor >= replay.steps.len() {
+                let Some(step) = replay.steps.get(replay.cursor) else {
                     break; // the replayed trajectory is exhausted
-                }
-                let step = &replay.steps[replay.cursor];
+                };
                 replay.cursor += 1;
                 let req = UpdateRequest::new(
                     deadline + u64::from(i),
@@ -166,10 +165,14 @@ fn main() {
             addr = arg;
         }
     }
-    let listener =
-        TcpListener::bind(&addr).unwrap_or_else(|e| panic!("serve_tcp: cannot bind {addr}: {e}"));
-    let local = listener.local_addr().expect("bound socket has an address");
-    println!("serve_tcp listening on {local}");
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("serve_tcp: cannot bind {addr}: {e}");
+        std::process::exit(2);
+    });
+    match listener.local_addr() {
+        Ok(local) => println!("serve_tcp listening on {local}"),
+        Err(_) => println!("serve_tcp listening on {addr}"),
+    }
 
     let server = Server::start(ServeConfig {
         trace: if trace_path.is_some() {

@@ -167,28 +167,36 @@ impl<'a> Cursor<'a> {
             .at
             .checked_add(n)
             .ok_or(WireError::Malformed("length overflow"))?;
-        if end > self.buf.len() {
-            return Err(WireError::Malformed("truncated frame"));
-        }
-        let s = &self.buf[self.at..end];
+        let s = self
+            .buf
+            .get(self.at..end)
+            .ok_or(WireError::Malformed("truncated frame"))?;
         self.at = end;
         Ok(s)
     }
 
+    /// Takes exactly `N` bytes as an array — the fixed-width primitive
+    /// reads below go through this so no decode path ever indexes a slice.
+    fn take_arr<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        for (dst, src) in a.iter_mut().zip(s) {
+            *dst = *src;
+        }
+        Ok(a)
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_arr::<1>()?;
+        Ok(b)
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_le_bytes(self.take_arr::<4>()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        Ok(u64::from_le_bytes(self.take_arr::<8>()?))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -230,16 +238,18 @@ pub fn encode_variable(out: &mut Vec<u8>, var: &Variable) {
             let (c, s) = p.rotation().cos_sin();
             put_f64(out, c);
             put_f64(out, s);
-            let t = p.translation();
-            put_f64(out, t[0]);
-            put_f64(out, t[1]);
+            let [tx, ty] = p.translation();
+            put_f64(out, tx);
+            put_f64(out, ty);
         }
         Variable::Se3(p) => {
             out.push(VAR_SE3);
             let m = p.rotation().matrix();
             for r in 0..3 {
                 for c in 0..3 {
-                    put_f64(out, m[(r, c)]);
+                    // Encode side over internal state: indices are bounded
+                    // by the literal 0..3 loops against a 3x3 rotation.
+                    put_f64(out, m[(r, c)]); // lint: allow(panic-path)
                 }
             }
             let t = p.translation();

@@ -8,8 +8,8 @@ use supernova_linalg::ops::{Op, OpTrace};
 use supernova_linalg::{gemm, norm_inf, Mat, Transpose};
 use supernova_runtime::{node_work_from_plan, StepTrace};
 use supernova_sparse::{
-    ordering, BlockMat, BlockPattern, ExecutionPlan, HostSchedule, NumericFactor, ParallelExecutor,
-    SymbolicFactor,
+    interference, ordering, BlockMat, BlockPattern, ExecutionPlan, HostSchedule, NumericFactor,
+    ParallelExecutor, PlanCertificate, SymbolicFactor,
 };
 
 /// A prepared fill-reducing reordering (see
@@ -69,6 +69,11 @@ pub struct IncrementalCore {
     /// for. The pattern only ever grows, so an unchanged pair proves the
     /// structure is unchanged.
     plan_structure: Option<(usize, usize)>,
+    /// Level-safety certificate for the cached plan, computed once per
+    /// plan rebuild by the static interference checker. `None` if the
+    /// plan could not be proven safe — the executor then falls back to
+    /// dependency-counted dispatch.
+    plan_cert: Option<PlanCertificate>,
     /// Bumped every time the plan cache is rebuilt (testability hook for
     /// the invalidation rules).
     plan_generation: usize,
@@ -140,6 +145,12 @@ impl IncrementalCore {
     /// The cached execution plan (after the first [`analyze`](Self::analyze)).
     pub fn plan(&self) -> Option<&ExecutionPlan> {
         self.plan.as_ref()
+    }
+
+    /// The level-safety certificate of the cached plan, if the static
+    /// interference checker proved it (recomputed at every plan rebuild).
+    pub fn plan_certificate(&self) -> Option<&PlanCertificate> {
+        self.plan_cert.as_ref()
     }
 
     /// How many times the plan cache has been (re)built. Stays flat across
@@ -332,7 +343,11 @@ impl IncrementalCore {
         let structure = (self.pattern.num_blocks(), self.pattern.nnz_blocks());
         if self.plan.is_none() || self.plan_structure != Some(structure) {
             let sym = SymbolicFactor::analyze(&self.pattern, self.relax);
-            self.plan = Some(ExecutionPlan::from_symbolic(&sym));
+            let plan = ExecutionPlan::from_symbolic(&sym);
+            // Certify once per rebuild; an unprovable plan just keeps the
+            // dependency-counted dispatch path.
+            self.plan_cert = interference::certify(&plan).ok();
+            self.plan = Some(plan);
             self.plan_structure = Some(structure);
             self.plan_generation += 1;
             self.sym = Some(sym);
@@ -419,7 +434,9 @@ impl IncrementalCore {
                 .pattern_size_of_nodes(&(0..plan.sym.nodes().len()).collect::<Vec<_>>());
         // A reorder permutes the structure without changing the block or
         // nnz counts, so the plan cache must be invalidated explicitly.
-        self.plan = Some(ExecutionPlan::from_symbolic(&plan.sym));
+        let exec_plan = ExecutionPlan::from_symbolic(&plan.sym);
+        self.plan_cert = interference::certify(&exec_plan).ok();
+        self.plan = Some(exec_plan);
         self.plan_structure = Some((self.pattern.num_blocks(), self.pattern.nnz_blocks()));
         self.plan_generation += 1;
         self.sym = Some(plan.sym);
@@ -487,12 +504,15 @@ impl IncrementalCore {
         // Incremental plan execution with non-PD damping recovery.
         let mut attempts = 0usize;
         let stats = loop {
+            let cert = self.plan_cert.as_ref();
             let result = match self.num.as_mut() {
-                Some(num) => num.execute_plan(plan, &self.h, &dirty, &self.executor),
+                Some(num) => {
+                    num.execute_plan_certified(plan, &self.h, &dirty, &self.executor, cert)
+                }
                 None => {
                     let all: Vec<usize> = (0..plan.num_blocks()).collect();
                     let mut num = NumericFactor::empty(plan);
-                    num.execute_plan(plan, &self.h, &all, &self.executor)
+                    num.execute_plan_certified(plan, &self.h, &all, &self.executor, cert)
                         .map(|out| {
                             self.num = Some(num);
                             out

@@ -12,11 +12,12 @@
 //! serial execution at any thread count.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::Instant;
 
 use supernova_linalg::{KernelScratch, Mat};
 
+use crate::interference::PlanCertificate;
 use crate::ExecutionPlan;
 
 /// A worker's preallocated scratch buffers, reused across every task the
@@ -80,6 +81,43 @@ impl Workspace {
     }
 }
 
+/// How a plan execution sequenced its tasks. Recorded on every
+/// [`HostSchedule`] (and exported as the `dispatch_mode` counter on exec
+/// trace spans) so benchmarks and CI can see which dispatch path ran.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Inline postorder on the calling thread (one worker).
+    #[default]
+    Serial = 0,
+    /// Worker pool with per-task dependency counters and a shared ready
+    /// queue — correct for *any* plan, but every task completion takes the
+    /// queue lock.
+    DepCounted = 1,
+    /// Worker pool with one atomic claim cursor per topological level and
+    /// a barrier between levels — no locks on the task path. Requires a
+    /// [`PlanCertificate`] proving intra-level tasks access-disjoint.
+    LevelBatched = 2,
+}
+
+impl DispatchMode {
+    /// Stable numeric encoding for trace counters.
+    pub fn as_u64(self) -> u64 {
+        self as u64
+    }
+}
+
+/// Which dispatch strategies an executor may pick from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Use level-batched dispatch whenever a covering [`PlanCertificate`]
+    /// is supplied; fall back to dependency counting otherwise.
+    #[default]
+    Auto,
+    /// Always use dependency-counted dispatch, even for certified plans
+    /// (for A/B comparison and as a conservative escape hatch).
+    DepCounted,
+}
+
 /// One executed task span in a host schedule: which worker ran which
 /// supernode over which wall-clock interval.
 #[derive(Clone, Debug)]
@@ -115,6 +153,8 @@ pub struct HostSchedule {
     /// values are relative to this origin, so `origin + start` places a
     /// task on the same timeline as every other traced subsystem.
     pub origin: f64,
+    /// Which dispatch strategy sequenced this execution.
+    pub mode: DispatchMode,
 }
 
 impl HostSchedule {
@@ -142,6 +182,25 @@ impl HostSchedule {
     /// unlike the wall-clock fields).
     pub fn kernel_flops(&self) -> u64 {
         self.spans.iter().map(|s| s.kernel_flops).sum()
+    }
+
+    /// Total dispatch overhead in worker-seconds: wall-clock capacity the
+    /// pool held (`makespan × workers`) minus the time workers actually
+    /// spent inside tasks. Covers queue locking, dependency bookkeeping,
+    /// barrier waits and level-tail idling.
+    pub fn dispatch_overhead_s(&self) -> f64 {
+        (self.makespan() * self.workers as f64 - self.busy_time()).max(0.0)
+    }
+
+    /// Dispatch overhead per executed task, in seconds — the metric the
+    /// benchmark gate tracks across the dep-counted → level-batched
+    /// transition.
+    pub fn dispatch_overhead_per_task_s(&self) -> f64 {
+        if self.spans.is_empty() {
+            0.0
+        } else {
+            self.dispatch_overhead_s() / self.spans.len() as f64
+        }
     }
 }
 
@@ -175,6 +234,7 @@ pub struct PoolStats {
 #[derive(Clone, Debug)]
 pub struct ParallelExecutor {
     threads: usize,
+    policy: DispatchPolicy,
     pool: Arc<Mutex<Vec<Workspace>>>,
 }
 
@@ -182,7 +242,7 @@ impl PartialEq for ParallelExecutor {
     /// Configuration equality only — the workspace pool is a cache and
     /// never affects behavior.
     fn eq(&self, other: &Self) -> bool {
-        self.threads == other.threads
+        self.threads == other.threads && self.policy == other.policy
     }
 }
 
@@ -200,8 +260,25 @@ impl ParallelExecutor {
         let pool = (0..threads).map(|_| Workspace::new()).collect();
         ParallelExecutor {
             threads,
+            policy: DispatchPolicy::default(),
             pool: Arc::new(Mutex::new(pool)),
         }
+    }
+
+    /// Same executor with the given dispatch policy.
+    pub fn with_policy(mut self, policy: DispatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the dispatch policy in place.
+    pub fn set_policy(&mut self, policy: DispatchPolicy) {
+        self.policy = policy;
+    }
+
+    /// The configured dispatch policy.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
     }
 
     /// A single-threaded (inline) executor.
@@ -210,7 +287,9 @@ impl ParallelExecutor {
     }
 
     /// Reads the worker count from the `SUPERNOVA_THREADS` environment
-    /// variable, falling back to the host's available parallelism.
+    /// variable, falling back to the host's available parallelism, and
+    /// the dispatch policy from `SUPERNOVA_DISPATCH` (`depcount` forces
+    /// dependency counting; anything else keeps the `Auto` default).
     pub fn from_env() -> Self {
         let threads = std::env::var("SUPERNOVA_THREADS")
             .ok()
@@ -221,7 +300,11 @@ impl ParallelExecutor {
                     .map(|n| n.get())
                     .unwrap_or(1)
             });
-        ParallelExecutor::new(threads)
+        let policy = match std::env::var("SUPERNOVA_DISPATCH").as_deref() {
+            Ok("depcount") => DispatchPolicy::DepCounted,
+            _ => DispatchPolicy::Auto,
+        };
+        ParallelExecutor::new(threads).with_policy(policy)
     }
 
     /// The configured worker count.
@@ -305,11 +388,36 @@ impl ParallelExecutor {
         E: Send,
         F: Fn(usize, &mut Workspace) -> Result<(), E> + Sync,
     {
+        self.run_certified(plan, recompute, None, task_fn)
+    }
+
+    /// [`run`](Self::run), but with an optional level-safety proof. When
+    /// `cert` [covers](PlanCertificate::covers) `plan` and the policy is
+    /// [`DispatchPolicy::Auto`], multi-threaded executions use the
+    /// lock-free level-batched dispatcher; otherwise the dependency-counted
+    /// pool runs exactly as before. Results are bit-identical on every
+    /// path — the certificate only changes *when* independent tasks run,
+    /// never their inputs.
+    pub fn run_certified<E, F>(
+        &self,
+        plan: &ExecutionPlan,
+        recompute: &[bool],
+        cert: Option<&PlanCertificate>,
+        task_fn: F,
+    ) -> (Result<(), E>, HostSchedule)
+    where
+        E: Send,
+        F: Fn(usize, &mut Workspace) -> Result<(), E> + Sync,
+    {
         assert_eq!(recompute.len(), plan.num_tasks());
         self.prepare(plan);
         let total: usize = recompute.iter().filter(|&&r| r).count();
         if self.threads <= 1 || total <= 1 {
             return run_serial(self, plan, recompute, &task_fn);
+        }
+        let certified = self.policy == DispatchPolicy::Auto && cert.is_some_and(|c| c.covers(plan));
+        if certified {
+            return run_batched(self, plan, recompute, &task_fn, self.threads);
         }
         run_pool(self, plan, recompute, &task_fn, self.threads)
     }
@@ -371,6 +479,7 @@ where
         spans,
         workers: 1,
         origin: epoch,
+        mode: DispatchMode::Serial,
     };
     match err {
         Some(e) => (Err(e), sched),
@@ -523,6 +632,130 @@ where
         spans: all_spans,
         workers: nworkers,
         origin: epoch,
+        mode: DispatchMode::DepCounted,
+    };
+    let mut errs = errors.into_inner().unwrap_or_default();
+    if errs.is_empty() {
+        (Ok(()), sched)
+    } else {
+        errs.sort_by_key(|&(t, _)| t);
+        let (_, e) = errs.swap_remove(0);
+        (Err(e), sched)
+    }
+}
+
+/// Level-batched worker-pool execution for certified plans: one atomic
+/// claim cursor per topological level and a [`Barrier`] between levels.
+///
+/// Inside a level there is no ordering at all — the [`PlanCertificate`]
+/// proves intra-level tasks access-disjoint, so any interleaving computes
+/// identical bits. *Between* levels the barrier provides the
+/// happens-before edge every cross-level read (a parent consuming a
+/// child's published update matrix) needs: a worker passes the level-`k`
+/// barrier only after every level-`k` task has completed and published.
+///
+/// The task path holds no locks: claiming a task is one `fetch_add` on the
+/// level cursor. On error the abort flag stops further claims, but every
+/// worker still reaches every barrier so nobody deadlocks.
+fn run_batched<E, F>(
+    exec: &ParallelExecutor,
+    plan: &ExecutionPlan,
+    recompute: &[bool],
+    task_fn: &F,
+    threads: usize,
+) -> (Result<(), E>, HostSchedule)
+where
+    E: Send,
+    F: Fn(usize, &mut Workspace) -> Result<(), E> + Sync,
+{
+    let total: usize = recompute.iter().filter(|&&r| r).count();
+    // Per-level worklists of recomputed tasks, ascending task id so claim
+    // order is deterministic given claim timing.
+    // lint: allow(hot-alloc) — per-execution dispatch tables, not the task path
+    let levels: Vec<Vec<usize>> = plan
+        .levels()
+        .iter()
+        .map(|members| {
+            let mut v: Vec<usize> = members.iter().copied().filter(|&s| recompute[s]).collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    let cursors: Vec<AtomicUsize> = levels.iter().map(|_| AtomicUsize::new(0)).collect();
+    let abort = AtomicBool::new(false);
+    // lint: allow(hot-alloc) — per-execution error collector, not the task path
+    let errors: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
+    let epoch = supernova_trace::epoch_seconds();
+    let origin = Instant::now();
+    let nworkers = threads.min(total.max(1));
+    let barrier = Barrier::new(nworkers);
+
+    // lint: allow(hot-alloc) — per-execution schedule record, not the task path
+    let mut all_spans: Vec<TaskSpan> = Vec::with_capacity(total);
+    std::thread::scope(|scope| {
+        // lint: allow(hot-alloc) — per-execution worker handles, not the task path
+        let mut handles = Vec::with_capacity(nworkers);
+        for worker in 0..nworkers {
+            let levels = &levels;
+            let cursors = &cursors;
+            let abort = &abort;
+            let errors = &errors;
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                let mut ws = exec.checkout(plan);
+                // lint: allow(hot-alloc) — per-execution schedule record, not the task path
+                let mut spans: Vec<TaskSpan> = Vec::new();
+                for (lvl, members) in levels.iter().enumerate() {
+                    loop {
+                        if abort.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let idx = cursors[lvl].fetch_add(1, Ordering::AcqRel);
+                        let Some(&task) = members.get(idx) else {
+                            break;
+                        };
+                        let start = origin.elapsed().as_secs_f64();
+                        let res = task_fn(task, &mut ws);
+                        let end = origin.elapsed().as_secs_f64();
+                        spans.push(TaskSpan {
+                            node: task,
+                            worker,
+                            start,
+                            end,
+                            kernel_flops: ws.scratch_mut().take_flops(),
+                        });
+                        if let Err(e) = res {
+                            // lint: allow(unwrap) — poisoning needs a prior worker panic
+                            errors.lock().unwrap().push((task, e));
+                            abort.store(true, Ordering::Release);
+                        }
+                    }
+                    // Every worker reaches every barrier — including after
+                    // an abort — so no one is left waiting.
+                    barrier.wait();
+                }
+                exec.checkin(ws);
+                spans
+            }));
+        }
+        for h in handles {
+            if let Ok(spans) = h.join() {
+                all_spans.extend(spans);
+            }
+        }
+    });
+
+    all_spans.sort_by(|a, b| {
+        a.start
+            .partial_cmp(&b.start)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
+    });
+    let sched = HostSchedule {
+        spans: all_spans,
+        workers: nworkers,
+        origin: epoch,
+        mode: DispatchMode::LevelBatched,
     };
     let mut errs = errors.into_inner().unwrap_or_default();
     if errs.is_empty() {
@@ -689,6 +922,170 @@ mod tests {
         // present and the schedule total agrees.
         assert!(sched.spans.iter().all(|s| s.kernel_flops == 0));
         assert_eq!(sched.kernel_flops(), 0);
+    }
+
+    #[test]
+    fn certified_run_uses_level_batched_dispatch() {
+        let plan = plan_of(24);
+        let cert = crate::interference::certify(&plan).expect("chain plan certifies");
+        let recompute = vec![true; plan.num_tasks()];
+        for threads in [2usize, 4] {
+            let counts: Vec<AtomicUsize> =
+                (0..plan.num_tasks()).map(|_| AtomicUsize::new(0)).collect();
+            let (res, sched) = ParallelExecutor::new(threads).run_certified::<(), _>(
+                &plan,
+                &recompute,
+                Some(&cert),
+                |s, _ws| {
+                    counts[s].fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                },
+            );
+            assert!(res.is_ok());
+            assert_eq!(sched.mode, DispatchMode::LevelBatched);
+            assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+            assert_eq!(sched.spans.len(), plan.num_tasks());
+        }
+    }
+
+    #[test]
+    fn batched_dispatch_orders_children_before_parents() {
+        let plan = plan_of(16);
+        let cert = crate::interference::certify(&plan).expect("certifies");
+        let recompute = vec![true; plan.num_tasks()];
+        let clock = AtomicU64::new(0);
+        let marks: Vec<(AtomicU64, AtomicU64)> = (0..plan.num_tasks())
+            .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+            .collect();
+        let (res, sched) = ParallelExecutor::new(3).run_certified::<(), _>(
+            &plan,
+            &recompute,
+            Some(&cert),
+            |s, _ws| {
+                marks[s]
+                    .0
+                    .store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+                marks[s]
+                    .1
+                    .store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+                Ok(())
+            },
+        );
+        assert!(res.is_ok());
+        assert_eq!(sched.mode, DispatchMode::LevelBatched);
+        for task in plan.tasks() {
+            for mg in &task.merges {
+                let child_end = marks[mg.child].1.load(Ordering::SeqCst);
+                let parent_start = marks[task.node].0.load(Ordering::SeqCst);
+                assert!(
+                    child_end < parent_start,
+                    "child {} overlapped parent {} under batched dispatch",
+                    mg.child,
+                    task.node
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_policy_and_coverage_gate_batching() {
+        let plan = plan_of(12);
+        let cert = crate::interference::certify(&plan).expect("certifies");
+        let recompute = vec![true; plan.num_tasks()];
+        // DepCounted policy ignores the certificate.
+        let exec = ParallelExecutor::new(2).with_policy(DispatchPolicy::DepCounted);
+        let (res, sched) =
+            exec.run_certified::<(), _>(&plan, &recompute, Some(&cert), |_s, _ws| Ok(()));
+        assert!(res.is_ok());
+        assert_eq!(sched.mode, DispatchMode::DepCounted);
+        // No certificate → dep-counted fallback.
+        let (res, sched) =
+            ParallelExecutor::new(2)
+                .run_certified::<(), _>(&plan, &recompute, None, |_s, _ws| Ok(()));
+        assert!(res.is_ok());
+        assert_eq!(sched.mode, DispatchMode::DepCounted);
+        // A certificate for a *different* plan must not be trusted.
+        let other = plan_of(5);
+        let foreign = crate::interference::certify(&other).expect("certifies");
+        let (res, sched) = ParallelExecutor::new(2).run_certified::<(), _>(
+            &plan,
+            &recompute,
+            Some(&foreign),
+            |_s, _ws| Ok(()),
+        );
+        assert!(res.is_ok());
+        assert_eq!(sched.mode, DispatchMode::DepCounted);
+        // Serial executions are stamped Serial regardless of certificate.
+        let (res, sched) = ParallelExecutor::serial().run_certified::<(), _>(
+            &plan,
+            &recompute,
+            Some(&cert),
+            |_s, _ws| Ok(()),
+        );
+        assert!(res.is_ok());
+        assert_eq!(sched.mode, DispatchMode::Serial);
+    }
+
+    #[test]
+    fn batched_dispatch_propagates_errors_without_deadlock() {
+        let plan = plan_of(12);
+        let cert = crate::interference::certify(&plan).expect("certifies");
+        let recompute = vec![true; plan.num_tasks()];
+        for threads in [2usize, 4] {
+            let (res, _) = ParallelExecutor::new(threads).run_certified::<usize, _>(
+                &plan,
+                &recompute,
+                Some(&cert),
+                |s, _ws| {
+                    if s == 0 {
+                        Err(s)
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+            assert_eq!(res, Err(0));
+        }
+    }
+
+    #[test]
+    fn batched_dispatch_skips_non_recomputed_tasks() {
+        let plan = plan_of(10);
+        let cert = crate::interference::certify(&plan).expect("certifies");
+        // Recompute only an upper slice of the tree so some levels are
+        // partially (or entirely) empty.
+        let mut recompute = vec![false; plan.num_tasks()];
+        let n = plan.num_tasks();
+        for s in n / 2..n {
+            recompute[s] = true;
+        }
+        let want: usize = recompute.iter().filter(|&&r| r).count();
+        let ran = AtomicUsize::new(0);
+        let (res, sched) = ParallelExecutor::new(3).run_certified::<(), _>(
+            &plan,
+            &recompute,
+            Some(&cert),
+            |_s, _ws| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        );
+        assert!(res.is_ok());
+        assert_eq!(ran.load(Ordering::SeqCst), want);
+        assert_eq!(sched.spans.len(), want);
+    }
+
+    #[test]
+    fn dispatch_overhead_metrics_are_finite() {
+        let plan = plan_of(10);
+        let recompute = vec![true; plan.num_tasks()];
+        let (res, sched) =
+            ParallelExecutor::new(2).run::<(), _>(&plan, &recompute, |_s, _ws| Ok(()));
+        assert!(res.is_ok());
+        assert!(sched.dispatch_overhead_s() >= 0.0);
+        assert!(sched.dispatch_overhead_per_task_s() >= 0.0);
+        assert!(sched.dispatch_overhead_per_task_s().is_finite());
+        assert_eq!(HostSchedule::default().dispatch_overhead_per_task_s(), 0.0);
     }
 
     #[test]

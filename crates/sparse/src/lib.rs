@@ -50,6 +50,7 @@
 
 mod blockmat;
 mod executor;
+pub mod interference;
 mod numeric;
 pub mod ordering;
 mod pattern;
@@ -57,7 +58,10 @@ mod plan;
 mod symbolic;
 
 pub use blockmat::BlockMat;
-pub use executor::{HostSchedule, ParallelExecutor, PoolStats, TaskSpan, Workspace};
+pub use executor::{
+    DispatchMode, DispatchPolicy, HostSchedule, ParallelExecutor, PoolStats, TaskSpan, Workspace,
+};
+pub use interference::PlanCertificate;
 pub use numeric::{FactorizeError, NodeTrace, NumericFactor, RefactorStats};
 pub use ordering::Permutation;
 pub use pattern::BlockPattern;

@@ -196,6 +196,28 @@ impl NumericFactor {
         dirty_blocks: &[usize],
         exec: &ParallelExecutor,
     ) -> Result<(RefactorStats, HostSchedule), FactorizeError> {
+        self.execute_plan_certified(plan, h, dirty_blocks, exec, None)
+    }
+
+    /// [`execute_plan`](Self::execute_plan) with an optional level-safety
+    /// proof from [`interference::certify`](crate::interference::certify).
+    /// A covering certificate lets the executor dispatch proven-safe
+    /// topological levels in lock-free batches
+    /// ([`DispatchMode::LevelBatched`](crate::DispatchMode)); without one
+    /// the dependency-counted pool runs as before. Bit-identical either
+    /// way.
+    ///
+    /// # Errors
+    ///
+    /// As [`execute_plan`](Self::execute_plan).
+    pub fn execute_plan_certified(
+        &mut self,
+        plan: &ExecutionPlan,
+        h: &BlockMat,
+        dirty_blocks: &[usize],
+        exec: &ParallelExecutor,
+        cert: Option<&crate::PlanCertificate>,
+    ) -> Result<(RefactorStats, HostSchedule), FactorizeError> {
         let num_nodes = plan.num_tasks();
         // Index the previous factorization by first pivot column.
         let mut old: BTreeMap<usize, NodeFactor> = BTreeMap::new();
@@ -237,7 +259,7 @@ impl NumericFactor {
             }
         }
 
-        let (res, sched) = exec.run(plan, &is_recompute, |s, ws| {
+        let (res, sched) = exec.run_certified(plan, &is_recompute, cert, |s, ws| {
             let out = compute_task(plan, h, s, &slots, ws)?;
             let published = slots[s].set(out).is_ok();
             debug_assert!(published, "task {s} executed twice");
@@ -793,6 +815,67 @@ mod tests {
             assert_eq!(stats_s.flops(), stats_p.flops());
             assert_eq!(sched_p.spans.len(), plan.num_tasks());
         }
+    }
+
+    #[test]
+    fn certified_batched_execution_is_bit_identical_to_serial() {
+        let p = loopy_pattern();
+        let sym = SymbolicFactor::analyze(&p, 0);
+        let plan = ExecutionPlan::from_symbolic(&sym);
+        let cert = crate::interference::certify(&plan).expect("loopy plan certifies");
+        let h = build_h(&p, 17);
+        let all: Vec<usize> = (0..p.num_blocks()).collect();
+
+        let mut serial = NumericFactor::empty(&plan);
+        let (stats_s, _) = serial
+            .execute_plan(&plan, &h, &all, &ParallelExecutor::serial())
+            .unwrap();
+        let bytes_s = serial.serialize_bytes();
+
+        for threads in [2usize, 4, 8] {
+            let mut par = NumericFactor::empty(&plan);
+            let (stats_p, sched_p) = par
+                .execute_plan_certified(
+                    &plan,
+                    &h,
+                    &all,
+                    &ParallelExecutor::new(threads),
+                    Some(&cert),
+                )
+                .unwrap();
+            assert_eq!(
+                sched_p.mode,
+                crate::DispatchMode::LevelBatched,
+                "{threads} threads should batch"
+            );
+            assert_eq!(
+                bytes_s,
+                par.serialize_bytes(),
+                "{threads}-thread batched dispatch diverged"
+            );
+            assert_eq!(stats_s.recomputed_nodes(), stats_p.recomputed_nodes());
+            assert_eq!(stats_s.flops(), stats_p.flops());
+        }
+
+        // Incremental (partial-recompute) batched execution also matches.
+        let mut h1 = h.clone();
+        h1.add_to_block(3, 3, &Mat::from_diag(&vec![0.75; p.block_dims()[3]]));
+        let mut inc_serial = serial;
+        inc_serial
+            .execute_plan(&plan, &h1, &[3], &ParallelExecutor::serial())
+            .unwrap();
+        let inc_bytes = inc_serial.serialize_bytes();
+        let mut inc_par = NumericFactor::empty(&plan);
+        inc_par
+            .execute_plan_certified(&plan, &h, &all, &ParallelExecutor::new(4), Some(&cert))
+            .unwrap();
+        let (_, sched_inc) = inc_par
+            .execute_plan_certified(&plan, &h1, &[3], &ParallelExecutor::new(4), Some(&cert))
+            .unwrap();
+        assert_eq!(inc_bytes, inc_par.serialize_bytes());
+        // Partial recompute may collapse to ≤1 task (serial inline) or
+        // batch — either way the bytes above already matched.
+        assert!(sched_inc.spans.len() >= 1);
     }
 
     #[test]

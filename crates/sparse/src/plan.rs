@@ -254,6 +254,22 @@ impl ExecutionPlan {
         &self.levels
     }
 
+    /// Mutable task table, exposed for mutation testing of the
+    /// interference checker. Any structural edit changes the plan
+    /// fingerprint and so invalidates previously issued certificates —
+    /// which is exactly what the mutation suite asserts.
+    #[doc(hidden)]
+    pub fn tasks_mut(&mut self) -> &mut [PlanTask] {
+        &mut self.tasks
+    }
+
+    /// Mutable level table, exposed for mutation testing of the
+    /// interference checker (see [`Self::tasks_mut`]).
+    #[doc(hidden)]
+    pub fn levels_mut(&mut self) -> &mut Vec<Vec<usize>> {
+        &mut self.levels
+    }
+
     /// The task owning block column `b`.
     pub fn node_of_block(&self, b: usize) -> usize {
         self.node_of_block[b]

@@ -9,6 +9,12 @@
 #   test         cargo test -q --workspace
 #   doc          cargo doc --no-deps with warnings denied
 #   lint         supernova-analyze lint + schedule/ledger/trace invariants
+#   static-analysis
+#                machine-readable diagnostics: lint engine v2 JSON report
+#                (fails on any non-allowlisted finding, every allow-escape
+#                recorded with provenance) + interference certification of
+#                every seeded dataset's execution plan; report archived at
+#                results/analyze_diagnostics.json
 #   determinism  serial vs 2/4-thread factorization bit-identity
 #   serve-smoke  serving layer: bit-identity, overload, trace cross-check
 #   kernel-bench regenerate results/BENCH_kernels.json (blocked vs
@@ -70,6 +76,11 @@ stage build build_all
 stage test cargo test -q --workspace
 stage doc doc_deny_warnings
 stage lint cargo run -q -p supernova-analyze --bin lint
+static_analysis() {
+    mkdir -p results
+    cargo run -q -p supernova-analyze --bin analyze -- --json results/analyze_diagnostics.json
+}
+stage static-analysis static_analysis
 stage determinism cargo run --release -q -p supernova-bench --bin determinism
 stage serve-smoke cargo run --release -q -p supernova-serve --bin serve_smoke
 stage kernel-bench cargo run --release -q -p supernova-bench --features bench-harness --bin kernel_bench

@@ -1,0 +1,108 @@
+//! Integration tests for certificate-gated batched dispatch: on every
+//! seeded dataset, the level-batched executor path must produce
+//! bit-identical numeric factors to the serial path at every thread
+//! count, every batched schedule must pass the host-schedule validator,
+//! and the dispatch-policy/certificate gate must select the expected mode.
+
+use std::sync::Arc;
+
+use supernova::datasets::Dataset;
+use supernova::hw::Platform;
+use supernova::runtime::CostModel;
+use supernova::solvers::{RaIsam2Config, SolverEngine};
+use supernova::sparse::{DispatchMode, DispatchPolicy, ParallelExecutor};
+use supernova_analyze::validate_host_schedule;
+
+fn sweep_datasets() -> Vec<Dataset> {
+    vec![
+        Dataset::m3500_scaled(0.06),
+        Dataset::sphere_scaled(0.12),
+        Dataset::cab1_scaled(0.2),
+    ]
+}
+
+/// Replays `ds` through the incremental engine with the given executor
+/// configuration. Returns the final numeric factor bytes and the dispatch
+/// mode of every step's host schedule; validates each schedule against
+/// its plan along the way.
+fn run(ds: &Dataset, threads: usize, policy: DispatchPolicy) -> (Vec<u8>, Vec<DispatchMode>) {
+    let cost = Arc::new(CostModel::new(Platform::supernova(2)));
+    let mut engine = SolverEngine::new(RaIsam2Config::default(), cost);
+    engine.set_executor(ParallelExecutor::new(threads).with_policy(policy));
+    let mut modes = Vec::new();
+    for step in ds.online_steps() {
+        let trace = engine.step(step.truth, step.factors);
+        let core = engine.solver().core();
+        if let (Some(plan), Some(sched)) = (core.plan(), core.last_host_schedule()) {
+            let recomputed: Vec<usize> = trace.nodes.iter().map(|n| n.node).collect();
+            let violations = validate_host_schedule(plan, sched, &recomputed);
+            assert!(
+                violations.is_empty(),
+                "{} ({threads} threads, {policy:?}): invalid schedule: {violations:?}",
+                ds.name()
+            );
+            modes.push(sched.mode);
+        }
+    }
+    let bytes = engine
+        .numeric_bytes()
+        .unwrap_or_else(|| panic!("{}: no numeric cache after replay", ds.name()));
+    (bytes, modes)
+}
+
+#[test]
+fn batched_dispatch_is_bit_identical_across_thread_counts() {
+    for ds in sweep_datasets() {
+        let (serial_bytes, serial_modes) = run(&ds, 1, DispatchPolicy::Auto);
+        assert!(
+            serial_modes.iter().all(|&m| m == DispatchMode::Serial),
+            "{}: single-thread executor must stay serial",
+            ds.name()
+        );
+        for threads in [2usize, 4, 8] {
+            let (bytes, modes) = run(&ds, threads, DispatchPolicy::Auto);
+            assert_eq!(
+                bytes,
+                serial_bytes,
+                "{} at {threads} threads: batched factor bytes diverge from serial",
+                ds.name()
+            );
+            assert!(
+                modes.contains(&DispatchMode::LevelBatched),
+                "{} at {threads} threads: no step used batched dispatch (modes: {modes:?})",
+                ds.name()
+            );
+            // Every certified plan batches; dep-counting would mean a
+            // dataset plan failed certification mid-run.
+            assert!(
+                !modes.contains(&DispatchMode::DepCounted),
+                "{} at {threads} threads: a plan escaped certification",
+                ds.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn forced_depcount_policy_disables_batching_and_stays_bit_identical() {
+    for ds in sweep_datasets() {
+        let (serial_bytes, _) = run(&ds, 1, DispatchPolicy::Auto);
+        let (bytes, modes) = run(&ds, 4, DispatchPolicy::DepCounted);
+        assert_eq!(
+            bytes,
+            serial_bytes,
+            "{}: dep-counted factor bytes diverge from serial",
+            ds.name()
+        );
+        assert!(
+            !modes.contains(&DispatchMode::LevelBatched),
+            "{}: DepCounted policy must never batch (modes: {modes:?})",
+            ds.name()
+        );
+        assert!(
+            modes.contains(&DispatchMode::DepCounted),
+            "{}: expected at least one dep-counted parallel step (modes: {modes:?})",
+            ds.name()
+        );
+    }
+}

@@ -5,8 +5,9 @@
 //! hand-built span trees:
 //!
 //! - the canonical Chrome export and canonical binary encoding are
-//!   byte-identical across 1/2/4 host executor threads, once the one
-//!   intentionally thread-dependent counter (`workers`) is stripped;
+//!   byte-identical across 1/2/4 host executor threads, once the two
+//!   intentionally thread-dependent counters (`workers` and
+//!   `dispatch_mode`) are stripped;
 //! - the SNVT binary encoding round-trips every trace exactly;
 //! - step 50 of the M3500 replay matches a committed golden fixture
 //!   byte-for-byte (`tests/fixtures/m3500_step50.snvt`). Regenerate with
@@ -54,13 +55,15 @@ fn traced_replay(threads: usize, steps: usize) -> Vec<Trace> {
     out
 }
 
-/// Drops the `workers` counter everywhere in the tree: it records the
-/// host executor width and is the one field that legitimately differs
-/// between otherwise-identical replays at different thread counts.
+/// Drops the `workers` and `dispatch_mode` counters everywhere in the
+/// tree: they record the host executor width and the dispatch strategy it
+/// selected (serial / dep-counted / level-batched), the only fields that
+/// legitimately differ between otherwise-identical replays at different
+/// thread counts.
 fn strip_worker_counters(span: &mut Span) {
     let mut counters = CounterSet::new();
     for (name, value) in span.counters.iter() {
-        if name != "workers" {
+        if name != "workers" && name != "dispatch_mode" {
             counters.set(name, value);
         }
     }
