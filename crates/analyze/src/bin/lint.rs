@@ -163,6 +163,7 @@ fn check_traces() -> Result<(usize, usize), String> {
                     seq: i as u64,
                     step: i as u64 + 1,
                 },
+                numeric_mode: engine.numeric_mode(),
                 root,
             };
             let violations = validate_trace(&trace);

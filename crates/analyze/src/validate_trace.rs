@@ -291,6 +291,7 @@ mod tests {
                 seq: 2,
                 step: 3,
             },
+            numeric_mode: Default::default(),
             root,
         }
     }
@@ -341,6 +342,7 @@ mod tests {
             .any(|v| v.invariant == Invariant::TraceShape));
         let bare = Trace {
             key: StepKey::default(),
+            numeric_mode: Default::default(),
             root: Span::marker("mystery", Category::Serve, 0),
         };
         assert!(validate_trace(&bare)

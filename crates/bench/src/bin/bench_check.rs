@@ -24,10 +24,12 @@
 //! - **Determinism drift**: fields the design guarantees are
 //!   machine-independent must match the baseline *exactly* — step
 //!   counts, simulated SoC cycles, shed counts, the nominal scenario's
-//!   bit-identity verdict, dispatch-span violation counts, and the
+//!   bit-identity verdict, dispatch-span violation counts, the
 //!   dispatch mode of each step-latency run (a certified plan must
 //!   level-batch; falling back to dep-counting means certification
-//!   regressed). Any change here is a correctness regression, not
+//!   regressed) and its numeric mode (two sides of a wall-time
+//!   comparison must have run the same kernel precision). Any change
+//!   here is a correctness regression, not
 //!   noise, so no tolerance applies. Scenarios flagged `deterministic_counts: false` (overload
 //!   bursts, whose admitted/shed split races the workers) are instead
 //!   gated on their conserved invariants: the whole burst is accounted
@@ -45,8 +47,11 @@
 //! host frequency scaling cancels out of the gated number. Fresh speedups
 //! must meet the `min_speedup` floors recorded in the committed baseline
 //! (scaled by `BENCH_CHECK_KERNEL_SPEEDUP_SCALE`, default 1.0, for
-//! foreign hardware); per-call flop counts are shape-derived and gated
-//! exactly.
+//! foreign hardware; narrow-width cases use
+//! `BENCH_CHECK_KERNEL_F32_SPEEDUP_SCALE`, defaulting to the generic
+//! scale — their floors are SIMD-width properties of the host, so they
+//! relax independently); per-call flop counts are shape-derived and
+//! gated exactly, as is each case's numeric width.
 //!
 //! `results/README.md` documents the baseline-refresh workflow. Exits
 //! with the shared `Report` summary line naming any failed checks.
@@ -254,6 +259,16 @@ fn check_step_latency(report: &mut Report, gate: &Gate) {
                 fr.get("dispatch_mode").and_then(Json::as_f64),
                 br.get("dispatch_mode").and_then(Json::as_f64),
             );
+            // The numeric mode is configuration, not measurement: a
+            // wall-time comparison whose two sides ran different kernel
+            // precisions is meaningless, so it must match exactly (0 f64,
+            // 1 f32, 2 f32f64).
+            exact(
+                report,
+                &format!("step-latency/{ds}/{t}t/numeric-mode"),
+                fr.get("numeric_mode").and_then(Json::as_f64),
+                br.get("numeric_mode").and_then(Json::as_f64),
+            );
             gate.dispatch_overhead(
                 report,
                 &format!("step-latency/{ds}/{t}t/dispatch-overhead"),
@@ -363,6 +378,16 @@ fn check_kernels(report: &mut Report) {
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(1.0);
+    // Narrow-width floors get their own relaxation knob: the f32 / mixed
+    // advantage over f64 is a SIMD-width property of the host (doubled
+    // lanes without AVX, more with it), independent of how well the
+    // blocked f64 kernel beats the naive reference — so foreign CI
+    // hardware can scale the per-width floors separately. Defaults to the
+    // generic scale so one knob still relaxes everything.
+    let scale_f32 = std::env::var("BENCH_CHECK_KERNEL_F32_SPEEDUP_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(scale);
     let base_names = names(&base, "cases");
     report.check(
         "kernels/coverage",
@@ -383,12 +408,28 @@ fn check_kernels(report: &mut Report) {
             f.get("flops_per_call").and_then(Json::as_f64),
             b.get("flops_per_call").and_then(Json::as_f64),
         );
-        // The ratio gate: measured same-run speedup vs the baseline floor.
+        // The numeric width is part of the case's identity — a fresh run
+        // that re-measured a case at a different precision proves the
+        // harness drifted, so it is gated exactly.
+        let fw = f.get("width").and_then(Json::as_str);
+        let bw = b.get("width").and_then(Json::as_str);
+        report.check(
+            &format!("kernels/{case}/width"),
+            fw.is_some() && fw == bw,
+            &format!("{fw:?} vs baseline {bw:?}"),
+        );
+        // The ratio gate: measured same-run speedup vs the baseline floor,
+        // scaled by the width-appropriate relaxation knob.
         let speedup = f.get("speedup_vs_reference").and_then(Json::as_f64);
         let floor = b.get("min_speedup").and_then(Json::as_f64);
         match (speedup, floor) {
             (Some(s), Some(fl)) => {
-                let limit = fl * scale;
+                let case_scale = if bw.is_some_and(|w| w != "f64") {
+                    scale_f32
+                } else {
+                    scale
+                };
+                let limit = fl * case_scale;
                 report.check(
                     &format!("kernels/{case}/speedup"),
                     s >= limit,

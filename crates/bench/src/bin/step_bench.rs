@@ -44,6 +44,7 @@ use std::time::Instant;
 use supernova_datasets::Dataset;
 use supernova_factors::Key;
 use supernova_hw::Platform;
+use supernova_linalg::NumericMode;
 use supernova_runtime::{simulate_step, CostModel, SchedulerConfig};
 use supernova_solvers::{Isam2, Isam2Config, OnlineSolver, RaIsam2Config, SolverEngine};
 use supernova_sparse::ParallelExecutor;
@@ -68,6 +69,7 @@ fn dump_trace(dataset: &Dataset, path: &str) {
                     seq: i as u64,
                     step: i as u64 + 1,
                 },
+                numeric_mode: engine.numeric_mode(),
                 root,
             });
         }
@@ -97,6 +99,11 @@ struct Run {
     /// Dispatch strategy of the final full-refactor host schedule
     /// (0 serial, 1 dep-counted, 2 level-batched).
     dispatch_mode: u64,
+    /// Numeric precision the run's kernels executed under
+    /// (0 f64, 1 f32, 2 f32f64), from `SUPERNOVA_NUMERIC` — `bench_check`
+    /// gates it exactly so a baseline comparison can't silently mix
+    /// precisions.
+    numeric_mode: u64,
     /// Dispatch overhead of that schedule, per task: the gap between
     /// `makespan * workers` and summed busy time, divided by task count.
     /// On a core-starved host this includes worker idle time, so it is
@@ -107,10 +114,11 @@ struct Run {
 fn replay(dataset: &Dataset, threads: usize) -> Run {
     let platform = Platform::supernova(2);
     let sched = SchedulerConfig::default();
+    let numeric = NumericMode::from_env();
     let mut solver = Isam2::new(Isam2Config::default());
     solver
         .core_mut()
-        .set_executor(ParallelExecutor::new(threads));
+        .set_executor(ParallelExecutor::new(threads).with_numeric(numeric));
 
     let steps = dataset.online_steps();
     let mut sim_numeric_s = 0.0;
@@ -151,6 +159,7 @@ fn replay(dataset: &Dataset, threads: usize) -> Run {
         sim_cycles: sim_numeric_s * platform.soc().freq_hz,
         modeled_speedup,
         dispatch_mode,
+        numeric_mode: numeric.as_u64(),
         dispatch_overhead_per_task_s,
     }
 }
@@ -221,6 +230,7 @@ fn main() {
                 serial_refactor / r.refactor_wall_s
             );
             let _ = writeln!(out, "          \"dispatch_mode\": {},", r.dispatch_mode);
+            let _ = writeln!(out, "          \"numeric_mode\": {},", r.numeric_mode);
             let _ = writeln!(
                 out,
                 "          \"dispatch_overhead_per_task_s\": {:.9},",
@@ -238,7 +248,7 @@ fn main() {
         for r in &runs {
             eprintln!(
                 "  {} threads: wall {:.3}s (refactor {:.4}s, {:.2}x), sim numeric {:.4}s, \
-                 modeled {:.2}x, dispatch mode {} ({:.1}us/task overhead)",
+                 modeled {:.2}x, dispatch mode {} ({:.1}us/task overhead), numeric {}",
                 r.threads,
                 r.wall_s,
                 r.refactor_wall_s,
@@ -246,7 +256,8 @@ fn main() {
                 r.sim_numeric_s,
                 r.modeled_speedup,
                 r.dispatch_mode,
-                r.dispatch_overhead_per_task_s * 1e6
+                r.dispatch_overhead_per_task_s * 1e6,
+                r.numeric_mode
             );
         }
     }

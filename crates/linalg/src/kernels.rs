@@ -7,12 +7,12 @@
 //! stack does, in safe Rust:
 //!
 //! - operands are **packed** once per `KC`-deep block into contiguous
-//!   micro-panels ([`MR`]-row panels of `A`, [`NR`]-column panels of `B`),
+//!   micro-panels (`MR`-row panels of `A`, `NR`-column panels of `B`),
 //!   which turns every strided or transposed access pattern into linear
 //!   streams and pads the tails so the microkernel never branches;
-//! - an [`MR`]`×`[`NR`] **register-tiled microkernel** accumulates a full
-//!   tile of `C` in locals across the packed depth, cutting `C` traffic by
-//!   `NR×` versus the column-AXPY loop it replaces;
+//! - an `MR×NR` **register-tiled microkernel** accumulates a full tile of
+//!   `C` in locals across the packed depth, cutting `C` traffic by `NR×`
+//!   versus the column-AXPY loop it replaces;
 //! - SYRK walks only the tiles that intersect the lower triangle and TRSM
 //!   factors into (packed GEMM update) + (small in-block solve), so both
 //!   ride the same microkernel;
@@ -21,24 +21,45 @@
 //!   to fully unrolled direct kernels where packing overhead would
 //!   dominate.
 //!
+//! The whole stack is generic over a sealed [`Scalar`] storage type and an
+//! [`Accum`] accumulator type, monomorphized per [`NumericMode`]:
+//!
+//! | mode     | storage | multiplies | accumulate | MR×NR |
+//! |----------|---------|------------|------------|-------|
+//! | `f64`    | f64     | f64        | f64        | 4×4   |
+//! | `f32`    | f32     | f32        | f32        | 8×4   |
+//! | `f32f64` | f32     | f32        | f64        | 4×4   |
+//!
+//! The f64 instantiation reproduces the pre-generic kernels operation for
+//! operation, so `NumericMode::F64` remains bit-identical to the historic
+//! stack; f32 tiles are twice as tall because twice as many f32 lanes fit
+//! a vector register, which is what makes the narrow mode's throughput win
+//! (gated in `kernel_bench`) reliable under autovectorization.
+//!
 //! Pack buffers come from a caller-provided [`KernelScratch`] arena that
 //! grows monotonically and is reused across calls — the sparse executor
 //! threads one per worker so the steady-state refactor loop performs zero
-//! heap allocation (machine-checked by `supernova-analyze`'s `hot-alloc`
-//! lint; the allowed escapes in this file are the cold-path constructors).
+//! heap allocation in every mode (machine-checked by `supernova-analyze`'s
+//! `hot-alloc` lint; the allowed escapes in this file are the cold-path
+//! constructors).
 //!
-//! Every path is a pure function of the operand values and shapes: the
-//! same call always performs the same operations in the same order, so
+//! Every path is a pure function of the operand values, shapes and mode:
+//! the same call always performs the same operations in the same order, so
 //! serial and pooled plan executions (which call identical kernels) stay
-//! bit-identical — blocking changes *which* deterministic summation order
-//! is used, never makes it data- or thread-dependent.
+//! bit-identical *within a mode* — blocking changes *which* deterministic
+//! summation order is used, never makes it data- or thread-dependent.
 
-use crate::Mat;
+use crate::{Mat, NumericMode};
 
-/// Microkernel tile height (rows of `C` held in registers).
+/// f64 microkernel tile height (rows of `C` held in registers).
 pub const MR: usize = 4;
-/// Microkernel tile width (columns of `C` held in registers).
+/// f64 microkernel tile width (columns of `C` held in registers).
 pub const NR: usize = 4;
+/// f32 microkernel tile height: twice the f64 height, since twice as many
+/// f32 lanes fit one vector register.
+pub const MR_F32: usize = 8;
+/// f32 microkernel tile width.
+pub const NR_F32: usize = 4;
 /// Depth of one packed block: panels of at most `KC` columns of `A` (rows
 /// of `B`) are packed and consumed before the next block is packed.
 pub const KC: usize = 256;
@@ -47,7 +68,7 @@ pub const KC: usize = 256;
 pub const DIRECT_FLOP_CUTOFF: usize = 24 * 24 * 24;
 /// Panel width of the blocked Cholesky driver (`cholesky.rs`), restated
 /// here so [`KernelScratch::reserve`] can bound the triangular-panel
-/// buffer [`take_lpack`](KernelScratch::take_lpack) hands out.
+/// buffer [`take_panel`](Scalar::take_panel) hands out.
 pub(crate) const CHOL_NB: usize = 48;
 
 /// Rounds `x` up to a multiple of `to` (`to > 0`).
@@ -56,13 +77,239 @@ fn round_up(x: usize, to: usize) -> usize {
     x.div_ceil(to) * to
 }
 
+mod sealed {
+    /// Seals [`super::Scalar`]: the storage widths are a closed set (the
+    /// scratch arena owns one typed buffer family per width).
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for f32 {}
+}
+
+/// A storage scalar of the dense kernel stack (sealed: `f64` or `f32`).
+///
+/// Operands, outputs and pack panels are stored as `Self`; the
+/// accumulation width is chosen independently via [`Accum`]. The
+/// `#[doc(hidden)]` methods route each width to its typed buffers inside
+/// [`KernelScratch`] — they are an internal contract between the trait
+/// impls and the arena, not API.
+pub trait Scalar:
+    sealed::Sealed
+    + Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + std::fmt::Debug
+    + Send
+    + Sync
+    + 'static
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + std::ops::AddAssign
+    + std::ops::SubAssign
+    + std::ops::MulAssign
+    + std::ops::DivAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Rounds an f64 into this storage width.
+    fn from_f64(v: f64) -> Self;
+    /// Widens into f64 (exact for both storage widths).
+    fn to_f64(self) -> f64;
+
+    /// Returns this width's pack buffers grown to at least the requested
+    /// lengths.
+    #[doc(hidden)]
+    fn packs(
+        scratch: &mut KernelScratch,
+        a_elems: usize,
+        b_elems: usize,
+    ) -> (&mut [Self], &mut [Self]);
+
+    /// Detaches this width's triangular-panel buffer (see
+    /// `KernelScratch::take_lpack`).
+    #[doc(hidden)]
+    fn take_panel(scratch: &mut KernelScratch, elems: usize) -> Vec<Self>;
+
+    /// Returns a detached triangular-panel buffer for reuse.
+    #[doc(hidden)]
+    fn put_panel(scratch: &mut KernelScratch, v: Vec<Self>);
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    fn packs(
+        scratch: &mut KernelScratch,
+        a_elems: usize,
+        b_elems: usize,
+    ) -> (&mut [Self], &mut [Self]) {
+        scratch.packs64(a_elems, b_elems)
+    }
+
+    fn take_panel(scratch: &mut KernelScratch, elems: usize) -> Vec<Self> {
+        scratch.take_lpack(elems)
+    }
+
+    fn put_panel(scratch: &mut KernelScratch, v: Vec<Self>) {
+        scratch.put_lpack(v);
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    fn packs(
+        scratch: &mut KernelScratch,
+        a_elems: usize,
+        b_elems: usize,
+    ) -> (&mut [Self], &mut [Self]) {
+        scratch.packs32(a_elems, b_elems)
+    }
+
+    fn take_panel(scratch: &mut KernelScratch, elems: usize) -> Vec<Self> {
+        scratch.take_lpack32(elems)
+    }
+
+    fn put_panel(scratch: &mut KernelScratch, v: Vec<Self>) {
+        scratch.put_lpack32(v);
+    }
+}
+
+/// An accumulator width paired with storage scalar `S`.
+///
+/// `Accum<f64> for f64` and `Accum<f32> for f32` are the uniform modes
+/// (promotion is the identity); `Accum<f32> for f64` is the mixed mode:
+/// products are computed in f32 (the storage width — modeling the systolic
+/// array's narrow multipliers) and summed in f64, paying one rounding per
+/// store instead of one per add.
+pub trait Accum<S: Scalar>: Scalar {
+    /// `true` when the accumulator is wider than the storage scalar (the
+    /// mixed mode); lets generic kernels statically pick the gathered
+    /// wide-accumulation form over in-storage AXPY updates.
+    const WIDENS: bool;
+
+    /// Widens a storage scalar into the accumulator (exact).
+    fn promote(s: S) -> Self;
+    /// Rounds the accumulator back into storage width.
+    fn demote(self) -> S;
+    /// Square root in accumulator precision (the Cholesky pivot).
+    fn sqrt(self) -> Self;
+    /// Finiteness check in accumulator precision.
+    fn is_finite(self) -> bool;
+}
+
+impl Accum<f64> for f64 {
+    const WIDENS: bool = false;
+
+    #[inline(always)]
+    fn promote(s: f64) -> Self {
+        s
+    }
+
+    #[inline(always)]
+    fn demote(self) -> f64 {
+        self
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl Accum<f32> for f32 {
+    const WIDENS: bool = false;
+
+    #[inline(always)]
+    fn promote(s: f32) -> Self {
+        s
+    }
+
+    #[inline(always)]
+    fn demote(self) -> f32 {
+        self
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Accum<f32> for f64 {
+    const WIDENS: bool = true;
+
+    #[inline(always)]
+    fn promote(s: f32) -> Self {
+        s as f64
+    }
+
+    #[inline(always)]
+    fn demote(self) -> f32 {
+        self as f32
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
 /// Reusable pack-buffer arena for the blocked kernels.
 ///
 /// Buffers grow monotonically (never shrink) and are fully overwritten on
 /// every use, so scratch contents can never leak between calls and a
-/// warm arena performs zero allocation. The arena also meters the f64
-/// multiply-add work the kernels actually execute ([`flops`](Self::flops))
-/// so callers can tick real kernel work into trace spans.
+/// warm arena performs zero allocation. One typed buffer family exists per
+/// storage width (f64 for [`NumericMode::F64`], f32 for the narrow modes,
+/// plus an f32 front shadow for the demote → factor → promote narrow
+/// factorization path), so a mode switch warms up once and then both modes
+/// stay allocation-free. The arena also meters the multiply-add work the
+/// kernels actually execute ([`flops`](Self::flops)) so callers can tick
+/// real kernel work into trace spans; flop counts depend only on shapes,
+/// never on the mode.
 #[derive(Clone, Debug, Default)]
 pub struct KernelScratch {
     apack: Vec<f64>,
@@ -71,6 +318,13 @@ pub struct KernelScratch {
     /// in-place blocked Cholesky so its TRSM reads `L` without aliasing
     /// the front it is updating.
     lpack: Vec<f64>,
+    apack32: Vec<f32>,
+    bpack32: Vec<f32>,
+    lpack32: Vec<f32>,
+    /// f32 shadow of a front being factored in a narrow mode (taken and
+    /// returned like `lpack`, so the arena stays usable for packs while
+    /// the shadow is live).
+    front32: Vec<f32>,
     flops: u64,
     grow_events: u64,
 }
@@ -81,10 +335,11 @@ impl KernelScratch {
         Self::default()
     }
 
-    /// An arena whose pack buffers are pre-grown to `pack_elems` scalars
-    /// each (use [`pack_elems_bound`] /
+    /// An arena whose f64 pack buffers are pre-grown to `pack_elems`
+    /// scalars each (use [`pack_elems_bound`] /
     /// `ExecutionPlan::max_pack_elems`-style precomputation), so even the
-    /// first call allocates nothing.
+    /// first call allocates nothing. For narrow modes, follow with
+    /// [`reserve_mode`](Self::reserve_mode).
     pub fn with_capacity(pack_elems: usize) -> Self {
         let mut s = Self::new();
         if pack_elems > 0 {
@@ -97,7 +352,7 @@ impl KernelScratch {
         s
     }
 
-    /// Pre-grows (never shrinks) every buffer for kernels within a
+    /// Pre-grows (never shrinks) every f64 buffer for kernels within a
     /// `pack_elems` envelope, so later calls allocate nothing: both pack
     /// buffers to `pack_elems` scalars, and the triangular-panel buffer to
     /// its need under that envelope — `min(pack_elems, NB²)`, since
@@ -108,7 +363,7 @@ impl KernelScratch {
     pub fn reserve(&mut self, pack_elems: usize) {
         let a = self.apack.len().max(pack_elems);
         let b = self.bpack.len().max(pack_elems);
-        let _ = self.packs(a, b);
+        let _ = self.packs64(a, b);
         let l = pack_elems.min(CHOL_NB * CHOL_NB);
         if self.lpack.capacity() < l {
             self.grow_events += 1;
@@ -117,10 +372,37 @@ impl KernelScratch {
         }
     }
 
-    /// Grows (never shrinks) the pack buffers to at least `a_elems` /
+    /// Mode-aware [`reserve`](Self::reserve): pre-grows the buffers the
+    /// given [`NumericMode`] will touch. `pack_elems` is the mode's pack
+    /// envelope ([`pack_elems_bound_mode`]); `front_elems` bounds the f32
+    /// front shadow the narrow factorization path takes (ignored for
+    /// `F64`, whose fronts live in the caller's `Mat`).
+    pub fn reserve_mode(&mut self, mode: NumericMode, pack_elems: usize, front_elems: usize) {
+        match mode {
+            NumericMode::F64 => self.reserve(pack_elems),
+            NumericMode::F32 | NumericMode::F32F64 => {
+                let a = self.apack32.len().max(pack_elems);
+                let b = self.bpack32.len().max(pack_elems);
+                let _ = self.packs32(a, b);
+                let l = pack_elems.min(CHOL_NB * CHOL_NB);
+                if self.lpack32.capacity() < l {
+                    self.grow_events += 1;
+                    let need = l - self.lpack32.len();
+                    self.lpack32.reserve(need);
+                }
+                if self.front32.capacity() < front_elems {
+                    self.grow_events += 1;
+                    let need = front_elems - self.front32.len();
+                    self.front32.reserve(need);
+                }
+            }
+        }
+    }
+
+    /// Grows (never shrinks) the f64 pack buffers to at least `a_elems` /
     /// `b_elems` and returns them. Growth is counted in
     /// [`grow_events`](Self::grow_events).
-    fn packs(&mut self, a_elems: usize, b_elems: usize) -> (&mut [f64], &mut [f64]) {
+    fn packs64(&mut self, a_elems: usize, b_elems: usize) -> (&mut [f64], &mut [f64]) {
         if self.apack.len() < a_elems {
             self.grow_events += 1;
             self.apack.resize(a_elems, 0.0);
@@ -132,7 +414,20 @@ impl KernelScratch {
         (&mut self.apack[..a_elems], &mut self.bpack[..b_elems])
     }
 
-    /// Detaches the triangular-panel buffer, grown to exactly `elems`
+    /// f32 counterpart of [`packs64`](Self::packs64).
+    fn packs32(&mut self, a_elems: usize, b_elems: usize) -> (&mut [f32], &mut [f32]) {
+        if self.apack32.len() < a_elems {
+            self.grow_events += 1;
+            self.apack32.resize(a_elems, 0.0);
+        }
+        if self.bpack32.len() < b_elems {
+            self.grow_events += 1;
+            self.bpack32.resize(b_elems, 0.0);
+        }
+        (&mut self.apack32[..a_elems], &mut self.bpack32[..b_elems])
+    }
+
+    /// Detaches the f64 triangular-panel buffer, grown to exactly `elems`
     /// zero-initialized scalars. Detaching (rather than borrowing) lets the
     /// caller keep using the arena for pack buffers while the panel copy is
     /// live; pair with [`put_lpack`](Self::put_lpack) to preserve reuse.
@@ -154,8 +449,48 @@ impl KernelScratch {
         }
     }
 
-    /// Total f64 multiply-add flops (MAC = 2 flops) executed through this
+    /// f32 counterpart of [`take_lpack`](Self::take_lpack).
+    pub(crate) fn take_lpack32(&mut self, elems: usize) -> Vec<f32> {
+        let mut v = std::mem::take(&mut self.lpack32);
+        if v.capacity() < elems {
+            self.grow_events += 1;
+        }
+        v.clear();
+        v.resize(elems, 0.0);
+        v
+    }
+
+    /// f32 counterpart of [`put_lpack`](Self::put_lpack).
+    pub(crate) fn put_lpack32(&mut self, v: Vec<f32>) {
+        if v.capacity() > self.lpack32.capacity() {
+            self.lpack32 = v;
+        }
+    }
+
+    /// Detaches the f32 front shadow, grown to exactly `elems`
+    /// zero-initialized scalars (the narrow factorization's demote
+    /// target). Pair with [`put_front32`](Self::put_front32).
+    pub(crate) fn take_front32(&mut self, elems: usize) -> Vec<f32> {
+        let mut v = std::mem::take(&mut self.front32);
+        if v.capacity() < elems {
+            self.grow_events += 1;
+        }
+        v.clear();
+        v.resize(elems, 0.0);
+        v
+    }
+
+    /// Returns a buffer obtained from [`take_front32`](Self::take_front32)
+    /// to the arena for reuse.
+    pub(crate) fn put_front32(&mut self, v: Vec<f32>) {
+        if v.capacity() > self.front32.capacity() {
+            self.front32 = v;
+        }
+    }
+
+    /// Total multiply-add flops (MAC = 2 flops) executed through this
     /// arena since construction or the last [`take_flops`](Self::take_flops).
+    /// Counts depend only on operand shapes, not the numeric mode.
     pub fn flops(&self) -> u64 {
         self.flops
     }
@@ -165,17 +500,27 @@ impl KernelScratch {
         std::mem::take(&mut self.flops)
     }
 
-    /// Number of times a pack buffer actually grew (including the
-    /// constructor's pre-sizing). Flat after warm-up on a steady workload —
-    /// the zero-alloc hot-path invariant tests assert exactly this.
+    /// Number of times a buffer actually grew (including the constructor's
+    /// pre-sizing). Flat after warm-up on a steady workload — the
+    /// zero-alloc hot-path invariant tests assert exactly this, in every
+    /// mode.
     pub fn grow_events(&self) -> u64 {
         self.grow_events
     }
 
-    /// Largest pack-buffer length reached so far, in scalars (the arena
-    /// high-water mark).
+    /// Largest buffer footprint reached so far, in f64-equivalent scalars
+    /// (f32 buffers count half per element, rounding up — the arena
+    /// high-water mark used to pick the warmest pooled workspace).
     pub fn high_water_elems(&self) -> usize {
-        self.apack.len().max(self.bpack.len()).max(self.lpack.len())
+        let f64_side = self.apack.len().max(self.bpack.len()).max(self.lpack.len());
+        let f32_side = self
+            .apack32
+            .len()
+            .max(self.bpack32.len())
+            .max(self.lpack32.len())
+            .max(self.front32.len())
+            .div_ceil(2);
+        f64_side.max(f32_side)
     }
 
     #[inline]
@@ -184,11 +529,20 @@ impl KernelScratch {
     }
 }
 
-/// Scalars each pack buffer of a [`KernelScratch`] needs for any blocked
-/// kernel whose operands fit in an `n × n` envelope — the per-front bound
-/// the execution plan uses to pre-size per-worker arenas.
+/// Scalars each f64 pack buffer of a [`KernelScratch`] needs for any
+/// blocked kernel whose operands fit in an `n × n` envelope — the
+/// per-front bound the execution plan uses to pre-size per-worker arenas.
 pub fn pack_elems_bound(n: usize) -> usize {
     round_up(n, MR.max(NR)) * n.min(KC)
+}
+
+/// Mode-aware [`pack_elems_bound`]: the narrow modes pack f32 panels whose
+/// row tiles round up to the taller [`MR_F32`] microkernel.
+pub fn pack_elems_bound_mode(n: usize, mode: NumericMode) -> usize {
+    match mode {
+        NumericMode::F64 => pack_elems_bound(n),
+        NumericMode::F32 | NumericMode::F32F64 => round_up(n, MR_F32.max(NR_F32)) * n.min(KC),
+    }
 }
 
 /// A read-only view of a column-major sub-block, optionally transposed.
@@ -197,8 +551,8 @@ pub fn pack_elems_bound(n: usize) -> usize {
 /// pack routines turn these strided reads into contiguous panel writes
 /// exactly once per `KC` block.
 #[derive(Clone, Copy)]
-pub(crate) struct View<'a> {
-    data: &'a [f64],
+pub(crate) struct View<'a, S = f64> {
+    data: &'a [S],
     /// Leading dimension: rows of the backing matrix.
     ld: usize,
     /// Top-left corner of the viewed block in the backing matrix.
@@ -210,7 +564,7 @@ pub(crate) struct View<'a> {
     trans: bool,
 }
 
-impl<'a> View<'a> {
+impl<'a> View<'a, f64> {
     /// Views an entire matrix, transposed when `trans`.
     pub(crate) fn of(m: &'a Mat, trans: bool) -> Self {
         let (rows, cols) = if trans {
@@ -228,10 +582,12 @@ impl<'a> View<'a> {
             trans,
         }
     }
+}
 
+impl<'a, S: Scalar> View<'a, S> {
     /// Views a raw column-major slice block.
     pub(crate) fn raw(
-        data: &'a [f64],
+        data: &'a [S],
         ld: usize,
         row: usize,
         col: usize,
@@ -251,7 +607,7 @@ impl<'a> View<'a> {
     }
 
     #[inline]
-    fn at(&self, i: usize, j: usize) -> f64 {
+    fn at(&self, i: usize, j: usize) -> S {
         let (r, c) = if self.trans { (j, i) } else { (i, j) };
         self.data[(self.col + c) * self.ld + self.row + r]
     }
@@ -259,7 +615,7 @@ impl<'a> View<'a> {
     /// Contiguous storage column `c` (storage coordinates, not logical),
     /// restricted to the viewed rows.
     #[inline]
-    fn storage_col(&self, c: usize, len: usize) -> &[f64] {
+    fn storage_col(&self, c: usize, len: usize) -> &[S] {
         let base = (self.col + c) * self.ld + self.row;
         &self.data[base..base + len]
     }
@@ -267,8 +623,8 @@ impl<'a> View<'a> {
 
 /// A mutable view of a column-major sub-block (never transposed — only
 /// `C` operands are mutable).
-pub(crate) struct MutView<'a> {
-    data: &'a mut [f64],
+pub(crate) struct MutView<'a, S = f64> {
+    data: &'a mut [S],
     ld: usize,
     row: usize,
     col: usize,
@@ -276,7 +632,7 @@ pub(crate) struct MutView<'a> {
     cols: usize,
 }
 
-impl<'a> MutView<'a> {
+impl<'a> MutView<'a, f64> {
     /// Views an entire matrix mutably.
     pub(crate) fn of(m: &'a mut Mat) -> Self {
         let ld = m.rows().max(1);
@@ -290,10 +646,12 @@ impl<'a> MutView<'a> {
             cols,
         }
     }
+}
 
+impl<'a, S: Scalar> MutView<'a, S> {
     /// Views a raw column-major slice block.
     pub(crate) fn raw(
-        data: &'a mut [f64],
+        data: &'a mut [S],
         ld: usize,
         row: usize,
         col: usize,
@@ -312,30 +670,30 @@ impl<'a> MutView<'a> {
 
     /// Column `j` of the viewed block as a contiguous mutable slice.
     #[inline]
-    fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    fn col_mut(&mut self, j: usize) -> &mut [S] {
         let base = (self.col + j) * self.ld + self.row;
         &mut self.data[base..base + self.rows]
     }
 
     /// Rows `r0..` of column `j` as a contiguous mutable slice of `len`.
     #[inline]
-    fn col_tail_mut(&mut self, j: usize, r0: usize, len: usize) -> &mut [f64] {
+    fn col_tail_mut(&mut self, j: usize, r0: usize, len: usize) -> &mut [S] {
         let base = (self.col + j) * self.ld + self.row + r0;
         &mut self.data[base..base + len]
     }
 
     /// Scales the whole viewed block by `beta` (with the exact-zero and
     /// exact-one fast paths BLAS semantics require).
-    pub(crate) fn scale(&mut self, beta: f64) {
+    pub(crate) fn scale(&mut self, beta: S) {
         // lint: allow(float-eq) — exact beta-scaling fast path, matches BLAS semantics
-        if beta == 1.0 || self.rows == 0 {
+        if beta == S::ONE || self.rows == 0 {
             return;
         }
         for j in 0..self.cols {
             let col = self.col_mut(j);
             // lint: allow(float-eq) — exact beta-scaling fast path, matches BLAS semantics
-            if beta == 0.0 {
-                col.iter_mut().for_each(|x| *x = 0.0);
+            if beta == S::ZERO {
+                col.iter_mut().for_each(|x| *x = S::ZERO);
             } else {
                 col.iter_mut().for_each(|x| *x *= beta);
             }
@@ -344,17 +702,17 @@ impl<'a> MutView<'a> {
 
     /// Scales rows `j..rows` of every column `j` (the lower triangle) by
     /// `beta`.
-    pub(crate) fn scale_lower(&mut self, beta: f64) {
+    pub(crate) fn scale_lower(&mut self, beta: S) {
         // lint: allow(float-eq) — exact beta-scaling fast path, matches BLAS semantics
-        if beta == 1.0 || self.rows == 0 {
+        if beta == S::ONE || self.rows == 0 {
             return;
         }
         let rows = self.rows;
         for j in 0..self.cols {
             let col = self.col_tail_mut(j, j, rows - j);
             // lint: allow(float-eq) — exact beta-scaling fast path, matches BLAS semantics
-            if beta == 0.0 {
-                col.iter_mut().for_each(|x| *x = 0.0);
+            if beta == S::ZERO {
+                col.iter_mut().for_each(|x| *x = S::ZERO);
             } else {
                 col.iter_mut().for_each(|x| *x *= beta);
             }
@@ -367,6 +725,8 @@ impl<'a> MutView<'a> {
 /// Selection depends only on the operand shapes — never on values, thread
 /// counts or runtime feature detection — so the same call sites take the
 /// same path in serial and pooled executions (the determinism anchor).
+/// The table is shared by every [`NumericMode`]; modes differ only in tile
+/// constants and accumulator width, never in which path a shape takes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GemmPath {
     /// `k == 0` or an empty output: nothing to do.
@@ -397,11 +757,11 @@ pub fn gemm_path(m: usize, n: usize, k: usize) -> GemmPath {
 /// `C += A · B` on views, `beta` already applied to `C` by the caller.
 /// `alpha` is folded into the packed/gathered `B` operand, mirroring the
 /// classic column-AXPY operand order `a[i,p] · (alpha · b[p,j])`.
-pub(crate) fn gemm_core(
-    alpha: f64,
-    a: &View<'_>,
-    b: &View<'_>,
-    c: &mut MutView<'_>,
+pub(crate) fn gemm_core_g<S: Scalar, A: Accum<S>, const MR_: usize, const NR_: usize>(
+    alpha: S,
+    a: &View<'_, S>,
+    b: &View<'_, S>,
+    c: &mut MutView<'_, S>,
     scratch: &mut KernelScratch,
 ) {
     let (m, n, k) = (c.rows, c.cols, a.cols);
@@ -410,53 +770,56 @@ pub(crate) fn gemm_core(
     debug_assert_eq!(b.cols, n, "gemm_core B column mismatch");
     match gemm_path(m, n, k) {
         GemmPath::Noop => {}
-        GemmPath::DirectK3 => gemm_direct_k::<3>(alpha, a, b, c, scratch),
-        GemmPath::DirectK6 => gemm_direct_k::<6>(alpha, a, b, c, scratch),
-        GemmPath::Direct => gemm_direct(alpha, a, b, c, scratch),
-        GemmPath::Packed => gemm_packed(alpha, a, b, c, scratch),
+        GemmPath::DirectK3 => gemm_direct_k_g::<S, A, 3>(alpha, a, b, c, scratch),
+        GemmPath::DirectK6 => gemm_direct_k_g::<S, A, 6>(alpha, a, b, c, scratch),
+        GemmPath::Direct => gemm_direct_g::<S, A>(alpha, a, b, c, scratch),
+        GemmPath::Packed => gemm_packed_g::<S, A, MR_, NR_>(alpha, a, b, c, scratch),
     }
 }
 
 /// Direct kernel with the contraction depth `K` a compile-time constant:
 /// the column of `B` is gathered into registers once per output column and
-/// the `K`-term dot products unroll completely.
-fn gemm_direct_k<const K: usize>(
-    alpha: f64,
-    a: &View<'_>,
-    b: &View<'_>,
-    c: &mut MutView<'_>,
+/// the `K`-term dot products unroll completely. Products are computed in
+/// storage precision; the dot accumulates in `A`.
+fn gemm_direct_k_g<S: Scalar, A: Accum<S>, const K: usize>(
+    alpha: S,
+    a: &View<'_, S>,
+    b: &View<'_, S>,
+    c: &mut MutView<'_, S>,
     scratch: &mut KernelScratch,
 ) {
     let (m, n) = (c.rows, c.cols);
     debug_assert_eq!(a.cols, K);
     for j in 0..n {
-        let mut bcol = [0.0f64; K];
+        let mut bcol = [S::ZERO; K];
         for (p, slot) in bcol.iter_mut().enumerate() {
             *slot = alpha * b.at(p, j);
         }
         let col = c.col_mut(j);
         for (i, out) in col.iter_mut().enumerate() {
-            let mut acc = 0.0;
+            let mut acc = A::ZERO;
             for (p, &bp) in bcol.iter().enumerate() {
-                acc += a.at(i, p) * bp;
+                acc += A::promote(a.at(i, p) * bp);
             }
-            *out += acc;
+            *out = A::demote(A::promote(*out) + acc);
         }
     }
     scratch.tick(2 * (m * n * K) as u64);
 }
 
 /// Generic direct kernel for small shapes: per-column AXPY when `A` is
-/// untransposed (contiguous columns), gathered dot products otherwise.
-fn gemm_direct(
-    alpha: f64,
-    a: &View<'_>,
-    b: &View<'_>,
-    c: &mut MutView<'_>,
+/// untransposed and the accumulator matches the storage width (contiguous
+/// columns); gathered dot products in `A` otherwise — the mixed mode
+/// always gathers so small shapes keep wide accumulation too.
+fn gemm_direct_g<S: Scalar, A: Accum<S>>(
+    alpha: S,
+    a: &View<'_, S>,
+    b: &View<'_, S>,
+    c: &mut MutView<'_, S>,
     scratch: &mut KernelScratch,
 ) {
     let (m, n, k) = (c.rows, c.cols, a.cols);
-    if !a.trans {
+    if !a.trans && !A::WIDENS {
         for j in 0..n {
             for p in 0..k {
                 let bpj = alpha * b.at(p, j);
@@ -471,48 +834,54 @@ fn gemm_direct(
         for j in 0..n {
             let ccol = c.col_mut(j);
             for (i, out) in ccol.iter_mut().enumerate() {
-                let mut acc = 0.0;
+                let mut acc = A::ZERO;
                 for p in 0..k {
-                    acc += a.at(i, p) * b.at(p, j);
+                    acc += A::promote(a.at(i, p) * b.at(p, j));
                 }
-                *out += alpha * acc;
+                *out = A::demote(A::promote(*out) + A::promote(alpha) * acc);
             }
         }
     }
     scratch.tick(2 * (m * n * k) as u64);
 }
 
-/// Packs the `m × kc` slab of `A` starting at depth `p0` into `MR`-row
-/// micro-panels: panel `ib` holds rows `ib·MR..` for all `kc` depths,
+/// Packs the `m × kc` slab of `A` starting at depth `p0` into `MR_`-row
+/// micro-panels: panel `ib` holds rows `ib·MR_..` for all `kc` depths,
 /// contiguously, zero-padded past row `m`.
-fn pack_a(a: &View<'_>, p0: usize, kc: usize, m: usize, apack: &mut [f64]) {
-    let panels = m.div_ceil(MR);
-    debug_assert!(apack.len() >= panels * kc * MR);
+fn pack_a_g<S: Scalar, const MR_: usize>(
+    a: &View<'_, S>,
+    p0: usize,
+    kc: usize,
+    m: usize,
+    apack: &mut [S],
+) {
+    let panels = m.div_ceil(MR_);
+    debug_assert!(apack.len() >= panels * kc * MR_);
     if !a.trans {
         // Storage columns are logical columns: walk each depth's column
         // slice once, scattering into the panels.
-        for (ib, panel) in apack.chunks_exact_mut(kc * MR).take(panels).enumerate() {
-            let i0 = ib * MR;
-            let rows = MR.min(m - i0);
-            for (p, dst) in panel.chunks_exact_mut(MR).enumerate() {
+        for (ib, panel) in apack.chunks_exact_mut(kc * MR_).take(panels).enumerate() {
+            let i0 = ib * MR_;
+            let rows = MR_.min(m - i0);
+            for (p, dst) in panel.chunks_exact_mut(MR_).enumerate() {
                 let src = a.storage_col(p0 + p, a.rows);
-                for r in 0..MR {
-                    dst[r] = if r < rows { src[i0 + r] } else { 0.0 };
+                for r in 0..MR_ {
+                    dst[r] = if r < rows { src[i0 + r] } else { S::ZERO };
                 }
             }
         }
     } else {
         // Logical rows are storage columns: each packed row streams one
         // contiguous storage column segment.
-        for (ib, panel) in apack.chunks_exact_mut(kc * MR).take(panels).enumerate() {
-            let i0 = ib * MR;
-            let rows = MR.min(m - i0);
-            for dst in panel.chunks_exact_mut(MR) {
-                dst.iter_mut().for_each(|x| *x = 0.0);
+        for (ib, panel) in apack.chunks_exact_mut(kc * MR_).take(panels).enumerate() {
+            let i0 = ib * MR_;
+            let rows = MR_.min(m - i0);
+            for dst in panel.chunks_exact_mut(MR_) {
+                dst.iter_mut().for_each(|x| *x = S::ZERO);
             }
             for r in 0..rows {
                 let src = a.storage_col(i0 + r, a.cols);
-                for (p, dst) in panel.chunks_exact_mut(MR).enumerate() {
+                for (p, dst) in panel.chunks_exact_mut(MR_).enumerate() {
                     dst[r] = src[p0 + p];
                 }
             }
@@ -520,71 +889,112 @@ fn pack_a(a: &View<'_>, p0: usize, kc: usize, m: usize, apack: &mut [f64]) {
     }
 }
 
-/// Packs the `kc × n` slab of `B` starting at depth `p0` into `NR`-column
+/// Packs the `kc × n` slab of `B` starting at depth `p0` into `NR_`-column
 /// micro-panels scaled by `alpha`, zero-padded past column `n`.
-fn pack_b(alpha: f64, b: &View<'_>, p0: usize, kc: usize, n: usize, bpack: &mut [f64]) {
-    let panels = n.div_ceil(NR);
-    debug_assert!(bpack.len() >= panels * kc * NR);
+fn pack_b_g<S: Scalar, const NR_: usize>(
+    alpha: S,
+    b: &View<'_, S>,
+    p0: usize,
+    kc: usize,
+    n: usize,
+    bpack: &mut [S],
+) {
+    let panels = n.div_ceil(NR_);
+    debug_assert!(bpack.len() >= panels * kc * NR_);
     if !b.trans {
-        for (jb, panel) in bpack.chunks_exact_mut(kc * NR).take(panels).enumerate() {
-            let j0 = jb * NR;
-            let cols = NR.min(n - j0);
-            for dst in panel.chunks_exact_mut(NR) {
-                dst.iter_mut().for_each(|x| *x = 0.0);
+        for (jb, panel) in bpack.chunks_exact_mut(kc * NR_).take(panels).enumerate() {
+            let j0 = jb * NR_;
+            let cols = NR_.min(n - j0);
+            for dst in panel.chunks_exact_mut(NR_) {
+                dst.iter_mut().for_each(|x| *x = S::ZERO);
             }
             for j in 0..cols {
                 let src = b.storage_col(j0 + j, b.rows);
-                for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                for (p, dst) in panel.chunks_exact_mut(NR_).enumerate() {
                     dst[j] = alpha * src[p0 + p];
                 }
             }
         }
     } else {
         // Transposed B: logical row p is storage column p.
-        for (jb, panel) in bpack.chunks_exact_mut(kc * NR).take(panels).enumerate() {
-            let j0 = jb * NR;
-            let cols = NR.min(n - j0);
-            for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+        for (jb, panel) in bpack.chunks_exact_mut(kc * NR_).take(panels).enumerate() {
+            let j0 = jb * NR_;
+            let cols = NR_.min(n - j0);
+            for (p, dst) in panel.chunks_exact_mut(NR_).enumerate() {
                 let src = b.storage_col(p0 + p, b.cols);
-                for j in 0..NR {
-                    dst[j] = if j < cols { alpha * src[j0 + j] } else { 0.0 };
+                for j in 0..NR_ {
+                    dst[j] = if j < cols {
+                        alpha * src[j0 + j]
+                    } else {
+                        S::ZERO
+                    };
                 }
             }
         }
     }
 }
 
-/// The register-tiled microkernel: accumulates the full `MR × NR` tile
+/// The register-tiled microkernel: accumulates the full `MR_ × NR_` tile
 /// product of one packed `A` panel and one packed `B` panel across `kc`
-/// depths. `acc` is column-major (`acc[j][i]`).
+/// depths. `acc` is column-major (`acc[j][i]`), in accumulator precision;
+/// each product is computed in storage precision and promoted — for the
+/// uniform modes promotion is the identity and this is the historic f64
+/// kernel operation for operation.
 #[inline(always)]
-fn microkernel(kc: usize, apanel: &[f64], bpanel: &[f64], acc: &mut [[f64; MR]; NR]) {
+fn microkernel_g<S: Scalar, A: Accum<S>, const MR_: usize, const NR_: usize>(
+    kc: usize,
+    apanel: &[S],
+    bpanel: &[S],
+    acc: &mut [[A; MR_]; NR_],
+) {
     // Two depth steps per iteration: halves the loop-control overhead and
     // gives the scheduler two independent rank-1 updates to interleave.
+    //
+    // Each rank-1 row is staged through a fixed-width product array in
+    // storage precision before the promote-accumulate pass. The staging
+    // changes no arithmetic (same multiplies, same addition order, so f64
+    // stays bit-identical to the historic kernel) but splits the body into
+    // short independent loops the SLP vectorizer handles at every width —
+    // the fused form autovectorizes at 4×f64 yet collapses to spilled
+    // scalar code at 8×f32.
     let pairs = kc / 2;
     for (ap, bp) in apanel
-        .chunks_exact(2 * MR)
-        .zip(bpanel.chunks_exact(2 * NR))
+        .chunks_exact(2 * MR_)
+        .zip(bpanel.chunks_exact(2 * NR_))
         .take(pairs)
     {
-        let a: &[f64; 2 * MR] = ap.try_into().unwrap_or(&[0.0; 2 * MR]);
-        let b: &[f64; 2 * NR] = bp.try_into().unwrap_or(&[0.0; 2 * NR]);
-        for j in 0..NR {
-            let bj0 = b[j];
-            let bj1 = b[NR + j];
-            for i in 0..MR {
-                acc[j][i] += a[i] * bj0 + a[MR + i] * bj1;
+        let (a0, a1) = ap.split_at(MR_);
+        let (b0, b1) = bp.split_at(NR_);
+        for j in 0..NR_ {
+            let bj0 = b0[j];
+            let bj1 = b1[j];
+            let mut p0 = [S::ZERO; MR_];
+            let mut p1 = [S::ZERO; MR_];
+            for i in 0..MR_ {
+                p0[i] = a0[i] * bj0;
+            }
+            for i in 0..MR_ {
+                p1[i] = a1[i] * bj1;
+            }
+            let accj = &mut acc[j];
+            for i in 0..MR_ {
+                accj[i] += A::promote(p0[i]) + A::promote(p1[i]);
             }
         }
     }
     if kc % 2 == 1 {
         let p = kc - 1;
-        let a = &apanel[p * MR..(p + 1) * MR];
-        let b = &bpanel[p * NR..(p + 1) * NR];
-        for j in 0..NR {
+        let a = &apanel[p * MR_..(p + 1) * MR_];
+        let b = &bpanel[p * NR_..(p + 1) * NR_];
+        for j in 0..NR_ {
             let bj = b[j];
-            for i in 0..MR {
-                acc[j][i] += a[i] * bj;
+            let mut prod = [S::ZERO; MR_];
+            for i in 0..MR_ {
+                prod[i] = a[i] * bj;
+            }
+            let accj = &mut acc[j];
+            for i in 0..MR_ {
+                accj[i] += A::promote(prod[i]);
             }
         }
     }
@@ -592,37 +1002,37 @@ fn microkernel(kc: usize, apanel: &[f64], bpanel: &[f64], acc: &mut [[f64; MR]; 
 
 /// Packed GEMM: `C += (alpha·A)·B`, blocked over the contraction depth in
 /// `KC` slabs, each slab packed once and swept by the microkernel.
-fn gemm_packed(
-    alpha: f64,
-    a: &View<'_>,
-    b: &View<'_>,
-    c: &mut MutView<'_>,
+fn gemm_packed_g<S: Scalar, A: Accum<S>, const MR_: usize, const NR_: usize>(
+    alpha: S,
+    a: &View<'_, S>,
+    b: &View<'_, S>,
+    c: &mut MutView<'_, S>,
     scratch: &mut KernelScratch,
 ) {
     let (m, n, k) = (c.rows, c.cols, a.cols);
-    let a_elems = round_up(m, MR) * KC.min(k);
-    let b_elems = round_up(n, NR) * KC.min(k);
-    let (apack, bpack) = scratch.packs(a_elems, b_elems);
+    let a_elems = round_up(m, MR_) * KC.min(k);
+    let b_elems = round_up(n, NR_) * KC.min(k);
+    let (apack, bpack) = S::packs(scratch, a_elems, b_elems);
 
     let mut p0 = 0usize;
     while p0 < k {
         let kc = KC.min(k - p0);
-        pack_a(a, p0, kc, m, apack);
-        pack_b(alpha, b, p0, kc, n, bpack);
-        for jb in 0..n.div_ceil(NR) {
-            let j0 = jb * NR;
-            let jw = NR.min(n - j0);
-            let bpanel = &bpack[jb * kc * NR..(jb + 1) * kc * NR];
-            for ib in 0..m.div_ceil(MR) {
-                let i0 = ib * MR;
-                let ih = MR.min(m - i0);
-                let apanel = &apack[ib * kc * MR..(ib + 1) * kc * MR];
-                let mut acc = [[0.0f64; MR]; NR];
-                microkernel(kc, apanel, bpanel, &mut acc);
+        pack_a_g::<S, MR_>(a, p0, kc, m, apack);
+        pack_b_g::<S, NR_>(alpha, b, p0, kc, n, bpack);
+        for jb in 0..n.div_ceil(NR_) {
+            let j0 = jb * NR_;
+            let jw = NR_.min(n - j0);
+            let bpanel = &bpack[jb * kc * NR_..(jb + 1) * kc * NR_];
+            for ib in 0..m.div_ceil(MR_) {
+                let i0 = ib * MR_;
+                let ih = MR_.min(m - i0);
+                let apanel = &apack[ib * kc * MR_..(ib + 1) * kc * MR_];
+                let mut acc = [[A::ZERO; MR_]; NR_];
+                microkernel_g::<S, A, MR_, NR_>(kc, apanel, bpanel, &mut acc);
                 for (j, accj) in acc.iter().enumerate().take(jw) {
                     let col = c.col_tail_mut(j0 + j, i0, ih);
                     for (ci, &v) in col.iter_mut().zip(accj) {
-                        *ci += v;
+                        *ci = A::demote(A::promote(*ci) + v);
                     }
                 }
             }
@@ -637,10 +1047,10 @@ fn gemm_packed(
 /// alpha-scaled, column panels) and sweeps only the tiles that intersect
 /// the lower triangle; diagonal tiles compute the full tile and store the
 /// `i ≥ j` half.
-pub(crate) fn syrk_core(
-    alpha: f64,
-    a: &View<'_>,
-    c: &mut MutView<'_>,
+pub(crate) fn syrk_core_g<S: Scalar, A: Accum<S>, const MR_: usize, const NR_: usize>(
+    alpha: S,
+    a: &View<'_, S>,
+    c: &mut MutView<'_, S>,
     scratch: &mut KernelScratch,
 ) {
     let (n, k) = (a.rows, a.cols);
@@ -650,7 +1060,7 @@ pub(crate) fn syrk_core(
         return;
     }
     if n * n * k <= DIRECT_FLOP_CUTOFF {
-        syrk_direct(alpha, a, c, scratch);
+        syrk_direct_g::<S, A>(alpha, a, c, scratch);
         return;
     }
     let at = View {
@@ -659,33 +1069,33 @@ pub(crate) fn syrk_core(
         cols: a.rows,
         ..*a
     };
-    let a_elems = round_up(n, MR) * KC.min(k);
-    let b_elems = round_up(n, NR) * KC.min(k);
-    let (apack, bpack) = scratch.packs(a_elems, b_elems);
+    let a_elems = round_up(n, MR_) * KC.min(k);
+    let b_elems = round_up(n, NR_) * KC.min(k);
+    let (apack, bpack) = S::packs(scratch, a_elems, b_elems);
 
     let mut p0 = 0usize;
     while p0 < k {
         let kc = KC.min(k - p0);
-        pack_a(a, p0, kc, n, apack);
-        pack_b(alpha, &at, p0, kc, n, bpack);
-        for jb in 0..n.div_ceil(NR) {
-            let j0 = jb * NR;
-            let jw = NR.min(n - j0);
-            let bpanel = &bpack[jb * kc * NR..(jb + 1) * kc * NR];
-            // First row tile that reaches the diagonal: rows i0 + MR - 1 ≥ j0.
-            for ib in (j0 / MR)..n.div_ceil(MR) {
-                let i0 = ib * MR;
-                let ih = MR.min(n - i0);
-                let apanel = &apack[ib * kc * MR..(ib + 1) * kc * MR];
-                let mut acc = [[0.0f64; MR]; NR];
-                microkernel(kc, apanel, bpanel, &mut acc);
+        pack_a_g::<S, MR_>(a, p0, kc, n, apack);
+        pack_b_g::<S, NR_>(alpha, &at, p0, kc, n, bpack);
+        for jb in 0..n.div_ceil(NR_) {
+            let j0 = jb * NR_;
+            let jw = NR_.min(n - j0);
+            let bpanel = &bpack[jb * kc * NR_..(jb + 1) * kc * NR_];
+            // First row tile that reaches the diagonal: rows i0 + MR_ - 1 ≥ j0.
+            for ib in (j0 / MR_)..n.div_ceil(MR_) {
+                let i0 = ib * MR_;
+                let ih = MR_.min(n - i0);
+                let apanel = &apack[ib * kc * MR_..(ib + 1) * kc * MR_];
+                let mut acc = [[A::ZERO; MR_]; NR_];
+                microkernel_g::<S, A, MR_, NR_>(kc, apanel, bpanel, &mut acc);
                 for (j, accj) in acc.iter().enumerate().take(jw) {
                     let gj = j0 + j;
                     // Store only the i ≥ j half (global coordinates).
                     let r0 = gj.saturating_sub(i0).min(ih);
                     let col = c.col_tail_mut(gj, i0 + r0, ih - r0);
                     for (ci, &v) in col.iter_mut().zip(&accj[r0..]) {
-                        *ci += v;
+                        *ci = A::demote(A::promote(*ci) + v);
                     }
                 }
             }
@@ -696,28 +1106,48 @@ pub(crate) fn syrk_core(
     scratch.tick((n * (n + 1)) as u64 * k as u64);
 }
 
-/// Direct small-size SYRK (column-AXPY over the lower triangle).
-fn syrk_direct(alpha: f64, a: &View<'_>, c: &mut MutView<'_>, scratch: &mut KernelScratch) {
+/// Direct small-size SYRK: column-AXPY over the lower triangle for the
+/// uniform modes, gathered wide-accumulating dots for the mixed mode.
+fn syrk_direct_g<S: Scalar, A: Accum<S>>(
+    alpha: S,
+    a: &View<'_, S>,
+    c: &mut MutView<'_, S>,
+    scratch: &mut KernelScratch,
+) {
     let (n, k) = (a.rows, a.cols);
-    for j in 0..n {
-        for p in 0..k {
-            let ajp = alpha * a.at(j, p);
-            // lint: allow(float-eq) — structural-zero skip: exact zeros from sparsity
-            if ajp == 0.0 {
-                continue;
+    if !A::WIDENS {
+        for j in 0..n {
+            for p in 0..k {
+                let ajp = alpha * a.at(j, p);
+                // lint: allow(float-eq) — structural-zero skip: exact zeros from sparsity
+                if ajp == S::ZERO {
+                    continue;
+                }
+                if !a.trans {
+                    let base = (a.col + p) * a.ld + a.row;
+                    let acol = &a.data[base..base + n];
+                    let ccol = c.col_tail_mut(j, j, n - j);
+                    for (ci, &ai) in ccol.iter_mut().zip(&acol[j..]) {
+                        *ci += ai * ajp;
+                    }
+                } else {
+                    let ccol = c.col_tail_mut(j, j, n - j);
+                    for (r, ci) in ccol.iter_mut().enumerate() {
+                        *ci += a.at(j + r, p) * ajp;
+                    }
+                }
             }
-            if !a.trans {
-                let base = (a.col + p) * a.ld + a.row;
-                let acol = &a.data[base..base + n];
-                let ccol = c.col_tail_mut(j, j, n - j);
-                for (ci, &ai) in ccol.iter_mut().zip(&acol[j..]) {
-                    *ci += ai * ajp;
+        }
+    } else {
+        for j in 0..n {
+            let ccol = c.col_tail_mut(j, j, n - j);
+            for (r, ci) in ccol.iter_mut().enumerate() {
+                let i = j + r;
+                let mut acc = A::ZERO;
+                for p in 0..k {
+                    acc += A::promote(a.at(i, p) * (alpha * a.at(j, p)));
                 }
-            } else {
-                let ccol = c.col_tail_mut(j, j, n - j);
-                for (r, ci) in ccol.iter_mut().enumerate() {
-                    *ci += a.at(j + r, p) * ajp;
-                }
+                *ci = A::demote(A::promote(*ci) + acc);
             }
         }
     }
@@ -733,10 +1163,14 @@ const TRSM_NB: usize = 32;
 ///
 /// Column blocks of width [`TRSM_NB`] are updated against all previously
 /// solved columns with one packed GEMM (`B[:,J] −= X[:,0..j0] · L[J,0..j0]ᵀ`)
-/// and then finished with the small in-block forward substitution.
-pub(crate) fn trsm_core(
-    l: &View<'_>,
-    bdata: &mut [f64],
+/// and then finished with the small in-block forward substitution. The
+/// bulk GEMM update accumulates in `A`; the in-block substitution operates
+/// in storage precision (its recurrence is inherently sequential in the
+/// stored values).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn trsm_core_g<S: Scalar, A: Accum<S>, const MR_: usize, const NR_: usize>(
+    l: &View<'_, S>,
+    bdata: &mut [S],
     bld: usize,
     brow: usize,
     bcol: usize,
@@ -756,14 +1190,14 @@ pub(crate) fn trsm_core(
             let x = View::raw(done, bld, brow, bcol, m, j0, false);
             let lt = View::raw(l.data, l.ld, l.row + j0, l.col, j0, nb, true);
             let mut cview = MutView::raw(cur, bld, brow, 0, m, nb);
-            gemm_core(-1.0, &x, &lt, &mut cview, scratch);
+            gemm_core_g::<S, A, MR_, NR_>(-S::ONE, &x, &lt, &mut cview, scratch);
         }
         // In-block forward substitution (columns j0..j0+nb).
         for j in j0..j0 + nb {
             for p in j0..j {
                 let ljp = l.at(j, p);
                 // lint: allow(float-eq) — structural-zero skip: exact zeros from sparsity
-                if ljp == 0.0 {
+                if ljp == S::ZERO {
                     continue;
                 }
                 let (done, cur) = bdata.split_at_mut((bcol + j) * bld);
@@ -784,6 +1218,42 @@ pub(crate) fn trsm_core(
     }
 }
 
+/// f64 instantiation of [`gemm_core_g`] (the historic kernel stack).
+pub(crate) fn gemm_core(
+    alpha: f64,
+    a: &View<'_>,
+    b: &View<'_>,
+    c: &mut MutView<'_>,
+    scratch: &mut KernelScratch,
+) {
+    gemm_core_g::<f64, f64, MR, NR>(alpha, a, b, c, scratch);
+}
+
+/// f64 instantiation of [`syrk_core_g`].
+pub(crate) fn syrk_core(
+    alpha: f64,
+    a: &View<'_>,
+    c: &mut MutView<'_>,
+    scratch: &mut KernelScratch,
+) {
+    syrk_core_g::<f64, f64, MR, NR>(alpha, a, c, scratch);
+}
+
+/// f64 instantiation of [`trsm_core_g`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn trsm_core(
+    l: &View<'_>,
+    bdata: &mut [f64],
+    bld: usize,
+    brow: usize,
+    bcol: usize,
+    m: usize,
+    n: usize,
+    scratch: &mut KernelScratch,
+) {
+    trsm_core_g::<f64, f64, MR, NR>(l, bdata, bld, brow, bcol, m, n, scratch);
+}
+
 /// Public-surface helper: `c = alpha·opa(a)·opb(b) + beta·c` entirely on
 /// whole matrices (the [`crate::gemm`] body).
 pub(crate) fn gemm_mats(
@@ -797,6 +1267,113 @@ pub(crate) fn gemm_mats(
     let mut cv = MutView::of(c);
     cv.scale(beta);
     gemm_core(alpha, a, b, &mut cv, scratch);
+}
+
+/// Runs a closure with the mode's monomorphized kernel instantiation over
+/// f32 storage: `F32` gets the uniform 8×4 engine, `F32F64` (and, for
+/// totality, `F64`) the mixed 4×4 engine with f64 accumulation.
+macro_rules! with_f32_engine {
+    ($mode:expr, $body:ident ( $($arg:expr),* $(,)? )) => {
+        match $mode {
+            NumericMode::F32 => $body::<f32, f32, MR_F32, NR_F32>($($arg),*),
+            NumericMode::F32F64 | NumericMode::F64 => $body::<f32, f64, MR, NR>($($arg),*),
+        }
+    };
+}
+
+/// f32-storage GEMM on raw column-major slices:
+/// `c = alpha·op(a)·op(b) + beta·c`, where `a` is stored `m × k`
+/// (`k × m` when `a_trans`) and `b` is stored `k × n` (`n × k` when
+/// `b_trans`), each with leading dimension equal to its storage rows.
+///
+/// The [`NumericMode`] selects the engine: [`NumericMode::F32`] computes
+/// and accumulates in f32 with 8×4 tiles; [`NumericMode::F32F64`] (and
+/// `F64`, for which this is the widest available f32-storage engine)
+/// multiplies in f32 and accumulates in f64 with 4×4 tiles.
+///
+/// # Panics
+///
+/// Panics if the slice lengths don't cover the stated shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_f32(
+    mode: NumericMode,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    a_trans: bool,
+    b: &[f32],
+    b_trans: bool,
+    beta: f32,
+    c: &mut [f32],
+    scratch: &mut KernelScratch,
+) {
+    let a_ld = if a_trans { k } else { m };
+    let b_ld = if b_trans { n } else { k };
+    assert!(
+        a.len() >= a_ld * if a_trans { m } else { k },
+        "gemm_f32 a too short"
+    );
+    assert!(
+        b.len() >= b_ld * if b_trans { k } else { n },
+        "gemm_f32 b too short"
+    );
+    assert!(c.len() >= m * n, "gemm_f32 c too short");
+    let av = View::raw(a, a_ld, 0, 0, m, k, a_trans);
+    let bv = View::raw(b, b_ld, 0, 0, k, n, b_trans);
+    let mut cv = MutView::raw(c, m, 0, 0, m, n);
+    cv.scale(beta);
+    with_f32_engine!(mode, gemm_core_g(alpha, &av, &bv, &mut cv, scratch));
+}
+
+/// f32-storage SYRK on raw column-major slices:
+/// `c_lower = beta·c_lower + alpha·a·aᵀ` with `a` stored `n × k` and `c`
+/// `n × n`, touching only `i ≥ j`. Engine selection as in [`gemm_f32`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths don't cover the stated shapes.
+pub fn syrk_lower_f32(
+    mode: NumericMode,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    scratch: &mut KernelScratch,
+) {
+    assert!(a.len() >= n * k, "syrk_lower_f32 a too short");
+    assert!(c.len() >= n * n, "syrk_lower_f32 c too short");
+    let av = View::raw(a, n, 0, 0, n, k, false);
+    let mut cv = MutView::raw(c, n, 0, 0, n, n);
+    cv.scale_lower(beta);
+    with_f32_engine!(mode, syrk_core_g(alpha, &av, &mut cv, scratch));
+}
+
+/// f32-storage TRSM on raw column-major slices: solves `x·lᵀ = b` in
+/// place, with `l` a stored `n × n` lower triangle and `b` stored `m × n`.
+/// Engine selection as in [`gemm_f32`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths don't cover the stated shapes.
+pub fn trsm_right_lower_transpose_f32(
+    mode: NumericMode,
+    m: usize,
+    n: usize,
+    l: &[f32],
+    b: &mut [f32],
+    scratch: &mut KernelScratch,
+) {
+    if n == 0 || m == 0 {
+        return;
+    }
+    assert!(l.len() >= n * n, "trsm_f32 l too short");
+    assert!(b.len() >= m * n, "trsm_f32 b too short");
+    let lv = View::raw(l, n, 0, 0, n, n, false);
+    with_f32_engine!(mode, trsm_core_g(&lv, b, m, 0, 0, m, n, scratch));
 }
 
 #[cfg(test)]
@@ -937,6 +1514,38 @@ mod tests {
     }
 
     #[test]
+    fn presized_scratch_never_grows_in_narrow_modes() {
+        let n = 96;
+        for mode in [NumericMode::F32, NumericMode::F32F64] {
+            let mut scratch = KernelScratch::new();
+            scratch.reserve_mode(mode, pack_elems_bound_mode(n, mode), n * n);
+            let base = scratch.grow_events();
+            let a: Vec<f32> = (0..n * n)
+                .map(|i| ((i * 7) % 11) as f32 * 0.25 - 0.5)
+                .collect();
+            let b: Vec<f32> = (0..n * n)
+                .map(|i| ((i * 3) % 13) as f32 * 0.25 - 1.0)
+                .collect();
+            let mut c = vec![0.0f32; n * n];
+            gemm_f32(
+                mode,
+                n,
+                n,
+                n,
+                1.0,
+                &a,
+                false,
+                &b,
+                false,
+                0.0,
+                &mut c,
+                &mut scratch,
+            );
+            assert_eq!(scratch.grow_events(), base, "{mode} pre-sized arena grew");
+        }
+    }
+
+    #[test]
     fn flop_meter_matches_shape() {
         let mut scratch = KernelScratch::new();
         let a = filled(8, 4, 0.0);
@@ -952,5 +1561,169 @@ mod tests {
         );
         assert_eq!(scratch.take_flops(), 2 * 8 * 8 * 4);
         assert_eq!(scratch.flops(), 0);
+    }
+
+    #[test]
+    fn flop_meter_is_mode_independent() {
+        let n = 40;
+        let a: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 5) % 9) as f32 * 0.5 - 1.0)
+            .collect();
+        let b: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 11) % 7) as f32 * 0.5 - 1.5)
+            .collect();
+        let mut flops = Vec::new();
+        for mode in [NumericMode::F32, NumericMode::F32F64] {
+            let mut scratch = KernelScratch::new();
+            let mut c = vec![0.0f32; n * n];
+            gemm_f32(
+                mode,
+                n,
+                n,
+                n,
+                1.0,
+                &a,
+                false,
+                &b,
+                false,
+                0.0,
+                &mut c,
+                &mut scratch,
+            );
+            flops.push(scratch.take_flops());
+        }
+        assert_eq!(flops[0], flops[1]);
+        assert_eq!(flops[0], 2 * (n * n * n) as u64);
+    }
+
+    #[test]
+    fn f32_gemm_matches_f64_within_width_tolerance() {
+        let mut scratch = KernelScratch::new();
+        for (m, n, k) in [(33, 29, 37), (64, 64, 64), (8, 40, 300)] {
+            let a = filled(m, k, 0.5);
+            let b = filled(k, n, 1.5);
+            let want = naive(&a, &b);
+            let a32: Vec<f32> = a.as_slice().iter().map(|&v| v as f32).collect();
+            let b32: Vec<f32> = b.as_slice().iter().map(|&v| v as f32).collect();
+            for mode in [NumericMode::F32, NumericMode::F32F64] {
+                let mut c = vec![0.0f32; m * n];
+                gemm_f32(
+                    mode,
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    &a32,
+                    false,
+                    &b32,
+                    false,
+                    0.0,
+                    &mut c,
+                    &mut scratch,
+                );
+                let scale = (k as f64).sqrt() * 8.0;
+                for j in 0..n {
+                    for i in 0..m {
+                        let got = c[j * m + i] as f64;
+                        let err = (got - want[(i, j)]).abs();
+                        assert!(
+                            err <= scale * f32::EPSILON as f64 * want[(i, j)].abs().max(8.0),
+                            "{mode} ({m},{n},{k}) at ({i},{j}): got {got}, want {}",
+                            want[(i, j)]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_engines_are_deterministic_per_mode() {
+        let (m, n, k) = (48, 36, 52);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 13) % 17) as f32 * 0.125 - 1.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 7) % 19) as f32 * 0.125 - 1.0)
+            .collect();
+        for mode in [NumericMode::F32, NumericMode::F32F64] {
+            let mut c1 = vec![0.0f32; m * n];
+            let mut c2 = vec![0.0f32; m * n];
+            let mut s1 = KernelScratch::new();
+            let mut s2 = KernelScratch::with_capacity(pack_elems_bound(64));
+            s2.reserve_mode(mode, pack_elems_bound_mode(64, mode), 0);
+            gemm_f32(
+                mode, m, n, k, 1.0, &a, false, &b, false, 0.0, &mut c1, &mut s1,
+            );
+            gemm_f32(
+                mode, m, n, k, 1.0, &a, false, &b, false, 0.0, &mut c2, &mut s2,
+            );
+            assert!(
+                c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{mode} cold vs warm arena diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_mode_accumulates_wider_than_f32() {
+        // A contraction designed to lose low bits under f32 accumulation:
+        // many small contributions onto a large running sum. The mixed
+        // engine must land closer to the f64 result than the pure-f32 one.
+        let k = 4096;
+        let a: Vec<f32> = (0..k).map(|i| if i == 0 { 1024.0 } else { 1e-4 }).collect();
+        let b: Vec<f32> = vec![1.0; k];
+        let want: f64 = a.iter().map(|&x| x as f64).sum();
+        let run = |mode: NumericMode| {
+            let mut c = vec![0.0f32; 1];
+            let mut scratch = KernelScratch::new();
+            // m = n = 1 forces the gathered direct path; use larger m to hit
+            // the packed path instead.
+            let mut cp = vec![0.0f32; 32 * 32];
+            // Column-major 32 × k: every row of column p holds a[p].
+            let ap: Vec<f32> = (0..32 * k).map(|i| a[i / 32]).collect();
+            let bp: Vec<f32> = (0..k * 32).map(|i| b[i % k]).collect();
+            gemm_f32(
+                mode,
+                32,
+                32,
+                k,
+                1.0,
+                &ap,
+                false,
+                &bp,
+                false,
+                0.0,
+                &mut cp,
+                &mut scratch,
+            );
+            c[0] = cp[0];
+            c[0] as f64
+        };
+        let err32 = (run(NumericMode::F32) - want).abs();
+        let err_mixed = (run(NumericMode::F32F64) - want).abs();
+        assert!(
+            err_mixed <= err32,
+            "mixed accumulation must not be worse: mixed {err_mixed} vs f32 {err32}"
+        );
+        // And the mixed error is at the once-per-KC-slab rounding scale
+        // (the accumulator tile is demoted into C after each packed slab),
+        // not the once-per-add scale of pure f32.
+        let slabs = k.div_ceil(KC) as f64;
+        assert!(err_mixed <= want * f32::EPSILON as f64 * (slabs + 1.0));
+    }
+
+    #[test]
+    fn pack_bounds_cover_both_widths() {
+        for n in [1, 3, 7, 8, 9, 31, 48, 200, 500] {
+            assert_eq!(
+                pack_elems_bound_mode(n, NumericMode::F64),
+                pack_elems_bound(n)
+            );
+            let narrow = pack_elems_bound_mode(n, NumericMode::F32);
+            assert_eq!(narrow, pack_elems_bound_mode(n, NumericMode::F32F64));
+            // The 8-tall tiles never need less than the 4-tall ones.
+            assert!(narrow >= pack_elems_bound(n));
+        }
     }
 }

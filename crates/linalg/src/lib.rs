@@ -33,6 +33,7 @@ mod blas;
 mod cholesky;
 pub mod kernels;
 mod matrix;
+pub mod mode;
 pub mod ops;
 pub mod reference;
 pub mod rng;
@@ -44,10 +45,14 @@ pub use blas::{
 };
 pub use cholesky::{
     cholesky_in_place, cholesky_in_place_scratch, partial_cholesky_in_place,
-    partial_cholesky_scratch, NotPositiveDefiniteError,
+    partial_cholesky_scratch, partial_cholesky_scratch_mode, NotPositiveDefiniteError,
 };
-pub use kernels::{gemm_path, pack_elems_bound, GemmPath, KernelScratch};
+pub use kernels::{
+    gemm_f32, gemm_path, pack_elems_bound, pack_elems_bound_mode, syrk_lower_f32,
+    trsm_right_lower_transpose_f32, Accum, GemmPath, KernelScratch, Scalar,
+};
 pub use matrix::Mat;
+pub use mode::{NumericMode, NUMERIC_ENV};
 pub use triangular::{solve_lower, solve_lower_transpose};
 
 /// Convenience result alias for fallible factorizations in this crate.

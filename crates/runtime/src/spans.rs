@@ -67,6 +67,10 @@ pub fn exec_span(sched: &HostSchedule, trace: &StepTrace) -> Span {
     // dep-counted / level-batched) — lets bench_check gate the
     // dispatch-overhead-per-task metric against the mode that produced it.
     span.counters.set("dispatch_mode", sched.mode.as_u64());
+    // Numeric precision the workers' kernels ran under (f64 / f32 /
+    // mixed) — step artifacts and bench_check gate against the mode that
+    // produced the numbers.
+    span.counters.set("numeric_mode", sched.numeric.as_u64());
     span
 }
 

@@ -28,6 +28,7 @@ use std::thread;
 
 use supernova_factors::{Key, Values, Variable};
 use supernova_hw::Platform;
+use supernova_linalg::NumericMode;
 use supernova_runtime::{CostModel, SchedulerConfig};
 use supernova_solvers::{RaIsam2Config, SolverEngine};
 use supernova_sparse::ParallelExecutor;
@@ -55,6 +56,12 @@ pub struct ServeConfig {
     /// Host-executor width each engine factors with (shared so per-session
     /// results do not depend on which engine a session lands on).
     pub executor_threads: usize,
+    /// Numeric precision every pooled engine's dense kernels run under
+    /// (shared for the same reason as [`executor_threads`]; see
+    /// [`NumericMode`]).
+    ///
+    /// [`executor_threads`]: ServeConfig::executor_threads
+    pub numeric: NumericMode,
     /// Total queued depth up to which the server runs undegraded.
     pub degrade_start: usize,
     /// Additional total depth per extra degradation level beyond the first.
@@ -81,6 +88,7 @@ impl Default for ServeConfig {
             ra: RaIsam2Config::default(),
             platform: Platform::supernova(2),
             executor_threads: 1,
+            numeric: NumericMode::default(),
             degrade_start: 16,
             degrade_stride: 8,
             max_degradation: 4,
@@ -196,7 +204,7 @@ impl Server {
     /// `workers` dispatcher threads.
     pub fn start(cfg: ServeConfig) -> Self {
         let cost = Arc::new(CostModel::new(cfg.platform.clone()));
-        let exec = ParallelExecutor::new(cfg.executor_threads);
+        let exec = ParallelExecutor::new(cfg.executor_threads).with_numeric(cfg.numeric);
         let pool = (0..cfg.max_sessions.max(1))
             .map(|_| {
                 let mut e = SolverEngine::new(cfg.ra, Arc::clone(&cost) as _);
@@ -530,6 +538,7 @@ fn worker_loop(worker: usize, inner: &Inner) {
         let _trace = engine.step(req.initial, req.factors);
         let t1 = epoch_seconds();
         if let Some(mut b) = builder.take() {
+            b.set_numeric_mode(engine.numeric_mode());
             let root = b.root_mut();
             root.set_track(worker as u32);
             root.counter("level", u64::from(level));
@@ -614,6 +623,30 @@ mod tests {
         let ra = server.close(sa).expect("close a");
         assert_eq!(ra.completed, 40);
         assert_eq!(ra.shed, 0);
+    }
+
+    #[test]
+    fn served_f32_sessions_match_solo_f32_bit_for_bit() {
+        // The configured numeric mode must reach every pooled engine's
+        // kernels: a served f32 session reproduces a solo f32 run exactly.
+        let ds = Dataset::manhattan_seeded(30, 5);
+        let cost = Arc::new(CostModel::new(Platform::supernova(2)));
+        let mut solo = SolverEngine::new(RaIsam2Config::default(), cost);
+        solo.set_executor(ParallelExecutor::new(1).with_numeric(NumericMode::F32));
+        for step in &ds.online_steps() {
+            solo.step(step.truth.clone(), step.factors.clone());
+        }
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            max_sessions: 2,
+            numeric: NumericMode::F32,
+            ..ServeConfig::default()
+        });
+        let sid = server.create_session().expect("slot");
+        submit_all(&server, sid, &ds);
+        assert_eq!(server.estimate(sid).expect("live"), solo.estimate());
+        let report = server.close(sid).expect("close");
+        assert_eq!(report.completed, 30);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use supernova_factors::{linearize, Factor, FactorGraph, Key, LinearizedFactor, Values, Variable};
 use supernova_linalg::ops::{Op, OpTrace};
-use supernova_linalg::{gemm, norm_inf, Mat, Transpose};
+use supernova_linalg::{gemm, norm_inf, Mat, NumericMode, Transpose};
 use supernova_runtime::{node_work_from_plan, StepTrace};
 use supernova_sparse::{
     interference, ordering, BlockMat, BlockPattern, ExecutionPlan, HostSchedule, NumericFactor,
@@ -111,9 +111,33 @@ impl IncrementalCore {
         }
     }
 
-    /// Overrides the host executor the numeric plans run on.
+    /// Overrides the host executor the numeric plans run on. If the new
+    /// executor's numeric mode differs from the installed one, the cached
+    /// numeric factor is dropped — factors computed under different kernel
+    /// engines are not interchangeable, so the next solve refactors from
+    /// scratch under the new mode.
     pub fn set_executor(&mut self, exec: ParallelExecutor) {
+        if exec.numeric() != self.executor.numeric() {
+            self.num = None;
+        }
         self.executor = exec;
+    }
+
+    /// Selects the numeric precision mode the dense kernels run under
+    /// (see [`NumericMode`]). Changing the mode invalidates the cached
+    /// numeric factor, forcing a full refactorization on the next solve;
+    /// setting the already-active mode is a no-op.
+    pub fn set_numeric_mode(&mut self, mode: NumericMode) {
+        if self.executor.numeric() != mode {
+            self.executor.set_numeric_mode(mode);
+            self.num = None;
+        }
+    }
+
+    /// The numeric precision mode the installed executor's kernels run
+    /// under.
+    pub fn numeric_mode(&self) -> NumericMode {
+        self.executor.numeric()
     }
 
     /// The installed host executor (pool-stats access: its persistent

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use supernova_factors::{Factor, Key, Values, Variable};
 use supernova_hw::Platform;
+use supernova_linalg::NumericMode;
 use supernova_runtime::{
     exec_span, hw_span, simulate_step_traced, RelinCostModel, SchedulerConfig, StepBudget,
     StepTrace,
@@ -95,6 +96,19 @@ impl SolverEngine {
     /// [`pool_stats`]: ParallelExecutor::pool_stats
     pub fn executor(&self) -> &ParallelExecutor {
         self.solver.core().executor()
+    }
+
+    /// Selects the numeric precision mode the dense kernels run under
+    /// (`SUPERNOVA_NUMERIC`; see [`NumericMode`]). Changing the mode drops
+    /// the cached numeric factor so the next step refactors under the new
+    /// kernel engine.
+    pub fn set_numeric_mode(&mut self, mode: NumericMode) {
+        self.solver.core_mut().set_numeric_mode(mode);
+    }
+
+    /// The numeric precision mode this engine's kernels run under.
+    pub fn numeric_mode(&self) -> NumericMode {
+        self.solver.core().numeric_mode()
     }
 
     /// Processes one online step (the new pose's initial guess plus its

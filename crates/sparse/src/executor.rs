@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::Instant;
 
-use supernova_linalg::{KernelScratch, Mat};
+use supernova_linalg::{KernelScratch, Mat, NumericMode};
 
 use crate::interference::PlanCertificate;
 use crate::ExecutionPlan;
@@ -56,6 +56,20 @@ impl Workspace {
     pub fn reserve(&mut self, front_elems: usize, pack_elems: usize) {
         self.front.reset(front_elems, 1);
         self.scratch.reserve(pack_elems);
+    }
+
+    /// Mode-aware [`reserve`](Self::reserve): under a narrow
+    /// [`NumericMode`] the kernel arena additionally pre-grows its f32
+    /// pack panels and the f32 front shadow (sized for the largest front,
+    /// `front_elems` scalars), so narrow-mode factorization allocates
+    /// nothing mid-execution either. For [`NumericMode::F64`] this is
+    /// exactly `reserve`.
+    pub fn reserve_mode(&mut self, mode: NumericMode, front_elems: usize, pack_elems: usize) {
+        self.front.reset(front_elems, 1);
+        self.scratch.reserve(pack_elems);
+        if mode.is_narrow() {
+            self.scratch.reserve_mode(mode, pack_elems, front_elems);
+        }
     }
 
     /// The frontal matrix buffer; callers `reset` it to the task's front
@@ -155,6 +169,8 @@ pub struct HostSchedule {
     pub origin: f64,
     /// Which dispatch strategy sequenced this execution.
     pub mode: DispatchMode,
+    /// Numeric precision the executing workers' kernels ran under.
+    pub numeric: NumericMode,
 }
 
 impl HostSchedule {
@@ -235,6 +251,7 @@ pub struct PoolStats {
 pub struct ParallelExecutor {
     threads: usize,
     policy: DispatchPolicy,
+    numeric: NumericMode,
     pool: Arc<Mutex<Vec<Workspace>>>,
 }
 
@@ -242,7 +259,9 @@ impl PartialEq for ParallelExecutor {
     /// Configuration equality only — the workspace pool is a cache and
     /// never affects behavior.
     fn eq(&self, other: &Self) -> bool {
-        self.threads == other.threads && self.policy == other.policy
+        self.threads == other.threads
+            && self.policy == other.policy
+            && self.numeric == other.numeric
     }
 }
 
@@ -261,6 +280,7 @@ impl ParallelExecutor {
         ParallelExecutor {
             threads,
             policy: DispatchPolicy::default(),
+            numeric: NumericMode::default(),
             pool: Arc::new(Mutex::new(pool)),
         }
     }
@@ -281,15 +301,35 @@ impl ParallelExecutor {
         self.policy
     }
 
+    /// Same executor with the given numeric mode for its workers' kernels.
+    pub fn with_numeric(mut self, numeric: NumericMode) -> Self {
+        self.numeric = numeric;
+        self
+    }
+
+    /// Overrides the numeric mode in place. Takes effect on the next plan
+    /// execution; callers holding cached factors produced under another
+    /// mode must invalidate them (the solver engine does).
+    pub fn set_numeric_mode(&mut self, numeric: NumericMode) {
+        self.numeric = numeric;
+    }
+
+    /// The numeric precision this executor's workers factor under.
+    pub fn numeric(&self) -> NumericMode {
+        self.numeric
+    }
+
     /// A single-threaded (inline) executor.
     pub fn serial() -> Self {
         ParallelExecutor::new(1)
     }
 
     /// Reads the worker count from the `SUPERNOVA_THREADS` environment
-    /// variable, falling back to the host's available parallelism, and
-    /// the dispatch policy from `SUPERNOVA_DISPATCH` (`depcount` forces
-    /// dependency counting; anything else keeps the `Auto` default).
+    /// variable, falling back to the host's available parallelism, the
+    /// dispatch policy from `SUPERNOVA_DISPATCH` (`depcount` forces
+    /// dependency counting; anything else keeps the `Auto` default), and
+    /// the numeric mode from [`supernova_linalg::NUMERIC_ENV`]
+    /// (`f64`/`f32`/`f32f64`; unset or unrecognized means f64).
     pub fn from_env() -> Self {
         let threads = std::env::var("SUPERNOVA_THREADS")
             .ok()
@@ -304,7 +344,9 @@ impl ParallelExecutor {
             Ok("depcount") => DispatchPolicy::DepCounted,
             _ => DispatchPolicy::Auto,
         };
-        ParallelExecutor::new(threads).with_policy(policy)
+        ParallelExecutor::new(threads)
+            .with_policy(policy)
+            .with_numeric(NumericMode::from_env())
     }
 
     /// The configured worker count.
@@ -350,7 +392,11 @@ impl ParallelExecutor {
             .map(|(i, _)| i);
         let mut ws = largest.map(|i| pool.swap_remove(i)).unwrap_or_default();
         drop(pool);
-        ws.reserve(plan.max_workspace_elems(), plan.max_pack_elems());
+        ws.reserve_mode(
+            self.numeric,
+            plan.max_workspace_elems(),
+            plan.max_pack_elems_mode(self.numeric),
+        );
         ws.scratch_mut().take_flops();
         ws
     }
@@ -430,11 +476,11 @@ impl ParallelExecutor {
     /// warm enough for `plan` — the zero-alloc steady state.
     fn prepare(&self, plan: &ExecutionPlan) {
         let front = plan.max_workspace_elems();
-        let pack = plan.max_pack_elems();
+        let pack = plan.max_pack_elems_mode(self.numeric);
         // lint: allow(unwrap) — poisoning requires a prior worker panic
         let mut pool = self.pool.lock().unwrap();
         for ws in pool.iter_mut() {
-            ws.reserve(front, pack);
+            ws.reserve_mode(self.numeric, front, pack);
         }
     }
 }
@@ -480,6 +526,7 @@ where
         workers: 1,
         origin: epoch,
         mode: DispatchMode::Serial,
+        numeric: exec.numeric,
     };
     match err {
         Some(e) => (Err(e), sched),
@@ -633,6 +680,7 @@ where
         workers: nworkers,
         origin: epoch,
         mode: DispatchMode::DepCounted,
+        numeric: exec.numeric,
     };
     let mut errs = errors.into_inner().unwrap_or_default();
     if errs.is_empty() {
@@ -756,6 +804,7 @@ where
         workers: nworkers,
         origin: epoch,
         mode: DispatchMode::LevelBatched,
+        numeric: exec.numeric,
     };
     let mut errs = errors.into_inner().unwrap_or_default();
     if errs.is_empty() {

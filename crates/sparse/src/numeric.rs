@@ -15,7 +15,8 @@ use std::sync::OnceLock;
 
 use supernova_linalg::ops::{Op, OpTrace};
 use supernova_linalg::{
-    gemv, partial_cholesky_scratch, solve_lower, solve_lower_transpose, Mat, Transpose,
+    gemv, partial_cholesky_scratch_mode, solve_lower, solve_lower_transpose, Mat, NumericMode,
+    Transpose,
 };
 
 use crate::executor::{HostSchedule, ParallelExecutor, Workspace};
@@ -259,8 +260,9 @@ impl NumericFactor {
             }
         }
 
+        let numeric = exec.numeric();
         let (res, sched) = exec.run_certified(plan, &is_recompute, cert, |s, ws| {
-            let out = compute_task(plan, h, s, &slots, ws)?;
+            let out = compute_task(plan, h, s, &slots, ws, numeric)?;
             let published = slots[s].set(out).is_ok();
             debug_assert!(published, "task {s} executed twice");
             Ok(())
@@ -447,6 +449,7 @@ fn compute_task(
     s: usize,
     slots: &[OnceLock<(NodeFactor, OpTrace)>],
     ws: &mut Workspace,
+    numeric: NumericMode,
 ) -> Result<(NodeFactor, OpTrace), FactorizeError> {
     let task = &plan.tasks()[s];
     let m = task.pivot_dim;
@@ -511,8 +514,9 @@ fn compute_task(
 
     // Three-step partial factorization (Figure 5, bottom), run through
     // the worker's pooled pack arena: zero allocation once warm, and the
-    // arena's flop meter feeds the span's `kernel_flops`.
-    partial_cholesky_scratch(front, m, scratch).map_err(|e| FactorizeError {
+    // arena's flop meter feeds the span's `kernel_flops`. The executor's
+    // numeric mode picks the kernel engine (f64 / f32 / mixed).
+    partial_cholesky_scratch_mode(front, m, scratch, numeric).map_err(|e| FactorizeError {
         node: s,
         front_col: e.col(),
     })?;
@@ -814,6 +818,43 @@ mod tests {
             assert_eq!(stats_s.recomputed_nodes(), stats_p.recomputed_nodes());
             assert_eq!(stats_s.flops(), stats_p.flops());
             assert_eq!(sched_p.spans.len(), plan.num_tasks());
+        }
+    }
+
+    #[test]
+    fn narrow_modes_are_bit_identical_across_thread_counts() {
+        let p = loopy_pattern();
+        let sym = SymbolicFactor::analyze(&p, 0);
+        let plan = ExecutionPlan::from_symbolic(&sym);
+        let h = build_h(&p, 17);
+        let all: Vec<usize> = (0..p.num_blocks()).collect();
+        for mode in [NumericMode::F32, NumericMode::F32F64] {
+            let mut serial = NumericFactor::empty(&plan);
+            let exec = ParallelExecutor::serial().with_numeric(mode);
+            let (_, sched_s) = serial.execute_plan(&plan, &h, &all, &exec).unwrap();
+            assert_eq!(sched_s.numeric, mode);
+            let bytes_s = serial.serialize_bytes();
+            for threads in [2usize, 4, 8] {
+                let mut par = NumericFactor::empty(&plan);
+                let exec = ParallelExecutor::new(threads).with_numeric(mode);
+                let (_, sched_p) = par.execute_plan(&plan, &h, &all, &exec).unwrap();
+                assert_eq!(sched_p.numeric, mode);
+                assert_eq!(
+                    bytes_s,
+                    par.serialize_bytes(),
+                    "{mode} at {threads} threads diverged from {mode} serial"
+                );
+            }
+            // The narrow engines genuinely round: a same-input f64 factor
+            // must differ, or the mode never reached the kernels.
+            let mut wide = NumericFactor::empty(&plan);
+            wide.execute_plan(&plan, &h, &all, &ParallelExecutor::serial())
+                .unwrap();
+            assert_ne!(
+                bytes_s,
+                wide.serialize_bytes(),
+                "{mode} produced bitwise-f64 results; mode plumbing is dead"
+            );
         }
     }
 

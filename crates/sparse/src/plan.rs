@@ -303,6 +303,19 @@ impl ExecutionPlan {
             .unwrap_or(0)
     }
 
+    /// Mode-aware variant of [`Self::max_pack_elems`]: the narrow modes
+    /// pack into f32 arenas whose row-panel rounding differs (the f32
+    /// engine uses wider microkernel tiles), so workers executing under a
+    /// narrow [`supernova_linalg::NumericMode`] pre-grow their scratch
+    /// with this bound instead.
+    pub fn max_pack_elems_mode(&self, mode: supernova_linalg::NumericMode) -> usize {
+        self.tasks
+            .iter()
+            .map(|t| supernova_linalg::pack_elems_bound_mode(t.front_dim(), mode))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Every listed task plus all its ancestors, deduplicated and sorted —
     /// the affected set of an incremental re-factorization.
     pub fn ancestor_closure(&self, seeds: impl IntoIterator<Item = usize>) -> Vec<usize> {

@@ -3,7 +3,8 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! magic "SNVT" | version u16 | key: session u64, seq u64, step u64
+//! magic "SNVT" | version u16 | numeric_mode u8
+//! key: session u64, seq u64, step u64
 //! string table: count u32, then per string: len u32, utf-8 bytes
 //! span tree (pre-order recursive):
 //!   name_idx u32 | cat u8 | timebase u8 | track u32
@@ -18,11 +19,15 @@
 
 use std::collections::BTreeMap;
 
+use supernova_linalg::NumericMode;
+
 use crate::span::{Category, CounterSet, Span, StepKey, Timebase};
 use crate::tracer::Trace;
 
 const MAGIC: &[u8; 4] = b"SNVT";
-const VERSION: u16 = 1;
+// v2 added the numeric_mode header byte (precision the step's kernels ran
+// under); v1 buffers are rejected with `BadVersion`.
+const VERSION: u16 = 2;
 const MAX_DEPTH: usize = 512;
 
 /// Why a byte buffer failed to decode as a trace.
@@ -34,6 +39,8 @@ pub enum CodecError {
     BadMagic,
     /// Unsupported format version.
     BadVersion(u16),
+    /// The numeric-mode header byte named no known [`NumericMode`].
+    BadNumericMode(u8),
     /// A string-table index was out of range.
     BadStringIndex(u32),
     /// An enum discriminant byte was out of range.
@@ -52,6 +59,7 @@ impl std::fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "buffer truncated"),
             CodecError::BadMagic => write!(f, "bad magic (want SNVT)"),
             CodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            CodecError::BadNumericMode(b) => write!(f, "unknown numeric mode byte {b}"),
             CodecError::BadStringIndex(i) => write!(f, "string index {i} out of range"),
             CodecError::BadDiscriminant(d) => write!(f, "bad enum discriminant {d}"),
             CodecError::BadUtf8 => write!(f, "string table entry is not UTF-8"),
@@ -209,6 +217,7 @@ impl Trace {
         let mut out = Vec::with_capacity(64 + self.span_count() * 48);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.numeric_mode.as_byte());
         out.extend_from_slice(&self.key.session.to_le_bytes());
         out.extend_from_slice(&self.key.seq.to_le_bytes());
         out.extend_from_slice(&self.key.step.to_le_bytes());
@@ -231,6 +240,7 @@ impl Trace {
         if version != VERSION {
             return Err(CodecError::BadVersion(version));
         }
+        let numeric_mode = NumericMode::from_byte(c.u8()?).map_err(CodecError::BadNumericMode)?;
         let key = StepKey {
             session: c.u64()?,
             seq: c.u64()?,
@@ -247,7 +257,11 @@ impl Trace {
         if c.pos != buf.len() {
             return Err(CodecError::TrailingBytes(buf.len() - c.pos));
         }
-        Ok(Trace { key, root })
+        Ok(Trace {
+            key,
+            numeric_mode,
+            root,
+        })
     }
 }
 
@@ -280,6 +294,7 @@ mod tests {
                 seq: 3,
                 step: 4,
             },
+            numeric_mode: NumericMode::F32,
             root,
         }
     }
@@ -308,6 +323,14 @@ mod tests {
             Trace::from_bytes(&bad_version),
             Err(CodecError::BadVersion(_))
         ));
+        // Byte 6 is the numeric-mode header byte; an unknown mode must
+        // surface as a typed error, never a panic or a silent default.
+        let mut bad_mode = bytes.clone();
+        bad_mode[6] = 0x7F;
+        assert_eq!(
+            Trace::from_bytes(&bad_mode),
+            Err(CodecError::BadNumericMode(0x7F))
+        );
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert_eq!(

@@ -203,6 +203,7 @@ mod tests {
                 seq: 7,
                 step: 8,
             },
+            numeric_mode: Default::default(),
             root,
         }
     }
@@ -256,6 +257,7 @@ mod tests {
         root.counters = c;
         let t = Trace {
             key: StepKey::default(),
+            numeric_mode: Default::default(),
             root,
         };
         let json = t.to_chrome_json();

@@ -3,6 +3,8 @@
 
 use std::sync::Mutex;
 
+use supernova_linalg::NumericMode;
+
 use crate::span::{Category, Span, SpanGuard, StepKey};
 
 /// Whether (and how) emission sites build spans.
@@ -33,6 +35,9 @@ impl TraceConfig {
 pub struct Trace {
     /// Which session/update/step produced this tree.
     pub key: StepKey,
+    /// Numeric precision the step's kernels ran under — part of the
+    /// `SNVT` header so replays can't silently mix precisions.
+    pub numeric_mode: NumericMode,
     /// The root span (`serve.dispatch` under the serving layer,
     /// `solver.step` for solo runs).
     pub root: Span,
@@ -45,6 +50,7 @@ impl Trace {
     pub fn canonical(&self) -> Trace {
         Trace {
             key: self.key,
+            numeric_mode: self.numeric_mode,
             root: self.root.canonicalized(),
         }
     }
@@ -62,6 +68,7 @@ impl Trace {
 #[derive(Debug)]
 pub struct StepBuilder {
     key: StepKey,
+    numeric: NumericMode,
     root: SpanGuard,
 }
 
@@ -69,6 +76,12 @@ impl StepBuilder {
     /// The step identity this builder records under.
     pub fn key(&self) -> StepKey {
         self.key
+    }
+
+    /// Stamps the numeric precision the step ran under (defaults to
+    /// [`NumericMode::F64`]); carried into the finished trace's header.
+    pub fn set_numeric_mode(&mut self, mode: NumericMode) {
+        self.numeric = mode;
     }
 
     /// The root span guard (set track/ticks/counters, attach children).
@@ -80,6 +93,7 @@ impl StepBuilder {
     pub fn into_trace(self) -> Trace {
         Trace {
             key: self.key,
+            numeric_mode: self.numeric,
             root: self.root.finish(),
         }
     }
@@ -124,6 +138,7 @@ impl Tracer {
         }
         Some(StepBuilder {
             key,
+            numeric: NumericMode::default(),
             root: SpanGuard::begin(root_name, cat),
         })
     }

@@ -15,7 +15,10 @@
 #                recorded with provenance) + interference certification of
 #                every seeded dataset's execution plan; report archived at
 #                results/analyze_diagnostics.json
-#   determinism  serial vs 2/4-thread factorization bit-identity
+#   determinism  serial vs 2/4-thread factorization bit-identity, swept
+#                over every numeric mode (f64 / f32 / f32f64)
+#   numeric-ape  per-mode trajectory accuracy: narrow-mode APE gated
+#                against f64-mode APE, artifact at results/numeric_ape.json
 #   serve-smoke  serving layer: bit-identity, overload, trace cross-check
 #   kernel-bench regenerate results/BENCH_kernels.json (blocked vs
 #                reference dense-kernel throughput; gated on the
@@ -82,6 +85,7 @@ static_analysis() {
 }
 stage static-analysis static_analysis
 stage determinism cargo run --release -q -p supernova-bench --bin determinism
+stage numeric-ape cargo run --release -q -p supernova-bench --bin numeric_ape
 stage serve-smoke cargo run --release -q -p supernova-serve --bin serve_smoke
 stage kernel-bench cargo run --release -q -p supernova-bench --features bench-harness --bin kernel_bench
 stage bench bench_regen

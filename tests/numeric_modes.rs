@@ -1,0 +1,93 @@
+//! End-to-end checks of the runtime-selectable numeric modes: a narrow
+//! mode must genuinely change the arithmetic (bit-level divergence from
+//! f64), stay deterministic within itself, and cost almost nothing in
+//! trajectory accuracy (the gate `numeric_ape` applies at CI scale).
+
+use supernova::datasets::Dataset;
+use supernova::factors::Values;
+use supernova::linalg::NumericMode;
+use supernova::metrics::{ape, ApeStats};
+use supernova::solvers::{Isam2, Isam2Config, OnlineSolver};
+use supernova::sparse::ParallelExecutor;
+
+fn replay(dataset: &Dataset, mode: NumericMode, threads: usize) -> (Values, Vec<u8>) {
+    let mut solver = Isam2::new(Isam2Config::default());
+    solver
+        .core_mut()
+        .set_executor(ParallelExecutor::new(threads).with_numeric(mode));
+    for step in &dataset.online_steps() {
+        solver.step(step.truth.clone(), step.factors.clone());
+    }
+    let bytes = solver.core().numeric_bytes().unwrap_or_default();
+    (solver.core().estimate(), bytes)
+}
+
+fn truth_values(dataset: &Dataset) -> Values {
+    let mut truth = Values::new();
+    for v in dataset.ground_truth() {
+        truth.insert(v.clone());
+    }
+    truth
+}
+
+#[test]
+fn narrow_mode_ape_stays_close_to_f64() {
+    let ds = Dataset::manhattan_seeded(60, 9);
+    let truth = truth_values(&ds);
+    let (est64, bytes64) = replay(&ds, NumericMode::F64, 2);
+    let wide: ApeStats = ape(&est64, &truth);
+    assert!(wide.rmse.is_finite() && wide.count == 60);
+    for mode in [NumericMode::F32, NumericMode::F32F64] {
+        let (est, bytes) = replay(&ds, mode, 2);
+        // The mode must actually reach the kernels: narrow factors round
+        // where f64 does not.
+        assert_ne!(bytes, bytes64, "{mode} factor is bitwise f64");
+        // ...but the rounding must not steer the optimizer anywhere else.
+        // Same documented bound as the `numeric_ape` CI gate.
+        let narrow = ape(&est, &truth);
+        assert!(
+            narrow.rmse <= wide.rmse * 1.5 + 1e-3,
+            "{mode} RMSE {} vs f64 {}",
+            narrow.rmse,
+            wide.rmse
+        );
+        assert!(
+            narrow.max <= wide.max * 1.5 + 1e-3,
+            "{mode} MAX {} vs f64 {}",
+            narrow.max,
+            wide.max
+        );
+    }
+}
+
+#[test]
+fn narrow_modes_deterministic_across_thread_counts() {
+    let ds = Dataset::manhattan_seeded(40, 21);
+    for mode in [NumericMode::F32, NumericMode::F32F64] {
+        let (est1, bytes1) = replay(&ds, mode, 1);
+        for threads in [2usize, 4, 8] {
+            let (est, bytes) = replay(&ds, mode, threads);
+            assert_eq!(bytes, bytes1, "{mode} at {threads} threads diverged");
+            assert_eq!(est, est1, "{mode} estimate at {threads} threads diverged");
+        }
+    }
+}
+
+#[test]
+fn mode_change_invalidates_numeric_cache() {
+    let ds = Dataset::manhattan_seeded(20, 3);
+    let mut solver = Isam2::new(Isam2Config::default());
+    for step in &ds.online_steps() {
+        solver.step(step.truth.clone(), step.factors.clone());
+    }
+    assert!(solver.core().has_numeric_cache());
+    solver.core_mut().set_numeric_mode(NumericMode::F32);
+    assert_eq!(solver.core().numeric_mode(), NumericMode::F32);
+    assert!(
+        !solver.core().has_numeric_cache(),
+        "switching precision must drop the cached factor"
+    );
+    // Setting the already-active mode keeps whatever cache exists.
+    solver.core_mut().set_numeric_mode(NumericMode::F32);
+    assert_eq!(solver.core().numeric_mode(), NumericMode::F32);
+}

@@ -49,6 +49,7 @@ fn traced_replay(threads: usize, steps: usize) -> Vec<Trace> {
                 seq: i as u64,
                 step: i as u64 + 1,
             },
+            numeric_mode: engine.numeric_mode(),
             root,
         });
     }
