@@ -36,6 +36,7 @@ pub mod interference;
 pub mod lint;
 pub mod report;
 pub mod validate;
+pub mod validate_fleet;
 pub mod validate_trace;
 
 pub use interference::{certify_datasets, DatasetCertification};
@@ -48,4 +49,5 @@ pub use validate::{
     validate_dispatch, validate_energy, validate_exec, validate_host_schedule, validate_step,
     DispatchRecord, Invariant, ScheduleViolation,
 };
+pub use validate_fleet::{validate_fleet_coverage, FleetJournalEntry};
 pub use validate_trace::{validate_trace, validate_trace_dispatch};

@@ -160,10 +160,11 @@ impl Diagnostics {
 /// use is forbidden: everything the deterministic replay depends on — all
 /// library code except the dataset generators (grid bucketing with sorted
 /// drains) and the bench harness (reporting only).
-const HASH_SCOPES: [&str; 12] = [
+const HASH_SCOPES: [&str; 13] = [
     "crates/analyze/src",
     "crates/core/src",
     "crates/factors/src",
+    "crates/fleet/src",
     "crates/hw/src",
     "crates/linalg/src",
     "crates/metrics/src",
@@ -192,6 +193,9 @@ const THREAD_SPAWN_ALLOWLIST: [&str; 2] = [
     "crates/sparse/src/executor.rs",
     "crates/serve/src/dispatch.rs",
 ];
+// (The fleet shard harness's accept thread carries a per-site
+// `lint: allow(thread-spawn)` instead of a scope entry: one thread, one
+// documented site.)
 
 /// Files whose *entire* non-test contents are hot-alloc scope: the blocked
 /// dense kernels and the plan executor (every line of these is either on
@@ -213,10 +217,13 @@ const HOT_ALLOC_FN_SCOPES: [(&str, &str); 1] = [("crates/sparse/src/numeric.rs",
 /// decoder. Malformed input reaches these from outside the process, so
 /// `unwrap`/`expect`/`panic!`/`unreachable!`/slice indexing must not
 /// appear — decode errors surface as `Result`s.
-const PANIC_PATH_SCOPES: [&str; 3] = [
+const PANIC_PATH_SCOPES: [&str; 6] = [
     "crates/serve/src/protocol.rs",
+    "crates/serve/src/checkpoint.rs",
+    "crates/serve/src/service.rs",
     "crates/serve/src/bin/serve_tcp.rs",
     "crates/trace/src/binary.rs",
+    "crates/fleet/src/journal.rs",
 ];
 
 /// The only modules allowed to read the wall clock: the process-global

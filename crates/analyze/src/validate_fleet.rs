@@ -1,0 +1,145 @@
+//! Journal-vs-dispatch coverage checking for the fleet layer
+//! (`supernova-fleet`).
+//!
+//! The fleet router journals every admitted update as `(session, seq)`
+//! into per-shard durable journals; every shard's dispatcher records the
+//! `(session, seq)` pairs it actually applied. If the fleet's zero-loss
+//! claim holds, the two ledgers name the same set:
+//!
+//! - a journaled pair no shard dispatched is a **lost admitted update**
+//!   (the exact thing failover replay must prevent);
+//! - a dispatched pair no journal holds is **unjournaled work** (the
+//!   durability story has a hole);
+//! - each session's journaled seqs must be contiguous from 0 (the union
+//!   of its journals is a faithful admission prefix, not a sample).
+//!
+//! Both inputs are *multisets* and are deduplicated here: failover
+//! re-journals the replayed suffix into the survivor's journal, and the
+//! dead shard may have dispatched part of that suffix before dying, so
+//! duplicates on either side are expected and benign.
+
+use std::collections::BTreeSet;
+
+use crate::validate::{Invariant, ScheduleViolation};
+
+/// One `(session, seq)` admission or dispatch event, in fleet-global
+/// session numbering. (Restored sessions keep their global seq numbering
+/// server-side — `next_seq` continues from the checkpoint — so shard
+/// dispatch ledgers compare directly.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FleetJournalEntry {
+    /// Fleet-global session id.
+    pub session: u64,
+    /// The update's position in the session's lifetime stream.
+    pub seq: u64,
+}
+
+/// Cross-checks the fleet's durable journals against the shards'
+/// dispatch ledgers (see module docs). Returns every violation found
+/// (empty = zero admitted updates lost, zero phantom dispatches, faithful
+/// per-session prefixes).
+pub fn validate_fleet_coverage(
+    journaled: &[FleetJournalEntry],
+    dispatched: &[FleetJournalEntry],
+) -> Vec<ScheduleViolation> {
+    let mut out = Vec::new();
+    let journaled: BTreeSet<FleetJournalEntry> = journaled.iter().copied().collect();
+    let dispatched: BTreeSet<FleetJournalEntry> = dispatched.iter().copied().collect();
+
+    for lost in journaled.difference(&dispatched) {
+        out.push(ScheduleViolation {
+            invariant: Invariant::Coverage,
+            detail: format!(
+                "admitted update lost: session {} seq {} is journaled but no shard \
+                 dispatched it",
+                lost.session, lost.seq
+            ),
+        });
+    }
+    for phantom in dispatched.difference(&journaled) {
+        out.push(ScheduleViolation {
+            invariant: Invariant::Coverage,
+            detail: format!(
+                "unjournaled dispatch: session {} seq {} ran on a shard but no journal \
+                 records its admission",
+                phantom.session, phantom.seq
+            ),
+        });
+    }
+
+    // Per-session contiguity from 0 over the journaled union.
+    let mut expect: Option<(u64, u64)> = None; // (session, next seq)
+    for e in &journaled {
+        let next = match expect {
+            Some((s, n)) if s == e.session => n,
+            _ => 0,
+        };
+        if e.seq != next {
+            out.push(ScheduleViolation {
+                invariant: Invariant::Coverage,
+                detail: format!(
+                    "session {}: journaled seqs jump from {} to {} (admission record is \
+                     not a contiguous prefix)",
+                    e.session,
+                    next.wrapping_sub(1),
+                    e.seq
+                ),
+            });
+        }
+        expect = Some((e.session, e.seq + 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(list: &[(u64, u64)]) -> Vec<FleetJournalEntry> {
+        list.iter()
+            .map(|(session, seq)| FleetJournalEntry {
+                session: *session,
+                seq: *seq,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matched_ledgers_with_duplicates_pass() {
+        // Session 7's seqs 1-2 were re-journaled and re-dispatched by a
+        // failover; duplicates on both sides must not trip the check.
+        let journaled = pairs(&[(7, 0), (7, 1), (7, 2), (7, 1), (7, 2), (9, 0)]);
+        let dispatched = pairs(&[(7, 0), (7, 1), (7, 2), (7, 2), (9, 0)]);
+        assert_eq!(validate_fleet_coverage(&journaled, &dispatched), Vec::new());
+    }
+
+    #[test]
+    fn lost_update_is_reported() {
+        let journaled = pairs(&[(7, 0), (7, 1)]);
+        let dispatched = pairs(&[(7, 0)]);
+        let v = validate_fleet_coverage(&journaled, &dispatched);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, Invariant::Coverage);
+        assert!(v[0].detail.contains("lost"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn unjournaled_dispatch_is_reported() {
+        let journaled = pairs(&[(7, 0)]);
+        let dispatched = pairs(&[(7, 0), (8, 0)]);
+        let v = validate_fleet_coverage(&journaled, &dispatched);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("unjournaled"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn seq_gaps_are_reported() {
+        let journaled = pairs(&[(7, 0), (7, 2)]);
+        let dispatched = journaled.clone();
+        let v = validate_fleet_coverage(&journaled, &dispatched);
+        assert!(
+            v.iter().any(|v| v.detail.contains("jump")),
+            "gap not caught: {v:?}"
+        );
+    }
+}

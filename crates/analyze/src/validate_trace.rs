@@ -35,6 +35,28 @@ fn tol(scale: f64) -> f64 {
 fn check_shape(root: &Span, out: &mut Vec<ScheduleViolation>) {
     let step = match root.name.as_str() {
         "solver.step" => Some(root),
+        // Fleet-layer roots (`supernova-fleet` router): a migration must
+        // show both halves of the move, a failover at least the restore.
+        "fleet.migrate" => {
+            for required in ["fleet.snapshot", "fleet.restore"] {
+                if !root.children.iter().any(|c| c.name == required) {
+                    out.push(ScheduleViolation {
+                        invariant: Invariant::TraceShape,
+                        detail: format!("fleet.migrate lacks a {required:?} child"),
+                    });
+                }
+            }
+            None
+        }
+        "fleet.failover" => {
+            if !root.children.iter().any(|c| c.name == "fleet.restore") {
+                out.push(ScheduleViolation {
+                    invariant: Invariant::TraceShape,
+                    detail: "fleet.failover lacks a \"fleet.restore\" child".to_string(),
+                });
+            }
+            None
+        }
         "serve.dispatch" => {
             let steps: Vec<&Span> = root
                 .children
@@ -348,6 +370,38 @@ mod tests {
         assert!(validate_trace(&bare)
             .iter()
             .any(|v| v.invariant == Invariant::TraceShape));
+    }
+
+    #[test]
+    fn fleet_roots_require_their_children() {
+        let fleet = |name: &str, children: &[&str]| {
+            let mut root = Span::wall(name, Category::Serve, 1.0, 2.0);
+            for c in children {
+                root.children.push(Span::marker(c, Category::Serve, 0));
+            }
+            Trace {
+                key: StepKey::default(),
+                numeric_mode: Default::default(),
+                root,
+            }
+        };
+        let ok = fleet("fleet.migrate", &["fleet.snapshot", "fleet.restore"]);
+        assert_eq!(validate_trace(&ok), Vec::new());
+        let ok = fleet("fleet.failover", &["fleet.restore", "fleet.replay"]);
+        assert_eq!(validate_trace(&ok), Vec::new());
+        for bad in [
+            fleet("fleet.migrate", &["fleet.restore"]),
+            fleet("fleet.migrate", &["fleet.snapshot"]),
+            fleet("fleet.failover", &["fleet.replay"]),
+        ] {
+            assert!(
+                validate_trace(&bad)
+                    .iter()
+                    .any(|v| v.invariant == Invariant::TraceShape),
+                "{:?} accepted",
+                bad.root.name
+            );
+        }
     }
 
     #[test]

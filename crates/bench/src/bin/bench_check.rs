@@ -10,6 +10,7 @@
 //! - `results/BENCH_step_latency.json`    vs `results/baselines/BENCH_step_latency.json`
 //! - `results/BENCH_serve_throughput.json` vs `results/baselines/BENCH_serve_throughput.json`
 //! - `results/BENCH_kernels.json`          vs `results/baselines/BENCH_kernels.json`
+//! - `results/BENCH_fleet.json`            vs `results/baselines/BENCH_fleet.json`
 //!
 //! Two kinds of sub-check, named per dataset/scenario:
 //!
@@ -67,6 +68,8 @@ const FRESH_SERVE: &str = "results/BENCH_serve_throughput.json";
 const BASE_SERVE: &str = "results/baselines/BENCH_serve_throughput.json";
 const FRESH_KERNELS: &str = "results/BENCH_kernels.json";
 const BASE_KERNELS: &str = "results/baselines/BENCH_kernels.json";
+const FRESH_FLEET: &str = "results/BENCH_fleet.json";
+const BASE_FLEET: &str = "results/baselines/BENCH_fleet.json";
 
 /// Loads and parses one artifact, turning both I/O and parse failures
 /// into a named FAIL so a missing file reads like any other red check.
@@ -445,6 +448,68 @@ fn check_kernels(report: &mut Report) {
     }
 }
 
+fn check_fleet(report: &mut Report, gate: &Gate) {
+    let (Some(fresh), Some(base)) = (
+        load(report, "fleet/load-fresh", FRESH_FLEET),
+        load(report, "fleet/load-baseline", BASE_FLEET),
+    ) else {
+        return;
+    };
+    // The fleet drill is deterministic end to end: the kill wave, the shard
+    // it hits, the victims' ring placement, their checkpoint floors and
+    // journal suffixes are all pure functions of the scenario seeds. Every
+    // count is gated exactly — drift in `failover_sessions` means the ring
+    // moved, drift in `replayed_updates` or `journal_records` means the
+    // admission/journal protocol changed, and the loss/violation fields are
+    // the zero-loss acceptance criteria themselves.
+    for field in [
+        "sessions_total",
+        "shards",
+        "shards_killed",
+        "steps_per_session",
+        "updates_admitted",
+        "migrations",
+        "failover_sessions",
+        "replayed_updates",
+        "journal_records",
+        "journal_truncated_bytes",
+        "lost_updates",
+        "coverage_violations",
+        "trace_violations",
+        "bit_identity_checked",
+    ] {
+        exact(
+            report,
+            &format!("fleet/{field}"),
+            fresh.get(field).and_then(Json::as_f64),
+            base.get(field).and_then(Json::as_f64),
+        );
+    }
+    // Byte identity is pass/fail, not drift-gated: it must hold outright.
+    report.check(
+        "fleet/bit_identical_to_solo",
+        fresh.get("bit_identical_to_solo").and_then(Json::as_bool) == Some(true),
+        "survivor estimates vs solo replays",
+    );
+    gate.wall(
+        report,
+        "fleet/wall",
+        fresh.get("wall_s").and_then(Json::as_f64),
+        base.get("wall_s").and_then(Json::as_f64),
+    );
+    // Failover recovery latency is the headline fleet metric: the time from
+    // shard death to every victim re-homed and replayed. The generic slack
+    // term dominates its few-millisecond baseline, which is intended — the
+    // gate catches order-of-magnitude regressions (e.g. re-replaying whole
+    // trajectories instead of journal suffixes), not scheduler noise.
+    gate.wall(
+        report,
+        "fleet/recovery",
+        fresh.get("recovery_wall_s").and_then(Json::as_f64),
+        base.get("recovery_wall_s").and_then(Json::as_f64),
+    );
+}
+
 fn main() -> ExitCode {
     let gate = Gate::from_env();
     eprintln!(
@@ -456,5 +521,6 @@ fn main() -> ExitCode {
     check_step_latency(&mut report, &gate);
     check_serve_throughput(&mut report, &gate);
     check_kernels(&mut report);
+    check_fleet(&mut report, &gate);
     report.finish("bench_check")
 }

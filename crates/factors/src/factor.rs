@@ -16,6 +16,10 @@ pub trait Factor: std::fmt::Debug + Send + Sync {
     /// The variables this factor constrains, in Jacobian-block order.
     fn keys(&self) -> &[Key];
 
+    /// The concrete factor behind the trait object; checkpoint codecs
+    /// downcast through this to serialize the factor kinds they know.
+    fn as_any(&self) -> &dyn std::any::Any;
+
     /// The measurement noise model (also fixes the residual dimension).
     fn noise(&self) -> &NoiseModel;
 
@@ -175,6 +179,10 @@ impl Factor for PriorFactor {
         &self.keys
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn noise(&self) -> &NoiseModel {
         &self.noise
     }
@@ -232,6 +240,10 @@ impl BetweenFactor {
 impl Factor for BetweenFactor {
     fn keys(&self) -> &[Key] {
         &self.keys
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn noise(&self) -> &NoiseModel {

@@ -77,6 +77,10 @@ impl Factor for RangeBearingFactor {
         &self.keys
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn noise(&self) -> &NoiseModel {
         &self.noise
     }
@@ -131,6 +135,10 @@ impl PointObservationFactor {
 impl Factor for PointObservationFactor {
     fn keys(&self) -> &[Key] {
         &self.keys
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn noise(&self) -> &NoiseModel {

@@ -81,6 +81,34 @@ impl NoiseModel {
         self
     }
 
+    /// Rebuilds a model from raw whitening weights, as produced by
+    /// [`sqrt_info`](Self::sqrt_info) — the lossless (bit-exact) round-trip
+    /// path checkpoint codecs need, where reconstructing through sigmas
+    /// would re-divide and perturb the last bit. Returns `None` (instead of
+    /// panicking) when any weight or the Huber threshold is non-finite or
+    /// non-positive, so decode paths stay panic-free on hostile bytes.
+    pub fn from_sqrt_info(sqrt_info: Vec<f64>, huber_k: Option<f64>) -> Option<Self> {
+        if sqrt_info.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+            return None;
+        }
+        if let Some(k) = huber_k {
+            if !k.is_finite() || k <= 0.0 {
+                return None;
+            }
+        }
+        Some(NoiseModel { sqrt_info, huber_k })
+    }
+
+    /// The square-root information (whitening) diagonal.
+    pub fn sqrt_info(&self) -> &[f64] {
+        &self.sqrt_info
+    }
+
+    /// The Huber robust-kernel threshold, if one is installed.
+    pub fn huber_k(&self) -> Option<f64> {
+        self.huber_k
+    }
+
     /// The IRLS weight for a whitened residual under the robust kernel
     /// (1 without a kernel, or within the Huber threshold). Residuals and
     /// Jacobians are scaled by the square root of this weight.

@@ -1,0 +1,188 @@
+//! `fleet_router` — the fleet's TCP front door.
+//!
+//! ```text
+//! cargo run --release -p supernova-fleet --bin fleet_router [addr] [--shards N] [--seed S]
+//! ```
+//!
+//! Spawns `N` in-process shards (default 3, each a full serve backend on
+//! its own ephemeral port) and listens on `addr` (default
+//! `127.0.0.1:7655`), speaking the same length-prefixed protocol-v2 wire
+//! format as `serve_tcp` — hello frame first, then create/submit/query/
+//! close — so any serve client works against a fleet without knowing it:
+//! session ids handed out are fleet-global, and the router places them
+//! across shards by consistent hash, journaling every admitted update.
+//!
+//! `Snapshot`/`Restore` are shard-internal in fleet mode (the router
+//! performs them during migration and failover) and answered with a typed
+//! error at the front door. A `Shutdown` request drains and stops every
+//! shard, then the router itself.
+
+use std::net::{TcpListener, TcpStream};
+
+use supernova_fleet::{RouterConfig, Shard, ShardId, ShardRouter};
+use supernova_serve::protocol::{
+    recv_request, send_response, Request, Response, WireError, PROTOCOL_VERSION,
+};
+use supernova_serve::{AdmissionError, ServeConfig};
+
+fn handle(router: &mut ShardRouter, req: Request) -> (Response, bool) {
+    match req {
+        Request::Hello { .. } => (
+            Response::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            false,
+        ),
+        Request::CreateSession { kind, steps, seed } => {
+            match router.create_session(kind, steps, seed) {
+                Ok(global) => (Response::Created { session: global }, false),
+                Err(e) => (Response::Error(e.to_string()), false),
+            }
+        }
+        Request::Submit {
+            session,
+            deadline,
+            count,
+        } => match router.submit(session, deadline, count) {
+            Ok(accepted) => (Response::Submitted { accepted, shed: 0 }, false),
+            Err(e) => (Response::Error(e.to_string()), false),
+        },
+        Request::QueryEstimate { session } => match router.estimate(session) {
+            Ok(vars) => (Response::Estimate(vars), false),
+            Err(e) => (Response::Error(e.to_string()), false),
+        },
+        Request::Close { session } => match router.close(session) {
+            Ok((completed, shed)) => (Response::Closed { completed, shed }, false),
+            Err(e) => (Response::Error(e.to_string()), false),
+        },
+        Request::Snapshot { .. } | Request::Restore { .. } => (
+            Response::Error(
+                "snapshot/restore are shard-internal at the fleet front door (the router \
+                 drives them during migration and failover)"
+                    .to_string(),
+            ),
+            false,
+        ),
+        Request::Shutdown => (Response::ShuttingDown, true),
+    }
+}
+
+fn serve_front_connection(stream: TcpStream, router: &mut ShardRouter) -> Result<bool, WireError> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = std::io::BufWriter::new(stream);
+    let mut hello_done = false;
+    loop {
+        let req = match recv_request(&mut reader) {
+            Ok(req) => req,
+            Err(WireError::Closed) => return Ok(false),
+            Err(WireError::Malformed(why)) => {
+                let _ = send_response(&mut writer, &Response::Error(format!("malformed: {why}")));
+                return Ok(false);
+            }
+            Err(e) => return Err(e),
+        };
+        if !hello_done {
+            let client = match req {
+                Request::Hello { version } => Some(version),
+                _ => None,
+            };
+            if client != Some(PROTOCOL_VERSION) {
+                let refusal = AdmissionError::ProtocolMismatch {
+                    client,
+                    supported: PROTOCOL_VERSION,
+                };
+                let _ = send_response(&mut writer, &Response::Error(refusal.to_string()));
+                return Ok(false);
+            }
+            hello_done = true;
+        }
+        let (rsp, stop) = handle(router, req);
+        send_response(&mut writer, &rsp)?;
+        if stop {
+            return Ok(true);
+        }
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7655".to_string();
+    let mut shard_count: u32 = 3;
+    let mut seed: u64 = 0xF1EE7;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                shard_count = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("fleet_router: --shards needs a count");
+                    std::process::exit(2);
+                })
+            }
+            "--seed" => {
+                seed = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("fleet_router: --seed needs a number");
+                    std::process::exit(2);
+                })
+            }
+            other => addr = other.to_string(),
+        }
+    }
+    if shard_count == 0 {
+        eprintln!("fleet_router: need at least one shard");
+        std::process::exit(2);
+    }
+
+    let shards: Vec<Shard> = (0..shard_count)
+        .map(|i| {
+            Shard::spawn(ShardId(i), ServeConfig::default()).unwrap_or_else(|e| {
+                eprintln!("fleet_router: cannot spawn shard {i}: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let endpoints: Vec<_> = shards.iter().map(|s| (s.id(), s.addr())).collect();
+    for (id, shard_addr) in &endpoints {
+        eprintln!("fleet_router: {id} on {shard_addr}");
+    }
+    let journal_dir = std::env::temp_dir().join(format!("fleet-router-{}", std::process::id()));
+    let mut router = ShardRouter::connect(
+        RouterConfig {
+            seed,
+            numeric: ServeConfig::default().numeric,
+            journal_dir: journal_dir.clone(),
+        },
+        &endpoints,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("fleet_router: cannot connect shards: {e}");
+        std::process::exit(2);
+    });
+
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("fleet_router: cannot bind {addr}: {e}");
+        std::process::exit(2);
+    });
+    match listener.local_addr() {
+        Ok(local) => println!("fleet_router listening on {local} ({shard_count} shards)"),
+        Err(_) => println!("fleet_router listening on {addr} ({shard_count} shards)"),
+    }
+
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fleet_router: accept failed: {e}");
+                continue;
+            }
+        };
+        match serve_front_connection(stream, &mut router) {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(e) => eprintln!("fleet_router: connection error: {e}"),
+        }
+    }
+    router.shutdown();
+    drop(router);
+    drop(shards);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    eprintln!("fleet_router: shutting down");
+}

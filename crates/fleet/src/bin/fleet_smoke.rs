@@ -1,0 +1,281 @@
+//! `fleet_smoke` — the fleet-layer CI gate.
+//!
+//! ```text
+//! cargo run --release -p supernova-fleet --bin fleet_smoke
+//! ```
+//!
+//! Runs the whole failure drill in one process: three TCP shards behind a
+//! [`ShardRouter`], a dozen sessions replaying seeded trajectories, one
+//! live migration mid-stream, then a shard killed with queued work — and
+//! asserts the properties the fleet layer exists for:
+//!
+//! - **byte identity**: after migration and failover, every session's
+//!   drained estimate equals a solo replay of the same seed exactly;
+//! - **zero loss**: every journaled admitted update was dispatched by
+//!   some shard (journal-vs-dispatch-ledger coverage, survivor replay
+//!   included), and no shard dispatched unjournaled work;
+//! - **trace shape**: the router's `fleet.migrate` / `fleet.failover`
+//!   span trees pass `validate_trace`;
+//! - **clean journals**: every journal reads back typed and untruncated.
+//!
+//! Exits nonzero on any violation. Wall time is a few seconds.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use supernova_analyze::{validate_fleet_coverage, validate_trace, FleetJournalEntry};
+use supernova_datasets::Dataset;
+use supernova_fleet::{read_journal, RouterConfig, Shard, ShardId, ShardRouter};
+use supernova_linalg::NumericMode;
+use supernova_runtime::CostModel;
+use supernova_serve::protocol::DatasetKind;
+use supernova_serve::ServeConfig;
+use supernova_solvers::SolverEngine;
+use supernova_sparse::ParallelExecutor;
+
+const SHARDS: u32 = 3;
+const SESSIONS: usize = 12;
+
+fn shard_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        max_sessions: SESSIONS + 4,
+        queue_capacity: 256,
+        degrade_start: 1 << 20, // nominal: degradation off, replay exact
+        ..ServeConfig::default()
+    }
+}
+
+/// The i-th smoke session's replay descriptor.
+fn descriptor(i: usize) -> (DatasetKind, u32, u64) {
+    if i % 2 == 0 {
+        (DatasetKind::Manhattan, 24, 300 + i as u64)
+    } else {
+        (DatasetKind::Sphere, 18, 400 + i as u64)
+    }
+}
+
+fn dataset(kind: DatasetKind, steps: u32, seed: u64) -> Dataset {
+    match kind {
+        DatasetKind::Manhattan => Dataset::manhattan_seeded(steps as usize, seed),
+        DatasetKind::Sphere => Dataset::sphere_seeded(steps as usize, seed),
+    }
+}
+
+fn solo_estimate(kind: DatasetKind, steps: u32, seed: u64) -> Vec<supernova_factors::Variable> {
+    let cfg = shard_cfg();
+    let cost = Arc::new(CostModel::new(cfg.platform.clone()));
+    let mut e = SolverEngine::new(cfg.ra.clone(), cost);
+    e.set_executor(ParallelExecutor::new(cfg.executor_threads));
+    e.set_numeric_mode(cfg.numeric);
+    // The router admits at most `steps` updates per session (its cursor is
+    // clamped to the descriptor), while some generators emit a few extra
+    // online steps (e.g. sphere closures) — replay exactly the served prefix.
+    let ds = dataset(kind, steps, seed);
+    for step in ds.online_steps().iter().take(steps as usize) {
+        e.step(step.truth.clone(), step.factors.clone());
+    }
+    let values = e.estimate();
+    (0..values.len())
+        .map(|i| values.get(supernova_factors::Key(i)).clone())
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let numeric = NumericMode::default();
+    let journal_dir = std::env::temp_dir().join(format!("fleet-smoke-{}", std::process::id()));
+    let mut failures = 0usize;
+    let mut check = |name: &str, ok: bool| {
+        if ok {
+            eprintln!("fleet_smoke: {name}: ok");
+        } else {
+            eprintln!("fleet_smoke: {name}: FAILED");
+            failures += 1;
+        }
+    };
+
+    // --- Bring up the fleet.
+    let mut shards: Vec<Shard> = (0..SHARDS)
+        .map(|i| Shard::spawn(ShardId(i), shard_cfg()).expect("bind shard listener"))
+        .collect();
+    let endpoints: Vec<_> = shards.iter().map(|s| (s.id(), s.addr())).collect();
+    let mut router = ShardRouter::connect(
+        RouterConfig {
+            seed: 0xF1EE7,
+            numeric,
+            journal_dir: journal_dir.clone(),
+        },
+        &endpoints,
+    )
+    .expect("connect router");
+
+    // --- Sessions, first half of each trajectory.
+    let globals: Vec<u64> = (0..SESSIONS)
+        .map(|i| {
+            let (kind, steps, seed) = descriptor(i);
+            router
+                .create_session(kind, steps, seed)
+                .expect("create session")
+        })
+        .collect();
+    let mut tick = 0u64;
+    for (i, g) in globals.iter().enumerate() {
+        let (_, steps, _) = descriptor(i);
+        let half = steps / 2;
+        router.submit(*g, tick, half).expect("submit first half");
+        tick += u64::from(half);
+    }
+
+    // --- Live migration: move one session off its home shard.
+    let mover = globals[0];
+    let home = router.shard_of(mover).expect("routed");
+    let target = *router
+        .live_shards()
+        .iter()
+        .find(|s| **s != home)
+        .expect("another shard");
+    router.migrate(mover, target).expect("migrate");
+    check(
+        "migration repoints the route",
+        router.shard_of(mover) == Some(target),
+    );
+
+    // A few more steps everywhere so post-migration state advances.
+    for (i, g) in globals.iter().enumerate() {
+        let (_, steps, _) = descriptor(i);
+        let some = steps / 4;
+        router.submit(*g, tick, some).expect("submit after migrate");
+        tick += u64::from(some);
+    }
+
+    // --- Kill a shard that hosts sessions, with queued work (no drain).
+    let dead = router.shard_of(globals[1]).expect("routed");
+    let victims = globals
+        .iter()
+        .filter(|g| router.shard_of(**g) == Some(dead))
+        .count();
+    check("dead shard hosts sessions", victims > 0);
+    for shard in shards.iter_mut().filter(|s| s.id() == dead) {
+        shard.kill();
+    }
+    let report = router.kill_shard(dead).expect("failover");
+    check(
+        "failover re-homed every victim",
+        report.sessions == victims as u64,
+    );
+    check(
+        "failover replayed journal updates",
+        report.replayed_updates > 0,
+    );
+    check(
+        "no session still routed to the dead shard",
+        globals.iter().all(|g| router.shard_of(*g) != Some(dead)),
+    );
+
+    // --- Finish every trajectory on the survivors.
+    for (i, g) in globals.iter().enumerate() {
+        let (_, steps, _) = descriptor(i);
+        router.submit(*g, tick, steps).expect("submit rest");
+        tick += u64::from(steps);
+    }
+
+    // --- Byte identity: served estimates equal solo replays exactly.
+    let mut all_identical = true;
+    for (i, g) in globals.iter().enumerate() {
+        let (kind, steps, seed) = descriptor(i);
+        let served = router.estimate(*g).expect("estimate");
+        let solo = solo_estimate(kind, steps, seed);
+        if served != solo {
+            eprintln!("fleet_smoke: session {g} diverged from solo replay");
+            all_identical = false;
+        }
+    }
+    check("served estimates byte-identical to solo", all_identical);
+
+    // --- Fleet trace shapes.
+    let traces = router.take_traces();
+    let migrate_roots = traces
+        .iter()
+        .filter(|t| t.root.name == "fleet.migrate")
+        .count();
+    let failover_roots = traces
+        .iter()
+        .filter(|t| t.root.name == "fleet.failover")
+        .count();
+    check("fleet.migrate trace recorded", migrate_roots >= 1);
+    check("fleet.failover traces recorded", failover_roots >= 1);
+    let trace_violations: usize = traces.iter().map(|t| validate_trace(t).len()).sum();
+    check("fleet traces pass validate_trace", trace_violations == 0);
+
+    // --- Close everything, then journal-vs-dispatch coverage.
+    for g in &globals {
+        router.close(*g).expect("close");
+    }
+    let mut journaled: Vec<FleetJournalEntry> = Vec::new();
+    let mut truncated = 0usize;
+    for (_, path) in router.journal_paths() {
+        let contents = read_journal(&path).expect("journal reads back");
+        truncated += contents.truncated_tail;
+        journaled.extend(contents.entries.iter().filter_map(|e| match e {
+            supernova_fleet::JournalEntry::Update { session, seq, .. } => Some(FleetJournalEntry {
+                session: *session,
+                seq: *seq,
+            }),
+            _ => None,
+        }));
+    }
+    check("journals read back untruncated", truncated == 0);
+
+    // Map every shard's dispatch ledger (shard-local session ids) back to
+    // fleet-global ids via the router's placement history. Restored
+    // sessions keep their global seq numbering (next_seq = applied), so
+    // the pairs line up directly.
+    let placement_map: BTreeMap<(ShardId, u64), u64> = router
+        .placements()
+        .iter()
+        .map(|p| ((p.shard, p.local), p.global))
+        .collect();
+    router.shutdown();
+    drop(router);
+    let mut dispatched: Vec<FleetJournalEntry> = Vec::new();
+    let mut unknown_locals = 0usize;
+    for shard in &shards {
+        for span in shard.server().spans() {
+            let rec = span.record();
+            let Some(global) = placement_map.get(&(shard.id(), rec.session)) else {
+                eprintln!(
+                    "fleet_smoke: {} dispatched unknown local session {}",
+                    shard.id(),
+                    rec.session
+                );
+                unknown_locals += 1;
+                continue;
+            };
+            dispatched.push(FleetJournalEntry {
+                session: *global,
+                seq: rec.seq,
+            });
+        }
+    }
+    check(
+        "every dispatch maps to a fleet session",
+        unknown_locals == 0,
+    );
+    let coverage = validate_fleet_coverage(&journaled, &dispatched);
+    for v in &coverage {
+        eprintln!("fleet_smoke: coverage: {v}");
+    }
+    check("zero lost admitted updates (coverage)", coverage.is_empty());
+
+    drop(shards);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
+    if failures == 0 {
+        eprintln!("fleet_smoke: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fleet_smoke: {failures} check(s) FAILED");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,614 @@
+//! `load_gen` — replays seeded datasets against the serving stack and
+//! records throughput, latency percentiles and degradation behaviour.
+//!
+//! ```text
+//! cargo run --release -p supernova-fleet --bin load_gen [sessions] [workers]
+//! cargo run --release -p supernova-fleet --bin load_gen -- --fleet [sessions] [shards]
+//! ```
+//!
+//! **Single-server mode** (default: 8 sessions, 2 workers) drives one
+//! in-process `Server` exactly as before: sessions alternate between
+//! `manhattan_seeded` and `sphere_seeded` trajectories, submitted
+//! round-robin with a global logical deadline tick. Two scenarios run —
+//! *nominal* (nothing sheds, every drained estimate checked bit-for-bit
+//! against a solo replay) and *overload* (capacity-8 queues, aggressive
+//! degradation knee) — and land in `results/BENCH_serve_throughput.json`.
+//!
+//! **Fleet mode** (`--fleet`, default: 2000 sessions on 3 shards) drives
+//! a [`ShardRouter`] over real TCP shards in waves of concurrent
+//! sessions, migrates a session every few waves, and *kills a shard
+//! mid-run* with queued work — then measures what the fleet layer
+//! promises: recovery latency, migration counts, a zero-loss
+//! journal-vs-dispatch coverage witness, and byte-identity of served
+//! estimates against solo replays (all kill-wave sessions plus a sample
+//! of every wave). Results land in `results/BENCH_fleet.json`.
+//!
+//! Either mode exits nonzero if an identity, coverage or span check
+//! fails.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use supernova_analyze::{
+    validate_dispatch, validate_fleet_coverage, validate_trace, FleetJournalEntry,
+};
+use supernova_datasets::Dataset;
+use supernova_factors::{Key, Values, Variable};
+use supernova_fleet::{read_journal, JournalEntry, RouterConfig, Shard, ShardId, ShardRouter};
+use supernova_hw::Platform;
+use supernova_runtime::CostModel;
+use supernova_serve::protocol::DatasetKind;
+use supernova_serve::{AdmissionError, ServeConfig, Server, ServerStats, UpdateRequest};
+use supernova_solvers::{RaIsam2Config, SolverEngine};
+use supernova_sparse::ParallelExecutor;
+
+/// The i-th session's dataset (alternating families, distinct seeds).
+fn session_dataset(i: usize) -> Dataset {
+    if i % 2 == 0 {
+        Dataset::manhattan_seeded(40, 101 + i as u64)
+    } else {
+        Dataset::sphere_seeded(30, 201 + i as u64)
+    }
+}
+
+fn solo_estimate(ds: &Dataset) -> Values {
+    let cost = Arc::new(CostModel::new(Platform::supernova(2)));
+    let mut e = SolverEngine::new(RaIsam2Config::default(), cost);
+    e.set_executor(ParallelExecutor::new(1));
+    for step in &ds.online_steps() {
+        e.step(step.truth.clone(), step.factors.clone());
+    }
+    e.estimate()
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    /// Whether the scenario's admission counts are timing-independent.
+    /// Nominal queues never fill, so shed counts are deterministic (zero);
+    /// overload sheds race the workers' drain rate, so its exact counts
+    /// vary run to run and `bench_check` gates on conservation instead.
+    deterministic_counts: bool,
+    sessions: usize,
+    workers: usize,
+    queue_capacity: usize,
+    submitted: u64,
+    shed_at_submit: u64,
+    wall_s: f64,
+    stats: ServerStats,
+    max_depth: usize,
+    bit_identical: Option<bool>,
+    span_violations: usize,
+}
+
+fn run_scenario(
+    name: &'static str,
+    cfg: ServeConfig,
+    sessions: usize,
+    check_identity: bool,
+    deterministic_counts: bool,
+) -> ScenarioResult {
+    let workers = cfg.workers;
+    let queue_capacity = cfg.queue_capacity;
+    let server = Server::start(cfg);
+    let ids: Vec<_> = (0..sessions)
+        .map(|_| {
+            server
+                .create_session()
+                .expect("pool sized to the session count")
+        })
+        .collect();
+    let datasets: Vec<Dataset> = (0..sessions).map(session_dataset).collect();
+    let step_lists: Vec<_> = datasets.iter().map(Dataset::online_steps).collect();
+
+    let t0 = Instant::now();
+    let mut cursors = vec![0usize; sessions];
+    let mut tick = 0u64;
+    let mut submitted = 0u64;
+    let mut shed_at_submit = 0u64;
+    loop {
+        let mut any = false;
+        for i in 0..sessions {
+            if cursors[i] < step_lists[i].len() {
+                let s = &step_lists[i][cursors[i]];
+                match server.submit(
+                    ids[i],
+                    UpdateRequest::new(tick, s.truth.clone(), s.factors.clone()),
+                ) {
+                    Ok(()) => submitted += 1,
+                    Err(AdmissionError::QueueFull { .. }) => shed_at_submit += 1,
+                    Err(e) => panic!("unexpected admission error: {e}"),
+                }
+                cursors[i] += 1;
+                tick += 1;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    server.drain_all();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let bit_identical = if check_identity {
+        let mut all = true;
+        for (i, ds) in datasets.iter().enumerate() {
+            let served = server.estimate(ids[i]).expect("session is live");
+            if served != solo_estimate(ds) {
+                eprintln!("{name}: session {i} ({}) diverged from solo", ds.name());
+                all = false;
+            }
+        }
+        Some(all)
+    } else {
+        None
+    };
+
+    let stats = server.stats();
+    let max_depth = stats
+        .sessions
+        .iter()
+        .map(|s| s.max_queue_depth)
+        .max()
+        .unwrap_or(0);
+    let records: Vec<_> = server.spans().iter().map(|s| s.record()).collect();
+    let violations = validate_dispatch(workers, &records);
+    for v in &violations {
+        eprintln!("{name}: dispatch invariant violated: {v}");
+    }
+    ScenarioResult {
+        name,
+        deterministic_counts,
+        sessions,
+        workers,
+        queue_capacity,
+        submitted,
+        shed_at_submit,
+        wall_s,
+        stats,
+        max_depth,
+        bit_identical,
+        span_violations: violations.len(),
+    }
+}
+
+fn emit_json(results: &[ScenarioResult]) -> String {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"serve_throughput\",");
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let (p50, p95, p99) = r.stats.aggregate_latency;
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"sessions\": {},", r.sessions);
+        let _ = writeln!(out, "      \"workers\": {},", r.workers);
+        let _ = writeln!(out, "      \"queue_capacity\": {},", r.queue_capacity);
+        let _ = writeln!(
+            out,
+            "      \"deterministic_counts\": {},",
+            r.deterministic_counts
+        );
+        let _ = writeln!(out, "      \"updates_submitted\": {},", r.submitted);
+        let _ = writeln!(
+            out,
+            "      \"updates_completed\": {},",
+            r.stats.total_completed
+        );
+        let _ = writeln!(out, "      \"updates_shed\": {},", r.stats.total_shed);
+        let _ = writeln!(
+            out,
+            "      \"updates_shed_at_submit\": {},",
+            r.shed_at_submit
+        );
+        let _ = writeln!(out, "      \"wall_s\": {:.6},", r.wall_s);
+        let _ = writeln!(
+            out,
+            "      \"throughput_updates_per_s\": {:.2},",
+            r.stats.total_completed as f64 / r.wall_s.max(1e-12)
+        );
+        let _ = writeln!(out, "      \"latency_p50_ms\": {:.4},", p50 * 1e3);
+        let _ = writeln!(out, "      \"latency_p95_ms\": {:.4},", p95 * 1e3);
+        let _ = writeln!(out, "      \"latency_p99_ms\": {:.4},", p99 * 1e3);
+        let _ = writeln!(out, "      \"max_queue_depth\": {},", r.max_depth);
+        let hist: Vec<String> = r
+            .stats
+            .degradation_histogram
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "      \"degradation_histogram\": [{}],",
+            hist.join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "      \"bit_identical_to_solo\": {},",
+            match r.bit_identical {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            }
+        );
+        let _ = writeln!(
+            out,
+            "      \"dispatch_span_violations\": {}",
+            r.span_violations
+        );
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Fleet scenario
+// ---------------------------------------------------------------------------
+
+/// Concurrent sessions per wave (each wave creates, runs and closes its
+/// sessions before the next starts, so "thousands of sessions" needs only
+/// a wave-sized engine pool per shard).
+const WAVE: usize = 20;
+/// Replay steps per fleet session.
+const FLEET_STEPS: u32 = 6;
+/// A session is migrated once every this many waves.
+const MIGRATE_EVERY: usize = 10;
+
+fn fleet_shard_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        // Worst case a whole wave (plus failed-over victims) lands on one
+        // shard; size the pool so admission never refuses.
+        max_sessions: 2 * WAVE,
+        queue_capacity: 256,
+        degrade_start: 1 << 20, // degradation off: replay must be exact
+        ..ServeConfig::default()
+    }
+}
+
+/// The i-th fleet session's replay descriptor.
+fn fleet_descriptor(i: usize) -> (DatasetKind, u32, u64) {
+    if i % 2 == 0 {
+        (DatasetKind::Manhattan, FLEET_STEPS, 1_000 + i as u64)
+    } else {
+        (DatasetKind::Sphere, FLEET_STEPS, 5_000 + i as u64)
+    }
+}
+
+fn fleet_dataset(kind: DatasetKind, steps: u32, seed: u64) -> Dataset {
+    match kind {
+        DatasetKind::Manhattan => Dataset::manhattan_seeded(steps as usize, seed),
+        DatasetKind::Sphere => Dataset::sphere_seeded(steps as usize, seed),
+    }
+}
+
+fn fleet_solo_estimate(kind: DatasetKind, steps: u32, seed: u64) -> Vec<Variable> {
+    let cfg = fleet_shard_cfg();
+    let cost = Arc::new(CostModel::new(cfg.platform.clone()));
+    let mut e = SolverEngine::new(cfg.ra.clone(), cost);
+    e.set_executor(ParallelExecutor::new(cfg.executor_threads));
+    e.set_numeric_mode(cfg.numeric);
+    // The router admits at most `steps` updates per session; some generators
+    // emit extra online steps (sphere closures) — replay the served prefix.
+    let ds = fleet_dataset(kind, steps, seed);
+    for step in ds.online_steps().iter().take(steps as usize) {
+        e.step(step.truth.clone(), step.factors.clone());
+    }
+    let values = e.estimate();
+    (0..values.len())
+        .map(|i| values.get(Key(i)).clone())
+        .collect()
+}
+
+struct FleetResult {
+    sessions_total: usize,
+    shards: u32,
+    shards_killed: u32,
+    steps_per_session: u32,
+    updates_admitted: u64,
+    migrations: u64,
+    failover_sessions: u64,
+    replayed_updates: u64,
+    journal_records: u64,
+    journal_truncated_bytes: usize,
+    lost_updates: usize,
+    coverage_violations: usize,
+    trace_violations: usize,
+    bit_identity_checked: usize,
+    bit_identical: bool,
+    wall_s: f64,
+    recovery_wall_s: f64,
+}
+
+fn run_fleet(sessions_total: usize, shard_count: u32) -> FleetResult {
+    let journal_dir = std::env::temp_dir().join(format!("fleet-loadgen-{}", std::process::id()));
+    let mut shards: Vec<Shard> = (0..shard_count)
+        .map(|i| Shard::spawn(ShardId(i), fleet_shard_cfg()).expect("bind shard listener"))
+        .collect();
+    let endpoints: Vec<_> = shards.iter().map(|s| (s.id(), s.addr())).collect();
+    let mut router = ShardRouter::connect(
+        RouterConfig {
+            seed: 0xF1EE7,
+            numeric: fleet_shard_cfg().numeric,
+            journal_dir: journal_dir.clone(),
+        },
+        &endpoints,
+    )
+    .expect("connect router");
+
+    let waves = sessions_total.div_ceil(WAVE);
+    let kill_wave = waves / 2;
+    let t0 = Instant::now();
+    let mut tick = 0u64;
+    let mut updates_admitted = 0u64;
+    let mut recovery_wall_s = 0.0f64;
+    let mut killed: Option<ShardId> = None;
+    let mut bit_identity_checked = 0usize;
+    let mut bit_identical = true;
+    let mut next_session = 0usize;
+
+    for wave in 0..waves {
+        let wave_n = WAVE.min(sessions_total - next_session);
+        let indices: Vec<usize> = (next_session..next_session + wave_n).collect();
+        next_session += wave_n;
+        let globals: Vec<u64> = indices
+            .iter()
+            .map(|i| {
+                let (kind, steps, seed) = fleet_descriptor(*i);
+                router
+                    .create_session(kind, steps, seed)
+                    .expect("create session")
+            })
+            .collect();
+
+        // First half of each trajectory.
+        let half = FLEET_STEPS / 2;
+        for g in &globals {
+            updates_admitted += u64::from(router.submit(*g, tick, half).expect("submit"));
+            tick += u64::from(half);
+        }
+
+        // Periodic live migration keeps the snapshot/restore path hot.
+        if wave % MIGRATE_EVERY == 0 && router.live_shards().len() > 1 {
+            let mover = globals[0];
+            let home = router.shard_of(mover).expect("routed");
+            if let Some(target) = router.live_shards().iter().find(|s| **s != home).copied() {
+                router.migrate(mover, target).expect("migrate");
+            }
+        }
+
+        // Mid-run crash: kill the shard hosting this wave's first
+        // session, with its queued work undrained.
+        if wave == kill_wave && killed.is_none() {
+            let dead = router.shard_of(globals[0]).expect("routed");
+            for shard in shards.iter_mut().filter(|s| s.id() == dead) {
+                shard.kill();
+            }
+            let report = router.kill_shard(dead).expect("failover");
+            recovery_wall_s = report.recovery_wall_s;
+            killed = Some(dead);
+            eprintln!(
+                "load_gen: killed {dead}: {} session(s) re-homed, {} update(s) replayed, \
+                 {:.3}s recovery",
+                report.sessions, report.replayed_updates, report.recovery_wall_s
+            );
+        }
+
+        // Second half, then verify and close.
+        for g in &globals {
+            updates_admitted +=
+                u64::from(router.submit(*g, tick, FLEET_STEPS).expect("submit rest"));
+            tick += u64::from(FLEET_STEPS);
+        }
+        let check_all = wave == kill_wave;
+        for (slot, g) in globals.iter().enumerate() {
+            if check_all || slot == 0 {
+                let i = indices[slot];
+                let (kind, steps, seed) = fleet_descriptor(i);
+                let served = router.estimate(*g).expect("estimate");
+                bit_identity_checked += 1;
+                if served != fleet_solo_estimate(kind, steps, seed) {
+                    eprintln!("load_gen: fleet session {g} diverged from solo replay");
+                    bit_identical = false;
+                }
+            }
+            router.close(*g).expect("close");
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // Trace shapes.
+    let traces = router.take_traces();
+    let trace_violations: usize = traces.iter().map(|t| validate_trace(t).len()).sum();
+
+    // Journal-vs-dispatch coverage (see fleet_smoke for the mapping).
+    let mut journaled: Vec<FleetJournalEntry> = Vec::new();
+    let mut journal_truncated_bytes = 0usize;
+    for (_, path) in router.journal_paths() {
+        let contents = read_journal(&path).expect("journal reads back");
+        journal_truncated_bytes += contents.truncated_tail;
+        journaled.extend(contents.entries.iter().filter_map(|e| match e {
+            JournalEntry::Update { session, seq, .. } => Some(FleetJournalEntry {
+                session: *session,
+                seq: *seq,
+            }),
+            _ => None,
+        }));
+    }
+    let placement_map: BTreeMap<(ShardId, u64), u64> = router
+        .placements()
+        .iter()
+        .map(|p| ((p.shard, p.local), p.global))
+        .collect();
+    let stats = router.stats();
+    router.shutdown();
+    drop(router);
+    let mut dispatched: Vec<FleetJournalEntry> = Vec::new();
+    for shard in &shards {
+        for span in shard.server().spans() {
+            let rec = span.record();
+            if let Some(global) = placement_map.get(&(shard.id(), rec.session)) {
+                dispatched.push(FleetJournalEntry {
+                    session: *global,
+                    seq: rec.seq,
+                });
+            }
+        }
+    }
+    let coverage = validate_fleet_coverage(&journaled, &dispatched);
+    let lost_updates = coverage
+        .iter()
+        .filter(|v| v.detail.contains("lost"))
+        .count();
+    for v in coverage.iter().take(10) {
+        eprintln!("load_gen: fleet coverage: {v}");
+    }
+    drop(shards);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
+    FleetResult {
+        sessions_total,
+        shards: shard_count,
+        shards_killed: u32::from(killed.is_some()),
+        steps_per_session: FLEET_STEPS,
+        updates_admitted,
+        migrations: stats.migrations,
+        failover_sessions: stats.failover_sessions,
+        replayed_updates: stats.replayed_updates,
+        journal_records: stats.journal_records,
+        journal_truncated_bytes,
+        lost_updates,
+        coverage_violations: coverage.len(),
+        trace_violations,
+        bit_identity_checked,
+        bit_identical,
+        wall_s,
+        recovery_wall_s,
+    }
+}
+
+fn emit_fleet_json(r: &FleetResult) -> String {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"fleet\",");
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(out, "  \"sessions_total\": {},", r.sessions_total);
+    let _ = writeln!(out, "  \"shards\": {},", r.shards);
+    let _ = writeln!(out, "  \"shards_killed\": {},", r.shards_killed);
+    let _ = writeln!(out, "  \"steps_per_session\": {},", r.steps_per_session);
+    let _ = writeln!(out, "  \"updates_admitted\": {},", r.updates_admitted);
+    let _ = writeln!(out, "  \"migrations\": {},", r.migrations);
+    let _ = writeln!(out, "  \"failover_sessions\": {},", r.failover_sessions);
+    let _ = writeln!(out, "  \"replayed_updates\": {},", r.replayed_updates);
+    let _ = writeln!(out, "  \"journal_records\": {},", r.journal_records);
+    let _ = writeln!(
+        out,
+        "  \"journal_truncated_bytes\": {},",
+        r.journal_truncated_bytes
+    );
+    let _ = writeln!(out, "  \"lost_updates\": {},", r.lost_updates);
+    let _ = writeln!(out, "  \"coverage_violations\": {},", r.coverage_violations);
+    let _ = writeln!(out, "  \"trace_violations\": {},", r.trace_violations);
+    let _ = writeln!(
+        out,
+        "  \"bit_identity_checked\": {},",
+        r.bit_identity_checked
+    );
+    let _ = writeln!(out, "  \"bit_identical_to_solo\": {},", r.bit_identical);
+    let _ = writeln!(
+        out,
+        "  \"throughput_updates_per_s\": {:.2},",
+        r.updates_admitted as f64 / r.wall_s.max(1e-12)
+    );
+    let _ = writeln!(out, "  \"wall_s\": {:.6},", r.wall_s);
+    let _ = writeln!(out, "  \"recovery_wall_s\": {:.6}", r.recovery_wall_s);
+    out.push_str("}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--fleet") {
+        let sessions: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(2000);
+        let shards: u32 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(3);
+        eprintln!("load_gen: fleet scenario, {sessions} sessions on {shards} shards");
+        let result = run_fleet(sessions, shards.max(3));
+        let json = emit_fleet_json(&result);
+        std::fs::create_dir_all("results").expect("create results/");
+        std::fs::write("results/BENCH_fleet.json", &json).expect("write results/BENCH_fleet.json");
+        print!("{json}");
+        let ok = result.coverage_violations == 0
+            && result.trace_violations == 0
+            && result.lost_updates == 0
+            && result.journal_truncated_bytes == 0
+            && result.bit_identical
+            && result.shards_killed == 1;
+        if ok {
+            eprintln!("load_gen: fleet OK");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("load_gen: fleet FAILED");
+        return ExitCode::FAILURE;
+    }
+
+    let sessions: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let workers: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(2);
+    eprintln!("load_gen: {sessions} sessions on {workers} workers");
+
+    let nominal = run_scenario(
+        "nominal",
+        ServeConfig {
+            workers,
+            max_sessions: sessions,
+            queue_capacity: 256,
+            degrade_start: 1 << 20,
+            ..ServeConfig::default()
+        },
+        sessions,
+        true,
+        true,
+    );
+    let overload = run_scenario(
+        "overload",
+        ServeConfig {
+            workers,
+            max_sessions: sessions,
+            queue_capacity: 8,
+            degrade_start: 4,
+            degrade_stride: 4,
+            ..ServeConfig::default()
+        },
+        sessions,
+        false,
+        false,
+    );
+
+    let results = [nominal, overload];
+    let json = emit_json(&results);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_serve_throughput.json", &json)
+        .expect("write results/BENCH_serve_throughput.json");
+    print!("{json}");
+
+    let ok = results
+        .iter()
+        .all(|r| r.span_violations == 0 && r.bit_identical.unwrap_or(true));
+    if ok {
+        eprintln!("load_gen: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("load_gen: FAILED");
+        ExitCode::FAILURE
+    }
+}

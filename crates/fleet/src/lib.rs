@@ -1,0 +1,51 @@
+//! Fleet-scale serving for the SuperNoVA stack: shard routing, session
+//! snapshot/restore migration, and crash-failover journal replay.
+//!
+//! The serve crate turns one engine pool into a server; this crate turns
+//! N such servers into a *fleet* that a single front door coordinates:
+//!
+//! - [`ring`] — a seeded, dependency-free consistent-hash ring places
+//!   every fleet-global session id on a shard. Placement is a pure
+//!   function of the seed and the member set, and removing a shard
+//!   remaps only that shard's sessions.
+//! - [`journal`] — one durable append-only `SNVJ` journal per shard,
+//!   written at admission and flushed per record: session descriptors,
+//!   seq-stamped updates, close tombstones. Reads are panic-free and
+//!   tolerate the half-written tail a crash leaves.
+//! - [`shard`] — a serve backend behind its own TCP listener (the
+//!   `serve_tcp` loop as a library), with a [`kill`](shard::Shard::kill)
+//!   that models a crash: no drain, no goodbye.
+//! - [`router`] — the coordinator: persistent hello-gated protocol-v2
+//!   connections, journaled admission, live migration (drain → snapshot
+//!   → restore → atomically repoint), and [`kill_shard`]
+//!   failover that restores each victim session's latest checkpoint on a
+//!   survivor and replays its journal suffix. Engine replay is
+//!   bit-deterministic, so survivors end byte-identical to an
+//!   uninterrupted run — zero admitted updates lost.
+//!
+//! Binaries: `fleet_router` (a TCP front door speaking the same wire
+//! protocol as `serve_tcp`, so clients need not know the fleet exists),
+//! `fleet_smoke` (the CI gate: 3 shards, a migration, a kill, byte-
+//! identity and zero-loss asserts), and `load_gen` (the workspace load
+//! generator, including the `--fleet` scenario behind
+//! `results/BENCH_fleet.json`).
+//!
+//! [`kill_shard`]: router::ShardRouter::kill_shard
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod journal;
+pub mod ring;
+pub mod router;
+pub mod shard;
+
+pub use journal::{
+    read_journal, read_journal_bytes, JournalContents, JournalEntry, JournalError, JournalWriter,
+};
+pub use ring::{HashRing, ShardId, VNODES_PER_SHARD};
+pub use router::{
+    journal_update_pairs, FailoverReport, FleetError, FleetStats, Placement, RouterConfig,
+    ShardRouter,
+};
+pub use shard::Shard;

@@ -1,0 +1,172 @@
+//! The deterministic consistent-hash ring that places sessions on shards.
+//!
+//! Each shard contributes a fixed number of virtual nodes, hashed from
+//! `(seed, shard, vnode)` with an in-tree splitmix64 mix — no `std`
+//! hasher, so placement is identical across runs, hosts and Rust
+//! versions. A session routes to the first vnode clockwise of its own
+//! hash. Removing a shard removes only that shard's vnodes: every session
+//! that was on a surviving shard stays put, which is exactly the property
+//! failover redistribution needs.
+
+use std::collections::BTreeMap;
+
+/// Identifies one shard (backend) in the fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard-{}", self.0)
+    }
+}
+
+/// Virtual nodes per shard. Enough that removing one of three shards
+/// splits its sessions across both survivors rather than dumping them all
+/// on one.
+pub const VNODES_PER_SHARD: u32 = 64;
+
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The in-tree splitmix64 finalizer over a seeded accumulator.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn hash2(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed ^ SPLITMIX_GAMMA;
+    z = mix(z.wrapping_add(a.wrapping_mul(SPLITMIX_GAMMA)));
+    mix(z.wrapping_add(b.wrapping_mul(SPLITMIX_GAMMA)))
+}
+
+/// A deterministic consistent-hash ring over shard ids.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    seed: u64,
+    /// Ring position → owning shard.
+    ring: BTreeMap<u64, ShardId>,
+    shards: Vec<ShardId>,
+}
+
+impl HashRing {
+    /// An empty ring under `seed` (every placement decision is a pure
+    /// function of the seed and the member set).
+    pub fn new(seed: u64) -> Self {
+        HashRing {
+            seed,
+            ring: BTreeMap::new(),
+            shards: Vec::new(),
+        }
+    }
+
+    /// Adds a shard's virtual nodes. Adding a present shard is a no-op.
+    pub fn add(&mut self, shard: ShardId) {
+        if self.shards.contains(&shard) {
+            return;
+        }
+        self.shards.push(shard);
+        self.shards.sort_unstable();
+        for v in 0..VNODES_PER_SHARD {
+            let point = hash2(self.seed, u64::from(shard.0) | (1 << 40), u64::from(v));
+            // On the astronomically unlikely collision the lower shard id
+            // wins deterministically; drop the later vnode.
+            self.ring.entry(point).or_insert(shard);
+        }
+    }
+
+    /// Removes a shard's virtual nodes. Sessions on other shards are
+    /// unaffected (the consistent-hashing property).
+    pub fn remove(&mut self, shard: ShardId) {
+        self.shards.retain(|s| *s != shard);
+        self.ring.retain(|_, s| *s != shard);
+    }
+
+    /// Member shards, ascending.
+    pub fn shards(&self) -> &[ShardId] {
+        &self.shards
+    }
+
+    /// Routes a session id to a shard: the first vnode at or clockwise of
+    /// the session's hash point. `None` on an empty ring.
+    pub fn route(&self, session: u64) -> Option<ShardId> {
+        let point = hash2(self.seed, session, 0x5E55_1014);
+        self.ring
+            .range(point..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .map(|(_, s)| *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring3() -> HashRing {
+        let mut r = HashRing::new(42);
+        for s in 0..3 {
+            r.add(ShardId(s));
+        }
+        r
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let a = ring3();
+        let b = ring3();
+        for sid in 0..1000u64 {
+            assert_eq!(a.route(sid), b.route(sid));
+            assert!(a.route(sid).is_some());
+        }
+    }
+
+    #[test]
+    fn all_shards_receive_sessions() {
+        let r = ring3();
+        let mut counts = [0usize; 3];
+        for sid in 0..3000u64 {
+            counts[r.route(sid).expect("non-empty").0 as usize] += 1;
+        }
+        for (s, c) in counts.iter().enumerate() {
+            assert!(
+                *c > 300,
+                "shard {s} got {c}/3000 sessions — vnode spread too skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn removal_only_remaps_the_dead_shards_sessions() {
+        let full = ring3();
+        let mut reduced = ring3();
+        let dead = ShardId(1);
+        reduced.remove(dead);
+        let mut remapped = 0usize;
+        for sid in 0..2000u64 {
+            let before = full.route(sid).expect("full ring");
+            let after = reduced.route(sid).expect("reduced ring");
+            if before == dead {
+                assert_ne!(after, dead, "dead shard still routed");
+                remapped += 1;
+            } else {
+                assert_eq!(before, after, "surviving session {sid} moved");
+            }
+        }
+        assert!(remapped > 0, "fixture never hit the dead shard");
+    }
+
+    #[test]
+    fn different_seeds_give_different_rings() {
+        let a = HashRing::new(1);
+        let b = HashRing::new(2);
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        for s in 0..3 {
+            a2.add(ShardId(s));
+            b2.add(ShardId(s));
+        }
+        let differs = (0..500u64).any(|sid| a2.route(sid) != b2.route(sid));
+        assert!(differs, "seed does not influence placement");
+    }
+}

@@ -1,0 +1,787 @@
+//! The shard router: consistent-hash placement, live migration, and
+//! crash failover over a fleet of [`Shard`](crate::shard::Shard)-style
+//! backends.
+//!
+//! The router is the fleet's only stateful coordinator. It owns:
+//!
+//! - the seeded [`HashRing`] that places every fleet-global session id on
+//!   a shard (deterministic: same seed + same member set = same
+//!   placement);
+//! - one persistent hello-gated protocol-v2 connection per shard;
+//! - one durable [`journal`](crate::journal) per shard, appended at
+//!   admission time (create descriptors, seq-stamped updates, close
+//!   tombstones) and flushed record-by-record;
+//! - the latest checkpoint taken for each session (from migrations), the
+//!   floor failover replays from.
+//!
+//! **Migration** drains the in-flight step via `Snapshot` (the shard
+//! drains the session before checkpointing), restores the checkpoint on
+//! the target, atomically repoints the route, then closes the source
+//! session. **Failover** ([`ShardRouter::kill_shard`]) removes the dead
+//! shard from the ring, reads its journal back from disk, and for every
+//! live session it hosted: restores the latest checkpoint on the
+//! survivor the ring now names, replays the journal suffix (every
+//! admitted update at or past the checkpoint floor, with its original
+//! deadline), and re-journals that suffix into the survivor's journal.
+//! Because engine replay is bit-deterministic, the survivor's estimates
+//! are byte-identical to an uninterrupted run — zero admitted updates
+//! lost.
+//!
+//! Both paths emit `fleet.migrate` / `fleet.failover` span trees
+//! (`supernova-trace`) that `supernova_analyze::validate_trace` checks
+//! structurally.
+
+use std::collections::BTreeMap;
+use std::io::{BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+
+use supernova_linalg::NumericMode;
+use supernova_serve::checkpoint::{encode_snapshot, CheckpointError};
+use supernova_serve::protocol::{
+    recv_response, send_request, DatasetKind, Request, Response, WireError, PROTOCOL_VERSION,
+};
+use supernova_solvers::EngineSnapshot;
+use supernova_trace::{epoch_seconds, Category, Span, StepKey, Trace};
+
+use crate::journal::{read_journal, JournalEntry, JournalError, JournalWriter};
+use crate::ring::{HashRing, ShardId};
+
+/// A typed fleet-layer failure. The router never panics on shard or
+/// journal misbehaviour.
+#[derive(Debug)]
+pub enum FleetError {
+    /// Transport or framing failure on a shard connection.
+    Wire(WireError),
+    /// Local file I/O failed.
+    Io(std::io::Error),
+    /// The durable journal could not be written or read back.
+    Journal(JournalError),
+    /// Checkpoint encode/decode failed router-side.
+    Checkpoint(CheckpointError),
+    /// A shard answered with a protocol error response.
+    Remote(String),
+    /// A shard answered with the wrong response variant, or its state
+    /// disagrees with the router's books.
+    Desync(&'static str),
+    /// The shard refused the version handshake (`None` = no hello frame
+    /// came back at all).
+    ProtocolMismatch(Option<u8>),
+    /// No such fleet-global session.
+    UnknownSession(u64),
+    /// The session is closed.
+    SessionClosed(u64),
+    /// No such shard in the fleet.
+    UnknownShard(ShardId),
+    /// Every shard is gone; nothing can be placed.
+    NoShards,
+    /// A shard shed admitted work. Fleet queues are sized so this never
+    /// happens; seeing it is a configuration error, not load shedding.
+    Shed {
+        /// The session whose updates were shed.
+        session: u64,
+        /// How many updates the shard's queue refused.
+        shed: u32,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Wire(e) => write!(f, "shard connection: {e}"),
+            FleetError::Io(e) => write!(f, "fleet I/O: {e}"),
+            FleetError::Journal(e) => write!(f, "fleet journal: {e}"),
+            FleetError::Checkpoint(e) => write!(f, "fleet checkpoint: {e}"),
+            FleetError::Remote(msg) => write!(f, "shard error: {msg}"),
+            FleetError::Desync(why) => write!(f, "router/shard desync: {why}"),
+            FleetError::ProtocolMismatch(v) => match v {
+                Some(v) => write!(
+                    f,
+                    "shard speaks protocol version {v}, not {PROTOCOL_VERSION}"
+                ),
+                None => write!(f, "shard did not answer the version hello"),
+            },
+            FleetError::UnknownSession(s) => write!(f, "unknown fleet session {s}"),
+            FleetError::SessionClosed(s) => write!(f, "fleet session {s} is closed"),
+            FleetError::UnknownShard(s) => write!(f, "unknown shard {s}"),
+            FleetError::NoShards => write!(f, "no live shards remain"),
+            FleetError::Shed { session, shed } => write!(
+                f,
+                "shard shed {shed} update(s) of session {session}; fleet queues must be \
+                 sized so admission never sheds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<WireError> for FleetError {
+    fn from(e: WireError) -> Self {
+        FleetError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Io(e)
+    }
+}
+
+impl From<JournalError> for FleetError {
+    fn from(e: JournalError) -> Self {
+        FleetError::Journal(e)
+    }
+}
+
+impl From<CheckpointError> for FleetError {
+    fn from(e: CheckpointError) -> Self {
+        FleetError::Checkpoint(e)
+    }
+}
+
+/// Router configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Ring seed: placement is a pure function of this and the member
+    /// set, so a restarted router re-derives identical routes.
+    pub seed: u64,
+    /// The numeric mode every shard runs (checkpoints carry theirs and
+    /// shards refuse a mismatch; the router needs it to synthesize the
+    /// empty checkpoint for never-checkpointed sessions on failover).
+    pub numeric: NumericMode,
+    /// Directory the per-shard journals live in (created if absent).
+    pub journal_dir: PathBuf,
+}
+
+/// One (session → shard) placement event, in order: the initial route,
+/// then one entry per migration or failover. `local` is the shard-side
+/// session id, which is what the shard's dispatch ledger records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// Fleet-global session id.
+    pub global: u64,
+    /// The shard the session landed on.
+    pub shard: ShardId,
+    /// The shard-local session id it got there.
+    pub local: u64,
+}
+
+/// Fleet lifetime counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FleetStats {
+    /// Sessions ever created.
+    pub sessions_created: u64,
+    /// Completed live migrations.
+    pub migrations: u64,
+    /// `kill_shard` failovers performed.
+    pub failovers: u64,
+    /// Sessions re-homed by failovers.
+    pub failover_sessions: u64,
+    /// Journal updates replayed into survivors by failovers.
+    pub replayed_updates: u64,
+    /// Journal records appended across all shards (including failover
+    /// re-journaling).
+    pub journal_records: u64,
+}
+
+/// What one `kill_shard` recovery did.
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverReport {
+    /// The shard that died.
+    pub dead: ShardId,
+    /// Live sessions it hosted, all re-homed.
+    pub sessions: u64,
+    /// Journal updates replayed into survivors.
+    pub replayed_updates: u64,
+    /// Wall seconds from kill to the last session re-homed.
+    pub recovery_wall_s: f64,
+}
+
+struct Checkpoint {
+    /// Updates the checkpoint has applied (the failover replay floor).
+    applied: u64,
+    /// Encoded SNVC bytes.
+    bytes: Vec<u8>,
+}
+
+struct Route {
+    shard: ShardId,
+    local: u64,
+    kind: DatasetKind,
+    steps: u32,
+    seed: u64,
+    /// Updates admitted so far (the session's global seq cursor; equals
+    /// the shard's replay cursor at all times).
+    cursor: u64,
+    closed: bool,
+    checkpoint: Option<Checkpoint>,
+}
+
+struct ShardConn {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    journal: JournalWriter,
+}
+
+impl ShardConn {
+    fn call(&mut self, req: &Request) -> Result<Response, FleetError> {
+        send_request(&mut self.writer, req)?;
+        self.writer.flush()?;
+        match recv_response(&mut self.reader)? {
+            Response::Error(msg) => Err(FleetError::Remote(msg)),
+            rsp => Ok(rsp),
+        }
+    }
+}
+
+/// The fleet coordinator. Single-threaded by design: placement, journal
+/// order and failover are all deterministic given the request sequence.
+pub struct ShardRouter {
+    cfg: RouterConfig,
+    ring: HashRing,
+    conns: BTreeMap<ShardId, ShardConn>,
+    /// Journals of shards that have died, kept for post-mortem reads.
+    retired_journals: Vec<(ShardId, PathBuf)>,
+    routes: BTreeMap<u64, Route>,
+    placements: Vec<Placement>,
+    next_global: u64,
+    traces: Vec<Trace>,
+    stats: FleetStats,
+}
+
+impl ShardRouter {
+    /// Connects to every shard (version hello on each), creates the
+    /// per-shard journals, and builds the placement ring.
+    pub fn connect(
+        cfg: RouterConfig,
+        shards: &[(ShardId, SocketAddr)],
+    ) -> Result<Self, FleetError> {
+        if shards.is_empty() {
+            return Err(FleetError::NoShards);
+        }
+        std::fs::create_dir_all(&cfg.journal_dir)?;
+        let mut ring = HashRing::new(cfg.seed);
+        let mut conns = BTreeMap::new();
+        for (id, addr) in shards {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            let mut reader = stream.try_clone()?;
+            let mut writer = BufWriter::new(stream);
+            send_request(
+                &mut writer,
+                &Request::Hello {
+                    version: PROTOCOL_VERSION,
+                },
+            )?;
+            writer.flush()?;
+            match recv_response(&mut reader)? {
+                Response::Hello { version } if version == PROTOCOL_VERSION => {}
+                Response::Hello { version } => {
+                    return Err(FleetError::ProtocolMismatch(Some(version)))
+                }
+                Response::Error(msg) => return Err(FleetError::Remote(msg)),
+                _ => return Err(FleetError::ProtocolMismatch(None)),
+            }
+            let journal_path = cfg.journal_dir.join(format!("shard-{}.snvj", id.0));
+            let journal = JournalWriter::create(&journal_path, u64::from(id.0))?;
+            ring.add(*id);
+            conns.insert(
+                *id,
+                ShardConn {
+                    reader,
+                    writer,
+                    journal,
+                },
+            );
+        }
+        Ok(ShardRouter {
+            cfg,
+            ring,
+            conns,
+            retired_journals: Vec::new(),
+            routes: BTreeMap::new(),
+            placements: Vec::new(),
+            next_global: 0,
+            traces: Vec::new(),
+            stats: FleetStats::default(),
+        })
+    }
+
+    /// Live shards, ascending.
+    pub fn live_shards(&self) -> &[ShardId] {
+        self.ring.shards()
+    }
+
+    /// The shard a session currently lives on.
+    pub fn shard_of(&self, global: u64) -> Option<ShardId> {
+        self.routes.get(&global).map(|r| r.shard)
+    }
+
+    /// Full placement history (initial routes, migrations, failovers).
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// Drains the `fleet.migrate` / `fleet.failover` span trees recorded
+    /// so far.
+    pub fn take_traces(&mut self) -> Vec<Trace> {
+        std::mem::take(&mut self.traces)
+    }
+
+    /// Every journal file the fleet has written: live shards first, then
+    /// retired (dead) shards.
+    pub fn journal_paths(&self) -> Vec<(ShardId, PathBuf)> {
+        let mut out: Vec<(ShardId, PathBuf)> = self
+            .conns
+            .iter()
+            .map(|(id, c)| (*id, c.journal.path().to_path_buf()))
+            .collect();
+        out.extend(self.retired_journals.iter().cloned());
+        out
+    }
+
+    fn conn(&mut self, shard: ShardId) -> Result<&mut ShardConn, FleetError> {
+        self.conns
+            .get_mut(&shard)
+            .ok_or(FleetError::UnknownShard(shard))
+    }
+
+    fn open_route(&self, global: u64) -> Result<&Route, FleetError> {
+        let route = self
+            .routes
+            .get(&global)
+            .ok_or(FleetError::UnknownSession(global))?;
+        if route.closed {
+            return Err(FleetError::SessionClosed(global));
+        }
+        Ok(route)
+    }
+
+    /// Creates a session replaying `(kind, steps, seed)` on the shard the
+    /// ring names for its fleet-global id. Returns that id.
+    pub fn create_session(
+        &mut self,
+        kind: DatasetKind,
+        steps: u32,
+        seed: u64,
+    ) -> Result<u64, FleetError> {
+        let global = self.next_global;
+        let shard = self.ring.route(global).ok_or(FleetError::NoShards)?;
+        let conn = self.conn(shard)?;
+        let local = match conn.call(&Request::CreateSession { kind, steps, seed })? {
+            Response::Created { session } => session,
+            _ => return Err(FleetError::Desync("create: expected Created")),
+        };
+        conn.journal.append(&JournalEntry::Create {
+            session: global,
+            kind: kind.code(),
+            steps,
+            seed,
+        })?;
+        self.stats.journal_records += 1;
+        self.next_global += 1;
+        self.stats.sessions_created += 1;
+        self.routes.insert(
+            global,
+            Route {
+                shard,
+                local,
+                kind,
+                steps,
+                seed,
+                cursor: 0,
+                closed: false,
+                checkpoint: None,
+            },
+        );
+        self.placements.push(Placement {
+            global,
+            shard,
+            local,
+        });
+        Ok(global)
+    }
+
+    /// Feeds the session's next `count` replay steps (deadlines
+    /// `deadline, deadline + 1, …`), journaling each admitted update.
+    /// Returns how many were admitted (the count clamped to the steps
+    /// remaining in the trajectory).
+    pub fn submit(&mut self, global: u64, deadline: u64, count: u32) -> Result<u32, FleetError> {
+        let route = self.open_route(global)?;
+        let remaining = u64::from(route.steps).saturating_sub(route.cursor);
+        let want = u64::from(count).min(remaining) as u32;
+        if want == 0 {
+            return Ok(0);
+        }
+        let (shard, local, cursor) = (route.shard, route.local, route.cursor);
+        let conn = self.conn(shard)?;
+        let (accepted, shed) = match conn.call(&Request::Submit {
+            session: local,
+            deadline,
+            count: want,
+        })? {
+            Response::Submitted { accepted, shed } => (accepted, shed),
+            _ => return Err(FleetError::Desync("submit: expected Submitted")),
+        };
+        if shed > 0 {
+            return Err(FleetError::Shed {
+                session: global,
+                shed,
+            });
+        }
+        if accepted != want {
+            return Err(FleetError::Desync(
+                "submit: shard accepted fewer than asked",
+            ));
+        }
+        for i in 0..u64::from(accepted) {
+            conn.journal.append(&JournalEntry::Update {
+                session: global,
+                seq: cursor + i,
+                deadline: deadline + i,
+            })?;
+        }
+        self.stats.journal_records += u64::from(accepted);
+        if let Some(route) = self.routes.get_mut(&global) {
+            route.cursor += u64::from(accepted);
+        }
+        Ok(accepted)
+    }
+
+    /// Drains the session and returns its full trajectory estimate.
+    pub fn estimate(
+        &mut self,
+        global: u64,
+    ) -> Result<Vec<supernova_factors::Variable>, FleetError> {
+        let route = self.open_route(global)?;
+        let (shard, local) = (route.shard, route.local);
+        match self
+            .conn(shard)?
+            .call(&Request::QueryEstimate { session: local })?
+        {
+            Response::Estimate(vars) => Ok(vars),
+            _ => Err(FleetError::Desync("estimate: expected Estimate")),
+        }
+    }
+
+    /// Closes the session (tombstoning its journal history) and returns
+    /// its lifetime `(completed, shed)` counters.
+    pub fn close(&mut self, global: u64) -> Result<(u64, u64), FleetError> {
+        let route = self.open_route(global)?;
+        let (shard, local, cursor) = (route.shard, route.local, route.cursor);
+        let conn = self.conn(shard)?;
+        let report = match conn.call(&Request::Close { session: local })? {
+            Response::Closed { completed, shed } => (completed, shed),
+            _ => return Err(FleetError::Desync("close: expected Closed")),
+        };
+        conn.journal.append(&JournalEntry::Tombstone {
+            session: global,
+            seq: cursor,
+        })?;
+        self.stats.journal_records += 1;
+        if let Some(route) = self.routes.get_mut(&global) {
+            route.closed = true;
+        }
+        Ok(report)
+    }
+
+    /// Live-migrates a session: drain + snapshot on the source shard,
+    /// restore on `to`, atomically repoint the route, close the source
+    /// session. The checkpoint taken here becomes the session's failover
+    /// replay floor.
+    pub fn migrate(&mut self, global: u64, to: ShardId) -> Result<(), FleetError> {
+        if !self.ring.shards().contains(&to) {
+            return Err(FleetError::UnknownShard(to));
+        }
+        let route = self.open_route(global)?;
+        if route.shard == to {
+            return Ok(());
+        }
+        let (source, local, kind, steps, seed, cursor) = (
+            route.shard,
+            route.local,
+            route.kind,
+            route.steps,
+            route.seed,
+            route.cursor,
+        );
+        let t0 = epoch_seconds();
+
+        let (snap_cursor, applied, checkpoint) = match self
+            .conn(source)?
+            .call(&Request::Snapshot { session: local })?
+        {
+            Response::Snapshot {
+                cursor,
+                applied,
+                checkpoint,
+                ..
+            } => (cursor, applied, checkpoint),
+            _ => return Err(FleetError::Desync("migrate: expected Snapshot")),
+        };
+        if snap_cursor != cursor || applied != cursor {
+            return Err(FleetError::Desync(
+                "migrate: drained shard cursor disagrees with the router's books",
+            ));
+        }
+        let checkpoint_len = checkpoint.len() as u64;
+
+        let target = self.conn(to)?;
+        let new_local = match target.call(&Request::Restore {
+            kind,
+            steps,
+            seed,
+            cursor,
+            checkpoint: checkpoint.clone(),
+        })? {
+            Response::Created { session } => session,
+            _ => return Err(FleetError::Desync("migrate: expected Created")),
+        };
+        target.journal.append(&JournalEntry::Create {
+            session: global,
+            kind: kind.code(),
+            steps,
+            seed,
+        })?;
+        self.stats.journal_records += 1;
+
+        match self
+            .conn(source)?
+            .call(&Request::Close { session: local })?
+        {
+            Response::Closed { .. } => {}
+            _ => return Err(FleetError::Desync("migrate: expected Closed")),
+        }
+
+        if let Some(route) = self.routes.get_mut(&global) {
+            route.shard = to;
+            route.local = new_local;
+            route.checkpoint = Some(Checkpoint {
+                applied,
+                bytes: checkpoint,
+            });
+        }
+        self.placements.push(Placement {
+            global,
+            shard: to,
+            local: new_local,
+        });
+        self.stats.migrations += 1;
+
+        let t1 = epoch_seconds();
+        let mut root = Span::wall("fleet.migrate", Category::Serve, t0, t1);
+        root.children.push(Span::marker(
+            "fleet.snapshot",
+            Category::Serve,
+            checkpoint_len,
+        ));
+        root.children
+            .push(Span::marker("fleet.restore", Category::Serve, applied));
+        self.traces.push(Trace {
+            key: StepKey {
+                session: global,
+                seq: applied,
+                step: applied,
+            },
+            numeric_mode: self.cfg.numeric,
+            root,
+        });
+        Ok(())
+    }
+
+    /// The empty checkpoint: what failover restores for a session that
+    /// was never snapshotted (its whole history replays from the journal).
+    fn empty_checkpoint(&self) -> Result<Vec<u8>, FleetError> {
+        let snap = EngineSnapshot {
+            numeric_mode: self.cfg.numeric,
+            plan_generation: 0,
+            updates: Vec::new(),
+            estimate: Vec::new(),
+        };
+        Ok(encode_snapshot(&snap)?)
+    }
+
+    /// Handles a crashed shard: drops its connection, removes it from
+    /// the ring, reads its journal back from disk, and re-homes every
+    /// live session it hosted onto the survivor the ring now names —
+    /// restore the latest checkpoint, replay the journal suffix with
+    /// original deadlines, re-journal the suffix into the survivor's
+    /// journal. Call *after* the shard is actually dead (the router's
+    /// connection drop is what lets an in-process shard's accept thread
+    /// exit).
+    pub fn kill_shard(&mut self, dead: ShardId) -> Result<FailoverReport, FleetError> {
+        let conn = self
+            .conns
+            .remove(&dead)
+            .ok_or(FleetError::UnknownShard(dead))?;
+        let journal_path = conn.journal.path().to_path_buf();
+        drop(conn); // closes the TCP connection and the journal file
+        self.retired_journals.push((dead, journal_path.clone()));
+        self.ring.remove(dead);
+        if self.ring.shards().is_empty() {
+            return Err(FleetError::NoShards);
+        }
+        let t0 = epoch_seconds();
+
+        // The durable record is the source of truth for what was
+        // admitted: replay is journal-driven, not memory-driven.
+        let contents = read_journal(&journal_path)?;
+        let mut journaled: BTreeMap<u64, BTreeMap<u64, u64>> = BTreeMap::new();
+        for entry in &contents.entries {
+            if let JournalEntry::Update {
+                session,
+                seq,
+                deadline,
+            } = entry
+            {
+                journaled
+                    .entry(*session)
+                    .or_default()
+                    .insert(*seq, *deadline);
+            }
+        }
+
+        let victims: Vec<u64> = self
+            .routes
+            .iter()
+            .filter(|(_, r)| r.shard == dead && !r.closed)
+            .map(|(g, _)| *g)
+            .collect();
+        let mut replayed_total = 0u64;
+        for global in victims.iter().copied() {
+            let route = self
+                .routes
+                .get(&global)
+                .ok_or(FleetError::UnknownSession(global))?;
+            let (kind, steps, seed, cursor) = (route.kind, route.steps, route.seed, route.cursor);
+            let (floor, checkpoint) = match &route.checkpoint {
+                Some(c) => (c.applied, c.bytes.clone()),
+                None => (0, self.empty_checkpoint()?),
+            };
+            let suffix: Vec<(u64, u64)> = journaled
+                .get(&global)
+                .map(|m| m.range(floor..).map(|(s, d)| (*s, *d)).collect())
+                .unwrap_or_default();
+            if floor + suffix.len() as u64 != cursor {
+                return Err(FleetError::Desync(
+                    "failover: journal suffix does not cover the admitted cursor",
+                ));
+            }
+            let target = self.ring.route(global).ok_or(FleetError::NoShards)?;
+
+            let conn = self.conn(target)?;
+            let new_local = match conn.call(&Request::Restore {
+                kind,
+                steps,
+                seed,
+                cursor: floor,
+                checkpoint,
+            })? {
+                Response::Created { session } => session,
+                _ => return Err(FleetError::Desync("failover: expected Created")),
+            };
+            conn.journal.append(&JournalEntry::Create {
+                session: global,
+                kind: kind.code(),
+                steps,
+                seed,
+            })?;
+            let mut appended = 1u64;
+            for (seq, deadline) in suffix.iter().copied() {
+                let (accepted, shed) = match conn.call(&Request::Submit {
+                    session: new_local,
+                    deadline,
+                    count: 1,
+                })? {
+                    Response::Submitted { accepted, shed } => (accepted, shed),
+                    _ => return Err(FleetError::Desync("failover: expected Submitted")),
+                };
+                if shed > 0 {
+                    return Err(FleetError::Shed {
+                        session: global,
+                        shed,
+                    });
+                }
+                if accepted != 1 {
+                    return Err(FleetError::Desync("failover: replay submit not accepted"));
+                }
+                conn.journal.append(&JournalEntry::Update {
+                    session: global,
+                    seq,
+                    deadline,
+                })?;
+                appended += 1;
+            }
+            self.stats.journal_records += appended;
+            replayed_total += suffix.len() as u64;
+
+            if let Some(route) = self.routes.get_mut(&global) {
+                route.shard = target;
+                route.local = new_local;
+            }
+            self.placements.push(Placement {
+                global,
+                shard: target,
+                local: new_local,
+            });
+
+            let t_done = epoch_seconds();
+            let mut root = Span::wall("fleet.failover", Category::Serve, t0, t_done);
+            root.children
+                .push(Span::marker("fleet.restore", Category::Serve, floor));
+            root.children.push(Span::marker(
+                "fleet.replay",
+                Category::Serve,
+                suffix.len() as u64,
+            ));
+            self.traces.push(Trace {
+                key: StepKey {
+                    session: global,
+                    seq: cursor,
+                    step: cursor,
+                },
+                numeric_mode: self.cfg.numeric,
+                root,
+            });
+        }
+
+        let t1 = epoch_seconds();
+        self.stats.failovers += 1;
+        self.stats.failover_sessions += victims.len() as u64;
+        self.stats.replayed_updates += replayed_total;
+        Ok(FailoverReport {
+            dead,
+            sessions: victims.len() as u64,
+            replayed_updates: replayed_total,
+            recovery_wall_s: t1 - t0,
+        })
+    }
+
+    /// Asks every live shard to shut down once its in-flight work drains.
+    pub fn shutdown(&mut self) {
+        for conn in self.conns.values_mut() {
+            let _ = conn.call(&Request::Shutdown);
+        }
+    }
+}
+
+/// Reads a journal back and returns its update records as
+/// `(session, seq)` pairs plus the raw contents — the shape
+/// `supernova_analyze::validate_fleet_coverage` consumes.
+pub fn journal_update_pairs(path: &Path) -> Result<Vec<(u64, u64)>, FleetError> {
+    let contents = read_journal(path)?;
+    Ok(contents
+        .entries
+        .iter()
+        .filter_map(|e| match e {
+            JournalEntry::Update { session, seq, .. } => Some((*session, *seq)),
+            _ => None,
+        })
+        .collect())
+}

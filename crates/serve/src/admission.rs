@@ -26,6 +26,14 @@ pub enum AdmissionError {
     SessionClosing(SessionId),
     /// The server is shutting down.
     ShuttingDown,
+    /// The connection spoke an unsupported protocol version (or skipped
+    /// the hello handshake entirely).
+    ProtocolMismatch {
+        /// The version the client announced (`None`: no hello frame).
+        client: Option<u8>,
+        /// The version this server speaks.
+        supported: u8,
+    },
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -43,6 +51,16 @@ impl std::fmt::Display for AdmissionError {
             AdmissionError::UnknownSession(id) => write!(f, "{id} does not exist"),
             AdmissionError::SessionClosing(id) => write!(f, "{id} is closing"),
             AdmissionError::ShuttingDown => write!(f, "server is shutting down"),
+            AdmissionError::ProtocolMismatch { client, supported } => match client {
+                Some(v) => write!(
+                    f,
+                    "unsupported protocol version {v} (this server speaks {supported})"
+                ),
+                None => write!(
+                    f,
+                    "connection must open with a hello frame (protocol version {supported})"
+                ),
+            },
         }
     }
 }

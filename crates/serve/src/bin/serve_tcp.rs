@@ -15,141 +15,19 @@
 //! regenerates the identical step stream locally, so only indices and
 //! bit-exact poses cross the wire — never factors.
 //!
-//! Connections are handled one at a time (each may multiplex many
-//! sessions); a `Shutdown` request drains in-flight work and exits. A
-//! malformed frame closes the offending connection with an error
-//! response where possible; admission refusals are reported per-request
-//! and never kill the connection.
+//! Every connection opens with a version hello (protocol version 2);
+//! unsupported versions are refused with a typed error. Connections are
+//! handled one at a time (each may multiplex many sessions); a `Shutdown`
+//! request drains in-flight work and exits. A malformed frame closes the
+//! offending connection with an error response where possible; admission
+//! refusals are reported per-request and never kill the connection.
 
 use std::collections::BTreeMap;
-use std::io::BufWriter;
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 
-use supernova_datasets::{Dataset, OnlineStep};
-use supernova_factors::Key;
-use supernova_serve::protocol::{
-    recv_request, send_response, DatasetKind, Request, Response, WireError,
-};
-use supernova_serve::{AdmissionError, ServeConfig, Server, SessionId, UpdateRequest};
+use supernova_serve::service::{serve_connection, Replay};
+use supernova_serve::{ServeConfig, Server};
 use supernova_trace::{chrome_document_wall, TraceConfig};
-
-/// Server-side replay state of one session: the regenerated step stream
-/// and how far the client has pushed it.
-struct Replay {
-    steps: Vec<OnlineStep>,
-    cursor: usize,
-}
-
-fn generate(kind: DatasetKind, steps: u32, seed: u64) -> Dataset {
-    match kind {
-        DatasetKind::Manhattan => Dataset::manhattan_seeded(steps as usize, seed),
-        DatasetKind::Sphere => Dataset::sphere_seeded(steps as usize, seed),
-    }
-}
-
-/// Applies one request. Returns the response and whether the server
-/// should shut down after sending it.
-fn handle(server: &Server, replays: &mut BTreeMap<u64, Replay>, req: Request) -> (Response, bool) {
-    match req {
-        Request::CreateSession { kind, steps, seed } => match server.create_session() {
-            Ok(sid) => {
-                let ds = generate(kind, steps, seed);
-                replays.insert(
-                    sid.0,
-                    Replay {
-                        steps: ds.online_steps(),
-                        cursor: 0,
-                    },
-                );
-                (Response::Created { session: sid.0 }, false)
-            }
-            Err(e) => (Response::Error(e.to_string()), false),
-        },
-        Request::Submit {
-            session,
-            deadline,
-            count,
-        } => {
-            let Some(replay) = replays.get_mut(&session) else {
-                return (
-                    Response::Error(AdmissionError::UnknownSession(SessionId(session)).to_string()),
-                    false,
-                );
-            };
-            let mut accepted = 0u32;
-            let mut shed = 0u32;
-            for i in 0..count {
-                let Some(step) = replay.steps.get(replay.cursor) else {
-                    break; // the replayed trajectory is exhausted
-                };
-                replay.cursor += 1;
-                let req = UpdateRequest::new(
-                    deadline + u64::from(i),
-                    step.truth.clone(),
-                    step.factors.clone(),
-                );
-                match server.submit(SessionId(session), req) {
-                    Ok(()) => accepted += 1,
-                    Err(AdmissionError::QueueFull { .. }) => shed += 1,
-                    Err(e) => return (Response::Error(e.to_string()), false),
-                }
-            }
-            (Response::Submitted { accepted, shed }, false)
-        }
-        Request::QueryEstimate { session } => match server.estimate(SessionId(session)) {
-            Ok(values) => {
-                let vars = (0..values.len())
-                    .map(|i| values.get(Key(i)).clone())
-                    .collect();
-                (Response::Estimate(vars), false)
-            }
-            Err(e) => (Response::Error(e.to_string()), false),
-        },
-        Request::Close { session } => match server.close(SessionId(session)) {
-            Ok(report) => {
-                replays.remove(&session);
-                (
-                    Response::Closed {
-                        completed: report.completed,
-                        shed: report.shed,
-                    },
-                    false,
-                )
-            }
-            Err(e) => (Response::Error(e.to_string()), false),
-        },
-        Request::Shutdown => (Response::ShuttingDown, true),
-    }
-}
-
-/// Serves one connection until the peer hangs up or requests shutdown.
-/// Returns whether the whole server should stop.
-fn serve_connection(
-    stream: TcpStream,
-    server: &Server,
-    replays: &mut BTreeMap<u64, Replay>,
-) -> Result<bool, WireError> {
-    let mut reader = stream.try_clone()?;
-    let mut writer = BufWriter::new(stream);
-    loop {
-        let req = match recv_request(&mut reader) {
-            Ok(req) => req,
-            Err(WireError::Closed) => return Ok(false),
-            Err(WireError::Malformed(why)) => {
-                // Framing survives a bad payload; tell the peer and drop
-                // the connection (resync is not worth the complexity).
-                let _ = send_response(&mut writer, &Response::Error(format!("malformed: {why}")));
-                return Ok(false);
-            }
-            Err(e) => return Err(e),
-        };
-        let (rsp, stop) = handle(server, replays, req);
-        send_response(&mut writer, &rsp)?;
-        if stop {
-            return Ok(true);
-        }
-    }
-}
 
 fn main() {
     let mut addr = "127.0.0.1:7654".to_string();

@@ -1,0 +1,445 @@
+//! The `SNVC` session-checkpoint codec.
+//!
+//! A checkpoint serializes an [`EngineSnapshot`] — the engine's
+//! applied-update log plus a witness estimate — in the same style as the
+//! wire protocol: little-endian primitives, bit-exact pose encoding, and a
+//! decode path that returns typed errors on any malformed input instead of
+//! panicking. The update log is the ground truth;
+//! [`SolverEngine::restore`](supernova_solvers::SolverEngine::restore)
+//! replays it and verifies the rebuilt estimate against the witness, so a
+//! checkpoint that decodes but lies is still rejected.
+//!
+//! Only the factor kinds the datasets produce ([`PriorFactor`],
+//! [`BetweenFactor`]) are serializable; encoding any other factor is a
+//! typed [`CheckpointError::UnsupportedFactor`], never a silent drop.
+
+use std::sync::Arc;
+
+use supernova_factors::{BetweenFactor, Factor, Key, NoiseModel, PriorFactor};
+use supernova_linalg::NumericMode;
+use supernova_solvers::{EngineSnapshot, UpdateRecord};
+
+use crate::protocol::{decode_variable, encode_variable, put_f64, put_u32, put_u64, Cursor};
+
+/// Checkpoint magic: `SNVC`.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"SNVC";
+
+/// Checkpoint format version.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+/// Hard cap on serialized checkpoints (matches the wire frame cap: a
+/// checkpoint must fit in one `Restore`/`Snapshot` frame).
+pub const MAX_CHECKPOINT_BYTES: usize = crate::protocol::MAX_FRAME_BYTES;
+
+const FACTOR_PRIOR: u8 = 0;
+const FACTOR_BETWEEN: u8 = 1;
+
+/// Why checkpoint bytes could not be produced or understood.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The first four bytes are not `SNVC`.
+    BadMagic,
+    /// The format version is not one this build reads.
+    BadVersion(
+        /// The version found in the header.
+        u16,
+    ),
+    /// The numeric-mode byte names no known mode.
+    BadNumericMode(
+        /// The offending byte.
+        u8,
+    ),
+    /// A factor tag names no serializable factor kind.
+    BadFactorTag(
+        /// The offending byte.
+        u8,
+    ),
+    /// A noise model carried non-positive or non-finite weights.
+    BadNoise,
+    /// A factor's noise dimension disagrees with its measurement.
+    DimensionMismatch,
+    /// An element count implies more data than the buffer holds.
+    TooLarge,
+    /// The buffer is truncated or carries trailing/invalid bytes.
+    Malformed(
+        /// What the decoder tripped on.
+        &'static str,
+    ),
+    /// The snapshot holds a factor kind the codec cannot serialize.
+    UnsupportedFactor,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => f.write_str("not an SNVC checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::BadNumericMode(b) => write!(f, "unknown numeric-mode byte {b}"),
+            CheckpointError::BadFactorTag(b) => write!(f, "unknown factor tag {b}"),
+            CheckpointError::BadNoise => f.write_str("noise weights must be finite and positive"),
+            CheckpointError::DimensionMismatch => {
+                f.write_str("noise/measurement dimension mismatch")
+            }
+            CheckpointError::TooLarge => f.write_str("element count exceeds the buffer"),
+            CheckpointError::Malformed(why) => write!(f, "malformed checkpoint: {why}"),
+            CheckpointError::UnsupportedFactor => {
+                f.write_str("snapshot holds a non-serializable factor kind")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<crate::protocol::WireError> for CheckpointError {
+    fn from(e: crate::protocol::WireError) -> Self {
+        match e {
+            crate::protocol::WireError::Malformed(why) => CheckpointError::Malformed(why),
+            // A checkpoint decodes from an in-memory buffer; transport
+            // errors cannot occur, but the conversion must stay total.
+            _ => CheckpointError::Malformed("transport error in buffer decode"),
+        }
+    }
+}
+
+fn encode_noise(out: &mut Vec<u8>, noise: &NoiseModel) {
+    put_u32(out, noise.dim() as u32);
+    for w in noise.sqrt_info() {
+        put_f64(out, *w);
+    }
+    match noise.huber_k() {
+        None => out.push(0),
+        Some(k) => {
+            out.push(1);
+            put_f64(out, k);
+        }
+    }
+}
+
+fn decode_noise(cur: &mut Cursor<'_>) -> Result<NoiseModel, CheckpointError> {
+    let dim = cur.u32()? as usize;
+    if dim > cur.remaining() / 8 {
+        return Err(CheckpointError::TooLarge);
+    }
+    let mut sqrt_info = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        sqrt_info.push(cur.f64()?);
+    }
+    let huber = match cur.u8()? {
+        0 => None,
+        1 => Some(cur.f64()?),
+        _ => return Err(CheckpointError::Malformed("bad huber flag")),
+    };
+    NoiseModel::from_sqrt_info(sqrt_info, huber).ok_or(CheckpointError::BadNoise)
+}
+
+fn encode_factor(out: &mut Vec<u8>, factor: &dyn Factor) -> Result<(), CheckpointError> {
+    if let Some(prior) = factor.as_any().downcast_ref::<PriorFactor>() {
+        let &[key] = prior.keys() else {
+            return Err(CheckpointError::Malformed("prior factor key arity"));
+        };
+        out.push(FACTOR_PRIOR);
+        put_u64(out, key.0 as u64);
+        encode_variable(out, prior.prior());
+        encode_noise(out, prior.noise());
+        return Ok(());
+    }
+    if let Some(between) = factor.as_any().downcast_ref::<BetweenFactor>() {
+        let &[a, b] = between.keys() else {
+            return Err(CheckpointError::Malformed("between factor key arity"));
+        };
+        out.push(FACTOR_BETWEEN);
+        put_u64(out, a.0 as u64);
+        put_u64(out, b.0 as u64);
+        encode_variable(out, between.measured());
+        encode_noise(out, between.noise());
+        return Ok(());
+    }
+    Err(CheckpointError::UnsupportedFactor)
+}
+
+fn decode_factor(cur: &mut Cursor<'_>) -> Result<Arc<dyn Factor>, CheckpointError> {
+    match cur.u8()? {
+        FACTOR_PRIOR => {
+            let key = Key(cur.u64()? as usize);
+            let prior = decode_variable(cur)?;
+            let noise = decode_noise(cur)?;
+            // The constructor asserts dimension agreement; pre-validate so
+            // hostile bytes surface as a typed error, not a panic.
+            if noise.dim() != prior.dim() {
+                return Err(CheckpointError::DimensionMismatch);
+            }
+            Ok(Arc::new(PriorFactor::new(key, prior, noise)))
+        }
+        FACTOR_BETWEEN => {
+            let a = Key(cur.u64()? as usize);
+            let b = Key(cur.u64()? as usize);
+            let measured = decode_variable(cur)?;
+            let noise = decode_noise(cur)?;
+            if noise.dim() != measured.dim() {
+                return Err(CheckpointError::DimensionMismatch);
+            }
+            Ok(Arc::new(BetweenFactor::new(a, b, measured, noise)))
+        }
+        other => Err(CheckpointError::BadFactorTag(other)),
+    }
+}
+
+/// Serializes a snapshot to `SNVC` bytes.
+///
+/// # Errors
+///
+/// [`CheckpointError::UnsupportedFactor`] when the update log holds a
+/// factor kind the codec cannot represent, [`CheckpointError::TooLarge`]
+/// when the result would exceed [`MAX_CHECKPOINT_BYTES`].
+pub fn encode_snapshot(snapshot: &EngineSnapshot) -> Result<Vec<u8>, CheckpointError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    out.push(snapshot.numeric_mode.as_byte());
+    put_u64(&mut out, snapshot.plan_generation as u64);
+    put_u32(&mut out, snapshot.updates.len() as u32);
+    for rec in &snapshot.updates {
+        out.push(rec.level);
+        encode_variable(&mut out, &rec.initial);
+        put_u32(&mut out, rec.factors.len() as u32);
+        for f in &rec.factors {
+            encode_factor(&mut out, f.as_ref())?;
+        }
+    }
+    put_u32(&mut out, snapshot.estimate.len() as u32);
+    for v in &snapshot.estimate {
+        encode_variable(&mut out, v);
+    }
+    if out.len() > MAX_CHECKPOINT_BYTES {
+        return Err(CheckpointError::TooLarge);
+    }
+    Ok(out)
+}
+
+/// Parses `SNVC` bytes back into a snapshot.
+///
+/// # Errors
+///
+/// Any [`CheckpointError`]; the decode path never panics, whatever the
+/// bytes. A decoded snapshot still faces replay verification in
+/// [`SolverEngine::restore`](supernova_solvers::SolverEngine::restore).
+pub fn decode_snapshot(bytes: &[u8]) -> Result<EngineSnapshot, CheckpointError> {
+    if bytes.len() > MAX_CHECKPOINT_BYTES {
+        return Err(CheckpointError::TooLarge);
+    }
+    let mut cur = Cursor::new(bytes);
+    if cur.take(4)? != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u16::from_le_bytes([cur.u8()?, cur.u8()?]);
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let mode_byte = cur.u8()?;
+    let numeric_mode =
+        NumericMode::from_byte(mode_byte).map_err(CheckpointError::BadNumericMode)?;
+    let plan_generation = cur.u64()? as usize;
+    let update_count = cur.u32()? as usize;
+    // Each update is at least 6 bytes (level + variable tag + empty factor
+    // and component counts); reject counts the buffer cannot back.
+    if update_count > cur.remaining() / 6 {
+        return Err(CheckpointError::TooLarge);
+    }
+    let mut updates = Vec::with_capacity(update_count);
+    for _ in 0..update_count {
+        let level = cur.u8()?;
+        let initial = decode_variable(&mut cur)?;
+        let factor_count = cur.u32()? as usize;
+        if factor_count > cur.remaining() {
+            return Err(CheckpointError::TooLarge);
+        }
+        let mut factors = Vec::with_capacity(factor_count);
+        for _ in 0..factor_count {
+            factors.push(decode_factor(&mut cur)?);
+        }
+        updates.push(UpdateRecord {
+            level,
+            initial,
+            factors,
+        });
+    }
+    let estimate_count = cur.u32()? as usize;
+    if estimate_count > cur.remaining() {
+        return Err(CheckpointError::TooLarge);
+    }
+    let mut estimate = Vec::with_capacity(estimate_count);
+    for _ in 0..estimate_count {
+        estimate.push(decode_variable(&mut cur)?);
+    }
+    cur.done()?;
+    Ok(EngineSnapshot {
+        numeric_mode,
+        plan_generation,
+        updates,
+        estimate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supernova_factors::{Se2, Variable};
+
+    fn sample_snapshot() -> EngineSnapshot {
+        let prior: Arc<dyn Factor> = Arc::new(PriorFactor::se2(
+            Key(0),
+            Se2::new(0.0, 0.0, 0.0),
+            NoiseModel::isotropic(3, 0.1),
+        ));
+        let odom: Arc<dyn Factor> = Arc::new(BetweenFactor::se2(
+            Key(0),
+            Key(1),
+            Se2::new(1.0, 0.0, 0.1),
+            NoiseModel::from_sigmas(&[0.05, 0.05, 0.02]).with_huber(1.5),
+        ));
+        EngineSnapshot {
+            numeric_mode: NumericMode::F32F64,
+            plan_generation: 3,
+            updates: vec![
+                UpdateRecord {
+                    level: 0,
+                    initial: Variable::Se2(Se2::new(0.0, 0.0, 0.0)),
+                    factors: vec![prior],
+                },
+                UpdateRecord {
+                    level: 2,
+                    initial: Variable::Se2(Se2::new(1.0, 0.0, 0.1)),
+                    factors: vec![odom],
+                },
+            ],
+            estimate: vec![
+                Variable::Se2(Se2::new(0.0, 0.0, 0.0)),
+                Variable::Se2(Se2::new(1.0 / 3.0, -7.2e-9, 2.5)),
+            ],
+        }
+    }
+
+    fn assert_records_equal(a: &EngineSnapshot, b: &EngineSnapshot) {
+        assert_eq!(a.numeric_mode, b.numeric_mode);
+        assert_eq!(a.plan_generation, b.plan_generation);
+        assert_eq!(a.estimate, b.estimate);
+        assert_eq!(a.updates.len(), b.updates.len());
+        for (x, y) in a.updates.iter().zip(&b.updates) {
+            assert_eq!(x.level, y.level);
+            assert_eq!(x.initial, y.initial);
+            assert_eq!(x.factors.len(), y.factors.len());
+            for (f, g) in x.factors.iter().zip(&y.factors) {
+                assert_eq!(f.keys(), g.keys());
+                assert_eq!(f.noise().sqrt_info(), g.noise().sqrt_info());
+                assert_eq!(f.noise().huber_k(), g.noise().huber_k());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let snap = sample_snapshot();
+        let bytes = encode_snapshot(&snap).expect("encode");
+        assert_eq!(&bytes[..4], b"SNVC");
+        let back = decode_snapshot(&bytes).expect("decode");
+        assert_records_equal(&snap, &back);
+        // Idempotent: re-encoding the decoded snapshot is byte-identical.
+        assert_eq!(encode_snapshot(&back).expect("re-encode"), bytes);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_not_panicked() {
+        let bytes = encode_snapshot(&sample_snapshot()).expect("encode");
+        for n in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..n]).is_err(),
+                "prefix of {n} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected_or_roundtrips() {
+        // Flipping any one byte must never panic; it either fails typed or
+        // yields a snapshot (bit flips inside an f64 payload decode fine —
+        // replay verification catches those downstream).
+        let bytes = encode_snapshot(&sample_snapshot()).expect("encode");
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xA5;
+            let _ = decode_snapshot(&bad);
+        }
+    }
+
+    #[test]
+    fn header_violations_are_typed() {
+        let bytes = encode_snapshot(&sample_snapshot()).expect("encode");
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            decode_snapshot(&wrong_magic),
+            Err(CheckpointError::BadMagic)
+        ));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 0xEE;
+        assert!(matches!(
+            decode_snapshot(&wrong_version),
+            Err(CheckpointError::BadVersion(_))
+        ));
+        let mut wrong_mode = bytes.clone();
+        wrong_mode[6] = 0x7F;
+        assert!(matches!(
+            decode_snapshot(&wrong_mode),
+            Err(CheckpointError::BadNumericMode(0x7F))
+        ));
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(matches!(
+            decode_snapshot(&trailing),
+            Err(CheckpointError::Malformed("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn hostile_noise_and_dims_are_typed_errors() {
+        // A negative sqrt-info weight: flip the sign bit of the first
+        // noise weight. Locate it by decoding structure: simpler to build
+        // a snapshot whose noise weight sign we flip via raw bytes of a
+        // known constant is brittle; instead check from_sqrt_info's gate
+        // feeds through the decoder by constructing bytes directly.
+        let mut out = Vec::new();
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.push(NumericMode::F64.as_byte());
+        put_u64(&mut out, 0);
+        put_u32(&mut out, 1); // one update
+        out.push(0); // level
+        encode_variable(&mut out, &Variable::Vector(vec![1.0]));
+        put_u32(&mut out, 1); // one factor
+        out.push(FACTOR_PRIOR);
+        put_u64(&mut out, 0);
+        encode_variable(&mut out, &Variable::Vector(vec![1.0]));
+        // Noise: dim 1, weight -1.0 (invalid), no huber.
+        let mut bad_noise = out.clone();
+        put_u32(&mut bad_noise, 1);
+        put_f64(&mut bad_noise, -1.0);
+        bad_noise.push(0);
+        put_u32(&mut bad_noise, 0); // estimate count
+        assert!(matches!(
+            decode_snapshot(&bad_noise),
+            Err(CheckpointError::BadNoise)
+        ));
+        // Noise: dim 2 against a 1-D measurement.
+        let mut bad_dim = out;
+        put_u32(&mut bad_dim, 2);
+        put_f64(&mut bad_dim, 1.0);
+        put_f64(&mut bad_dim, 1.0);
+        bad_dim.push(0);
+        put_u32(&mut bad_dim, 0);
+        assert!(matches!(
+            decode_snapshot(&bad_dim),
+            Err(CheckpointError::DimensionMismatch)
+        ));
+    }
+}

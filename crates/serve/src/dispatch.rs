@@ -30,7 +30,7 @@ use supernova_factors::{Key, Values, Variable};
 use supernova_hw::Platform;
 use supernova_linalg::NumericMode;
 use supernova_runtime::{CostModel, SchedulerConfig};
-use supernova_solvers::{RaIsam2Config, SolverEngine};
+use supernova_solvers::{EngineSnapshot, RaIsam2Config, RestoreError, SolverEngine};
 use supernova_sparse::ParallelExecutor;
 use supernova_trace::{epoch_seconds, Category, StepKey, Trace, TraceConfig, Tracer};
 
@@ -145,6 +145,44 @@ impl DispatchSpan {
             start: self.start,
             end: self.end,
         }
+    }
+}
+
+/// Why a checkpoint could not be admitted as a new session.
+#[derive(Debug, PartialEq)]
+pub enum SessionRestoreError {
+    /// Admission refused the session (pool exhausted, shutting down).
+    Admission(AdmissionError),
+    /// Replay verification rejected the checkpoint.
+    Engine(RestoreError),
+    /// The checkpoint's numeric mode differs from the server's; restoring
+    /// it here could not be bit-identical to the original run.
+    NumericMode {
+        /// The mode this server's engines run under.
+        server: NumericMode,
+        /// The mode the checkpoint was taken under.
+        checkpoint: NumericMode,
+    },
+}
+
+impl std::fmt::Display for SessionRestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionRestoreError::Admission(e) => write!(f, "restore refused: {e}"),
+            SessionRestoreError::Engine(e) => write!(f, "restore rejected: {e}"),
+            SessionRestoreError::NumericMode { server, checkpoint } => write!(
+                f,
+                "numeric-mode mismatch: server runs {server:?}, checkpoint is {checkpoint:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionRestoreError {}
+
+impl From<AdmissionError> for SessionRestoreError {
+    fn from(e: AdmissionError) -> Self {
+        SessionRestoreError::Admission(e)
     }
 }
 
@@ -416,6 +454,104 @@ impl Server {
             shed: s.stats.shed(),
             stats: s.stats,
         })
+    }
+
+    /// Drains `session`, then captures its engine as a verified-replay
+    /// checkpoint (the migration/failover source side). The session stays
+    /// live and serviceable afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::UnknownSession`] if the session is not live.
+    pub fn snapshot_session(&self, session: SessionId) -> Result<EngineSnapshot, AdmissionError> {
+        self.drain(session)?;
+        let st = self.inner.state.lock().unwrap(); // lint: allow(unwrap)
+        let s = st
+            .registry
+            .get(session)
+            .ok_or(AdmissionError::UnknownSession(session))?;
+        // lint: allow(unwrap) — a drained session is not busy, so it holds its engine
+        Ok(s.engine
+            .as_ref()
+            .expect("drained session holds its engine") // lint: allow(unwrap)
+            .snapshot())
+    }
+
+    /// Opens a new session from a checkpoint (the migration/failover
+    /// target side): takes an engine from the pool, replays the
+    /// checkpoint's update log and verifies it against its witness. The
+    /// new session's sequence counter continues from the checkpoint's
+    /// update count, so journal seq numbers stay aligned across the move.
+    ///
+    /// # Errors
+    ///
+    /// Typed refusals per [`SessionRestoreError`]; on engine-replay
+    /// rejection the engine is reset and returned to the pool, and no
+    /// session is left behind.
+    pub fn restore_session(
+        &self,
+        snapshot: &EngineSnapshot,
+    ) -> Result<SessionId, SessionRestoreError> {
+        if snapshot.numeric_mode != self.inner.cfg.numeric {
+            return Err(SessionRestoreError::NumericMode {
+                server: self.inner.cfg.numeric,
+                checkpoint: snapshot.numeric_mode,
+            });
+        }
+        // Admit and register the session first, then replay outside the
+        // lock with the session marked busy — the same engine-out
+        // protocol the workers use, so concurrent create_session calls
+        // see a consistent pool and can never underflow it.
+        let (session, mut engine) = {
+            let mut st = self.inner.state.lock().unwrap(); // lint: allow(unwrap)
+            if st.shutdown {
+                return Err(AdmissionError::ShuttingDown.into());
+            }
+            let state = &mut *st;
+            state.admission.admit_create(&state.registry)?;
+            // lint: allow(unwrap) — admission caps live sessions at pool size
+            let engine = state.pool.pop().expect("engine pool underflow");
+            let session = state
+                .registry
+                .insert(engine, self.inner.cfg.max_degradation);
+            // lint: allow(unwrap) — inserted one line above
+            let s = state
+                .registry
+                .get_mut(session)
+                .expect("restoring session exists");
+            s.busy = true;
+            let engine = s.engine.take().expect("fresh session holds its engine"); // lint: allow(unwrap)
+            (session, engine)
+        };
+        let outcome = engine.restore(snapshot);
+        let mut st = self.inner.state.lock().unwrap(); // lint: allow(unwrap)
+        match outcome {
+            Ok(()) => {
+                // lint: allow(unwrap) — busy sessions cannot be removed
+                let s = st
+                    .registry
+                    .get_mut(session)
+                    .expect("busy session stays live");
+                s.engine = Some(engine);
+                s.busy = false;
+                let applied = snapshot.updates.len() as u64;
+                s.next_seq = applied;
+                s.completed = applied;
+                drop(st);
+                self.inner.idle_cv.notify_all();
+                Ok(session)
+            }
+            Err(e) => {
+                // Roll back: the session never served a request, so it can
+                // vanish without anyone observing it.
+                st.registry.remove(session);
+                engine.reset();
+                st.pool.push(engine);
+                drop(st);
+                self.inner.idle_cv.notify_all();
+                Err(SessionRestoreError::Engine(e))
+            }
+        }
     }
 
     /// The current degradation level.

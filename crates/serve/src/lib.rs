@@ -27,11 +27,12 @@
 //! [`ServerStats`] snapshots per-session latency percentiles (from
 //! [`Histogram`](supernova_metrics::Histogram)), queue depths, shed counts
 //! and the degradation histogram. The `serve_tcp` binary exposes the layer
-//! over a length-prefixed TCP protocol ([`protocol`]); `load_gen` replays
-//! seeded datasets as concurrent sessions and emits
-//! `results/BENCH_serve_throughput.json`; `serve_smoke` is the CI gate
-//! (solo-vs-served bit-identity, zero sheds at low rate, dispatcher span
-//! invariants).
+//! over a length-prefixed TCP protocol ([`protocol`]); `serve_smoke` is the
+//! CI gate (solo-vs-served bit-identity, zero sheds at low rate, dispatcher
+//! span invariants). The workspace load generator (`load_gen`, including
+//! the single-server nominal/overload scenarios behind
+//! `results/BENCH_serve_throughput.json`) lives in `supernova-fleet`,
+//! which layers shard routing and crash failover on top of this crate.
 //!
 //! # Example
 //!
@@ -55,12 +56,15 @@
 #![deny(missing_docs)]
 
 mod admission;
+pub mod checkpoint;
 mod dispatch;
 pub mod protocol;
+pub mod service;
 mod session;
 mod stats;
 
 pub use admission::{AdmissionController, AdmissionError};
-pub use dispatch::{DispatchSpan, ServeConfig, Server};
+pub use checkpoint::{decode_snapshot, encode_snapshot, CheckpointError};
+pub use dispatch::{DispatchSpan, ServeConfig, Server, SessionRestoreError};
 pub use session::{SessionCloseReport, SessionId, SessionRegistry, UpdateRequest};
 pub use stats::{ServerStats, SessionStats};

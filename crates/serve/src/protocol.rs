@@ -22,6 +22,13 @@ use supernova_linalg::Mat;
 /// length prefix must not convince the server to allocate unboundedly.
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
 
+/// The protocol version this build speaks. Version 2 added the
+/// [`Request::Hello`] handshake (the first frame every connection must
+/// send) and the [`Request::Snapshot`]/[`Request::Restore`] pair the fleet
+/// router uses for migration and failover. Servers refuse other versions
+/// with a typed admission error, never a decode panic.
+pub const PROTOCOL_VERSION: u8 = 2;
+
 /// Which seeded dataset a session replays.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DatasetKind {
@@ -32,14 +39,20 @@ pub enum DatasetKind {
 }
 
 impl DatasetKind {
-    fn code(self) -> u8 {
+    /// The kind's wire byte (also used by the fleet journal).
+    pub fn code(self) -> u8 {
         match self {
             DatasetKind::Manhattan => 0,
             DatasetKind::Sphere => 1,
         }
     }
 
-    fn from_code(b: u8) -> Result<Self, WireError> {
+    /// Decodes a wire byte back to a kind.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] on an unknown byte.
+    pub fn from_code(b: u8) -> Result<Self, WireError> {
         match b {
             0 => Ok(DatasetKind::Manhattan),
             1 => Ok(DatasetKind::Sphere),
@@ -51,6 +64,11 @@ impl DatasetKind {
 /// A client request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
+    /// Version handshake; must be the first frame on every connection.
+    Hello {
+        /// The protocol version the client speaks.
+        version: u8,
+    },
     /// Open a session replaying a seeded dataset.
     CreateSession {
         /// The generator family.
@@ -82,11 +100,36 @@ pub enum Request {
     },
     /// Stop the server once in-flight work drains.
     Shutdown,
+    /// Drain the session and return a checkpoint of its engine state plus
+    /// its replay descriptor (migration source side).
+    Snapshot {
+        /// The target session.
+        session: u64,
+    },
+    /// Recreate a session from a checkpoint (migration/failover target
+    /// side): the replay descriptor plus the serialized engine state.
+    Restore {
+        /// The generator family.
+        kind: DatasetKind,
+        /// Online steps in the replayed trajectory.
+        steps: u32,
+        /// Generator seed.
+        seed: u64,
+        /// Replay cursor: how many steps have already been submitted.
+        cursor: u64,
+        /// The serialized engine checkpoint (`SNVC` bytes).
+        checkpoint: Vec<u8>,
+    },
 }
 
 /// A server response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
+    /// The server accepted the handshake and states its own version.
+    Hello {
+        /// The protocol version the server speaks.
+        version: u8,
+    },
     /// The session was created.
     Created {
         /// Its id.
@@ -114,6 +157,22 @@ pub enum Response {
     },
     /// The server acknowledged `Shutdown` and will exit.
     ShuttingDown,
+    /// The drained session's checkpoint and replay descriptor.
+    Snapshot {
+        /// The generator family.
+        kind: DatasetKind,
+        /// Online steps in the replayed trajectory.
+        steps: u32,
+        /// Generator seed.
+        seed: u64,
+        /// Replay cursor: steps already submitted to the session.
+        cursor: u64,
+        /// Updates the engine has applied (equals the checkpoint's update
+        /// count; the journal-suffix floor for failover replay).
+        applied: u64,
+        /// The serialized engine checkpoint (`SNVC` bytes).
+        checkpoint: Vec<u8>,
+    },
     /// The request was refused or malformed.
     Error(
         /// Human-readable reason.
@@ -152,17 +211,17 @@ impl From<std::io::Error> for WireError {
 
 // --- primitive little-endian encoding ---------------------------------
 
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     at: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Cursor { buf, at: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let end = self
             .at
             .checked_add(n)
@@ -186,41 +245,48 @@ impl<'a> Cursor<'a> {
         Ok(a)
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         let [b] = self.take_arr::<1>()?;
         Ok(b)
     }
 
-    fn u32(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(self.take_arr::<4>()?))
     }
 
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         Ok(u64::from_le_bytes(self.take_arr::<8>()?))
     }
 
-    fn f64(&mut self) -> Result<f64, WireError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn done(&self) -> Result<(), WireError> {
+    pub(crate) fn done(&self) -> Result<(), WireError> {
         if self.at == self.buf.len() {
             Ok(())
         } else {
             Err(WireError::Malformed("trailing bytes"))
         }
     }
+
+    /// Bytes left in the buffer — lets callers sanity-check an element
+    /// count against the data that could actually back it before
+    /// pre-allocating.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.at)
+    }
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
@@ -267,7 +333,7 @@ pub fn encode_variable(out: &mut Vec<u8>, var: &Variable) {
     }
 }
 
-fn decode_variable(cur: &mut Cursor<'_>) -> Result<Variable, WireError> {
+pub(crate) fn decode_variable(cur: &mut Cursor<'_>) -> Result<Variable, WireError> {
     match cur.u8()? {
         VAR_SE2 => {
             let c = cur.f64()?;
@@ -315,12 +381,17 @@ const REQ_SUBMIT: u8 = 0x02;
 const REQ_ESTIMATE: u8 = 0x03;
 const REQ_CLOSE: u8 = 0x04;
 const REQ_SHUTDOWN: u8 = 0x05;
+const REQ_HELLO: u8 = 0x06;
+const REQ_SNAPSHOT: u8 = 0x07;
+const REQ_RESTORE: u8 = 0x08;
 
 const RSP_CREATED: u8 = 0x81;
 const RSP_SUBMITTED: u8 = 0x82;
 const RSP_ESTIMATE: u8 = 0x83;
 const RSP_CLOSED: u8 = 0x84;
 const RSP_SHUTTING_DOWN: u8 = 0x85;
+const RSP_HELLO: u8 = 0x86;
+const RSP_SNAPSHOT: u8 = 0x87;
 const RSP_ERROR: u8 = 0xFF;
 
 impl Request {
@@ -353,6 +424,29 @@ impl Request {
                 put_u64(&mut out, *session);
             }
             Request::Shutdown => out.push(REQ_SHUTDOWN),
+            Request::Hello { version } => {
+                out.push(REQ_HELLO);
+                out.push(*version);
+            }
+            Request::Snapshot { session } => {
+                out.push(REQ_SNAPSHOT);
+                put_u64(&mut out, *session);
+            }
+            Request::Restore {
+                kind,
+                steps,
+                seed,
+                cursor,
+                checkpoint,
+            } => {
+                out.push(REQ_RESTORE);
+                out.push(kind.code());
+                put_u32(&mut out, *steps);
+                put_u64(&mut out, *seed);
+                put_u64(&mut out, *cursor);
+                put_u32(&mut out, checkpoint.len() as u32);
+                out.extend_from_slice(checkpoint);
+            }
         }
         out
     }
@@ -383,6 +477,25 @@ impl Request {
                 session: cur.u64()?,
             },
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_HELLO => Request::Hello { version: cur.u8()? },
+            REQ_SNAPSHOT => Request::Snapshot {
+                session: cur.u64()?,
+            },
+            REQ_RESTORE => {
+                let kind = DatasetKind::from_code(cur.u8()?)?;
+                let steps = cur.u32()?;
+                let seed = cur.u64()?;
+                let cursor = cur.u64()?;
+                let n = cur.u32()? as usize;
+                let checkpoint = cur.take(n)?.to_vec();
+                Request::Restore {
+                    kind,
+                    steps,
+                    seed,
+                    cursor,
+                    checkpoint,
+                }
+            }
             _ => return Err(WireError::Malformed("unknown request tag")),
         };
         cur.done()?;
@@ -417,6 +530,27 @@ impl Response {
                 put_u64(&mut out, *shed);
             }
             Response::ShuttingDown => out.push(RSP_SHUTTING_DOWN),
+            Response::Hello { version } => {
+                out.push(RSP_HELLO);
+                out.push(*version);
+            }
+            Response::Snapshot {
+                kind,
+                steps,
+                seed,
+                cursor,
+                applied,
+                checkpoint,
+            } => {
+                out.push(RSP_SNAPSHOT);
+                out.push(kind.code());
+                put_u32(&mut out, *steps);
+                put_u64(&mut out, *seed);
+                put_u64(&mut out, *cursor);
+                put_u64(&mut out, *applied);
+                put_u32(&mut out, checkpoint.len() as u32);
+                out.extend_from_slice(checkpoint);
+            }
             Response::Error(msg) => {
                 out.push(RSP_ERROR);
                 put_u32(&mut out, msg.len() as u32);
@@ -458,6 +592,24 @@ impl Response {
                 shed: cur.u64()?,
             },
             RSP_SHUTTING_DOWN => Response::ShuttingDown,
+            RSP_HELLO => Response::Hello { version: cur.u8()? },
+            RSP_SNAPSHOT => {
+                let kind = DatasetKind::from_code(cur.u8()?)?;
+                let steps = cur.u32()?;
+                let seed = cur.u64()?;
+                let cursor = cur.u64()?;
+                let applied = cur.u64()?;
+                let n = cur.u32()? as usize;
+                let checkpoint = cur.take(n)?.to_vec();
+                Response::Snapshot {
+                    kind,
+                    steps,
+                    seed,
+                    cursor,
+                    applied,
+                    checkpoint,
+                }
+            }
             RSP_ERROR => {
                 let n = cur.u32()? as usize;
                 let bytes = cur.take(n)?;
@@ -569,10 +721,56 @@ mod tests {
             Request::QueryEstimate { session: 3 },
             Request::Close { session: 3 },
             Request::Shutdown,
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Request::Snapshot { session: 7 },
+            Request::Restore {
+                kind: DatasetKind::Manhattan,
+                steps: 40,
+                seed: 101,
+                cursor: 12,
+                checkpoint: vec![0x53, 0x4E, 0x56, 0x43, 9, 9],
+            },
         ];
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()).expect("round trip"), req);
         }
+    }
+
+    #[test]
+    fn v2_responses_round_trip() {
+        let rsps = [
+            Response::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Response::Snapshot {
+                kind: DatasetKind::Sphere,
+                steps: 30,
+                seed: 201,
+                cursor: 9,
+                applied: 9,
+                checkpoint: vec![1, 2, 3],
+            },
+        ];
+        for rsp in rsps {
+            assert_eq!(Response::decode(&rsp.encode()).expect("round trip"), rsp);
+        }
+        // Truncated checkpoint payloads are rejected, not panicked.
+        let mut enc = Response::Snapshot {
+            kind: DatasetKind::Sphere,
+            steps: 30,
+            seed: 201,
+            cursor: 9,
+            applied: 9,
+            checkpoint: vec![1, 2, 3],
+        }
+        .encode();
+        enc.pop();
+        assert!(matches!(
+            Response::decode(&enc),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! The replay-serving session service: the request handler and
+//! connection loop shared by the `serve_tcp` binary and the fleet shard
+//! harness.
+//!
+//! Every connection must open with a [`Request::Hello`] naming the
+//! protocol version; any other first frame — or an unsupported version —
+//! is refused with a typed [`AdmissionError::ProtocolMismatch`] rendered
+//! as an error response, and the connection closes. Decode failures never
+//! panic the server.
+
+use std::collections::BTreeMap;
+use std::io::BufWriter;
+use std::net::TcpStream;
+
+use supernova_datasets::{Dataset, OnlineStep};
+use supernova_factors::Key;
+
+use crate::checkpoint::{decode_snapshot, encode_snapshot};
+use crate::protocol::{
+    recv_request, send_response, DatasetKind, Request, Response, WireError, PROTOCOL_VERSION,
+};
+use crate::{AdmissionError, Server, SessionId, UpdateRequest};
+
+/// Server-side replay state of one session: its generator descriptor, the
+/// regenerated step stream, and how far the client has pushed it.
+pub struct Replay {
+    /// The generator family.
+    pub kind: DatasetKind,
+    /// Online steps in the full replayed trajectory.
+    pub total_steps: u32,
+    /// Generator seed.
+    pub seed: u64,
+    /// The regenerated step stream.
+    pub steps: Vec<OnlineStep>,
+    /// Steps already submitted into the session's queue.
+    pub cursor: usize,
+}
+
+/// Regenerates the dataset a session replays.
+pub fn generate(kind: DatasetKind, steps: u32, seed: u64) -> Dataset {
+    match kind {
+        DatasetKind::Manhattan => Dataset::manhattan_seeded(steps as usize, seed),
+        DatasetKind::Sphere => Dataset::sphere_seeded(steps as usize, seed),
+    }
+}
+
+/// Applies one request. Returns the response and whether the server
+/// should shut down after sending it.
+pub fn handle(
+    server: &Server,
+    replays: &mut BTreeMap<u64, Replay>,
+    req: Request,
+) -> (Response, bool) {
+    match req {
+        Request::Hello { .. } => (
+            // Version agreement was checked at connection open; a repeated
+            // hello is an idempotent no-op.
+            Response::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            false,
+        ),
+        Request::CreateSession { kind, steps, seed } => match server.create_session() {
+            Ok(sid) => {
+                let ds = generate(kind, steps, seed);
+                replays.insert(
+                    sid.0,
+                    Replay {
+                        kind,
+                        total_steps: steps,
+                        seed,
+                        steps: ds.online_steps(),
+                        cursor: 0,
+                    },
+                );
+                (Response::Created { session: sid.0 }, false)
+            }
+            Err(e) => (Response::Error(e.to_string()), false),
+        },
+        Request::Submit {
+            session,
+            deadline,
+            count,
+        } => {
+            let Some(replay) = replays.get_mut(&session) else {
+                return (
+                    Response::Error(AdmissionError::UnknownSession(SessionId(session)).to_string()),
+                    false,
+                );
+            };
+            let mut accepted = 0u32;
+            let mut shed = 0u32;
+            for i in 0..count {
+                let Some(step) = replay.steps.get(replay.cursor) else {
+                    break; // the replayed trajectory is exhausted
+                };
+                replay.cursor += 1;
+                let req = UpdateRequest::new(
+                    deadline + u64::from(i),
+                    step.truth.clone(),
+                    step.factors.clone(),
+                );
+                match server.submit(SessionId(session), req) {
+                    Ok(()) => accepted += 1,
+                    Err(AdmissionError::QueueFull { .. }) => shed += 1,
+                    Err(e) => return (Response::Error(e.to_string()), false),
+                }
+            }
+            (Response::Submitted { accepted, shed }, false)
+        }
+        Request::QueryEstimate { session } => match server.estimate(SessionId(session)) {
+            Ok(values) => {
+                let vars = (0..values.len())
+                    .map(|i| values.get(Key(i)).clone())
+                    .collect();
+                (Response::Estimate(vars), false)
+            }
+            Err(e) => (Response::Error(e.to_string()), false),
+        },
+        Request::Close { session } => match server.close(SessionId(session)) {
+            Ok(report) => {
+                replays.remove(&session);
+                (
+                    Response::Closed {
+                        completed: report.completed,
+                        shed: report.shed,
+                    },
+                    false,
+                )
+            }
+            Err(e) => (Response::Error(e.to_string()), false),
+        },
+        Request::Shutdown => (Response::ShuttingDown, true),
+        Request::Snapshot { session } => {
+            let Some(replay) = replays.get(&session) else {
+                return (
+                    Response::Error(AdmissionError::UnknownSession(SessionId(session)).to_string()),
+                    false,
+                );
+            };
+            match server.snapshot_session(SessionId(session)) {
+                Ok(snap) => match encode_snapshot(&snap) {
+                    Ok(bytes) => (
+                        Response::Snapshot {
+                            kind: replay.kind,
+                            steps: replay.total_steps,
+                            seed: replay.seed,
+                            cursor: replay.cursor as u64,
+                            applied: snap.updates.len() as u64,
+                            checkpoint: bytes,
+                        },
+                        false,
+                    ),
+                    Err(e) => (Response::Error(format!("checkpoint encode: {e}")), false),
+                },
+                Err(e) => (Response::Error(e.to_string()), false),
+            }
+        }
+        Request::Restore {
+            kind,
+            steps,
+            seed,
+            cursor,
+            checkpoint,
+        } => {
+            let snap = match decode_snapshot(&checkpoint) {
+                Ok(snap) => snap,
+                Err(e) => return (Response::Error(format!("checkpoint rejected: {e}")), false),
+            };
+            let ds = generate(kind, steps, seed);
+            let all = ds.online_steps();
+            if cursor as usize > all.len() || (snap.updates.len() as u64) > cursor {
+                return (
+                    Response::Error(format!(
+                        "checkpoint rejected: cursor {cursor} inconsistent with {} applied \
+                         updates over a {}-step trajectory",
+                        snap.updates.len(),
+                        all.len()
+                    )),
+                    false,
+                );
+            }
+            match server.restore_session(&snap) {
+                Ok(sid) => {
+                    replays.insert(
+                        sid.0,
+                        Replay {
+                            kind,
+                            total_steps: steps,
+                            seed,
+                            steps: all,
+                            cursor: cursor as usize,
+                        },
+                    );
+                    (Response::Created { session: sid.0 }, false)
+                }
+                Err(e) => (Response::Error(e.to_string()), false),
+            }
+        }
+    }
+}
+
+/// Serves one connection until the peer hangs up or requests shutdown.
+/// Returns whether the whole server should stop.
+///
+/// # Errors
+///
+/// Transport errors only; protocol violations (bad hello, malformed
+/// frames) are answered with an error response and a clean `Ok(false)`.
+pub fn serve_connection(
+    stream: TcpStream,
+    server: &Server,
+    replays: &mut BTreeMap<u64, Replay>,
+) -> Result<bool, WireError> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+    let mut hello_done = false;
+    loop {
+        let req = match recv_request(&mut reader) {
+            Ok(req) => req,
+            Err(WireError::Closed) => return Ok(false),
+            Err(WireError::Malformed(why)) => {
+                // Framing survives a bad payload; tell the peer and drop
+                // the connection (resync is not worth the complexity).
+                let _ = send_response(&mut writer, &Response::Error(format!("malformed: {why}")));
+                return Ok(false);
+            }
+            Err(e) => return Err(e),
+        };
+        if !hello_done {
+            let client = match req {
+                Request::Hello { version } => Some(version),
+                _ => None,
+            };
+            if client != Some(PROTOCOL_VERSION) {
+                let refusal = AdmissionError::ProtocolMismatch {
+                    client,
+                    supported: PROTOCOL_VERSION,
+                };
+                let _ = send_response(&mut writer, &Response::Error(refusal.to_string()));
+                return Ok(false);
+            }
+            hello_done = true;
+        }
+        let (rsp, stop) = handle(server, replays, req);
+        send_response(&mut writer, &rsp)?;
+        if stop {
+            return Ok(true);
+        }
+    }
+}

@@ -74,6 +74,10 @@ impl Factor for RemappedFactor {
         &self.keys
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn noise(&self) -> &NoiseModel {
         self.inner.noise()
     }

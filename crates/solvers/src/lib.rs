@@ -50,5 +50,5 @@ pub use fixed_lag::{FixedLagConfig, FixedLagSmoother};
 pub use isam2::{Isam2, Isam2Config};
 pub use local_global::{LocalGlobal, LocalGlobalConfig};
 pub use ra_isam2::{RaIsam2, RaIsam2Config};
-pub use solver_engine::SolverEngine;
+pub use solver_engine::{EngineSnapshot, RestoreError, SolverEngine, UpdateRecord};
 pub use traits::OnlineSolver;

@@ -23,6 +23,72 @@ use supernova_trace::{Category, Span, SpanGuard, TraceConfig};
 
 use crate::{OnlineSolver, RaIsam2, RaIsam2Config};
 
+/// One applied online update, as recorded by the engine's always-on log:
+/// everything a replay needs to reproduce the step bit-for-bit, including
+/// the budget degradation level the step actually ran under (degradation
+/// changes relinearization selection, so replaying at a different level
+/// would diverge).
+#[derive(Clone, Debug)]
+pub struct UpdateRecord {
+    /// Budget degradation level the step ran under.
+    pub level: u8,
+    /// The new pose's initial guess.
+    pub initial: Variable,
+    /// The step's factors (shared, not deep-copied).
+    pub factors: Vec<Arc<dyn Factor>>,
+}
+
+/// A verified-replay checkpoint of a live engine: the full applied-update
+/// log plus a witness estimate. [`SolverEngine::restore`] replays the log
+/// on a reset engine — which PR 2's determinism machinery proves
+/// bit-identical to the original run — then checks the rebuilt estimate
+/// against the witness, so a corrupt or mismatched checkpoint is a typed
+/// error, never a silently wrong map.
+#[derive(Clone, Debug)]
+pub struct EngineSnapshot {
+    /// Numeric precision the session's kernels ran under.
+    pub numeric_mode: NumericMode,
+    /// Plan-cache generation at snapshot time (informational; replay
+    /// rebuilds the plan cache deterministically).
+    pub plan_generation: usize,
+    /// Every update applied since the engine was (re)set, in order.
+    pub updates: Vec<UpdateRecord>,
+    /// Witness: the pose estimates at snapshot time, one per pose.
+    pub estimate: Vec<Variable>,
+}
+
+/// Why a checkpoint could not be restored.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RestoreError {
+    /// Replay produced a different number of poses than the witness.
+    PoseCount {
+        /// Poses in the checkpoint witness.
+        expected: usize,
+        /// Poses after replaying the update log.
+        got: usize,
+    },
+    /// A replayed pose estimate differs from the checkpoint witness.
+    EstimateMismatch {
+        /// Index of the first diverging pose.
+        pose: usize,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::PoseCount { expected, got } => {
+                write!(f, "replay produced {got} poses, checkpoint has {expected}")
+            }
+            RestoreError::EstimateMismatch { pose } => {
+                write!(f, "replayed estimate diverges from witness at pose {pose}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// A recyclable RA-ISAM2 instance for the serving layer's engine pool.
 pub struct SolverEngine {
     solver: RaIsam2,
@@ -31,6 +97,7 @@ pub struct SolverEngine {
     trace_cfg: TraceConfig,
     trace_hw: Option<(Platform, SchedulerConfig)>,
     last_span: Option<Span>,
+    log: Vec<UpdateRecord>,
 }
 
 impl std::fmt::Debug for SolverEngine {
@@ -53,6 +120,7 @@ impl SolverEngine {
             trace_cfg: TraceConfig::default(),
             trace_hw: None,
             last_span: None,
+            log: Vec::new(),
         }
     }
 
@@ -115,6 +183,11 @@ impl SolverEngine {
     /// factors), under the engine's current budget degradation.
     pub fn step(&mut self, initial: Variable, factors: Vec<Arc<dyn Factor>>) -> StepTrace {
         self.steps += 1;
+        self.log.push(UpdateRecord {
+            level: self.solver.budget().degradation(),
+            initial: initial.clone(),
+            factors: factors.clone(),
+        });
         if !self.trace_cfg.enabled {
             return self.solver.step(initial, factors);
         }
@@ -230,6 +303,63 @@ impl SolverEngine {
         self.steps = 0;
         self.generation += 1;
         self.last_span = None;
+        self.log.clear();
+    }
+
+    /// How many times the solver's plan cache has been (re)built.
+    pub fn plan_generation(&self) -> usize {
+        self.solver.core().plan_generation()
+    }
+
+    /// Captures the session as a verified-replay checkpoint: the full
+    /// applied-update log (with per-step degradation levels) plus the
+    /// current pose estimates as a witness.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            numeric_mode: self.numeric_mode(),
+            plan_generation: self.plan_generation(),
+            updates: self.log.clone(),
+            estimate: (0..self.num_poses())
+                .map(|i| self.pose_estimate(Key(i)))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a session from a checkpoint by resetting the engine and
+    /// replaying the update log under the checkpoint's numeric mode and
+    /// per-step degradation levels, then verifies the rebuilt estimate
+    /// against the checkpoint witness. On error the engine is left reset
+    /// (safe to return to the pool); on success the update log, step
+    /// counter and estimates match the snapshotted engine exactly, so
+    /// subsequent steps are bit-identical to the uninterrupted run.
+    pub fn restore(&mut self, snapshot: &EngineSnapshot) -> Result<(), RestoreError> {
+        self.reset();
+        self.set_numeric_mode(snapshot.numeric_mode);
+        // Replay without span emission: restore is one logical operation,
+        // not N traced steps (the caller wraps it in a fleet.restore span).
+        let trace_cfg = self.trace_cfg;
+        self.trace_cfg = TraceConfig::off();
+        for rec in &snapshot.updates {
+            self.set_degradation(rec.level);
+            self.step(rec.initial.clone(), rec.factors.clone());
+        }
+        self.trace_cfg = trace_cfg;
+        self.last_span = None;
+        if self.num_poses() != snapshot.estimate.len() {
+            let got = self.num_poses();
+            self.reset();
+            return Err(RestoreError::PoseCount {
+                expected: snapshot.estimate.len(),
+                got,
+            });
+        }
+        for (i, want) in snapshot.estimate.iter().enumerate() {
+            if self.pose_estimate(Key(i)) != *want {
+                self.reset();
+                return Err(RestoreError::EstimateMismatch { pose: i });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -296,6 +426,70 @@ mod tests {
         e.reset();
         assert_eq!(e.budget().degradation(), 0);
         assert_eq!(e.last_selected_deferred(), (0, 0));
+    }
+
+    #[test]
+    fn snapshot_restore_replay_is_bit_identical() {
+        // Run a session to step k, snapshot, keep running to the end; a
+        // second engine restored from the checkpoint and fed the same
+        // remaining steps must agree bit-for-bit, including under
+        // mid-run degradation changes (the log records per-step levels).
+        let ds = Dataset::manhattan_seeded(30, 9);
+        let steps = ds.online_steps();
+
+        let mut solo = engine();
+        for (i, step) in steps.iter().enumerate() {
+            solo.set_degradation(u8::from(i % 3 == 0));
+            solo.step(step.truth.clone(), step.factors.clone());
+        }
+
+        let mut interrupted = engine();
+        for (i, step) in steps.iter().take(18).enumerate() {
+            interrupted.set_degradation(u8::from(i % 3 == 0));
+            interrupted.step(step.truth.clone(), step.factors.clone());
+        }
+        let snap = interrupted.snapshot();
+        assert_eq!(snap.updates.len(), 18);
+        assert_eq!(snap.estimate.len(), interrupted.num_poses());
+
+        let mut restored = engine();
+        restored.restore(&snap).expect("restore");
+        assert_eq!(restored.steps(), 18);
+        for (i, step) in steps.iter().enumerate().skip(18) {
+            restored.set_degradation(u8::from(i % 3 == 0));
+            restored.step(step.truth.clone(), step.factors.clone());
+        }
+
+        let est_solo: Vec<Variable> = (0..solo.num_poses())
+            .map(|i| solo.pose_estimate(Key(i)))
+            .collect();
+        let est_restored: Vec<Variable> = (0..restored.num_poses())
+            .map(|i| restored.pose_estimate(Key(i)))
+            .collect();
+        assert_eq!(est_solo, est_restored, "restored run diverged");
+        assert_eq!(solo.numeric_bytes(), restored.numeric_bytes());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_witness() {
+        let ds = Dataset::manhattan_seeded(12, 4);
+        let mut e = engine();
+        for step in &ds.online_steps() {
+            e.step(step.truth.clone(), step.factors.clone());
+        }
+        let mut snap = e.snapshot();
+        // Tamper with the witness: restore must fail typed, and leave the
+        // engine reset (safe to recycle).
+        let n = snap.estimate.len();
+        snap.estimate[n - 1] = Variable::Se2(supernova_factors::Se2::new(1e9, 0.0, 0.0));
+        let mut r = engine();
+        let err = r.restore(&snap).expect_err("tampered witness accepted");
+        assert!(matches!(err, RestoreError::EstimateMismatch { .. }));
+        assert_eq!(r.num_poses(), 0);
+
+        snap.estimate.pop();
+        let err = r.restore(&snap).expect_err("short witness accepted");
+        assert!(matches!(err, RestoreError::PoseCount { .. }));
     }
 
     #[test]

@@ -20,10 +20,14 @@
 #   numeric-ape  per-mode trajectory accuracy: narrow-mode APE gated
 #                against f64-mode APE, artifact at results/numeric_ape.json
 #   serve-smoke  serving layer: bit-identity, overload, trace cross-check
+#   fleet-smoke  fleet layer: shard routing, live migration, kill-a-shard
+#                failover (bit-identity, zero-loss journal coverage,
+#                fleet trace shapes, clean journals)
 #   kernel-bench regenerate results/BENCH_kernels.json (blocked vs
 #                reference dense-kernel throughput; gated on the
 #                in-process speedup ratio, which is host-noise immune)
-#   bench        regenerate results/BENCH_*.json (step_bench + load_gen)
+#   bench        regenerate results/BENCH_*.json (step_bench + load_gen,
+#                including the fleet failover drill)
 #   bench-check  compare fresh benchmarks against results/baselines/
 #
 # No network access required — the workspace has no external dependencies
@@ -71,7 +75,8 @@ build_all() {
 
 bench_regen() {
     cargo run --release -q -p supernova-bench --features bench-harness --bin step_bench
-    cargo run --release -q -p supernova-serve --bin load_gen >/dev/null
+    cargo run --release -q -p supernova-fleet --bin load_gen >/dev/null
+    cargo run --release -q -p supernova-fleet --bin load_gen -- --fleet >/dev/null
 }
 
 stage fmt cargo fmt --all --check
@@ -87,6 +92,7 @@ stage static-analysis static_analysis
 stage determinism cargo run --release -q -p supernova-bench --bin determinism
 stage numeric-ape cargo run --release -q -p supernova-bench --bin numeric_ape
 stage serve-smoke cargo run --release -q -p supernova-serve --bin serve_smoke
+stage fleet-smoke cargo run --release -q -p supernova-fleet --bin fleet_smoke
 stage kernel-bench cargo run --release -q -p supernova-bench --features bench-harness --bin kernel_bench
 stage bench bench_regen
 stage bench-check cargo run --release -q -p supernova-bench --bin bench_check
