@@ -49,5 +49,8 @@ pub use validate::{
     validate_dispatch, validate_energy, validate_exec, validate_host_schedule, validate_step,
     DispatchRecord, Invariant, ScheduleViolation,
 };
-pub use validate_fleet::{validate_fleet_coverage, FleetJournalEntry};
+pub use validate_fleet::{
+    validate_checkpoint_bounds, validate_fleet_coverage, validate_fleet_coverage_with_floors,
+    FleetJournalEntry, FleetSessionFloor,
+};
 pub use validate_trace::{validate_trace, validate_trace_dispatch};

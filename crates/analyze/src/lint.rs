@@ -30,10 +30,10 @@
 //!   modules that own time (the trace epoch clock and the plan executor's
 //!   schedule stamping) — ambient wall-clock reads are determinism hazards
 //!   everywhere else.
-//! - **lock-order**: ranked mutexes (serve dispatcher state < executor
-//!   ready queue < executor workspace pool) must be acquired in strictly
-//!   increasing rank order, so cross-layer deadlocks are impossible by
-//!   construction.
+//! - **lock-order**: ranked mutexes (fleet router < serve dispatcher
+//!   state < executor ready queue < executor workspace pool) must be
+//!   acquired in strictly increasing rank order, so cross-layer deadlocks
+//!   are impossible by construction.
 //!
 //! Any finding can opt out with `// lint: allow(<rule>)` on the same line,
 //! on the line directly above, or on either of those positions relative to
@@ -186,12 +186,16 @@ const FLOAT_EQ_SCOPES: [&str; 2] = ["crates/linalg/src", "crates/sparse/src"];
 /// - the plan executor's pool (bit-identical by fixed child-order merges;
 ///   `scripts/ci.sh`'s `determinism` gate);
 /// - the serving layer's session dispatcher (per-session exclusivity makes
-///   results interleaving-independent; the `serve_smoke` gate).
+///   results interleaving-independent; the `serve_smoke` gate);
+/// - the fleet front door's per-connection handlers (every request
+///   serializes through the single ranked `router` mutex, so connection
+///   interleaving cannot reorder router state transitions).
 ///
 /// Everywhere else, host parallelism must go through one of these.
-const THREAD_SPAWN_ALLOWLIST: [&str; 2] = [
+const THREAD_SPAWN_ALLOWLIST: [&str; 3] = [
     "crates/sparse/src/executor.rs",
     "crates/serve/src/dispatch.rs",
+    "crates/fleet/src/bin/fleet_router.rs",
 ];
 // (The fleet shard harness's accept thread carries a per-site
 // `lint: allow(thread-spawn)` instead of a scope entry: one thread, one
@@ -217,13 +221,14 @@ const HOT_ALLOC_FN_SCOPES: [(&str, &str); 1] = [("crates/sparse/src/numeric.rs",
 /// decoder. Malformed input reaches these from outside the process, so
 /// `unwrap`/`expect`/`panic!`/`unreachable!`/slice indexing must not
 /// appear — decode errors surface as `Result`s.
-const PANIC_PATH_SCOPES: [&str; 6] = [
+const PANIC_PATH_SCOPES: [&str; 7] = [
     "crates/serve/src/protocol.rs",
     "crates/serve/src/checkpoint.rs",
     "crates/serve/src/service.rs",
     "crates/serve/src/bin/serve_tcp.rs",
     "crates/trace/src/binary.rs",
     "crates/fleet/src/journal.rs",
+    "crates/fleet/src/state.rs",
 ];
 
 /// The only modules allowed to read the wall clock: the process-global
@@ -236,13 +241,16 @@ const WALL_CLOCK_ALLOWLIST: [&str; 2] =
 /// Declared mutex ranks, `(file, binding name, rank)`. Ranked locks must
 /// be acquired in strictly increasing rank order; acquiring a rank while
 /// holding an equal or higher one is flagged. The declared order is the
-/// call-graph order serve → executor: the dispatcher's session state may
-/// be held while dispatching into the executor (which takes its ready
-/// queue, then its workspace pool), never the reverse.
-const LOCK_RANKS: [(&str, &str, u32); 3] = [
-    ("crates/serve/src/dispatch.rs", "state", 0),
-    ("crates/sparse/src/executor.rs", "ready", 1),
-    ("crates/sparse/src/executor.rs", "pool", 2),
+/// call-graph order fleet front door → serve → executor: a connection
+/// thread holds the fleet router mutex while the router dispatches into a
+/// shard, whose dispatcher may hold its session state while dispatching
+/// into the executor (which takes its ready queue, then its workspace
+/// pool) — never any of the reverses.
+const LOCK_RANKS: [(&str, &str, u32); 4] = [
+    ("crates/fleet/src/bin/fleet_router.rs", "router", 0),
+    ("crates/serve/src/dispatch.rs", "state", 1),
+    ("crates/sparse/src/executor.rs", "ready", 2),
+    ("crates/sparse/src/executor.rs", "pool", 3),
 ];
 
 /// Allocation-shaped constructs the hot-alloc rule flags. Method-call

@@ -17,10 +17,33 @@
 //! re-journals the replayed suffix into the survivor's journal, and the
 //! dead shard may have dispatched part of that suffix before dying, so
 //! duplicates on either side are expected and benign.
+//!
+//! **Checkpoint floors.** Once the router checkpoints a session (and
+//! journals the floor record), journal *compaction* may drop the
+//! session's update records below the floor, and a clean close drops the
+//! whole history behind a tombstone witness. The durable floor then
+//! accounts for the missing prefix: the dispatch ledger still names
+//! those seqs, but durability for them is the checkpoint, not the
+//! journal. [`validate_fleet_coverage_with_floors`] takes the per-session
+//! floors (checkpoint records and tombstone seqs, max per session) and
+//! relaxes exactly the two checks the floor licenses — nothing about the
+//! *lost-update* direction changes, because a journaled record without a
+//! dispatch is a hole no checkpoint can excuse.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::validate::{Invariant, ScheduleViolation};
+
+/// One durable per-session floor witness: the session has a checkpoint
+/// (or clean-close tombstone) covering every update below `floor`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FleetSessionFloor {
+    /// Fleet-global session id.
+    pub session: u64,
+    /// Updates below this seq are durably covered without journal
+    /// records.
+    pub floor: u64,
+}
 
 /// One `(session, seq)` admission or dispatch event, in fleet-global
 /// session numbering. (Restored sessions keep their global seq numbering
@@ -42,9 +65,37 @@ pub fn validate_fleet_coverage(
     journaled: &[FleetJournalEntry],
     dispatched: &[FleetJournalEntry],
 ) -> Vec<ScheduleViolation> {
+    validate_fleet_coverage_with_floors(journaled, &[], dispatched)
+}
+
+/// [`validate_fleet_coverage`] for a fleet running checkpoints and
+/// journal compaction: `floors` carries the durable per-session floor
+/// witnesses (checkpoint-floor records plus close-tombstone seqs; the
+/// per-session maximum wins). The floor licenses exactly two
+/// relaxations:
+///
+/// - a **dispatched** pair with `seq < floor` needs no journal record
+///   (compaction dropped it; the checkpoint is its durability);
+/// - the journaled seqs only need to be **contiguous from their minimum**,
+///   and that minimum must sit at or below the floor (so checkpoint +
+///   suffix still covers the whole admission prefix).
+///
+/// A *journaled* record no shard dispatched is still a lost update —
+/// checkpoints never excuse that direction.
+pub fn validate_fleet_coverage_with_floors(
+    journaled: &[FleetJournalEntry],
+    floors: &[FleetSessionFloor],
+    dispatched: &[FleetJournalEntry],
+) -> Vec<ScheduleViolation> {
     let mut out = Vec::new();
     let journaled: BTreeSet<FleetJournalEntry> = journaled.iter().copied().collect();
     let dispatched: BTreeSet<FleetJournalEntry> = dispatched.iter().copied().collect();
+    let mut floor_of: BTreeMap<u64, u64> = BTreeMap::new();
+    for f in floors {
+        let slot = floor_of.entry(f.session).or_insert(0);
+        *slot = (*slot).max(f.floor);
+    }
+    let floor = |session: u64| floor_of.get(&session).copied().unwrap_or(0);
 
     for lost in journaled.difference(&dispatched) {
         out.push(ScheduleViolation {
@@ -57,38 +108,78 @@ pub fn validate_fleet_coverage(
         });
     }
     for phantom in dispatched.difference(&journaled) {
+        if phantom.seq < floor(phantom.session) {
+            continue; // below the durable floor: checkpoint covers it
+        }
         out.push(ScheduleViolation {
             invariant: Invariant::Coverage,
             detail: format!(
                 "unjournaled dispatch: session {} seq {} ran on a shard but no journal \
-                 records its admission",
+                 records its admission (and no checkpoint floor covers it)",
                 phantom.session, phantom.seq
             ),
         });
     }
 
-    // Per-session contiguity from 0 over the journaled union.
+    // Per-session contiguity over the journaled union: from 0, or from a
+    // minimum at or below the session's durable floor.
     let mut expect: Option<(u64, u64)> = None; // (session, next seq)
     for e in &journaled {
-        let next = match expect {
-            Some((s, n)) if s == e.session => n,
-            _ => 0,
-        };
-        if e.seq != next {
-            out.push(ScheduleViolation {
-                invariant: Invariant::Coverage,
-                detail: format!(
-                    "session {}: journaled seqs jump from {} to {} (admission record is \
-                     not a contiguous prefix)",
-                    e.session,
-                    next.wrapping_sub(1),
-                    e.seq
-                ),
-            });
+        match expect {
+            Some((s, next)) if s == e.session => {
+                if e.seq != next {
+                    out.push(ScheduleViolation {
+                        invariant: Invariant::Coverage,
+                        detail: format!(
+                            "session {}: journaled seqs jump from {} to {} (admission \
+                             record is not a contiguous suffix)",
+                            e.session,
+                            next.wrapping_sub(1),
+                            e.seq
+                        ),
+                    });
+                }
+            }
+            _ => {
+                let f = floor(e.session);
+                if e.seq != 0 && e.seq > f {
+                    out.push(ScheduleViolation {
+                        invariant: Invariant::Coverage,
+                        detail: format!(
+                            "session {}: journaled seqs start at {} but the durable floor \
+                             is {} (checkpoint + journal suffix leave a gap)",
+                            e.session, e.seq, f
+                        ),
+                    });
+                }
+            }
         }
         expect = Some((e.session, e.seq + 1));
     }
     out
+}
+
+/// Asserts the periodic-checkpoint policy's headline bound: no single
+/// failover replayed a journal suffix longer than the checkpoint
+/// interval `k`. `suffixes` is per-session `(session, suffix length)` as
+/// reported by the router's failover; `k == 0` (policy disabled) checks
+/// nothing.
+pub fn validate_checkpoint_bounds(suffixes: &[(u64, u64)], k: u64) -> Vec<ScheduleViolation> {
+    if k == 0 {
+        return Vec::new();
+    }
+    suffixes
+        .iter()
+        .filter(|(_, len)| *len > k)
+        .map(|(session, len)| ScheduleViolation {
+            invariant: Invariant::Coverage,
+            detail: format!(
+                "session {session}: failover replayed a {len}-update journal suffix, \
+                 above the checkpoint interval {k} (periodic checkpointing failed to \
+                 bound recovery)"
+            ),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -141,5 +232,67 @@ mod tests {
             v.iter().any(|v| v.detail.contains("jump")),
             "gap not caught: {v:?}"
         );
+    }
+
+    fn floors(list: &[(u64, u64)]) -> Vec<FleetSessionFloor> {
+        list.iter()
+            .map(|(session, floor)| FleetSessionFloor {
+                session: *session,
+                floor: *floor,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn floor_excuses_compacted_prefix_and_dispatch_below_floor() {
+        // Compaction dropped session 7's records below floor 3; the
+        // dispatch ledger still names seqs 0-4. With the floor witness,
+        // the suffix-only journal passes.
+        let journaled = pairs(&[(7, 3), (7, 4)]);
+        let dispatched = pairs(&[(7, 0), (7, 1), (7, 2), (7, 3), (7, 4)]);
+        let v = validate_fleet_coverage_with_floors(&journaled, &floors(&[(7, 3)]), &dispatched);
+        assert_eq!(v, Vec::new());
+        // Without the floor, both directions fire.
+        let v = validate_fleet_coverage(&journaled, &dispatched);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn floor_does_not_excuse_lost_updates_or_gaps_above_it() {
+        // Lost direction is unaffected by floors.
+        let journaled = pairs(&[(7, 3), (7, 4)]);
+        let dispatched = pairs(&[(7, 3)]);
+        let v = validate_fleet_coverage_with_floors(&journaled, &floors(&[(7, 3)]), &dispatched);
+        assert!(v.iter().any(|v| v.detail.contains("lost")), "{v:?}");
+        // A journal starting above the floor leaves a durability gap.
+        let journaled = pairs(&[(7, 5)]);
+        let dispatched = pairs(&[(7, 5)]);
+        let v = validate_fleet_coverage_with_floors(&journaled, &floors(&[(7, 3)]), &dispatched);
+        assert!(v.iter().any(|v| v.detail.contains("gap")), "{v:?}");
+        // And interior jumps above the floor still fire.
+        let journaled = pairs(&[(7, 3), (7, 5)]);
+        let dispatched = pairs(&[(7, 3), (7, 5)]);
+        let v = validate_fleet_coverage_with_floors(&journaled, &floors(&[(7, 3)]), &dispatched);
+        assert!(v.iter().any(|v| v.detail.contains("jump")), "{v:?}");
+    }
+
+    #[test]
+    fn tombstone_floor_covers_a_fully_compacted_session() {
+        // Session 9 closed cleanly at seq 4 and compaction dropped its
+        // whole history; the tombstone floor accounts for everything.
+        let journaled = pairs(&[]);
+        let dispatched = pairs(&[(9, 0), (9, 1), (9, 2), (9, 3)]);
+        let v = validate_fleet_coverage_with_floors(&journaled, &floors(&[(9, 4)]), &dispatched);
+        assert_eq!(v, Vec::new());
+    }
+
+    #[test]
+    fn checkpoint_bounds_gate_suffix_lengths() {
+        assert_eq!(validate_checkpoint_bounds(&[(1, 3), (2, 4)], 4), Vec::new());
+        let v = validate_checkpoint_bounds(&[(1, 3), (2, 5)], 4);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("session 2"), "{}", v[0].detail);
+        // Disabled policy checks nothing.
+        assert_eq!(validate_checkpoint_bounds(&[(1, 99)], 0), Vec::new());
     }
 }

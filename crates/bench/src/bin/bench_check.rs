@@ -467,10 +467,16 @@ fn check_fleet(report: &mut Report, gate: &Gate) {
         "shards",
         "shards_killed",
         "steps_per_session",
+        "checkpoint_interval",
         "updates_admitted",
         "migrations",
         "failover_sessions",
         "replayed_updates",
+        "max_replay_suffix",
+        "suffix_bound_violations",
+        "checkpoints",
+        "compactions",
+        "compacted_records",
         "journal_records",
         "journal_truncated_bytes",
         "lost_updates",
@@ -490,6 +496,15 @@ fn check_fleet(report: &mut Report, gate: &Gate) {
         "fleet/bit_identical_to_solo",
         fresh.get("bit_identical_to_solo").and_then(Json::as_bool) == Some(true),
         "survivor estimates vs solo replays",
+    );
+    // The checkpoint policy's contract, gated from the fresh run alone:
+    // no failover replay suffix may exceed the configured interval K.
+    let suffix = fresh.get("max_replay_suffix").and_then(Json::as_f64);
+    let k = fresh.get("checkpoint_interval").and_then(Json::as_f64);
+    report.check(
+        "fleet/replay_suffix_bounded_by_k",
+        matches!((suffix, k), (Some(s), Some(k)) if k > 0.0 && s <= k),
+        "max failover replay suffix vs checkpoint interval",
     );
     gate.wall(
         report,

@@ -16,7 +16,12 @@
 //!   included), and no shard dispatched unjournaled work;
 //! - **trace shape**: the router's `fleet.migrate` / `fleet.failover`
 //!   span trees pass `validate_trace`;
-//! - **clean journals**: every journal reads back typed and untruncated.
+//! - **clean journals**: every journal reads back typed and untruncated,
+//!   with coverage judged against checkpoint/tombstone floors (the smoke
+//!   runs with periodic checkpointing and aggressive compaction on);
+//! - **bounded failover**: every replay suffix at the kill is at most the
+//!   checkpoint interval K, and both the periodic checkpointer and the
+//!   journal compactor demonstrably ran.
 //!
 //! Exits nonzero on any violation. Wall time is a few seconds.
 
@@ -24,9 +29,14 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use supernova_analyze::{validate_fleet_coverage, validate_trace, FleetJournalEntry};
+use supernova_analyze::{
+    validate_checkpoint_bounds, validate_fleet_coverage_with_floors, validate_trace,
+    FleetJournalEntry, FleetSessionFloor,
+};
 use supernova_datasets::Dataset;
-use supernova_fleet::{read_journal, RouterConfig, Shard, ShardId, ShardRouter};
+use supernova_fleet::{
+    journal_floor_pairs, read_journal, RouterConfig, Shard, ShardId, ShardRouter,
+};
 use supernova_linalg::NumericMode;
 use supernova_runtime::CostModel;
 use supernova_serve::protocol::DatasetKind;
@@ -36,6 +46,11 @@ use supernova_sparse::ParallelExecutor;
 
 const SHARDS: u32 = 3;
 const SESSIONS: usize = 12;
+/// Periodic checkpoint interval: bounds every failover replay suffix.
+const CHECKPOINT_K: u64 = 8;
+/// Compact a shard's journal after this many appended records — low
+/// enough that the smoke exercises compaction with open sessions.
+const COMPACT_INTERVAL: u64 = 32;
 
 fn shard_cfg() -> ServeConfig {
     ServeConfig {
@@ -105,6 +120,8 @@ fn main() -> ExitCode {
             seed: 0xF1EE7,
             numeric,
             journal_dir: journal_dir.clone(),
+            checkpoint_interval: CHECKPOINT_K,
+            compact_interval: COMPACT_INTERVAL,
         },
         &endpoints,
     )
@@ -172,6 +189,14 @@ fn main() -> ExitCode {
         "no session still routed to the dead shard",
         globals.iter().all(|g| router.shard_of(*g) != Some(dead)),
     );
+    let bounds = validate_checkpoint_bounds(&report.suffix_lens, CHECKPOINT_K);
+    for v in &bounds {
+        eprintln!("fleet_smoke: suffix bound: {v}");
+    }
+    check(
+        "failover replay suffixes bounded by checkpoint interval K",
+        bounds.is_empty(),
+    );
 
     // --- Finish every trajectory on the survivors.
     for (i, g) in globals.iter().enumerate() {
@@ -213,6 +238,7 @@ fn main() -> ExitCode {
         router.close(*g).expect("close");
     }
     let mut journaled: Vec<FleetJournalEntry> = Vec::new();
+    let mut floors: Vec<FleetSessionFloor> = Vec::new();
     let mut truncated = 0usize;
     for (_, path) in router.journal_paths() {
         let contents = read_journal(&path).expect("journal reads back");
@@ -224,8 +250,20 @@ fn main() -> ExitCode {
             }),
             _ => None,
         }));
+        floors.extend(
+            journal_floor_pairs(&path)
+                .expect("journal floors read back")
+                .into_iter()
+                .map(|(session, floor)| FleetSessionFloor { session, floor }),
+        );
     }
     check("journals read back untruncated", truncated == 0);
+    let stats = router.stats();
+    check("periodic checkpoints ran", stats.checkpoints > 0);
+    check(
+        "journal compaction ran and dropped records",
+        stats.compactions > 0 && stats.compacted_records > 0,
+    );
 
     // Map every shard's dispatch ledger (shard-local session ids) back to
     // fleet-global ids via the router's placement history. Restored
@@ -262,7 +300,7 @@ fn main() -> ExitCode {
         "every dispatch maps to a fleet session",
         unknown_locals == 0,
     );
-    let coverage = validate_fleet_coverage(&journaled, &dispatched);
+    let coverage = validate_fleet_coverage_with_floors(&journaled, &floors, &dispatched);
     for v in &coverage {
         eprintln!("fleet_smoke: coverage: {v}");
     }

@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release -p supernova-fleet --bin load_gen [sessions] [workers]
 //! cargo run --release -p supernova-fleet --bin load_gen -- --fleet [sessions] [shards]
+//! cargo run --release -p supernova-fleet --bin load_gen -- --chaos
 //! ```
 //!
 //! **Single-server mode** (default: 8 sessions, 2 workers) drives one
@@ -21,10 +22,29 @@
 //! promises: recovery latency, migration counts, a zero-loss
 //! journal-vs-dispatch coverage witness, and byte-identity of served
 //! estimates against solo replays (all kill-wave sessions plus a sample
-//! of every wave). Results land in `results/BENCH_fleet.json`.
+//! of every wave). The router runs the every-K-updates checkpoint policy
+//! and automatic journal compaction, so the run also gates the headline
+//! recovery bound: no failover replay suffix exceeds K. Results land in
+//! `results/BENCH_fleet.json`.
 //!
-//! Either mode exits nonzero if an identity, coverage or span check
-//! fails.
+//! **Chaos mode** (`--chaos`) runs three crash/reconfiguration drills,
+//! each in all three numeric modes, each gated on zero loss and
+//! bit-identical estimates:
+//!
+//! 1. *router restart mid-migration* — a crash is injected at both
+//!    migration crash points (intent durable / target restored); the
+//!    router is dropped without shutdown and brought back with
+//!    [`ShardRouter::restore`], which must roll the interrupted
+//!    migration back (or forward) and re-verify every journal cursor;
+//! 2. *double shard kill* — two of four shards die mid-trajectory with
+//!    queued work, back to back, and every victim re-homes with its
+//!    replay suffix bounded by the checkpoint interval;
+//! 3. *add shard under load* — a fourth shard joins mid-trajectory;
+//!    exactly the ring-minimal remap set live-migrates onto it and
+//!    placement matches a freshly seeded ring.
+//!
+//! Every mode exits nonzero if an identity, coverage, bound or span
+//! check fails.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -33,12 +53,17 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use supernova_analyze::{
-    validate_dispatch, validate_fleet_coverage, validate_trace, FleetJournalEntry,
+    validate_checkpoint_bounds, validate_dispatch, validate_fleet_coverage_with_floors,
+    validate_trace, FleetJournalEntry, FleetSessionFloor,
 };
 use supernova_datasets::Dataset;
 use supernova_factors::{Key, Values, Variable};
-use supernova_fleet::{read_journal, JournalEntry, RouterConfig, Shard, ShardId, ShardRouter};
+use supernova_fleet::{
+    journal_floor_pairs, read_journal, CrashPoint, FleetError, HashRing, JournalEntry,
+    RouterConfig, Shard, ShardId, ShardRouter,
+};
 use supernova_hw::Platform;
+use supernova_linalg::NumericMode;
 use supernova_runtime::CostModel;
 use supernova_serve::protocol::DatasetKind;
 use supernova_serve::{AdmissionError, ServeConfig, Server, ServerStats, UpdateRequest};
@@ -261,6 +286,12 @@ const WAVE: usize = 20;
 const FLEET_STEPS: u32 = 6;
 /// A session is migrated once every this many waves.
 const MIGRATE_EVERY: usize = 10;
+/// The periodic checkpoint policy's K: with half-trajectory submits of
+/// `FLEET_STEPS / 2 = 3`, a kill leaves at-rest suffixes of 3 < K, so
+/// the suffix bound gated into `BENCH_fleet.json` is exercised for real.
+const FLEET_CHECKPOINT_K: u64 = 4;
+/// Compact a shard's journal after this many appended records.
+const FLEET_COMPACT_INTERVAL: u64 = 512;
 
 fn fleet_shard_cfg() -> ServeConfig {
     ServeConfig {
@@ -290,8 +321,12 @@ fn fleet_dataset(kind: DatasetKind, steps: u32, seed: u64) -> Dataset {
     }
 }
 
-fn fleet_solo_estimate(kind: DatasetKind, steps: u32, seed: u64) -> Vec<Variable> {
-    let cfg = fleet_shard_cfg();
+fn fleet_solo_estimate(
+    cfg: &ServeConfig,
+    kind: DatasetKind,
+    steps: u32,
+    seed: u64,
+) -> Vec<Variable> {
     let cost = Arc::new(CostModel::new(cfg.platform.clone()));
     let mut e = SolverEngine::new(cfg.ra.clone(), cost);
     e.set_executor(ParallelExecutor::new(cfg.executor_threads));
@@ -313,10 +348,16 @@ struct FleetResult {
     shards: u32,
     shards_killed: u32,
     steps_per_session: u32,
+    checkpoint_interval: u64,
     updates_admitted: u64,
     migrations: u64,
     failover_sessions: u64,
     replayed_updates: u64,
+    max_replay_suffix: u64,
+    suffix_bound_violations: usize,
+    checkpoints: u64,
+    compactions: u64,
+    compacted_records: u64,
     journal_records: u64,
     journal_truncated_bytes: usize,
     lost_updates: usize,
@@ -339,6 +380,8 @@ fn run_fleet(sessions_total: usize, shard_count: u32) -> FleetResult {
             seed: 0xF1EE7,
             numeric: fleet_shard_cfg().numeric,
             journal_dir: journal_dir.clone(),
+            checkpoint_interval: FLEET_CHECKPOINT_K,
+            compact_interval: FLEET_COMPACT_INTERVAL,
         },
         &endpoints,
     )
@@ -351,6 +394,7 @@ fn run_fleet(sessions_total: usize, shard_count: u32) -> FleetResult {
     let mut updates_admitted = 0u64;
     let mut recovery_wall_s = 0.0f64;
     let mut killed: Option<ShardId> = None;
+    let mut suffix_bound_violations = 0usize;
     let mut bit_identity_checked = 0usize;
     let mut bit_identical = true;
     let mut next_session = 0usize;
@@ -395,10 +439,20 @@ fn run_fleet(sessions_total: usize, shard_count: u32) -> FleetResult {
             let report = router.kill_shard(dead).expect("failover");
             recovery_wall_s = report.recovery_wall_s;
             killed = Some(dead);
+            // The periodic checkpoint policy's headline bound: no replay
+            // suffix may exceed K.
+            let bounds = validate_checkpoint_bounds(&report.suffix_lens, FLEET_CHECKPOINT_K);
+            for v in &bounds {
+                eprintln!("load_gen: checkpoint bound: {v}");
+            }
+            suffix_bound_violations += bounds.len();
             eprintln!(
-                "load_gen: killed {dead}: {} session(s) re-homed, {} update(s) replayed, \
-                 {:.3}s recovery",
-                report.sessions, report.replayed_updates, report.recovery_wall_s
+                "load_gen: killed {dead}: {} session(s) re-homed, {} update(s) replayed \
+                 (max suffix {}), {:.3}s recovery",
+                report.sessions,
+                report.replayed_updates,
+                report.max_replay_suffix,
+                report.recovery_wall_s
             );
         }
 
@@ -409,13 +463,14 @@ fn run_fleet(sessions_total: usize, shard_count: u32) -> FleetResult {
             tick += u64::from(FLEET_STEPS);
         }
         let check_all = wave == kill_wave;
+        let shard_cfg = fleet_shard_cfg();
         for (slot, g) in globals.iter().enumerate() {
             if check_all || slot == 0 {
                 let i = indices[slot];
                 let (kind, steps, seed) = fleet_descriptor(i);
                 let served = router.estimate(*g).expect("estimate");
                 bit_identity_checked += 1;
-                if served != fleet_solo_estimate(kind, steps, seed) {
+                if served != fleet_solo_estimate(&shard_cfg, kind, steps, seed) {
                     eprintln!("load_gen: fleet session {g} diverged from solo replay");
                     bit_identical = false;
                 }
@@ -430,7 +485,11 @@ fn run_fleet(sessions_total: usize, shard_count: u32) -> FleetResult {
     let trace_violations: usize = traces.iter().map(|t| validate_trace(t).len()).sum();
 
     // Journal-vs-dispatch coverage (see fleet_smoke for the mapping).
+    // Compaction drops records below durable floors, so the witness is
+    // floors-aware: checkpoint records and close tombstones from the
+    // same journals account for the compacted prefixes.
     let mut journaled: Vec<FleetJournalEntry> = Vec::new();
+    let mut floors: Vec<FleetSessionFloor> = Vec::new();
     let mut journal_truncated_bytes = 0usize;
     for (_, path) in router.journal_paths() {
         let contents = read_journal(&path).expect("journal reads back");
@@ -442,6 +501,12 @@ fn run_fleet(sessions_total: usize, shard_count: u32) -> FleetResult {
             }),
             _ => None,
         }));
+        floors.extend(
+            journal_floor_pairs(&path)
+                .expect("journal reads back")
+                .into_iter()
+                .map(|(session, floor)| FleetSessionFloor { session, floor }),
+        );
     }
     let placement_map: BTreeMap<(ShardId, u64), u64> = router
         .placements()
@@ -463,7 +528,7 @@ fn run_fleet(sessions_total: usize, shard_count: u32) -> FleetResult {
             }
         }
     }
-    let coverage = validate_fleet_coverage(&journaled, &dispatched);
+    let coverage = validate_fleet_coverage_with_floors(&journaled, &floors, &dispatched);
     let lost_updates = coverage
         .iter()
         .filter(|v| v.detail.contains("lost"))
@@ -479,10 +544,16 @@ fn run_fleet(sessions_total: usize, shard_count: u32) -> FleetResult {
         shards: shard_count,
         shards_killed: u32::from(killed.is_some()),
         steps_per_session: FLEET_STEPS,
+        checkpoint_interval: FLEET_CHECKPOINT_K,
         updates_admitted,
         migrations: stats.migrations,
         failover_sessions: stats.failover_sessions,
         replayed_updates: stats.replayed_updates,
+        max_replay_suffix: stats.max_replay_suffix,
+        suffix_bound_violations,
+        checkpoints: stats.checkpoints,
+        compactions: stats.compactions,
+        compacted_records: stats.compacted_records,
         journal_records: stats.journal_records,
         journal_truncated_bytes,
         lost_updates,
@@ -507,10 +578,20 @@ fn emit_fleet_json(r: &FleetResult) -> String {
     let _ = writeln!(out, "  \"shards\": {},", r.shards);
     let _ = writeln!(out, "  \"shards_killed\": {},", r.shards_killed);
     let _ = writeln!(out, "  \"steps_per_session\": {},", r.steps_per_session);
+    let _ = writeln!(out, "  \"checkpoint_interval\": {},", r.checkpoint_interval);
     let _ = writeln!(out, "  \"updates_admitted\": {},", r.updates_admitted);
     let _ = writeln!(out, "  \"migrations\": {},", r.migrations);
     let _ = writeln!(out, "  \"failover_sessions\": {},", r.failover_sessions);
     let _ = writeln!(out, "  \"replayed_updates\": {},", r.replayed_updates);
+    let _ = writeln!(out, "  \"max_replay_suffix\": {},", r.max_replay_suffix);
+    let _ = writeln!(
+        out,
+        "  \"suffix_bound_violations\": {},",
+        r.suffix_bound_violations
+    );
+    let _ = writeln!(out, "  \"checkpoints\": {},", r.checkpoints);
+    let _ = writeln!(out, "  \"compactions\": {},", r.compactions);
+    let _ = writeln!(out, "  \"compacted_records\": {},", r.compacted_records);
     let _ = writeln!(out, "  \"journal_records\": {},", r.journal_records);
     let _ = writeln!(
         out,
@@ -537,8 +618,338 @@ fn emit_fleet_json(r: &FleetResult) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Chaos drills
+// ---------------------------------------------------------------------------
+
+/// Checkpoint interval for the chaos drills (small, so the bound bites).
+const CHAOS_K: u64 = 4;
+/// Aggressive compaction so every drill also crosses compacted journals.
+const CHAOS_COMPACT: u64 = 8;
+
+fn chaos_shard_cfg(mode: NumericMode) -> ServeConfig {
+    ServeConfig {
+        numeric: mode,
+        ..fleet_shard_cfg()
+    }
+}
+
+fn chaos_router_cfg(mode: NumericMode, journal_dir: std::path::PathBuf) -> RouterConfig {
+    RouterConfig {
+        seed: 0xC4A0_5000 + mode.as_u64(),
+        numeric: mode,
+        journal_dir,
+        checkpoint_interval: CHAOS_K,
+        compact_interval: CHAOS_COMPACT,
+    }
+}
+
+/// Spawns `n` shards and creates `sessions` drill sessions with the first
+/// half of each trajectory submitted (so every crash lands mid-stream
+/// with live state on the shards).
+fn chaos_setup(
+    mode: NumericMode,
+    label: &str,
+    n: u32,
+    sessions: usize,
+) -> (std::path::PathBuf, Vec<Shard>, ShardRouter, Vec<u64>, u64) {
+    let journal_dir = std::env::temp_dir().join(format!(
+        "fleet-chaos-{label}-{}-{}",
+        mode.as_str(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let shards: Vec<Shard> = (0..n)
+        .map(|i| Shard::spawn(ShardId(i), chaos_shard_cfg(mode)).expect("bind shard"))
+        .collect();
+    let endpoints: Vec<_> = shards.iter().map(|s| (s.id(), s.addr())).collect();
+    let mut router = ShardRouter::connect(chaos_router_cfg(mode, journal_dir.clone()), &endpoints)
+        .expect("connect router");
+    let globals: Vec<u64> = (0..sessions)
+        .map(|i| {
+            let (kind, steps, seed) = fleet_descriptor(i);
+            router.create_session(kind, steps, seed).expect("create")
+        })
+        .collect();
+    let mut tick = 0u64;
+    let half = FLEET_STEPS / 2;
+    for g in &globals {
+        router.submit(*g, tick, half).expect("submit half");
+        tick += u64::from(half);
+    }
+    (journal_dir, shards, router, globals, tick)
+}
+
+/// Finishes every trajectory, checks bit-identity against per-mode solo
+/// replays, closes the sessions, and runs the floors-aware zero-loss
+/// coverage witness over journals and shard dispatch ledgers.
+fn chaos_finish(
+    mode: NumericMode,
+    drill: &str,
+    journal_dir: &std::path::Path,
+    shards: Vec<Shard>,
+    mut router: ShardRouter,
+    globals: &[u64],
+    mut tick: u64,
+) -> Result<(), String> {
+    for g in globals {
+        router
+            .submit(*g, tick, FLEET_STEPS)
+            .map_err(|e| format!("{drill}: submit rest of session {g}: {e}"))?;
+        tick += u64::from(FLEET_STEPS);
+    }
+    let shard_cfg = chaos_shard_cfg(mode);
+    for (i, g) in globals.iter().enumerate() {
+        let (kind, steps, seed) = fleet_descriptor(i);
+        let served = router
+            .estimate(*g)
+            .map_err(|e| format!("{drill}: estimate session {g}: {e}"))?;
+        if served != fleet_solo_estimate(&shard_cfg, kind, steps, seed) {
+            return Err(format!(
+                "{drill}: session {g} estimate diverged from solo replay"
+            ));
+        }
+    }
+    for g in globals {
+        router
+            .close(*g)
+            .map_err(|e| format!("{drill}: close session {g}: {e}"))?;
+    }
+
+    let mut journaled: Vec<FleetJournalEntry> = Vec::new();
+    let mut floors: Vec<FleetSessionFloor> = Vec::new();
+    let mut truncated = 0usize;
+    for (_, path) in router.journal_paths() {
+        let contents =
+            read_journal(&path).map_err(|e| format!("{drill}: journal read-back: {e}"))?;
+        truncated += contents.truncated_tail;
+        journaled.extend(contents.entries.iter().filter_map(|e| match e {
+            JournalEntry::Update { session, seq, .. } => Some(FleetJournalEntry {
+                session: *session,
+                seq: *seq,
+            }),
+            _ => None,
+        }));
+        floors.extend(
+            journal_floor_pairs(&path)
+                .map_err(|e| format!("{drill}: journal floors: {e}"))?
+                .into_iter()
+                .map(|(session, floor)| FleetSessionFloor { session, floor }),
+        );
+    }
+    if truncated != 0 {
+        return Err(format!(
+            "{drill}: {truncated} torn journal byte(s) after clean drill"
+        ));
+    }
+    let placement_map: BTreeMap<(ShardId, u64), u64> = router
+        .placements()
+        .iter()
+        .map(|p| ((p.shard, p.local), p.global))
+        .collect();
+    router.shutdown();
+    drop(router);
+    let mut dispatched: Vec<FleetJournalEntry> = Vec::new();
+    for shard in &shards {
+        for span in shard.server().spans() {
+            let rec = span.record();
+            if let Some(global) = placement_map.get(&(shard.id(), rec.session)) {
+                dispatched.push(FleetJournalEntry {
+                    session: *global,
+                    seq: rec.seq,
+                });
+            }
+        }
+    }
+    let coverage = validate_fleet_coverage_with_floors(&journaled, &floors, &dispatched);
+    drop(shards);
+    let _ = std::fs::remove_dir_all(journal_dir);
+    if let Some(v) = coverage.first() {
+        return Err(format!(
+            "{drill}: {} coverage violation(s), first: {v}",
+            coverage.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Drill 1: a router crash at each migration crash point, then a restart
+/// over the durable books. `restore` must resolve the interrupted
+/// migration the right way and re-verify every cursor before traffic.
+fn drill_router_restart_mid_migration(mode: NumericMode) -> Result<(), String> {
+    for (point, expected) in [
+        (CrashPoint::MigrateAfterIntent, "rolled-back"),
+        (CrashPoint::MigrateAfterRestore, "rolled-forward"),
+    ] {
+        let drill = format!("restart-mid-migration[{expected}]");
+        let (journal_dir, shards, mut router, globals, tick) = chaos_setup(mode, "restart", 3, 6);
+        let endpoints: Vec<_> = shards.iter().map(|s| (s.id(), s.addr())).collect();
+
+        let mover = globals[0];
+        let home = router.shard_of(mover).ok_or("mover unrouted")?;
+        let target = router
+            .live_shards()
+            .iter()
+            .find(|s| **s != home)
+            .copied()
+            .ok_or("no migration target")?;
+        router.inject_crash(point);
+        match router.migrate(mover, target) {
+            Err(FleetError::CrashInjected(_)) => {}
+            Ok(()) => return Err(format!("{drill}: injected crash did not fire")),
+            Err(e) => return Err(format!("{drill}: unexpected migrate error: {e}")),
+        }
+        // The crash: drop the router with no shutdown. Shards stay up
+        // (their processes are independent of the router's).
+        drop(router);
+
+        let (router, report) =
+            ShardRouter::restore(chaos_router_cfg(mode, journal_dir.clone()), &endpoints)
+                .map_err(|e| format!("{drill}: restore failed: {e}"))?;
+        if report.pending_resolution != Some(expected) {
+            return Err(format!(
+                "{drill}: pending migration resolved as {:?}, expected {expected:?}",
+                report.pending_resolution
+            ));
+        }
+        if report.sessions_verified != globals.len() as u64 {
+            return Err(format!(
+                "{drill}: restart verified {} session(s), expected {}",
+                report.sessions_verified,
+                globals.len()
+            ));
+        }
+        let landed = router.shard_of(mover).ok_or("mover lost across restart")?;
+        let want = match point {
+            CrashPoint::MigrateAfterIntent => home,
+            CrashPoint::MigrateAfterRestore => target,
+        };
+        if landed != want {
+            return Err(format!(
+                "{drill}: mover on {landed} after restart, expected {want}"
+            ));
+        }
+        chaos_finish(mode, &drill, &journal_dir, shards, router, &globals, tick)?;
+    }
+    Ok(())
+}
+
+/// Drill 2: two of four shards die back to back with queued work; every
+/// victim re-homes twice if need be, with replay suffixes bounded by K.
+fn drill_double_shard_kill(mode: NumericMode) -> Result<(), String> {
+    let drill = "double-shard-kill";
+    let (journal_dir, mut shards, mut router, globals, tick) = chaos_setup(mode, "double", 4, 8);
+    for victim_slot in [0usize, 1] {
+        let dead = router
+            .shard_of(globals[victim_slot])
+            .ok_or("victim unrouted")?;
+        for shard in shards.iter_mut().filter(|s| s.id() == dead) {
+            shard.kill();
+        }
+        let report = router
+            .kill_shard(dead)
+            .map_err(|e| format!("{drill}: failover of {dead}: {e}"))?;
+        let bounds = validate_checkpoint_bounds(&report.suffix_lens, CHAOS_K);
+        if let Some(v) = bounds.first() {
+            return Err(format!("{drill}: {v}"));
+        }
+        if report.sessions == 0 {
+            return Err(format!(
+                "{drill}: {dead} hosted no sessions (drill is vacuous)"
+            ));
+        }
+    }
+    if router.live_shards().len() != 2 {
+        return Err(format!(
+            "{drill}: expected 2 survivors, have {}",
+            router.live_shards().len()
+        ));
+    }
+    chaos_finish(mode, drill, &journal_dir, shards, router, &globals, tick)
+}
+
+/// Drill 3: a fourth shard joins mid-trajectory. Exactly the ring-minimal
+/// remap set live-migrates onto it and every session's placement matches
+/// a freshly seeded four-member ring.
+fn drill_add_shard_under_load(mode: NumericMode) -> Result<(), String> {
+    let drill = "add-shard-under-load";
+    let (journal_dir, mut shards, mut router, globals, tick) = chaos_setup(mode, "add", 3, 12);
+
+    // Expected remap set from ring arithmetic alone.
+    let seed = 0xC4A0_5000 + mode.as_u64();
+    let mut grown = HashRing::new(seed);
+    for i in 0..4 {
+        grown.add(ShardId(i));
+    }
+    let expect_remapped = globals
+        .iter()
+        .filter(|g| {
+            grown.route(**g) == Some(ShardId(3)) && router.shard_of(**g) != Some(ShardId(3))
+        })
+        .count() as u64;
+
+    let joiner = Shard::spawn(ShardId(3), chaos_shard_cfg(mode)).expect("bind joining shard");
+    let report = router
+        .add_shard(ShardId(3), joiner.addr())
+        .map_err(|e| format!("{drill}: add_shard: {e}"))?;
+    shards.push(joiner);
+    if report.sessions_remapped != expect_remapped {
+        return Err(format!(
+            "{drill}: remapped {} session(s), ring names {expect_remapped}",
+            report.sessions_remapped
+        ));
+    }
+    // Every open session now sits exactly where the grown ring says.
+    for g in &globals {
+        if router.shard_of(*g) != grown.route(*g) {
+            return Err(format!(
+                "{drill}: session {g} off-ring after rebalance (minimal remap violated)"
+            ));
+        }
+    }
+    chaos_finish(mode, drill, &journal_dir, shards, router, &globals, tick)
+}
+
+/// Runs all three drills in all three numeric modes; returns the failure
+/// descriptions (empty = chaos clean).
+fn run_chaos() -> Vec<String> {
+    let mut failures = Vec::new();
+    for mode in NumericMode::ALL {
+        for (name, run) in [
+            (
+                "router-restart-mid-migration",
+                drill_router_restart_mid_migration as fn(NumericMode) -> Result<(), String>,
+            ),
+            ("double-shard-kill", drill_double_shard_kill),
+            ("add-shard-under-load", drill_add_shard_under_load),
+        ] {
+            match run(mode) {
+                Ok(()) => eprintln!("load_gen: chaos {name} [{}] OK", mode.as_str()),
+                Err(why) => {
+                    eprintln!("load_gen: chaos {name} [{}] FAILED: {why}", mode.as_str());
+                    failures.push(format!("{name}[{}]: {why}", mode.as_str()));
+                }
+            }
+        }
+    }
+    failures
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--chaos") {
+        eprintln!("load_gen: chaos drills, 3 scenarios x 3 numeric modes");
+        let failures = run_chaos();
+        if failures.is_empty() {
+            eprintln!("load_gen: chaos OK");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("load_gen: chaos FAILED ({} drill(s)):", failures.len());
+        for f in &failures {
+            eprintln!("load_gen:   {f}");
+        }
+        return ExitCode::FAILURE;
+    }
     if args.first().map(String::as_str) == Some("--fleet") {
         let sessions: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(2000);
         let shards: u32 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(3);
@@ -553,6 +964,7 @@ fn main() -> ExitCode {
             && result.lost_updates == 0
             && result.journal_truncated_bytes == 0
             && result.bit_identical
+            && result.suffix_bound_violations == 0
             && result.shards_killed == 1;
         if ok {
             eprintln!("load_gen: fleet OK");

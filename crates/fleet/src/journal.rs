@@ -14,25 +14,34 @@
 //! header:  "SNVJ" | version u16 LE | shard u64 LE
 //! record:  len u32 LE | payload (len bytes)
 //! payload: tag u8 | fields (all LE)
-//!   tag 0 create:    session u64 | kind u8 | steps u32 | seed u64
-//!   tag 1 update:    session u64 | seq u64 | deadline u64
-//!   tag 2 tombstone: session u64 | seq u64   (seq = updates admitted)
+//!   tag 0 create:     session u64 | kind u8 | steps u32 | seed u64
+//!   tag 1 update:     session u64 | seq u64 | deadline u64
+//!   tag 2 tombstone:  session u64 | seq u64   (seq = updates admitted)
+//!   tag 3 checkpoint: session u64 | floor u64 (updates below `floor` are
+//!                     superseded by a durable checkpoint the router
+//!                     holds; compaction may drop them)
 //! ```
+//!
+//! Version 2 added the checkpoint-floor record (tag 3); version-1 files
+//! are refused with a typed error rather than read with silently wrong
+//! floors.
 //!
 //! Reading is panic-free and *truncated-tail tolerant*: a crash can leave
 //! a half-written final record, so the reader returns every complete
 //! record and reports how many trailing bytes it ignored. Corruption
 //! anywhere else (bad magic, unknown version or tag, lying lengths)
-//! surfaces as a typed [`JournalError`].
+//! surfaces as a typed [`JournalError`]. [`JournalWriter::open_append`]
+//! is the restart path: it re-validates the header, truncates a torn
+//! tail, and resumes appending where the last complete record ended.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Journal file magic.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"SNVJ";
 /// Journal format version this build writes and reads.
-pub const JOURNAL_VERSION: u16 = 1;
+pub const JOURNAL_VERSION: u16 = 2;
 /// Cap on one record's payload — far above any legal record, so a lying
 /// length cannot drive a huge allocation.
 pub const MAX_RECORD_BYTES: usize = 1 << 16;
@@ -40,6 +49,7 @@ pub const MAX_RECORD_BYTES: usize = 1 << 16;
 const TAG_CREATE: u8 = 0;
 const TAG_UPDATE: u8 = 1;
 const TAG_TOMBSTONE: u8 = 2;
+const TAG_CHECKPOINT: u8 = 3;
 
 /// One journaled admission event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,6 +83,15 @@ pub enum JournalEntry {
         /// Updates admitted over the session's lifetime.
         seq: u64,
     },
+    /// The router holds a durable checkpoint of the session that has
+    /// applied every update below `floor`: failover replay starts there,
+    /// and compaction may drop this session's earlier update records.
+    Checkpoint {
+        /// Fleet-global session id.
+        session: u64,
+        /// The replay floor (updates `0..floor` are inside the checkpoint).
+        floor: u64,
+    },
 }
 
 /// A typed journal I/O or format failure. Decode paths never panic.
@@ -88,6 +107,14 @@ pub enum JournalError {
     TooLarge(u32),
     /// A complete record's payload failed to parse.
     Malformed(&'static str),
+    /// A journal reopened for append belongs to a different shard than
+    /// the caller expected — the restart wiring is crossed.
+    ShardMismatch {
+        /// The shard id the caller expected.
+        expected: u64,
+        /// The shard id stamped in the file's header.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -104,6 +131,10 @@ impl std::fmt::Display for JournalError {
                 "journal record claims {n} bytes, cap is {MAX_RECORD_BYTES}"
             ),
             JournalError::Malformed(why) => write!(f, "malformed journal record: {why}"),
+            JournalError::ShardMismatch { expected, found } => write!(
+                f,
+                "journal belongs to shard {found}, expected shard {expected}"
+            ),
         }
     }
 }
@@ -143,6 +174,35 @@ impl JournalWriter {
             file,
             path: path.to_path_buf(),
             records: 0,
+        })
+    }
+
+    /// Reopens an existing journal for appending — the restart path.
+    ///
+    /// Validates the header (magic, version, shard id), truncates the
+    /// torn tail a crash mid-append can leave (so the next record starts
+    /// on a clean frame boundary), and resumes with the record counter
+    /// set to the number of complete records already on disk.
+    pub fn open_append(path: &Path, shard: u64) -> Result<Self, JournalError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let contents = read_journal_bytes(&bytes)?;
+        if contents.shard != shard {
+            return Err(JournalError::ShardMismatch {
+                expected: shard,
+                found: contents.shard,
+            });
+        }
+        let valid_len = (bytes.len() - contents.truncated_tail) as u64;
+        if contents.truncated_tail > 0 {
+            file.set_len(valid_len)?;
+        }
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            records: contents.entries.len() as u64,
         })
     }
 
@@ -186,6 +246,11 @@ impl JournalWriter {
                 payload.push(TAG_TOMBSTONE);
                 payload.extend_from_slice(&session.to_le_bytes());
                 payload.extend_from_slice(&seq.to_le_bytes());
+            }
+            JournalEntry::Checkpoint { session, floor } => {
+                payload.push(TAG_CHECKPOINT);
+                payload.extend_from_slice(&session.to_le_bytes());
+                payload.extend_from_slice(&floor.to_le_bytes());
             }
         }
         let mut frame = Vec::with_capacity(4 + payload.len());
@@ -276,6 +341,14 @@ fn decode_entry(payload: &[u8]) -> Result<JournalEntry, JournalError> {
                 .u64()
                 .ok_or(JournalError::Malformed("tombstone: session"))?,
             seq: cur.u64().ok_or(JournalError::Malformed("tombstone: seq"))?,
+        },
+        TAG_CHECKPOINT => JournalEntry::Checkpoint {
+            session: cur
+                .u64()
+                .ok_or(JournalError::Malformed("checkpoint: session"))?,
+            floor: cur
+                .u64()
+                .ok_or(JournalError::Malformed("checkpoint: floor"))?,
         },
         _ => return Err(JournalError::Malformed("unknown record tag")),
     };
@@ -370,6 +443,10 @@ mod tests {
                 seq: 1,
                 deadline: 11,
             },
+            JournalEntry::Checkpoint {
+                session: 7,
+                floor: 2,
+            },
             JournalEntry::Tombstone { session: 7, seq: 2 },
         ]
     }
@@ -441,6 +518,63 @@ mod tests {
             read_journal_bytes(&bad),
             Err(JournalError::TooLarge(_))
         ));
+    }
+
+    #[test]
+    fn open_append_resumes_where_create_left_off() {
+        let dir = std::env::temp_dir().join(format!("snvj-reopen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("j.snvj");
+        let entries = sample_entries();
+        {
+            let mut w = JournalWriter::create(&path, 5).expect("create");
+            for e in &entries[..2] {
+                w.append(e).expect("append");
+            }
+        }
+        let mut w = JournalWriter::open_append(&path, 5).expect("reopen");
+        assert_eq!(w.records(), 2);
+        for e in &entries[2..] {
+            w.append(e).expect("append after reopen");
+        }
+        drop(w);
+        let parsed = read_journal(&path).expect("parse");
+        assert_eq!(parsed.entries, entries);
+        assert_eq!(parsed.truncated_tail, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_append_truncates_a_torn_tail_and_rejects_foreign_shards() {
+        let dir = std::env::temp_dir().join(format!("snvj-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("j.snvj");
+        let entries = sample_entries();
+        {
+            let mut w = JournalWriter::create(&path, 5).expect("create");
+            for e in &entries {
+                w.append(e).expect("append");
+            }
+        }
+        // Model a crash mid-append: chop the file inside the final record.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("chop");
+        assert!(matches!(
+            JournalWriter::open_append(&path, 9),
+            Err(JournalError::ShardMismatch {
+                expected: 9,
+                found: 5
+            })
+        ));
+        let mut w = JournalWriter::open_append(&path, 5).expect("reopen torn");
+        assert_eq!(w.records(), entries.len() as u64 - 1);
+        w.append(entries.last().expect("non-empty"))
+            .expect("re-append");
+        drop(w);
+        let parsed = read_journal(&path).expect("parse");
+        assert_eq!(parsed.entries, entries);
+        assert_eq!(parsed.truncated_tail, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

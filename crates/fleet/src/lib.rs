@@ -15,22 +15,37 @@
 //! - [`shard`] — a serve backend behind its own TCP listener (the
 //!   `serve_tcp` loop as a library), with a [`kill`](shard::Shard::kill)
 //!   that models a crash: no drain, no goodbye.
+//! - [`state`] — the router's own durable books: an atomic-rename `SNVR`
+//!   state file beside the journals (routing table, migration
+//!   checkpoints and write-ahead migration intent, ring epoch, lifetime
+//!   counters) that makes the router itself crash-survivable.
 //! - [`router`] — the coordinator: persistent hello-gated protocol-v2
 //!   connections, journaled admission, live migration (drain → snapshot
-//!   → restore → atomically repoint), and [`kill_shard`]
-//!   failover that restores each victim session's latest checkpoint on a
-//!   survivor and replays its journal suffix. Engine replay is
-//!   bit-deterministic, so survivors end byte-identical to an
-//!   uninterrupted run — zero admitted updates lost.
+//!   → restore → atomically repoint) behind a durable write-ahead
+//!   intent, elastic [`add_shard`] rebalancing that moves only the
+//!   minimal remap set, an every-K-updates checkpoint policy that bounds
+//!   failover replay suffixes, read-back-verified journal compaction,
+//!   and [`kill_shard`] failover that restores each victim session's
+//!   latest checkpoint on a survivor and replays its journal suffix.
+//!   Engine replay is bit-deterministic, so survivors end byte-identical
+//!   to an uninterrupted run — zero admitted updates lost. A crashed
+//!   router comes back via [`restore`], which replays its own state file
+//!   and re-verifies every shard's journal cursor before accepting
+//!   traffic.
 //!
-//! Binaries: `fleet_router` (a TCP front door speaking the same wire
-//! protocol as `serve_tcp`, so clients need not know the fleet exists),
+//! Binaries: `fleet_router` (a concurrent TCP front door speaking the
+//! same wire protocol as `serve_tcp`, so clients need not know the fleet
+//! exists; `--resume` restarts it over a previous instance's books),
 //! `fleet_smoke` (the CI gate: 3 shards, a migration, a kill, byte-
 //! identity and zero-loss asserts), and `load_gen` (the workspace load
 //! generator, including the `--fleet` scenario behind
-//! `results/BENCH_fleet.json`).
+//! `results/BENCH_fleet.json` and the `--chaos` drills: router restart
+//! at both migration crash points, double-shard-kill, and
+//! add-shard-under-load, each gated on bit-identity and zero loss).
 //!
 //! [`kill_shard`]: router::ShardRouter::kill_shard
+//! [`add_shard`]: router::ShardRouter::add_shard
+//! [`restore`]: router::ShardRouter::restore
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -39,13 +54,18 @@ pub mod journal;
 pub mod ring;
 pub mod router;
 pub mod shard;
+pub mod state;
 
 pub use journal::{
     read_journal, read_journal_bytes, JournalContents, JournalEntry, JournalError, JournalWriter,
 };
 pub use ring::{HashRing, ShardId, VNODES_PER_SHARD};
 pub use router::{
-    journal_update_pairs, FailoverReport, FleetError, FleetStats, Placement, RouterConfig,
-    ShardRouter,
+    journal_floor_pairs, journal_update_pairs, CrashPoint, FailoverReport, FleetError, FleetStats,
+    Placement, RebalanceReport, RestartReport, RouterConfig, ShardRouter,
 };
 pub use shard::Shard;
+pub use state::{
+    decode_state, encode_state, load_state, save_state, CheckpointRecord, PendingMigration,
+    PlacementRecord, RouteRecord, RouterState, StateError,
+};

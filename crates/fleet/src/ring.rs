@@ -157,6 +157,68 @@ mod tests {
     }
 
     #[test]
+    fn addition_only_remaps_sessions_landing_on_the_new_shard() {
+        // The rebalancing property `ShardRouter::add_shard` leans on:
+        // growing the ring moves a session only if the *new* shard's
+        // vnodes claim it — everything else stays put.
+        let small = ring3();
+        let mut grown = ring3();
+        let joiner = ShardId(3);
+        grown.add(joiner);
+        let mut remapped = 0usize;
+        for sid in 0..2000u64 {
+            let before = small.route(sid).expect("small ring");
+            let after = grown.route(sid).expect("grown ring");
+            if after == joiner {
+                remapped += 1;
+            } else {
+                assert_eq!(
+                    before, after,
+                    "session {sid} moved without landing on the joiner"
+                );
+            }
+        }
+        assert!(remapped > 0, "fixture never routed to the new shard");
+    }
+
+    #[test]
+    fn addition_remaps_roughly_one_over_n() {
+        // Consistent hashing's load promise: a fourth shard should claim
+        // about 1/4 of the keyspace — generously bracketed here so vnode
+        // variance cannot flake the test.
+        let mut grown = ring3();
+        grown.add(ShardId(3));
+        let total = 4000u64;
+        let claimed = (0..total)
+            .filter(|sid| grown.route(*sid) == Some(ShardId(3)))
+            .count();
+        let share = claimed as f64 / total as f64;
+        assert!(
+            (0.10..0.45).contains(&share),
+            "joiner claimed {share:.3} of sessions, expected ~0.25"
+        );
+    }
+
+    #[test]
+    fn add_then_remove_round_trips_under_the_same_seed() {
+        // Growing and immediately shrinking the ring must restore every
+        // placement bit-for-bit — vnode points depend only on
+        // (seed, shard, vnode), never on membership history.
+        let baseline = ring3();
+        let mut churned = ring3();
+        churned.add(ShardId(3));
+        churned.remove(ShardId(3));
+        assert_eq!(baseline.shards(), churned.shards());
+        for sid in 0..2000u64 {
+            assert_eq!(
+                baseline.route(sid),
+                churned.route(sid),
+                "session {sid} placement not restored after add/remove churn"
+            );
+        }
+    }
+
+    #[test]
     fn different_seeds_give_different_rings() {
         let a = HashRing::new(1);
         let b = HashRing::new(2);

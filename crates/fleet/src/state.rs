@@ -1,0 +1,640 @@
+//! The durable router state codec (`SNVR`).
+//!
+//! PR 8's router kept its books — the routing table, per-session
+//! migration checkpoints, ring membership — only in memory, making the
+//! router itself the fleet's single point of failure. This module gives
+//! those books a durable home beside the shard journals: one `SNVR` file,
+//! rewritten atomically (temp file + rename) after every mutation that
+//! changes what a restarted router would need to know.
+//!
+//! What is persisted and what is deliberately not:
+//!
+//! - **Persisted**: the ring seed and *epoch* (bumped on every membership
+//!   change), the live and retired member sets, every open route's
+//!   descriptor and latest checkpoint, the placement history (what maps
+//!   shard-local dispatch ledgers back to fleet-global ids), lifetime
+//!   stats, and at most one *pending migration* intent — the write-ahead
+//!   record that makes migration crash-recoverable (see
+//!   [`PendingMigration`]).
+//! - **Not persisted**: per-session admission cursors. Those are already
+//!   durable in the journals (one record per admitted update), so the
+//!   restart path recomputes each cursor from the journal union and then
+//!   *re-verifies it against the live shard* before accepting traffic —
+//!   a cursor stored here could silently disagree with both.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! header: "SNVR" | version u16 LE
+//! body (all LE):
+//!   seed u64 | epoch u64 | next_global u64
+//!   members:  count u32 | shard u32 ...
+//!   retired:  count u32 | shard u32 ...
+//!   stats:    10 × u64 (see FleetStats field order in decode)
+//!   routes:   count u32 | RouteRecord ...
+//!   pending:  present u8 | PendingMigration
+//!   placements: count u32 | (global u64 | shard u32 | local u64) ...
+//! RouteRecord:
+//!   global u64 | shard u32 | local u64 | kind u8 | steps u32 | seed u64
+//!   | checkpoint present u8 | applied u64 | len u32 | bytes
+//! PendingMigration:
+//!   global u64 | source u32 | source_local u64 | target u32
+//!   | target_local present u8 | target_local u64
+//!   | applied u64 | len u32 | bytes
+//! ```
+//!
+//! Decoding is panic-free: truncation, lying lengths and unknown
+//! versions all surface as a typed [`StateError`], never a panic — the
+//! same discipline as the `SNVJ` journal and `SNVC` checkpoint codecs.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::router::FleetStats;
+
+/// Router state file magic.
+pub const STATE_MAGIC: [u8; 4] = *b"SNVR";
+/// State format version this build writes and reads.
+pub const STATE_VERSION: u16 = 1;
+/// Cap on one embedded checkpoint's byte length — far above any legal
+/// engine snapshot, so a lying length cannot drive a huge allocation.
+pub const MAX_STATE_CHECKPOINT_BYTES: usize = 1 << 24;
+/// Cap on any list's element count, same rationale.
+pub const MAX_STATE_LIST_LEN: usize = 1 << 22;
+
+/// A typed state-file I/O or format failure. Decode paths never panic.
+#[derive(Debug)]
+pub enum StateError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file does not open with [`STATE_MAGIC`].
+    BadMagic,
+    /// The file's version is not [`STATE_VERSION`].
+    BadVersion(u16),
+    /// A length field exceeds its cap.
+    TooLarge(u64),
+    /// The body failed to parse (truncated or inconsistent).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::Io(e) => write!(f, "router state I/O: {e}"),
+            StateError::BadMagic => write!(f, "not a SNVR router state file (bad magic)"),
+            StateError::BadVersion(v) => write!(
+                f,
+                "unsupported router state version {v} (this build reads {STATE_VERSION})"
+            ),
+            StateError::TooLarge(n) => {
+                write!(f, "router state length field {n} exceeds its cap")
+            }
+            StateError::Malformed(why) => write!(f, "malformed router state: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl From<std::io::Error> for StateError {
+    fn from(e: std::io::Error) -> Self {
+        StateError::Io(e)
+    }
+}
+
+/// An embedded engine checkpoint: SNVC bytes plus the update count they
+/// have applied (the failover replay floor).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    /// Updates the checkpoint has applied.
+    pub applied: u64,
+    /// Encoded SNVC bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// One open route as persisted: the session's replay descriptor, its
+/// current home, and its latest checkpoint (if any). Closed sessions are
+/// not persisted — their journal tombstones are the durable record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteRecord {
+    /// Fleet-global session id.
+    pub global: u64,
+    /// The shard currently hosting the session.
+    pub shard: u32,
+    /// Shard-local session id.
+    pub local: u64,
+    /// Dataset family code.
+    pub kind: u8,
+    /// Online steps in the replayed trajectory.
+    pub steps: u32,
+    /// Generator seed.
+    pub seed: u64,
+    /// Latest checkpoint taken (migration, periodic policy, or restart
+    /// re-verification).
+    pub checkpoint: Option<CheckpointRecord>,
+}
+
+/// The write-ahead migration intent. Persisted *before* the restore on
+/// the target shard, updated once the target acknowledges, cleared when
+/// the route is repointed — so a router crash at any point inside
+/// `migrate` leaves an unambiguous instruction:
+///
+/// - `target_local == None`: the target never acknowledged a restore —
+///   roll *back* (the source still owns the session untouched);
+/// - `target_local == Some(_)`: the target holds a restored copy — roll
+///   *forward* (close the source, repoint, install the checkpoint floor).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PendingMigration {
+    /// Fleet-global session id being migrated.
+    pub global: u64,
+    /// The source shard.
+    pub source: u32,
+    /// The session's local id on the source.
+    pub source_local: u64,
+    /// The target shard.
+    pub target: u32,
+    /// The session's local id on the target, once restore acknowledged.
+    pub target_local: Option<u64>,
+    /// The drained checkpoint being moved.
+    pub checkpoint: CheckpointRecord,
+}
+
+/// One persisted placement event (see `router::Placement`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlacementRecord {
+    /// Fleet-global session id.
+    pub global: u64,
+    /// The shard the session landed on.
+    pub shard: u32,
+    /// The shard-local session id it got there.
+    pub local: u64,
+}
+
+/// Everything a restarted router needs (minus journal-derived cursors).
+#[derive(Clone, Debug, Default)]
+pub struct RouterState {
+    /// Ring seed.
+    pub seed: u64,
+    /// Ring epoch: bumped on every membership change (add or kill).
+    pub epoch: u64,
+    /// Next fleet-global session id.
+    pub next_global: u64,
+    /// Live member shard ids, ascending.
+    pub members: Vec<u32>,
+    /// Retired (dead) shard ids — their journals are read-only history
+    /// and their ids must never be reused.
+    pub retired: Vec<u32>,
+    /// Lifetime counters.
+    pub stats: FleetStats,
+    /// Every open route.
+    pub routes: Vec<RouteRecord>,
+    /// At most one in-flight migration intent.
+    pub pending: Option<PendingMigration>,
+    /// Full placement history.
+    pub placements: Vec<PlacementRecord>,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_checkpoint(out: &mut Vec<u8>, c: &CheckpointRecord) {
+    put_u64(out, c.applied);
+    put_u32(out, c.bytes.len() as u32);
+    out.extend_from_slice(&c.bytes);
+}
+
+/// Serializes the state to SNVR bytes.
+pub fn encode_state(state: &RouterState) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(&STATE_MAGIC);
+    out.extend_from_slice(&STATE_VERSION.to_le_bytes());
+    put_u64(&mut out, state.seed);
+    put_u64(&mut out, state.epoch);
+    put_u64(&mut out, state.next_global);
+    put_u32(&mut out, state.members.len() as u32);
+    for m in &state.members {
+        put_u32(&mut out, *m);
+    }
+    put_u32(&mut out, state.retired.len() as u32);
+    for r in &state.retired {
+        put_u32(&mut out, *r);
+    }
+    let s = &state.stats;
+    for v in [
+        s.sessions_created,
+        s.migrations,
+        s.failovers,
+        s.failover_sessions,
+        s.replayed_updates,
+        s.journal_records,
+        s.checkpoints,
+        s.compactions,
+        s.compacted_records,
+        s.max_replay_suffix,
+    ] {
+        put_u64(&mut out, v);
+    }
+    put_u32(&mut out, state.routes.len() as u32);
+    for r in &state.routes {
+        put_u64(&mut out, r.global);
+        put_u32(&mut out, r.shard);
+        put_u64(&mut out, r.local);
+        out.push(r.kind);
+        put_u32(&mut out, r.steps);
+        put_u64(&mut out, r.seed);
+        match &r.checkpoint {
+            Some(c) => {
+                out.push(1);
+                put_checkpoint(&mut out, c);
+            }
+            None => out.push(0),
+        }
+    }
+    match &state.pending {
+        Some(p) => {
+            out.push(1);
+            put_u64(&mut out, p.global);
+            put_u32(&mut out, p.source);
+            put_u64(&mut out, p.source_local);
+            put_u32(&mut out, p.target);
+            match p.target_local {
+                Some(l) => {
+                    out.push(1);
+                    put_u64(&mut out, l);
+                }
+                None => {
+                    out.push(0);
+                    put_u64(&mut out, 0);
+                }
+            }
+            put_checkpoint(&mut out, &p.checkpoint);
+        }
+        None => out.push(0),
+    }
+    put_u32(&mut out, state.placements.len() as u32);
+    for p in &state.placements {
+        put_u64(&mut out, p.global);
+        put_u32(&mut out, p.shard);
+        put_u64(&mut out, p.local);
+    }
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.buf.get(self.at..self.at.checked_add(n)?)?;
+        self.at += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).and_then(|s| s.first().copied())
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| {
+            let mut b = [0u8; 2];
+            b.copy_from_slice(s);
+            u16::from_le_bytes(b)
+        })
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(s);
+            u32::from_le_bytes(b)
+        })
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(s);
+            u64::from_le_bytes(b)
+        })
+    }
+}
+
+fn take_list_len(cur: &mut Cursor<'_>, what: &'static str) -> Result<usize, StateError> {
+    let n = cur.u32().ok_or(StateError::Malformed(what))? as usize;
+    if n > MAX_STATE_LIST_LEN {
+        return Err(StateError::TooLarge(n as u64));
+    }
+    Ok(n)
+}
+
+fn take_checkpoint(cur: &mut Cursor<'_>) -> Result<CheckpointRecord, StateError> {
+    let applied = cur
+        .u64()
+        .ok_or(StateError::Malformed("checkpoint: applied"))?;
+    let len = cur
+        .u32()
+        .ok_or(StateError::Malformed("checkpoint: length"))? as usize;
+    if len > MAX_STATE_CHECKPOINT_BYTES {
+        return Err(StateError::TooLarge(len as u64));
+    }
+    let bytes = cur
+        .take(len)
+        .ok_or(StateError::Malformed("checkpoint: bytes"))?
+        .to_vec();
+    Ok(CheckpointRecord { applied, bytes })
+}
+
+/// Parses SNVR bytes back into a [`RouterState`]. Never panics on
+/// hostile input.
+pub fn decode_state(bytes: &[u8]) -> Result<RouterState, StateError> {
+    let mut cur = Cursor { buf: bytes, at: 0 };
+    let magic = cur.take(4).ok_or(StateError::BadMagic)?;
+    if magic != STATE_MAGIC {
+        return Err(StateError::BadMagic);
+    }
+    let version = cur.u16().ok_or(StateError::BadVersion(0))?;
+    if version != STATE_VERSION {
+        return Err(StateError::BadVersion(version));
+    }
+    let seed = cur.u64().ok_or(StateError::Malformed("seed"))?;
+    let epoch = cur.u64().ok_or(StateError::Malformed("epoch"))?;
+    let next_global = cur.u64().ok_or(StateError::Malformed("next_global"))?;
+    let n = take_list_len(&mut cur, "members: count")?;
+    let mut members = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        members.push(cur.u32().ok_or(StateError::Malformed("members: id"))?);
+    }
+    let n = take_list_len(&mut cur, "retired: count")?;
+    let mut retired = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        retired.push(cur.u32().ok_or(StateError::Malformed("retired: id"))?);
+    }
+    let mut stat = || cur.u64().ok_or(StateError::Malformed("stats"));
+    let stats = FleetStats {
+        sessions_created: stat()?,
+        migrations: stat()?,
+        failovers: stat()?,
+        failover_sessions: stat()?,
+        replayed_updates: stat()?,
+        journal_records: stat()?,
+        checkpoints: stat()?,
+        compactions: stat()?,
+        compacted_records: stat()?,
+        max_replay_suffix: stat()?,
+    };
+    let n = take_list_len(&mut cur, "routes: count")?;
+    let mut routes = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let global = cur.u64().ok_or(StateError::Malformed("route: global"))?;
+        let shard = cur.u32().ok_or(StateError::Malformed("route: shard"))?;
+        let local = cur.u64().ok_or(StateError::Malformed("route: local"))?;
+        let kind = cur.u8().ok_or(StateError::Malformed("route: kind"))?;
+        let steps = cur.u32().ok_or(StateError::Malformed("route: steps"))?;
+        let seed = cur.u64().ok_or(StateError::Malformed("route: seed"))?;
+        let checkpoint = match cur.u8().ok_or(StateError::Malformed("route: ckpt flag"))? {
+            0 => None,
+            1 => Some(take_checkpoint(&mut cur)?),
+            _ => return Err(StateError::Malformed("route: bad checkpoint flag")),
+        };
+        routes.push(RouteRecord {
+            global,
+            shard,
+            local,
+            kind,
+            steps,
+            seed,
+            checkpoint,
+        });
+    }
+    let pending = match cur.u8().ok_or(StateError::Malformed("pending: flag"))? {
+        0 => None,
+        1 => {
+            let global = cur.u64().ok_or(StateError::Malformed("pending: global"))?;
+            let source = cur.u32().ok_or(StateError::Malformed("pending: source"))?;
+            let source_local = cur
+                .u64()
+                .ok_or(StateError::Malformed("pending: source local"))?;
+            let target = cur.u32().ok_or(StateError::Malformed("pending: target"))?;
+            let has_local = match cur
+                .u8()
+                .ok_or(StateError::Malformed("pending: local flag"))?
+            {
+                0 => false,
+                1 => true,
+                _ => return Err(StateError::Malformed("pending: bad local flag")),
+            };
+            let local = cur
+                .u64()
+                .ok_or(StateError::Malformed("pending: target local"))?;
+            let checkpoint = take_checkpoint(&mut cur)?;
+            Some(PendingMigration {
+                global,
+                source,
+                source_local,
+                target,
+                target_local: has_local.then_some(local),
+                checkpoint,
+            })
+        }
+        _ => return Err(StateError::Malformed("pending: bad flag")),
+    };
+    let n = take_list_len(&mut cur, "placements: count")?;
+    let mut placements = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        placements.push(PlacementRecord {
+            global: cur
+                .u64()
+                .ok_or(StateError::Malformed("placement: global"))?,
+            shard: cur.u32().ok_or(StateError::Malformed("placement: shard"))?,
+            local: cur.u64().ok_or(StateError::Malformed("placement: local"))?,
+        });
+    }
+    if cur.at != bytes.len() {
+        return Err(StateError::Malformed("trailing bytes"));
+    }
+    Ok(RouterState {
+        seed,
+        epoch,
+        next_global,
+        members,
+        retired,
+        stats,
+        routes,
+        pending,
+        placements,
+    })
+}
+
+/// Atomically persists the state at `path`: written to `path` + `.tmp`
+/// first, flushed, then renamed over — a crash mid-write leaves either
+/// the old complete file or the new complete file, never a torn one.
+pub fn save_state(path: &Path, state: &RouterState) -> Result<(), StateError> {
+    let bytes = encode_state(state);
+    let tmp = path.with_extension("snvr.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads and decodes the state file at `path`.
+pub fn load_state(path: &Path) -> Result<RouterState, StateError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    decode_state(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RouterState {
+        RouterState {
+            seed: 0xF1EE7,
+            epoch: 4,
+            next_global: 17,
+            members: vec![0, 2, 3],
+            retired: vec![1],
+            stats: FleetStats {
+                sessions_created: 17,
+                migrations: 3,
+                failovers: 1,
+                failover_sessions: 4,
+                replayed_updates: 9,
+                journal_records: 120,
+                checkpoints: 6,
+                compactions: 2,
+                compacted_records: 33,
+                max_replay_suffix: 3,
+            },
+            routes: vec![
+                RouteRecord {
+                    global: 11,
+                    shard: 0,
+                    local: 2,
+                    kind: 0,
+                    steps: 24,
+                    seed: 311,
+                    checkpoint: None,
+                },
+                RouteRecord {
+                    global: 12,
+                    shard: 2,
+                    local: 0,
+                    kind: 1,
+                    steps: 18,
+                    seed: 412,
+                    checkpoint: Some(CheckpointRecord {
+                        applied: 9,
+                        bytes: vec![1, 2, 3, 4, 5],
+                    }),
+                },
+            ],
+            pending: Some(PendingMigration {
+                global: 12,
+                source: 2,
+                source_local: 0,
+                target: 3,
+                target_local: Some(5),
+                checkpoint: CheckpointRecord {
+                    applied: 9,
+                    bytes: vec![9, 9],
+                },
+            }),
+            placements: vec![
+                PlacementRecord {
+                    global: 11,
+                    shard: 0,
+                    local: 2,
+                },
+                PlacementRecord {
+                    global: 12,
+                    shard: 2,
+                    local: 0,
+                },
+            ],
+        }
+    }
+
+    fn assert_state_eq(a: &RouterState, b: &RouterState) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(a.next_global, b.next_global);
+        assert_eq!(a.members, b.members);
+        assert_eq!(a.retired, b.retired);
+        assert_eq!(format!("{:?}", a.stats), format!("{:?}", b.stats));
+        assert_eq!(a.routes, b.routes);
+        assert_eq!(a.pending, b.pending);
+        assert_eq!(a.placements, b.placements);
+    }
+
+    #[test]
+    fn round_trips() {
+        let state = sample();
+        let bytes = encode_state(&state);
+        let decoded = decode_state(&bytes).expect("decode");
+        assert_state_eq(&state, &decoded);
+
+        let mut none_pending = sample();
+        none_pending.pending = None;
+        none_pending.routes[1].checkpoint = None;
+        let decoded = decode_state(&encode_state(&none_pending)).expect("decode without pending");
+        assert_state_eq(&none_pending, &decoded);
+    }
+
+    #[test]
+    fn save_load_round_trips_atomically() {
+        let dir = std::env::temp_dir().join(format!("snvr-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("router.snvr");
+        let state = sample();
+        save_state(&path, &state).expect("save");
+        // A second save overwrites via rename; the tmp file must be gone.
+        save_state(&path, &state).expect("re-save");
+        assert!(!path.with_extension("snvr.tmp").exists());
+        let loaded = load_state(&path).expect("load");
+        assert_state_eq(&state, &loaded);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = encode_state(&sample());
+        for n in 0..bytes.len() {
+            assert!(
+                decode_state(&bytes[..n]).is_err(),
+                "prefix of {n}/{} bytes decoded",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_typed_never_a_panic() {
+        let bytes = encode_state(&sample());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(decode_state(&bad), Err(StateError::BadMagic)));
+        let mut bad = bytes.clone();
+        bad[4] = 0xEE;
+        assert!(matches!(decode_state(&bad), Err(StateError::BadVersion(_))));
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0xFF] {
+                let mut bad = bytes.clone();
+                bad[i] ^= flip;
+                let _ = decode_state(&bad); // must not panic
+            }
+        }
+    }
+}

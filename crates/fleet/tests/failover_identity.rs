@@ -73,6 +73,8 @@ fn shard_kill_failover_is_bit_identical_in_every_numeric_mode() {
                 seed: 0xFA11_0000 + mode as u64,
                 numeric: mode,
                 journal_dir: journal_dir.clone(),
+                checkpoint_interval: 0,
+                compact_interval: 0,
             },
             &endpoints,
         )
