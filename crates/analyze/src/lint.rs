@@ -205,16 +205,24 @@ const THREAD_SPAWN_ALLOWLIST: [&str; 3] = [
 /// dense kernels and the plan executor (every line of these is either on
 /// the per-task hot path or a documented cold-path setup that carries an
 /// allow).
-const HOT_ALLOC_FILE_SCOPES: [&str; 4] = [
+const HOT_ALLOC_FILE_SCOPES: [&str; 5] = [
     "crates/linalg/src/kernels.rs",
     "crates/linalg/src/blas.rs",
     "crates/linalg/src/cholesky.rs",
+    "crates/linalg/src/split.rs",
     "crates/sparse/src/executor.rs",
 ];
 
 /// `(file, fn name)` pairs whose function body (brace extent) is hot-alloc
-/// scope: the multifrontal task body runs once per supernode per step.
-const HOT_ALLOC_FN_SCOPES: [(&str, &str); 1] = [("crates/sparse/src/numeric.rs", "compute_task")];
+/// scope: the multifrontal task body runs once per supernode per step, and
+/// the split sub-unit bodies run once per panel/tile/strip per step.
+const HOT_ALLOC_FN_SCOPES: [(&str, &str); 5] = [
+    ("crates/sparse/src/numeric.rs", "compute_task"),
+    ("crates/sparse/src/numeric.rs", "assemble_strip"),
+    ("crates/sparse/src/numeric.rs", "panel_step"),
+    ("crates/sparse/src/numeric.rs", "tile_step"),
+    ("crates/sparse/src/numeric.rs", "finish_task"),
+];
 
 /// Files where every panic-capable construct is a protocol bug: the wire
 /// codec + request handlers of the serving layer and the SNVT binary
@@ -233,8 +241,10 @@ const PANIC_PATH_SCOPES: [&str; 7] = [
 
 /// The only modules allowed to read the wall clock: the process-global
 /// trace epoch and the executor's schedule stamping (whose wall fields are
-/// documented as nondeterministic). Everywhere else in library code,
-/// `Instant::now`/`SystemTime` is a determinism hazard.
+/// documented as nondeterministic) plus its sub-level barrier's bounded
+/// spin budget — a pure latency/CPU trade with no data-dependent effect.
+/// Everywhere else in library code, `Instant::now`/`SystemTime` is a
+/// determinism hazard.
 const WALL_CLOCK_ALLOWLIST: [&str; 2] =
     ["crates/trace/src/clock.rs", "crates/sparse/src/executor.rs"];
 

@@ -1,0 +1,509 @@
+//! Strip-decomposed partial Cholesky: the panel / tile entry points behind
+//! the execution plan's intra-front split (DESIGN.md §16).
+//!
+//! [`partial_cholesky_scratch_mode`](crate::partial_cholesky_scratch_mode)
+//! factors a front as a sequence of `NB`-wide panel steps, each followed by
+//! one trailing SYRK over the whole remaining lower triangle. The split
+//! decomposes the *storage* into column strips (width a multiple of
+//! [`SPLIT_NB`], leading dimension = the front dimension, so a strip's
+//! memory is byte-identical to the corresponding columns of the full
+//! column-major front) and the *work* into:
+//!
+//! - a serial **panel** step per `NB` panel ([`split_panel_g`]): unblocked
+//!   Cholesky of the diagonal block, blocked TRSM of everything below it,
+//!   and the trailing update restricted to the panel's own strip — all
+//!   three read and write only that strip;
+//! - an independent **tile** step per later strip ([`split_tile_g`]): the
+//!   trailing update restricted to that strip's columns, which *reads*
+//!   only the panel strip (both GEMM operands are rows of the panel) and
+//!   *writes* only the destination strip — the disjointness the plan
+//!   certificate proves.
+//!
+//! Bit-identity with the unsplit driver rests on three kernel facts,
+//! each enforced where it lives: the packed microkernel's per-element
+//! accumulation order depends only on the packed depth (never on
+//! micro-panel alignment), the direct SYRK path is per-column independent,
+//! and path selection is shape-keyed — so every entry point here takes the
+//! path decision from the **unsplit** update shape
+//! ([`update_path_is_packed`]), not from its own strip shape.
+
+use crate::cholesky::cholesky_unblocked_offs_g;
+use crate::kernels::{
+    syrk_strip_g, trsm_core_g, Accum, KernelScratch, MutView, Scalar, View, CHOL_NB,
+    DIRECT_FLOP_CUTOFF, MR, MR_F32, NR, NR_F32,
+};
+use crate::{NotPositiveDefiniteError, NumericMode};
+
+/// Panel width of the blocked Cholesky driver; strip widths must be
+/// multiples of this so every panel lies inside exactly one strip.
+pub const SPLIT_NB: usize = CHOL_NB;
+
+/// Whether the unsplit trailing update after the panel at columns
+/// `[k, k + b)` of a `total`-wide front dispatches to the packed kernel
+/// path. Split executions must force this decision per panel — the strip
+/// shapes alone would flip small updates between paths and change the
+/// summation order.
+pub fn update_path_is_packed(total: usize, k: usize, b: usize) -> bool {
+    let below = total - k - b;
+    below * below * b > DIRECT_FLOP_CUTOFF
+}
+
+/// One serial panel step of the strip-decomposed factorization, entirely
+/// within the strip that stores columns `[col0, …)` of a `total × total`
+/// front (leading dimension `ld`): unblocked Cholesky of the `b × b`
+/// diagonal block at front column `k`, blocked TRSM of the `below × b`
+/// block under it, then the trailing update restricted to this strip's own
+/// columns `[k + b, tail_end)` (empty except for the last panel of a
+/// strip).
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefiniteError`] with the front-global pivot column
+/// (matching the unsplit driver) when the diagonal block is not positive
+/// definite in this precision.
+#[allow(clippy::too_many_arguments)]
+pub fn split_panel_g<S: Scalar, A: Accum<S>, const MR_: usize, const NR_: usize>(
+    strip: &mut [S],
+    ld: usize,
+    total: usize,
+    col0: usize,
+    k: usize,
+    b: usize,
+    tail_end: usize,
+    scratch: &mut KernelScratch,
+) -> Result<(), NotPositiveDefiniteError> {
+    debug_assert!(col0 <= k && k + b <= total, "panel outside front");
+    debug_assert!(k + b <= tail_end && tail_end <= total, "bad tail range");
+    cholesky_unblocked_offs_g::<S, A>(strip, ld, k, k - col0, b, k)?;
+    let below = total - k - b;
+    if below > 0 {
+        // Solve the full subcolumn against a packed copy of the diagonal
+        // block, exactly as the unsplit driver does.
+        let mut lbuf = S::take_panel(scratch, b * b);
+        for j in 0..b {
+            let base = (k - col0 + j) * ld + k;
+            lbuf[j * b..(j + 1) * b].copy_from_slice(&strip[base..base + b]);
+        }
+        let lview = View::raw(&lbuf, b, 0, 0, b, b, false);
+        trsm_core_g::<S, A, MR_, NR_>(&lview, strip, ld, k + b, k - col0, below, b, scratch);
+        S::put_panel(scratch, lbuf);
+
+        let tw = tail_end - (k + b);
+        if tw > 0 {
+            // Intra-strip slice of the trailing update: split the strip at
+            // the panel/tail column boundary for aliasing-free views, as
+            // the unsplit driver splits the whole front.
+            let (left, right) = strip.split_at_mut((k + b - col0) * ld);
+            let a_rows = View::raw(left, ld, k + b, k - col0, below, b, false);
+            let a_cols = View::raw(left, ld, k + b, k - col0, tw, b, false);
+            let mut cview = MutView::raw(right, ld, k + b, 0, below, tw);
+            syrk_strip_g::<S, A, MR_, NR_>(
+                -S::ONE,
+                &a_rows,
+                &a_cols,
+                &mut cview,
+                update_path_is_packed(total, k, b),
+                scratch,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// One independent tile step of the strip-decomposed trailing update: the
+/// columns `[qcol0, qcol0 + qcols)` slice of the update that follows the
+/// panel at front columns `[k, k + b)`. Reads only `panel` (the strip
+/// storing columns `[pcol0, …)`, which holds both GEMM operands) and
+/// writes only `dst` (the strip storing columns `[qcol0, …)`).
+#[allow(clippy::too_many_arguments)]
+pub fn split_tile_g<S: Scalar, A: Accum<S>, const MR_: usize, const NR_: usize>(
+    panel: &[S],
+    dst: &mut [S],
+    ld: usize,
+    total: usize,
+    pcol0: usize,
+    k: usize,
+    b: usize,
+    qcol0: usize,
+    qcols: usize,
+    scratch: &mut KernelScratch,
+) {
+    debug_assert!(pcol0 <= k, "panel outside its strip");
+    debug_assert!(qcol0 >= k + b, "tile must lie strictly after the panel");
+    debug_assert!(qcol0 + qcols <= total, "tile outside front");
+    if qcols == 0 {
+        return;
+    }
+    let m = total - qcol0;
+    let a_rows = View::raw(panel, ld, qcol0, k - pcol0, m, b, false);
+    let a_cols = View::raw(panel, ld, qcol0, k - pcol0, qcols, b, false);
+    let mut cview = MutView::raw(dst, ld, qcol0, 0, m, qcols);
+    syrk_strip_g::<S, A, MR_, NR_>(
+        -S::ONE,
+        &a_rows,
+        &a_cols,
+        &mut cview,
+        update_path_is_packed(total, k, b),
+        scratch,
+    );
+}
+
+/// f64-mode [`split_panel_g`] (the `NumericMode::F64` engine).
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefiniteError`] with the front-global pivot column
+/// when the diagonal block is not positive definite.
+#[allow(clippy::too_many_arguments)]
+pub fn split_panel_f64(
+    strip: &mut [f64],
+    ld: usize,
+    total: usize,
+    col0: usize,
+    k: usize,
+    b: usize,
+    tail_end: usize,
+    scratch: &mut KernelScratch,
+) -> Result<(), NotPositiveDefiniteError> {
+    split_panel_g::<f64, f64, MR, NR>(strip, ld, total, col0, k, b, tail_end, scratch)
+}
+
+/// f64-mode [`split_tile_g`].
+#[allow(clippy::too_many_arguments)]
+pub fn split_tile_f64(
+    panel: &[f64],
+    dst: &mut [f64],
+    ld: usize,
+    total: usize,
+    pcol0: usize,
+    k: usize,
+    b: usize,
+    qcol0: usize,
+    qcols: usize,
+    scratch: &mut KernelScratch,
+) {
+    split_tile_g::<f64, f64, MR, NR>(panel, dst, ld, total, pcol0, k, b, qcol0, qcols, scratch);
+}
+
+/// f32-storage [`split_panel_g`] under a narrow [`NumericMode`]:
+/// `F32` runs the uniform 8×4 engine, `F32F64` (and, for totality, `F64`)
+/// the mixed 4×4 engine with f64 accumulation — the same engine selection
+/// as [`partial_cholesky_scratch_mode`](crate::partial_cholesky_scratch_mode).
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefiniteError`] with the front-global pivot column
+/// when the diagonal block is not positive definite in this precision.
+#[allow(clippy::too_many_arguments)]
+pub fn split_panel_f32(
+    mode: NumericMode,
+    strip: &mut [f32],
+    ld: usize,
+    total: usize,
+    col0: usize,
+    k: usize,
+    b: usize,
+    tail_end: usize,
+    scratch: &mut KernelScratch,
+) -> Result<(), NotPositiveDefiniteError> {
+    match mode {
+        NumericMode::F32 => split_panel_g::<f32, f32, MR_F32, NR_F32>(
+            strip, ld, total, col0, k, b, tail_end, scratch,
+        ),
+        NumericMode::F32F64 | NumericMode::F64 => {
+            split_panel_g::<f32, f64, MR, NR>(strip, ld, total, col0, k, b, tail_end, scratch)
+        }
+    }
+}
+
+/// f32-storage [`split_tile_g`]; engine selection as in
+/// [`split_panel_f32`].
+#[allow(clippy::too_many_arguments)]
+pub fn split_tile_f32(
+    mode: NumericMode,
+    panel: &[f32],
+    dst: &mut [f32],
+    ld: usize,
+    total: usize,
+    pcol0: usize,
+    k: usize,
+    b: usize,
+    qcol0: usize,
+    qcols: usize,
+    scratch: &mut KernelScratch,
+) {
+    match mode {
+        NumericMode::F32 => split_tile_g::<f32, f32, MR_F32, NR_F32>(
+            panel, dst, ld, total, pcol0, k, b, qcol0, qcols, scratch,
+        ),
+        NumericMode::F32F64 | NumericMode::F64 => split_tile_g::<f32, f64, MR, NR>(
+            panel, dst, ld, total, pcol0, k, b, qcol0, qcols, scratch,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{partial_cholesky_scratch_mode, Mat};
+
+    fn spd(n: usize, seed: u64) -> Mat {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        let g = Mat::from_fn(n, n, |_, _| next());
+        let mut a = Mat::from_diag(&vec![n as f64; n]);
+        crate::syrk_lower(1.0, &g, 1.0, &mut a);
+        Mat::from_fn(n, n, |r, c| if r >= c { a[(r, c)] } else { a[(c, r)] })
+    }
+
+    /// Runs the strip-decomposed factorization with strip width `t` and
+    /// returns the gathered front (f64, promoted back for narrow modes).
+    fn factor_by_strips(a: &Mat, pivots: usize, t: usize, mode: NumericMode) -> Mat {
+        let total = a.rows();
+        let nstrips = total.div_ceil(t);
+        let width = |s: usize| t.min(total - s * t);
+        let mut scratch = KernelScratch::new();
+
+        // Per-strip owned buffers, ld = total: memory-identical to the
+        // corresponding columns of the full column-major front.
+        let strip_of = |col: usize| col / t;
+        let gather = |strips64: &[Vec<f64>], strips32: &[Vec<f32>]| {
+            Mat::from_fn(total, total, |r, c| {
+                let s = strip_of(c);
+                if mode == NumericMode::F64 {
+                    strips64[s][(c - s * t) * total + r]
+                } else {
+                    strips32[s][(c - s * t) * total + r] as f64
+                }
+            })
+        };
+
+        let mut strips64: Vec<Vec<f64>> = Vec::new();
+        let mut strips32: Vec<Vec<f32>> = Vec::new();
+        for s in 0..nstrips {
+            let w = width(s);
+            let mut buf = vec![0.0f64; total * w];
+            for j in 0..w {
+                for i in 0..total {
+                    buf[j * total + i] = a[(i, s * t + j)];
+                }
+            }
+            if mode == NumericMode::F64 {
+                strips64.push(buf);
+            } else {
+                strips32.push(buf.iter().map(|&v| v as f32).collect());
+            }
+        }
+
+        let mut k = 0usize;
+        while k < pivots {
+            let b = SPLIT_NB.min(pivots - k);
+            let ps = strip_of(k);
+            let col0 = ps * t;
+            let tail_end = (col0 + width(ps)).min(total);
+            if mode == NumericMode::F64 {
+                split_panel_f64(
+                    &mut strips64[ps],
+                    total,
+                    total,
+                    col0,
+                    k,
+                    b,
+                    tail_end,
+                    &mut scratch,
+                )
+                .unwrap();
+                for q in ps + 1..nstrips {
+                    let (head, tail) = strips64.split_at_mut(q);
+                    split_tile_f64(
+                        &head[ps],
+                        &mut tail[0],
+                        total,
+                        total,
+                        col0,
+                        k,
+                        b,
+                        q * t,
+                        width(q),
+                        &mut scratch,
+                    );
+                }
+            } else {
+                split_panel_f32(
+                    mode,
+                    &mut strips32[ps],
+                    total,
+                    total,
+                    col0,
+                    k,
+                    b,
+                    tail_end,
+                    &mut scratch,
+                )
+                .unwrap();
+                for q in ps + 1..nstrips {
+                    let (head, tail) = strips32.split_at_mut(q);
+                    split_tile_f32(
+                        mode,
+                        &head[ps],
+                        &mut tail[0],
+                        total,
+                        total,
+                        col0,
+                        k,
+                        b,
+                        q * t,
+                        width(q),
+                        &mut scratch,
+                    );
+                }
+            }
+            k += b;
+        }
+        gather(&strips64, &strips32)
+    }
+
+    #[test]
+    fn strip_factorization_is_bit_identical_to_whole_front() {
+        for mode in [NumericMode::F64, NumericMode::F32, NumericMode::F32F64] {
+            for &(total, pivots) in &[
+                (96usize, 96usize),
+                (97, 60),
+                (144, 96),
+                (150, 100),
+                (200, 144),
+                (120, 47),
+                (49, 48),
+            ] {
+                let a = spd(total, (total * 31 + pivots) as u64);
+                let mut whole = a.clone();
+                partial_cholesky_scratch_mode(&mut whole, pivots, &mut KernelScratch::new(), mode)
+                    .unwrap();
+                for t in [SPLIT_NB, 2 * SPLIT_NB] {
+                    let split = factor_by_strips(&a, pivots, t, mode);
+                    // Compare every element the factorization defines:
+                    // the lower triangle (the split path does not zero the
+                    // strict upper triangle of the pivot columns — the
+                    // gather step owns that, as `zero_strict_upper` does
+                    // for the whole-front path).
+                    for c in 0..total {
+                        for r in c..total {
+                            assert_eq!(
+                                whole[(r, c)].to_bits(),
+                                split[(r, c)].to_bits(),
+                                "mode {mode:?} total {total} pivots {pivots} t {t} at ({r},{c})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strip_panel_reports_global_pivot_column() {
+        for mode in [NumericMode::F64, NumericMode::F32, NumericMode::F32F64] {
+            let total = 120;
+            let mut a = spd(total, 11);
+            a[(70, 70)] = -1e6;
+            let mut whole = a.clone();
+            let werr =
+                partial_cholesky_scratch_mode(&mut whole, total, &mut KernelScratch::new(), mode)
+                    .unwrap_err();
+            // Walk the strip path until the same panel fails.
+            let t = SPLIT_NB;
+            let mut scratch = KernelScratch::new();
+            let nstrips = total.div_ceil(t);
+            let width = |s: usize| t.min(total - s * t);
+            let mut strips: Vec<Vec<f64>> = (0..nstrips)
+                .map(|s| {
+                    let w = width(s);
+                    let mut buf = vec![0.0f64; total * w];
+                    for j in 0..w {
+                        for i in 0..total {
+                            buf[j * total + i] = a[(i, s * t + j)];
+                        }
+                    }
+                    buf
+                })
+                .collect();
+            let mut strips32: Vec<Vec<f32>> = strips
+                .iter()
+                .map(|b| b.iter().map(|&v| v as f32).collect())
+                .collect();
+            let mut serr = None;
+            let mut k = 0usize;
+            while k < total && serr.is_none() {
+                let b = SPLIT_NB.min(total - k);
+                let ps = k / t;
+                let r = if mode == NumericMode::F64 {
+                    split_panel_f64(
+                        &mut strips[ps],
+                        total,
+                        total,
+                        ps * t,
+                        k,
+                        b,
+                        k + b,
+                        &mut scratch,
+                    )
+                } else {
+                    split_panel_f32(
+                        mode,
+                        &mut strips32[ps],
+                        total,
+                        total,
+                        ps * t,
+                        k,
+                        b,
+                        k + b,
+                        &mut scratch,
+                    )
+                };
+                if let Err(e) = r {
+                    serr = Some(e);
+                    break;
+                }
+                for q in ps + 1..nstrips {
+                    if mode == NumericMode::F64 {
+                        let (head, tail) = strips.split_at_mut(q);
+                        split_tile_f64(
+                            &head[ps],
+                            &mut tail[0],
+                            total,
+                            total,
+                            ps * t,
+                            k,
+                            b,
+                            q * t,
+                            width(q),
+                            &mut scratch,
+                        );
+                    } else {
+                        let (head, tail) = strips32.split_at_mut(q);
+                        split_tile_f32(
+                            mode,
+                            &head[ps],
+                            &mut tail[0],
+                            total,
+                            total,
+                            ps * t,
+                            k,
+                            b,
+                            q * t,
+                            width(q),
+                            &mut scratch,
+                        );
+                    }
+                }
+                k += b;
+            }
+            assert_eq!(serr.expect("strip path must fail too").col(), werr.col());
+        }
+    }
+}

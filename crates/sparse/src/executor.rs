@@ -171,6 +171,12 @@ pub struct HostSchedule {
     pub mode: DispatchMode,
     /// Numeric precision the executing workers' kernels ran under.
     pub numeric: NumericMode,
+    /// Number of sub-unit spans in this record: 0 when tasks executed
+    /// whole, positive when the plan's split overlay was dispatched at
+    /// unit granularity (each span is then one sub-unit, and a split task
+    /// contributes several spans sharing its `node` id). Exported as the
+    /// `split_mode` trace counter.
+    pub split_units: usize,
 }
 
 impl HostSchedule {
@@ -468,6 +474,60 @@ impl ParallelExecutor {
         run_pool(self, plan, recompute, &task_fn, self.threads)
     }
 
+    /// [`run_certified`](Self::run_certified) at *sub-unit* granularity:
+    /// when the plan carries a split overlay ([`ExecutionPlan::has_units`])
+    /// split tasks execute as their panel/tile sub-units via `unit_fn`
+    /// (called with a unit id from [`ExecutionPlan::units`]), while unsplit
+    /// tasks still run whole through `task_fn`.
+    ///
+    /// Dispatch selection mirrors `run_certified`:
+    ///
+    /// - **serial** executions walk the postorder and run each split
+    ///   task's units in canonical order — one [`TaskSpan`] per unit, so
+    ///   the span structure is identical to a unit-granular parallel run
+    ///   (the trace thread-invariance guarantee);
+    /// - **certified** multi-threaded executions ([`DispatchPolicy::Auto`]
+    ///   with a covering certificate) dispatch the plan's
+    ///   [`unit_levels`](ExecutionPlan::unit_levels) through the
+    ///   level-batched pool, with a low-latency spin-then-park barrier
+    ///   between sub-levels (sub-levels are ~`2×panels` more frequent than
+    ///   task levels, so barrier latency is on the critical path);
+    /// - **uncertified** multi-threaded executions fall back to the
+    ///   dependency-counted pool at whole-task granularity (`task_fn` for
+    ///   every task) — the split overlay's intra-task happens-before is
+    ///   proven by the same certificate that gates batching, so without it
+    ///   the executor does not interleave sub-units across workers.
+    ///
+    /// Plans without units delegate to `run_certified` unchanged.
+    pub fn run_certified_units<E, F, G>(
+        &self,
+        plan: &ExecutionPlan,
+        recompute: &[bool],
+        cert: Option<&PlanCertificate>,
+        task_fn: F,
+        unit_fn: G,
+    ) -> (Result<(), E>, HostSchedule)
+    where
+        E: Send,
+        F: Fn(usize, &mut Workspace) -> Result<(), E> + Sync,
+        G: Fn(usize, &mut Workspace) -> Result<(), E> + Sync,
+    {
+        if !plan.has_units() {
+            return self.run_certified(plan, recompute, cert, task_fn);
+        }
+        assert_eq!(recompute.len(), plan.num_tasks());
+        self.prepare(plan);
+        let total: usize = recompute.iter().filter(|&&r| r).count();
+        if self.threads <= 1 || total <= 1 {
+            return run_serial_units(self, plan, recompute, &task_fn, &unit_fn);
+        }
+        let certified = self.policy == DispatchPolicy::Auto && cert.is_some_and(|c| c.covers(plan));
+        if certified {
+            return run_batched_units(self, plan, recompute, &task_fn, &unit_fn, self.threads);
+        }
+        run_pool(self, plan, recompute, &task_fn, self.threads)
+    }
+
     /// Grows every pooled workspace to `plan`'s bounds before any worker
     /// spawns. Doing all growth here, on the calling thread, makes the
     /// arena statistics a pure function of the plan sequence: which
@@ -527,10 +587,298 @@ where
         origin: epoch,
         mode: DispatchMode::Serial,
         numeric: exec.numeric,
+        split_units: 0,
     };
     match err {
         Some(e) => (Err(e), sched),
         None => (Ok(()), sched),
+    }
+}
+
+/// Inline unit-granular execution on the calling thread: plan postorder
+/// over tasks, canonical unit order within each split task. Span structure
+/// (one span per executed unit / whole task) matches the unit-batched
+/// parallel path exactly.
+fn run_serial_units<E, F, G>(
+    exec: &ParallelExecutor,
+    plan: &ExecutionPlan,
+    recompute: &[bool],
+    task_fn: &F,
+    unit_fn: &G,
+) -> (Result<(), E>, HostSchedule)
+where
+    F: Fn(usize, &mut Workspace) -> Result<(), E>,
+    G: Fn(usize, &mut Workspace) -> Result<(), E>,
+{
+    let epoch = supernova_trace::epoch_seconds();
+    let origin = Instant::now();
+    let mut ws = exec.checkout(plan);
+    // lint: allow(hot-alloc) — per-execution schedule record, not the task path
+    let mut spans = Vec::new();
+    let mut split_units = 0usize;
+    let mut err = None;
+    'tasks: for &s in plan.postorder() {
+        if !recompute[s] {
+            continue;
+        }
+        let (lo, hi) = plan.task_units_range(s);
+        for uid in lo..hi {
+            let whole = plan.units()[uid].kind == crate::plan::UnitKind::Whole;
+            let start = origin.elapsed().as_secs_f64();
+            let res = if whole {
+                task_fn(s, &mut ws)
+            } else {
+                unit_fn(uid, &mut ws)
+            };
+            let end = origin.elapsed().as_secs_f64();
+            spans.push(TaskSpan {
+                node: s,
+                worker: 0,
+                start,
+                end,
+                kernel_flops: ws.scratch_mut().take_flops(),
+            });
+            if !whole {
+                split_units += 1;
+            }
+            if let Err(e) = res {
+                err = Some(e);
+                break 'tasks;
+            }
+        }
+    }
+    exec.checkin(ws);
+    let sched = HostSchedule {
+        spans,
+        workers: 1,
+        origin: epoch,
+        mode: DispatchMode::Serial,
+        numeric: exec.numeric,
+        split_units,
+    };
+    match err {
+        Some(e) => (Err(e), sched),
+        None => (Ok(()), sched),
+    }
+}
+
+/// A sense-reversing barrier that spins briefly before parking on a
+/// condvar. `std::sync::Barrier` always takes its mutex; with sub-level
+/// dispatch there are ~`2×panels` barriers per task level, so the
+/// microseconds each crossing costs sit directly on the critical path.
+/// Workers spin for a short budget (the common case: the level's last
+/// task finishes within it) and only then fall back to blocking — so an
+/// idle machine still sleeps instead of burning a core. When the pool
+/// oversubscribes the host (more parties than CPUs), spinning would
+/// steal cycles from the very worker everyone is waiting on, so the
+/// budget drops to zero and waiters park immediately.
+struct SpinBarrier {
+    parties: usize,
+    spin_budget_micros: u128,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// How long a worker spins at a barrier before parking. Roughly two
+/// orders of magnitude above a barrier crossing itself, two below a
+/// typical panel kernel.
+const BARRIER_SPIN_BUDGET_MICROS: u128 = 50;
+
+impl SpinBarrier {
+    fn new(parties: usize) -> Self {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        SpinBarrier {
+            parties,
+            spin_budget_micros: if parties > host {
+                0
+            } else {
+                BARRIER_SPIN_BUDGET_MICROS
+            },
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all `parties` workers have called `wait` for the
+    /// current generation.
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Last arriver: reset the count *before* publishing the new
+            // generation, so a worker racing into the next barrier cannot
+            // observe the stale count.
+            self.arrived.store(0, Ordering::Release);
+            self.generation
+                .store(generation.wrapping_add(1), Ordering::Release);
+            // Taking the lock orders this wake-up after any parker's
+            // generation re-check, closing the missed-notify window.
+            // lint: allow(unwrap) — poisoning requires a prior worker panic
+            drop(self.lock.lock().unwrap());
+            self.cv.notify_all();
+            return;
+        }
+        if self.spin_budget_micros > 0 {
+            // lint: allow(wall-clock) — spin budget, already in the
+            // executor's wall-clock allowlist
+            let spin_start = Instant::now();
+            loop {
+                if self.generation.load(Ordering::Acquire) != generation {
+                    return;
+                }
+                if spin_start.elapsed().as_micros() > self.spin_budget_micros {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        // lint: allow(unwrap) — poisoning as above
+        let mut guard = self.lock.lock().unwrap();
+        while self.generation.load(Ordering::Acquire) == generation {
+            // lint: allow(unwrap) — poisoning as above
+            guard = self.cv.wait(guard).unwrap();
+        }
+    }
+}
+
+/// Sub-level-batched worker-pool execution for certified split plans: one
+/// atomic claim cursor per *sub-level* and a [`SpinBarrier`] between
+/// sub-levels. The unit-extended [`PlanCertificate`] proves same-sub-level
+/// units access-disjoint (tile rectangles) and every panel→update edge
+/// ordered by the sub-level barrier, so any intra-sub-level interleaving
+/// computes identical bits — the unit-granular analogue of
+/// [`run_batched`]'s task-level argument.
+fn run_batched_units<E, F, G>(
+    exec: &ParallelExecutor,
+    plan: &ExecutionPlan,
+    recompute: &[bool],
+    task_fn: &F,
+    unit_fn: &G,
+    threads: usize,
+) -> (Result<(), E>, HostSchedule)
+where
+    E: Send,
+    F: Fn(usize, &mut Workspace) -> Result<(), E> + Sync,
+    G: Fn(usize, &mut Workspace) -> Result<(), E> + Sync,
+{
+    // Per-sub-level worklists of units of recomputed tasks, ascending unit
+    // id so claim order is deterministic given claim timing.
+    // lint: allow(hot-alloc) — per-execution dispatch tables, not the task path
+    let sublevels: Vec<Vec<usize>> = plan
+        .unit_levels()
+        .iter()
+        .map(|members| {
+            let mut v: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&u| recompute[plan.units()[u].task])
+                .collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    let total_units: usize = sublevels.iter().map(Vec::len).sum();
+    let cursors: Vec<AtomicUsize> = sublevels.iter().map(|_| AtomicUsize::new(0)).collect();
+    let abort = AtomicBool::new(false);
+    // lint: allow(hot-alloc) — per-execution error collector, not the task path
+    let errors: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
+    let epoch = supernova_trace::epoch_seconds();
+    let origin = Instant::now();
+    let nworkers = threads.min(total_units.max(1));
+    let barrier = SpinBarrier::new(nworkers);
+    let split_units = AtomicUsize::new(0);
+
+    // lint: allow(hot-alloc) — per-execution schedule record, not the task path
+    let mut all_spans: Vec<TaskSpan> = Vec::with_capacity(total_units);
+    std::thread::scope(|scope| {
+        // lint: allow(hot-alloc) — per-execution worker handles, not the task path
+        let mut handles = Vec::with_capacity(nworkers);
+        for worker in 0..nworkers {
+            let sublevels = &sublevels;
+            let cursors = &cursors;
+            let abort = &abort;
+            let errors = &errors;
+            let barrier = &barrier;
+            let split_units = &split_units;
+            handles.push(scope.spawn(move || {
+                let mut ws = exec.checkout(plan);
+                // lint: allow(hot-alloc) — per-execution schedule record, not the task path
+                let mut spans: Vec<TaskSpan> = Vec::new();
+                for (sub, members) in sublevels.iter().enumerate() {
+                    loop {
+                        if abort.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let idx = cursors[sub].fetch_add(1, Ordering::AcqRel);
+                        let Some(&uid) = members.get(idx) else {
+                            break;
+                        };
+                        let unit = &plan.units()[uid];
+                        let whole = unit.kind == crate::plan::UnitKind::Whole;
+                        let start = origin.elapsed().as_secs_f64();
+                        let res = if whole {
+                            task_fn(unit.task, &mut ws)
+                        } else {
+                            unit_fn(uid, &mut ws)
+                        };
+                        let end = origin.elapsed().as_secs_f64();
+                        spans.push(TaskSpan {
+                            node: unit.task,
+                            worker,
+                            start,
+                            end,
+                            kernel_flops: ws.scratch_mut().take_flops(),
+                        });
+                        if !whole {
+                            split_units.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if let Err(e) = res {
+                            // lint: allow(unwrap) — poisoning needs a prior worker panic
+                            errors.lock().unwrap().push((unit.task, e));
+                            abort.store(true, Ordering::Release);
+                        }
+                    }
+                    // Every worker reaches every barrier — including after
+                    // an abort — so no one is left waiting.
+                    barrier.wait();
+                }
+                exec.checkin(ws);
+                spans
+            }));
+        }
+        for h in handles {
+            if let Ok(spans) = h.join() {
+                all_spans.extend(spans);
+            }
+        }
+    });
+
+    all_spans.sort_by(|a, b| {
+        a.start
+            .partial_cmp(&b.start)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
+    });
+    let sched = HostSchedule {
+        spans: all_spans,
+        workers: nworkers,
+        origin: epoch,
+        mode: DispatchMode::LevelBatched,
+        numeric: exec.numeric,
+        split_units: split_units.into_inner(),
+    };
+    let mut errs = errors.into_inner().unwrap_or_default();
+    if errs.is_empty() {
+        (Ok(()), sched)
+    } else {
+        errs.sort_by_key(|&(t, _)| t);
+        let (_, e) = errs.swap_remove(0);
+        (Err(e), sched)
     }
 }
 
@@ -681,6 +1029,7 @@ where
         origin: epoch,
         mode: DispatchMode::DepCounted,
         numeric: exec.numeric,
+        split_units: 0,
     };
     let mut errs = errors.into_inner().unwrap_or_default();
     if errs.is_empty() {
@@ -805,6 +1154,7 @@ where
         origin: epoch,
         mode: DispatchMode::LevelBatched,
         numeric: exec.numeric,
+        split_units: 0,
     };
     let mut errs = errors.into_inner().unwrap_or_default();
     if errs.is_empty() {
@@ -1135,6 +1485,203 @@ mod tests {
         assert!(sched.dispatch_overhead_per_task_s() >= 0.0);
         assert!(sched.dispatch_overhead_per_task_s().is_finite());
         assert_eq!(HostSchedule::default().dispatch_overhead_per_task_s(), 0.0);
+    }
+
+    fn split_plan() -> ExecutionPlan {
+        let mut p = BlockPattern::new(vec![64, 64, 64]);
+        p.add_block_edge(0, 2);
+        p.add_block_edge(1, 2);
+        ExecutionPlan::from_symbolic_with_split(
+            &SymbolicFactor::analyze(&p, 0),
+            crate::plan::SplitConfig::on(),
+        )
+    }
+
+    #[test]
+    fn unit_dispatch_runs_each_unit_once_at_every_thread_count() {
+        let plan = split_plan();
+        assert!(plan.has_units());
+        let cert = crate::interference::certify(&plan).expect("split plan certifies");
+        let recompute = vec![true; plan.num_tasks()];
+        let whole_tasks: usize = (0..plan.num_tasks())
+            .filter(|&s| plan.split_shape(s).is_none())
+            .count();
+        let split_unit_count: usize = plan
+            .units()
+            .iter()
+            .filter(|u| u.kind != crate::plan::UnitKind::Whole)
+            .count();
+        for threads in [1usize, 2, 4] {
+            let unit_counts: Vec<AtomicUsize> =
+                (0..plan.num_units()).map(|_| AtomicUsize::new(0)).collect();
+            let task_counts: Vec<AtomicUsize> =
+                (0..plan.num_tasks()).map(|_| AtomicUsize::new(0)).collect();
+            let (res, sched) = ParallelExecutor::new(threads).run_certified_units::<(), _, _>(
+                &plan,
+                &recompute,
+                Some(&cert),
+                |s, _ws| {
+                    task_counts[s].fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                },
+                |u, _ws| {
+                    unit_counts[u].fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                },
+            );
+            assert!(res.is_ok());
+            // Whole tasks ran once via task_fn, every sub-unit once via
+            // unit_fn.
+            assert_eq!(
+                task_counts
+                    .iter()
+                    .map(|c| c.load(Ordering::SeqCst))
+                    .sum::<usize>(),
+                whole_tasks
+            );
+            for (uid, c) in unit_counts.iter().enumerate() {
+                let expect = usize::from(plan.units()[uid].kind != crate::plan::UnitKind::Whole);
+                assert_eq!(c.load(Ordering::SeqCst), expect, "unit {uid}");
+            }
+            // Identical span structure at every thread count.
+            assert_eq!(sched.spans.len(), whole_tasks + split_unit_count);
+            assert_eq!(sched.split_units, split_unit_count);
+            let expect_mode = if threads == 1 {
+                DispatchMode::Serial
+            } else {
+                DispatchMode::LevelBatched
+            };
+            assert_eq!(sched.mode, expect_mode);
+        }
+    }
+
+    #[test]
+    fn unit_dispatch_orders_panels_before_their_tiles() {
+        let plan = split_plan();
+        let cert = crate::interference::certify(&plan).expect("certifies");
+        let recompute = vec![true; plan.num_tasks()];
+        let clock = AtomicU64::new(0);
+        let marks: Vec<(AtomicU64, AtomicU64)> = (0..plan.num_units())
+            .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+            .collect();
+        let (res, sched) = ParallelExecutor::new(3).run_certified_units::<(), _, _>(
+            &plan,
+            &recompute,
+            Some(&cert),
+            |_s, _ws| Ok(()),
+            |u, _ws| {
+                marks[u]
+                    .0
+                    .store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+                marks[u]
+                    .1
+                    .store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+                Ok(())
+            },
+        );
+        assert!(res.is_ok());
+        assert_eq!(sched.mode, DispatchMode::LevelBatched);
+        for s in 0..plan.num_tasks() {
+            if plan.split_shape(s).is_none() {
+                continue;
+            }
+            let (lo, hi) = plan.task_units_range(s);
+            let sub_of =
+                |kind: &crate::plan::UnitKind| (lo..hi).find(|&u| plan.units()[u].kind == *kind);
+            for uid in lo..hi {
+                if let crate::plan::UnitKind::Tile { panel, .. } = plan.units()[uid].kind {
+                    let pid = sub_of(&crate::plan::UnitKind::Panel { panel }).unwrap();
+                    let panel_end = marks[pid].1.load(Ordering::SeqCst);
+                    let tile_start = marks[uid].0.load(Ordering::SeqCst);
+                    assert!(
+                        panel_end < tile_start,
+                        "tile {uid} started before panel {pid} finished"
+                    );
+                }
+            }
+            let fid = sub_of(&crate::plan::UnitKind::Finish).unwrap();
+            let finish_start = marks[fid].0.load(Ordering::SeqCst);
+            for uid in lo..fid {
+                assert!(marks[uid].1.load(Ordering::SeqCst) < finish_start);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_dispatch_propagates_errors_without_deadlock() {
+        let plan = split_plan();
+        let cert = crate::interference::certify(&plan).expect("certifies");
+        let recompute = vec![true; plan.num_tasks()];
+        // Fail a mid-task unit (the first panel of the first split task).
+        let bad = plan
+            .units()
+            .iter()
+            .position(|u| matches!(u.kind, crate::plan::UnitKind::Panel { panel: 0 }))
+            .expect("split plan has a panel");
+        let victim = plan.units()[bad].task;
+        for threads in [1usize, 2, 4] {
+            let (res, _) = ParallelExecutor::new(threads).run_certified_units::<usize, _, _>(
+                &plan,
+                &recompute,
+                Some(&cert),
+                |_s, _ws| Ok(()),
+                |u, _ws| {
+                    if u == bad {
+                        Err(plan.units()[u].task)
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+            assert_eq!(res, Err(victim));
+        }
+    }
+
+    #[test]
+    fn unit_dispatch_without_units_delegates_to_task_dispatch() {
+        let plan = plan_of(12);
+        assert!(!plan.has_units());
+        let cert = crate::interference::certify(&plan).expect("certifies");
+        let recompute = vec![true; plan.num_tasks()];
+        let units_called = AtomicUsize::new(0);
+        let (res, sched) = ParallelExecutor::new(2).run_certified_units::<(), _, _>(
+            &plan,
+            &recompute,
+            Some(&cert),
+            |_s, _ws| Ok(()),
+            |_u, _ws| {
+                units_called.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        );
+        assert!(res.is_ok());
+        assert_eq!(units_called.load(Ordering::SeqCst), 0);
+        assert_eq!(sched.mode, DispatchMode::LevelBatched);
+        assert_eq!(sched.spans.len(), plan.num_tasks());
+        assert_eq!(sched.split_units, 0);
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes_rounds() {
+        let parties = 4usize;
+        let rounds = 200usize;
+        let barrier = SpinBarrier::new(parties);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..parties {
+                scope.spawn(|| {
+                    for round in 0..rounds {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        // After the barrier every increment of this round
+                        // must be visible.
+                        assert!(counter.load(Ordering::SeqCst) >= (round + 1) * parties);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), parties * rounds);
     }
 
     #[test]

@@ -21,7 +21,9 @@
 #                every seeded dataset's execution plan; report archived at
 #                results/analyze_diagnostics.json
 #   determinism  serial vs 2/4-thread factorization bit-identity, swept
-#                over every numeric mode (f64 / f32 / f32f64)
+#                over every numeric mode (f64 / f32 / f32f64) and the
+#                intra-front split pass (split-off runs must match the
+#                split-on serial reference byte for byte)
 #   numeric-ape  per-mode trajectory accuracy: narrow-mode APE gated
 #                against f64-mode APE, artifact at results/numeric_ape.json
 #   serve-smoke  serving layer: bit-identity, overload, trace cross-check
